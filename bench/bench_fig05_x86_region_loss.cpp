@@ -1,0 +1,59 @@
+// Fig. 5 — "Traffic rate and packet loss rate of a region with XGW-x86s
+// in a week": regional loss spikes of ~1e-5..1e-4 whenever an overloaded
+// core saturates, worst during the festival window (day 6).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "x86_region_sim.hpp"
+
+using namespace sf;
+
+int main() {
+  bench::print_header(
+      "Fig. 5", "region traffic and packet loss with XGW-x86s (8 days)");
+
+  bench::X86RegionSim::Config config;
+  config.pattern.festival_start_day = 5.0;
+  config.pattern.festival_end_day = 6.0;
+  bench::X86RegionSim sim(config);
+
+  sim::TimeSeries rate("rate_tbps");
+  sim::TimeSeries loss("loss_rate");
+  double worst = 0;
+  double worst_day = 0;
+  const double step = 1800;
+  for (double t = 0; t < workload::days(8); t += step) {
+    const auto reports = sim.step(t);
+    double offered = 0;
+    double dropped = 0;
+    for (const auto& report : reports) {
+      offered += report.offered_pps;
+      dropped += report.dropped_pps;
+    }
+    const double drop_rate = offered > 0 ? dropped / offered : 0;
+    rate.record(t / 86400.0,
+                workload::rate_at(config.pattern, t) / 1e12);
+    loss.record(t / 86400.0, drop_rate);
+    if (drop_rate > worst) {
+      worst = drop_rate;
+      worst_day = t / 86400.0;
+    }
+  }
+
+  std::printf("%s\n", sim::sparkline(rate, 64).c_str());
+  std::printf("%s\n", sim::sparkline(loss, 64).c_str());
+
+  sim::TablePrinter table({"Metric", "Measured", "Paper"});
+  table.add_row({"worst region loss rate", sim::format_double(worst, 7),
+                 "~1e-5 .. 1e-4"});
+  table.add_row({"worst-loss day", sim::format_double(worst_day, 1),
+                 "day 6 (festival)"});
+  table.add_row({"mean loss rate", sim::format_double(loss.mean_value(), 8),
+                 "loss occurs 'from time to time'"});
+  table.print();
+  bench::print_note(
+      "losses concentrate where the diurnal/festival peak meets the "
+      "pinned heavy-hitter core — CPU overload, not fabric capacity.");
+  return 0;
+}

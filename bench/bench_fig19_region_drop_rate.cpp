@@ -1,0 +1,65 @@
+// Fig. 19 — "Sailfish's performance in three large cloud regions during a
+// one-week online shopping festival": traffic of dozens of Tbps, packet
+// drop rates steady at 1e-11..1e-10 — six orders of magnitude below the
+// XGW-x86 region of Fig. 5.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sailfish_region_sim.hpp"
+
+using namespace sf;
+
+int main() {
+  bench::print_header(
+      "Fig. 19",
+      "drop rates in three large regions over a festival week");
+
+  struct RegionSpec {
+    const char* name;
+    double scale;
+    double base_tbps;
+    std::uint64_t seed;
+  };
+  // Base rates sized the way production capacity planning does it: the
+  // festival peak (x2.2 on top of the diurnal swing) stays within the
+  // clusters' aggregate envelope with headroom (§6.1 water levels).
+  const RegionSpec specs[] = {
+      {"Region A", 1.0, 20, 100},
+      {"Region B", 0.8, 15, 200},
+      {"Region C", 1.2, 26, 300},
+  };
+
+  sim::TablePrinter table({"Region", "Peak rate", "Mean drop rate",
+                           "Max drop rate", "Paper"});
+  for (const RegionSpec& spec : specs) {
+    bench::SailfishScenario scenario =
+        bench::make_scenario(spec.scale, spec.seed, spec.base_tbps);
+
+    sim::TimeSeries rate(std::string(spec.name) + " rate (Tbps)");
+    sim::TimeSeries loss(std::string(spec.name) + " drop rate");
+    const double step = 3600;
+    double peak = 0;
+    for (double t = 0; t < workload::days(8); t += step) {
+      const double offered = workload::rate_at(scenario.pattern, t);
+      const auto report = scenario.system.region->simulate_interval(
+          scenario.system.flows, offered,
+          static_cast<std::uint64_t>(t / step) ^ spec.seed);
+      rate.record(t / 86400.0, offered / 1e12);
+      loss.record(t / 86400.0, report.drop_rate);
+      peak = std::max(peak, offered);
+    }
+    std::printf("%s\n", sim::sparkline(rate, 56).c_str());
+    std::printf("%s\n", sim::sparkline(loss, 56).c_str());
+    table.add_row({spec.name, sim::format_si(peak, "bps"),
+                   sim::format_double(loss.mean_value(), 12),
+                   sim::format_double(loss.max_value(), 12),
+                   "1e-11 .. 1e-10"});
+  }
+  table.print();
+  bench::print_note(
+      "drops sit at the hardware loss floor even at festival peak: the "
+      "Tofino-class pipes have orders of magnitude more headroom than "
+      "CPU cores (contrast with the Fig. 5 bench).");
+  return 0;
+}

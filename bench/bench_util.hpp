@@ -1,0 +1,29 @@
+// Shared helpers for the reproduction benches: each bench regenerates one
+// table or figure of the paper and prints the paper's reported values next
+// to the measured ones (EXPERIMENTS.md records the comparison).
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/table_printer.hpp"
+#include "sim/timeseries.hpp"
+
+namespace sf::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return sim::format_percent(fraction, precision);
+}
+
+}  // namespace sf::bench

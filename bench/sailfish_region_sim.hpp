@@ -1,0 +1,68 @@
+// Shared helper for the Sailfish operational benches (Figs. 19-22): builds
+// a region at "large cloud region" scale — several XGW-H clusters of many
+// devices carrying dozens of Tbps — and steps it through a festival week.
+
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/sailfish.hpp"
+#include "workload/traffic_pattern.hpp"
+
+namespace sf::bench {
+
+struct SailfishScenario {
+  core::SailfishSystem system;
+  workload::TrafficPattern pattern;
+};
+
+/// `scale` multiplies the region size (VPCs, flows, base rate).
+inline SailfishScenario make_scenario(double scale, std::uint64_t seed,
+                                      double base_tbps) {
+  core::SailfishOptions options;
+  options.topology.vpc_count =
+      static_cast<std::size_t>(400 * scale);
+  options.topology.total_vms = static_cast<std::size_t>(12'000 * scale);
+  options.topology.nc_count = static_cast<std::size_t>(1'500 * scale);
+  options.topology.seed = seed;
+  options.flows.flow_count = static_cast<std::size_t>(20'000 * scale);
+  // Flows aggregate per-(tenant, destination) traffic: the top one is a
+  // fraction of a percent of the region (a few hundred Gbps tenant),
+  // far below any single device's envelope.
+  options.flows.zipf_exponent = 0.5;
+  options.flows.seed = seed + 1;
+
+  // "A single cluster carries dozens of Tbps": 10 primaries x 3.2 Tbps,
+  // with the 1:1 hot-standby backup set (§6.1); four XGW-x86s (§4.2).
+  options.region.controller.cluster_template.primary_devices = 10;
+  options.region.controller.cluster_template.backup_devices = 10;
+  options.region.controller.max_clusters = 4;
+  options.region.controller.initial_clusters = 4;  // pre-built (§6.1)
+  options.region.controller.routes_water_level =
+      static_cast<std::size_t>(
+          600 * scale);  // spread VPCs over several clusters
+  options.region.x86_nodes = 4;
+
+  SailfishScenario scenario{core::make_system(options), {}};
+
+  // Heavy flows are MTU-sized bulk transfers (a Tbps-scale flow at mouse
+  // packets would be an absurd packet rate).
+  auto& flows = scenario.system.flows;
+  std::vector<std::size_t> by_weight(flows.size());
+  std::iota(by_weight.begin(), by_weight.end(), std::size_t{0});
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&](std::size_t a, std::size_t b) {
+              return flows[a].weight > flows[b].weight;
+            });
+  for (std::size_t rank = 0; rank < by_weight.size() / 10; ++rank) {
+    flows[by_weight[rank]].packet_size = 1500;
+  }
+
+  scenario.pattern.base_bps = base_tbps * 1e12;
+  scenario.pattern.festival_start_day = 5.0;
+  scenario.pattern.festival_end_day = 6.0;
+  return scenario;
+}
+
+}  // namespace sf::bench

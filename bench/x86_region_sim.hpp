@@ -1,0 +1,153 @@
+// Shared helper for the motivation benches (Figs. 4-7): a region served by
+// XGW-x86 software gateways only — the pre-Sailfish deployment.
+//
+// Traffic model: a region carries millions of flows; per CPU core their
+// aggregate averages out to a smooth *background* load. What does not
+// average out is the small population of heavy-hitter flows ("a single
+// flow can even reach tens of Gbps", §2.3): RSS pins each to one core.
+// We therefore model background as an even per-core load plus K discrete
+// heavy flows placed by ECMP (gateway) and RSS (core) hashing. Gateways
+// stay balanced (Fig. 6); the cores hosting heavy hitters saturate
+// (Figs. 4/7); their transient excess is the region's packet loss
+// (Fig. 5).
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "net/hash.hpp"
+#include "workload/rng.hpp"
+#include "workload/traffic_pattern.hpp"
+#include "workload/zipf.hpp"
+#include "x86/cost_model.hpp"
+#include "x86/xgw_x86.hpp"
+
+namespace sf::bench {
+
+struct HeavyFlow {
+  std::size_t gateway = 0;
+  unsigned core = 0;
+  double weight = 0;  // share of region traffic
+};
+
+class X86RegionSim {
+ public:
+  struct Config {
+    /// The paper's region runs hundreds of boxes ("15 Tbps / 50 Gbps ...
+    /// 600 gateways!", §2.3); Fig. 6 charts a sample of 15.
+    std::size_t gateways = 400;
+    /// Heavy-hitter flows region-wide; Zipf-shared within heavy_share.
+    std::size_t heavy_flows = 200;
+    double heavy_zipf_exponent = 1.0;
+    /// Fraction of region traffic carried by the discrete heavy flows.
+    /// Calibrated so the top flow is ~11 Gbps at the 20 Tbps base —
+    /// just over one core's ~9.4 Gbps MTU capacity — and the tail stays
+    /// below it: overload is the exception, as in the paper's scenes.
+    double heavy_share = 0.0032;
+    /// Heavy hitters are MTU-sized bulk transfers.
+    double heavy_packet_bytes = 1500;
+    /// Mean packet size of the background mix (IMIX-like).
+    double background_packet_bytes = 700;
+    /// 20 Tbps over 400 boxes ~= 50G per 100G box: the paper's ~50%
+    /// water level.
+    workload::TrafficPattern pattern{.base_bps = 20e12,
+                                     .festival_multiplier = 1.6};
+    /// Minute-scale burstiness of heavy flows (+/- fraction).
+    double flow_burstiness = 0.3;
+    x86::X86CostModel model;
+    std::uint64_t seed = 2021;
+  };
+
+  explicit X86RegionSim(Config config) : config_(config) {
+    workload::Rng rng(config.seed);
+    const std::vector<double> weights = workload::zipf_weights(
+        config.heavy_flows, config.heavy_zipf_exponent);
+    for (std::size_t f = 0; f < config.heavy_flows; ++f) {
+      HeavyFlow flow;
+      flow.gateway = rng.uniform(config.gateways);
+      flow.core = static_cast<unsigned>(rng.uniform(config.model.cores));
+      flow.weight = weights[f] * config.heavy_share;
+      heavy_.push_back(flow);
+    }
+    // Deterministic per-core wobble of the background spread (RSS is
+    // near-uniform over many flows, not exact).
+    wobble_.resize(config.gateways * config.model.cores);
+    for (double& w : wobble_) w = 0.94 + 0.12 * rng.uniform_real();
+  }
+
+  /// One interval at time t: per-gateway reports (x86::IntervalReport
+  /// shape, built from the background + heavy-flow model).
+  std::vector<x86::IntervalReport> step(double t_seconds) const {
+    const double region_bps =
+        workload::rate_at(config_.pattern, t_seconds);
+    const double background_pps_per_core =
+        region_bps * (1.0 - config_.heavy_share) / 8.0 /
+        config_.background_packet_bytes /
+        static_cast<double>(config_.gateways) / config_.model.cores;
+
+    std::vector<x86::IntervalReport> reports(config_.gateways);
+    for (std::size_t g = 0; g < config_.gateways; ++g) {
+      reports[g].cores.resize(config_.model.cores);
+      for (unsigned c = 0; c < config_.model.cores; ++c) {
+        reports[g].cores[c].offered_pps =
+            background_pps_per_core *
+            wobble_[g * config_.model.cores + c];
+      }
+    }
+
+    const std::uint64_t burst_key =
+        static_cast<std::uint64_t>(t_seconds / 60.0) + 1;
+    for (std::size_t f = 0; f < heavy_.size(); ++f) {
+      const HeavyFlow& flow = heavy_[f];
+      const double u =
+          static_cast<double>(net::mix64(burst_key ^ (f * 0x9e3779b9)) >>
+                              11) *
+          0x1.0p-53;
+      const double burst =
+          1.0 + config_.flow_burstiness * (2.0 * u - 1.0);
+      const double pps = flow.weight * region_bps * burst / 8.0 /
+                         config_.heavy_packet_bytes;
+      x86::CoreLoad& core = reports[flow.gateway].cores[flow.core];
+      core.offered_pps += pps;
+      if (pps > core.top1_pps) {
+        core.top2_pps = core.top1_pps;
+        core.top1_pps = pps;
+      } else if (pps > core.top2_pps) {
+        core.top2_pps = pps;
+      }
+    }
+
+    const double capacity = config_.model.core_pps();
+    for (auto& report : reports) {
+      for (auto& core : report.cores) {
+        core.flows = 1;
+        core.processed_pps = std::min(core.offered_pps, capacity);
+        core.dropped_pps = core.offered_pps - core.processed_pps;
+        core.utilization = core.offered_pps / capacity;
+        report.offered_pps += core.offered_pps;
+        report.dropped_pps += core.dropped_pps;
+        report.max_core_utilization =
+            std::max(report.max_core_utilization, core.utilization);
+      }
+      report.drop_rate = report.offered_pps > 0
+                             ? report.dropped_pps / report.offered_pps
+                             : 0;
+    }
+    return reports;
+  }
+
+  /// Gateway hosting the region's heaviest flow (the Fig. 4 box).
+  std::size_t hottest_gateway() const { return heavy_.front().gateway; }
+
+  const Config& config() const { return config_; }
+  const std::vector<HeavyFlow>& heavy_flows() const { return heavy_; }
+  std::size_t gateway_count() const { return config_.gateways; }
+
+ private:
+  Config config_;
+  std::vector<HeavyFlow> heavy_;
+  std::vector<double> wobble_;
+};
+
+}  // namespace sf::bench

@@ -1,0 +1,71 @@
+// Compression explorer: apply any subset of the paper's §4.4 techniques to
+// a workload of your choosing and see the chip occupancy.
+//
+//   ./build/examples/compression_explorer [steps] [routes] [maps] [v6%]
+//
+//   steps   subset of "abcde" (default "abcde"); "-" for none
+//           a=folding b=splitting c=pooling d=entry compression e=ALPM
+//   routes  VXLAN route count (default 1000000)
+//   maps    VM-NC mapping count (default 1000000)
+//   v6%     IPv6 share of entries, 0..100 (default 25)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "asic/placer.hpp"
+#include "sim/table_printer.hpp"
+#include "xgwh/compression_plan.hpp"
+
+using namespace sf;
+
+int main(int argc, char** argv) {
+  std::string steps = argc > 1 ? argv[1] : "abcde";
+  if (steps == "-") steps.clear();
+  const std::size_t routes =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+  const std::size_t maps =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+  const double v6 =
+      (argc > 4 ? std::strtod(argv[4], nullptr) : 25.0) / 100.0;
+
+  asic::GatewayWorkload workload;
+  workload.vxlan_routes_v6 =
+      static_cast<std::size_t>(static_cast<double>(routes) * v6);
+  workload.vxlan_routes_v4 = routes - workload.vxlan_routes_v6;
+  workload.vm_maps_v6 =
+      static_cast<std::size_t>(static_cast<double>(maps) * v6);
+  workload.vm_maps_v4 = maps - workload.vm_maps_v6;
+
+  asic::CompressionConfig config;
+  try {
+    config = xgwh::config_for_steps(steps);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("workload: %zu routes + %zu mappings, %.0f%% IPv6\n", routes,
+              maps, v6 * 100);
+  std::printf("steps enabled:%s\n", steps.empty() ? " (none)" : "");
+  for (char step : steps) {
+    std::printf("  %c. %s\n", step, xgwh::step_description(step).c_str());
+  }
+
+  const asic::Placer placer{asic::ChipConfig{}};
+  const auto report = placer.evaluate(workload, config);
+
+  sim::TablePrinter table({"table", "SRAM words", "TCAM slices"});
+  for (const auto& demand : report.demands) {
+    table.add_row({demand.name, std::to_string(demand.sram_words),
+                   std::to_string(demand.tcam_slices)});
+  }
+  table.print();
+
+  std::printf("\npath occupancy: SRAM %s, TCAM %s -> %s\n",
+              sim::format_percent(report.sram_path_worst, 1).c_str(),
+              sim::format_percent(report.tcam_path_worst, 1).c_str(),
+              report.feasible ? "FITS on the chip"
+                              : "DOES NOT FIT (over capacity)");
+  return 0;
+}

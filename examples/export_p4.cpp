@@ -1,0 +1,44 @@
+// Emits the gateway's P4-16 program sketch (src/xgwh/p4_export.hpp) to a
+// file or stdout — the reviewable artifact corresponding to the paper's
+// production P4 program.
+//
+//   ./build/examples/export_p4 [steps] [output.p4]
+//   steps: subset of "abcde" (default "abcde"); "-" for none.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "xgwh/compression_plan.hpp"
+#include "xgwh/p4_export.hpp"
+
+using namespace sf;
+
+int main(int argc, char** argv) {
+  std::string steps = argc > 1 ? argv[1] : "abcde";
+  if (steps == "-") steps.clear();
+
+  xgwh::P4ExportOptions options;
+  try {
+    options.compression = xgwh::config_for_steps(steps);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  const std::string program = export_p4_program(options);
+
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[2]);
+      return 1;
+    }
+    out << program;
+    std::printf("wrote %zu bytes of P4 to %s (steps: %s)\n",
+                program.size(), argv[2],
+                steps.empty() ? "(none)" : steps.c_str());
+  } else {
+    std::cout << program;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Stateful SNAT cooperation between XGW-H and XGW-x86 — the paper's
+// Fig. 11: a VM without a public address reaches the Internet through the
+// software gateway's SNAT; the response returns through the same binding
+// and is re-encapsulated toward the VM's NC.
+
+#include <cstdio>
+
+#include "x86/xgw_x86.hpp"
+#include "xgwh/xgwh.hpp"
+
+using namespace sf;
+
+int main() {
+  std::printf("Fig. 11 walkthrough: SNAT via XGW-H -> XGW-x86\n\n");
+
+  // Hardware gateway: knows the VPC's routes; Internet scope steers to
+  // the software fleet.
+  xgwh::XgwH hw{xgwh::XgwH::Config{}};
+  hw.install_route(42, net::IpPrefix::must_parse("192.168.0.0/16"),
+                   {tables::RouteScope::kLocal, 0, {}});
+  hw.install_route(42, net::IpPrefix::must_parse("0.0.0.0/0"),
+                   {tables::RouteScope::kInternet, 0, {}});
+  hw.install_mapping({42, net::IpAddr::must_parse("192.168.1.9")},
+                     {net::Ipv4Addr(10, 1, 1, 30)});
+
+  // Software gateway: full tables plus the O(100M)-entry-class session
+  // table (scaled down here).
+  x86::XgwX86::Config sw_config;
+  sw_config.snat.public_ips = {net::Ipv4Addr(203, 0, 113, 7)};
+  x86::XgwX86 sw(sw_config);
+  sw.install_route(42, net::IpPrefix::must_parse("0.0.0.0/0"),
+                   {tables::RouteScope::kInternet, 0, {}});
+  sw.install_route(42, net::IpPrefix::must_parse("192.168.0.0/16"),
+                   {tables::RouteScope::kLocal, 0, {}});
+  sw.install_mapping({42, net::IpAddr::must_parse("192.168.1.9")},
+                     {net::Ipv4Addr(10, 1, 1, 30)});
+
+  // Request: VM 192.168.1.9 fetches a web page.
+  net::OverlayPacket request;
+  request.vni = 42;
+  request.inner.src = net::IpAddr::must_parse("192.168.1.9");
+  request.inner.dst = net::IpAddr::must_parse("93.184.216.34");
+  request.inner.proto = 6;
+  request.inner.src_port = 48000;
+  request.inner.dst_port = 443;
+  request.payload_size = 300;
+
+  const auto hw_result = hw.process(request, /*now=*/1.0);
+  std::printf("XGW-H: %s (outer DIP -> %s)\n",
+              to_string(hw_result.action).c_str(),
+              hw_result.packet.outer_dst_ip.to_string().c_str());
+
+  const auto sw_result = sw.process(request, /*now=*/1.0);
+  std::printf("XGW-x86: %s\n", to_string(sw_result.action).c_str());
+  if (!sw_result.snat) {
+    std::printf("SNAT failed!\n");
+    return 1;
+  }
+  std::printf("  session %s:%u -> %s:%u\n",
+              request.inner.src.to_string().c_str(),
+              request.inner.src_port,
+              request.inner.dst.to_string().c_str(),
+              request.inner.dst_port);
+  std::printf("  translated source: %s:%u (public)\n",
+              sw_result.snat->public_ip.to_string().c_str(),
+              sw_result.snat->public_port);
+  const auto stats = sw.snat().stats();
+  std::printf("  active sessions: %zu / pool capacity %zu\n",
+              stats.active_sessions, sw.snat().capacity());
+
+  // Response from the Internet peer: arrives at XGW-x86 (the public IP is
+  // its), reverses the binding, re-encapsulates toward the VM's NC.
+  auto response = sw.process_response(
+      *sw_result.snat, request.inner.dst, request.inner.dst_port,
+      /*payload_size=*/900, /*now=*/1.2);
+  if (!response) {
+    std::printf("reverse translation failed!\n");
+    return 1;
+  }
+  std::printf(
+      "\nresponse path: public %s:%u -> VM %s (VXLAN vni %u, outer DIP "
+      "%s = the VM's NC)\n",
+      sw_result.snat->public_ip.to_string().c_str(),
+      sw_result.snat->public_port, response->inner.dst.to_string().c_str(),
+      response->vni, response->outer_dst_ip.to_string().c_str());
+
+  // Idle sessions expire and their bindings return to the pool.
+  const std::size_t reclaimed = sw.snat().expire(/*now=*/1000.0);
+  std::printf("after timeout: %zu session(s) reclaimed\n", reclaimed);
+  return 0;
+}

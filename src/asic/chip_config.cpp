@@ -1,0 +1,11 @@
+// ChipConfig is a header-only value type (asic/chip_config.hpp); this TU
+// exists to give the library a home for future non-inline helpers and to
+// validate the header compiles standalone.
+
+#include "asic/chip_config.hpp"
+
+namespace sf::asic {
+
+static_assert(ChipConfig{}.pipelines == 4);
+
+}  // namespace sf::asic

@@ -1,0 +1,112 @@
+// SfChip: the architectural model of the programmable switching ASIC.
+//
+// Geometry and rate parameters mirror a Tofino-class 6.4T chip and are
+// calibrated so that the paper's workload reproduces Table 2 from first
+// principles (DESIGN.md §1):
+//
+//   * 4 pipelines x 12 stages.
+//   * Per stage: 70 SRAM blocks (2048 words x 128 bit) and 26 TCAM blocks
+//     (2048 rows x 44-bit slice). Per pipeline that is 1,720,320 SRAM
+//     words and 638,976 TCAM slices.
+//   * 1 M VXLAN v4 routes at 2 slices each -> 313% of one pipeline's TCAM
+//     (paper: 311%); 1 M VM-NC v4 mappings at 1 word each -> 58.1% of one
+//     pipeline's SRAM (paper: 58%).
+//
+// Cost rules:
+//   * TCAM: ceil(key_bits / slice_bits) slices per entry.
+//   * SRAM exact match: ceil((key + action + 16 meta bits) / word) words;
+//     keys wider than one word double the bill (dual-bank replication for
+//     the two-stage wide hash) — this is what makes a v6 VM-NC entry cost
+//     4 words (paper: 233% vs 58%).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tables/entry.hpp"
+
+namespace sf::asic {
+
+struct ChipConfig {
+  unsigned pipelines = 4;
+  unsigned stages_per_pipeline = 12;
+
+  unsigned sram_blocks_per_stage = 70;
+  unsigned sram_block_words = 2048;
+  unsigned sram_word_bits = 128;
+
+  unsigned tcam_blocks_per_stage = 26;
+  unsigned tcam_block_rows = 2048;
+  unsigned tcam_slice_bits = 44;
+
+  /// One full pass (ingress + egress) through a pipeline, light load.
+  double pass_latency_us = 1.08;
+  /// Store-and-forward / serialization cost per byte of wire size.
+  double latency_ns_per_byte = 0.145;
+
+  /// Line rate per pipeline; 4 x 1.6T = the 6.4T chip.
+  double line_rate_bps_per_pipe = 1.6e12;
+  /// Packet-rate ceiling per pipeline (MAU clock bound).
+  double packet_rate_pps_per_pipe = 0.9e9;
+
+  /// PHV capacity available for user metadata, per gress (bits). "Scarce
+  /// but not exhausted yet" (§6.2).
+  unsigned phv_metadata_bits = 1536;
+
+  // ---- derived geometry -------------------------------------------------
+
+  std::size_t sram_words_per_stage() const {
+    return std::size_t{sram_blocks_per_stage} * sram_block_words;
+  }
+  std::size_t sram_words_per_pipeline() const {
+    return sram_words_per_stage() * stages_per_pipeline;
+  }
+  std::size_t tcam_slices_per_stage() const {
+    return std::size_t{tcam_blocks_per_stage} * tcam_block_rows;
+  }
+  std::size_t tcam_slices_per_pipeline() const {
+    return tcam_slices_per_stage() * stages_per_pipeline;
+  }
+
+  // ---- per-entry cost model ----------------------------------------------
+
+  /// TCAM slices for a ternary/LPM entry of the given key width.
+  unsigned tcam_slices_per_entry(unsigned key_bits) const {
+    return (key_bits + tcam_slice_bits - 1) / tcam_slice_bits;
+  }
+
+  /// SRAM words for one exact-match entry (key + action + overhead), with
+  /// the wide-key dual-bank rule.
+  unsigned sram_words_per_entry(unsigned key_bits,
+                                unsigned action_bits) const {
+    const unsigned meta_bits = 16;  // valid/version/ECC overhead
+    unsigned words =
+        (key_bits + action_bits + meta_bits + sram_word_bits - 1) /
+        sram_word_bits;
+    if (key_bits > sram_word_bits) words *= 2;
+    return words;
+  }
+
+  // ---- performance model (Fig. 18) ---------------------------------------
+
+  /// Aggregate throughput with `active_pipes` pipelines accepting traffic
+  /// from the wire (folding halves this: loopback pipes carry the same
+  /// packet again).
+  double throughput_bps(unsigned active_pipes) const {
+    return line_rate_bps_per_pipe * active_pipes;
+  }
+
+  /// Aggregate packet rate ceiling.
+  double packet_rate_pps(unsigned active_pipes) const {
+    return packet_rate_pps_per_pipe * active_pipes;
+  }
+
+  /// Forwarding latency for a packet traversing `passes` pipeline passes.
+  double latency_us(unsigned passes, std::size_t wire_bytes) const {
+    return pass_latency_us * passes +
+           latency_ns_per_byte * static_cast<double>(wire_bytes) / 1000.0;
+  }
+};
+
+}  // namespace sf::asic

@@ -1,0 +1,100 @@
+#include "asic/memory.hpp"
+
+#include <stdexcept>
+
+namespace sf::asic {
+
+ChipMemory::ChipMemory(const ChipConfig& config) : config_(config) {
+  stages_.resize(std::size_t{config.pipelines} * config.stages_per_pipeline);
+  for (StageMemory& stage : stages_) {
+    stage.sram_words_free = config.sram_words_per_stage();
+    stage.tcam_slices_free = config.tcam_slices_per_stage();
+  }
+}
+
+StageMemory& ChipMemory::stage(unsigned pipeline, unsigned stage_index) {
+  return stages_.at(std::size_t{pipeline} * config_.stages_per_pipeline +
+                    stage_index);
+}
+
+const StageMemory& ChipMemory::stage(unsigned pipeline,
+                                     unsigned stage_index) const {
+  return stages_.at(std::size_t{pipeline} * config_.stages_per_pipeline +
+                    stage_index);
+}
+
+std::optional<std::vector<Extent>> ChipMemory::allocate(
+    unsigned pipeline, MemoryKind kind, std::size_t units,
+    const std::string& owner) {
+  if (pipeline >= config_.pipelines) {
+    throw std::out_of_range("pipeline index out of range");
+  }
+  if (units == 0) return std::vector<Extent>{};
+  if (free_units(pipeline, kind) < units) return std::nullopt;
+
+  std::vector<Extent> extents;
+  std::size_t remaining = units;
+  for (unsigned s = 0; s < config_.stages_per_pipeline && remaining > 0;
+       ++s) {
+    StageMemory& mem = stage(pipeline, s);
+    std::size_t& free =
+        kind == MemoryKind::kSram ? mem.sram_words_free : mem.tcam_slices_free;
+    std::size_t& used =
+        kind == MemoryKind::kSram ? mem.sram_words_used : mem.tcam_slices_used;
+    if (free == 0) continue;
+    const std::size_t take = std::min(free, remaining);
+    free -= take;
+    used += take;
+    remaining -= take;
+    extents.push_back(Extent{pipeline, s, kind, take});
+  }
+  allocations_.push_back(Allocation{owner, extents});
+  return extents;
+}
+
+void ChipMemory::release(const std::vector<Extent>& extents) {
+  for (const Extent& extent : extents) {
+    StageMemory& mem = stage(extent.pipeline, extent.stage);
+    if (extent.kind == MemoryKind::kSram) {
+      mem.sram_words_free += extent.units;
+      mem.sram_words_used -= extent.units;
+    } else {
+      mem.tcam_slices_free += extent.units;
+      mem.tcam_slices_used -= extent.units;
+    }
+  }
+}
+
+std::size_t ChipMemory::free_units(unsigned pipeline, MemoryKind kind) const {
+  std::size_t total = 0;
+  for (unsigned s = 0; s < config_.stages_per_pipeline; ++s) {
+    const StageMemory& mem = stage(pipeline, s);
+    total += kind == MemoryKind::kSram ? mem.sram_words_free
+                                       : mem.tcam_slices_free;
+  }
+  return total;
+}
+
+std::size_t ChipMemory::used_units(unsigned pipeline, MemoryKind kind) const {
+  std::size_t total = 0;
+  for (unsigned s = 0; s < config_.stages_per_pipeline; ++s) {
+    const StageMemory& mem = stage(pipeline, s);
+    total += kind == MemoryKind::kSram ? mem.sram_words_used
+                                       : mem.tcam_slices_used;
+  }
+  return total;
+}
+
+std::size_t ChipMemory::capacity_units(unsigned pipeline,
+                                       MemoryKind kind) const {
+  (void)pipeline;
+  return kind == MemoryKind::kSram ? config_.sram_words_per_pipeline()
+                                   : config_.tcam_slices_per_pipeline();
+}
+
+double ChipMemory::occupancy(unsigned pipeline, MemoryKind kind) const {
+  return static_cast<double>(used_units(pipeline, kind)) /
+         static_cast<double>(capacity_units(pipeline, kind));
+}
+
+}  // namespace sf::asic

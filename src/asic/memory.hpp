@@ -1,0 +1,80 @@
+// Per-stage memory accounting — the constraint at the heart of the paper.
+//
+// Each stage owns its SRAM and TCAM; no stage (or pipeline) can borrow from
+// another (§3.2). A logical table larger than one stage must be split
+// across stages of the same pipeline (the compiler handles that, §3.3) —
+// the allocator here does the same: an allocation is a list of extents,
+// greedily packed stage by stage. Cross-pipeline placement is *not*
+// automatic; that is exactly the placer's job (asic/placer.hpp).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/chip_config.hpp"
+
+namespace sf::asic {
+
+enum class MemoryKind : std::uint8_t { kSram, kTcam };
+
+/// One contiguous chunk of an allocation inside a single stage.
+struct Extent {
+  unsigned pipeline = 0;
+  unsigned stage = 0;
+  MemoryKind kind = MemoryKind::kSram;
+  std::size_t units = 0;  // SRAM words or TCAM slices
+};
+
+/// Free/used unit counters of one stage.
+struct StageMemory {
+  std::size_t sram_words_free = 0;
+  std::size_t tcam_slices_free = 0;
+  std::size_t sram_words_used = 0;
+  std::size_t tcam_slices_used = 0;
+};
+
+/// All memory of one chip; allocations are tracked per stage.
+class ChipMemory {
+ public:
+  explicit ChipMemory(const ChipConfig& config);
+
+  /// Allocates `units` of `kind` within one pipeline, splitting across its
+  /// stages front to back. Returns std::nullopt (and leaves state
+  /// unchanged) when the pipeline cannot hold the request.
+  std::optional<std::vector<Extent>> allocate(unsigned pipeline,
+                                              MemoryKind kind,
+                                              std::size_t units,
+                                              const std::string& owner);
+
+  /// Releases previously allocated extents.
+  void release(const std::vector<Extent>& extents);
+
+  std::size_t free_units(unsigned pipeline, MemoryKind kind) const;
+  std::size_t used_units(unsigned pipeline, MemoryKind kind) const;
+  std::size_t capacity_units(unsigned pipeline, MemoryKind kind) const;
+
+  /// used / capacity for one pipeline.
+  double occupancy(unsigned pipeline, MemoryKind kind) const;
+
+  const ChipConfig& config() const { return config_; }
+
+  /// Named allocations, for reports.
+  struct Allocation {
+    std::string owner;
+    std::vector<Extent> extents;
+  };
+  const std::vector<Allocation>& allocations() const { return allocations_; }
+
+ private:
+  StageMemory& stage(unsigned pipeline, unsigned stage_index);
+  const StageMemory& stage(unsigned pipeline, unsigned stage_index) const;
+
+  ChipConfig config_;
+  std::vector<StageMemory> stages_;  // pipeline-major
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace sf::asic

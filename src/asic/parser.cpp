@@ -1,0 +1,183 @@
+#include "asic/parser.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace sf::asic {
+namespace {
+
+bool is_terminal(const std::string& state) {
+  return state == "accept" || state == "reject";
+}
+
+}  // namespace
+
+bool ParserGraph::add_state(const std::string& name,
+                            std::size_t extract_bytes) {
+  if (states_.size() >= budget_.max_states || states_.contains(name) ||
+      is_terminal(name)) {
+    return false;
+  }
+  states_.emplace(name, State{extract_bytes, {}});
+  return true;
+}
+
+bool ParserGraph::add_transition(const std::string& from,
+                                 Transition transition) {
+  auto it = states_.find(from);
+  if (it == states_.end()) return false;
+  if (transitions_total_ >= budget_.max_transitions) return false;
+  it->second.transitions.push_back(std::move(transition));
+  ++transitions_total_;
+  return true;
+}
+
+ParserGraph::Validation ParserGraph::validate() const {
+  if (!states_.contains("start")) {
+    return {false, "no start state"};
+  }
+  // Referenced states exist.
+  for (const auto& [name, state] : states_) {
+    if (state.transitions.empty()) {
+      return {false, "state " + name + " has no way out"};
+    }
+    for (const Transition& t : state.transitions) {
+      if (!is_terminal(t.next_state) && !states_.contains(t.next_state)) {
+        return {false,
+                name + " -> unknown state " + t.next_state};
+      }
+    }
+  }
+  // Reachability + longest extract path via BFS over the DAG; cycles are
+  // detected with a path-extract bound (a parser loop would re-extract).
+  std::set<std::string> reached;
+  std::deque<std::pair<std::string, std::size_t>> frontier;
+  frontier.push_back({"start", 0});
+  std::size_t expansions = 0;
+  while (!frontier.empty()) {
+    auto [name, extracted] = frontier.front();
+    frontier.pop_front();
+    if (++expansions > states_.size() * budget_.max_transitions + 1) {
+      return {false, "parse graph contains a cycle"};
+    }
+    const State& state = states_.at(name);
+    const std::size_t total = extracted + state.extract_bytes;
+    if (total > budget_.max_extract_bytes) {
+      return {false, "path through " + name + " extracts " +
+                         std::to_string(total) + " bytes, budget " +
+                         std::to_string(budget_.max_extract_bytes)};
+    }
+    reached.insert(name);
+    for (const Transition& t : state.transitions) {
+      if (!is_terminal(t.next_state)) {
+        frontier.push_back({t.next_state, total});
+      }
+    }
+  }
+  for (const auto& [name, state] : states_) {
+    if (!reached.contains(name)) {
+      return {false, "state " + name + " unreachable from start"};
+    }
+  }
+  return {true, ""};
+}
+
+ParserGraph::WalkResult ParserGraph::walk(
+    const std::vector<std::uint32_t>& selects) const {
+  WalkResult result;
+  std::string current = "start";
+  std::size_t select_index = 0;
+  for (std::size_t hops = 0; hops <= states_.size() + 1; ++hops) {
+    auto it = states_.find(current);
+    if (it == states_.end()) {
+      result.error = "unknown state " + current;
+      return result;
+    }
+    result.path.push_back(current);
+    result.extracted_bytes += it->second.extract_bytes;
+    if (result.extracted_bytes > budget_.max_extract_bytes) {
+      result.error = "extract budget exceeded";
+      return result;
+    }
+
+    const bool selecting = std::any_of(
+        it->second.transitions.begin(), it->second.transitions.end(),
+        [](const Transition& t) { return t.select.has_value(); });
+    const Transition* chosen = nullptr;
+    if (selecting) {
+      if (select_index >= selects.size()) {
+        result.error = "ran out of select values at " + current;
+        return result;
+      }
+      const std::uint32_t value = selects[select_index++];
+      for (const Transition& t : it->second.transitions) {
+        if (t.select == value) {
+          chosen = &t;
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      for (const Transition& t : it->second.transitions) {
+        if (!t.select.has_value()) {
+          chosen = &t;
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      result.error = "no matching transition out of " + current;
+      return result;
+    }
+    if (chosen->next_state == "accept") {
+      result.accepted = true;
+      return result;
+    }
+    if (chosen->next_state == "reject") {
+      result.error = "rejected at " + current;
+      return result;
+    }
+    current = chosen->next_state;
+  }
+  result.error = "walk did not terminate";
+  return result;
+}
+
+ParserGraph sailfish_parser_graph() {
+  ParserGraph graph;
+  graph.add_state("start", 14);          // outer Ethernet
+  graph.add_state("outer_ipv4", 20);
+  graph.add_state("outer_ipv6", 40);
+  graph.add_state("outer_udp", 8);
+  graph.add_state("vxlan", 8);
+  graph.add_state("inner_ethernet", 14);
+  graph.add_state("inner_ipv4", 20);
+  graph.add_state("inner_ipv6", 40);
+  graph.add_state("inner_l4", 20);
+
+  graph.add_transition("start", {0x0800, "outer_ipv4"});
+  graph.add_transition("start", {0x86dd, "outer_ipv6"});
+  graph.add_transition("start", {std::nullopt, "reject"});
+  graph.add_transition("outer_ipv4", {17, "outer_udp"});
+  graph.add_transition("outer_ipv4", {std::nullopt, "reject"});
+  graph.add_transition("outer_ipv6", {17, "outer_udp"});
+  graph.add_transition("outer_ipv6", {std::nullopt, "reject"});
+  graph.add_transition("outer_udp", {4789, "vxlan"});
+  graph.add_transition("outer_udp", {std::nullopt, "reject"});
+  graph.add_transition("vxlan", {std::nullopt, "inner_ethernet"});
+  graph.add_transition("inner_ethernet", {0x0800, "inner_ipv4"});
+  graph.add_transition("inner_ethernet", {0x86dd, "inner_ipv6"});
+  graph.add_transition("inner_ethernet", {std::nullopt, "reject"});
+  graph.add_transition("inner_ipv4", {std::nullopt, "inner_l4"});
+  graph.add_transition("inner_ipv6", {std::nullopt, "inner_l4"});
+  graph.add_transition("inner_l4", {std::nullopt, "accept"});
+  return graph;
+}
+
+std::vector<std::uint32_t> sailfish_selects(bool outer_v6, bool inner_v6) {
+  return {outer_v6 ? 0x86ddu : 0x0800u, 17u, 4789u,
+          inner_v6 ? 0x86ddu : 0x0800u};
+}
+
+}  // namespace sf::asic

@@ -1,0 +1,95 @@
+// RMT parser model.
+//
+// A programmable switch's parser is its own little machine: a TCAM-driven
+// state graph that extracts header fields into the PHV, with hard budgets
+// on states and on bytes extracted per packet. The gateway's parse graph
+// (Ethernet -> outer IP -> UDP -> VXLAN -> inner Ethernet -> inner IP) has
+// to fit those budgets just like the tables have to fit the MAU memories;
+// this model checks that, and simulates the state walk for a packet's
+// header-type sequence.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sf::asic {
+
+class ParserGraph {
+ public:
+  struct Budget {
+    /// Parser TCAM entries (state-transition rows).
+    std::size_t max_transitions = 256;
+    std::size_t max_states = 32;
+    /// Header bytes extracted along any path.
+    std::size_t max_extract_bytes = 256;
+  };
+
+  struct Transition {
+    /// Select value matched against the current state's select field
+    /// (e.g. ether_type); nullopt = default transition.
+    std::optional<std::uint32_t> select;
+    std::string next_state;  // "accept" and "reject" are terminal
+  };
+
+  ParserGraph();
+  explicit ParserGraph(Budget budget) : budget_(budget) {}
+
+  /// Adds a state extracting `extract_bytes` of header. Returns false if
+  /// the state budget is exhausted or the name already exists.
+  bool add_state(const std::string& name, std::size_t extract_bytes);
+
+  /// Adds a transition out of `from`. Returns false when the transition
+  /// budget is exhausted or `from` is unknown.
+  bool add_transition(const std::string& from, Transition transition);
+
+  struct Validation {
+    bool ok = false;
+    std::string error;
+  };
+
+  /// Structural checks: every referenced state exists, every state is
+  /// reachable from "start", every path terminates, and no path exceeds
+  /// the extract budget.
+  Validation validate() const;
+
+  struct WalkResult {
+    bool accepted = false;
+    std::vector<std::string> path;
+    std::size_t extracted_bytes = 0;
+    std::string error;
+  };
+
+  /// Simulates the state walk for a packet described by its sequence of
+  /// select values (one value consumed per state that has selecting
+  /// transitions).
+  WalkResult walk(const std::vector<std::uint32_t>& selects) const;
+
+  std::size_t state_count() const { return states_.size(); }
+  std::size_t transition_count() const { return transitions_total_; }
+  const Budget& budget() const { return budget_; }
+
+ private:
+  struct State {
+    std::size_t extract_bytes = 0;
+    std::vector<Transition> transitions;
+  };
+
+  Budget budget_;
+  std::unordered_map<std::string, State> states_;
+  std::size_t transitions_total_ = 0;
+};
+
+/// The Sailfish gateway's parse graph (matches the exported P4 parser).
+ParserGraph sailfish_parser_graph();
+
+/// Select sequences for the four overlay header combinations
+/// (outer v4/v6 x inner v4/v6), for tests and budget reports.
+std::vector<std::uint32_t> sailfish_selects(bool outer_v6, bool inner_v6);
+
+inline ParserGraph::ParserGraph() : ParserGraph(Budget{}) {}
+
+}  // namespace sf::asic

@@ -1,0 +1,77 @@
+#include "asic/phv.hpp"
+
+#include <algorithm>
+
+namespace sf::asic {
+
+Phv::Field* Phv::find(const std::string& name) {
+  for (Field& field : fields_) {
+    if (field.name == name) return &field;
+  }
+  return nullptr;
+}
+
+const Phv::Field* Phv::find(const std::string& name) const {
+  for (const Field& field : fields_) {
+    if (field.name == name) return &field;
+  }
+  return nullptr;
+}
+
+void Phv::set(const std::string& name, std::uint64_t value, unsigned bits,
+              bool bridged) {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("PHV field width must be 1..64 bits");
+  }
+  if (Field* field = find(name); field != nullptr) {
+    if (used_bits() - field->bits + bits > budget_bits_) {
+      throw std::length_error("PHV budget exceeded: " + name);
+    }
+    field->value = value;
+    field->bits = bits;
+    field->bridged = field->bridged || bridged;
+    return;
+  }
+  if (used_bits() + bits > budget_bits_) {
+    throw std::length_error("PHV budget exceeded: " + name);
+  }
+  fields_.push_back(Field{name, value, bits, bridged});
+}
+
+std::optional<std::uint64_t> Phv::get(const std::string& name) const {
+  const Field* field = find(name);
+  if (field == nullptr) return std::nullopt;
+  return field->value;
+}
+
+void Phv::bridge(const std::string& name) {
+  if (Field* field = find(name); field != nullptr) field->bridged = true;
+}
+
+unsigned Phv::cross_gress() {
+  unsigned bridged_bits = 0;
+  std::erase_if(fields_, [&](const Field& field) {
+    if (field.bridged) {
+      bridged_bits += field.bits;
+      return false;
+    }
+    return true;
+  });
+  // Bridged fields survive exactly one crossing; re-bridge to carry again.
+  for (Field& field : fields_) field.bridged = false;
+  bridged_bits_total_ += bridged_bits;
+  return bridged_bits;
+}
+
+unsigned Phv::used_bits() const {
+  unsigned total = 0;
+  for (const Field& field : fields_) total += field.bits;
+  return total;
+}
+
+void Phv::clear() {
+  fields_.clear();
+  bridged_bits_total_ = 0;
+}
+
+}  // namespace sf::asic

@@ -1,0 +1,64 @@
+// Packet header vector / metadata model.
+//
+// Metadata written in one gress is invisible in the next unless *bridged*
+// — appended to the packet, which costs wire bytes and therefore
+// throughput (§3.2, §4.4). Pipeline folding turns one possible bridge into
+// three, which is why the gateway program groups tables that share
+// metadata into the same gress. The Phv enforces a per-gress bit budget so
+// programs feel the "PHV resources are scarce" constraint (§6.2).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sf::asic {
+
+class Phv {
+ public:
+  explicit Phv(unsigned budget_bits = 1536) : budget_bits_(budget_bits) {}
+
+  /// Writes a field (creating it on first write). Throws std::length_error
+  /// when the budget would be exceeded.
+  void set(const std::string& name, std::uint64_t value, unsigned bits,
+           bool bridged = false);
+
+  std::optional<std::uint64_t> get(const std::string& name) const;
+
+  bool has(const std::string& name) const { return get(name).has_value(); }
+
+  /// Marks an existing field for bridging across the next gress boundary.
+  void bridge(const std::string& name);
+
+  /// Crosses a gress boundary: non-bridged fields are dropped; returns the
+  /// number of bits appended to the packet for the bridged ones.
+  unsigned cross_gress();
+
+  unsigned used_bits() const;
+  unsigned budget_bits() const { return budget_bits_; }
+
+  /// Total bits bridged so far (wire overhead accounting).
+  unsigned bridged_bits_total() const { return bridged_bits_total_; }
+
+  void clear();
+
+ private:
+  struct Field {
+    std::string name;
+    std::uint64_t value = 0;
+    unsigned bits = 0;
+    bool bridged = false;
+  };
+
+  Field* find(const std::string& name);
+  const Field* find(const std::string& name) const;
+
+  unsigned budget_bits_;
+  unsigned bridged_bits_total_ = 0;
+  std::vector<Field> fields_;
+};
+
+}  // namespace sf::asic

@@ -1,0 +1,10 @@
+// PipelineProgram is header-only (asic/pipeline.hpp); this TU keeps the
+// header honest under standalone compilation.
+
+#include "asic/pipeline.hpp"
+
+namespace sf::asic {
+
+static_assert(sizeof(PacketContext) > 0);
+
+}  // namespace sf::asic

@@ -1,0 +1,84 @@
+// Pipeline structure: per-(pipeline, gress) programs and loopback ports.
+//
+// A program is an ordered list of stage functions (match-action lookups
+// bound by the gateway, xgwh/gateway_program.hpp). The walker runs a packet
+// through Ingress(pipe) -> [traffic manager] -> Egress(egress_pipe); when
+// the egress pipe is in loopback mode the packet re-enters that pipe's
+// ingress — the §4.4 "pipeline folding" datapath of Fig. 13.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "asic/chip_config.hpp"
+#include "asic/phv.hpp"
+#include "net/packet.hpp"
+
+namespace sf::asic {
+
+enum class Gress : std::uint8_t { kIngress, kEgress };
+
+/// Mutable state a packet carries through the chip.
+struct PacketContext {
+  net::OverlayPacket packet;
+  Phv meta;
+  unsigned pipe = 0;
+  Gress gress = Gress::kIngress;
+  bool dropped = false;
+  std::string drop_reason;
+  /// Ingress sets this to steer the packet through the traffic manager;
+  /// unset means "stay on the same pipeline".
+  std::optional<unsigned> egress_pipe;
+
+  void drop(std::string reason) {
+    dropped = true;
+    drop_reason = std::move(reason);
+  }
+};
+
+using StageFn = std::function<void(PacketContext&)>;
+
+struct GressProgram {
+  std::string name;
+  std::vector<StageFn> stages;
+};
+
+/// The chip's program binding: who runs where, and which egress ports are
+/// looped back.
+class PipelineProgram {
+ public:
+  explicit PipelineProgram(unsigned pipelines = 4)
+      : ingress_(pipelines), egress_(pipelines), loopback_(pipelines, false) {}
+
+  void set_ingress(unsigned pipe, GressProgram program) {
+    ingress_.at(pipe) = std::move(program);
+  }
+  void set_egress(unsigned pipe, GressProgram program) {
+    egress_.at(pipe) = std::move(program);
+  }
+  /// Puts a pipe's egress ports in loopback mode (folding).
+  void set_loopback(unsigned pipe, bool enabled) {
+    loopback_.at(pipe) = enabled;
+  }
+
+  const GressProgram& ingress(unsigned pipe) const {
+    return ingress_.at(pipe);
+  }
+  const GressProgram& egress(unsigned pipe) const { return egress_.at(pipe); }
+  bool loopback(unsigned pipe) const { return loopback_.at(pipe); }
+  unsigned pipelines() const {
+    return static_cast<unsigned>(ingress_.size());
+  }
+
+ private:
+  std::vector<GressProgram> ingress_;
+  std::vector<GressProgram> egress_;
+  std::vector<bool> loopback_;
+};
+
+}  // namespace sf::asic

@@ -1,0 +1,274 @@
+#include "asic/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tables/service_tables.hpp"
+#include "tables/tcam.hpp"
+
+namespace sf::asic {
+namespace {
+
+// Analytic ALPM estimate when no measured stats are supplied: partitions
+// sized by expected fill, one directory row (pooled key width) and a
+// reserved single-word bucket slot set per partition.
+AlpmDemand estimate_alpm(const ChipConfig& chip, std::size_t routes,
+                         const CompressionConfig& config) {
+  const double fill = std::clamp(config.alpm_estimated_fill, 0.05, 1.0);
+  const std::size_t partitions = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             static_cast<double>(routes) /
+             (fill * static_cast<double>(config.alpm_max_bucket)))));
+  AlpmDemand demand;
+  demand.directory_slices =
+      partitions * chip.tcam_slices_per_entry(tables::kPooledRouteKeyBits);
+  demand.bucket_words = partitions * config.alpm_max_bucket;
+  return demand;
+}
+
+}  // namespace
+
+std::vector<TableDemand> compute_demands(const ChipConfig& chip,
+                                         const GatewayWorkload& workload,
+                                         const CompressionConfig& config) {
+  std::vector<TableDemand> demands;
+
+  // ---- VXLAN routing table (LPM) ----------------------------------------
+  const std::size_t routes =
+      workload.vxlan_routes_v4 + workload.vxlan_routes_v6;
+  if (config.alpm) {
+    const AlpmDemand alpm = config.measured_alpm
+                                ? *config.measured_alpm
+                                : estimate_alpm(chip, routes, config);
+    demands.push_back(TableDemand{"vxlan_route_alpm_dir", 0,
+                                  alpm.directory_slices, true,
+                                  PathSlot::kFrontIngress});
+    demands.push_back(TableDemand{"vxlan_route_alpm_buckets",
+                                  alpm.bucket_words, 0, true,
+                                  PathSlot::kFrontIngress});
+  } else if (config.pool) {
+    // One dual-stack table: every key is the 153-bit pooled key.
+    demands.push_back(TableDemand{
+        "vxlan_route_pooled", 0,
+        routes * chip.tcam_slices_per_entry(tables::kPooledRouteKeyBits),
+        true, PathSlot::kFrontIngress});
+  } else {
+    demands.push_back(TableDemand{
+        "vxlan_route_v4", 0,
+        workload.vxlan_routes_v4 *
+            chip.tcam_slices_per_entry(
+                tables::vxlan_route_key_bits(net::IpFamily::kV4)),
+        true, PathSlot::kFrontIngress});
+    demands.push_back(TableDemand{
+        "vxlan_route_v6", 0,
+        workload.vxlan_routes_v6 *
+            chip.tcam_slices_per_entry(
+                tables::vxlan_route_key_bits(net::IpFamily::kV6)),
+        true, PathSlot::kFrontIngress});
+  }
+
+  // ---- VM-NC mapping table (exact) ---------------------------------------
+  const std::size_t maps = workload.vm_maps_v4 + workload.vm_maps_v6;
+  if (config.compress) {
+    // Pooled digest table: label ‖ VNI ‖ 32-bit ip/digest -> one word;
+    // conflicts keep the wide key.
+    const unsigned pooled_words =
+        chip.sram_words_per_entry(1 + 24 + 32, tables::kVmNcActionBits);
+    const unsigned conflict_words = chip.sram_words_per_entry(
+        tables::vm_nc_key_bits(net::IpFamily::kV6), tables::kVmNcActionBits);
+    demands.push_back(TableDemand{
+        "vm_nc_pooled", maps * pooled_words, 0, true,
+        PathSlot::kBackIngress});
+    demands.push_back(TableDemand{
+        "vm_nc_conflicts", workload.digest_conflicts * conflict_words, 0,
+        false, PathSlot::kBackIngress});
+  } else {
+    demands.push_back(TableDemand{
+        "vm_nc_v4",
+        workload.vm_maps_v4 *
+            chip.sram_words_per_entry(
+                tables::vm_nc_key_bits(net::IpFamily::kV4),
+                tables::kVmNcActionBits),
+        0, true, PathSlot::kBackIngress});
+    demands.push_back(TableDemand{
+        "vm_nc_v6",
+        workload.vm_maps_v6 *
+            chip.sram_words_per_entry(
+                tables::vm_nc_key_bits(net::IpFamily::kV6),
+                tables::kVmNcActionBits),
+        0, true, PathSlot::kBackIngress});
+  }
+
+  // ---- service tables (Table 4 only; zero counts otherwise) --------------
+  if (workload.acl_rules > 0) {
+    demands.push_back(TableDemand{
+        "acl", 0,
+        workload.acl_rules *
+            chip.tcam_slices_per_entry(tables::AclTable::kKeyBits),
+        true, PathSlot::kFrontIngress});
+  }
+  if (workload.meters > 0) {
+    // Meter state: rate config + bucket level, 1 word each.
+    demands.push_back(TableDemand{"meters", workload.meters, 0, true,
+                                  PathSlot::kBackIngress});
+  }
+  if (workload.counters > 0) {
+    demands.push_back(TableDemand{"counters", workload.counters, 0, true,
+                                  PathSlot::kFrontEgress});
+  }
+  if (workload.steering_entries > 0) {
+    // Fallback steering (special VNI -> XGW-x86 next hop): exact, small.
+    demands.push_back(TableDemand{
+        "fallback_steering",
+        workload.steering_entries * chip.sram_words_per_entry(24, 32), 0,
+        false, PathSlot::kBackEgress});
+  }
+  return demands;
+}
+
+OccupancyReport Placer::evaluate(const GatewayWorkload& workload,
+                                 const CompressionConfig& config) const {
+  return place(compute_demands(chip_, workload, config), config);
+}
+
+OccupancyReport Placer::place(std::vector<TableDemand> demands,
+                              const CompressionConfig& config) const {
+  if (config.split && !config.fold) {
+    throw std::invalid_argument(
+        "table splitting between pipelines requires pipeline folding");
+  }
+
+  OccupancyReport report;
+  report.demands = demands;
+  report.pipes.resize(chip_.pipelines);
+
+  // Paths: folded -> {0,1} and {2,3}; unfolded -> each pipeline is an
+  // independent gateway holding everything.
+  struct Path {
+    std::vector<unsigned> pipes;
+  };
+  std::vector<Path> paths;
+  if (config.fold) {
+    for (unsigned p = 0; p + 1 < chip_.pipelines; p += 2) {
+      paths.push_back(Path{{p, p + 1}});
+    }
+  } else {
+    for (unsigned p = 0; p < chip_.pipelines; ++p) {
+      paths.push_back(Path{{p}});
+    }
+  }
+
+  ChipMemory memory(chip_);
+  bool feasible = true;
+  report.paths.resize(paths.size());
+  // Demand-based accounting per pipe (valid even when infeasible).
+  std::vector<std::size_t> sram_demand(chip_.pipelines, 0);
+  std::vector<std::size_t> tcam_demand(chip_.pipelines, 0);
+
+  for (std::size_t path_index = 0; path_index < paths.size(); ++path_index) {
+    const Path& path = paths[path_index];
+    std::size_t path_sram = 0;
+    std::size_t path_tcam = 0;
+    for (const TableDemand& table : demands) {
+      // Shard across paths under (b); otherwise every path replicates.
+      std::size_t sram = table.sram_words;
+      std::size_t tcam = table.tcam_slices;
+      if (config.split && table.shardable && paths.size() > 1) {
+        sram = (sram + paths.size() - 1) / paths.size();
+        tcam = (tcam + paths.size() - 1) / paths.size();
+      }
+
+      // Slot decides the preferred pipe on the path: front = first pipe,
+      // back = second (same pipe when unfolded).
+      path_sram += sram;
+      path_tcam += tcam;
+      const bool back_slot = table.slot == PathSlot::kBackEgress ||
+                             table.slot == PathSlot::kBackIngress;
+      const unsigned preferred =
+          path.pipes[back_slot && path.pipes.size() > 1 ? 1 : 0];
+      const unsigned other =
+          path.pipes[path.pipes.size() > 1 ? (back_slot ? 0 : 1) : 0];
+      const bool balanced =
+          table.slot == PathSlot::kBalanced && path.pipes.size() > 1;
+
+      for (auto [kind, units] :
+           {std::pair{MemoryKind::kSram, sram},
+            std::pair{MemoryKind::kTcam, tcam}}) {
+        if (units == 0) continue;
+        auto& demand_vec =
+            kind == MemoryKind::kSram ? sram_demand : tcam_demand;
+        // Balanced tables split half/half across the path's pipes ("tables
+        // should be evenly distributed in different pipelines"); slotted
+        // tables try their pipe and spill the remainder to the sibling
+        // ("mapping large tables across pipelines").
+        const std::size_t want_first = balanced ? (units + 1) / 2 : units;
+        const std::size_t room = memory.free_units(preferred, kind);
+        const std::size_t first = std::min(want_first, room);
+        if (first > 0 &&
+            memory.allocate(preferred, kind, first, table.name)) {
+          demand_vec[preferred] += first;
+        }
+        std::size_t rest = units - first;
+        if (rest > 0) {
+          if (other != preferred) {
+            const std::size_t other_room = memory.free_units(other, kind);
+            const std::size_t second = std::min(rest, other_room);
+            if (second > 0 &&
+                memory.allocate(other, kind, second, table.name)) {
+              demand_vec[other] += second;
+              rest -= second;
+            }
+            // A balanced table's own overflow may still fit back on the
+            // first pipe.
+            if (rest > 0) {
+              const std::size_t back_room =
+                  memory.free_units(preferred, kind);
+              const std::size_t third = std::min(rest, back_room);
+              if (third > 0 &&
+                  memory.allocate(preferred, kind, third, table.name)) {
+                demand_vec[preferred] += third;
+                rest -= third;
+              }
+            }
+          }
+        }
+        if (rest > 0) {
+          // Out of memory: record the unplaced demand against the
+          // preferred pipe so occupancy shows the overflow.
+          demand_vec[preferred] += rest;
+          feasible = false;
+        }
+      }
+    }
+    const double path_capacity_scale =
+        static_cast<double>(path.pipes.size());
+    report.paths[path_index].sram =
+        static_cast<double>(path_sram) /
+        (path_capacity_scale *
+         static_cast<double>(chip_.sram_words_per_pipeline()));
+    report.paths[path_index].tcam =
+        static_cast<double>(path_tcam) /
+        (path_capacity_scale *
+         static_cast<double>(chip_.tcam_slices_per_pipeline()));
+    report.sram_path_worst =
+        std::max(report.sram_path_worst, report.paths[path_index].sram);
+    report.tcam_path_worst =
+        std::max(report.tcam_path_worst, report.paths[path_index].tcam);
+  }
+
+  for (unsigned p = 0; p < chip_.pipelines; ++p) {
+    report.pipes[p].sram =
+        static_cast<double>(sram_demand[p]) /
+        static_cast<double>(chip_.sram_words_per_pipeline());
+    report.pipes[p].tcam =
+        static_cast<double>(tcam_demand[p]) /
+        static_cast<double>(chip_.tcam_slices_per_pipeline());
+    report.sram_worst = std::max(report.sram_worst, report.pipes[p].sram);
+    report.tcam_worst = std::max(report.tcam_worst, report.pipes[p].tcam);
+  }
+  report.feasible = feasible;
+  return report;
+}
+
+}  // namespace sf::asic

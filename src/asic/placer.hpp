@@ -1,0 +1,146 @@
+// The table placer: maps logical gateway tables onto SfChip memories under
+// a chosen combination of the paper's six single-node compression
+// techniques (§4.4), and reports occupancy. This is the engine behind
+// Table 2, Table 3, Table 4 and Fig. 17.
+//
+// Technique -> model:
+//  (a) pipeline folding       — a logical gateway path spans two pipelines
+//      (0+1 and 2+3), so tables are stored twice per chip instead of four
+//      times; throughput halves, latency doubles (walker).
+//  (b) table splitting        — the two folded paths hold disjoint halves
+//      of each shardable table (hash of VNI/inner IP picks the path).
+//  (c) IPv4/IPv6 pooling      — one dual-stack LPM table; v4 keys widen to
+//      the 153-bit pooled key (more TCAM per v4 entry, one table).
+//  (d) entry compression      — pooled exact-match keys: v6 IPs digest to
+//      32 bits, entries shrink to one SRAM word plus a tiny conflict table.
+//  (e) ALPM                   — the LPM bulk moves to SRAM buckets behind a
+//      small TCAM directory (tables/alpm.hpp supplies measured stats).
+//
+// Placement honors the §4.4 layout principles: tables are assigned to path
+// slots following the lookup order (Ingress front pipe -> Egress back pipe
+// -> Ingress back pipe -> Egress front pipe); when a table overflows its
+// slot's pipe it spills to the path's other pipe — exactly the "mapping
+// large tables across pipelines" technique.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/chip_config.hpp"
+#include "asic/memory.hpp"
+#include "tables/entry.hpp"
+
+namespace sf::asic {
+
+/// Entry counts of the gateway's tables (the paper's workload scale).
+struct GatewayWorkload {
+  std::size_t vxlan_routes_v4 = 750'000;
+  std::size_t vxlan_routes_v6 = 250'000;
+  std::size_t vm_maps_v4 = 750'000;
+  std::size_t vm_maps_v6 = 250'000;
+  /// Digest conflicts measured by the DigestVmNcTable (tiny; birthday
+  /// bound ~ n^2 / 2^33).
+  std::size_t digest_conflicts = 8;
+
+  // Service tables, counted only by Table 4's "overall" scenario.
+  std::size_t acl_rules = 0;
+  std::size_t meters = 0;
+  std::size_t counters = 0;
+  std::size_t steering_entries = 0;
+};
+
+/// Measured ALPM shape (from tables::Alpm<...>::stats()), or an analytic
+/// estimate when not supplied.
+struct AlpmDemand {
+  std::size_t directory_slices = 0;
+  std::size_t bucket_words = 0;
+};
+
+struct CompressionConfig {
+  bool fold = false;      // (a)
+  bool split = false;     // (b) requires fold
+  bool pool = false;      // (c)
+  bool compress = false;  // (d)
+  bool alpm = false;      // (e)
+
+  std::size_t alpm_max_bucket = 32;
+  /// Expected bucket fill used for the analytic ALPM estimate when no
+  /// measured stats are provided.
+  double alpm_estimated_fill = 0.7;
+  std::optional<AlpmDemand> measured_alpm;
+
+  static CompressionConfig none() { return {}; }
+  static CompressionConfig all() {
+    CompressionConfig c;
+    c.fold = c.split = c.pool = c.compress = c.alpm = true;
+    return c;
+  }
+};
+
+/// Where a table sits along the folded path (lookup order).
+enum class PathSlot : std::uint8_t {
+  kFrontIngress,  // Ingress Pipe 0/2 — first lookup
+  kBackEgress,    // Egress Pipe 1/3
+  kBackIngress,   // Ingress Pipe 1/3
+  kFrontEgress,   // Egress Pipe 0/2 — last lookup
+  kBalanced,      // evenly split across the path's pipes (§4.4 principle 3)
+};
+
+/// One logical table's memory bill.
+struct TableDemand {
+  std::string name;
+  std::size_t sram_words = 0;
+  std::size_t tcam_slices = 0;
+  /// Shardable tables split entries across paths under (b); control
+  /// tables replicate instead.
+  bool shardable = true;
+  PathSlot slot = PathSlot::kFrontIngress;
+};
+
+/// Per-pipeline occupancy fractions.
+struct PipeOccupancy {
+  double sram = 0;
+  double tcam = 0;
+};
+
+struct OccupancyReport {
+  std::vector<PipeOccupancy> pipes;   // size = chip pipelines
+  double sram_worst = 0;              // max over pipelines
+  double tcam_worst = 0;
+  /// Path-level occupancy: one gateway instance's demand over all memory
+  /// its path traverses (folding doubles the denominator). This is the
+  /// accounting Fig. 17 and Tables 2/3 report.
+  std::vector<PipeOccupancy> paths;
+  double sram_path_worst = 0;
+  double tcam_path_worst = 0;
+  bool feasible = false;              // physical allocation succeeded
+  std::vector<TableDemand> demands;   // the per-table bill (unsharded)
+};
+
+/// Computes each logical table's demand under a compression config.
+std::vector<TableDemand> compute_demands(const ChipConfig& chip,
+                                         const GatewayWorkload& workload,
+                                         const CompressionConfig& config);
+
+class Placer {
+ public:
+  explicit Placer(ChipConfig chip) : chip_(chip) {}
+
+  /// Full evaluation: demands + placement + occupancy.
+  OccupancyReport evaluate(const GatewayWorkload& workload,
+                           const CompressionConfig& config) const;
+
+  /// Places externally computed demands (used by Table 4's bench, which
+  /// adds service tables with explicit slots).
+  OccupancyReport place(std::vector<TableDemand> demands,
+                        const CompressionConfig& config) const;
+
+  const ChipConfig& chip() const { return chip_; }
+
+ private:
+  ChipConfig chip_;
+};
+
+}  // namespace sf::asic

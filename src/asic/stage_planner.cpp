@@ -1,0 +1,87 @@
+#include "asic/stage_planner.hpp"
+
+#include <unordered_map>
+
+namespace sf::asic {
+
+StagePlanner::Plan StagePlanner::plan(
+    const std::vector<StageTable>& tables) const {
+  Plan plan;
+  plan.stages.resize(chip_.stages_per_pipeline);
+
+  // last_stage of every placed table, for dependency resolution.
+  std::unordered_map<std::string, unsigned> finished_at;
+
+  for (const StageTable& table : tables) {
+    // A match dependency forces the start past the dependee's last stage;
+    // independent tables may share a stage (parallel lookups).
+    unsigned start = 0;
+    for (const std::string& dep : table.depends_on) {
+      auto it = finished_at.find(dep);
+      if (it == finished_at.end()) {
+        plan.feasible = false;
+        plan.infeasible_reason =
+            table.name + " depends on unknown table " + dep;
+        return plan;
+      }
+      start = std::max(start, it->second + 1);
+    }
+    if (start >= chip_.stages_per_pipeline) {
+      plan.feasible = false;
+      plan.infeasible_reason =
+          table.name + ": dependency chain exceeds the stage budget";
+      return plan;
+    }
+
+    TablePlacement placement;
+    placement.name = table.name;
+    placement.first_stage = start;
+
+    std::size_t remaining = table.units;
+    unsigned stage = start;
+    if (remaining == 0) {
+      // Zero-width tables (pure actions/gateways) still occupy a stage
+      // slot for dependency ordering.
+      placement.chunks.push_back({stage, 0});
+    }
+    while (remaining > 0) {
+      if (stage >= chip_.stages_per_pipeline) {
+        plan.feasible = false;
+        plan.infeasible_reason =
+            table.name + ": out of stage memory (needs " +
+            std::to_string(remaining) + " more units past stage " +
+            std::to_string(chip_.stages_per_pipeline - 1) + ")";
+        return plan;
+      }
+      StageUse& use = plan.stages[stage];
+      const std::size_t capacity = table.kind == MemoryKind::kSram
+                                       ? chip_.sram_words_per_stage()
+                                       : chip_.tcam_slices_per_stage();
+      std::size_t& used = table.kind == MemoryKind::kSram
+                              ? use.sram_words
+                              : use.tcam_slices;
+      const std::size_t free = capacity > used ? capacity - used : 0;
+      const std::size_t take = std::min(free, remaining);
+      if (take > 0) {
+        used += take;
+        remaining -= take;
+        placement.chunks.push_back({stage, take});
+      }
+      if (remaining > 0) ++stage;
+    }
+    if (!placement.chunks.empty()) {
+      placement.first_stage = placement.chunks.front().first;
+      placement.last_stage = placement.chunks.back().first;
+    } else {
+      placement.last_stage = start;
+    }
+    finished_at[table.name] = placement.last_stage;
+    plan.stages_used =
+        std::max(plan.stages_used, placement.last_stage + 1);
+    plan.tables.push_back(std::move(placement));
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace sf::asic

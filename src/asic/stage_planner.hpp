@@ -1,0 +1,67 @@
+// Stage-level layout within one pipeline — the part §3.3 says "can be
+// automatically handled by the Tofino's compiler": a logical table larger
+// than one stage's memory splits across consecutive stages, and a table
+// whose match key depends on an earlier table's result must start in a
+// strictly later stage (match dependency). The placer (asic/placer.hpp)
+// answers *which pipeline* holds a table; the stage planner answers
+// *which stages inside it*, and whether the program fits the stage budget
+// at all — the dependency-depth constraint no amount of memory can fix.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/chip_config.hpp"
+#include "asic/memory.hpp"
+
+namespace sf::asic {
+
+/// One logical table to lay out in a gress program.
+struct StageTable {
+  std::string name;
+  MemoryKind kind = MemoryKind::kSram;
+  std::size_t units = 0;  // SRAM words or TCAM slices
+  /// Names of tables whose results this table's key depends on (must be
+  /// fully resolved in earlier stages).
+  std::vector<std::string> depends_on;
+};
+
+class StagePlanner {
+ public:
+  struct TablePlacement {
+    std::string name;
+    /// (stage, units) chunks, consecutive stages.
+    std::vector<std::pair<unsigned, std::size_t>> chunks;
+    unsigned first_stage = 0;
+    unsigned last_stage = 0;
+  };
+
+  struct StageUse {
+    std::size_t sram_words = 0;
+    std::size_t tcam_slices = 0;
+  };
+
+  struct Plan {
+    bool feasible = false;
+    std::string infeasible_reason;
+    std::vector<TablePlacement> tables;
+    std::vector<StageUse> stages;  // size = stages_per_pipeline
+    unsigned stages_used = 0;      // 1 + highest occupied stage
+  };
+
+  explicit StagePlanner(ChipConfig chip) : chip_(chip) {}
+
+  /// Lays out `tables` (in lookup order) over one pipeline's stages.
+  /// Unknown dependency names are an error (infeasible with reason).
+  Plan plan(const std::vector<StageTable>& tables) const;
+
+  const ChipConfig& chip() const { return chip_; }
+
+ private:
+  ChipConfig chip_;
+};
+
+}  // namespace sf::asic

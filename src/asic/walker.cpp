@@ -1,0 +1,62 @@
+#include "asic/walker.hpp"
+
+namespace sf::asic {
+
+WalkResult Walker::run(net::OverlayPacket packet,
+                       unsigned ingress_pipe) const {
+  WalkResult result;
+  PacketContext ctx;
+  ctx.packet = std::move(packet);
+  ctx.meta = Phv(chip_.phv_metadata_bits);
+  ctx.pipe = ingress_pipe;
+
+  unsigned pipe = ingress_pipe;
+  for (unsigned pass = 0; pass < kMaxPasses; ++pass) {
+    // Ingress pass.
+    ctx.pipe = pipe;
+    ctx.gress = Gress::kIngress;
+    ctx.egress_pipe.reset();
+    for (const StageFn& stage : program_->ingress(pipe).stages) {
+      stage(ctx);
+      if (ctx.dropped) break;
+    }
+    if (ctx.dropped) break;
+
+    // Traffic manager: move to the egress pipe; metadata must be bridged
+    // to survive.
+    const unsigned egress = ctx.egress_pipe.value_or(pipe);
+    result.bridged_bits += ctx.meta.cross_gress();
+
+    ctx.pipe = egress;
+    ctx.gress = Gress::kEgress;
+    for (const StageFn& stage : program_->egress(egress).stages) {
+      stage(ctx);
+      if (ctx.dropped) break;
+    }
+    ++result.passes;
+    if (ctx.dropped) break;
+
+    if (!program_->loopback(egress)) {
+      result.egress_pipe = egress;
+      break;
+    }
+    // Loopback: the packet re-enters this pipe's ingress parser; metadata
+    // again survives only if bridged.
+    result.bridged_bits += ctx.meta.cross_gress();
+    pipe = egress;
+    if (pass + 1 == kMaxPasses) {
+      ctx.drop("loopback cycle: exceeded max pipeline passes");
+    }
+  }
+
+  result.packet = std::move(ctx.packet);
+  result.meta = std::move(ctx.meta);
+  result.dropped = ctx.dropped;
+  result.drop_reason = std::move(ctx.drop_reason);
+  result.latency_us = chip_.latency_us(
+      result.passes,
+      result.packet.wire_size() + result.bridged_bits / 8);
+  return result;
+}
+
+}  // namespace sf::asic

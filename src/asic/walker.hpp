@@ -1,0 +1,51 @@
+// The packet walker: executes a PipelineProgram over the SfChip structure,
+// enforcing the architectural constraints that shaped the paper's design:
+//
+//   * metadata does not survive a gress crossing unless bridged (the
+//     bridged bits are charged as wire overhead);
+//   * a loopback egress pipe sends the packet back through that pipe's
+//     ingress (pipeline folding) — each extra pass adds a pass latency;
+//   * the walk aborts defensively after kMaxPasses to catch misconfigured
+//     loopback cycles.
+
+#pragma once
+
+#include <string>
+
+#include "asic/chip_config.hpp"
+#include "asic/pipeline.hpp"
+
+namespace sf::asic {
+
+struct WalkResult {
+  net::OverlayPacket packet;
+  /// Final metadata (whatever survived to the last gress).
+  Phv meta;
+  bool dropped = false;
+  std::string drop_reason;
+  /// Pipeline passes (ingress+egress pairs) the packet made.
+  unsigned passes = 0;
+  /// Pipe whose egress finally emitted the packet.
+  unsigned egress_pipe = 0;
+  /// Metadata bits bridged across gress boundaries (wire overhead).
+  unsigned bridged_bits = 0;
+  /// Modeled forwarding latency.
+  double latency_us = 0;
+};
+
+class Walker {
+ public:
+  static constexpr unsigned kMaxPasses = 8;
+
+  Walker(const ChipConfig& chip, const PipelineProgram* program)
+      : chip_(chip), program_(program) {}
+
+  /// Runs one packet entering at `ingress_pipe`.
+  WalkResult run(net::OverlayPacket packet, unsigned ingress_pipe) const;
+
+ private:
+  ChipConfig chip_;
+  const PipelineProgram* program_;
+};
+
+}  // namespace sf::asic

@@ -1,0 +1,286 @@
+#include "cluster/controller.hpp"
+
+#include <algorithm>
+
+namespace sf::cluster {
+
+Controller::Controller(Config config) : config_(std::move(config)) {
+  if (config_.max_clusters == 0) {
+    throw std::invalid_argument("controller needs at least one cluster slot");
+  }
+  const std::size_t prebuilt =
+      std::min(config_.initial_clusters, config_.max_clusters);
+  for (std::size_t i = 0; i < prebuilt; ++i) {
+    XgwHCluster::Config cfg = config_.cluster_template;
+    cfg.cluster_id = static_cast<std::uint32_t>(clusters_.size());
+    clusters_.push_back(std::make_unique<XgwHCluster>(cfg));
+  }
+}
+
+void Controller::mirror(const TableOp& op) {
+  if (mirror_) mirror_(op);
+}
+
+std::optional<std::uint32_t> Controller::assign_cluster() {
+  // Least-loaded (by route count) cluster below the water level.
+  std::optional<std::uint32_t> best;
+  std::size_t best_routes = 0;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const std::size_t routes = clusters_[i]->route_count();
+    if (routes >= config_.routes_water_level) continue;
+    if (clusters_[i]->mapping_count() >= config_.mappings_water_level) {
+      continue;
+    }
+    if (!best || routes < best_routes) {
+      best = static_cast<std::uint32_t>(i);
+      best_routes = routes;
+    }
+  }
+  if (best) return best;
+
+  if (clusters_.size() >= config_.max_clusters) {
+    alerts_.push_back(
+        "admission refused: all clusters at water level, region full");
+    return std::nullopt;
+  }
+  XgwHCluster::Config cfg = config_.cluster_template;
+  cfg.cluster_id = static_cast<std::uint32_t>(clusters_.size());
+  clusters_.push_back(std::make_unique<XgwHCluster>(cfg));
+  alerts_.push_back("opened cluster " + std::to_string(cfg.cluster_id));
+  return cfg.cluster_id;
+}
+
+bool Controller::add_vpc(const workload::VpcRecord& vpc) {
+  if (vpcs_.contains(vpc.vni)) return false;
+  // Peered VPCs must share a cluster: the peer re-lookup resolves in the
+  // same device's tables, and the VNI director steers by the *arriving*
+  // VNI. The peer group is therefore the real split granularity (§4.3
+  // notes the VPC is the smallest unit; peering glues VPCs together).
+  std::optional<std::uint32_t> cluster_id;
+  for (net::Vni peer : vpc.peers) {
+    if (auto assigned = director_.cluster_for(peer)) {
+      cluster_id = assigned;
+      break;
+    }
+  }
+  if (!cluster_id) cluster_id = assign_cluster();
+  if (!cluster_id) return false;
+
+  VpcState state;
+  state.cluster_id = *cluster_id;
+  director_.assign(vpc.vni, *cluster_id);
+  vpcs_.emplace(vpc.vni, std::move(state));
+
+  for (const workload::RouteRecord& route : vpc.routes) {
+    add_route(vpc.vni, route.prefix, route.action);
+  }
+  for (const workload::VmRecord& vm : vpc.vms) {
+    add_mapping(tables::VmNcKey{vpc.vni, vm.ip},
+                tables::VmNcAction{vm.nc_ip});
+  }
+  return true;
+}
+
+std::size_t Controller::install_topology(
+    const workload::RegionTopology& region) {
+  // Admit peer-connected components contiguously: add_vpc co-locates a
+  // VPC with an *already assigned* peer, so a component must not be
+  // interleaved with others (its members could otherwise seed different
+  // clusters before the connecting vertex arrives).
+  std::unordered_map<net::Vni, std::size_t> index_of;
+  for (std::size_t i = 0; i < region.vpcs.size(); ++i) {
+    index_of[region.vpcs[i].vni] = i;
+  }
+  std::vector<bool> visited(region.vpcs.size(), false);
+  std::size_t admitted = 0;
+  for (std::size_t start = 0; start < region.vpcs.size(); ++start) {
+    if (visited[start]) continue;
+    std::vector<std::size_t> component{start};
+    visited[start] = true;
+    for (std::size_t i = 0; i < component.size(); ++i) {
+      for (net::Vni peer : region.vpcs[component[i]].peers) {
+        auto it = index_of.find(peer);
+        if (it != index_of.end() && !visited[it->second]) {
+          visited[it->second] = true;
+          component.push_back(it->second);
+        }
+      }
+    }
+    for (std::size_t index : component) {
+      if (add_vpc(region.vpcs[index])) ++admitted;
+    }
+  }
+  return admitted;
+}
+
+bool Controller::add_route(net::Vni vni, const net::IpPrefix& prefix,
+                           tables::VxlanRouteAction action) {
+  auto it = vpcs_.find(vni);
+  if (it == vpcs_.end()) return false;
+  clusters_[it->second.cluster_id]->install_route(vni, prefix, action);
+  auto& routes = it->second.routes;
+  auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
+    return r.first == prefix;
+  });
+  if (existing == routes.end()) {
+    routes.push_back({prefix, action});
+  } else {
+    existing->second = action;
+  }
+  mirror(TableOp{TableOp::Kind::kAddRoute, vni, prefix, action, {}, {}});
+
+  if (clusters_[it->second.cluster_id]->route_count() ==
+      config_.routes_water_level) {
+    alerts_.push_back("cluster " + std::to_string(it->second.cluster_id) +
+                      " reached its route water level; sales closed");
+  }
+  return true;
+}
+
+bool Controller::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+  auto it = vpcs_.find(vni);
+  if (it == vpcs_.end()) return false;
+  auto& routes = it->second.routes;
+  auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
+    return r.first == prefix;
+  });
+  if (existing == routes.end()) return false;
+  routes.erase(existing);
+  clusters_[it->second.cluster_id]->remove_route(vni, prefix);
+  mirror(TableOp{TableOp::Kind::kDelRoute, vni, prefix, {}, {}, {}});
+  return true;
+}
+
+bool Controller::add_mapping(const tables::VmNcKey& key,
+                             tables::VmNcAction action) {
+  auto it = vpcs_.find(key.vni);
+  if (it == vpcs_.end()) return false;
+  clusters_[it->second.cluster_id]->install_mapping(key, action);
+  auto& mappings = it->second.mappings;
+  auto existing =
+      std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {
+        return m.first == key;
+      });
+  if (existing == mappings.end()) {
+    mappings.push_back({key, action});
+  } else {
+    existing->second = action;
+  }
+  mirror(TableOp{TableOp::Kind::kAddMapping, key.vni, {}, {}, key, action});
+  return true;
+}
+
+bool Controller::remove_mapping(const tables::VmNcKey& key) {
+  auto it = vpcs_.find(key.vni);
+  if (it == vpcs_.end()) return false;
+  auto& mappings = it->second.mappings;
+  auto existing =
+      std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {
+        return m.first == key;
+      });
+  if (existing == mappings.end()) return false;
+  mappings.erase(existing);
+  clusters_[it->second.cluster_id]->remove_mapping(key);
+  mirror(TableOp{TableOp::Kind::kDelMapping, key.vni, {}, {}, key, {}});
+  return true;
+}
+
+bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
+  if (target_cluster >= clusters_.size()) return false;
+  auto it = vpcs_.find(vni);
+  if (it == vpcs_.end()) return false;
+  // No early-out on cluster_id == target: the member loop below skips
+  // already-placed members, and walking the group anyway heals any
+  // co-location drift defensively.
+
+  // Collect the whole peer group: peers must stay co-located (see
+  // add_vpc). The group is the set of VPCs reachable through Peer routes
+  // in the desired state.
+  std::vector<net::Vni> group{vni};
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const VpcState& state = vpcs_.at(group[i]);
+    for (const auto& [prefix, action] : state.routes) {
+      if (action.scope != tables::RouteScope::kPeer) continue;
+      if (std::find(group.begin(), group.end(), action.next_hop_vni) ==
+          group.end()) {
+        if (vpcs_.contains(action.next_hop_vni)) {
+          group.push_back(action.next_hop_vni);
+        }
+      }
+    }
+  }
+
+  for (net::Vni member : group) {
+    VpcState& state = vpcs_.at(member);
+    if (state.cluster_id == target_cluster) continue;
+    XgwHCluster& source = *clusters_[state.cluster_id];
+    XgwHCluster& target = *clusters_[target_cluster];
+    // Install on the target first, then retire from the source: the
+    // director flip in between is the atomic switchover point.
+    for (const auto& [prefix, action] : state.routes) {
+      target.install_route(member, prefix, action);
+    }
+    for (const auto& [key, action] : state.mappings) {
+      target.install_mapping(key, action);
+    }
+    director_.assign(member, target_cluster);
+    for (const auto& [prefix, action] : state.routes) {
+      source.remove_route(member, prefix);
+    }
+    for (const auto& [key, action] : state.mappings) {
+      source.remove_mapping(key);
+    }
+    state.cluster_id = target_cluster;
+  }
+  alerts_.push_back("migrated VNI " + std::to_string(vni) + " (+" +
+                    std::to_string(group.size() - 1) +
+                    " peers) to cluster " +
+                    std::to_string(target_cluster));
+  return true;
+}
+
+xgwh::ForwardResult Controller::process(const net::OverlayPacket& packet,
+                                        double now) {
+  auto cluster_id = director_.cluster_for(packet.vni);
+  if (!cluster_id) {
+    xgwh::ForwardResult result;
+    result.action = xgwh::ForwardAction::kDrop;
+    result.drop_reason = "VNI not assigned to any cluster";
+    return result;
+  }
+  return clusters_[*cluster_id]->process(packet, now);
+}
+
+Controller::ConsistencyReport Controller::check_consistency(
+    std::size_t cluster_index) const {
+  ConsistencyReport report;
+  const XgwHCluster& cluster = *clusters_.at(cluster_index);
+  report.devices_checked = cluster.device_count();
+
+  for (const auto& [vni, state] : vpcs_) {
+    if (state.cluster_id != cluster.id()) continue;
+    for (std::size_t d = 0; d < cluster.device_count(); ++d) {
+      const xgwh::XgwH& device = cluster.device(d);
+      for (const auto& [prefix, action] : state.routes) {
+        ++report.entries_checked;
+        if (!device.has_route(vni, prefix)) ++report.missing_on_device;
+      }
+      for (const auto& [key, action] : state.mappings) {
+        ++report.entries_checked;
+        if (!device.has_mapping(key)) ++report.missing_on_device;
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> Controller::cluster_route_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    counts.push_back(cluster->route_count());
+  }
+  return counts;
+}
+
+}  // namespace sf::cluster

@@ -1,0 +1,143 @@
+// The central controller (§4.3, §6.1): owns the desired table state,
+// splits it horizontally across XGW-H clusters by VNI, fans installs out
+// to every device, mirrors everything to the XGW-x86 fleet (via a hook),
+// monitors table water levels, closes sales when a cluster fills up, and
+// audits device tables for consistency against the desired state.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_balancer.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::cluster {
+
+/// One table operation, as fanned out to install targets.
+struct TableOp {
+  enum class Kind : std::uint8_t {
+    kAddRoute,
+    kDelRoute,
+    kAddMapping,
+    kDelMapping,
+  };
+  Kind kind = Kind::kAddRoute;
+  net::Vni vni = 0;
+  net::IpPrefix prefix;                    // routes
+  tables::VxlanRouteAction route_action;   // routes
+  tables::VmNcKey mapping_key;             // mappings
+  tables::VmNcAction mapping_action;       // mappings
+};
+
+class Controller {
+ public:
+  struct Config {
+    XgwHCluster::Config cluster_template;
+    std::size_t max_clusters = 8;
+    /// Clusters built up front ("cluster construction", §6.1); with
+    /// several open, least-loaded assignment spreads tenants evenly
+    /// instead of filling clusters sequentially.
+    std::size_t initial_clusters = 1;
+    /// A cluster whose route count reaches this stops taking new VPCs
+    /// ("close the sale of the cluster's resources", §6.1).
+    std::size_t routes_water_level = 200'000;
+    std::size_t mappings_water_level = 400'000;
+  };
+
+  explicit Controller(Config config);
+
+  /// Mirror hook: receives every op (the Region wires the XGW-x86 fleet
+  /// here — software holds the complete tables).
+  void set_mirror(std::function<void(const TableOp&)> mirror) {
+    mirror_ = std::move(mirror);
+  }
+
+  // ---- provisioning --------------------------------------------------------
+
+  /// Admits a VPC: assigns it to a cluster (opening a new one if needed)
+  /// and installs its tables. Returns false when the region is out of
+  /// capacity (sales closed).
+  bool add_vpc(const workload::VpcRecord& vpc);
+
+  /// Installs a whole region topology.
+  std::size_t install_topology(const workload::RegionTopology& region);
+
+  bool add_route(net::Vni vni, const net::IpPrefix& prefix,
+                 tables::VxlanRouteAction action);
+  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
+  bool add_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
+  bool remove_mapping(const tables::VmNcKey& key);
+
+  /// Moves a VPC's entries to another cluster and re-points the VNI
+  /// director — §4.3's "precisely manage the traffic load on a particular
+  /// cluster simply by adding or deleting the corresponding entries".
+  /// Peered VPCs move together (the whole peer group migrates). Returns
+  /// false for unknown VNIs or an out-of-range target.
+  bool migrate_vpc(net::Vni vni, std::uint32_t target_cluster);
+
+  // ---- steering / data plane ------------------------------------------------
+
+  std::optional<std::uint32_t> cluster_for(net::Vni vni) const {
+    return director_.cluster_for(vni);
+  }
+  const VniDirector& director() const { return director_; }
+
+  /// Routes a packet to its VNI's cluster. Drops when the VNI is unknown.
+  xgwh::ForwardResult process(const net::OverlayPacket& packet,
+                              double now = 0);
+
+  // ---- cluster access --------------------------------------------------------
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  XgwHCluster& cluster(std::size_t index) { return *clusters_.at(index); }
+  const XgwHCluster& cluster(std::size_t index) const {
+    return *clusters_.at(index);
+  }
+
+  // ---- monitoring -------------------------------------------------------------
+
+  struct ConsistencyReport {
+    std::size_t entries_checked = 0;
+    std::size_t missing_on_device = 0;   // desired but absent
+    std::size_t devices_checked = 0;
+  };
+
+  /// Audits one cluster's devices against the desired state (§6.1:
+  /// periodic consistency checks after table download).
+  ConsistencyReport check_consistency(std::size_t cluster_index) const;
+
+  /// Alerts raised so far (water levels, failovers, admission refusals).
+  const std::vector<std::string>& alerts() const { return alerts_; }
+
+  /// Route entries per cluster (the Fig. 23 series).
+  std::vector<std::size_t> cluster_route_counts() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct VpcState {
+    std::uint32_t cluster_id = 0;
+    std::vector<std::pair<net::IpPrefix, tables::VxlanRouteAction>> routes;
+    std::vector<std::pair<tables::VmNcKey, tables::VmNcAction>> mappings;
+  };
+
+  /// Picks (or opens) a cluster with capacity; nullopt when sales close.
+  std::optional<std::uint32_t> assign_cluster();
+  void mirror(const TableOp& op);
+
+  Config config_;
+  std::vector<std::unique_ptr<XgwHCluster>> clusters_;
+  VniDirector director_;
+  std::unordered_map<net::Vni, VpcState> vpcs_;
+  std::function<void(const TableOp&)> mirror_;
+  std::vector<std::string> alerts_;
+};
+
+}  // namespace sf::cluster

@@ -1,0 +1,74 @@
+// Disaster recovery coordination at three levels (§6.1):
+//   * cluster — 1:1 hot-standby failover (XgwHCluster::fail_device flips
+//     the ECMP set to the backups when the last primary dies);
+//   * node — failed devices leave the ECMP set; when a cluster runs too
+//     thin, a globally reserved cold-standby gateway is pulled in;
+//   * port — a flapping port is isolated, shaving a fraction of its
+//     device's capacity until it recovers.
+//
+// The coordinator reacts to health notifications from the simulators,
+// keeps the cold-standby pool, and journals every action it takes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/controller.hpp"
+
+namespace sf::cluster {
+
+class DisasterRecovery {
+ public:
+  struct Config {
+    /// Globally reserved cold-standby gateways for the region.
+    std::size_t cold_standby_pool = 4;
+    /// When a cluster's live device count falls below this fraction of
+    /// its primaries, a cold standby is activated.
+    double min_live_fraction = 0.5;
+    /// Ports per device (capacity granularity for port-level isolation).
+    unsigned ports_per_device = 32;
+  };
+
+  struct Event {
+    double time = 0;
+    std::string description;
+  };
+
+  DisasterRecovery(Controller* controller, Config config);
+
+  // ---- notifications from health monitoring -------------------------------
+
+  void on_device_failure(std::size_t cluster, std::size_t device,
+                         double now);
+  void on_device_recovery(std::size_t cluster, std::size_t device,
+                          double now);
+  void on_port_fault(std::size_t cluster, std::size_t device, unsigned port,
+                     double now);
+  void on_port_recovery(std::size_t cluster, std::size_t device,
+                        unsigned port, double now);
+
+  // ---- state ---------------------------------------------------------------
+
+  std::size_t cold_standby_available() const { return cold_standby_; }
+
+  /// Fraction of a device's capacity currently usable (1.0 minus isolated
+  /// ports).
+  double device_capacity_fraction(std::size_t cluster,
+                                  std::size_t device) const;
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  void record(double now, std::string description);
+
+  Controller* controller_;
+  Config config_;
+  std::size_t cold_standby_;
+  /// (cluster, device) -> isolated port count.
+  std::unordered_map<std::uint64_t, unsigned> isolated_ports_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sf::cluster

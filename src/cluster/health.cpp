@@ -1,0 +1,75 @@
+#include "cluster/health.hpp"
+
+#include <stdexcept>
+
+namespace sf::cluster {
+
+HealthMonitor::HealthMonitor(DisasterRecovery* recovery, Config config)
+    : recovery_(recovery), config_(config) {
+  if (recovery_ == nullptr) {
+    throw std::invalid_argument("HealthMonitor needs a DisasterRecovery");
+  }
+  if (config_.fail_after_missed == 0 || config_.recover_after_ok == 0 ||
+      config_.isolate_port_after == 0) {
+    throw std::invalid_argument("HealthMonitor thresholds must be >= 1");
+  }
+}
+
+void HealthMonitor::report_heartbeat(std::size_t cluster,
+                                     std::size_t device, bool ok,
+                                     double now) {
+  DeviceState& state = devices_[device_key(cluster, device)];
+  if (ok) {
+    state.consecutive_missed = 0;
+    if (state.failed) {
+      if (++state.consecutive_ok >= config_.recover_after_ok) {
+        state.failed = false;
+        state.consecutive_ok = 0;
+        recovery_->on_device_recovery(cluster, device, now);
+      }
+    }
+    return;
+  }
+  state.consecutive_ok = 0;
+  if (!state.failed &&
+      ++state.consecutive_missed >= config_.fail_after_missed) {
+    state.failed = true;
+    state.consecutive_missed = 0;
+    recovery_->on_device_failure(cluster, device, now);
+  }
+}
+
+void HealthMonitor::report_port_errors(std::size_t cluster,
+                                       std::size_t device, unsigned port,
+                                       double error_rate, double now) {
+  PortState& state = ports_[port_key(cluster, device, port)];
+  if (error_rate <= config_.port_error_rate_threshold) {
+    state.consecutive_bad = 0;
+    if (state.isolated) {
+      state.isolated = false;
+      recovery_->on_port_recovery(cluster, device, port, now);
+    }
+    return;
+  }
+  if (!state.isolated &&
+      ++state.consecutive_bad >= config_.isolate_port_after) {
+    state.isolated = true;
+    state.consecutive_bad = 0;
+    recovery_->on_port_fault(cluster, device, port, now);
+  }
+}
+
+bool HealthMonitor::device_considered_failed(std::size_t cluster,
+                                             std::size_t device) const {
+  auto it = devices_.find(device_key(cluster, device));
+  return it != devices_.end() && it->second.failed;
+}
+
+bool HealthMonitor::port_considered_isolated(std::size_t cluster,
+                                             std::size_t device,
+                                             unsigned port) const {
+  auto it = ports_.find(port_key(cluster, device, port));
+  return it != ports_.end() && it->second.isolated;
+}
+
+}  // namespace sf::cluster

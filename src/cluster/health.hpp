@@ -1,0 +1,70 @@
+// Health monitoring with debounce (§6.1 "Cluster management" / "Disaster
+// recovery"): the controller watches heartbeats, traffic and error rates,
+// and only acts on *sustained* evidence — a single missed heartbeat or a
+// brief jitter burst must not flap a device in and out of the ECMP set.
+// Confirmed transitions are forwarded to the DisasterRecovery coordinator.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/disaster_recovery.hpp"
+
+namespace sf::cluster {
+
+class HealthMonitor {
+ public:
+  struct Config {
+    /// Consecutive missed heartbeats before a device is failed.
+    unsigned fail_after_missed = 3;
+    /// Consecutive good heartbeats before a failed device recovers.
+    unsigned recover_after_ok = 2;
+    /// Port packet-error rate that counts as a bad observation.
+    double port_error_rate_threshold = 1e-6;
+    /// Consecutive bad observations before a port is isolated.
+    unsigned isolate_port_after = 2;
+  };
+
+  HealthMonitor(DisasterRecovery* recovery, Config config);
+
+  /// Feeds one heartbeat observation for a device.
+  void report_heartbeat(std::size_t cluster, std::size_t device, bool ok,
+                        double now);
+
+  /// Feeds one port error-rate observation.
+  void report_port_errors(std::size_t cluster, std::size_t device,
+                          unsigned port, double error_rate, double now);
+
+  /// Monitoring state, for tests/telemetry.
+  bool device_considered_failed(std::size_t cluster,
+                                std::size_t device) const;
+  bool port_considered_isolated(std::size_t cluster, std::size_t device,
+                                unsigned port) const;
+
+ private:
+  struct DeviceState {
+    unsigned consecutive_missed = 0;
+    unsigned consecutive_ok = 0;
+    bool failed = false;
+  };
+  struct PortState {
+    unsigned consecutive_bad = 0;
+    bool isolated = false;
+  };
+
+  static std::uint64_t device_key(std::size_t cluster, std::size_t device) {
+    return (static_cast<std::uint64_t>(cluster) << 32) | device;
+  }
+  static std::uint64_t port_key(std::size_t cluster, std::size_t device,
+                                unsigned port) {
+    return (device_key(cluster, device) << 12) | port;
+  }
+
+  DisasterRecovery* recovery_;
+  Config config_;
+  std::unordered_map<std::uint64_t, DeviceState> devices_;
+  std::unordered_map<std::uint64_t, PortState> ports_;
+};
+
+}  // namespace sf::cluster

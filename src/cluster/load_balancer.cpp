@@ -1,0 +1,47 @@
+#include "cluster/load_balancer.hpp"
+
+#include <algorithm>
+
+namespace sf::cluster {
+
+std::unordered_map<std::uint32_t, std::size_t> VniDirector::vnis_per_cluster()
+    const {
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& [vni, cluster] : map_) ++counts[cluster];
+  return counts;
+}
+
+void EcmpGroup::add(std::uint32_t member) {
+  if (contains(member)) return;
+  if (members_.size() >= max_next_hops_) {
+    throw std::length_error(
+        "ECMP next-hop cap reached (commercial load balancers are limited "
+        "to a small next-hop set; grow by adding clusters, not members)");
+  }
+  members_.insert(
+      std::lower_bound(members_.begin(), members_.end(), member), member);
+}
+
+bool EcmpGroup::remove(std::uint32_t member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it == members_.end() || *it != member) return false;
+  members_.erase(it);
+  return true;
+}
+
+bool EcmpGroup::contains(std::uint32_t member) const {
+  return std::binary_search(members_.begin(), members_.end(), member);
+}
+
+std::optional<std::uint32_t> EcmpGroup::pick(
+    const net::FiveTuple& tuple) const {
+  return pick_by_hash(tuple.hash());
+}
+
+std::optional<std::uint32_t> EcmpGroup::pick_by_hash(
+    std::uint64_t hash) const {
+  if (members_.empty()) return std::nullopt;
+  return members_[hash % members_.size()];
+}
+
+}  // namespace sf::cluster

@@ -1,0 +1,75 @@
+// The load-balancing layer in front of the gateway clusters (Fig. 12).
+//
+// Two stages:
+//   * VniDirector — the region-level steering the controller programs:
+//     VNI -> cluster (horizontal table splitting, §4.3).
+//   * EcmpGroup — flow-hash ECMP across the devices of one cluster.
+//     Commercial boxes cap the next-hop set (§2.3: often < 64, sometimes
+//     16), which bounds cluster size; the cap is enforced here.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace sf::cluster {
+
+/// VNI -> cluster steering table.
+class VniDirector {
+ public:
+  void assign(net::Vni vni, std::uint32_t cluster_id) {
+    map_[vni] = cluster_id;
+  }
+  void unassign(net::Vni vni) { map_.erase(vni); }
+
+  std::optional<std::uint32_t> cluster_for(net::Vni vni) const {
+    auto it = map_.find(vni);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Entry count per cluster (for balance reports).
+  std::unordered_map<std::uint32_t, std::size_t> vnis_per_cluster() const;
+
+ private:
+  std::unordered_map<net::Vni, std::uint32_t> map_;
+};
+
+/// Flow-hash ECMP across at most `max_next_hops` members.
+class EcmpGroup {
+ public:
+  explicit EcmpGroup(unsigned max_next_hops = 64)
+      : max_next_hops_(max_next_hops) {
+    if (max_next_hops == 0) {
+      throw std::invalid_argument("ECMP needs at least one next hop slot");
+    }
+  }
+
+  /// Adds a member id. Throws when the commercial next-hop cap is hit —
+  /// the §2.3 constraint that forces multiple clusters per region.
+  void add(std::uint32_t member);
+  bool remove(std::uint32_t member);
+  bool contains(std::uint32_t member) const;
+
+  /// Picks a live member for a flow, or nullopt when empty.
+  std::optional<std::uint32_t> pick(const net::FiveTuple& tuple) const;
+  std::optional<std::uint32_t> pick_by_hash(std::uint64_t hash) const;
+
+  std::size_t size() const { return members_.size(); }
+  unsigned max_next_hops() const { return max_next_hops_; }
+  const std::vector<std::uint32_t>& members() const { return members_; }
+
+ private:
+  unsigned max_next_hops_;
+  std::vector<std::uint32_t> members_;  // kept sorted for determinism
+};
+
+}  // namespace sf::cluster

@@ -1,0 +1,58 @@
+#include "cluster/upgrade.hpp"
+
+namespace sf::cluster {
+
+RollingUpgrade::Result RollingUpgrade::run(XgwHCluster& cluster,
+                                           const UpgradeFn& upgrade,
+                                           const HealthFn& health) const {
+  Result result;
+  const std::size_t primaries = cluster.config().primary_devices;
+
+  for (std::size_t device = 0; device < primaries; ++device) {
+    StepResult step;
+    step.device = device;
+
+    if (cluster.device_health(device) != DeviceHealth::kHealthy) {
+      step.note = "skipped: device not healthy";
+      result.steps.push_back(step);
+      result.abort_reason =
+          "device " + std::to_string(device) + " unhealthy before roll";
+      return result;
+    }
+    if (cluster.live_device_count() <= config_.min_live_devices) {
+      step.note = "skipped: draining would violate min live devices";
+      result.steps.push_back(step);
+      result.abort_reason = "not enough live devices to drain safely";
+      return result;
+    }
+
+    // Drain: traffic shifts to the siblings via ECMP.
+    cluster.fail_device(device);
+    step.upgraded = upgrade(cluster.device(device));
+    // Rejoin (even a failed upgrade rejoins the old version — the roll
+    // aborts, it does not shrink the fleet).
+    cluster.recover_device(device);
+    step.health_ok = step.upgraded && health(cluster);
+
+    if (!step.upgraded) {
+      step.note = "upgrade action failed; device restored on old version";
+      result.steps.push_back(step);
+      result.abort_reason =
+          "upgrade failed on device " + std::to_string(device);
+      return result;
+    }
+    if (!step.health_ok) {
+      step.note = "post-upgrade health check failed";
+      result.steps.push_back(step);
+      result.abort_reason =
+          "health gate failed after device " + std::to_string(device);
+      return result;
+    }
+    step.note = "ok";
+    result.steps.push_back(step);
+  }
+  result.completed = result.steps.size() == primaries;
+  return result;
+}
+
+}  // namespace sf::cluster

@@ -1,0 +1,56 @@
+// Rolling gateway upgrades — §2.2's "iterative yet tractable upgrades"
+// and §6.1's node-level procedure ("the gateway will be put offline and
+// the other gateways in the same cluster will share the traffic load"):
+// one device at a time is drained out of the ECMP set, upgraded, brought
+// back, health-checked, and only then does the roll move on. A failed
+// health check stops the roll with the fleet still serving.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace sf::cluster {
+
+class RollingUpgrade {
+ public:
+  struct Config {
+    /// Primaries that must stay live while one device is drained.
+    std::size_t min_live_devices = 1;
+  };
+
+  struct StepResult {
+    std::size_t device = 0;
+    bool upgraded = false;
+    bool health_ok = false;
+    std::string note;
+  };
+
+  struct Result {
+    std::vector<StepResult> steps;
+    bool completed = false;  // every primary upgraded and healthy
+    std::string abort_reason;
+  };
+
+  /// The upgrade action: applied to a drained device; returns success.
+  using UpgradeFn = std::function<bool(xgwh::XgwH&)>;
+  /// Health gate run after the device rejoins; returns pass.
+  using HealthFn = std::function<bool(const XgwHCluster&)>;
+
+  RollingUpgrade() : RollingUpgrade(Config{}) {}
+  explicit RollingUpgrade(Config config) : config_(config) {}
+
+  /// Rolls over the cluster's primary devices in index order.
+  Result run(XgwHCluster& cluster, const UpgradeFn& upgrade,
+             const HealthFn& health) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace sf::cluster

@@ -1,0 +1,73 @@
+#include "core/cache_cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sf::core {
+
+CacheClusterPlan::CacheClusterPlan(Config config) : config_(config) {
+  if (config_.cache_clusters == 0 || config_.active_entry_fraction <= 0 ||
+      config_.active_entry_fraction > 1) {
+    throw std::invalid_argument("bad cache-cluster config");
+  }
+}
+
+std::vector<bool> active_set(std::span<const TenantActivity> tenants,
+                             double active_entry_fraction) {
+  // Greedy by traffic density (traffic per entry): the best use of the
+  // cache tier's entry budget.
+  std::vector<std::size_t> order(tenants.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = tenants[a].entry_share > 0
+                          ? tenants[a].traffic_share / tenants[a].entry_share
+                          : 0;
+    const double db = tenants[b].entry_share > 0
+                          ? tenants[b].traffic_share / tenants[b].entry_share
+                          : 0;
+    return da > db;
+  });
+
+  std::vector<bool> active(tenants.size(), false);
+  double budget = active_entry_fraction;
+  constexpr double kEpsilon = 1e-9;  // absorb accumulated rounding
+  for (std::size_t index : order) {
+    if (tenants[index].entry_share <= budget + kEpsilon) {
+      active[index] = true;
+      budget -= tenants[index].entry_share;
+    }
+  }
+  return active;
+}
+
+CacheClusterPlan::Analysis CacheClusterPlan::analyze(
+    std::span<const TenantActivity> tenants) const {
+  Analysis analysis;
+  const std::vector<bool> active =
+      active_set(tenants, config_.active_entry_fraction);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (active[i]) {
+      analysis.hit_rate += tenants[i].traffic_share;
+      ++analysis.active_tenants;
+    }
+  }
+  const double n = static_cast<double>(config_.cache_clusters);
+  const double hit = std::clamp(analysis.hit_rate, 0.0, 1.0);
+  const double cache_bound = hit > 0 ? n / hit : n;
+  const double backup_bound = hit < 1 ? 1.0 / (1.0 - hit) : cache_bound;
+  analysis.load_multiplier = std::min(cache_bound, backup_bound);
+  analysis.cost_ratio = n * config_.active_entry_fraction + 1.0;
+  return analysis;
+}
+
+std::size_t CacheClusterPlan::steer(std::size_t tenant,
+                                    const std::vector<bool>& active_flags)
+    const {
+  if (tenant < active_flags.size() && active_flags[tenant]) {
+    return tenant % config_.cache_clusters;
+  }
+  return config_.cache_clusters;  // the backup cluster
+}
+
+}  // namespace sf::core

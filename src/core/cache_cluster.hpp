@@ -1,0 +1,73 @@
+// "N+1" hierarchical cache clusters — the paper's future-work design (§8):
+// N cache clusters at the front serve only the *active* tenants' entries;
+// one backup cluster holds everything and absorbs cache misses. If 25% of
+// entries are active, 4 cache clusters + 1 backup give ~4x the processing
+// capability at ~2x the nodes.
+//
+// This module provides both the capacity-planning analysis (the paper's
+// arithmetic, generalized to a measured tenant-activity distribution) and
+// a functional steer() used to exercise the miss path in tests. It also
+// quantifies the §6.2 stability argument against TEA-style dynamic
+// caching: with *pre-identified* active sets the miss rate is a planning
+// input, not a runtime surprise.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sf::core {
+
+/// One tenant's share of table entries and of traffic.
+struct TenantActivity {
+  double entry_share = 0;    // fraction of all table entries
+  double traffic_share = 0;  // fraction of region traffic
+};
+
+class CacheClusterPlan {
+ public:
+  struct Config {
+    std::size_t cache_clusters = 4;
+    /// Fraction of all entries the active set may occupy (each cache
+    /// cluster holds exactly this fraction).
+    double active_entry_fraction = 0.25;
+  };
+
+  struct Analysis {
+    /// Traffic share served by the cache tier (active tenants).
+    double hit_rate = 0;
+    /// Max offered load relative to one cluster's throughput:
+    /// min(N / hit, 1 / (1 - hit)).
+    double load_multiplier = 0;
+    /// Memory (and, to first order, node) cost relative to one
+    /// full-table cluster: N * active_fraction + 1.
+    double cost_ratio = 0;
+    /// Tenants included in the active set.
+    std::size_t active_tenants = 0;
+  };
+
+  explicit CacheClusterPlan(Config config);
+
+  /// Greedily fills the active set with the highest traffic-per-entry
+  /// tenants until the entry budget is used, then evaluates the design.
+  Analysis analyze(std::span<const TenantActivity> tenants) const;
+
+  /// Functional steering for tenant index `tenant` (after analyze():
+  /// members of the active set round-robin over cache clusters; misses go
+  /// to the backup, returned as cluster index `cache_clusters`).
+  std::size_t steer(std::size_t tenant,
+                    const std::vector<bool>& active_flags) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Marks the active set chosen by CacheClusterPlan::analyze for use with
+/// steer(); returned vector parallels `tenants`.
+std::vector<bool> active_set(std::span<const TenantActivity> tenants,
+                             double active_entry_fraction);
+
+}  // namespace sf::core

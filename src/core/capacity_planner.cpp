@@ -1,0 +1,76 @@
+#include "core/capacity_planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::core {
+namespace {
+
+std::size_t ceil_div_positive(double numerator, double denominator) {
+  return static_cast<std::size_t>(std::ceil(numerator / denominator));
+}
+
+FleetPlan size_fleet(double traffic_bps, double node_bps,
+                     double water_level, bool backup,
+                     std::size_t min_nodes, double unit_cost,
+                     unsigned max_ecmp) {
+  FleetPlan plan;
+  std::size_t primaries = std::max(
+      min_nodes, ceil_div_positive(traffic_bps, node_bps * water_level));
+  plan.nodes = backup ? primaries * 2 : primaries;
+  // §2.3: the commercial next-hop limit partitions the *serving* set
+  // into multiple clusters behind different load balancers.
+  plan.clusters = std::max<std::size_t>(
+      1, ceil_div_positive(static_cast<double>(primaries),
+                           static_cast<double>(max_ecmp)));
+  plan.cost = static_cast<double>(plan.nodes) * unit_cost;
+  return plan;
+}
+
+}  // namespace
+
+CapacityPlan plan_region(const RegionRequirements& requirements,
+                         const NodeEconomics& economics) {
+  if (requirements.traffic_bps <= 0 || requirements.water_level <= 0 ||
+      requirements.water_level > 1) {
+    throw std::invalid_argument("plan_region: bad requirements");
+  }
+
+  CapacityPlan plan;
+
+  // The pre-Sailfish design: every bit crosses an XGW-x86.
+  plan.x86_only = size_fleet(
+      requirements.traffic_bps, economics.x86_capacity_bps,
+      requirements.water_level, requirements.backup_1_to_1, 1,
+      economics.x86_unit_cost, economics.max_ecmp_next_hops);
+
+  // Sailfish hardware: sized by traffic AND by table capacity (the
+  // entries a cluster must hold bound how far splitting can go, §4.4).
+  const std::size_t by_traffic = ceil_div_positive(
+      requirements.traffic_bps,
+      economics.xgwh_capacity_bps * requirements.water_level);
+  const std::size_t entry_clusters = ceil_div_positive(
+      static_cast<double>(requirements.table_entries),
+      static_cast<double>(economics.xgwh_entries));
+  const std::size_t hw_primaries = std::max(by_traffic, entry_clusters);
+  plan.sailfish_hardware = size_fleet(
+      static_cast<double>(hw_primaries) * economics.xgwh_capacity_bps *
+          requirements.water_level,
+      economics.xgwh_capacity_bps, requirements.water_level,
+      requirements.backup_1_to_1, hw_primaries, economics.xgwh_unit_cost,
+      economics.max_ecmp_next_hops);
+
+  // Sailfish software: only the fallback share crosses x86.
+  plan.sailfish_software = size_fleet(
+      requirements.traffic_bps * requirements.software_share,
+      economics.x86_capacity_bps, requirements.water_level,
+      requirements.backup_1_to_1, 2, economics.x86_unit_cost,
+      economics.max_ecmp_next_hops);
+
+  plan.sailfish_cost =
+      plan.sailfish_hardware.cost + plan.sailfish_software.cost;
+  plan.cost_reduction = 1.0 - plan.sailfish_cost / plan.x86_only.cost;
+  return plan;
+}
+
+}  // namespace sf::core

@@ -1,0 +1,62 @@
+// Region capacity planning and the CapEx comparison (§2.3, §4.2).
+//
+// The paper's arithmetic: a 15 Tbps region at a 50% water level with 1:1
+// disaster-tolerance backup needs 600 XGW-x86 boxes at O($10K) each —
+// O($10M); Sailfish replaces that with ~10 XGW-H (same unit price as an
+// x86 box) plus ~4 XGW-x86 for fallback, "reducing the total hardware
+// acquisition cost by more than 90%". This module reproduces that sizing
+// from first principles: given a traffic target and a table inventory, it
+// computes both fleets, their costs, and the ECMP-imposed cluster counts.
+
+#pragma once
+
+#include <cstddef>
+
+namespace sf::core {
+
+struct RegionRequirements {
+  double traffic_bps = 15e12;
+  /// Fraction of a node's capacity usable in production (§2.3: "50%
+  /// water level").
+  double water_level = 0.5;
+  /// 1:1 hot backup for disaster tolerance.
+  bool backup_1_to_1 = true;
+  /// Route + mapping entries the region must carry.
+  std::size_t table_entries = 2'000'000;
+  /// Traffic share that must stay on the software path (SNAT & long
+  /// tail) even in the Sailfish design.
+  double software_share = 0.0002;
+};
+
+struct NodeEconomics {
+  double x86_capacity_bps = 100e9;     // one XGW-x86 box
+  double xgwh_capacity_bps = 3.2e12;   // one folded XGW-H
+  /// "Roughly the same unit price" (§3.1): both default to $10K.
+  double x86_unit_cost = 10'000;
+  double xgwh_unit_cost = 10'000;
+  /// Entries one XGW-H holds after compression (Table 3 leaves ~2/3 of
+  /// SRAM free at 2M entries; 2M per gateway is the calibrated default).
+  std::size_t xgwh_entries = 2'000'000;
+  /// Commercial ECMP next-hop cap (§2.3) — bounds nodes per cluster.
+  unsigned max_ecmp_next_hops = 64;
+};
+
+struct FleetPlan {
+  std::size_t nodes = 0;      // including backups
+  std::size_t clusters = 0;   // ECMP groups needed
+  double cost = 0;
+};
+
+struct CapacityPlan {
+  FleetPlan x86_only;           // the pre-Sailfish design
+  FleetPlan sailfish_hardware;  // XGW-H fleet
+  FleetPlan sailfish_software;  // fallback XGW-x86 fleet
+  double sailfish_cost = 0;     // hardware + software
+  double cost_reduction = 0;    // 1 - sailfish/x86_only
+};
+
+/// Sizes both designs for the same requirements.
+CapacityPlan plan_region(const RegionRequirements& requirements,
+                         const NodeEconomics& economics);
+
+}  // namespace sf::core

@@ -1,0 +1,148 @@
+#include "core/path_trace.hpp"
+
+#include <sstream>
+
+namespace sf::core {
+namespace {
+
+const char* path_name(SailfishRegion::RegionResult::Path path) {
+  using Path = SailfishRegion::RegionResult::Path;
+  switch (path) {
+    case Path::kHardwareForwarded:
+      return "hardware-forwarded";
+    case Path::kHardwareTunnel:
+      return "hardware-tunnel";
+    case Path::kSoftwareForwarded:
+      return "software-forwarded";
+    case Path::kSoftwareSnat:
+      return "software-snat";
+    case Path::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PathTrace::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    out << "  [" << i + 1 << "] " << hops[i].where << ": "
+        << hops[i].detail << "\n";
+  }
+  out << "  => " << path_name(result.path);
+  if (!result.drop_reason.empty()) out << " (" << result.drop_reason << ")";
+  return out.str();
+}
+
+PathTrace trace_packet(SailfishRegion& region,
+                       const net::OverlayPacket& packet, double now) {
+  // This mirrors SailfishRegion::process() hop for hop; the picks use the
+  // same deterministic hashes, so the trace tells the truth about what
+  // process() does — without running the datapath twice.
+  PathTrace trace;
+  auto& controller = region.controller();
+
+  const auto cluster_id = controller.cluster_for(packet.vni);
+  if (!cluster_id) {
+    trace.hops.push_back({"vni-director",
+                          "vni " + std::to_string(packet.vni) +
+                              " not assigned to any cluster"});
+    trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
+    trace.result.drop_reason = "VNI not assigned to any cluster";
+    return trace;
+  }
+  trace.hops.push_back({"vni-director",
+                        "vni " + std::to_string(packet.vni) +
+                            " -> cluster " + std::to_string(*cluster_id)});
+
+  auto& cluster = controller.cluster(*cluster_id);
+  const auto device = cluster.pick_device(packet.inner);
+  if (!device) {
+    trace.hops.push_back(
+        {"cluster " + std::to_string(*cluster_id) + " ecmp",
+         "no live devices"});
+    trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
+    trace.result.drop_reason = "cluster has no live devices";
+    return trace;
+  }
+  trace.hops.push_back(
+      {"cluster " + std::to_string(*cluster_id) + " ecmp",
+       "flow hash -> device " + std::to_string(*device) + " (" +
+           cluster.device(*device).config().device_ip.to_string() + ")" +
+           (cluster.failed_over() ? " [serving from backups]" : "")});
+
+  auto hw = cluster.device(*device).process(packet, now);
+  {
+    std::ostringstream detail;
+    detail << to_string(hw.action) << ", " << hw.passes
+           << " pipeline pass(es)";
+    if (hw.shard_pipe) {
+      detail << ", loopback via egress pipe " << *hw.shard_pipe;
+    }
+    detail << ", " << hw.latency_us << " us";
+    if (!hw.drop_reason.empty()) detail << ", reason: " << hw.drop_reason;
+    trace.hops.push_back({"xgw-h", detail.str()});
+  }
+  trace.result.latency_us = hw.latency_us;
+
+  switch (hw.action) {
+    case xgwh::ForwardAction::kForwardToNc:
+      trace.hops.push_back({"underlay",
+                            "outer DIP " +
+                                hw.packet.outer_dst_ip.to_string() +
+                                " (destination NC)"});
+      trace.result.path =
+          SailfishRegion::RegionResult::Path::kHardwareForwarded;
+      trace.result.packet = std::move(hw.packet);
+      return trace;
+    case xgwh::ForwardAction::kForwardTunnel:
+      trace.hops.push_back({"underlay",
+                            "tunnel to " +
+                                hw.packet.outer_dst_ip.to_string()});
+      trace.result.path =
+          SailfishRegion::RegionResult::Path::kHardwareTunnel;
+      trace.result.packet = std::move(hw.packet);
+      return trace;
+    case xgwh::ForwardAction::kDrop:
+      trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
+      trace.result.drop_reason = std::move(hw.drop_reason);
+      return trace;
+    case xgwh::ForwardAction::kFallbackToX86:
+      break;
+  }
+
+  const std::size_t node = region.x86_node_index_for(packet.inner);
+  trace.hops.push_back({"fallback ecmp",
+                        "steered to xgw-x86 node " + std::to_string(node)});
+  auto sw = region.x86_node(node).process(packet, now);
+  {
+    std::ostringstream detail;
+    detail << to_string(sw.action) << ", " << sw.latency_us << " us";
+    if (sw.snat) {
+      detail << ", SNAT " << sw.snat->public_ip.to_string() << ":"
+             << sw.snat->public_port;
+    }
+    if (!sw.drop_reason.empty()) detail << ", reason: " << sw.drop_reason;
+    trace.hops.push_back({"xgw-x86", detail.str()});
+  }
+  trace.result.latency_us += sw.latency_us;
+  trace.result.packet = std::move(sw.packet);
+  switch (sw.action) {
+    case x86::X86Action::kForwardToNc:
+    case x86::X86Action::kForwardTunnel:
+      trace.result.path =
+          SailfishRegion::RegionResult::Path::kSoftwareForwarded;
+      break;
+    case x86::X86Action::kSnatToInternet:
+      trace.result.path = SailfishRegion::RegionResult::Path::kSoftwareSnat;
+      break;
+    case x86::X86Action::kDrop:
+      trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
+      trace.result.drop_reason = std::move(sw.drop_reason);
+      break;
+  }
+  return trace;
+}
+
+}  // namespace sf::core

@@ -1,0 +1,34 @@
+// Per-packet path tracing — the operational diagnosis flow the paper's
+// operators run with Vtrace [17] and probe packets (§6.1): for one packet,
+// record every hop decision across the region so a drop or misroute can
+// be localized (which cluster, which device, which pipeline pass, which
+// table verdict, hardware or software path).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace sf::core {
+
+struct TraceHop {
+  std::string where;    // "vni-director", "cluster 2 ecmp", "xgw-h", ...
+  std::string detail;   // human-readable decision
+};
+
+struct PathTrace {
+  std::vector<TraceHop> hops;
+  SailfishRegion::RegionResult result;
+
+  std::string to_string() const;
+};
+
+/// Runs one packet through the region, collecting the hop-by-hop story.
+/// Functionally identical to region.process(); the trace is assembled
+/// from the same decisions.
+PathTrace trace_packet(SailfishRegion& region,
+                       const net::OverlayPacket& packet, double now = 0);
+
+}  // namespace sf::core

@@ -1,0 +1,38 @@
+#include "core/rate_limiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sf::core {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  if (rate <= 0 || burst <= 0) {
+    throw std::invalid_argument("token bucket needs positive rate and burst");
+  }
+}
+
+void TokenBucket::refill(double now) {
+  if (now > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+    last_refill_ = now;
+  }
+}
+
+bool TokenBucket::try_consume(double amount, double now) {
+  refill(now);
+  if (tokens_ >= amount) {
+    tokens_ -= amount;
+    ++accepted_;
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+double TokenBucket::available(double now) {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace sf::core

@@ -1,0 +1,41 @@
+// A standalone token-bucket rate limiter. XGW-H instantiates one on its
+// fallback port (§4.2: "rate limiting is necessary at XGW-H before
+// forwarding the traffic to XGW-x86 for overload protection"); the region
+// uses another in front of the whole software fleet.
+
+#pragma once
+
+#include <cstdint>
+
+namespace sf::core {
+
+class TokenBucket {
+ public:
+  /// rate is in units per second (the caller chooses bytes or packets).
+  TokenBucket(double rate, double burst);
+
+  /// Consumes `amount` at time `now` if available. Time must be
+  /// monotonically non-decreasing across calls.
+  bool try_consume(double amount, double now);
+
+  /// Tokens currently available (after refill to `now`).
+  double available(double now);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void refill(double now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace sf::core

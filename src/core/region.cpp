@@ -1,0 +1,210 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+#include "net/hash.hpp"
+
+namespace sf::core {
+
+SailfishRegion::SailfishRegion(Config config)
+    : config_(config),
+      controller_(config.controller),
+      x86_ecmp_(config.x86_ecmp_max_next_hops) {
+  if (config_.x86_nodes == 0) {
+    throw std::invalid_argument("a region needs at least one XGW-x86");
+  }
+  for (std::size_t i = 0; i < config_.x86_nodes; ++i) {
+    x86::XgwX86::Config cfg = config_.x86_template;
+    cfg.device_ip =
+        net::Ipv4Addr(config_.x86_template.device_ip.value() +
+                      static_cast<std::uint32_t>(i));
+    x86_nodes_.push_back(std::make_unique<x86::XgwX86>(cfg));
+    x86_ecmp_.add(static_cast<std::uint32_t>(i));
+  }
+
+  // Software holds the complete tables: mirror every controller op.
+  controller_.set_mirror([this](const cluster::TableOp& op) {
+    for (auto& node : x86_nodes_) {
+      switch (op.kind) {
+        case cluster::TableOp::Kind::kAddRoute:
+          node->install_route(op.vni, op.prefix, op.route_action);
+          break;
+        case cluster::TableOp::Kind::kDelRoute:
+          node->remove_route(op.vni, op.prefix);
+          break;
+        case cluster::TableOp::Kind::kAddMapping:
+          node->install_mapping(op.mapping_key, op.mapping_action);
+          break;
+        case cluster::TableOp::Kind::kDelMapping:
+          node->remove_mapping(op.mapping_key);
+          break;
+      }
+    }
+  });
+
+  recovery_ = std::make_unique<cluster::DisasterRecovery>(
+      &controller_, cluster::DisasterRecovery::Config{});
+}
+
+std::size_t SailfishRegion::install_topology(
+    const workload::RegionTopology& region) {
+  return controller_.install_topology(region);
+}
+
+x86::XgwX86& SailfishRegion::x86_for_flow(const net::FiveTuple& tuple) {
+  auto member = x86_ecmp_.pick(tuple);
+  return *x86_nodes_[member.value_or(0)];
+}
+
+const x86::XgwX86& SailfishRegion::x86_for_flow(
+    const net::FiveTuple& tuple) const {
+  auto member = x86_ecmp_.pick(tuple);
+  return *x86_nodes_[member.value_or(0)];
+}
+
+std::size_t SailfishRegion::x86_node_index_for(
+    const net::FiveTuple& tuple) const {
+  return x86_ecmp_.pick(tuple).value_or(0);
+}
+
+SailfishRegion::RegionResult SailfishRegion::process(
+    const net::OverlayPacket& packet, double now) {
+  RegionResult result;
+
+  xgwh::ForwardResult hw = controller_.process(packet, now);
+  result.latency_us = hw.latency_us;
+
+  switch (hw.action) {
+    case xgwh::ForwardAction::kForwardToNc:
+      result.path = RegionResult::Path::kHardwareForwarded;
+      result.packet = std::move(hw.packet);
+      return result;
+    case xgwh::ForwardAction::kForwardTunnel:
+      result.path = RegionResult::Path::kHardwareTunnel;
+      result.packet = std::move(hw.packet);
+      return result;
+    case xgwh::ForwardAction::kDrop:
+      result.path = RegionResult::Path::kDropped;
+      result.drop_reason = std::move(hw.drop_reason);
+      return result;
+    case xgwh::ForwardAction::kFallbackToX86:
+      break;
+  }
+
+  // Software path: the XGW-H rewrote the outer header toward the fleet
+  // VIP; ECMP picks the node, which processes the *original* overlay
+  // packet (outer headers are re-derived there).
+  x86::XgwX86& node = x86_for_flow(packet.inner);
+  x86::X86Result sw = node.process(packet, now);
+  result.latency_us += sw.latency_us;
+  result.packet = std::move(sw.packet);
+  switch (sw.action) {
+    case x86::X86Action::kForwardToNc:
+    case x86::X86Action::kForwardTunnel:
+      result.path = RegionResult::Path::kSoftwareForwarded;
+      return result;
+    case x86::X86Action::kSnatToInternet:
+      result.path = RegionResult::Path::kSoftwareSnat;
+      return result;
+    case x86::X86Action::kDrop:
+      result.path = RegionResult::Path::kDropped;
+      result.drop_reason = std::move(sw.drop_reason);
+      return result;
+  }
+  return result;
+}
+
+SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
+    std::span<const workload::Flow> flows, double total_bps,
+    std::uint64_t jitter_key) const {
+  IntervalReport report;
+  report.offered_bps = total_bps;
+
+  // Per-device offered load on the hardware path, per cluster.
+  struct DeviceLoad {
+    double pps = 0;
+    double bps = 0;
+  };
+  std::vector<std::vector<DeviceLoad>> hw_load(controller_.cluster_count());
+  for (std::size_t c = 0; c < controller_.cluster_count(); ++c) {
+    hw_load[c].resize(controller_.cluster(c).device_count());
+  }
+  std::vector<std::vector<x86::FlowRate>> sw_flows(x86_nodes_.size());
+
+  for (const workload::Flow& flow : flows) {
+    const double bps = flow.weight * total_bps;
+    const double pps = bps / 8.0 / static_cast<double>(flow.packet_size);
+    report.offered_pps += pps;
+
+    const bool software_path =
+        flow.scope == tables::RouteScope::kInternet;
+    if (software_path) {
+      report.fallback_bps += bps;
+      auto member = x86_ecmp_.pick(flow.tuple);
+      sw_flows[member.value_or(0)].push_back(
+          x86::FlowRate{flow.tuple, pps, bps});
+      continue;
+    }
+
+    auto cluster_id = controller_.cluster_for(flow.vni);
+    if (!cluster_id) {
+      report.dropped_pps += pps;
+      continue;
+    }
+    const cluster::XgwHCluster& cluster = controller_.cluster(*cluster_id);
+    const std::size_t devices = std::max<std::size_t>(
+        1, cluster.live_device_count());
+    // Each Flow aggregates a tenant's many real 5-tuples, so ECMP spreads
+    // it near-uniformly over the cluster's live devices (device-level
+    // bins are huge — §5.2's balls-into-bins argument; contrast with the
+    // per-core lumping modeled in x86::simulate_interval).
+    for (std::size_t device = 0; device < devices; ++device) {
+      hw_load[*cluster_id][device].pps += pps / static_cast<double>(devices);
+      hw_load[*cluster_id][device].bps += bps / static_cast<double>(devices);
+    }
+
+    // Loopback-pipe accounting: the VNI's shard picks pipe 1 or 3
+    // (Fig. 14).
+    const unsigned pipe = 1 + 2 * xgwh::XgwH::shard_of_vni(flow.vni);
+    report.shard_pipe_bps[pipe] += bps;
+  }
+
+  // Hardware drops: per-device pps and bps ceilings (huge) plus the
+  // residual loss floor, deterministically jittered per interval.
+  double hw_pps = 0;
+  for (std::size_t c = 0; c < controller_.cluster_count(); ++c) {
+    if (controller_.cluster(c).device_count() == 0) continue;
+    const double cap_pps =
+        controller_.cluster(c).device(0).max_packet_rate_pps();
+    const double cap_bps =
+        controller_.cluster(c).device(0).max_throughput_bps();
+    for (const DeviceLoad& load : hw_load[c]) {
+      hw_pps += load.pps;
+      const double overload =
+          std::max({load.pps / cap_pps, load.bps / cap_bps, 1.0});
+      report.dropped_pps += load.pps * (1.0 - 1.0 / overload);
+    }
+  }
+  const double jitter =
+      0.5 + 1.5 * (static_cast<double>(net::mix64(jitter_key) >> 11) *
+                   0x1.0p-53);
+  report.dropped_pps += hw_pps * config_.hardware_loss_floor * jitter;
+
+  // Software path: per-node RSS/core simulation.
+  for (std::size_t n = 0; n < x86_nodes_.size(); ++n) {
+    if (sw_flows[n].empty()) continue;
+    const x86::IntervalReport node_report =
+        x86_nodes_[n]->simulate_interval(sw_flows[n]);
+    report.dropped_pps += node_report.dropped_pps;
+    report.x86_max_core_utilization = std::max(
+        report.x86_max_core_utilization, node_report.max_core_utilization);
+  }
+
+  report.drop_rate =
+      report.offered_pps > 0 ? report.dropped_pps / report.offered_pps : 0;
+  report.fallback_ratio =
+      total_bps > 0 ? report.fallback_bps / total_bps : 0;
+  return report;
+}
+
+}  // namespace sf::core

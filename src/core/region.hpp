@@ -1,0 +1,114 @@
+// The full Sailfish region (Fig. 10): XGW-H clusters behind the load
+// balancers absorbing the majority of traffic, an XGW-x86 fleet behind
+// them holding the complete tables and the stateful SNAT, one central
+// controller splitting tables across clusters, and disaster recovery.
+//
+// Two ways to use it:
+//   * the functional path — process() runs one packet end to end through
+//     the hardware (and, for fallback traffic, the software) gateway;
+//   * the interval simulator — simulate_interval() takes a flow population
+//     and an offered rate and reports drops, the HW/SW traffic split and
+//     the loopback-pipe balance: the inputs of Figs. 19-22.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/controller.hpp"
+#include "cluster/disaster_recovery.hpp"
+#include "core/rate_limiter.hpp"
+#include "workload/flowgen.hpp"
+#include "x86/xgw_x86.hpp"
+
+namespace sf::core {
+
+class SailfishRegion {
+ public:
+  struct Config {
+    cluster::Controller::Config controller;
+    std::size_t x86_nodes = 4;
+    x86::XgwX86::Config x86_template;
+    /// Residual per-packet loss probability of the hardware path — port
+    /// bit errors and rare microbursts. The 1e-11..1e-10 band of Fig. 19.
+    double hardware_loss_floor = 3e-11;
+    unsigned x86_ecmp_max_next_hops = 64;
+  };
+
+  explicit SailfishRegion(Config config);
+
+  // ---- provisioning ---------------------------------------------------------
+
+  /// Installs the topology into hardware (split by VNI across clusters)
+  /// and mirrors everything into every XGW-x86 node. Returns admitted VPCs.
+  std::size_t install_topology(const workload::RegionTopology& region);
+
+  cluster::Controller& controller() { return controller_; }
+  const cluster::Controller& controller() const { return controller_; }
+  cluster::DisasterRecovery& disaster_recovery() { return *recovery_; }
+
+  std::size_t x86_node_count() const { return x86_nodes_.size(); }
+  x86::XgwX86& x86_node(std::size_t index) { return *x86_nodes_.at(index); }
+
+  /// The software node the fallback path would pick for a flow (tracing).
+  std::size_t x86_node_index_for(const net::FiveTuple& tuple) const;
+
+  // ---- functional end-to-end path -------------------------------------------
+
+  struct RegionResult {
+    enum class Path : std::uint8_t {
+      kHardwareForwarded,  // LB -> XGW-H -> NC
+      kHardwareTunnel,     // LB -> XGW-H -> remote region/IDC
+      kSoftwareForwarded,  // LB -> XGW-H -> XGW-x86 -> NC
+      kSoftwareSnat,       // LB -> XGW-H -> XGW-x86 -> Internet
+      kDropped,
+    };
+    Path path = Path::kDropped;
+    net::OverlayPacket packet;
+    std::string drop_reason;
+    double latency_us = 0;
+  };
+
+  RegionResult process(const net::OverlayPacket& packet, double now = 0);
+
+  // ---- interval performance simulation ----------------------------------------
+
+  struct IntervalReport {
+    double offered_bps = 0;
+    double offered_pps = 0;
+    double dropped_pps = 0;
+    double drop_rate = 0;
+    /// Traffic carried by the software path.
+    double fallback_bps = 0;
+    double fallback_ratio = 0;
+    /// Bits/s crossing each loopback egress pipe, summed over clusters
+    /// (indices 1 and 3 are the interesting ones — Figs. 20/21).
+    std::array<double, 4> shard_pipe_bps{};
+    double x86_max_core_utilization = 0;
+  };
+
+  /// Simulates one interval: each flow offers weight * total_bps.
+  /// `jitter_key` deterministically perturbs the hardware loss floor so a
+  /// time series shows the Fig. 19 band rather than a flat line.
+  IntervalReport simulate_interval(std::span<const workload::Flow> flows,
+                                   double total_bps,
+                                   std::uint64_t jitter_key = 0) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple);
+  const x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple) const;
+
+  Config config_;
+  cluster::Controller controller_;
+  std::vector<std::unique_ptr<x86::XgwX86>> x86_nodes_;
+  cluster::EcmpGroup x86_ecmp_;
+  std::unique_ptr<cluster::DisasterRecovery> recovery_;
+};
+
+}  // namespace sf::core

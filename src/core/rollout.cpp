@@ -1,0 +1,47 @@
+#include "core/rollout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::core {
+
+double fleet_install_seconds(std::size_t nodes, std::size_t entries,
+                             double entries_per_second_per_node,
+                             std::size_t parallel_streams) {
+  if (nodes == 0 || entries_per_second_per_node <= 0 ||
+      parallel_streams == 0) {
+    throw std::invalid_argument("fleet_install_seconds: bad arguments");
+  }
+  const double per_node =
+      static_cast<double>(entries) / entries_per_second_per_node;
+  const double waves = std::ceil(static_cast<double>(nodes) /
+                                 static_cast<double>(parallel_streams));
+  return per_node * waves;
+}
+
+std::vector<RolloutManager::StageResult> RolloutManager::admit_traffic(
+    SailfishRegion& region, std::span<const workload::Flow> flows,
+    double total_bps) const {
+  std::vector<StageResult> stages;
+  for (std::size_t step = 0; step < config_.admission_steps.size(); ++step) {
+    const double fraction = config_.admission_steps[step];
+    StageResult stage;
+    stage.fraction = fraction;
+    stage.offered_bps = total_bps * fraction;
+    const auto report = region.simulate_interval(
+        flows, stage.offered_bps, /*jitter_key=*/step + 1);
+    stage.drop_rate = report.drop_rate;
+    stage.passed = report.drop_rate <= config_.max_drop_rate;
+    stages.push_back(stage);
+    if (!stage.passed) break;  // §6.1: stop and alert, don't push on
+  }
+  return stages;
+}
+
+bool RolloutManager::fully_admitted(const std::vector<StageResult>& stages,
+                                    const Config& config) {
+  return stages.size() == config.admission_steps.size() &&
+         !stages.empty() && stages.back().passed;
+}
+
+}  // namespace sf::core

@@ -1,0 +1,68 @@
+// Staged traffic admission and fleet table rollout (§6.1): "if the user
+// traffic is too heavy, we will admit the traffic incrementally" — and
+// §2.3's pain: installing a full table set takes >10 minutes per XGW-x86,
+// so updating hundreds of software gateways is slow and coherence-prone.
+//
+// Two pieces:
+//  * fleet_install_seconds(): the time-to-coherence model comparing a
+//    hundreds-node software fleet with a ten-node hardware fleet.
+//  * RolloutManager: admits traffic in increasing fractions, running a
+//    health check (drop rate) between steps and aborting on regression.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace sf::core {
+
+/// Seconds until every node of a fleet holds the full table set, with the
+/// controller pushing to `parallel_streams` nodes concurrently.
+double fleet_install_seconds(std::size_t nodes, std::size_t entries,
+                             double entries_per_second_per_node,
+                             std::size_t parallel_streams);
+
+class RolloutManager {
+ public:
+  struct Config {
+    /// Admission fractions, in order; rollout stops on the first failing
+    /// health check.
+    std::vector<double> admission_steps = {0.01, 0.1, 0.5, 1.0};
+    /// Health gate between steps.
+    double max_drop_rate = 1e-6;
+  };
+
+  struct StageResult {
+    double fraction = 0;
+    double offered_bps = 0;
+    double drop_rate = 0;
+    bool passed = false;
+  };
+
+  RolloutManager();
+  explicit RolloutManager(Config config) : config_(std::move(config)) {}
+
+  /// Admits `total_bps` of the flow population in stages. Returns the
+  /// per-stage results; rollout halts at the first failed health check
+  /// (the returned vector then ends with the failing stage).
+  std::vector<StageResult> admit_traffic(
+      SailfishRegion& region, std::span<const workload::Flow> flows,
+      double total_bps) const;
+
+  /// True when every stage passed (traffic fully admitted).
+  static bool fully_admitted(const std::vector<StageResult>& stages,
+                             const Config& config);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+inline RolloutManager::RolloutManager() : RolloutManager(Config{}) {}
+
+}  // namespace sf::core

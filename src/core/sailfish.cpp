@@ -1,0 +1,31 @@
+#include "core/sailfish.hpp"
+
+namespace sf::core {
+
+const char* version() { return "sailfish 1.0.0"; }
+
+SailfishOptions quickstart_options() {
+  SailfishOptions options;
+  options.topology.vpc_count = 64;
+  options.topology.total_vms = 2000;
+  options.topology.nc_count = 200;
+  options.topology.seed = 42;
+  options.flows.flow_count = 500;
+  options.flows.seed = 43;
+  options.region.controller.cluster_template.primary_devices = 2;
+  options.region.controller.cluster_template.backup_devices = 2;
+  options.region.controller.max_clusters = 4;
+  options.region.x86_nodes = 2;
+  return options;
+}
+
+SailfishSystem make_system(const SailfishOptions& options) {
+  SailfishSystem system;
+  system.topology = workload::generate_topology(options.topology);
+  system.region = std::make_unique<SailfishRegion>(options.region);
+  system.admitted_vpcs = system.region->install_topology(system.topology);
+  system.flows = workload::generate_flows(system.topology, options.flows);
+  return system;
+}
+
+}  // namespace sf::core

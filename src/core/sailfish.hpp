@@ -1,0 +1,43 @@
+// Sailfish — top-level convenience API.
+//
+// The library's subsystems compose freely, but most users want "give me a
+// running region over a synthetic topology". This header is that: one call
+// builds the topology, the clusters, the controller, the software fleet
+// and installs everything.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/region.hpp"
+#include "workload/flowgen.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::core {
+
+/// Library version string.
+const char* version();
+
+struct SailfishOptions {
+  workload::TopologyConfig topology;
+  SailfishRegion::Config region;
+  workload::FlowGenConfig flows;
+};
+
+/// A fully wired system: region + the topology and flow population it was
+/// built from.
+struct SailfishSystem {
+  workload::RegionTopology topology;
+  std::vector<workload::Flow> flows;
+  std::unique_ptr<SailfishRegion> region;
+  std::size_t admitted_vpcs = 0;
+};
+
+/// Builds and provisions a complete Sailfish deployment.
+SailfishSystem make_system(const SailfishOptions& options);
+
+/// A small, fast default setup for examples and smoke tests.
+SailfishOptions quickstart_options();
+
+}  // namespace sf::core

@@ -1,0 +1,69 @@
+#include "core/table_sharing.hpp"
+
+#include <stdexcept>
+
+namespace sf::core {
+
+std::string to_string(Placement placement) {
+  return placement == Placement::kHardware ? "XGW-H" : "XGW-x86";
+}
+
+Placement decide_placement(const ServiceProfile& profile,
+                           const SharingPolicy& policy) {
+  if (profile.stateful) return Placement::kSoftware;
+  if (profile.entries > policy.max_entries) return Placement::kSoftware;
+  if (profile.update_rate_per_s > policy.max_update_rate_per_s) {
+    return Placement::kSoftware;
+  }
+  if (profile.stable_days < policy.min_stable_days) {
+    return Placement::kSoftware;
+  }
+  if (profile.traffic_share < policy.min_traffic_share) {
+    return Placement::kSoftware;
+  }
+  return Placement::kHardware;
+}
+
+std::vector<Placement> decide_catalog(std::span<const ServiceProfile> catalog,
+                                      const SharingPolicy& policy) {
+  std::vector<Placement> placements;
+  placements.reserve(catalog.size());
+  for (const ServiceProfile& profile : catalog) {
+    placements.push_back(decide_placement(profile, policy));
+  }
+  return placements;
+}
+
+double software_traffic_share(std::span<const ServiceProfile> catalog,
+                              std::span<const Placement> placements) {
+  if (catalog.size() != placements.size()) {
+    throw std::invalid_argument("catalog/placement size mismatch");
+  }
+  double software = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    total += catalog[i].traffic_share;
+    if (placements[i] == Placement::kSoftware) {
+      software += catalog[i].traffic_share;
+    }
+  }
+  return total > 0 ? software / total : 0;
+}
+
+std::vector<ServiceProfile> default_service_catalog() {
+  // Traffic shares reflect the paper's 80/20 observation: the two major
+  // forwarding services dominate; the long tail of services is thin.
+  return {
+      // VPC routing covers both major tables (VXLAN routing + VM-NC).
+      {"vpc_routing_east_west", 0.912, 2.0, 2'000'000, false, 900},
+      {"cross_region_tunnels", 0.061, 0.5, 120'000, false, 500},
+      {"idc_cen_access", 0.024, 0.5, 80'000, false, 420},
+      {"qos_acl_metering", 0.0021, 1.0, 150'000, false, 300},
+      {"snat_internet_access", 0.00052, 800.0, 100'000'000, true, 700},
+      {"festival_lb_steering", 0.00021, 200.0, 40'000, false, 3},
+      {"newborn_service_beta", 0.00006, 20.0, 5'000, false, 10},
+      {"vpn_long_tail", 0.00004, 80.0, 2'000'000, true, 200},
+  };
+}
+
+}  // namespace sf::core

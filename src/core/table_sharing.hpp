@@ -1,0 +1,64 @@
+// Hardware/software table-sharing policy (§4.2).
+//
+// The paper's data mining found the 80/20 rule: ~5% of table entries carry
+// ~95% of traffic. Sailfish therefore puts a few key, stable tables in
+// XGW-H to absorb the majority of traffic and leaves volatile tables and
+// huge stateful tables (SNAT: O(100M) sessions) in XGW-x86. These
+// decisions are predetermined by the central controller; this module is
+// that decision function.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sf::core {
+
+enum class Placement : std::uint8_t { kHardware, kSoftware };
+
+std::string to_string(Placement placement);
+
+/// What the controller knows about one cloud service's table.
+struct ServiceProfile {
+  std::string name;
+  double traffic_share = 0;      // fraction of region traffic hitting it
+  double update_rate_per_s = 0;  // table churn
+  std::size_t entries = 0;
+  bool stateful = false;         // per-session state (SNAT-like)
+  double stable_days = 0;        // time since last forwarding-logic change
+};
+
+struct SharingPolicy {
+  /// Tables carrying less traffic than this are not worth hardware slots.
+  double min_traffic_share = 0.001;
+  /// Churny tables stay in software (hardware updates are slower and
+  /// riskier).
+  double max_update_rate_per_s = 50;
+  /// Entry budget a table may claim in hardware.
+  std::size_t max_entries = 2'000'000;
+  /// "Unstable newborn services ... are carried by XGW-x86" (§4.2).
+  double min_stable_days = 30;
+};
+
+/// The controller's placement decision for one service table.
+Placement decide_placement(const ServiceProfile& profile,
+                           const SharingPolicy& policy);
+
+/// Decides a whole service catalog; returns per-service placements in
+/// input order.
+std::vector<Placement> decide_catalog(std::span<const ServiceProfile> catalog,
+                                      const SharingPolicy& policy);
+
+/// Fraction of traffic that ends up on the software path under the given
+/// placements — the quantity Fig. 22 shows staying below 0.2‰ for the
+/// production catalog.
+double software_traffic_share(std::span<const ServiceProfile> catalog,
+                              std::span<const Placement> placements);
+
+/// The production-like service catalog used by benches and examples
+/// (traffic shares follow the paper's 80/20 observation).
+std::vector<ServiceProfile> default_service_catalog();
+
+}  // namespace sf::core

@@ -1,0 +1,36 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace sf::net {
+namespace {
+
+std::uint32_t ones_complement_sum(std::span<const std::uint8_t> data,
+                                  std::size_t skip_at) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < data.size() + 1; i += 2) {
+    if (i == skip_at) continue;
+    std::uint16_t word = static_cast<std::uint16_t>(data[i] << 8);
+    if (i + 1 < data.size()) word |= data[i + 1];
+    sum += word;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(
+      ~ones_complement_sum(data, data.size() + 2));
+}
+
+std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header) {
+  return static_cast<std::uint16_t>(~ones_complement_sum(header, 10));
+}
+
+bool ipv4_header_checksum_ok(std::span<const std::uint8_t> header) {
+  return ones_complement_sum(header, header.size() + 2) == 0xffff;
+}
+
+}  // namespace sf::net

@@ -1,0 +1,22 @@
+// RFC 1071 internet checksum and the IPv4 header checksum helper.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sf::net {
+
+/// One's-complement sum folded to 16 bits over a byte span (RFC 1071).
+/// An odd trailing byte is padded with zero, as the RFC specifies.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Computes the IPv4 header checksum over an encoded 20-byte header whose
+/// checksum field (bytes 10..11) is treated as zero.
+std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header);
+
+/// True when the encoded IPv4 header verifies (sum including the stored
+/// checksum folds to zero).
+bool ipv4_header_checksum_ok(std::span<const std::uint8_t> header);
+
+}  // namespace sf::net

@@ -1,0 +1,46 @@
+#include "net/hash.hpp"
+
+#include <array>
+
+namespace sf::net {
+namespace {
+
+// Builds the reflected CRC32-C table at static-init time.
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  constexpr std::uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const auto table = make_crc32c_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xff];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_u64(std::uint64_t value, std::uint32_t seed) {
+  std::array<std::uint8_t, 8> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return crc32c(bytes, seed);
+}
+
+}  // namespace sf::net

@@ -1,0 +1,205 @@
+#include "net/headers.hpp"
+
+#include <cassert>
+
+#include "net/hash.hpp"
+
+namespace sf::net {
+namespace {
+
+void put_u16(ByteSpan out, std::size_t at, std::uint16_t value) {
+  out[at] = static_cast<std::uint8_t>(value >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(value);
+}
+
+void put_u32(ByteSpan out, std::size_t at, std::uint32_t value) {
+  out[at] = static_cast<std::uint8_t>(value >> 24);
+  out[at + 1] = static_cast<std::uint8_t>(value >> 16);
+  out[at + 2] = static_cast<std::uint8_t>(value >> 8);
+  out[at + 3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint16_t get_u16(ConstByteSpan in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get_u32(ConstByteSpan in, std::size_t at) {
+  return (std::uint32_t{in[at]} << 24) | (std::uint32_t{in[at + 1]} << 16) |
+         (std::uint32_t{in[at + 2]} << 8) | in[at + 3];
+}
+
+}  // namespace
+
+void EthernetHeader::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  auto d = dst.bytes();
+  auto s = src.bytes();
+  std::copy(d.begin(), d.end(), out.begin());
+  std::copy(s.begin(), s.end(), out.begin() + 6);
+  put_u16(out, 12, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  EthernetHeader hdr;
+  std::uint64_t dst_bits = 0;
+  std::uint64_t src_bits = 0;
+  for (int i = 0; i < 6; ++i) {
+    dst_bits = (dst_bits << 8) | in[static_cast<size_t>(i)];
+    src_bits = (src_bits << 8) | in[static_cast<size_t>(6 + i)];
+  }
+  hdr.dst = MacAddr(dst_bits);
+  hdr.src = MacAddr(src_bits);
+  hdr.ether_type = get_u16(in, 12);
+  return hdr;
+}
+
+void Ipv4Header::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = dscp_ecn;
+  put_u16(out, 2, total_length);
+  put_u16(out, 4, identification);
+  put_u16(out, 6, flags_fragment);
+  out[8] = ttl;
+  out[9] = protocol;
+  put_u16(out, 10, checksum);
+  put_u32(out, 12, src.value());
+  put_u32(out, 16, dst.value());
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  if ((in[0] >> 4) != 4) return std::nullopt;
+  if ((in[0] & 0x0f) < 5) return std::nullopt;
+  Ipv4Header hdr;
+  hdr.dscp_ecn = in[1];
+  hdr.total_length = get_u16(in, 2);
+  hdr.identification = get_u16(in, 4);
+  hdr.flags_fragment = get_u16(in, 6);
+  hdr.ttl = in[8];
+  hdr.protocol = in[9];
+  hdr.checksum = get_u16(in, 10);
+  hdr.src = Ipv4Addr(get_u32(in, 12));
+  hdr.dst = Ipv4Addr(get_u32(in, 16));
+  return hdr;
+}
+
+void Ipv6Header::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  put_u32(out, 0,
+          (std::uint32_t{6} << 28) | (std::uint32_t{traffic_class} << 20) |
+              (flow_label & 0xfffff));
+  put_u16(out, 4, payload_length);
+  out[6] = next_header;
+  out[7] = hop_limit;
+  auto s = src.bytes();
+  auto d = dst.bytes();
+  std::copy(s.begin(), s.end(), out.begin() + 8);
+  std::copy(d.begin(), d.end(), out.begin() + 24);
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  std::uint32_t word0 = get_u32(in, 0);
+  if ((word0 >> 28) != 6) return std::nullopt;
+  Ipv6Header hdr;
+  hdr.traffic_class = static_cast<std::uint8_t>(word0 >> 20);
+  hdr.flow_label = word0 & 0xfffff;
+  hdr.payload_length = get_u16(in, 4);
+  hdr.next_header = in[6];
+  hdr.hop_limit = in[7];
+  std::array<std::uint8_t, 16> bytes{};
+  std::copy(in.begin() + 8, in.begin() + 24, bytes.begin());
+  hdr.src = Ipv6Addr::from_bytes(bytes);
+  std::copy(in.begin() + 24, in.begin() + 40, bytes.begin());
+  hdr.dst = Ipv6Addr::from_bytes(bytes);
+  return hdr;
+}
+
+void UdpHeader::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  put_u16(out, 0, src_port);
+  put_u16(out, 2, dst_port);
+  put_u16(out, 4, length);
+  put_u16(out, 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  UdpHeader hdr;
+  hdr.src_port = get_u16(in, 0);
+  hdr.dst_port = get_u16(in, 2);
+  hdr.length = get_u16(in, 4);
+  hdr.checksum = get_u16(in, 6);
+  return hdr;
+}
+
+void TcpHeader::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  put_u16(out, 0, src_port);
+  put_u16(out, 2, dst_port);
+  put_u32(out, 4, seq);
+  put_u32(out, 8, ack);
+  out[12] = static_cast<std::uint8_t>(data_offset << 4);
+  out[13] = flags;
+  put_u16(out, 14, window);
+  put_u16(out, 16, checksum);
+  put_u16(out, 18, urgent);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  TcpHeader hdr;
+  hdr.src_port = get_u16(in, 0);
+  hdr.dst_port = get_u16(in, 2);
+  hdr.seq = get_u32(in, 4);
+  hdr.ack = get_u32(in, 8);
+  hdr.data_offset = in[12] >> 4;
+  if (hdr.data_offset < 5) return std::nullopt;
+  hdr.flags = in[13];
+  hdr.window = get_u16(in, 14);
+  hdr.checksum = get_u16(in, 16);
+  hdr.urgent = get_u16(in, 18);
+  return hdr;
+}
+
+void VxlanHeader::write(ByteSpan out) const {
+  assert(out.size() >= kSize);
+  out[0] = flags;
+  out[1] = out[2] = out[3] = 0;
+  put_u32(out, 4, (vni & 0xffffff) << 8);
+}
+
+std::optional<VxlanHeader> VxlanHeader::parse(ConstByteSpan in) {
+  if (in.size() < kSize) return std::nullopt;
+  VxlanHeader hdr;
+  hdr.flags = in[0];
+  if ((hdr.flags & kFlagVni) == 0) return std::nullopt;
+  hdr.vni = get_u32(in, 4) >> 8;
+  return hdr;
+}
+
+std::uint64_t FiveTuple::hash() const {
+  std::uint64_t h = hash_combine(hash_ip(src), hash_ip(dst));
+  std::uint64_t ports = (std::uint64_t{proto} << 32) |
+                        (std::uint64_t{src_port} << 16) | dst_port;
+  return hash_combine(h, mix64(ports));
+}
+
+std::uint32_t FiveTuple::rss_hash(std::uint32_t seed) const {
+  // Hash the canonical byte layout: src ip | dst ip | proto | ports.
+  std::array<std::uint8_t, 16 + 16 + 1 + 4> bytes{};
+  auto s = src.widened().bytes();
+  auto d = dst.widened().bytes();
+  std::copy(s.begin(), s.end(), bytes.begin());
+  std::copy(d.begin(), d.end(), bytes.begin() + 16);
+  bytes[32] = proto;
+  bytes[33] = static_cast<std::uint8_t>(src_port >> 8);
+  bytes[34] = static_cast<std::uint8_t>(src_port);
+  bytes[35] = static_cast<std::uint8_t>(dst_port >> 8);
+  bytes[36] = static_cast<std::uint8_t>(dst_port);
+  return crc32c(bytes, seed);
+}
+
+}  // namespace sf::net

@@ -1,0 +1,137 @@
+// Wire-format header codecs: Ethernet, IPv4, IPv6, UDP, TCP, VXLAN.
+//
+// Each header type is a plain struct of host-order fields with write()/parse()
+// codecs that handle network byte order. parse() returns std::nullopt when
+// the input is shorter than the encoded size or structurally invalid;
+// higher-level validation (checksums, lengths) lives in net/packet.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace sf::net {
+
+using ByteSpan = std::span<std::uint8_t>;
+using ConstByteSpan = std::span<const std::uint8_t>;
+
+/// EtherType values the gateway parses.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kIpv6 = 0x86dd,
+};
+
+/// IP protocol numbers the gateway parses.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// The IANA-assigned VXLAN UDP destination port.
+inline constexpr std::uint16_t kVxlanPort = 4789;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  void write(ByteSpan out) const;
+  static std::optional<EthernetHeader> parse(ConstByteSpan in);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // without options
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // 0 on build; write() does not compute it
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  void write(ByteSpan out) const;
+  static std::optional<Ipv4Header> parse(ConstByteSpan in);
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Addr src;
+  Ipv6Addr dst;
+
+  void write(ByteSpan out) const;
+  static std::optional<Ipv6Header> parse(ConstByteSpan in);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  void write(ByteSpan out) const;
+  static std::optional<UdpHeader> parse(ConstByteSpan in);
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // without options
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  void write(ByteSpan out) const;
+  static std::optional<TcpHeader> parse(ConstByteSpan in);
+};
+
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint8_t kFlagVni = 0x08;  // "I" bit: VNI is valid
+
+  std::uint8_t flags = kFlagVni;
+  std::uint32_t vni = 0;  // 24 bits
+
+  void write(ByteSpan out) const;
+  static std::optional<VxlanHeader> parse(ConstByteSpan in);
+};
+
+/// The transport 5-tuple, the key of RSS hashing and the SNAT session table.
+struct FiveTuple {
+  IpAddr src;
+  IpAddr dst;
+  std::uint8_t proto = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Symmetric-free (direction-sensitive) 64-bit hash.
+  std::uint64_t hash() const;
+
+  /// CRC32-C flow hash as a NIC RSS engine would compute it.
+  std::uint32_t rss_hash(std::uint32_t seed = 0) const;
+};
+
+}  // namespace sf::net

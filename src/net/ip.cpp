@@ -1,0 +1,342 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace sf::net {
+namespace {
+
+// Parses a decimal integer in [0, max] and advances *text past it.
+std::optional<unsigned> parse_decimal(std::string_view* text, unsigned max) {
+  unsigned value = 0;
+  const char* begin = text->data();
+  const char* end = begin + text->size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) return std::nullopt;
+  // Reject leading zeros such as "01" (ambiguous octal in classic tools).
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text->remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+std::optional<unsigned> parse_hex16(std::string_view* text) {
+  unsigned value = 0;
+  const char* begin = text->data();
+  const char* end = begin + std::min<std::size_t>(text->size(), 4);
+  auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  text->remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto value = parse_decimal(&text, 255);
+    if (!value) return std::nullopt;
+    bits = (bits << 8) | *value;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr(bits);
+}
+
+Ipv4Addr Ipv4Addr::must_parse(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) {
+    throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+  }
+  return *addr;
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bits_ >> 24,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+Ipv6Addr Ipv6Addr::from_bytes(const std::array<std::uint8_t, 16>& bytes) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | bytes[static_cast<size_t>(i)];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | bytes[static_cast<size_t>(i)];
+  return Ipv6Addr(hi, lo);
+}
+
+std::array<std::uint8_t, 16> Ipv6Addr::bytes() const {
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(i)] =
+        static_cast<std::uint8_t>(hi_ >> (56 - 8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(8 + i)] =
+        static_cast<std::uint8_t>(lo_ >> (56 - 8 * i));
+  }
+  return out;
+}
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  // Split around a single optional "::".
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+
+  if (text.starts_with("::")) {
+    seen_gap = true;
+    text.remove_prefix(2);
+  }
+
+  std::vector<std::uint16_t>* current = seen_gap ? &tail : &head;
+  bool expect_group = !text.empty();
+  while (!text.empty()) {
+    // A trailing dotted-quad contributes two groups.
+    if (text.find('.') != std::string_view::npos &&
+        text.find(':') == std::string_view::npos) {
+      auto v4 = Ipv4Addr::parse(text);
+      if (!v4) return std::nullopt;
+      current->push_back(static_cast<std::uint16_t>(v4->value() >> 16));
+      current->push_back(static_cast<std::uint16_t>(v4->value() & 0xffff));
+      text = {};
+      expect_group = false;
+      break;
+    }
+    auto group = parse_hex16(&text);
+    if (!group) return std::nullopt;
+    current->push_back(static_cast<std::uint16_t>(*group));
+    expect_group = false;
+    if (text.empty()) break;
+    if (text.starts_with("::")) {
+      if (seen_gap) return std::nullopt;
+      seen_gap = true;
+      current = &tail;
+      text.remove_prefix(2);
+      expect_group = false;  // "::" may legally end the address
+    } else if (text.starts_with(":")) {
+      text.remove_prefix(1);
+      expect_group = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (expect_group) return std::nullopt;
+
+  const std::size_t groups = head.size() + tail.size();
+  if (groups > 8) return std::nullopt;
+  if (!seen_gap && groups != 8) return std::nullopt;
+  if (seen_gap && groups == 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> all{};
+  for (std::size_t i = 0; i < head.size(); ++i) all[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    all[8 - tail.size() + i] = tail[i];
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | all[static_cast<size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | all[static_cast<size_t>(i)];
+  return Ipv6Addr(hi, lo);
+}
+
+Ipv6Addr Ipv6Addr::must_parse(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) {
+    throw std::invalid_argument("bad IPv6 address: " + std::string(text));
+  }
+  return *addr;
+}
+
+std::string Ipv6Addr::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<size_t>(i)] =
+        static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<size_t>(4 + i)] =
+        static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+  }
+
+  // RFC 5952: compress the longest run of zero groups (>= 2 groups),
+  // leftmost on ties.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // The preceding group suppressed its separator, so the gap always
+      // contributes both colons.
+      out += "::";
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<size_t>(i)]);
+    out += buf;
+    ++i;
+    if (i < 8 && i != best_start) out += ':';
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    auto v6 = Ipv6Addr::parse(text);
+    if (!v6) return std::nullopt;
+    return IpAddr(*v6);
+  }
+  auto v4 = Ipv4Addr::parse(text);
+  if (!v4) return std::nullopt;
+  return IpAddr(*v4);
+}
+
+IpAddr IpAddr::must_parse(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) {
+    throw std::invalid_argument("bad IP address: " + std::string(text));
+  }
+  return *addr;
+}
+
+std::string IpAddr::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, unsigned length) : length_(length) {
+  if (length > 32) {
+    throw std::invalid_argument("IPv4 prefix length > 32");
+  }
+  addr_ = Ipv4Addr(addr.value() & mask());
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = parse_decimal(&rest, 32);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Ipv4Prefix(*addr, *len);
+}
+
+Ipv4Prefix Ipv4Prefix::must_parse(std::string_view text) {
+  auto prefix = parse(text);
+  if (!prefix) {
+    throw std::invalid_argument("bad IPv4 prefix: " + std::string(text));
+  }
+  return *prefix;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+namespace {
+
+Ipv6Addr mask_v6(const Ipv6Addr& addr, unsigned length) {
+  std::uint64_t hi_mask =
+      length >= 64 ? ~std::uint64_t{0}
+                   : (length == 0 ? 0 : ~std::uint64_t{0} << (64 - length));
+  std::uint64_t lo_mask =
+      length <= 64 ? 0
+      : (length >= 128 ? ~std::uint64_t{0}
+                       : ~std::uint64_t{0} << (128 - length));
+  return Ipv6Addr(addr.hi() & hi_mask, addr.lo() & lo_mask);
+}
+
+}  // namespace
+
+Ipv6Prefix::Ipv6Prefix(Ipv6Addr addr, unsigned length) : length_(length) {
+  if (length > 128) {
+    throw std::invalid_argument("IPv6 prefix length > 128");
+  }
+  addr_ = mask_v6(addr, length);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv6Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = parse_decimal(&rest, 128);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Ipv6Prefix(*addr, *len);
+}
+
+Ipv6Prefix Ipv6Prefix::must_parse(std::string_view text) {
+  auto prefix = parse(text);
+  if (!prefix) {
+    throw std::invalid_argument("bad IPv6 prefix: " + std::string(text));
+  }
+  return *prefix;
+}
+
+bool Ipv6Prefix::contains(const Ipv6Addr& ip) const {
+  return mask_v6(ip, length_) == addr_;
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    auto v6 = Ipv6Prefix::parse(text);
+    if (!v6) return std::nullopt;
+    return IpPrefix(*v6);
+  }
+  auto v4 = Ipv4Prefix::parse(text);
+  if (!v4) return std::nullopt;
+  return IpPrefix(*v4);
+}
+
+IpPrefix IpPrefix::must_parse(std::string_view text) {
+  auto prefix = parse(text);
+  if (!prefix) {
+    throw std::invalid_argument("bad IP prefix: " + std::string(text));
+  }
+  return *prefix;
+}
+
+bool IpPrefix::contains(const IpAddr& ip) const {
+  if (ip.family() != family_) return false;
+  return mask_v6(ip.widened(), pooled_length()) ==
+         mask_v6(addr_, pooled_length());
+}
+
+std::string IpPrefix::to_string() const {
+  if (family_ == IpFamily::kV4) {
+    return Ipv4Addr(static_cast<std::uint32_t>(addr_.lo())).to_string() + "/" +
+           std::to_string(length_);
+  }
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace sf::net

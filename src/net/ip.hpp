@@ -1,0 +1,218 @@
+// IPv4/IPv6 address and prefix value types.
+//
+// Addresses are small regular value types kept in host byte order; the
+// packet serializer (net/headers.hpp) is the only place that deals with
+// network byte order. Parsing errors are reported with std::nullopt from
+// the parse() factories; the throwing constructors are for literals that
+// are expected to be valid (configuration, tests).
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sf::net {
+
+/// An IPv4 address, stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad notation ("192.168.10.3").
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  /// Parses or throws std::invalid_argument; for trusted literals.
+  static Ipv4Addr must_parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return bits_; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv6 address, stored as two host-order 64-bit halves
+/// (hi = bytes 0..7, lo = bytes 8..15 of the canonical representation).
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() = default;
+  constexpr Ipv6Addr(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Builds from 16 bytes in network order.
+  static Ipv6Addr from_bytes(const std::array<std::uint8_t, 16>& bytes);
+
+  /// Parses RFC 4291 text, including "::" compression and trailing
+  /// dotted-quad ("::ffff:10.1.2.3").
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+  static Ipv6Addr must_parse(std::string_view text);
+
+  /// Maps an IPv4 address into the IPv4-mapped range ::ffff:a.b.c.d.
+  static constexpr Ipv6Addr mapped(Ipv4Addr v4) {
+    return Ipv6Addr(0, (std::uint64_t{0xffff} << 32) | v4.value());
+  }
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+  std::array<std::uint8_t, 16> bytes() const;
+
+  /// RFC 5952 canonical text (lowercase, longest zero run compressed).
+  std::string to_string() const;
+
+  /// Returns the addressed bit (0 = most significant bit of hi()).
+  constexpr bool bit(unsigned index) const {
+    return index < 64 ? ((hi_ >> (63 - index)) & 1u) != 0
+                      : ((lo_ >> (127 - index)) & 1u) != 0;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) =
+      default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// Address family discriminator used throughout the gateway tables.
+enum class IpFamily : std::uint8_t { kV4, kV6 };
+
+/// Either an IPv4 or an IPv6 address. The gateway data path is dual-stack
+/// (§4.4 "IPv4/IPv6 table pooling"), so most call sites carry this type.
+class IpAddr {
+ public:
+  constexpr IpAddr() : family_(IpFamily::kV4), v6_(0, 0) {}
+  constexpr IpAddr(Ipv4Addr v4)  // NOLINT: implicit by design
+      : family_(IpFamily::kV4), v6_(0, v4.value()) {}
+  constexpr IpAddr(Ipv6Addr v6)  // NOLINT: implicit by design
+      : family_(IpFamily::kV6), v6_(v6) {}
+
+  static std::optional<IpAddr> parse(std::string_view text);
+  static IpAddr must_parse(std::string_view text);
+
+  constexpr IpFamily family() const { return family_; }
+  constexpr bool is_v4() const { return family_ == IpFamily::kV4; }
+  constexpr bool is_v6() const { return family_ == IpFamily::kV6; }
+
+  /// Precondition: is_v4().
+  constexpr Ipv4Addr v4() const {
+    return Ipv4Addr(static_cast<std::uint32_t>(v6_.lo()));
+  }
+  /// Precondition: is_v6().
+  constexpr Ipv6Addr v6() const { return v6_; }
+
+  /// Widens either family to 128 bits (v4 is zero-extended, not mapped);
+  /// used by the table-pooling key expansion (§4.4).
+  constexpr Ipv6Addr widened() const { return v6_; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+ private:
+  IpFamily family_;
+  Ipv6Addr v6_;  // v4 addresses live zero-extended in lo().
+};
+
+/// An IPv4 route prefix (address + length). The address is canonicalized:
+/// bits beyond the prefix length are cleared on construction.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Addr addr, unsigned length);
+
+  /// Parses "a.b.c.d/len".
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+  static Ipv4Prefix must_parse(std::string_view text);
+
+  constexpr Ipv4Addr address() const { return addr_; }
+  constexpr unsigned length() const { return length_; }
+  constexpr std::uint32_t mask() const {
+    return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  constexpr bool contains(Ipv4Addr ip) const {
+    return (ip.value() & mask()) == addr_.value();
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) =
+      default;
+
+ private:
+  Ipv4Addr addr_;
+  unsigned length_ = 0;
+};
+
+/// An IPv6 route prefix. Canonicalized like Ipv4Prefix.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+  Ipv6Prefix(Ipv6Addr addr, unsigned length);
+
+  static std::optional<Ipv6Prefix> parse(std::string_view text);
+  static Ipv6Prefix must_parse(std::string_view text);
+
+  constexpr Ipv6Addr address() const { return addr_; }
+  constexpr unsigned length() const { return length_; }
+
+  bool contains(const Ipv6Addr& ip) const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) =
+      default;
+
+ private:
+  Ipv6Addr addr_;
+  unsigned length_ = 0;
+};
+
+/// Dual-stack prefix used by the pooled VXLAN routing table.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+  IpPrefix(Ipv4Prefix p)  // NOLINT: implicit by design
+      : family_(IpFamily::kV4),
+        addr_(Ipv6Addr(0, p.address().value())),
+        length_(p.length()) {}
+  IpPrefix(Ipv6Prefix p)  // NOLINT: implicit by design
+      : family_(IpFamily::kV6), addr_(p.address()), length_(p.length()) {}
+
+  static std::optional<IpPrefix> parse(std::string_view text);
+  static IpPrefix must_parse(std::string_view text);
+
+  constexpr IpFamily family() const { return family_; }
+  constexpr unsigned length() const { return length_; }
+  constexpr Ipv6Addr widened_address() const { return addr_; }
+
+  /// Prefix length in the pooled 128-bit key space: a v4 /len prefix on
+  /// the zero-extended key becomes /(96 + len).
+  constexpr unsigned pooled_length() const {
+    return family_ == IpFamily::kV4 ? 96 + length_ : length_;
+  }
+
+  bool contains(const IpAddr& ip) const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpPrefix&, const IpPrefix&) =
+      default;
+
+ private:
+  IpFamily family_ = IpFamily::kV4;
+  Ipv6Addr addr_;
+  unsigned length_ = 0;
+};
+
+}  // namespace sf::net

@@ -1,0 +1,52 @@
+#include "net/mac.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sf::net {
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  std::uint64_t bits = 0;
+  for (int octet = 0; octet < 6; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != ':') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    if (text.size() < 2) return std::nullopt;
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + 2, value, 16);
+    if (ec != std::errc{} || ptr != text.data() + 2) return std::nullopt;
+    bits = (bits << 8) | value;
+    text.remove_prefix(2);
+  }
+  if (!text.empty()) return std::nullopt;
+  return MacAddr(bits);
+}
+
+MacAddr MacAddr::must_parse(std::string_view text) {
+  auto mac = parse(text);
+  if (!mac) {
+    throw std::invalid_argument("bad MAC address: " + std::string(text));
+  }
+  return *mac;
+}
+
+std::array<std::uint8_t, 6> MacAddr::bytes() const {
+  std::array<std::uint8_t, 6> out{};
+  for (int i = 0; i < 6; ++i) {
+    out[static_cast<size_t>(i)] =
+        static_cast<std::uint8_t>(bits_ >> (40 - 8 * i));
+  }
+  return out;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  auto b = bytes();
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1],
+                b[2], b[3], b[4], b[5]);
+  return buf;
+}
+
+}  // namespace sf::net

@@ -1,0 +1,44 @@
+// Ethernet MAC address value type.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sf::net {
+
+/// A 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::uint64_t bits) : bits_(bits & kMask) {}
+  constexpr MacAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d, std::uint8_t e, std::uint8_t f)
+      : bits_((std::uint64_t{a} << 40) | (std::uint64_t{b} << 32) |
+              (std::uint64_t{c} << 24) | (std::uint64_t{d} << 16) |
+              (std::uint64_t{e} << 8) | f) {}
+
+  /// Parses colon-separated hex ("02:00:0a:01:01:0b").
+  static std::optional<MacAddr> parse(std::string_view text);
+  static MacAddr must_parse(std::string_view text);
+
+  static constexpr MacAddr broadcast() { return MacAddr(kMask); }
+
+  constexpr std::uint64_t value() const { return bits_; }
+  constexpr bool is_multicast() const { return (bits_ >> 40) & 1; }
+
+  std::array<std::uint8_t, 6> bytes() const;
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(MacAddr, MacAddr) = default;
+
+ private:
+  static constexpr std::uint64_t kMask = 0xffff'ffff'ffffULL;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace sf::net

@@ -1,0 +1,218 @@
+#include "net/packet.hpp"
+
+#include <cstddef>
+
+#include "net/checksum.hpp"
+
+namespace sf::net {
+namespace {
+
+std::size_t ip_header_size(const IpAddr& ip) {
+  return ip.is_v4() ? Ipv4Header::kSize : Ipv6Header::kSize;
+}
+
+std::size_t l4_header_size(std::uint8_t proto) {
+  return proto == static_cast<std::uint8_t>(IpProto::kTcp) ? TcpHeader::kSize
+                                                           : UdpHeader::kSize;
+}
+
+// Writes an IPv4 or IPv6 header carrying `payload` bytes after it.
+std::size_t write_ip(ByteSpan out, const IpAddr& src, const IpAddr& dst,
+                     std::uint8_t proto, std::size_t payload) {
+  if (src.is_v4()) {
+    Ipv4Header ip;
+    ip.total_length =
+        static_cast<std::uint16_t>(Ipv4Header::kSize + payload);
+    ip.protocol = proto;
+    ip.src = src.v4();
+    ip.dst = dst.v4();
+    ip.write(out);
+    std::uint16_t sum = ipv4_header_checksum(out.first(Ipv4Header::kSize));
+    out[10] = static_cast<std::uint8_t>(sum >> 8);
+    out[11] = static_cast<std::uint8_t>(sum);
+    return Ipv4Header::kSize;
+  }
+  Ipv6Header ip;
+  ip.payload_length = static_cast<std::uint16_t>(payload);
+  ip.next_header = proto;
+  ip.src = src.v6();
+  ip.dst = dst.v6();
+  ip.write(out);
+  return Ipv6Header::kSize;
+}
+
+}  // namespace
+
+std::size_t OverlayPacket::wire_size() const {
+  return EthernetHeader::kSize + ip_header_size(outer_src_ip) +
+         UdpHeader::kSize + VxlanHeader::kSize + EthernetHeader::kSize +
+         ip_header_size(inner.src) + l4_header_size(inner.proto) +
+         payload_size;
+}
+
+std::vector<std::uint8_t> encode(const OverlayPacket& pkt) {
+  std::vector<std::uint8_t> bytes(pkt.wire_size(), 0);
+  ByteSpan out(bytes);
+  std::size_t at = 0;
+
+  const std::size_t inner_l4 = l4_header_size(pkt.inner.proto);
+  const std::size_t inner_ip = ip_header_size(pkt.inner.src);
+  const std::size_t inner_total =
+      EthernetHeader::kSize + inner_ip + inner_l4 + pkt.payload_size;
+  const std::size_t vxlan_payload =
+      UdpHeader::kSize + VxlanHeader::kSize + inner_total;
+
+  EthernetHeader outer_eth{
+      .dst = pkt.outer_dst_mac,
+      .src = pkt.outer_src_mac,
+      .ether_type = static_cast<std::uint16_t>(
+          pkt.outer_src_ip.is_v4() ? EtherType::kIpv4 : EtherType::kIpv6)};
+  outer_eth.write(out.subspan(at));
+  at += EthernetHeader::kSize;
+
+  at += write_ip(out.subspan(at), pkt.outer_src_ip, pkt.outer_dst_ip,
+                 static_cast<std::uint8_t>(IpProto::kUdp),
+                 vxlan_payload - UdpHeader::kSize + UdpHeader::kSize);
+
+  UdpHeader udp{.src_port = pkt.outer_udp_src_port,
+                .dst_port = kVxlanPort,
+                .length = static_cast<std::uint16_t>(vxlan_payload),
+                .checksum = 0};
+  udp.write(out.subspan(at));
+  at += UdpHeader::kSize;
+
+  VxlanHeader vxlan{.flags = VxlanHeader::kFlagVni, .vni = pkt.vni};
+  vxlan.write(out.subspan(at));
+  at += VxlanHeader::kSize;
+
+  EthernetHeader inner_eth{
+      .dst = pkt.inner_dst_mac,
+      .src = pkt.inner_src_mac,
+      .ether_type = static_cast<std::uint16_t>(
+          pkt.inner.src.is_v4() ? EtherType::kIpv4 : EtherType::kIpv6)};
+  inner_eth.write(out.subspan(at));
+  at += EthernetHeader::kSize;
+
+  at += write_ip(out.subspan(at), pkt.inner.src, pkt.inner.dst,
+                 pkt.inner.proto, inner_l4 + pkt.payload_size);
+
+  if (pkt.inner.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    TcpHeader tcp{.src_port = pkt.inner.src_port,
+                  .dst_port = pkt.inner.dst_port};
+    tcp.write(out.subspan(at));
+    at += TcpHeader::kSize;
+  } else {
+    UdpHeader inner_udp{
+        .src_port = pkt.inner.src_port,
+        .dst_port = pkt.inner.dst_port,
+        .length = static_cast<std::uint16_t>(UdpHeader::kSize +
+                                             pkt.payload_size),
+        .checksum = 0};
+    inner_udp.write(out.subspan(at));
+    at += UdpHeader::kSize;
+  }
+  // Payload bytes stay zero; at + payload_size == bytes.size().
+  return bytes;
+}
+
+namespace {
+
+struct ParsedIp {
+  IpAddr src;
+  IpAddr dst;
+  std::uint8_t proto = 0;
+  std::size_t header_size = 0;
+};
+
+std::optional<ParsedIp> parse_ip(ConstByteSpan in, std::uint16_t ether_type) {
+  ParsedIp out;
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    auto ip = Ipv4Header::parse(in);
+    if (!ip) return std::nullopt;
+    if (!ipv4_header_checksum_ok(in.first(Ipv4Header::kSize))) {
+      return std::nullopt;
+    }
+    out.src = ip->src;
+    out.dst = ip->dst;
+    out.proto = ip->protocol;
+    out.header_size = Ipv4Header::kSize;
+    return out;
+  }
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kIpv6)) {
+    auto ip = Ipv6Header::parse(in);
+    if (!ip) return std::nullopt;
+    out.src = ip->src;
+    out.dst = ip->dst;
+    out.proto = ip->next_header;
+    out.header_size = Ipv6Header::kSize;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<OverlayPacket> decode(ConstByteSpan bytes) {
+  OverlayPacket pkt;
+  std::size_t at = 0;
+
+  auto outer_eth = EthernetHeader::parse(bytes.subspan(at));
+  if (!outer_eth) return std::nullopt;
+  pkt.outer_dst_mac = outer_eth->dst;
+  pkt.outer_src_mac = outer_eth->src;
+  at += EthernetHeader::kSize;
+
+  auto outer_ip = parse_ip(bytes.subspan(at), outer_eth->ether_type);
+  if (!outer_ip) return std::nullopt;
+  if (outer_ip->proto != static_cast<std::uint8_t>(IpProto::kUdp)) {
+    return std::nullopt;
+  }
+  pkt.outer_src_ip = outer_ip->src;
+  pkt.outer_dst_ip = outer_ip->dst;
+  at += outer_ip->header_size;
+
+  auto udp = UdpHeader::parse(bytes.subspan(at));
+  if (!udp || udp->dst_port != kVxlanPort) return std::nullopt;
+  pkt.outer_udp_src_port = udp->src_port;
+  at += UdpHeader::kSize;
+
+  auto vxlan = VxlanHeader::parse(bytes.subspan(at));
+  if (!vxlan) return std::nullopt;
+  pkt.vni = vxlan->vni;
+  at += VxlanHeader::kSize;
+
+  auto inner_eth = EthernetHeader::parse(bytes.subspan(at));
+  if (!inner_eth) return std::nullopt;
+  pkt.inner_dst_mac = inner_eth->dst;
+  pkt.inner_src_mac = inner_eth->src;
+  at += EthernetHeader::kSize;
+
+  auto inner_ip = parse_ip(bytes.subspan(at), inner_eth->ether_type);
+  if (!inner_ip) return std::nullopt;
+  pkt.inner.src = inner_ip->src;
+  pkt.inner.dst = inner_ip->dst;
+  pkt.inner.proto = inner_ip->proto;
+  at += inner_ip->header_size;
+
+  if (pkt.inner.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    auto tcp = TcpHeader::parse(bytes.subspan(at));
+    if (!tcp) return std::nullopt;
+    pkt.inner.src_port = tcp->src_port;
+    pkt.inner.dst_port = tcp->dst_port;
+    at += TcpHeader::kSize;
+  } else if (pkt.inner.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    auto inner_udp = UdpHeader::parse(bytes.subspan(at));
+    if (!inner_udp) return std::nullopt;
+    pkt.inner.src_port = inner_udp->src_port;
+    pkt.inner.dst_port = inner_udp->dst_port;
+    at += UdpHeader::kSize;
+  } else {
+    return std::nullopt;
+  }
+
+  if (bytes.size() < at) return std::nullopt;
+  pkt.payload_size = static_cast<std::uint16_t>(bytes.size() - at);
+  return pkt;
+}
+
+}  // namespace sf::net

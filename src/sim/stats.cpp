@@ -1,0 +1,59 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sf::sim {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0;
+  const double m = mean(values);
+  double sum = 0;
+  for (double v : values) sum += (v - m) * (v - m);
+  return std::sqrt(sum / static_cast<double>(values.size() - 1));
+}
+
+double max_value(std::span<const double> values) {
+  return values.empty() ? 0
+                        : *std::max_element(values.begin(), values.end());
+}
+
+double min_value(std::span<const double> values) {
+  return values.empty() ? 0
+                        : *std::min_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double fairness_index(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,21 @@
+// Summary statistics helpers used by the simulators and benches.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sf::sim {
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+double max_value(std::span<const double> values);
+double min_value(std::span<const double> values);
+
+/// Percentile by linear interpolation; p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Jain's fairness index: 1.0 means perfectly balanced shares.
+double fairness_index(std::span<const double> values);
+
+}  // namespace sf::sim

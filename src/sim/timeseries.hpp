@@ -1,0 +1,44 @@
+// Time-series recording for the week/month-long operational figures.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sf::sim {
+
+/// A named (time, value) series. Time units are chosen by the producer
+/// (the benches use days).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(double time, double value) { points_.push_back({time, value}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+
+  double min_value() const;
+  double max_value() const;
+  double mean_value() const;
+
+  /// Downsamples to about `buckets` points by averaging, for console
+  /// sparkline rendering.
+  std::vector<double> downsample(std::size_t buckets) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Renders a series as a unicode sparkline with min/mean/max annotations.
+std::string sparkline(const TimeSeries& series, std::size_t width = 72);
+
+/// Writes one or more series as CSV (time column shared by index).
+std::string to_csv(const std::vector<const TimeSeries*>& series);
+
+}  // namespace sf::sim

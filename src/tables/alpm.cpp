@@ -1,0 +1,10 @@
+// Alpm is header-only (tables/alpm.hpp); this TU pins instantiations.
+
+#include "tables/alpm.hpp"
+
+namespace sf::tables {
+
+template class Alpm<VxlanRouteAction>;
+template class Alpm<std::uint32_t>;
+
+}  // namespace sf::tables

@@ -1,0 +1,192 @@
+#include "tables/dir24_8.hpp"
+
+#include <algorithm>
+
+namespace sf::tables {
+namespace {
+
+constexpr std::uint32_t top24(std::uint32_t addr) { return addr >> 8; }
+constexpr std::uint32_t low8(std::uint32_t addr) { return addr & 0xff; }
+
+}  // namespace
+
+Dir24_8::Dir24_8() : level1_(1u << 24, 0) {}
+
+const Dir24_8::Route* Dir24_8::find_route(std::uint32_t bits,
+                                          unsigned length) const {
+  for (const Route& route : route_list_) {
+    if (route.length == length && route.bits == bits) return &route;
+  }
+  return nullptr;
+}
+
+const Dir24_8::Route* Dir24_8::best_cover(std::uint32_t addr,
+                                          unsigned max_length) const {
+  const Route* best = nullptr;
+  for (const Route& route : route_list_) {
+    if (route.length > max_length) continue;
+    const std::uint32_t mask =
+        route.length == 0 ? 0 : ~std::uint32_t{0} << (32 - route.length);
+    if ((addr & mask) != route.bits) continue;
+    if (best == nullptr || route.length > best->length) best = &route;
+  }
+  return best;
+}
+
+std::uint32_t Dir24_8::allocate_group(std::uint32_t fill_slot) {
+  std::uint32_t index;
+  if (!free_groups_.empty()) {
+    index = free_groups_.back();
+    free_groups_.pop_back();
+  } else {
+    groups_.emplace_back();
+    index = static_cast<std::uint32_t>(groups_.size() - 1);
+  }
+  groups_[index].fill(fill_slot);
+  ++allocated_groups_;
+  return index;
+}
+
+void Dir24_8::free_group(std::uint32_t index) {
+  free_groups_.push_back(index);
+  --allocated_groups_;
+}
+
+bool Dir24_8::insert(const net::Ipv4Prefix& prefix, std::uint32_t value) {
+  if (value > kMaxValue) return false;
+  const std::uint32_t bits = prefix.address().value();
+  const unsigned length = prefix.length();
+
+  // Authoritative set first.
+  bool replaced = false;
+  for (Route& route : route_list_) {
+    if (route.length == length && route.bits == bits) {
+      route.value = value;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    route_list_.push_back(Route{bits, length, value});
+    ++routes_;
+  }
+
+  if (length <= 24) {
+    const std::uint32_t first = top24(bits);
+    const std::uint32_t count = 1u << (24 - length);
+    const std::uint32_t slot = make_slot(value, length);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      std::uint32_t& entry = level1_[i];
+      if (entry & kExtended) {
+        // Update covering entries inside the group without disturbing
+        // longer routes.
+        for (std::uint32_t& sub : groups_[entry & 0xffffff]) {
+          if (!(sub & kValid) || slot_length(sub) <= length) sub = slot;
+        }
+      } else if (!(entry & kValid) || slot_length(entry) <= length) {
+        entry = slot;
+      }
+    }
+    return true;
+  }
+
+  // length > 24: route lives in a second-level group.
+  const std::uint32_t index = top24(bits);
+  std::uint32_t& entry = level1_[index];
+  if (!(entry & kExtended)) {
+    const std::uint32_t group =
+        allocate_group(entry & kValid ? entry : 0);
+    entry = kValid | kExtended | group;
+  }
+  auto& group = groups_[entry & 0xffffff];
+  const std::uint32_t first = low8(bits);
+  const std::uint32_t count = 1u << (32 - length);
+  const std::uint32_t slot = make_slot(value, length);
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    if (!(group[i] & kValid) || slot_length(group[i]) <= length) {
+      group[i] = slot;
+    }
+  }
+  return true;
+}
+
+void Dir24_8::rebuild_covering(std::uint32_t index) {
+  std::uint32_t& entry = level1_[index];
+  if (entry & kExtended) return;  // group entries are rebuilt separately
+  const Route* cover = best_cover(index << 8, 24);
+  entry = cover == nullptr ? 0 : make_slot(cover->value, cover->length);
+}
+
+bool Dir24_8::remove(const net::Ipv4Prefix& prefix) {
+  const std::uint32_t bits = prefix.address().value();
+  const unsigned length = prefix.length();
+  auto it = std::find_if(route_list_.begin(), route_list_.end(),
+                         [&](const Route& route) {
+                           return route.length == length &&
+                                  route.bits == bits;
+                         });
+  if (it == route_list_.end()) return false;
+  route_list_.erase(it);
+  --routes_;
+
+  if (length <= 24) {
+    const std::uint32_t first = top24(bits);
+    const std::uint32_t count = 1u << (24 - length);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      std::uint32_t& entry = level1_[i];
+      if (entry & kExtended) {
+        auto& group = groups_[entry & 0xffffff];
+        for (std::uint32_t sub = 0; sub < 256; ++sub) {
+          if ((group[sub] & kValid) && slot_length(group[sub]) == length) {
+            const Route* cover = best_cover((i << 8) | sub, 32);
+            group[sub] = cover == nullptr
+                             ? 0
+                             : make_slot(cover->value, cover->length);
+          }
+        }
+      } else if ((entry & kValid) && slot_length(entry) == length) {
+        rebuild_covering(i);
+      }
+    }
+    return true;
+  }
+
+  const std::uint32_t index = top24(bits);
+  std::uint32_t& entry = level1_[index];
+  if (entry & kExtended) {
+    auto& group = groups_[entry & 0xffffff];
+    const std::uint32_t first = low8(bits);
+    const std::uint32_t count = 1u << (32 - length);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      if ((group[i] & kValid) && slot_length(group[i]) == length) {
+        const Route* cover = best_cover((index << 8) | i, 32);
+        group[i] = cover == nullptr
+                       ? 0
+                       : make_slot(cover->value, cover->length);
+      }
+    }
+    // Collapse the group when no >24 route remains under this /24.
+    const bool still_extended = std::any_of(
+        route_list_.begin(), route_list_.end(), [&](const Route& route) {
+          return route.length > 24 && top24(route.bits) == index;
+        });
+    if (!still_extended) {
+      free_group(entry & 0xffffff);
+      entry = 0;
+      rebuild_covering(index);
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> Dir24_8::lookup(net::Ipv4Addr addr) const {
+  const std::uint32_t entry = level1_[top24(addr.value())];
+  if (!(entry & kValid)) return std::nullopt;
+  if (!(entry & kExtended)) return entry & 0xffffff;
+  const std::uint32_t sub =
+      groups_[entry & 0xffffff][low8(addr.value())];
+  if (!(sub & kValid)) return std::nullopt;
+  return sub & 0xffffff;
+}
+
+}  // namespace sf::tables

@@ -1,0 +1,89 @@
+// DIR-24-8 longest-prefix match — the structure behind DPDK's rte_lpm,
+// i.e. what a production XGW-x86 actually uses for IPv4 (§2.2 credits
+// DPDK for the software gateway's ~1 Mpps/core):
+//
+//   * a 2^24-entry direct-indexed table keyed by the address's top 24
+//     bits: one memory access resolves every route with length <= 24;
+//   * routes longer than /24 allocate a 256-entry second-level group for
+//     their /24; the first-level entry then points at the group and the
+//     low 8 bits index it (two memory accesses).
+//
+// One instance serves one VPC's IPv4 table (64 MB of first-level entries
+// at 4 bytes each would be the production layout; this model keeps the
+// same structure with 32-bit slots). Cross-validated against LpmTrie in
+// tests/tables/test_dir24_8.cpp.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace sf::tables {
+
+class Dir24_8 {
+ public:
+  /// Values are 24-bit payloads (next-hop ids); the top bits of a slot
+  /// hold valid/extended flags and the stored prefix length.
+  static constexpr std::uint32_t kMaxValue = 0xffffff;
+
+  Dir24_8();
+
+  /// Inserts or replaces a route. Returns false when value exceeds
+  /// kMaxValue.
+  bool insert(const net::Ipv4Prefix& prefix, std::uint32_t value);
+
+  /// Removes a route. Returns false when absent.
+  bool remove(const net::Ipv4Prefix& prefix);
+
+  /// Longest-prefix match: one or two array reads.
+  std::optional<std::uint32_t> lookup(net::Ipv4Addr addr) const;
+
+  std::size_t route_count() const { return routes_; }
+  /// Second-level groups currently allocated (memory telemetry).
+  std::size_t group_count() const { return allocated_groups_; }
+
+ private:
+  // Slot layout: [31] valid, [30] extended (first level only),
+  // [29..24] stored prefix length, [23..0] value or group index.
+  static constexpr std::uint32_t kValid = 1u << 31;
+  static constexpr std::uint32_t kExtended = 1u << 30;
+
+  static std::uint32_t make_slot(std::uint32_t value, unsigned length) {
+    return kValid | (static_cast<std::uint32_t>(length) << 24) |
+           (value & 0xffffff);
+  }
+  static unsigned slot_length(std::uint32_t slot) {
+    return (slot >> 24) & 0x3f;
+  }
+
+  std::uint32_t allocate_group(std::uint32_t fill_slot);
+  void free_group(std::uint32_t index);
+
+  /// Re-derives a /24's first-level slot (and second level, if present)
+  /// from the stored route set after a removal.
+  void rebuild_covering(std::uint32_t top24);
+
+  std::vector<std::uint32_t> level1_;  // 2^24 slots
+  std::vector<std::array<std::uint32_t, 256>> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  std::size_t allocated_groups_ = 0;
+
+  /// Authoritative route set: (prefix bits | length) -> value. Needed to
+  /// restore shorter covering routes on removal.
+  struct Route {
+    std::uint32_t bits;
+    unsigned length;
+    std::uint32_t value;
+  };
+  std::vector<Route> route_list_;
+  std::size_t routes_ = 0;
+
+  const Route* find_route(std::uint32_t bits, unsigned length) const;
+  /// Longest route covering `addr` with length <= max_length.
+  const Route* best_cover(std::uint32_t addr, unsigned max_length) const;
+};
+
+}  // namespace sf::tables

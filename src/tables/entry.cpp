@@ -1,0 +1,33 @@
+#include "tables/entry.hpp"
+
+namespace sf::tables {
+
+std::string to_string(RouteScope scope) {
+  switch (scope) {
+    case RouteScope::kLocal:
+      return "Local";
+    case RouteScope::kPeer:
+      return "Peer";
+    case RouteScope::kIdc:
+      return "IDC";
+    case RouteScope::kCrossRegion:
+      return "Cross-region";
+    case RouteScope::kInternet:
+      return "Internet";
+  }
+  return "?";
+}
+
+std::string to_string(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "EXACT";
+    case MatchKind::kLpm:
+      return "LPM";
+    case MatchKind::kTernary:
+      return "TERNARY";
+  }
+  return "?";
+}
+
+}  // namespace sf::tables

@@ -1,0 +1,102 @@
+// Gateway forwarding-table entry types (Fig. 2 of the paper).
+//
+// The two tables that carry the majority of cloud traffic:
+//   * VXLAN routing table:  (VNI, inner dst prefix) --LPM--> scope/next hop
+//   * VM-NC mapping table:  (VNI, inner dst IP) --EXACT--> NC underlay IP
+// plus the keys used by the service tables (ACL, meter, SNAT).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/headers.hpp"
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+
+namespace sf::tables {
+
+/// Where a VXLAN route points (the "Scope" column of Fig. 2, extended with
+/// the other traffic routes of Table 1).
+enum class RouteScope : std::uint8_t {
+  kLocal,        // destination VM is in this VPC, in this region
+  kPeer,         // destination is in a peered VPC; re-lookup with next hop VNI
+  kIdc,          // destination is in the tenant's IDC via CEN
+  kCrossRegion,  // destination is in another cloud region
+  kInternet,     // south-north traffic; requires SNAT at XGW-x86
+};
+
+std::string to_string(RouteScope scope);
+
+/// Key of the VXLAN routing table: VNI plus an inner-destination prefix.
+struct VxlanRouteKey {
+  net::Vni vni = 0;
+  net::IpPrefix prefix;
+
+  friend auto operator<=>(const VxlanRouteKey&, const VxlanRouteKey&) =
+      default;
+};
+
+/// Action of the VXLAN routing table.
+struct VxlanRouteAction {
+  RouteScope scope = RouteScope::kLocal;
+  /// For kPeer: the VNI to continue the lookup with.
+  net::Vni next_hop_vni = 0;
+  /// For kIdc / kCrossRegion: the remote tunnel endpoint.
+  net::Ipv4Addr remote_endpoint;
+
+  friend bool operator==(const VxlanRouteAction&,
+                         const VxlanRouteAction&) = default;
+};
+
+/// Key of the VM-NC mapping table: VNI plus the exact VM IP.
+struct VmNcKey {
+  net::Vni vni = 0;
+  net::IpAddr vm_ip;
+
+  friend auto operator<=>(const VmNcKey&, const VmNcKey&) = default;
+};
+
+/// Action of the VM-NC mapping table: the physical server (Node Controller)
+/// hosting the VM. The underlay is IPv4 regardless of overlay family.
+struct VmNcAction {
+  net::Ipv4Addr nc_ip;
+
+  friend bool operator==(const VmNcAction&, const VmNcAction&) = default;
+};
+
+/// Match kinds the chip supports; decides SRAM vs TCAM placement.
+enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary };
+
+std::string to_string(MatchKind kind);
+
+/// A logical table's memory-relevant shape: everything the ASIC placer
+/// needs to compute occupancy (Table 2 / Fig. 17 arithmetic).
+struct TableSpec {
+  std::string name;
+  MatchKind match = MatchKind::kExact;
+  unsigned key_bits = 0;
+  unsigned action_bits = 0;
+  std::size_t entry_count = 0;
+
+  friend bool operator==(const TableSpec&, const TableSpec&) = default;
+};
+
+/// Key widths of the two major tables (Table 2 of the paper).
+inline constexpr unsigned kVniBits = 24;
+
+constexpr unsigned vxlan_route_key_bits(net::IpFamily family) {
+  return kVniBits + (family == net::IpFamily::kV4 ? 32u : 128u);
+}
+
+constexpr unsigned vm_nc_key_bits(net::IpFamily family) {
+  return kVniBits + (family == net::IpFamily::kV4 ? 32u : 128u);
+}
+
+/// Action widths: route scope + next-hop VNI or endpoint for routes, the
+/// 32-bit NC IP for mappings.
+inline constexpr unsigned kVxlanRouteActionBits = 3 + 32;
+inline constexpr unsigned kVmNcActionBits = 32;
+
+}  // namespace sf::tables

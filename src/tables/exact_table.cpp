@@ -1,0 +1,18 @@
+// ExactTable is header-only (tables/exact_table.hpp); this TU pins an
+// instantiation so the template compiles with the library.
+
+#include "tables/exact_table.hpp"
+
+#include "tables/entry.hpp"
+
+namespace sf::tables {
+
+struct VmNcKeyHasher {
+  std::uint64_t operator()(const VmNcKey& key) const {
+    return net::hash_combine(net::mix64(key.vni), net::hash_ip(key.vm_ip));
+  }
+};
+
+template class ExactTable<VmNcKey, VmNcAction, VmNcKeyHasher>;
+
+}  // namespace sf::tables

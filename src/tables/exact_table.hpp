@@ -1,0 +1,137 @@
+// N-way set-associative exact-match table.
+//
+// This models how switch SRAM hash tables behave: a fixed array of buckets,
+// each with a small number of ways. Insertion fails when every way of the
+// target bucket is occupied — real hardware tables overflow on hash
+// collisions well before 100% fill, which is why provisioning headroom
+// (and the paper's careful occupancy accounting) matters.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/hash.hpp"
+
+namespace sf::tables {
+
+template <typename Key, typename Value, typename Hasher = std::hash<Key>>
+class ExactTable {
+ public:
+  struct Config {
+    /// Number of buckets; rounded up to a power of two.
+    std::size_t buckets = 1024;
+    /// Ways (slots) per bucket.
+    unsigned ways = 4;
+  };
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::size_t insert_failures = 0;
+  };
+
+  explicit ExactTable(Config config = {}, Hasher hasher = {})
+      : hasher_(std::move(hasher)) {
+    if (config.buckets == 0 || config.ways == 0) {
+      throw std::invalid_argument("ExactTable needs buckets and ways > 0");
+    }
+    std::size_t buckets = 1;
+    while (buckets < config.buckets) buckets <<= 1;
+    bucket_mask_ = buckets - 1;
+    ways_ = config.ways;
+    slots_.resize(buckets * ways_);
+  }
+
+  /// Inserts or replaces. Returns false (and counts a failure) when the
+  /// target bucket has no free way.
+  bool insert(const Key& key, Value value) {
+    Slot* free_slot = nullptr;
+    for (Slot& slot : bucket(key)) {
+      if (slot.occupied && slot.key == key) {
+        slot.value = std::move(value);
+        return true;
+      }
+      if (!slot.occupied && free_slot == nullptr) free_slot = &slot;
+    }
+    if (free_slot == nullptr) {
+      ++insert_failures_;
+      return false;
+    }
+    free_slot->occupied = true;
+    free_slot->key = key;
+    free_slot->value = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  std::optional<Value> lookup(const Key& key) const {
+    for (const Slot& slot : bucket(key)) {
+      if (slot.occupied && slot.key == key) return slot.value;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const Key& key) const { return lookup(key).has_value(); }
+
+  bool erase(const Key& key) {
+    for (Slot& slot : bucket(key)) {
+      if (slot.occupied && slot.key == key) {
+        slot.occupied = false;
+        slot.value = Value{};
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+
+  Stats stats() const { return Stats{size_, slots_.size(), insert_failures_}; }
+
+  /// Visits all occupied slots.
+  void for_each(const std::function<void(const Key&, const Value&)>& visit)
+      const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) visit(slot.key, slot.value);
+    }
+  }
+
+  void clear() {
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    Key key{};
+    Value value{};
+  };
+
+  std::span<Slot> bucket(const Key& key) {
+    std::size_t index = (hasher_(key) & bucket_mask_) * ways_;
+    return {slots_.data() + index, ways_};
+  }
+  std::span<const Slot> bucket(const Key& key) const {
+    std::size_t index = (hasher_(key) & bucket_mask_) * ways_;
+    return {slots_.data() + index, ways_};
+  }
+
+  Hasher hasher_;
+  std::size_t bucket_mask_ = 0;
+  unsigned ways_ = 0;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t insert_failures_ = 0;
+};
+
+}  // namespace sf::tables

@@ -1,0 +1,14 @@
+// LpmTrie is a header-only class template (tables/lpm_trie.hpp). This
+// translation unit pins an explicit instantiation so template errors
+// surface when the library builds, not first in client code.
+
+#include "tables/lpm_trie.hpp"
+
+#include "tables/entry.hpp"
+
+namespace sf::tables {
+
+template class LpmTrie<VxlanRouteAction>;
+template class LpmTrie<std::uint32_t>;
+
+}  // namespace sf::tables

@@ -1,0 +1,115 @@
+// Hash-probe longest-prefix-match directory over 192-bit masked keys.
+//
+// Stores (key, depth) -> Value where depth is a prefix length in the
+// combined key space (see tables/tcam.hpp for the pooled layout). A
+// longest-match probes the distinct depths present, longest first, with one
+// hash lookup each — the classic DRAM LPM of a software router, and the
+// structure both the XGW-x86 route table and the ALPM pivot directory are
+// built on. Distinct depths are few in practice (tenant route plans reuse a
+// handful of prefix lengths), so lookups cost a handful of hash probes.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/hash.hpp"
+#include "tables/tcam.hpp"
+
+namespace sf::tables {
+
+template <typename Value>
+class MaskedKeyMap {
+ public:
+  struct DepthKey {
+    TcamKey key;  // canonicalized: masked to depth
+    unsigned depth = 0;
+
+    friend bool operator==(const DepthKey&, const DepthKey&) = default;
+  };
+
+  struct DepthKeyHasher {
+    std::uint64_t operator()(const DepthKey& k) const {
+      return net::hash_combine(tcam_hash(k.key), net::mix64(k.depth));
+    }
+  };
+
+  /// Inserts or replaces. Returns true when new.
+  bool insert(const TcamKey& key, unsigned depth, Value value) {
+    DepthKey dk{key.masked(tcam_mask(depth)), depth};
+    auto [it, inserted] = map_.insert_or_assign(dk, std::move(value));
+    (void)it;
+    if (inserted) add_depth(depth);
+    return inserted;
+  }
+
+  bool erase(const TcamKey& key, unsigned depth) {
+    DepthKey dk{key.masked(tcam_mask(depth)), depth};
+    if (map_.erase(dk) == 0) return false;
+    remove_depth(depth);
+    return true;
+  }
+
+  const Value* find(const TcamKey& key, unsigned depth) const {
+    DepthKey dk{key.masked(tcam_mask(depth)), depth};
+    auto it = map_.find(dk);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Longest match with depth < below (exclusive). Pass below > max key
+  /// width (e.g. 256) for an unrestricted longest match.
+  std::optional<std::pair<Value, unsigned>> longest_match(
+      const TcamKey& key, unsigned below = 256) const {
+    for (auto it = depths_.rbegin(); it != depths_.rend(); ++it) {
+      if (it->first >= below) continue;
+      DepthKey dk{key.masked(tcam_mask(it->first)), it->first};
+      auto hit = map_.find(dk);
+      if (hit != map_.end()) return {{hit->second, it->first}};
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  void for_each(const std::function<void(const TcamKey&, unsigned,
+                                         const Value&)>& visit) const {
+    for (const auto& [dk, value] : map_) visit(dk.key, dk.depth, value);
+  }
+
+  void clear() {
+    map_.clear();
+    depths_.clear();
+  }
+
+ private:
+  void add_depth(unsigned depth) {
+    auto it = std::lower_bound(
+        depths_.begin(), depths_.end(), depth,
+        [](const auto& entry, unsigned d) { return entry.first < d; });
+    if (it != depths_.end() && it->first == depth) {
+      ++it->second;
+    } else {
+      depths_.insert(it, {depth, 1});
+    }
+  }
+
+  void remove_depth(unsigned depth) {
+    auto it = std::lower_bound(
+        depths_.begin(), depths_.end(), depth,
+        [](const auto& entry, unsigned d) { return entry.first < d; });
+    if (it != depths_.end() && it->first == depth && --it->second == 0) {
+      depths_.erase(it);
+    }
+  }
+
+  std::unordered_map<DepthKey, Value, DepthKeyHasher> map_;
+  /// Sorted (depth, refcount) pairs.
+  std::vector<std::pair<unsigned, std::size_t>> depths_;
+};
+
+}  // namespace sf::tables

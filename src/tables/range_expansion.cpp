@@ -1,0 +1,36 @@
+#include "tables/range_expansion.hpp"
+
+#include <stdexcept>
+
+namespace sf::tables {
+
+std::vector<TernaryRange> expand_port_range(std::uint16_t lo,
+                                            std::uint16_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("expand_port_range: lo > hi");
+  }
+  std::vector<TernaryRange> out;
+  std::uint32_t cursor = lo;
+  const std::uint32_t end = hi;
+  while (cursor <= end) {
+    // The largest aligned power-of-two block starting at cursor that
+    // stays within [cursor, end].
+    std::uint32_t size = 1;
+    while ((cursor & ((size << 1) - 1)) == 0 &&
+           cursor + (size << 1) - 1 <= end) {
+      size <<= 1;
+    }
+    out.push_back(TernaryRange{
+        static_cast<std::uint16_t>(cursor),
+        static_cast<std::uint16_t>(~(size - 1) & 0xffff)});
+    cursor += size;
+    if (cursor == 0) break;  // wrapped past 65535
+  }
+  return out;
+}
+
+std::size_t port_range_expansion_cost(std::uint16_t lo, std::uint16_t hi) {
+  return expand_port_range(lo, hi).size();
+}
+
+}  // namespace sf::tables

@@ -1,0 +1,36 @@
+// Port-range to ternary expansion.
+//
+// TCAMs match (value, mask) pairs, so an ACL port range such as
+// [1024, 65535] cannot occupy one row: it expands into a set of aligned
+// power-of-two blocks (up to 2w-2 rows for a w-bit field). Real switch
+// ACLs pay this multiplier, so the occupancy model should too — the
+// AclTable exposes its true TCAM row bill through it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sf::tables {
+
+/// One expanded ternary entry over a 16-bit field: matches x when
+/// (x & mask) == value.
+struct TernaryRange {
+  std::uint16_t value = 0;
+  std::uint16_t mask = 0;
+
+  friend bool operator==(const TernaryRange&, const TernaryRange&) = default;
+
+  bool matches(std::uint16_t x) const { return (x & mask) == value; }
+};
+
+/// Minimal aligned-block cover of the inclusive range [lo, hi].
+/// Precondition: lo <= hi. Every port in the range matches exactly one
+/// returned entry; no port outside it matches any.
+std::vector<TernaryRange> expand_port_range(std::uint16_t lo,
+                                            std::uint16_t hi);
+
+/// Row count without materializing the entries.
+std::size_t port_range_expansion_cost(std::uint16_t lo, std::uint16_t hi);
+
+}  // namespace sf::tables

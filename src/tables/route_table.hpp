@@ -1,0 +1,56 @@
+// DRAM-style dual-stack route table — the XGW-x86's view of the VXLAN
+// routing table (§2.2). Built on the hash-probe MaskedKeyMap, so capacity
+// is bounded only by host memory and updates are O(1): exactly the
+// "huge memory space with full programmability" role the paper assigns to
+// the software gateway.
+
+#pragma once
+
+#include <optional>
+
+#include "tables/entry.hpp"
+#include "tables/masked_key_map.hpp"
+#include "tables/tcam.hpp"
+
+namespace sf::tables {
+
+template <typename Value>
+class SoftwareLpm {
+ public:
+  /// Inserts or replaces. Returns true when the route was new.
+  bool insert(net::Vni vni, const net::IpPrefix& prefix, Value value) {
+    auto [key, mask] = make_pooled_prefix(vni, prefix);
+    (void)mask;
+    return map_.insert(key, depth_of(prefix), std::move(value));
+  }
+
+  bool erase(net::Vni vni, const net::IpPrefix& prefix) {
+    auto [key, mask] = make_pooled_prefix(vni, prefix);
+    (void)mask;
+    return map_.erase(key, depth_of(prefix));
+  }
+
+  const Value* find(net::Vni vni, const net::IpPrefix& prefix) const {
+    auto [key, mask] = make_pooled_prefix(vni, prefix);
+    (void)mask;
+    return map_.find(key, depth_of(prefix));
+  }
+
+  std::optional<Value> lookup(net::Vni vni, const net::IpAddr& ip) const {
+    auto hit = map_.longest_match(make_pooled_key(vni, ip));
+    if (!hit) return std::nullopt;
+    return hit->first;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  static unsigned depth_of(const net::IpPrefix& prefix) {
+    return 1 + 24 + prefix.pooled_length();
+  }
+
+  MaskedKeyMap<Value> map_;
+};
+
+}  // namespace sf::tables

@@ -1,0 +1,147 @@
+#include "workload/flowgen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace sf::workload {
+namespace {
+
+const VmRecord& random_vm(const VpcRecord& vpc, Rng& rng) {
+  return vpc.vms[rng.uniform(vpc.vms.size())];
+}
+
+std::uint16_t random_packet_size(Rng& rng) {
+  // Cloud packet mix (IMIX-like, ~700B mean): mice at 128-256B,
+  // bulk transfers near MTU.
+  static constexpr std::uint16_t kSizes[] = {128, 256, 512, 1024, 1500};
+  static constexpr double kCdf[] = {0.15, 0.35, 0.6, 0.8, 1.0};
+  const double u = rng.uniform_real();
+  for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+    if (u <= kCdf[i]) return kSizes[i];
+  }
+  return 1500;
+}
+
+}  // namespace
+
+std::vector<Flow> generate_flows(const RegionTopology& region,
+                                 const FlowGenConfig& config) {
+  if (region.vpcs.empty()) {
+    throw std::invalid_argument("flow generation needs a topology");
+  }
+  Rng rng(config.seed);
+  std::vector<Flow> flows;
+  flows.reserve(config.flow_count);
+
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    const VpcRecord& src_vpc = region.vpcs[rng.uniform(region.vpcs.size())];
+    const VmRecord& src_vm = random_vm(src_vpc, rng);
+
+    Flow flow;
+    flow.vni = src_vpc.vni;
+    flow.tuple.src = src_vm.ip;
+    flow.tuple.proto = rng.chance(0.8)
+                           ? static_cast<std::uint8_t>(net::IpProto::kTcp)
+                           : static_cast<std::uint8_t>(net::IpProto::kUdp);
+    flow.tuple.src_port = static_cast<std::uint16_t>(
+        rng.uniform_range(1024, 65535));
+    flow.tuple.dst_port =
+        static_cast<std::uint16_t>(rng.chance(0.5) ? 80 : 443);
+    flow.packet_size = random_packet_size(rng);
+
+    const bool internet = rng.chance(config.internet_fraction);
+    const bool peer =
+        !internet && !src_vpc.peers.empty() && rng.chance(config.peer_fraction);
+    if (internet) {
+      flow.scope = tables::RouteScope::kInternet;
+      // A public address outside the VPC's space, in the VPC's family
+      // (the default route that steers to SNAT is family-specific).
+      if (src_vpc.family == net::IpFamily::kV4) {
+        flow.tuple.dst = net::Ipv4Addr(
+            static_cast<std::uint32_t>((93u << 24) | rng.uniform(1u << 24)));
+      } else {
+        flow.tuple.dst =
+            net::Ipv6Addr(0x2600'0000'0000'0000ULL | rng.uniform(1u << 20),
+                          rng.next_u64());
+      }
+    } else if (peer) {
+      const net::Vni peer_vni =
+          src_vpc.peers[rng.uniform(src_vpc.peers.size())];
+      auto it = std::find_if(region.vpcs.begin(), region.vpcs.end(),
+                             [&](const VpcRecord& vpc) {
+                               return vpc.vni == peer_vni;
+                             });
+      // The peering imports only the peer's first Local prefix; pick a
+      // destination VM that prefix actually covers.
+      const net::IpPrefix& exported = it->routes.front().prefix;
+      const VmRecord* dst_vm = nullptr;
+      for (int attempt = 0; attempt < 16 && dst_vm == nullptr; ++attempt) {
+        const VmRecord& candidate = random_vm(*it, rng);
+        if (exported.contains(candidate.ip)) dst_vm = &candidate;
+      }
+      if (dst_vm == nullptr) {
+        for (const VmRecord& candidate : it->vms) {
+          if (exported.contains(candidate.ip)) {
+            dst_vm = &candidate;
+            break;
+          }
+        }
+      }
+      if (dst_vm == nullptr) dst_vm = &it->vms.front();
+      flow.scope = tables::RouteScope::kPeer;
+      flow.tuple.dst = dst_vm->ip;
+      flow.dst_nc = dst_vm->nc_ip;
+    } else {
+      const VmRecord& dst_vm = random_vm(src_vpc, rng);
+      flow.scope = tables::RouteScope::kLocal;
+      flow.tuple.dst = dst_vm.ip;
+      flow.dst_nc = dst_vm.nc_ip;
+    }
+    flows.push_back(flow);
+  }
+
+  // Zipf weights, assigned through a random permutation of ranks — but
+  // only over the east-west flows; Internet (software-path) flows share a
+  // fixed thin slice of the total (Fig. 22's < 0.2 per-mille share).
+  std::vector<std::size_t> east_west;
+  std::vector<std::size_t> internet;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    (flows[i].scope == tables::RouteScope::kInternet ? internet : east_west)
+        .push_back(i);
+  }
+  const double internet_share =
+      internet.empty() ? 0.0
+                       : std::min(0.5, config.internet_weight_share);
+  if (!east_west.empty()) {
+    std::vector<double> weights =
+        zipf_weights(east_west.size(), config.zipf_exponent);
+    std::vector<std::size_t> ranks(east_west.size());
+    std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+    for (std::size_t i = ranks.size(); i > 1; --i) {
+      std::swap(ranks[i - 1], ranks[rng.uniform(i)]);
+    }
+    for (std::size_t i = 0; i < east_west.size(); ++i) {
+      flows[east_west[i]].weight =
+          weights[ranks[i]] * (1.0 - internet_share);
+    }
+  }
+  for (std::size_t index : internet) {
+    flows[index].weight =
+        internet_share / static_cast<double>(internet.size());
+  }
+  return flows;
+}
+
+double scope_weight(const std::vector<Flow>& flows,
+                    tables::RouteScope scope) {
+  double total = 0;
+  for (const Flow& flow : flows) {
+    if (flow.scope == scope) total += flow.weight;
+  }
+  return total;
+}
+
+}  // namespace sf::workload

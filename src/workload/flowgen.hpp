@@ -1,0 +1,57 @@
+// Flow population generator.
+//
+// Produces a fixed set of flows whose rate shares follow a Zipf power law —
+// the traffic shape behind the paper's CPU-overload story (Figs. 4–7: one
+// or two heavy-hitter flows dominate a core) and the 80/20 table-sharing
+// rule (§4.2). Flow tuples are drawn from the region topology so that every
+// flow resolves through the real forwarding tables.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "tables/entry.hpp"
+#include "workload/rng.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::workload {
+
+struct Flow {
+  net::Vni vni = 0;               // VNI the packet arrives with
+  net::FiveTuple tuple;           // inner 5-tuple
+  double weight = 0;              // share of region traffic (sums to 1)
+  tables::RouteScope scope = tables::RouteScope::kLocal;
+  net::Ipv4Addr dst_nc;           // resolved NC for Local/Peer flows
+  std::uint16_t packet_size = 512;  // mean wire size in bytes
+};
+
+struct FlowGenConfig {
+  std::size_t flow_count = 10000;
+  /// Zipf exponent of flow-rate shares. ~1.25 reproduces "top-1/top-2
+  /// flows dominate" on an overloaded core.
+  double zipf_exponent = 1.25;
+  /// Fraction of flows that are south-north (Internet scope, handled by
+  /// XGW-x86 via SNAT).
+  double internet_fraction = 0.05;
+  /// Combined traffic share of the Internet flows. Production data mining
+  /// (Fig. 22) puts the software-path share below 0.2 per mille; the
+  /// generator assigns the Zipf head to east-west flows and scales the
+  /// Internet flows' weights to sum to exactly this share.
+  double internet_weight_share = 0.00015;
+  /// Fraction of east-west flows that cross VPC boundaries (Peer scope).
+  double peer_fraction = 0.1;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a deterministic flow set over the topology. Weights are Zipf
+/// by a random permutation of ranks, so heavy hitters land on arbitrary
+/// tuples rather than the first VPCs.
+std::vector<Flow> generate_flows(const RegionTopology& region,
+                                 const FlowGenConfig& config);
+
+/// Sum of weights for flows with the given scope.
+double scope_weight(const std::vector<Flow>& flows, tables::RouteScope scope);
+
+}  // namespace sf::workload

@@ -1,0 +1,81 @@
+#include "workload/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sf::workload {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("uniform bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+  std::uint64_t value = next_u64();
+  while (value >= limit) value = next_u64();
+  return value % bound;
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform_real() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform_real();
+  while (u == 0.0) u = uniform_real();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform_real();
+  while (u1 == 0.0) u1 = uniform_real();
+  const double u2 = uniform_real();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::chance(double p) { return uniform_real() < p; }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace sf::workload

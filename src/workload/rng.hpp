@@ -1,0 +1,46 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// Everything stochastic in the repository draws from this Rng (xoshiro256**
+// seeded via splitmix64), so every bench and test is reproducible from a
+// single seed. fork() derives independent substreams for subsystems without
+// coupling their consumption order.
+
+#pragma once
+
+#include <cstdint>
+
+namespace sf::workload {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5a11f15bdeadbeefULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi].
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Exponential with the given mean.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Derives an independent substream labeled by `stream`.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace sf::workload

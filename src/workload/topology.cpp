@@ -1,0 +1,177 @@
+#include "workload/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace sf::workload {
+namespace {
+
+// Overlay addressing. VPC address plans are tenant-chosen and may overlap
+// across VPCs in general; this generator assigns globally distinct subnet
+// ids so that peered VPCs (which must not overlap) stay disjoint. The v4
+// subnet id wraps at 16 bits — fine at simulation scales, and still safe
+// for table keys because the VNI scopes them.
+net::IpAddr make_vm_ip(net::IpFamily family, std::size_t subnet,
+                       std::size_t host) {
+  if (family == net::IpFamily::kV4) {
+    // 10.s.s'.host from the subnet id's 16 bits.
+    return net::Ipv4Addr(static_cast<std::uint32_t>(
+        (10u << 24) | ((subnet >> 8 & 0xff) << 16) | ((subnet & 0xff) << 8) |
+        (host & 0xff)));
+  }
+  // 2001:db8:<subnet-hi>:<subnet-lo>::host
+  return net::Ipv6Addr((0x20010db8ULL << 32) | (subnet & 0xffffffff),
+                       host + 1);
+}
+
+net::IpPrefix make_subnet_prefix(net::IpFamily family, std::size_t subnet) {
+  if (family == net::IpFamily::kV4) {
+    return net::Ipv4Prefix(
+        net::Ipv4Addr(static_cast<std::uint32_t>(
+            (10u << 24) | ((subnet >> 8 & 0xff) << 16) |
+            ((subnet & 0xff) << 8))),
+        24);
+  }
+  return net::Ipv6Prefix(
+      net::Ipv6Addr((0x20010db8ULL << 32) | (subnet & 0xffffffff), 0), 64);
+}
+
+}  // namespace
+
+std::size_t RegionTopology::total_vms() const {
+  std::size_t count = 0;
+  for (const VpcRecord& vpc : vpcs) count += vpc.vms.size();
+  return count;
+}
+
+std::size_t RegionTopology::total_routes() const {
+  std::size_t count = 0;
+  for (const VpcRecord& vpc : vpcs) count += vpc.routes.size();
+  return count;
+}
+
+std::size_t RegionTopology::route_count(net::IpFamily family) const {
+  std::size_t count = 0;
+  for (const VpcRecord& vpc : vpcs) {
+    if (vpc.family == family) count += vpc.routes.size();
+  }
+  return count;
+}
+
+std::size_t RegionTopology::vm_count(net::IpFamily family) const {
+  std::size_t count = 0;
+  for (const VpcRecord& vpc : vpcs) {
+    if (vpc.family == family) count += vpc.vms.size();
+  }
+  return count;
+}
+
+std::vector<std::pair<tables::VxlanRouteKey, tables::VxlanRouteAction>>
+RegionTopology::vxlan_routes() const {
+  std::vector<std::pair<tables::VxlanRouteKey, tables::VxlanRouteAction>> out;
+  out.reserve(total_routes());
+  for (const VpcRecord& vpc : vpcs) {
+    for (const RouteRecord& route : vpc.routes) {
+      out.push_back({tables::VxlanRouteKey{vpc.vni, route.prefix},
+                     route.action});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<tables::VmNcKey, tables::VmNcAction>>
+RegionTopology::vm_mappings() const {
+  std::vector<std::pair<tables::VmNcKey, tables::VmNcAction>> out;
+  out.reserve(total_vms());
+  for (const VpcRecord& vpc : vpcs) {
+    for (const VmRecord& vm : vpc.vms) {
+      out.push_back(
+          {tables::VmNcKey{vpc.vni, vm.ip}, tables::VmNcAction{vm.nc_ip}});
+    }
+  }
+  return out;
+}
+
+RegionTopology generate_topology(const TopologyConfig& config) {
+  if (config.vpc_count == 0 || config.nc_count == 0) {
+    throw std::invalid_argument("topology needs VPCs and NCs");
+  }
+  Rng rng(config.seed);
+  RegionTopology region;
+
+  region.ncs.reserve(config.nc_count);
+  for (std::size_t i = 0; i < config.nc_count; ++i) {
+    // Underlay servers in 172.16.0.0/12.
+    region.ncs.push_back(net::Ipv4Addr(static_cast<std::uint32_t>(
+        (172u << 24) | (16u << 16) | (i << 2) | 1)));
+  }
+
+  // Zipf VM counts: rank r gets a share of total_vms, at least 1.
+  const std::vector<double> shares =
+      zipf_weights(config.vpc_count, config.vm_zipf_exponent);
+
+  region.vpcs.resize(config.vpc_count);
+  std::size_t next_subnet_id = 1;
+  for (std::size_t i = 0; i < config.vpc_count; ++i) {
+    VpcRecord& vpc = region.vpcs[i];
+    vpc.vni = static_cast<net::Vni>(1000 + i);
+    vpc.family = rng.chance(config.ipv6_fraction) ? net::IpFamily::kV6
+                                                  : net::IpFamily::kV4;
+    const std::size_t vm_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               shares[i] * static_cast<double>(config.total_vms)));
+    const std::size_t subnets = std::max<std::size_t>(
+        config.subnets_per_vpc, 1 + vm_count / 200);
+    const std::size_t subnet_base = next_subnet_id;
+    next_subnet_id += subnets;
+
+    vpc.vms.reserve(vm_count);
+    for (std::size_t vm = 0; vm < vm_count; ++vm) {
+      const std::size_t subnet = subnet_base + vm % subnets;
+      const std::size_t host = 2 + vm / subnets;
+      const net::Ipv4Addr nc =
+          region.ncs[rng.uniform(region.ncs.size())];
+      vpc.vms.push_back(VmRecord{make_vm_ip(vpc.family, subnet, host), nc});
+    }
+
+    // Local routes: one per subnet.
+    for (std::size_t subnet = 0; subnet < subnets; ++subnet) {
+      vpc.routes.push_back(RouteRecord{
+          make_subnet_prefix(vpc.family, subnet_base + subnet),
+          tables::VxlanRouteAction{tables::RouteScope::kLocal, 0, {}}});
+    }
+    // Default route to the Internet (served via SNAT at XGW-x86).
+    vpc.routes.push_back(RouteRecord{
+        vpc.family == net::IpFamily::kV4
+            ? net::IpPrefix(net::Ipv4Prefix(net::Ipv4Addr(0), 0))
+            : net::IpPrefix(net::Ipv6Prefix(net::Ipv6Addr(0, 0), 0)),
+        tables::VxlanRouteAction{tables::RouteScope::kInternet, 0, {}}});
+  }
+
+  // Peerings: Peer routes in both directions for same-family VPC pairs.
+  const std::size_t peerings = static_cast<std::size_t>(
+      config.peerings_per_vpc * static_cast<double>(config.vpc_count));
+  for (std::size_t p = 0; p < peerings; ++p) {
+    VpcRecord& a = region.vpcs[rng.uniform(config.vpc_count)];
+    VpcRecord& b = region.vpcs[rng.uniform(config.vpc_count)];
+    if (a.vni == b.vni || a.family != b.family) continue;
+    if (std::find(a.peers.begin(), a.peers.end(), b.vni) != a.peers.end()) {
+      continue;
+    }
+    a.peers.push_back(b.vni);
+    b.peers.push_back(a.vni);
+    // Each side imports the other's first (Local) subnet prefix.
+    a.routes.push_back(RouteRecord{
+        b.routes.front().prefix,
+        tables::VxlanRouteAction{tables::RouteScope::kPeer, b.vni, {}}});
+    b.routes.push_back(RouteRecord{
+        a.routes.front().prefix,
+        tables::VxlanRouteAction{tables::RouteScope::kPeer, a.vni, {}}});
+  }
+
+  return region;
+}
+
+}  // namespace sf::workload

@@ -1,0 +1,75 @@
+// Synthetic region topology: tenants (VPCs), their VMs, subnets, peerings
+// and the physical servers (NCs) hosting them.
+//
+// Stands in for Alibaba's production inventory (DESIGN.md §1): the paper's
+// occupancy numbers depend only on entry counts, key widths and the v4/v6
+// mix, all of which are config knobs here. VM counts follow a Zipf across
+// VPCs ("some top customers can purchase millions of VMs even in a single
+// VPC", §1).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+#include "tables/entry.hpp"
+#include "workload/rng.hpp"
+
+namespace sf::workload {
+
+struct VmRecord {
+  net::IpAddr ip;
+  net::Ipv4Addr nc_ip;
+};
+
+struct RouteRecord {
+  net::IpPrefix prefix;
+  tables::VxlanRouteAction action;
+};
+
+struct VpcRecord {
+  net::Vni vni = 0;
+  net::IpFamily family = net::IpFamily::kV4;
+  std::vector<VmRecord> vms;
+  std::vector<RouteRecord> routes;
+  std::vector<net::Vni> peers;
+};
+
+struct TopologyConfig {
+  std::size_t vpc_count = 1000;
+  /// Total VMs in the region, Zipf-distributed across VPCs.
+  std::size_t total_vms = 20000;
+  double vm_zipf_exponent = 1.0;
+  std::size_t nc_count = 2000;
+  /// Fraction of VPCs provisioned with IPv6 addressing (entry mix of
+  /// Table 2: 75% IPv4 / 25% IPv6 by default).
+  double ipv6_fraction = 0.25;
+  /// Expected peerings per VPC (each adds Peer routes both ways).
+  double peerings_per_vpc = 0.2;
+  /// Subnets (/24 or /64) allocated per VPC.
+  std::size_t subnets_per_vpc = 2;
+  std::uint64_t seed = 1;
+};
+
+struct RegionTopology {
+  std::vector<VpcRecord> vpcs;
+  std::vector<net::Ipv4Addr> ncs;
+
+  std::size_t total_vms() const;
+  std::size_t total_routes() const;
+  std::size_t route_count(net::IpFamily family) const;
+  std::size_t vm_count(net::IpFamily family) const;
+
+  /// Flattened table contents, ready for installation into a gateway.
+  std::vector<std::pair<tables::VxlanRouteKey, tables::VxlanRouteAction>>
+  vxlan_routes() const;
+  std::vector<std::pair<tables::VmNcKey, tables::VmNcAction>> vm_mappings()
+      const;
+};
+
+/// Deterministically generates a region from the config.
+RegionTopology generate_topology(const TopologyConfig& config);
+
+}  // namespace sf::workload

@@ -1,0 +1,147 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace sf::workload {
+namespace {
+
+const char* scope_token(tables::RouteScope scope) {
+  switch (scope) {
+    case tables::RouteScope::kLocal:
+      return "local";
+    case tables::RouteScope::kPeer:
+      return "peer";
+    case tables::RouteScope::kIdc:
+      return "idc";
+    case tables::RouteScope::kCrossRegion:
+      return "cross-region";
+    case tables::RouteScope::kInternet:
+      return "internet";
+  }
+  return "?";
+}
+
+std::optional<tables::RouteScope> parse_scope(std::string_view token) {
+  if (token == "local") return tables::RouteScope::kLocal;
+  if (token == "peer") return tables::RouteScope::kPeer;
+  if (token == "idc") return tables::RouteScope::kIdc;
+  if (token == "cross-region") return tables::RouteScope::kCrossRegion;
+  if (token == "internet") return tables::RouteScope::kInternet;
+  return std::nullopt;
+}
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+std::optional<T> parse_number(std::string_view token) {
+  T value{};
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_real(std::string_view token) {
+  // from_chars for double is not universally available; strtod via string.
+  const std::string text(token);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_flows_csv(std::ostream& out, const std::vector<Flow>& flows) {
+  out << "# vni,src,dst,proto,src_port,dst_port,weight,scope,dst_nc,"
+         "packet_size\n";
+  for (const Flow& flow : flows) {
+    out << flow.vni << ',' << flow.tuple.src.to_string() << ','
+        << flow.tuple.dst.to_string() << ','
+        << static_cast<unsigned>(flow.tuple.proto) << ','
+        << flow.tuple.src_port << ',' << flow.tuple.dst_port << ','
+        << flow.weight << ',' << scope_token(flow.scope) << ','
+        << flow.dst_nc.to_string() << ',' << flow.packet_size << '\n';
+  }
+}
+
+std::string flows_to_csv(const std::vector<Flow>& flows) {
+  std::ostringstream out;
+  out.precision(17);
+  write_flows_csv(out, flows);
+  return out.str();
+}
+
+TraceParseResult parse_flows_csv(std::istream& in) {
+  TraceParseResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 10) {
+      result.errors.push_back(
+          {line_number, "expected 10 fields, got " +
+                            std::to_string(fields.size())});
+      continue;
+    }
+    Flow flow;
+    const auto vni = parse_number<std::uint32_t>(fields[0]);
+    const auto src = net::IpAddr::parse(fields[1]);
+    const auto dst = net::IpAddr::parse(fields[2]);
+    const auto proto = parse_number<unsigned>(fields[3]);
+    const auto sport = parse_number<std::uint16_t>(fields[4]);
+    const auto dport = parse_number<std::uint16_t>(fields[5]);
+    const auto weight = parse_real(fields[6]);
+    const auto scope = parse_scope(fields[7]);
+    const auto nc = net::Ipv4Addr::parse(fields[8]);
+    const auto size = parse_number<std::uint16_t>(fields[9]);
+    if (!vni || *vni > net::kMaxVni) {
+      result.errors.push_back({line_number, "bad vni"});
+      continue;
+    }
+    if (!src || !dst || !proto || *proto > 255 || !sport || !dport ||
+        !weight || *weight < 0 || !scope || !nc || !size) {
+      result.errors.push_back({line_number, "malformed field"});
+      continue;
+    }
+    flow.vni = *vni;
+    flow.tuple.src = *src;
+    flow.tuple.dst = *dst;
+    flow.tuple.proto = static_cast<std::uint8_t>(*proto);
+    flow.tuple.src_port = *sport;
+    flow.tuple.dst_port = *dport;
+    flow.weight = *weight;
+    flow.scope = *scope;
+    flow.dst_nc = *nc;
+    flow.packet_size = *size;
+    result.flows.push_back(flow);
+  }
+  return result;
+}
+
+TraceParseResult parse_flows_csv(const std::string& text) {
+  std::istringstream in(text);
+  return parse_flows_csv(in);
+}
+
+}  // namespace sf::workload

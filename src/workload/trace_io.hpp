@@ -1,0 +1,40 @@
+// Flow-trace import/export: a small CSV format so downstream users can run
+// the simulators and benches over their own measured flow populations
+// instead of the synthetic generators.
+//
+// Columns: vni,src,dst,proto,src_port,dst_port,weight,scope,dst_nc,
+//          packet_size — one flow per line, '#' comments allowed.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/flowgen.hpp"
+
+namespace sf::workload {
+
+/// Serializes flows as CSV (with a header comment).
+std::string flows_to_csv(const std::vector<Flow>& flows);
+void write_flows_csv(std::ostream& out, const std::vector<Flow>& flows);
+
+/// Parse errors carry the line number and reason.
+struct TraceParseError {
+  std::size_t line = 0;
+  std::string reason;
+};
+
+struct TraceParseResult {
+  std::vector<Flow> flows;
+  std::vector<TraceParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses a CSV flow trace. Malformed lines are reported, well-formed
+/// lines are kept (robust bulk import).
+TraceParseResult parse_flows_csv(std::istream& in);
+TraceParseResult parse_flows_csv(const std::string& text);
+
+}  // namespace sf::workload

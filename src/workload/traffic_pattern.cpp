@@ -1,0 +1,39 @@
+#include "workload/traffic_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "net/hash.hpp"
+
+namespace sf::workload {
+
+double rate_at(const TrafficPattern& pattern, double t_seconds) {
+  const double day = t_seconds / 86400.0;
+  const double hour = std::fmod(t_seconds, 86400.0) / 3600.0;
+
+  const double diurnal =
+      1.0 + pattern.diurnal_amplitude *
+                std::cos((hour - pattern.peak_hour) / 24.0 * 2.0 *
+                         std::numbers::pi);
+
+  double festival = 1.0;
+  if (day >= pattern.festival_start_day && day < pattern.festival_end_day) {
+    // Ramp up over the first two hours, hold, ramp down over the last two.
+    const double into = (day - pattern.festival_start_day) * 24.0;
+    const double left = (pattern.festival_end_day - day) * 24.0;
+    const double ramp = std::min({into / 2.0, left / 2.0, 1.0});
+    festival = 1.0 + (pattern.festival_multiplier - 1.0) * ramp;
+  }
+
+  const std::uint64_t minute = static_cast<std::uint64_t>(t_seconds / 60.0);
+  const double noise =
+      1.0 + pattern.jitter *
+                (2.0 * (static_cast<double>(net::mix64(minute) >> 11) *
+                        0x1.0p-53) -
+                 1.0);
+
+  return pattern.base_bps * diurnal * festival * noise;
+}
+
+}  // namespace sf::workload

@@ -1,0 +1,34 @@
+// Region traffic-rate envelopes: diurnal cycle plus online-shopping-festival
+// surges. These drive the week-long operational figures (Figs. 4-6, 19-22).
+
+#pragma once
+
+#include <cstdint>
+
+namespace sf::workload {
+
+struct TrafficPattern {
+  /// Mean region traffic in bits per second.
+  double base_bps = 10e12;
+  /// Peak-to-mean swing of the diurnal cycle (0..1).
+  double diurnal_amplitude = 0.35;
+  /// Local hour of the daily peak.
+  double peak_hour = 21.0;
+  /// Festival window (days are 0-based within the simulated span).
+  double festival_start_day = 5.0;
+  double festival_end_day = 6.0;
+  /// Rate multiplier during the festival window.
+  double festival_multiplier = 2.2;
+  /// Relative amplitude of deterministic minute-scale jitter.
+  double jitter = 0.05;
+};
+
+/// The region rate at time t (seconds since day 0). Deterministic: jitter
+/// is hashed from the minute index, not drawn from an RNG.
+double rate_at(const TrafficPattern& pattern, double t_seconds);
+
+/// Convenience: days to seconds.
+constexpr double days(double d) { return d * 86400.0; }
+constexpr double hours(double h) { return h * 3600.0; }
+
+}  // namespace sf::workload

@@ -1,0 +1,59 @@
+#include "workload/update_events.hpp"
+
+#include <algorithm>
+
+namespace sf::workload {
+
+std::vector<UpdateEvent> generate_update_events(
+    const UpdateEventConfig& config) {
+  Rng rng(config.seed);
+  std::vector<UpdateEvent> events;
+
+  // Regular churn: Poisson arrivals, small signed deltas.
+  double t = 0;
+  while (true) {
+    t += rng.exponential(1.0 / config.regular_events_per_day);
+    if (t >= config.span_days) break;
+    const bool removal = rng.chance(config.regular_remove_probability);
+    const std::int64_t magnitude = static_cast<std::int64_t>(
+        rng.uniform_range(1,
+                          static_cast<std::uint64_t>(
+                              config.regular_delta_max)));
+    events.push_back(UpdateEvent{t, removal ? -magnitude : magnitude, false});
+  }
+
+  // Sudden batches at uniformly random days (not in the first day, so the
+  // series shows a quiet baseline first).
+  for (std::size_t i = 0; i < config.sudden_events; ++i) {
+    const double day =
+        1.0 + rng.uniform_real() * (config.span_days - 1.0);
+    const std::int64_t delta = static_cast<std::int64_t>(rng.uniform_range(
+        static_cast<std::uint64_t>(config.sudden_delta_min),
+        static_cast<std::uint64_t>(config.sudden_delta_max)));
+    events.push_back(UpdateEvent{day, delta, true});
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const UpdateEvent& a, const UpdateEvent& b) {
+              return a.day < b.day;
+            });
+  return events;
+}
+
+std::vector<std::pair<double, std::int64_t>> cumulative_entries(
+    std::int64_t initial_entries, const std::vector<UpdateEvent>& events,
+    double span_days, double step_days) {
+  std::vector<std::pair<double, std::int64_t>> series;
+  std::int64_t entries = initial_entries;
+  std::size_t next = 0;
+  for (double day = 0; day <= span_days; day += step_days) {
+    while (next < events.size() && events[next].day <= day) {
+      entries = std::max<std::int64_t>(0, entries + events[next].delta_entries);
+      ++next;
+    }
+    series.push_back({day, entries});
+  }
+  return series;
+}
+
+}  // namespace sf::workload

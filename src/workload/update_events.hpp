@@ -1,0 +1,45 @@
+// Table-update event streams (Fig. 23): for most of the month the VXLAN
+// routing table drifts slowly (tenants add/remove a few routes), with rare
+// sudden jumps when a top customer onboards a large VM fleet or pushes a
+// batch route update — announced ahead of time in production (§5.2).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/rng.hpp"
+
+namespace sf::workload {
+
+struct UpdateEvent {
+  double day = 0;               // event time in days
+  std::int64_t delta_entries = 0;
+  bool sudden = false;          // top-customer batch vs regular churn
+};
+
+struct UpdateEventConfig {
+  double span_days = 30.0;
+  /// Regular churn: Poisson arrivals per day, each a small +/- delta.
+  double regular_events_per_day = 48.0;
+  std::int64_t regular_delta_max = 40;
+  /// Probability that a regular event removes entries.
+  double regular_remove_probability = 0.4;
+  /// Sudden top-customer batches across the span.
+  std::size_t sudden_events = 2;
+  std::int64_t sudden_delta_min = 20000;
+  std::int64_t sudden_delta_max = 60000;
+  std::uint64_t seed = 11;
+};
+
+/// Generates a time-sorted event stream.
+std::vector<UpdateEvent> generate_update_events(
+    const UpdateEventConfig& config);
+
+/// Integrates events into a (day, entry-count) series sampled every
+/// `step_days`, starting from `initial_entries`.
+std::vector<std::pair<double, std::int64_t>> cumulative_entries(
+    std::int64_t initial_entries, const std::vector<UpdateEvent>& events,
+    double span_days, double step_days);
+
+}  // namespace sf::workload

@@ -1,0 +1,76 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler needs n > 0");
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    sum += std::pow(static_cast<double>(rank + 1), -exponent);
+    cdf_[rank] = sum;
+  }
+  for (double& value : cdf_) value /= sum;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_real();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::vector<double> zipf_weights(std::size_t n, double exponent) {
+  std::vector<double> weights(n);
+  double sum = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    weights[rank] = std::pow(static_cast<double>(rank + 1), -exponent);
+    sum += weights[rank];
+  }
+  for (double& w : weights) w /= sum;
+  return weights;
+}
+
+double fit_zipf_exponent(std::size_t n, double head_fraction,
+                         double mass_fraction) {
+  if (n < 2 || head_fraction <= 0 || head_fraction >= 1 ||
+      mass_fraction <= 0 || mass_fraction >= 1) {
+    throw std::invalid_argument("fit_zipf_exponent: bad arguments");
+  }
+  const std::size_t head =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   head_fraction * static_cast<double>(n)));
+  auto head_mass = [&](double s) {
+    double total = 0;
+    double in_head = 0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const double w = std::pow(static_cast<double>(rank + 1), -s);
+      total += w;
+      if (rank < head) in_head += w;
+    }
+    return in_head / total;
+  };
+  double lo = 0.0;
+  double hi = 4.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (head_mass(mid) < mass_fraction) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace sf::workload

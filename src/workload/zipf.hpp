@@ -1,0 +1,45 @@
+// Zipf (power-law) sampling — the shape of cloud traffic.
+//
+// The paper's data mining found the "80/20 rule" (5% of table entries carry
+// 95% of traffic, §4.2) and heavy-hitter flows dominating overloaded CPU
+// cores (Fig. 7). Both are power laws; this sampler and its weight helper
+// generate them deterministically.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/rng.hpp"
+
+namespace sf::workload {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Probability mass of a rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+/// Normalized Zipf weights for n ranks (weight[0] largest). Useful when a
+/// workload needs the whole distribution, e.g. assigning rates to flows.
+std::vector<double> zipf_weights(std::size_t n, double exponent);
+
+/// The exponent that makes the top `head_fraction` of ranks carry about
+/// `mass_fraction` of the weight, found by bisection. Calibrates the
+/// paper's "5% of entries carry 95% of traffic".
+double fit_zipf_exponent(std::size_t n, double head_fraction,
+                         double mass_fraction);
+
+}  // namespace sf::workload

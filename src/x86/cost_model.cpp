@@ -1,0 +1,9 @@
+// X86CostModel is header-only (x86/cost_model.hpp).
+
+#include "x86/cost_model.hpp"
+
+namespace sf::x86 {
+
+static_assert(X86CostModel{}.cores == 32);
+
+}  // namespace sf::x86

@@ -1,0 +1,76 @@
+#include "x86/queue_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "workload/rng.hpp"
+
+namespace sf::x86 {
+
+CoreQueueSim::Result CoreQueueSim::run(double offered_pps,
+                                       double duration_s,
+                                       std::uint64_t seed) const {
+  if (offered_pps <= 0 || duration_s <= 0) {
+    throw std::invalid_argument("CoreQueueSim: bad load parameters");
+  }
+  workload::Rng rng(seed);
+  const double service_time = 1.0 / config_.service_pps;
+
+  Result result;
+  std::vector<double> sojourns;
+  std::deque<double> queue;  // arrival timestamps of queued packets
+  double clock = 0;
+  double server_free_at = 0;
+
+  while (clock < duration_s) {
+    clock += rng.exponential(1.0 / offered_pps);  // Poisson arrivals
+    ++result.packets_offered;
+
+    // Drain every packet whose service completes before this arrival.
+    while (!queue.empty()) {
+      const double start = std::max(server_free_at, queue.front());
+      if (start + service_time > clock) break;
+      sojourns.push_back(start + service_time - queue.front());
+      server_free_at = start + service_time;
+      queue.pop_front();
+    }
+
+    if (queue.size() >= config_.ring_slots) {
+      ++result.packets_dropped;  // RX ring overflow: drop-tail
+      continue;
+    }
+    queue.push_back(clock);
+  }
+  // Flush the queue at the end of the run.
+  while (!queue.empty()) {
+    const double start = std::max(server_free_at, queue.front());
+    sojourns.push_back(start + service_time - queue.front());
+    server_free_at = start + service_time;
+    queue.pop_front();
+  }
+
+  if (!sojourns.empty()) {
+    std::sort(sojourns.begin(), sojourns.end());
+    double sum = 0;
+    for (double s : sojourns) sum += s;
+    const auto at = [&](double q) {
+      return sojourns[std::min(
+          sojourns.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(
+                                           sojourns.size())))];
+    };
+    result.mean_latency_us =
+        config_.base_latency_us + sum / static_cast<double>(sojourns.size()) * 1e6;
+    result.p50_latency_us = config_.base_latency_us + at(0.50) * 1e6;
+    result.p99_latency_us = config_.base_latency_us + at(0.99) * 1e6;
+  }
+  result.drop_rate =
+      result.packets_offered > 0
+          ? static_cast<double>(result.packets_dropped) /
+                static_cast<double>(result.packets_offered)
+          : 0;
+  return result;
+}
+
+}  // namespace sf::x86

@@ -1,0 +1,28 @@
+#include "x86/rss.hpp"
+
+#include <stdexcept>
+
+#include "net/hash.hpp"
+
+namespace sf::x86 {
+
+RssIndirection::RssIndirection(unsigned queues, unsigned table_size,
+                               std::uint32_t hash_seed)
+    : queues_(queues), seed_(hash_seed) {
+  if (queues == 0 || table_size == 0) {
+    throw std::invalid_argument("RSS needs queues and table entries");
+  }
+  table_.resize(table_size);
+  for (unsigned i = 0; i < table_size; ++i) table_[i] = i % queues;
+}
+
+unsigned RssIndirection::queue_for(const net::FiveTuple& tuple) const {
+  // CRC is affine in its seed (reseeding XORs a constant), which would
+  // make key rotation ineffective; mix the seed in non-linearly, as a
+  // Toeplitz-keyed engine would.
+  const std::uint64_t hash =
+      net::mix64(tuple.rss_hash() ^ (std::uint64_t{seed_} << 32 | seed_));
+  return table_[hash % table_.size()];
+}
+
+}  // namespace sf::x86

@@ -1,0 +1,102 @@
+#include "x86/snat.hpp"
+
+#include <stdexcept>
+
+namespace sf::x86 {
+
+SnatEngine::SnatEngine(Config config) : config_(std::move(config)) {
+  if (config_.public_ips.empty()) {
+    throw std::invalid_argument("SNAT needs at least one public IP");
+  }
+  if (config_.port_min > config_.port_max) {
+    throw std::invalid_argument("SNAT port range is inverted");
+  }
+  for (net::Ipv4Addr ip : config_.public_ips) {
+    for (std::uint32_t port = config_.port_min; port <= config_.port_max;
+         ++port) {
+      free_pool_.push_back(
+          SnatBinding{ip, static_cast<std::uint16_t>(port)});
+    }
+  }
+}
+
+std::optional<SnatBinding> SnatEngine::allocate() {
+  if (free_pool_.empty()) return std::nullopt;
+  SnatBinding binding = free_pool_.front();
+  free_pool_.pop_front();
+  return binding;
+}
+
+void SnatEngine::release(const SnatBinding& binding) {
+  free_pool_.push_back(binding);
+}
+
+std::optional<SnatBinding> SnatEngine::translate(
+    const net::FiveTuple& session, double now) {
+  if (auto it = by_tuple_.find(session); it != by_tuple_.end()) {
+    Session& s = sessions_[it->second];
+    s.last_used = now;
+    return s.binding;
+  }
+  auto binding = allocate();
+  if (!binding) {
+    ++allocation_failures_;
+    return std::nullopt;
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    sessions_[slot] = Session{*binding, session, now};
+  } else {
+    slot = sessions_.size();
+    sessions_.push_back(Session{*binding, session, now});
+  }
+  by_tuple_.emplace(session, slot);
+  by_binding_.emplace(BindingKey{*binding}, slot);
+  return binding;
+}
+
+std::optional<net::FiveTuple> SnatEngine::reverse(const SnatBinding& binding,
+                                                  const net::IpAddr& peer_ip,
+                                                  std::uint16_t peer_port,
+                                                  double now) {
+  auto it = by_binding_.find(BindingKey{binding});
+  if (it == by_binding_.end()) return std::nullopt;
+  Session& s = sessions_[it->second];
+  // The response must come from the session's remote endpoint.
+  if (s.tuple.dst != peer_ip || s.tuple.dst_port != peer_port) {
+    return std::nullopt;
+  }
+  s.last_used = now;
+  return s.tuple;
+}
+
+std::size_t SnatEngine::expire(double now) {
+  std::size_t reclaimed = 0;
+  for (auto it = by_tuple_.begin(); it != by_tuple_.end();) {
+    const std::size_t slot = it->second;
+    if (now - sessions_[slot].last_used > config_.session_timeout_s) {
+      by_binding_.erase(BindingKey{sessions_[slot].binding});
+      release(sessions_[slot].binding);
+      free_slots_.push_back(slot);
+      it = by_tuple_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  expired_ += reclaimed;
+  return reclaimed;
+}
+
+SnatEngine::Stats SnatEngine::stats() const {
+  return Stats{by_tuple_.size(), allocation_failures_, expired_};
+}
+
+std::size_t SnatEngine::capacity() const {
+  return config_.public_ips.size() *
+         (static_cast<std::size_t>(config_.port_max) - config_.port_min + 1);
+}
+
+}  // namespace sf::x86

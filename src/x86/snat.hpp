@@ -1,0 +1,104 @@
+// Stateful SNAT engine (Fig. 11): maps an inner 5-tuple session to a
+// (public IP, source port) pair so VMs without public addresses can reach
+// the Internet. Session counts reach O(100M) in production — far beyond
+// on-chip memory — which is why the SNAT table lives in XGW-x86's DRAM.
+//
+// The engine owns a pool of public IPs, allocates ports per IP, keeps the
+// forward and reverse mappings (the response path arrives keyed by public
+// IP/port), and expires idle sessions.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/hash.hpp"
+#include "net/headers.hpp"
+
+namespace sf::x86 {
+
+struct SnatBinding {
+  net::Ipv4Addr public_ip;
+  std::uint16_t public_port = 0;
+
+  friend bool operator==(const SnatBinding&, const SnatBinding&) = default;
+};
+
+class SnatEngine {
+ public:
+  struct Config {
+    std::vector<net::Ipv4Addr> public_ips;
+    std::uint16_t port_min = 1024;
+    std::uint16_t port_max = 65535;
+    /// Idle timeout before a session's binding is reclaimed.
+    double session_timeout_s = 300;
+  };
+
+  struct Stats {
+    std::size_t active_sessions = 0;
+    std::size_t allocation_failures = 0;
+    std::size_t expired_sessions = 0;
+  };
+
+  explicit SnatEngine(Config config);
+
+  /// Translates an outbound session: returns the binding (existing or
+  /// newly allocated), or nullopt when the pool is exhausted.
+  std::optional<SnatBinding> translate(const net::FiveTuple& session,
+                                       double now);
+
+  /// Reverse path: finds the inner session for a response addressed to
+  /// (public ip, public port, peer ip, peer port).
+  std::optional<net::FiveTuple> reverse(const SnatBinding& binding,
+                                        const net::IpAddr& peer_ip,
+                                        std::uint16_t peer_port,
+                                        double now);
+
+  /// Reclaims sessions idle since before `now - timeout`.
+  std::size_t expire(double now);
+
+  Stats stats() const;
+
+  /// Total bindings the pool can hold.
+  std::size_t capacity() const;
+
+ private:
+  struct TupleHasher {
+    std::uint64_t operator()(const net::FiveTuple& t) const {
+      return t.hash();
+    }
+  };
+  struct BindingKey {
+    SnatBinding binding;
+    friend bool operator==(const BindingKey&, const BindingKey&) = default;
+  };
+  struct BindingHasher {
+    std::uint64_t operator()(const BindingKey& k) const {
+      return net::hash_combine(net::mix64(k.binding.public_ip.value()),
+                               net::mix64(k.binding.public_port));
+    }
+  };
+
+  struct Session {
+    SnatBinding binding;
+    net::FiveTuple tuple;
+    double last_used = 0;
+  };
+
+  std::optional<SnatBinding> allocate();
+  void release(const SnatBinding& binding);
+
+  Config config_;
+  std::deque<SnatBinding> free_pool_;
+  std::unordered_map<net::FiveTuple, std::size_t, TupleHasher> by_tuple_;
+  std::unordered_map<BindingKey, std::size_t, BindingHasher> by_binding_;
+  std::vector<Session> sessions_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t allocation_failures_ = 0;
+  std::size_t expired_ = 0;
+};
+
+}  // namespace sf::x86

@@ -1,0 +1,180 @@
+#include "x86/xgw_x86.hpp"
+
+#include <algorithm>
+
+namespace sf::x86 {
+
+std::string to_string(X86Action action) {
+  switch (action) {
+    case X86Action::kForwardToNc:
+      return "forward-to-nc";
+    case X86Action::kForwardTunnel:
+      return "forward-tunnel";
+    case X86Action::kSnatToInternet:
+      return "snat-to-internet";
+    case X86Action::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+XgwX86::XgwX86(Config config)
+    : config_(config),
+      snat_(config.snat),
+      rss_(config.model.cores, 128, config.rss_seed) {}
+
+bool XgwX86::install_route(net::Vni vni, const net::IpPrefix& prefix,
+                           tables::VxlanRouteAction action) {
+  return routes_.insert(vni, prefix, action);
+}
+
+bool XgwX86::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+  return routes_.erase(vni, prefix);
+}
+
+bool XgwX86::install_mapping(const tables::VmNcKey& key,
+                             tables::VmNcAction action) {
+  return mappings_.insert_or_assign(key, action).second;
+}
+
+bool XgwX86::remove_mapping(const tables::VmNcKey& key) {
+  return mappings_.erase(key) > 0;
+}
+
+double XgwX86::full_install_seconds() const {
+  return config_.model.table_install_seconds(route_count() +
+                                             mapping_count());
+}
+
+X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
+  ++telemetry_.packets_in;
+  X86Result result;
+  result.packet = packet;
+  result.latency_us = config_.model.latency_us(0.0);
+
+  net::Vni vni = packet.vni;
+  std::optional<tables::VxlanRouteAction> route;
+  for (int hop = 0; hop < 4; ++hop) {
+    route = routes_.lookup(vni, packet.inner.dst);
+    if (!route || route->scope != tables::RouteScope::kPeer) break;
+    vni = route->next_hop_vni;
+  }
+  if (!route) {
+    ++telemetry_.packets_dropped;
+    result.drop_reason = "no route";
+    return result;
+  }
+
+  switch (route->scope) {
+    case tables::RouteScope::kLocal: {
+      auto it = mappings_.find(tables::VmNcKey{vni, packet.inner.dst});
+      if (it == mappings_.end()) {
+        ++telemetry_.packets_dropped;
+        result.drop_reason = "no VM-NC mapping";
+        return result;
+      }
+      result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
+      result.packet.outer_dst_ip = net::IpAddr(it->second.nc_ip);
+      result.action = X86Action::kForwardToNc;
+      ++telemetry_.packets_forwarded;
+      return result;
+    }
+    case tables::RouteScope::kIdc:
+    case tables::RouteScope::kCrossRegion:
+      result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
+      result.packet.outer_dst_ip = net::IpAddr(route->remote_endpoint);
+      result.action = X86Action::kForwardTunnel;
+      ++telemetry_.packets_forwarded;
+      return result;
+    case tables::RouteScope::kInternet: {
+      auto binding = snat_.translate(packet.inner, now);
+      if (!binding) {
+        ++telemetry_.packets_dropped;
+        result.drop_reason = "SNAT pool exhausted";
+        return result;
+      }
+      // Decap: the packet leaves as plain IP with the public source.
+      result.packet.vni = 0;
+      result.packet.inner.src = net::IpAddr(binding->public_ip);
+      result.packet.inner.src_port = binding->public_port;
+      result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
+      result.packet.outer_dst_ip = packet.inner.dst;
+      result.snat = binding;
+      result.action = X86Action::kSnatToInternet;
+      ++telemetry_.packets_snat;
+      return result;
+    }
+    case tables::RouteScope::kPeer:
+      ++telemetry_.packets_dropped;
+      result.drop_reason = "peer VNI resolution loop";
+      return result;
+  }
+  ++telemetry_.packets_dropped;
+  result.drop_reason = "unhandled scope";
+  return result;
+}
+
+std::optional<net::OverlayPacket> XgwX86::process_response(
+    const SnatBinding& binding, const net::IpAddr& peer_ip,
+    std::uint16_t peer_port, std::uint16_t payload_size, double now) {
+  auto session = snat_.reverse(binding, peer_ip, peer_port, now);
+  if (!session) return std::nullopt;
+
+  // The original outbound session tells us the VM; find its NC. The SNAT
+  // session was created from a packet whose resolved VNI we do not store,
+  // so scan by the session's source VM across installed mappings — the
+  // production system keeps the VNI in the session; we keep it simple by
+  // storing sessions per (vni) in the tuple's src, which is unique within
+  // the gateway's mapping table for this model.
+  for (const auto& [key, action] : mappings_) {
+    if (key.vm_ip == session->src) {
+      net::OverlayPacket packet;
+      packet.vni = key.vni;
+      packet.inner.src = peer_ip;
+      packet.inner.src_port = peer_port;
+      packet.inner.dst = session->src;
+      packet.inner.dst_port = session->src_port;
+      packet.inner.proto = session->proto;
+      packet.payload_size = payload_size;
+      packet.outer_src_ip = net::IpAddr(config_.device_ip);
+      packet.outer_dst_ip = net::IpAddr(action.nc_ip);
+      return packet;
+    }
+  }
+  return std::nullopt;
+}
+
+IntervalReport XgwX86::simulate_interval(
+    std::span<const FlowRate> flows) const {
+  IntervalReport report;
+  report.cores.resize(config_.model.cores);
+
+  for (const FlowRate& flow : flows) {
+    CoreLoad& core = report.cores[rss_.queue_for(flow.tuple)];
+    core.offered_pps += flow.pps;
+    ++core.flows;
+    if (flow.pps > core.top1_pps) {
+      core.top2_pps = core.top1_pps;
+      core.top1_pps = flow.pps;
+    } else if (flow.pps > core.top2_pps) {
+      core.top2_pps = flow.pps;
+    }
+    report.offered_pps += flow.pps;
+    report.offered_bps += flow.bps;
+  }
+
+  const double capacity = config_.model.core_pps();
+  for (CoreLoad& core : report.cores) {
+    core.processed_pps = std::min(core.offered_pps, capacity);
+    core.dropped_pps = core.offered_pps - core.processed_pps;
+    core.utilization = core.offered_pps / capacity;
+    report.dropped_pps += core.dropped_pps;
+    report.max_core_utilization =
+        std::max(report.max_core_utilization, core.utilization);
+  }
+  report.drop_rate =
+      report.offered_pps > 0 ? report.dropped_pps / report.offered_pps : 0;
+  return report;
+}
+
+}  // namespace sf::x86

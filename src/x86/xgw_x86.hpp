@@ -1,0 +1,145 @@
+// XGW-x86: the DPDK-style software gateway node (§2.2).
+//
+// Functionally it is the superset gateway: full VXLAN routing + VM-NC
+// tables in DRAM (tables/route_table.hpp), the stateful SNAT engine, and
+// the tunnel rewrite — everything XGW-H offloads lands here. Its weakness
+// is the performance model: run-to-completion cores fed by RSS flow
+// hashing, so heavy-hitter flows overload single cores (Figs. 4-7), which
+// simulate_interval() reproduces.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "tables/entry.hpp"
+#include "tables/route_table.hpp"
+#include "x86/cost_model.hpp"
+#include "x86/rss.hpp"
+#include "x86/snat.hpp"
+
+namespace sf::x86 {
+
+enum class X86Action : std::uint8_t {
+  kForwardToNc,
+  kForwardTunnel,
+  kSnatToInternet,
+  kDrop,
+};
+
+std::string to_string(X86Action action);
+
+struct X86Result {
+  X86Action action = X86Action::kDrop;
+  net::OverlayPacket packet;
+  std::string drop_reason;
+  double latency_us = 0;
+  std::optional<SnatBinding> snat;
+};
+
+/// Offered load of one flow during a simulation interval.
+struct FlowRate {
+  net::FiveTuple tuple;
+  double pps = 0;
+  double bps = 0;
+};
+
+/// One CPU core's load during an interval.
+struct CoreLoad {
+  double offered_pps = 0;
+  double processed_pps = 0;
+  double dropped_pps = 0;
+  double utilization = 0;  // offered / core capacity (can exceed 1)
+  std::size_t flows = 0;
+  double top1_pps = 0;  // heaviest flow on this core
+  double top2_pps = 0;  // second heaviest
+};
+
+struct IntervalReport {
+  std::vector<CoreLoad> cores;
+  double offered_pps = 0;
+  double offered_bps = 0;
+  double dropped_pps = 0;
+  double drop_rate = 0;  // dropped / offered (packets)
+  double max_core_utilization = 0;
+};
+
+class XgwX86 {
+ public:
+  struct Config {
+    X86CostModel model;
+    net::Ipv4Addr device_ip = net::Ipv4Addr(10, 0, 1, 1);
+    SnatEngine::Config snat{
+        {net::Ipv4Addr(203, 0, 113, 1)}, 1024, 65535, 300};
+    std::uint32_t rss_seed = 0;
+  };
+
+  explicit XgwX86(Config config);
+
+  // ---- controller-facing table API ---------------------------------------
+
+  bool install_route(net::Vni vni, const net::IpPrefix& prefix,
+                     tables::VxlanRouteAction action);
+  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
+  bool install_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
+  bool remove_mapping(const tables::VmNcKey& key);
+
+  std::size_t route_count() const { return routes_.size(); }
+  std::size_t mapping_count() const { return mappings_.size(); }
+
+  /// Seconds the controller needs to install this node's current tables
+  /// from scratch — the ">10 minutes" pain of §2.3.
+  double full_install_seconds() const;
+
+  // ---- functional data path ----------------------------------------------
+
+  X86Result process(const net::OverlayPacket& packet, double now = 0);
+
+  /// Internet response path: a packet addressed to a SNAT binding is
+  /// translated back and re-encapsulated toward the VM's NC.
+  std::optional<net::OverlayPacket> process_response(
+      const SnatBinding& binding, const net::IpAddr& peer_ip,
+      std::uint16_t peer_port, std::uint16_t payload_size, double now);
+
+  SnatEngine& snat() { return snat_; }
+  const SnatEngine& snat() const { return snat_; }
+
+  // ---- performance model ---------------------------------------------------
+
+  /// Distributes the offered flows over cores via RSS and reports per-core
+  /// load and drops for one interval.
+  IntervalReport simulate_interval(std::span<const FlowRate> flows) const;
+
+  const Config& config() const { return config_; }
+
+  struct Telemetry {
+    std::uint64_t packets_in = 0;
+    std::uint64_t packets_forwarded = 0;
+    std::uint64_t packets_snat = 0;
+    std::uint64_t packets_dropped = 0;
+  };
+  const Telemetry& telemetry() const { return telemetry_; }
+
+ private:
+  struct VmNcKeyHasher {
+    std::uint64_t operator()(const tables::VmNcKey& key) const {
+      return net::hash_combine(net::mix64(key.vni),
+                               net::hash_ip(key.vm_ip));
+    }
+  };
+
+  Config config_;
+  tables::SoftwareLpm<tables::VxlanRouteAction> routes_;
+  std::unordered_map<tables::VmNcKey, tables::VmNcAction, VmNcKeyHasher>
+      mappings_;
+  SnatEngine snat_;
+  RssIndirection rss_;
+  Telemetry telemetry_;
+};
+
+}  // namespace sf::x86

@@ -1,0 +1,63 @@
+#include "xgwh/compression_plan.hpp"
+
+#include <stdexcept>
+
+namespace sf::xgwh {
+
+asic::CompressionConfig config_for_steps(std::string_view steps) {
+  asic::CompressionConfig config;
+  for (char step : steps) {
+    switch (step) {
+      case 'a':
+        config.fold = true;
+        break;
+      case 'b':
+        config.split = true;
+        break;
+      case 'c':
+        config.pool = true;
+        break;
+      case 'd':
+        config.compress = true;
+        break;
+      case 'e':
+        config.alpm = true;
+        break;
+      default:
+        throw std::invalid_argument(std::string("unknown compression step: ") +
+                                    step);
+    }
+  }
+  if (config.split && !config.fold) {
+    throw std::invalid_argument("step b requires step a (folding)");
+  }
+  return config;
+}
+
+std::vector<std::pair<std::string, asic::CompressionConfig>> fig17_steps() {
+  return {
+      {"Initial", config_for_steps("")},
+      {"a", config_for_steps("a")},
+      {"a+b", config_for_steps("ab")},
+      {"a+b+c+d", config_for_steps("abcd")},
+      {"a+b+c+d+e", config_for_steps("abcde")},
+  };
+}
+
+std::string step_description(char step) {
+  switch (step) {
+    case 'a':
+      return "Pipeline folding";
+    case 'b':
+      return "Table splitting between pipelines";
+    case 'c':
+      return "IPv4/IPv6 table pooling";
+    case 'd':
+      return "Compressing longer table entries";
+    case 'e':
+      return "TCAM conservation for large FIBs (ALPM)";
+  }
+  return "?";
+}
+
+}  // namespace sf::xgwh

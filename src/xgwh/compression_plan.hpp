@@ -1,0 +1,29 @@
+// Named compression steps — the x-axis of Fig. 17 — and helpers to build
+// cumulative CompressionConfigs from step letters.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asic/placer.hpp"
+
+namespace sf::xgwh {
+
+/// Builds a config enabling the given step letters (subset of "abcde"):
+///   a = pipeline folding            b = table splitting between pipelines
+///   c = IPv4/IPv6 table pooling     d = compressing longer table entries
+///   e = TCAM conservation (ALPM)
+/// Throws std::invalid_argument on unknown letters or b-without-a.
+asic::CompressionConfig config_for_steps(std::string_view steps);
+
+/// The cumulative step sequence of Fig. 17:
+/// Initial, a, a+b, a+b+c+d, a+b+c+d+e.
+std::vector<std::pair<std::string, asic::CompressionConfig>> fig17_steps();
+
+/// One-line description of a step letter (for bench output).
+std::string step_description(char step);
+
+}  // namespace sf::xgwh

@@ -1,0 +1,46 @@
+#include "xgwh/gateway_program.hpp"
+
+#include <sstream>
+
+namespace sf::xgwh {
+
+std::vector<LogicalTableInfo> gateway_table_layout() {
+  using asic::PathSlot;
+  using tables::MatchKind;
+  return {
+      {"shard_select", MatchKind::kExact, PathSlot::kFrontIngress,
+       "hash of VNI -> loopback pipe (table splitting, Fig. 14)"},
+      {"acl", MatchKind::kTernary, PathSlot::kFrontIngress,
+       "tenant ACLs over VNI + inner 5-tuple (SLA policy)"},
+      {"vxlan_route_alpm_dir", MatchKind::kLpm, PathSlot::kBackEgress,
+       "ALPM directory: pooled (label|VNI|IP) pivots in TCAM"},
+      {"vxlan_route_alpm_buckets", MatchKind::kExact, PathSlot::kBackEgress,
+       "ALPM buckets: suffix-compressed routes in SRAM"},
+      {"vm_nc_pooled", MatchKind::kExact, PathSlot::kBackIngress,
+       "pooled VM->NC mapping, v6 keys digested to 32 bits"},
+      {"vm_nc_conflicts", MatchKind::kExact, PathSlot::kBackIngress,
+       "full-key side table for digest collisions"},
+      {"meters", MatchKind::kExact, PathSlot::kBackIngress,
+       "per-tenant token buckets (QoS / fallback protection)"},
+      {"fallback_steering", MatchKind::kExact, PathSlot::kBackEgress,
+       "special VNI -> XGW-x86 next hop (HW/SW co-design)"},
+      {"tunnel_rewrite", MatchKind::kExact, PathSlot::kFrontEgress,
+       "outer header rewrite: NC / remote region / XGW-x86"},
+      {"counters", MatchKind::kExact, PathSlot::kFrontEgress,
+       "per-tenant byte/packet counters (billing, telemetry)"},
+  };
+}
+
+std::string describe_gateway_layout() {
+  static const char* kSlotNames[] = {"Ingress 0/2", "Egress 1/3",
+                                     "Ingress 1/3", "Egress 0/2"};
+  std::ostringstream out;
+  for (const LogicalTableInfo& info : gateway_table_layout()) {
+    out << kSlotNames[static_cast<int>(info.slot)] << "  "
+        << to_string(info.match) << "  " << info.name << " — "
+        << info.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sf::xgwh

@@ -1,0 +1,28 @@
+// The gateway program's logical table layout (Figs. 13-15): which tables
+// exist, their match kinds, and the folded-path slot each occupies. The
+// Table 4 bench and the documentation derive from this single source.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asic/placer.hpp"
+#include "tables/entry.hpp"
+
+namespace sf::xgwh {
+
+struct LogicalTableInfo {
+  std::string name;
+  tables::MatchKind match = tables::MatchKind::kExact;
+  asic::PathSlot slot = asic::PathSlot::kFrontIngress;
+  std::string description;
+};
+
+/// The Sailfish gateway's table layout in folded mode, in lookup order.
+std::vector<LogicalTableInfo> gateway_table_layout();
+
+/// Renders the layout as a table-per-line summary (README/bench output).
+std::string describe_gateway_layout();
+
+}  // namespace sf::xgwh

@@ -1,0 +1,280 @@
+#include "xgwh/p4_export.hpp"
+
+#include <sstream>
+
+#include "asic/stage_planner.hpp"
+#include "xgwh/gateway_program.hpp"
+
+namespace sf::xgwh {
+namespace {
+
+void emit_headers(std::ostream& out) {
+  out << R"(// ---- headers ---------------------------------------------------------
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp_ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4>   version;
+    bit<8>   traffic_class;
+    bit<20>  flow_label;
+    bit<16>  payload_len;
+    bit<8>   next_hdr;
+    bit<8>   hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header vxlan_t {
+    bit<8>  flags;
+    bit<24> reserved;
+    bit<24> vni;
+    bit<8>  reserved2;
+}
+
+)";
+}
+
+void emit_metadata(std::ostream& out, bool folded) {
+  out << "// ---- bridged metadata";
+  if (folded) {
+    out << " (crosses " << 3
+        << " gress boundaries under pipeline folding, Fig. 13)";
+  }
+  out << R"( ----
+header bridged_meta_t {
+    bit<1>   shard;          // VNI-hash shard: loopback pipe select
+    bit<3>   scope;          // Local / Peer / IDC / Cross-region / Internet
+    bit<1>   fallback;       // steer to XGW-x86
+    bit<24>  resolved_vni;   // after iterative Peer resolution
+    bit<32>  tunnel_ip;      // remote region / IDC endpoint
+    bit<32>  nc_ip;          // destination server
+}
+
+)";
+}
+
+void emit_parser(std::ostream& out) {
+  out << R"(// ---- parser -----------------------------------------------------------
+parser SailfishParser(packet_in pkt, out headers_t hdr) {
+    state start { pkt.extract(hdr.ethernet); transition select(hdr.ethernet.ether_type) {
+        0x0800: outer_ipv4; 0x86dd: outer_ipv6; } }
+    state outer_ipv4 { pkt.extract(hdr.outer_ipv4); transition outer_udp; }
+    state outer_ipv6 { pkt.extract(hdr.outer_ipv6); transition outer_udp; }
+    state outer_udp  { pkt.extract(hdr.udp); transition select(hdr.udp.dst_port) {
+        4789: vxlan; } }
+    state vxlan      { pkt.extract(hdr.vxlan); transition inner_ethernet; }
+    state inner_ethernet { pkt.extract(hdr.inner_ethernet);
+        transition select(hdr.inner_ethernet.ether_type) {
+        0x0800: inner_ipv4; 0x86dd: inner_ipv6; } }
+    state inner_ipv4 { pkt.extract(hdr.inner_ipv4); transition accept; }
+    state inner_ipv6 { pkt.extract(hdr.inner_ipv6); transition accept; }
+}
+
+)";
+}
+
+const char* match_kind_p4(tables::MatchKind kind) {
+  switch (kind) {
+    case tables::MatchKind::kExact:
+      return "exact";
+    case tables::MatchKind::kLpm:
+      return "lpm";
+    case tables::MatchKind::kTernary:
+      return "ternary";
+  }
+  return "exact";
+}
+
+struct TableDef {
+  const char* name;
+  const char* keys;     // pre-rendered key block body
+  const char* actions;  // pre-rendered action list
+  tables::MatchKind kind;
+};
+
+const TableDef* find_table_def(const std::string& name) {
+  static const TableDef kDefs[] = {
+      {"shard_select",
+       "        hdr.vxlan.vni : exact;  // hashed to meta.shard\n",
+       "set_shard", tables::MatchKind::kExact},
+      {"acl",
+       "        hdr.vxlan.vni            : ternary;\n"
+       "        hdr.inner_ipv4.src_addr  : ternary;\n"
+       "        hdr.inner_ipv4.dst_addr  : ternary;\n"
+       "        hdr.inner_ipv4.protocol  : ternary;\n"
+       "        meta.l4_src_port         : ternary;  // ranges expand\n"
+       "        meta.l4_dst_port         : ternary;\n",
+       "permit; deny", tables::MatchKind::kTernary},
+      {"vxlan_route_alpm_dir",
+       "        meta.family_label  : ternary;  // pooled key (c)\n"
+       "        meta.resolved_vni  : ternary;\n"
+       "        meta.pooled_dst    : ternary;  // v4 zero-extended to 128b\n",
+       "set_partition", tables::MatchKind::kLpm},
+      {"vxlan_route_alpm_buckets",
+       "        meta.partition_id  : exact;\n"
+       "        meta.pooled_suffix : exact;  // suffix-compressed routes\n",
+       "set_scope_local; set_scope_peer; set_scope_tunnel; "
+       "set_scope_internet",
+       tables::MatchKind::kExact},
+      {"vm_nc_pooled",
+       "        meta.family_label  : exact;  // label separates v4/digest\n"
+       "        meta.resolved_vni  : exact;\n"
+       "        meta.dst_ip32      : exact;  // v4 addr or 32b v6 digest\n",
+       "set_nc", tables::MatchKind::kExact},
+      {"vm_nc_conflicts",
+       "        meta.resolved_vni       : exact;\n"
+       "        hdr.inner_ipv6.dst_addr : exact;  // full 128b key\n",
+       "set_nc", tables::MatchKind::kExact},
+      {"meters", "        meta.resolved_vni : exact;\n",
+       "run_meter", tables::MatchKind::kExact},
+      {"fallback_steering", "        meta.special_vni : exact;\n",
+       "to_xgw_x86", tables::MatchKind::kExact},
+      {"tunnel_rewrite", "        meta.scope : exact;\n",
+       "rewrite_to_nc; rewrite_to_tunnel; rewrite_to_x86",
+       tables::MatchKind::kExact},
+      {"counters", "        meta.resolved_vni : exact;\n",
+       "count", tables::MatchKind::kExact},
+  };
+  for (const TableDef& def : kDefs) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string export_p4_program(const P4ExportOptions& options) {
+  std::ostringstream out;
+  const bool folded = options.compression.fold;
+
+  out << "// Sailfish gateway dataplane — P4-16 sketch generated from the\n"
+         "// model in src/xgwh. Mode: "
+      << (folded ? "folded (pipes 0/2 entry, 1/3 loopback)" : "unfolded")
+      << ", compression:"
+      << (options.compression.fold ? " fold" : "")
+      << (options.compression.split ? " split" : "")
+      << (options.compression.pool ? " pool" : "")
+      << (options.compression.compress ? " digest" : "")
+      << (options.compression.alpm ? " alpm" : "") << "\n\n";
+
+  emit_headers(out);
+  emit_metadata(out, folded);
+  emit_parser(out);
+
+  // Stage pragmas: lay the loopback-pipe program out on real stages.
+  asic::StagePlanner planner{asic::ChipConfig{}};
+  asic::StagePlanner::Plan plan;
+  if (options.stage_pragmas) {
+    const auto demands = asic::compute_demands(
+        asic::ChipConfig{}, options.workload, options.compression);
+    std::vector<asic::StageTable> stage_tables;
+    std::string previous;
+    for (const auto& demand : demands) {
+      asic::StageTable table;
+      table.name = demand.name;
+      table.kind = demand.tcam_slices > 0 ? asic::MemoryKind::kTcam
+                                          : asic::MemoryKind::kSram;
+      table.units = std::max(demand.sram_words, demand.tcam_slices) /
+                    (options.compression.split ? 4 : 1);
+      if (!previous.empty()) table.depends_on = {previous};
+      previous = demand.name;
+      stage_tables.push_back(std::move(table));
+    }
+    plan = planner.plan(stage_tables);
+  }
+  auto stage_of = [&](const std::string& name) -> int {
+    for (const auto& placement : plan.tables) {
+      if (placement.name == name) {
+        return static_cast<int>(placement.first_stage);
+      }
+    }
+    return -1;
+  };
+
+  out << "// ---- tables (lookup order; slots per Figs. 13-15) ---------\n";
+  for (const LogicalTableInfo& info : gateway_table_layout()) {
+    const TableDef* def = find_table_def(info.name);
+    out << "// slot: "
+        << (info.slot == asic::PathSlot::kFrontIngress ? "Ingress 0/2"
+            : info.slot == asic::PathSlot::kBackEgress ? "Egress 1/3"
+            : info.slot == asic::PathSlot::kBackIngress
+                ? "Ingress 1/3"
+                : "Egress 0/2")
+        << " — " << info.description << "\n";
+    const int stage = stage_of(info.name);
+    if (options.stage_pragmas && stage >= 0) {
+      out << "@pragma stage " << stage << "\n";
+    }
+    out << "table " << info.name << " {\n    key = {\n"
+        << (def != nullptr ? def->keys : "")
+        << "    }\n    actions = { "
+        << (def != nullptr ? def->actions : "NoAction")
+        << "; }\n    // match kind: " << match_kind_p4(info.match)
+        << "\n}\n\n";
+  }
+
+  out << "// ---- control flow ------------------------------------------\n";
+  if (folded) {
+    out << R"(control IngressEntry /* pipes 0/2 */ {
+    apply { shard_select.apply(); acl.apply();
+            // traffic manager: egress port = loopback pipe 1 or 3 }
+}
+control EgressRoute /* pipes 1/3, loopback */ {
+    apply { vxlan_route_alpm_dir.apply(); vxlan_route_alpm_buckets.apply();
+            // Peer scope: re-resolve with next-hop VNI }
+}
+control IngressVmNc /* pipes 1/3 after loopback */ {
+    apply { if (meta.scope == LOCAL) { vm_nc_conflicts.apply();
+                if (miss) vm_nc_pooled.apply(); }
+            meters.apply(); fallback_steering.apply(); }
+}
+control EgressRewrite /* pipes 0/2, exit */ {
+    apply { tunnel_rewrite.apply(); counters.apply(); }
+}
+)";
+  } else {
+    out << R"(control IngressFull /* all pipes */ {
+    apply { shard_select.apply(); acl.apply();
+            vxlan_route_alpm_dir.apply(); vxlan_route_alpm_buckets.apply();
+            if (meta.scope == LOCAL) { vm_nc_conflicts.apply();
+                if (miss) vm_nc_pooled.apply(); }
+            meters.apply(); fallback_steering.apply(); }
+}
+control EgressFull /* all pipes */ {
+    apply { tunnel_rewrite.apply(); counters.apply(); }
+}
+)";
+  }
+  if (options.stage_pragmas) {
+    out << "\n// stage plan: " << (plan.feasible ? "fits" : "DOES NOT FIT")
+        << ", " << plan.stages_used << "/"
+        << asic::ChipConfig{}.stages_per_pipeline << " stages used\n";
+  }
+  return out.str();
+}
+
+}  // namespace sf::xgwh

@@ -1,0 +1,31 @@
+// P4-16 program export.
+//
+// Sailfish's production dataplane is "thousands of lines of P4-16" on
+// Tofino (§5.1); the SDK and its architecture headers are proprietary, so
+// this repository *models* the program (xgwh/xgwh.cpp) and additionally
+// emits a faithful P4-16-style source sketch of it: headers, bridged
+// metadata, parser, the match-action tables with their keys/actions, the
+// per-gress apply blocks in lookup order, and @pragma stage hints from
+// the stage planner. The artifact is meant for review and porting, not
+// for compiling against the closed toolchain.
+
+#pragma once
+
+#include <string>
+
+#include "asic/placer.hpp"
+
+namespace sf::xgwh {
+
+struct P4ExportOptions {
+  asic::CompressionConfig compression = asic::CompressionConfig::all();
+  /// Entry-count scale used to size tables and compute stage pragmas.
+  asic::GatewayWorkload workload{};
+  /// Emit @pragma stage hints computed by the stage planner.
+  bool stage_pragmas = true;
+};
+
+/// Emits the gateway program as P4-16-style text.
+std::string export_p4_program(const P4ExportOptions& options);
+
+}  // namespace sf::xgwh

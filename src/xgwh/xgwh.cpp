@@ -1,0 +1,408 @@
+#include "xgwh/xgwh.hpp"
+
+#include <stdexcept>
+
+#include "net/hash.hpp"
+
+namespace sf::xgwh {
+namespace {
+
+// Metadata field names used across gresses. Widths reflect what a P4
+// program would carry in its bridged header.
+constexpr const char* kShard = "shard";              // 1 bit
+constexpr const char* kScope = "scope";              // 3 bits
+constexpr const char* kFallback = "fallback";        // 1 bit
+constexpr const char* kResolvedVni = "resolved_vni"; // 24 bits
+constexpr const char* kTunnelIp = "tunnel_ip";       // 32 bits
+constexpr const char* kNcIp = "nc_ip";               // 32 bits
+constexpr const char* kAction = "fwd_action";        // 2 bits
+
+constexpr std::uint64_t kActForward = 0;
+constexpr std::uint64_t kActTunnel = 1;
+constexpr std::uint64_t kActFallback = 2;
+
+}  // namespace
+
+std::string to_string(ForwardAction action) {
+  switch (action) {
+    case ForwardAction::kForwardToNc:
+      return "forward-to-nc";
+    case ForwardAction::kForwardTunnel:
+      return "forward-tunnel";
+    case ForwardAction::kFallbackToX86:
+      return "fallback-to-x86";
+    case ForwardAction::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+XgwH::XgwH(Config config)
+    : config_(std::move(config)), program_(config_.chip.pipelines) {
+  if (config_.chip.pipelines != 4) {
+    throw std::invalid_argument("XGW-H expects a 4-pipeline chip");
+  }
+  tables::Alpm<tables::VxlanRouteAction>::Config alpm_config;
+  alpm_config.max_bucket_entries = config_.compression.alpm_max_bucket;
+  alpm_config.directory_slice_bits = config_.chip.tcam_slice_bits;
+  tables::DigestVmNcTable::Config vm_config;
+  vm_config.buckets = config_.vm_table_buckets;
+  for (Shard& shard : shards_) {
+    shard.routes = tables::Alpm<tables::VxlanRouteAction>(alpm_config);
+    shard.mappings = tables::DigestVmNcTable(vm_config);
+  }
+  fallback_meter_index_ = fallback_meter_.add(tables::MeterTable::Config{
+      config_.fallback_rate_bps, config_.fallback_burst_bytes});
+  build_program();
+  walker_ = std::make_unique<asic::Walker>(config_.chip, &program_);
+}
+
+unsigned XgwH::shard_of_vni(net::Vni vni) {
+  return static_cast<unsigned>(net::mix64(vni) & 1u);
+}
+
+unsigned XgwH::shard_of(net::Vni vni) const {
+  return config_.compression.split ? shard_of_vni(vni) : 0u;
+}
+
+XgwH::Shard& XgwH::shard_for(net::Vni vni) { return shards_[shard_of(vni)]; }
+const XgwH::Shard& XgwH::shard_for(net::Vni vni) const {
+  return shards_[shard_of(vni)];
+}
+
+bool XgwH::install_route(net::Vni vni, const net::IpPrefix& prefix,
+                         tables::VxlanRouteAction action) {
+  Shard& shard = shard_for(vni);
+  const bool is_new = shard.routes.insert(vni, prefix, action);
+  if (is_new) {
+    (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
+                                           : shard.routes_v6)++;
+  }
+  return is_new;
+}
+
+bool XgwH::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+  Shard& shard = shard_for(vni);
+  if (!shard.routes.erase(vni, prefix)) return false;
+  (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
+                                         : shard.routes_v6)--;
+  return true;
+}
+
+bool XgwH::install_mapping(const tables::VmNcKey& key,
+                           tables::VmNcAction action) {
+  Shard& shard = shard_for(key.vni);
+  const std::size_t before =
+      shard.mappings.stats().main_entries +
+      shard.mappings.stats().conflict_entries;
+  if (!shard.mappings.insert(key, action)) return false;
+  const std::size_t after = shard.mappings.stats().main_entries +
+                            shard.mappings.stats().conflict_entries;
+  if (after > before) {
+    (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)++;
+  }
+  return true;
+}
+
+bool XgwH::remove_mapping(const tables::VmNcKey& key) {
+  Shard& shard = shard_for(key.vni);
+  if (!shard.mappings.erase(key)) return false;
+  (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)--;
+  return true;
+}
+
+void XgwH::add_acl_rule(tables::AclRule rule) { acl_.add(std::move(rule)); }
+
+bool XgwH::has_route(net::Vni vni, const net::IpPrefix& prefix) const {
+  return shard_for(vni).routes.find(vni, prefix) != nullptr;
+}
+
+bool XgwH::has_mapping(const tables::VmNcKey& key) const {
+  return shard_for(key.vni)
+      .mappings.lookup(key.vni, key.vm_ip)
+      .has_value();
+}
+
+std::size_t XgwH::route_count() const {
+  return shards_[0].routes.size() + shards_[1].routes.size();
+}
+
+std::size_t XgwH::mapping_count() const {
+  const auto s0 = shards_[0].mappings.stats();
+  const auto s1 = shards_[1].mappings.stats();
+  return s0.main_entries + s0.conflict_entries + s1.main_entries +
+         s1.conflict_entries;
+}
+
+void XgwH::build_program() {
+  const bool folded = config_.compression.fold;
+  auto bind = [this](void (XgwH::*fn)(asic::PacketContext&)) {
+    return [this, fn](asic::PacketContext& ctx) { (this->*fn)(ctx); };
+  };
+  auto bind_shard = [this](void (XgwH::*fn)(asic::PacketContext&, unsigned),
+                           unsigned shard) {
+    return [this, fn, shard](asic::PacketContext& ctx) {
+      (this->*fn)(ctx, shard);
+    };
+  };
+
+  if (folded) {
+    // Entry pipes 0/2: ACL + shard steering.
+    for (unsigned pipe : {0u, 2u}) {
+      asic::GressProgram entry{"entry", {bind(&XgwH::stage_entry),
+                                         bind(&XgwH::stage_acl)}};
+      program_.set_ingress(pipe, std::move(entry));
+      program_.set_egress(
+          pipe, asic::GressProgram{"rewrite", {bind(&XgwH::stage_rewrite)}});
+      program_.set_loopback(pipe, false);
+    }
+    // Loopback pipes 1/3: shard-local route + VM-NC lookups.
+    for (unsigned shard : {0u, 1u}) {
+      const unsigned pipe = 1 + 2 * shard;
+      program_.set_egress(
+          pipe, asic::GressProgram{
+                    "route",
+                    {bind_shard(&XgwH::stage_route_lookup, shard)}});
+      program_.set_ingress(
+          pipe, asic::GressProgram{
+                    "vm_nc",
+                    {bind_shard(&XgwH::stage_vm_nc_lookup, shard)}});
+      program_.set_loopback(pipe, true);
+    }
+  } else {
+    // Unfolded: the full program in one pass on every pipe; tables are not
+    // sharded (shard 0 holds everything).
+    for (unsigned pipe = 0; pipe < config_.chip.pipelines; ++pipe) {
+      program_.set_ingress(
+          pipe, asic::GressProgram{
+                    "full",
+                    {bind(&XgwH::stage_entry), bind(&XgwH::stage_acl),
+                     bind_shard(&XgwH::stage_route_lookup, 0),
+                     bind_shard(&XgwH::stage_vm_nc_lookup, 0)}});
+      program_.set_egress(
+          pipe, asic::GressProgram{"rewrite", {bind(&XgwH::stage_rewrite)}});
+      program_.set_loopback(pipe, false);
+    }
+  }
+}
+
+void XgwH::stage_entry(asic::PacketContext& ctx) {
+  if (ctx.packet.vni > net::kMaxVni) {
+    ctx.drop("invalid VNI");
+    return;
+  }
+  const unsigned shard = shard_of(ctx.packet.vni);
+  ctx.meta.set(kShard, shard, 1, /*bridged=*/true);
+  if (config_.compression.fold) {
+    // Steer through the loopback pipe owning this shard (Fig. 14).
+    ctx.egress_pipe = 1 + 2 * shard;
+  }
+}
+
+void XgwH::stage_acl(asic::PacketContext& ctx) {
+  if (acl_.evaluate(ctx.packet.vni, ctx.packet.inner) ==
+      tables::AclVerdict::kDeny) {
+    ctx.drop("acl deny");
+  }
+}
+
+void XgwH::stage_route_lookup(asic::PacketContext& ctx, unsigned shard) {
+  (void)shard;  // the pipe this stage runs in; see the note below
+  net::Vni vni = ctx.packet.vni;
+  // Iterative lookup until the scope leaves "Peer" (Fig. 2's walkthrough).
+  // Each hop resolves in the shard owning the *current* VNI: peered VPCs
+  // can land on different parities, in which case a hardware
+  // implementation recirculates the packet through the sibling loopback
+  // pipe (rare; peer hops are a thin slice of traffic) or the controller
+  // co-shards the peer group. The functional model reads the sibling
+  // shard directly.
+  for (int hop = 0; hop < 4; ++hop) {
+    auto route = shards_[shard_of(vni)].routes.lookup(vni,
+                                                      ctx.packet.inner.dst);
+    if (!route) {
+      // Long-tail/volatile tables live in XGW-x86: steer, don't drop.
+      ctx.meta.set(kFallback, 1, 1, true);
+      ctx.meta.set(kResolvedVni, vni, 24, true);
+      return;
+    }
+    switch (route->scope) {
+      case tables::RouteScope::kLocal:
+        ctx.meta.set(kScope, static_cast<std::uint64_t>(route->scope), 3,
+                     true);
+        ctx.meta.set(kFallback, 0, 1, true);
+        ctx.meta.set(kResolvedVni, vni, 24, true);
+        return;
+      case tables::RouteScope::kPeer:
+        vni = route->next_hop_vni;
+        continue;
+      case tables::RouteScope::kIdc:
+      case tables::RouteScope::kCrossRegion:
+        ctx.meta.set(kScope, static_cast<std::uint64_t>(route->scope), 3,
+                     true);
+        ctx.meta.set(kFallback, 0, 1, true);
+        ctx.meta.set(kResolvedVni, vni, 24, true);
+        ctx.meta.set(kTunnelIp, route->remote_endpoint.value(), 32, true);
+        return;
+      case tables::RouteScope::kInternet:
+        // South-north: SNAT happens at XGW-x86 (Fig. 11).
+        ctx.meta.set(kFallback, 1, 1, true);
+        ctx.meta.set(kResolvedVni, vni, 24, true);
+        return;
+    }
+  }
+  ctx.drop("peer VNI resolution loop");
+}
+
+void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
+  // Re-bridge the routing verdict across the remaining crossings.
+  for (const char* field : {kScope, kFallback, kResolvedVni, kTunnelIp}) {
+    ctx.meta.bridge(field);
+  }
+  if (config_.compression.fold) {
+    // Exit through the entry-side pipe paired with this loopback pipe
+    // (Ingress 1 -> Egress 0, Ingress 3 -> Egress 2; Fig. 13).
+    ctx.egress_pipe = ctx.pipe == 1 ? 0 : 2;
+  }
+
+  if (ctx.meta.get(kFallback).value_or(0) == 1) return;
+  const auto scope = static_cast<tables::RouteScope>(
+      ctx.meta.get(kScope).value_or(0));
+  if (scope != tables::RouteScope::kLocal) return;  // tunnel scopes skip
+
+  const net::Vni vni =
+      static_cast<net::Vni>(ctx.meta.get(kResolvedVni).value_or(0));
+  // Like the route stage: the mapping lives in the resolved VNI's shard.
+  (void)shard;
+  auto mapping =
+      shards_[shard_of(vni)].mappings.lookup(vni, ctx.packet.inner.dst);
+  if (!mapping) {
+    // Mapping not in hardware (volatile entry): fall back to XGW-x86.
+    ctx.meta.set(kFallback, 1, 1, true);
+    return;
+  }
+  ctx.meta.set(kNcIp, mapping->nc_ip.value(), 32, true);
+}
+
+void XgwH::stage_rewrite(asic::PacketContext& ctx) {
+  ctx.packet.outer_src_ip = net::IpAddr(config_.device_ip);
+  if (ctx.meta.get(kFallback).value_or(0) == 1) {
+    ctx.packet.outer_dst_ip = net::IpAddr(config_.x86_next_hop);
+    ctx.meta.set(kAction, kActFallback, 2);
+    return;
+  }
+  const auto scope = static_cast<tables::RouteScope>(
+      ctx.meta.get(kScope).value_or(0));
+  if (scope == tables::RouteScope::kIdc ||
+      scope == tables::RouteScope::kCrossRegion) {
+    ctx.packet.outer_dst_ip = net::IpAddr(
+        net::Ipv4Addr(static_cast<std::uint32_t>(
+            ctx.meta.get(kTunnelIp).value_or(0))));
+    ctx.meta.set(kAction, kActTunnel, 2);
+    return;
+  }
+  auto nc = ctx.meta.get(kNcIp);
+  if (!nc) {
+    ctx.drop("no NC resolved for local scope");
+    return;
+  }
+  ctx.packet.outer_dst_ip =
+      net::IpAddr(net::Ipv4Addr(static_cast<std::uint32_t>(*nc)));
+  ctx.meta.set(kAction, kActForward, 2);
+}
+
+ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
+                            std::optional<unsigned> ingress_pipe) {
+  ++telemetry_.packets_in;
+  telemetry_.bytes_in += packet.wire_size();
+
+  unsigned entry_pipe;
+  if (ingress_pipe) {
+    entry_pipe = *ingress_pipe;
+  } else {
+    const std::uint64_t h = packet.inner.hash();
+    entry_pipe = config_.compression.fold ? (h & 1 ? 2 : 0)
+                                          : static_cast<unsigned>(h & 3);
+  }
+
+  asic::WalkResult walked = walker_->run(packet, entry_pipe);
+
+  ForwardResult result;
+  result.packet = std::move(walked.packet);
+  result.latency_us = walked.latency_us;
+  result.passes = walked.passes;
+  result.egress_pipe = walked.egress_pipe;
+
+  if (config_.compression.fold) {
+    const unsigned shard = shard_of(packet.vni);
+    const unsigned loopback_pipe = 1 + 2 * shard;
+    result.shard_pipe = loopback_pipe;
+    if (!walked.dropped) {
+      shard_pipe_bytes_[loopback_pipe] += packet.wire_size();
+    }
+  }
+
+  if (walked.dropped) {
+    ++telemetry_.packets_dropped;
+    result.action = ForwardAction::kDrop;
+    result.drop_reason = std::move(walked.drop_reason);
+    return result;
+  }
+
+  const std::uint64_t act = walked.meta.get(kAction).value_or(kActForward);
+  if (act == kActFallback) {
+    // Overload protection before handing to the software gateway.
+    if (fallback_meter_.offer(fallback_meter_index_,
+                              static_cast<double>(packet.wire_size()),
+                              now) == tables::MeterColor::kRed) {
+      ++telemetry_.fallback_rate_limited;
+      ++telemetry_.packets_dropped;
+      result.action = ForwardAction::kDrop;
+      result.drop_reason = "fallback rate limited";
+      return result;
+    }
+    ++telemetry_.packets_fallback;
+    result.action = ForwardAction::kFallbackToX86;
+    return result;
+  }
+  ++telemetry_.packets_forwarded;
+  result.action = act == kActTunnel ? ForwardAction::kForwardTunnel
+                                    : ForwardAction::kForwardToNc;
+  return result;
+}
+
+asic::GatewayWorkload XgwH::live_workload() const {
+  asic::GatewayWorkload w{};
+  w.vxlan_routes_v4 = shards_[0].routes_v4 + shards_[1].routes_v4;
+  w.vxlan_routes_v6 = shards_[0].routes_v6 + shards_[1].routes_v6;
+  w.vm_maps_v4 = shards_[0].maps_v4 + shards_[1].maps_v4;
+  w.vm_maps_v6 = shards_[0].maps_v6 + shards_[1].maps_v6;
+  w.digest_conflicts = shards_[0].mappings.stats().conflict_entries +
+                       shards_[1].mappings.stats().conflict_entries;
+  // Physical TCAM rows, port-range expansion included.
+  w.acl_rules = acl_.tcam_rows();
+  return w;
+}
+
+asic::OccupancyReport XgwH::occupancy_report() const {
+  asic::CompressionConfig compression = config_.compression;
+  if (compression.alpm) {
+    const auto s0 = shards_[0].routes.stats();
+    const auto s1 = shards_[1].routes.stats();
+    compression.measured_alpm = asic::AlpmDemand{
+        s0.directory_slices + s1.directory_slices,
+        s0.allocated_bucket_words + s1.allocated_bucket_words};
+  }
+  return asic::Placer(config_.chip).evaluate(live_workload(), compression);
+}
+
+double XgwH::max_throughput_bps() const {
+  const unsigned active = config_.compression.fold ? 2 : 4;
+  return config_.chip.throughput_bps(active);
+}
+
+double XgwH::max_packet_rate_pps() const {
+  const unsigned active = config_.compression.fold ? 2 : 4;
+  return config_.chip.packet_rate_pps(active);
+}
+
+}  // namespace sf::xgwh

@@ -1,0 +1,175 @@
+// XGW-H: the Tofino-based hardware gateway (one SfChip running the Sailfish
+// gateway program).
+//
+// Datapath (folded mode, Fig. 13/14 of the paper):
+//   Ingress 0/2 : entry pipes — ACL, shard select (hash of VNI) -> egress 1|3
+//   Egress  1/3 : loopback pipes — VXLAN route lookup in that shard
+//   Ingress 1/3 : VM-NC lookup in that shard -> exit pipe select
+//   Egress  0/2 : tunnel rewrite (outer DIP = NC, or steer to XGW-x86)
+//
+// Unfolded mode runs the whole program in one pass on every pipeline with
+// fully replicated tables (4x memory, 2x throughput, half the latency).
+//
+// The gateway exposes a controller-facing table API and a data-plane
+// process() call; occupancy reports come from the placer fed with *live*
+// table statistics (measured ALPM partitions, measured digest conflicts).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "asic/chip_config.hpp"
+#include "asic/pipeline.hpp"
+#include "asic/placer.hpp"
+#include "asic/walker.hpp"
+#include "tables/alpm.hpp"
+#include "tables/digest_table.hpp"
+#include "tables/service_tables.hpp"
+
+namespace sf::xgwh {
+
+/// What the gateway decided to do with a packet.
+enum class ForwardAction : std::uint8_t {
+  kForwardToNc,    // rewritten toward the destination server
+  kForwardTunnel,  // rewritten toward a remote region/IDC endpoint
+  kFallbackToX86,  // steered to the software gateway (SNAT & long tail)
+  kDrop,
+};
+
+std::string to_string(ForwardAction action);
+
+struct ForwardResult {
+  ForwardAction action = ForwardAction::kDrop;
+  net::OverlayPacket packet;  // with rewritten outer header
+  std::string drop_reason;
+  double latency_us = 0;
+  unsigned passes = 0;
+  unsigned egress_pipe = 0;
+  /// Loopback egress pipe (1 or 3) the packet crossed in folded mode —
+  /// the quantity Figs. 20/21 balance.
+  std::optional<unsigned> shard_pipe;
+};
+
+class XgwH {
+ public:
+  struct Config {
+    asic::ChipConfig chip;
+    asic::CompressionConfig compression = asic::CompressionConfig::all();
+    net::Ipv4Addr device_ip = net::Ipv4Addr(10, 0, 0, 1);
+    /// Next hop for fallback traffic (the XGW-x86 cluster VIP).
+    net::Ipv4Addr x86_next_hop = net::Ipv4Addr(10, 0, 0, 100);
+    /// Rate limit toward XGW-x86 (overload protection, §4.2).
+    double fallback_rate_bps = 20e9;
+    double fallback_burst_bytes = 32e6;
+    /// Hash buckets of each shard's VM-NC table (4 ways each). Sized for
+    /// the expected mapping count; fleet simulations spawn many devices,
+    /// so the default stays modest.
+    std::size_t vm_table_buckets = 1 << 14;
+  };
+
+  explicit XgwH(Config config);
+
+  // ---- controller-facing table API ---------------------------------------
+
+  bool install_route(net::Vni vni, const net::IpPrefix& prefix,
+                     tables::VxlanRouteAction action);
+  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
+  bool install_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
+  bool remove_mapping(const tables::VmNcKey& key);
+  void add_acl_rule(tables::AclRule rule);
+
+  std::size_t route_count() const;
+  std::size_t mapping_count() const;
+
+  /// Exact-presence checks, used by the controller's consistency audit.
+  bool has_route(net::Vni vni, const net::IpPrefix& prefix) const;
+  bool has_mapping(const tables::VmNcKey& key) const;
+
+  // ---- data plane ---------------------------------------------------------
+
+  /// Processes one packet. `now` is the simulation clock (seconds), used
+  /// by the fallback rate limiter; `ingress_pipe` defaults to a flow-hash
+  /// pick among the entry pipes.
+  ForwardResult process(const net::OverlayPacket& packet, double now = 0,
+                        std::optional<unsigned> ingress_pipe = std::nullopt);
+
+  // ---- telemetry ----------------------------------------------------------
+
+  /// Bytes that crossed each loopback egress pipe (index = pipe).
+  const std::array<std::uint64_t, 4>& shard_pipe_bytes() const {
+    return shard_pipe_bytes_;
+  }
+
+  struct Telemetry {
+    std::uint64_t packets_in = 0;
+    std::uint64_t packets_forwarded = 0;
+    std::uint64_t packets_fallback = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t fallback_rate_limited = 0;
+    std::uint64_t bytes_in = 0;
+  };
+  const Telemetry& telemetry() const { return telemetry_; }
+
+  /// Occupancy under this gateway's compression config, fed with live
+  /// table statistics.
+  asic::OccupancyReport occupancy_report() const;
+
+  /// Live workload description (entry counts by family + measured ALPM /
+  /// digest stats) — also reused by the controller's water-level checks.
+  asic::GatewayWorkload live_workload() const;
+
+  const Config& config() const { return config_; }
+
+  /// Performance envelope of this gateway (Fig. 18): active entry pipes
+  /// halve under folding.
+  double max_throughput_bps() const;
+  double max_packet_rate_pps() const;
+
+  /// The shard (0/1) a VNI's entries land in when splitting is enabled:
+  /// a hash of the VNI (§4.4 offers "parity of VNI" as one option; a
+  /// hash stays balanced even when VNI assignment correlates with
+  /// clusters). Static so load balancers and simulators can agree.
+  static unsigned shard_of_vni(net::Vni vni);
+
+ private:
+  struct Shard {
+    tables::Alpm<tables::VxlanRouteAction> routes;
+    tables::DigestVmNcTable mappings;
+    std::size_t routes_v4 = 0;
+    std::size_t routes_v6 = 0;
+    std::size_t maps_v4 = 0;
+    std::size_t maps_v6 = 0;
+  };
+
+  /// Shard index (0/1) for a VNI — parity split (§4.4).
+  unsigned shard_of(net::Vni vni) const;
+  Shard& shard_for(net::Vni vni);
+  const Shard& shard_for(net::Vni vni) const;
+
+  void build_program();
+
+  // Stage implementations (bound into the PipelineProgram).
+  void stage_entry(asic::PacketContext& ctx);
+  void stage_acl(asic::PacketContext& ctx);
+  void stage_route_lookup(asic::PacketContext& ctx, unsigned shard);
+  void stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard);
+  void stage_rewrite(asic::PacketContext& ctx);
+
+  Config config_;
+  std::array<Shard, 2> shards_;
+  tables::AclTable acl_;
+  tables::MeterTable fallback_meter_;
+  std::size_t fallback_meter_index_ = 0;
+
+  asic::PipelineProgram program_;
+  std::unique_ptr<asic::Walker> walker_;
+
+  std::array<std::uint64_t, 4> shard_pipe_bytes_{};
+  Telemetry telemetry_;
+};
+
+}  // namespace sf::xgwh

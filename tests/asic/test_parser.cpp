@@ -1,0 +1,121 @@
+#include "asic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::asic {
+namespace {
+
+TEST(ParserGraph, SailfishGraphValidates) {
+  const ParserGraph graph = sailfish_parser_graph();
+  const auto validation = graph.validate();
+  EXPECT_TRUE(validation.ok) << validation.error;
+  EXPECT_LE(graph.state_count(), graph.budget().max_states);
+  EXPECT_LE(graph.transition_count(), graph.budget().max_transitions);
+}
+
+TEST(ParserGraph, AllFourOverlayCombinationsParse) {
+  const ParserGraph graph = sailfish_parser_graph();
+  for (bool outer_v6 : {false, true}) {
+    for (bool inner_v6 : {false, true}) {
+      const auto walk = graph.walk(sailfish_selects(outer_v6, inner_v6));
+      EXPECT_TRUE(walk.accepted) << walk.error;
+      // Ethernet + outer IP + UDP + VXLAN + inner Ethernet + inner IP +
+      // inner L4.
+      const std::size_t expected = 14u + (outer_v6 ? 40 : 20) + 8 + 8 +
+                                   14 + (inner_v6 ? 40 : 20) + 20;
+      EXPECT_EQ(walk.extracted_bytes, expected);
+    }
+  }
+}
+
+TEST(ParserGraph, NonVxlanTrafficIsRejected) {
+  const ParserGraph graph = sailfish_parser_graph();
+  // TCP outer (proto 6): no transition at outer_ipv4's select.
+  const auto walk = graph.walk({0x0800, 6});
+  EXPECT_FALSE(walk.accepted);
+  EXPECT_NE(walk.error.find("rejected"), std::string::npos);
+  // Wrong UDP port.
+  const auto walk2 = graph.walk({0x0800, 17, 53});
+  EXPECT_FALSE(walk2.accepted);
+}
+
+TEST(ParserGraph, UnknownEtherTypeHitsDefaultReject) {
+  const ParserGraph graph = sailfish_parser_graph();
+  const auto walk = graph.walk({0x0806});  // ARP
+  EXPECT_FALSE(walk.accepted);
+  ASSERT_FALSE(walk.path.empty());
+  EXPECT_EQ(walk.path.front(), "start");
+}
+
+TEST(ParserGraph, StateBudgetIsEnforced) {
+  ParserGraph::Budget tiny;
+  tiny.max_states = 2;
+  ParserGraph graph(tiny);
+  EXPECT_TRUE(graph.add_state("start", 10));
+  EXPECT_TRUE(graph.add_state("next", 10));
+  EXPECT_FALSE(graph.add_state("too_many", 10));
+  EXPECT_FALSE(graph.add_state("start", 10));   // duplicate
+  EXPECT_FALSE(graph.add_state("accept", 0));   // reserved
+}
+
+TEST(ParserGraph, TransitionBudgetIsEnforced) {
+  ParserGraph::Budget tiny;
+  tiny.max_transitions = 1;
+  ParserGraph graph(tiny);
+  graph.add_state("start", 1);
+  EXPECT_TRUE(graph.add_transition("start", {std::nullopt, "accept"}));
+  EXPECT_FALSE(graph.add_transition("start", {1u, "accept"}));
+  EXPECT_FALSE(graph.add_transition("ghost", {std::nullopt, "accept"}));
+}
+
+TEST(ParserGraph, ValidateCatchesStructuralBugs) {
+  {
+    ParserGraph graph;
+    graph.add_state("start", 1);
+    // No way out of start.
+    EXPECT_FALSE(graph.validate().ok);
+  }
+  {
+    ParserGraph graph;
+    graph.add_state("start", 1);
+    graph.add_transition("start", {std::nullopt, "nowhere"});
+    const auto v = graph.validate();
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("nowhere"), std::string::npos);
+  }
+  {
+    ParserGraph graph;
+    graph.add_state("start", 1);
+    graph.add_state("island", 1);
+    graph.add_transition("start", {std::nullopt, "accept"});
+    graph.add_transition("island", {std::nullopt, "accept"});
+    const auto v = graph.validate();
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.error.find("unreachable"), std::string::npos);
+  }
+  {
+    // A cycle re-extracts forever: caught by the cycle/extract check.
+    ParserGraph graph;
+    graph.add_state("start", 1);
+    graph.add_state("loop", 1);
+    graph.add_transition("start", {std::nullopt, "loop"});
+    graph.add_transition("loop", {std::nullopt, "start"});
+    EXPECT_FALSE(graph.validate().ok);
+  }
+}
+
+TEST(ParserGraph, ExtractBudgetCaughtAtValidation) {
+  ParserGraph::Budget tiny;
+  tiny.max_extract_bytes = 20;
+  ParserGraph graph(tiny);
+  graph.add_state("start", 14);
+  graph.add_state("deep", 14);
+  graph.add_transition("start", {std::nullopt, "deep"});
+  graph.add_transition("deep", {std::nullopt, "accept"});
+  const auto v = graph.validate();
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("extract"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sf::asic

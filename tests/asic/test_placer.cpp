@@ -1,0 +1,180 @@
+// Placer tests: the Table 2 / Fig. 17 arithmetic, placement feasibility,
+// sharding vs replication, and the cross-pipeline spill behavior.
+
+#include "asic/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xgwh/compression_plan.hpp"
+
+namespace sf::asic {
+namespace {
+
+constexpr double kPct = 100.0;
+
+GatewayWorkload paper_workload() {
+  return GatewayWorkload{};  // defaults are the 75/25 1M+1M mix
+}
+
+TEST(Placer, Table2NaiveOccupancy) {
+  Placer placer{ChipConfig{}};
+  // IPv4-only scenario.
+  GatewayWorkload v4{1'000'000, 0, 1'000'000, 0};
+  auto rv4 = placer.evaluate(v4, CompressionConfig::none());
+  EXPECT_NEAR(rv4.tcam_path_worst * kPct, 311, 5);  // paper: 311%
+  EXPECT_NEAR(rv4.sram_path_worst * kPct, 58, 2);   // paper: 58%
+  EXPECT_FALSE(rv4.feasible);
+
+  // IPv6-only scenario.
+  GatewayWorkload v6{0, 1'000'000, 0, 1'000'000};
+  auto rv6 = placer.evaluate(v6, CompressionConfig::none());
+  EXPECT_NEAR(rv6.tcam_path_worst * kPct, 622, 8);  // paper: 622%
+  EXPECT_NEAR(rv6.sram_path_worst * kPct, 233, 4);  // paper: 233%
+
+  // Mixed 75/25.
+  auto mixed = placer.evaluate(paper_workload(), CompressionConfig::none());
+  EXPECT_NEAR(mixed.sram_path_worst * kPct, 102, 2);   // paper: 102%
+  EXPECT_NEAR(mixed.tcam_path_worst * kPct, 389, 6);   // paper: 388.75%
+}
+
+TEST(Placer, Fig17StepsShrinkMemory) {
+  Placer placer{ChipConfig{}};
+  const auto steps = xgwh::fig17_steps();
+  std::vector<double> sram;
+  std::vector<double> tcam;
+  for (const auto& [name, config] : steps) {
+    const auto report = placer.evaluate(paper_workload(), config);
+    sram.push_back(report.sram_path_worst * kPct);
+    tcam.push_back(report.tcam_path_worst * kPct);
+  }
+  // Paper: SRAM 102 -> 51 -> 26 -> 18 -> 36.
+  EXPECT_NEAR(sram[0], 102, 3);
+  EXPECT_NEAR(sram[1], 51, 2);
+  EXPECT_NEAR(sram[2], 26, 2);
+  EXPECT_NEAR(sram[3], 15, 4);   // model: 14.5 (paper 18)
+  EXPECT_NEAR(sram[4], 36, 6);   // paper 36
+  // Paper: TCAM 389 -> 194 -> 97 -> 156 -> 11.
+  EXPECT_NEAR(tcam[0], 389, 6);
+  EXPECT_NEAR(tcam[1], 195, 4);
+  EXPECT_NEAR(tcam[2], 98, 3);
+  EXPECT_NEAR(tcam[3], 156, 3);
+  EXPECT_LT(tcam[4], 15);        // paper 11; model ~7 analytic
+  // Only the fully compressed config is actually placeable... and a+b.
+  EXPECT_TRUE(placer.evaluate(paper_workload(), steps.back().second)
+                  .feasible);
+  EXPECT_FALSE(
+      placer.evaluate(paper_workload(), steps.front().second).feasible);
+}
+
+TEST(Placer, FoldingHalvesPathOccupancy) {
+  Placer placer{ChipConfig{}};
+  GatewayWorkload small{10'000, 0, 10'000, 0};
+  auto unfolded = placer.evaluate(small, xgwh::config_for_steps(""));
+  auto folded = placer.evaluate(small, xgwh::config_for_steps("a"));
+  EXPECT_NEAR(folded.sram_path_worst, unfolded.sram_path_worst / 2, 1e-6);
+  EXPECT_NEAR(folded.tcam_path_worst, unfolded.tcam_path_worst / 2, 1e-6);
+}
+
+TEST(Placer, SplitRequiresFold) {
+  Placer placer{ChipConfig{}};
+  CompressionConfig bad;
+  bad.split = true;
+  EXPECT_THROW(placer.evaluate(paper_workload(), bad),
+               std::invalid_argument);
+}
+
+TEST(Placer, NonShardableTablesReplicateUnderSplit) {
+  Placer placer{ChipConfig{}};
+  std::vector<TableDemand> demands = {
+      {"sharded", 100'000, 0, true, PathSlot::kBackIngress},
+      {"replicated", 100'000, 0, false, PathSlot::kBackIngress},
+  };
+  auto report = placer.place(demands, xgwh::config_for_steps("ab"));
+  // Two paths: sharded contributes 50k per path, replicated 100k per path.
+  const double expected_per_path =
+      (50'000.0 + 100'000.0) /
+      (2.0 * static_cast<double>(ChipConfig{}.sram_words_per_pipeline()));
+  EXPECT_NEAR(report.sram_path_worst, expected_per_path, 1e-9);
+}
+
+TEST(Placer, SlotAssignmentSeparatesPipes) {
+  Placer placer{ChipConfig{}};
+  std::vector<TableDemand> demands = {
+      {"front", 0, 1000, true, PathSlot::kFrontIngress},
+      {"back", 2000, 0, true, PathSlot::kBackIngress},
+  };
+  auto report = placer.place(demands, xgwh::config_for_steps("a"));
+  // TCAM demand lands on pipes 0/2 (front), SRAM on pipes 1/3 (back).
+  EXPECT_GT(report.pipes[0].tcam, 0.0);
+  EXPECT_EQ(report.pipes[1].tcam, 0.0);
+  EXPECT_EQ(report.pipes[0].sram, 0.0);
+  EXPECT_GT(report.pipes[1].sram, 0.0);
+  EXPECT_EQ(report.pipes[0].tcam, report.pipes[2].tcam);
+  EXPECT_EQ(report.pipes[1].sram, report.pipes[3].sram);
+}
+
+TEST(Placer, OverflowSpillsToOtherPipeOfPath) {
+  // A single table bigger than one pipeline must straddle both pipes of
+  // the folded path — "mapping large tables across pipelines".
+  Placer placer{ChipConfig{}};
+  const std::size_t words = ChipConfig{}.sram_words_per_pipeline() + 1000;
+  std::vector<TableDemand> demands = {
+      {"huge", words, 0, true, PathSlot::kBackIngress}};
+  auto report = placer.place(demands, xgwh::config_for_steps("a"));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.pipes[0].sram, 0.0);  // spill landed on the front pipe
+  EXPECT_NEAR(report.pipes[1].sram, 1.0, 1e-9);
+}
+
+TEST(Placer, UnfoldedReplicatesAcrossAllPipes) {
+  Placer placer{ChipConfig{}};
+  std::vector<TableDemand> demands = {
+      {"t", 1000, 0, true, PathSlot::kBackIngress}};
+  auto report = placer.place(demands, CompressionConfig::none());
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_GT(report.pipes[p].sram, 0.0) << p;
+  }
+}
+
+TEST(Placer, MeasuredAlpmOverridesEstimate) {
+  Placer placer{ChipConfig{}};
+  CompressionConfig config = xgwh::config_for_steps("abcde");
+  config.measured_alpm = AlpmDemand{40'000, 800'000};
+  auto report = placer.evaluate(paper_workload(), config);
+  // Directory slices: 40k sharded over 2 paths, spread over 2 pipes,
+  // against the per-pipe capacity.
+  const double expected_tcam =
+      40'000.0 / 2.0 /
+      (2.0 * static_cast<double>(ChipConfig{}.tcam_slices_per_pipeline()));
+  EXPECT_NEAR(report.tcam_path_worst, expected_tcam, 1e-9);
+}
+
+TEST(Placer, ServiceTablesAppearInDemands) {
+  GatewayWorkload workload = paper_workload();
+  workload.acl_rules = 1000;
+  workload.meters = 2000;
+  workload.counters = 3000;
+  workload.steering_entries = 10;
+  const auto demands = compute_demands(ChipConfig{}, workload,
+                                       xgwh::config_for_steps("abcde"));
+  std::size_t found = 0;
+  for (const auto& demand : demands) {
+    if (demand.name == "acl" || demand.name == "meters" ||
+        demand.name == "counters" || demand.name == "fallback_steering") {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 4u);
+}
+
+TEST(CompressionPlan, StepParsing) {
+  EXPECT_TRUE(xgwh::config_for_steps("abcde").alpm);
+  EXPECT_FALSE(xgwh::config_for_steps("abcd").alpm);
+  EXPECT_THROW(xgwh::config_for_steps("z"), std::invalid_argument);
+  EXPECT_THROW(xgwh::config_for_steps("b"), std::invalid_argument);
+  EXPECT_EQ(xgwh::fig17_steps().size(), 5u);
+  EXPECT_FALSE(xgwh::step_description('a').empty());
+}
+
+}  // namespace
+}  // namespace sf::asic

@@ -1,0 +1,109 @@
+// Placer invariants over randomized workloads (parameterized): the claims
+// §4.4 and §5.1 make about the compression stack, checked as properties
+// rather than at one calibration point.
+
+#include <gtest/gtest.h>
+
+#include "asic/placer.hpp"
+#include "workload/rng.hpp"
+#include "xgwh/compression_plan.hpp"
+
+namespace sf::asic {
+namespace {
+
+class PlacerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GatewayWorkload random_workload(workload::Rng& rng) const {
+    GatewayWorkload w{};
+    const std::size_t routes = 100'000 + rng.uniform(1'500'000);
+    const std::size_t maps = 100'000 + rng.uniform(1'500'000);
+    const double v6 = rng.uniform_real();
+    w.vxlan_routes_v6 =
+        static_cast<std::size_t>(static_cast<double>(routes) * v6);
+    w.vxlan_routes_v4 = routes - w.vxlan_routes_v6;
+    w.vm_maps_v6 =
+        static_cast<std::size_t>(static_cast<double>(maps) * v6);
+    w.vm_maps_v4 = maps - w.vm_maps_v6;
+    return w;
+  }
+};
+
+TEST_P(PlacerPropertyTest, FoldingExactlyHalvesPathOccupancy) {
+  workload::Rng rng(GetParam());
+  Placer placer{ChipConfig{}};
+  const GatewayWorkload w = random_workload(rng);
+  const auto base = placer.evaluate(w, xgwh::config_for_steps(""));
+  const auto folded = placer.evaluate(w, xgwh::config_for_steps("a"));
+  EXPECT_NEAR(folded.sram_path_worst, base.sram_path_worst / 2, 1e-9);
+  EXPECT_NEAR(folded.tcam_path_worst, base.tcam_path_worst / 2, 1e-9);
+}
+
+TEST_P(PlacerPropertyTest, SplittingRoughlyHalvesAgain) {
+  workload::Rng rng(GetParam());
+  Placer placer{ChipConfig{}};
+  const GatewayWorkload w = random_workload(rng);
+  const auto folded = placer.evaluate(w, xgwh::config_for_steps("a"));
+  const auto split = placer.evaluate(w, xgwh::config_for_steps("ab"));
+  // Rounding of odd shard counts allows a sliver above exactly half.
+  EXPECT_LE(split.sram_path_worst, folded.sram_path_worst / 2 + 1e-6);
+  EXPECT_LE(split.tcam_path_worst, folded.tcam_path_worst / 2 + 1e-6);
+}
+
+TEST_P(PlacerPropertyTest, PoolingMakesOccupancyRatioInvariant) {
+  // §4.4: "Since we have conducted IPv4/IPv6 table pooling, the memory
+  // occupancy will not further change with the traffic ratio of
+  // IPv4/IPv6." Same totals, different mixes -> identical occupancy.
+  workload::Rng rng(GetParam());
+  Placer placer{ChipConfig{}};
+  const std::size_t routes = 200'000 + rng.uniform(800'000);
+  const std::size_t maps = 200'000 + rng.uniform(800'000);
+  const auto config = xgwh::config_for_steps("abcd");
+
+  std::optional<double> sram;
+  std::optional<double> tcam;
+  for (double v6 : {0.0, 0.25, 0.5, 1.0}) {
+    GatewayWorkload w{};
+    w.vxlan_routes_v6 =
+        static_cast<std::size_t>(static_cast<double>(routes) * v6);
+    w.vxlan_routes_v4 = routes - w.vxlan_routes_v6;
+    w.vm_maps_v6 = static_cast<std::size_t>(static_cast<double>(maps) * v6);
+    w.vm_maps_v4 = maps - w.vm_maps_v6;
+    const auto report = placer.evaluate(w, config);
+    if (!sram) {
+      sram = report.sram_path_worst;
+      tcam = report.tcam_path_worst;
+    } else {
+      EXPECT_NEAR(report.sram_path_worst, *sram, 1e-9) << "v6=" << v6;
+      EXPECT_NEAR(report.tcam_path_worst, *tcam, 1e-9) << "v6=" << v6;
+    }
+  }
+}
+
+TEST_P(PlacerPropertyTest, AlpmTradesTcamForSram) {
+  workload::Rng rng(GetParam());
+  Placer placer{ChipConfig{}};
+  const GatewayWorkload w = random_workload(rng);
+  const auto pooled = placer.evaluate(w, xgwh::config_for_steps("abcd"));
+  const auto alpm = placer.evaluate(w, xgwh::config_for_steps("abcde"));
+  EXPECT_LT(alpm.tcam_path_worst, pooled.tcam_path_worst * 0.2);
+  EXPECT_GT(alpm.sram_path_worst, pooled.sram_path_worst);
+}
+
+TEST_P(PlacerPropertyTest, PipeAccountingIsConsistentWithPaths) {
+  // Total demand charged to pipes equals total charged to paths.
+  workload::Rng rng(GetParam());
+  Placer placer{ChipConfig{}};
+  const GatewayWorkload w = random_workload(rng);
+  const auto report = placer.evaluate(w, xgwh::config_for_steps("abcde"));
+  double pipes_sram = 0;
+  for (const auto& pipe : report.pipes) pipes_sram += pipe.sram;
+  double paths_sram = 0;
+  for (const auto& path : report.paths) paths_sram += 2 * path.sram;
+  EXPECT_NEAR(pipes_sram, paths_sram, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PlacerPropertyTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005));
+
+}  // namespace
+}  // namespace sf::asic

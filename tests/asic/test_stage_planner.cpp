@@ -1,0 +1,130 @@
+#include "asic/stage_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::asic {
+namespace {
+
+ChipConfig small_chip() {
+  ChipConfig chip;
+  chip.stages_per_pipeline = 4;
+  chip.sram_blocks_per_stage = 1;
+  chip.sram_block_words = 100;  // 100 words per stage
+  chip.tcam_blocks_per_stage = 1;
+  chip.tcam_block_rows = 10;  // 10 slices per stage
+  return chip;
+}
+
+TEST(StagePlanner, IndependentTablesShareAStage) {
+  StagePlanner planner(small_chip());
+  const auto plan = planner.plan({
+      {"a", MemoryKind::kSram, 40, {}},
+      {"b", MemoryKind::kSram, 40, {}},
+  });
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tables[0].first_stage, 0u);
+  EXPECT_EQ(plan.tables[1].first_stage, 0u);
+  EXPECT_EQ(plan.stages[0].sram_words, 80u);
+  EXPECT_EQ(plan.stages_used, 1u);
+}
+
+TEST(StagePlanner, MatchDependencyForcesLaterStage) {
+  StagePlanner planner(small_chip());
+  const auto plan = planner.plan({
+      {"route", MemoryKind::kTcam, 5, {}},
+      {"vm_nc", MemoryKind::kSram, 10, {"route"}},
+      {"rewrite", MemoryKind::kSram, 1, {"vm_nc"}},
+  });
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tables[0].last_stage, 0u);
+  EXPECT_EQ(plan.tables[1].first_stage, 1u);
+  EXPECT_EQ(plan.tables[2].first_stage, 2u);
+  EXPECT_EQ(plan.stages_used, 3u);
+}
+
+TEST(StagePlanner, WideTableSplitsAcrossStages) {
+  // 250 words > 100/stage: spans three stages, like the compiler-split
+  // tables §3.3 describes.
+  StagePlanner planner(small_chip());
+  const auto plan = planner.plan({
+      {"big", MemoryKind::kSram, 250, {}},
+      {"after", MemoryKind::kSram, 10, {"big"}},
+  });
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tables[0].chunks.size(), 3u);
+  EXPECT_EQ(plan.tables[0].last_stage, 2u);
+  // The dependent table starts after the *last* chunk.
+  EXPECT_EQ(plan.tables[1].first_stage, 3u);
+}
+
+TEST(StagePlanner, DependencyChainDeeperThanStagesIsInfeasible) {
+  StagePlanner planner(small_chip());  // 4 stages
+  std::vector<StageTable> chain;
+  for (int i = 0; i < 5; ++i) {
+    StageTable table{"t" + std::to_string(i), MemoryKind::kSram, 1, {}};
+    if (i > 0) table.depends_on = {"t" + std::to_string(i - 1)};
+    chain.push_back(table);
+  }
+  const auto plan = planner.plan(chain);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("stage budget"),
+            std::string::npos);
+}
+
+TEST(StagePlanner, OutOfMemoryIsInfeasibleWithReason) {
+  StagePlanner planner(small_chip());  // 400 words total
+  const auto plan =
+      planner.plan({{"huge", MemoryKind::kSram, 500, {}}});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("out of stage memory"),
+            std::string::npos);
+}
+
+TEST(StagePlanner, UnknownDependencyIsAnError) {
+  StagePlanner planner(small_chip());
+  const auto plan =
+      planner.plan({{"t", MemoryKind::kSram, 1, {"ghost"}}});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("ghost"), std::string::npos);
+}
+
+TEST(StagePlanner, SramAndTcamBudgetsAreIndependent) {
+  StagePlanner planner(small_chip());
+  const auto plan = planner.plan({
+      {"acl", MemoryKind::kTcam, 10, {}},     // fills stage 0 TCAM
+      {"exact", MemoryKind::kSram, 100, {}},  // fills stage 0 SRAM
+      {"more_tcam", MemoryKind::kTcam, 5, {}},
+  });
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tables[0].first_stage, 0u);
+  EXPECT_EQ(plan.tables[1].first_stage, 0u);
+  // Stage 0's TCAM is full; the next ternary table spills to stage 1.
+  EXPECT_EQ(plan.tables[2].first_stage, 1u);
+}
+
+TEST(StagePlanner, ZeroWidthTableStillOrdersDependents) {
+  StagePlanner planner(small_chip());
+  const auto plan = planner.plan({
+      {"gateway", MemoryKind::kSram, 0, {}},
+      {"action", MemoryKind::kSram, 1, {"gateway"}},
+  });
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.tables[1].first_stage, 1u);
+}
+
+TEST(StagePlanner, GatewayProgramFitsRealChip) {
+  // The Sailfish loopback-pipe program at per-path scale: ALPM directory,
+  // buckets, pooled VM-NC, meters — must fit 12 stages with room.
+  StagePlanner planner{ChipConfig{}};
+  const auto plan = planner.plan({
+      {"alpm_dir", MemoryKind::kTcam, 60'000, {}},
+      {"alpm_buckets", MemoryKind::kSram, 460'000, {"alpm_dir"}},
+      {"vm_nc", MemoryKind::kSram, 250'000, {"alpm_buckets"}},
+      {"meters", MemoryKind::kSram, 110'000, {}},
+  });
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_LE(plan.stages_used, ChipConfig{}.stages_per_pipeline);
+}
+
+}  // namespace
+}  // namespace sf::asic

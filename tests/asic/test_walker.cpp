@@ -1,0 +1,140 @@
+#include "asic/walker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::asic {
+namespace {
+
+net::OverlayPacket sample_packet() {
+  net::OverlayPacket pkt;
+  pkt.vni = 100;
+  pkt.inner.src = net::IpAddr::must_parse("10.0.0.1");
+  pkt.inner.dst = net::IpAddr::must_parse("10.0.0.2");
+  pkt.payload_size = 64;
+  return pkt;
+}
+
+TEST(Walker, SinglePassWithoutLoopback) {
+  PipelineProgram program(4);
+  int ingress_runs = 0;
+  int egress_runs = 0;
+  program.set_ingress(0, {"in", {[&](PacketContext&) { ++ingress_runs; }}});
+  program.set_egress(0, {"out", {[&](PacketContext&) { ++egress_runs; }}});
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_FALSE(result.dropped);
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.egress_pipe, 0u);
+  EXPECT_EQ(ingress_runs, 1);
+  EXPECT_EQ(egress_runs, 1);
+}
+
+TEST(Walker, SteeringToAnotherEgressPipe) {
+  PipelineProgram program(4);
+  program.set_ingress(
+      0, {"in", {[](PacketContext& ctx) { ctx.egress_pipe = 3; }}});
+  int pipe3_egress = 0;
+  program.set_egress(3, {"out", {[&](PacketContext&) { ++pipe3_egress; }}});
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_EQ(result.egress_pipe, 3u);
+  EXPECT_EQ(pipe3_egress, 1);
+}
+
+TEST(Walker, FoldedPathMakesTwoPasses) {
+  PipelineProgram program(4);
+  std::vector<std::string> trace;
+  program.set_ingress(0, {"in0", {[&](PacketContext& ctx) {
+                            trace.push_back("I0");
+                            ctx.egress_pipe = 1;
+                          }}});
+  program.set_egress(1, {"eg1", {[&](PacketContext&) {
+                           trace.push_back("E1");
+                         }}});
+  program.set_loopback(1, true);
+  program.set_ingress(1, {"in1", {[&](PacketContext& ctx) {
+                            trace.push_back("I1");
+                            ctx.egress_pipe = 0;
+                          }}});
+  program.set_egress(0, {"eg0", {[&](PacketContext&) {
+                           trace.push_back("E0");
+                         }}});
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_FALSE(result.dropped);
+  EXPECT_EQ(result.passes, 2u);
+  EXPECT_EQ(result.egress_pipe, 0u);
+  EXPECT_EQ(trace, (std::vector<std::string>{"I0", "E1", "I1", "E0"}));
+  // Folded latency is roughly twice the single-pass latency.
+  const double one_pass = ChipConfig{}.latency_us(1, 0);
+  EXPECT_GT(result.latency_us, 1.9 * one_pass);
+}
+
+TEST(Walker, MetadataDoesNotCrossGressUnbridged) {
+  PipelineProgram program(4);
+  std::optional<std::uint64_t> seen;
+  program.set_ingress(0, {"in", {[](PacketContext& ctx) {
+                            ctx.meta.set("secret", 42, 8);  // not bridged
+                          }}});
+  program.set_egress(0, {"out", {[&](PacketContext& ctx) {
+                           seen = ctx.meta.get("secret");
+                         }}});
+  Walker walker{ChipConfig{}, &program};
+  walker.run(sample_packet(), 0);
+  EXPECT_FALSE(seen.has_value());
+}
+
+TEST(Walker, BridgedMetadataSurvivesAndIsCharged) {
+  PipelineProgram program(4);
+  std::optional<std::uint64_t> seen;
+  program.set_ingress(0, {"in", {[](PacketContext& ctx) {
+                            ctx.meta.set("carry", 7, 24, /*bridged=*/true);
+                          }}});
+  program.set_egress(0, {"out", {[&](PacketContext& ctx) {
+                           seen = ctx.meta.get("carry");
+                         }}});
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(result.bridged_bits, 24u);
+}
+
+TEST(Walker, DropInIngressSkipsEgress) {
+  PipelineProgram program(4);
+  int egress_runs = 0;
+  program.set_ingress(
+      0, {"in", {[](PacketContext& ctx) { ctx.drop("test drop"); }}});
+  program.set_egress(0, {"out", {[&](PacketContext&) { ++egress_runs; }}});
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_TRUE(result.dropped);
+  EXPECT_EQ(result.drop_reason, "test drop");
+  EXPECT_EQ(egress_runs, 0);
+}
+
+TEST(Walker, LoopbackCycleIsBounded) {
+  PipelineProgram program(4);
+  // Every pipe loops back forever: the walker must abort.
+  for (unsigned p = 0; p < 4; ++p) program.set_loopback(p, true);
+  Walker walker{ChipConfig{}, &program};
+  const WalkResult result = walker.run(sample_packet(), 0);
+  EXPECT_TRUE(result.dropped);
+  EXPECT_NE(result.drop_reason.find("loopback"), std::string::npos);
+  EXPECT_LE(result.passes, Walker::kMaxPasses);
+}
+
+TEST(Walker, StagesRunInOrder) {
+  PipelineProgram program(4);
+  std::vector<int> order;
+  program.set_ingress(0, {"in",
+                          {[&](PacketContext&) { order.push_back(1); },
+                           [&](PacketContext&) { order.push_back(2); },
+                           [&](PacketContext&) { order.push_back(3); }}});
+  program.set_egress(0, {"out", {}});
+  Walker walker{ChipConfig{}, &program};
+  walker.run(sample_packet(), 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sf::asic

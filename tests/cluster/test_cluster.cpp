@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/disaster_recovery.hpp"
+#include "cluster/load_balancer.hpp"
+
+namespace sf::cluster {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+using tables::VmNcAction;
+using tables::VmNcKey;
+using tables::VxlanRouteAction;
+
+TEST(VniDirector, AssignLookupUnassign) {
+  VniDirector director;
+  director.assign(100, 1);
+  director.assign(101, 2);
+  EXPECT_EQ(director.cluster_for(100), 1u);
+  EXPECT_EQ(director.cluster_for(101), 2u);
+  EXPECT_EQ(director.cluster_for(102), std::nullopt);
+  director.unassign(100);
+  EXPECT_EQ(director.cluster_for(100), std::nullopt);
+  const auto counts = director.vnis_per_cluster();
+  EXPECT_EQ(counts.at(2), 1u);
+}
+
+TEST(EcmpGroup, EnforcesNextHopCap) {
+  EcmpGroup group(4);
+  for (std::uint32_t i = 0; i < 4; ++i) group.add(i);
+  EXPECT_THROW(group.add(4), std::length_error);
+  EXPECT_EQ(group.size(), 4u);
+}
+
+TEST(EcmpGroup, PickIsDeterministicAndLive) {
+  EcmpGroup group(64);
+  group.add(10);
+  group.add(20);
+  group.add(30);
+  net::FiveTuple flow{IpAddr::must_parse("10.0.0.1"),
+                      IpAddr::must_parse("10.0.0.2"), 6, 1234, 80};
+  const auto first = group.pick(flow);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(group.pick(flow), first);
+  EXPECT_TRUE(group.contains(*first));
+}
+
+TEST(EcmpGroup, RemoveRestoresBalanceOverSurvivors) {
+  EcmpGroup group(64);
+  group.add(0);
+  group.add(1);
+  EXPECT_TRUE(group.remove(0));
+  EXPECT_FALSE(group.remove(0));
+  for (std::uint64_t h = 0; h < 16; ++h) {
+    EXPECT_EQ(group.pick_by_hash(h), 1u);
+  }
+  EXPECT_FALSE(EcmpGroup(8).pick_by_hash(1).has_value());
+}
+
+XgwHCluster::Config small_cluster() {
+  XgwHCluster::Config config;
+  config.primary_devices = 2;
+  config.backup_devices = 2;
+  return config;
+}
+
+net::OverlayPacket sample_packet() {
+  net::OverlayPacket pkt;
+  pkt.vni = 10;
+  pkt.inner.src = IpAddr::must_parse("192.168.10.2");
+  pkt.inner.dst = IpAddr::must_parse("192.168.10.3");
+  pkt.inner.proto = 6;
+  pkt.inner.src_port = 1;
+  pkt.inner.dst_port = 2;
+  pkt.payload_size = 100;
+  return pkt;
+}
+
+void install_sample(XgwHCluster& cluster) {
+  cluster.install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
+                        VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  cluster.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.3")},
+                          VmNcAction{net::Ipv4Addr(10, 1, 1, 12)});
+}
+
+TEST(XgwHCluster, FansOutTablesToAllDevices) {
+  XgwHCluster cluster(small_cluster());
+  install_sample(cluster);
+  for (std::size_t d = 0; d < cluster.device_count(); ++d) {
+    EXPECT_EQ(cluster.device(d).route_count(), 1u) << d;
+    EXPECT_EQ(cluster.device(d).mapping_count(), 1u) << d;
+  }
+  EXPECT_EQ(cluster.route_count(), 1u);
+}
+
+TEST(XgwHCluster, ProcessesThroughLiveDevice) {
+  XgwHCluster cluster(small_cluster());
+  install_sample(cluster);
+  const auto result = cluster.process(sample_packet());
+  EXPECT_EQ(result.action, xgwh::ForwardAction::kForwardToNc);
+}
+
+TEST(XgwHCluster, DeviceFailureShrinksEcmp) {
+  XgwHCluster cluster(small_cluster());
+  install_sample(cluster);
+  EXPECT_EQ(cluster.live_device_count(), 2u);
+  cluster.fail_device(0);
+  EXPECT_EQ(cluster.live_device_count(), 1u);
+  EXPECT_FALSE(cluster.failed_over());
+  // Traffic still flows via the surviving primary.
+  EXPECT_EQ(cluster.process(sample_packet()).action,
+            xgwh::ForwardAction::kForwardToNc);
+}
+
+TEST(XgwHCluster, FailsOverToBackupsWhenPrimariesDie) {
+  XgwHCluster cluster(small_cluster());
+  install_sample(cluster);
+  cluster.fail_device(0);
+  cluster.fail_device(1);
+  EXPECT_TRUE(cluster.failed_over());
+  EXPECT_EQ(cluster.live_device_count(), 2u);  // the two backups
+  // Backups hold identical tables: forwarding continues.
+  EXPECT_EQ(cluster.process(sample_packet()).action,
+            xgwh::ForwardAction::kForwardToNc);
+  // Recovery of a primary switches back.
+  cluster.recover_device(0);
+  EXPECT_FALSE(cluster.failed_over());
+}
+
+TEST(XgwHCluster, AllDevicesDownDrops) {
+  XgwHCluster cluster(small_cluster());
+  install_sample(cluster);
+  for (std::size_t d = 0; d < cluster.device_count(); ++d) {
+    cluster.fail_device(d);
+  }
+  const auto result = cluster.process(sample_packet());
+  EXPECT_EQ(result.action, xgwh::ForwardAction::kDrop);
+}
+
+TEST(XgwHCluster, WaterLevelsReflectLoad) {
+  XgwHCluster cluster(small_cluster());
+  // Empty gateways still reserve the ALPM root bucket, so the baseline is
+  // tiny but nonzero; installing tables must raise it.
+  const double baseline = cluster.sram_water_level();
+  EXPECT_LT(baseline, 1e-4);
+  install_sample(cluster);
+  EXPECT_GT(cluster.sram_water_level(), baseline);
+}
+
+TEST(XgwHCluster, RejectsZeroPrimaries) {
+  XgwHCluster::Config config;
+  config.primary_devices = 0;
+  EXPECT_THROW(XgwHCluster{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::cluster

@@ -1,0 +1,220 @@
+#include "cluster/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/disaster_recovery.hpp"
+
+namespace sf::cluster {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+using tables::VmNcAction;
+using tables::VmNcKey;
+using tables::VxlanRouteAction;
+using workload::VpcRecord;
+
+Controller::Config small_config() {
+  Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 1;
+  config.max_clusters = 3;
+  config.routes_water_level = 6;
+  config.mappings_water_level = 100;
+  return config;
+}
+
+VpcRecord make_vpc(net::Vni vni, std::size_t subnets, std::size_t vms) {
+  VpcRecord vpc;
+  vpc.vni = vni;
+  vpc.family = net::IpFamily::kV4;
+  for (std::size_t s = 0; s < subnets; ++s) {
+    vpc.routes.push_back(workload::RouteRecord{
+        net::Ipv4Prefix(
+            net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff),
+                          static_cast<std::uint8_t>(s), 0),
+            24),
+        VxlanRouteAction{RouteScope::kLocal, 0, {}}});
+  }
+  for (std::size_t v = 0; v < vms; ++v) {
+    vpc.vms.push_back(workload::VmRecord{
+        IpAddr(net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff), 0,
+                             static_cast<std::uint8_t>(2 + v))),
+        net::Ipv4Addr(172, 16, 0, 1)});
+  }
+  return vpc;
+}
+
+TEST(Controller, AdmitsVpcAndInstallsTables) {
+  Controller controller(small_config());
+  EXPECT_TRUE(controller.add_vpc(make_vpc(100, 2, 3)));
+  ASSERT_EQ(controller.cluster_count(), 1u);
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+  EXPECT_EQ(controller.cluster(0).mapping_count(), 3u);
+  EXPECT_EQ(controller.cluster_for(100), 0u);
+  EXPECT_FALSE(controller.add_vpc(make_vpc(100, 1, 1)));  // duplicate
+}
+
+TEST(Controller, OpensNewClusterAtWaterLevel) {
+  Controller::Config config = small_config();
+  config.routes_water_level = 4;  // admission checks the current level
+  Controller controller(config);
+  EXPECT_TRUE(controller.add_vpc(make_vpc(100, 4, 1)));
+  EXPECT_TRUE(controller.add_vpc(make_vpc(101, 4, 1)));
+  EXPECT_EQ(controller.cluster_count(), 2u);
+  EXPECT_NE(controller.cluster_for(100), controller.cluster_for(101));
+}
+
+TEST(Controller, ClosesSalesWhenRegionFull) {
+  Controller::Config config = small_config();
+  config.max_clusters = 1;
+  Controller controller(config);
+  EXPECT_TRUE(controller.add_vpc(make_vpc(100, 6, 1)));
+  EXPECT_FALSE(controller.add_vpc(make_vpc(101, 1, 1)));
+  bool alerted = false;
+  for (const std::string& alert : controller.alerts()) {
+    if (alert.find("admission refused") != std::string::npos) {
+      alerted = true;
+    }
+  }
+  EXPECT_TRUE(alerted);
+}
+
+TEST(Controller, RoutesPacketsToTheRightCluster) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 4, 2));
+  controller.add_vpc(make_vpc(101, 4, 2));
+  net::OverlayPacket pkt;
+  pkt.vni = 101;
+  pkt.inner.src = controller.cluster(0).device(0).config().device_ip;
+  pkt.inner.src = IpAddr(net::Ipv4Addr(10, 101, 0, 2));
+  pkt.inner.dst = IpAddr(net::Ipv4Addr(10, 101, 0, 3));
+  pkt.payload_size = 64;
+  const auto result = controller.process(pkt);
+  EXPECT_EQ(result.action, xgwh::ForwardAction::kForwardToNc);
+
+  pkt.vni = 999;  // unknown tenant
+  EXPECT_EQ(controller.process(pkt).action, xgwh::ForwardAction::kDrop);
+}
+
+TEST(Controller, MirrorsOpsToSoftwareFleet) {
+  Controller controller(small_config());
+  std::vector<TableOp> mirrored;
+  controller.set_mirror([&](const TableOp& op) { mirrored.push_back(op); });
+  controller.add_vpc(make_vpc(100, 2, 3));
+  EXPECT_EQ(mirrored.size(), 5u);  // 2 routes + 3 mappings
+  controller.remove_mapping(
+      VmNcKey{100, IpAddr(net::Ipv4Addr(10, 100, 0, 2))});
+  EXPECT_EQ(mirrored.size(), 6u);
+  EXPECT_EQ(mirrored.back().kind, TableOp::Kind::kDelMapping);
+}
+
+TEST(Controller, IncrementalRouteUpdates) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 1, 1));
+  const IpPrefix extra = IpPrefix::must_parse("10.200.0.0/24");
+  EXPECT_TRUE(controller.add_route(
+      100, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}));
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+  EXPECT_TRUE(controller.remove_route(100, extra));
+  EXPECT_EQ(controller.cluster(0).route_count(), 1u);
+  EXPECT_FALSE(controller.remove_route(100, extra));
+  EXPECT_FALSE(controller.add_route(
+      999, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}));
+}
+
+TEST(Controller, ConsistencyCheckPassesCleanInstall) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 2, 3));
+  const auto report = controller.check_consistency(0);
+  EXPECT_GT(report.entries_checked, 0u);
+  EXPECT_EQ(report.missing_on_device, 0u);
+}
+
+TEST(Controller, ConsistencyCheckDetectsDeviceDrift) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 2, 3));
+  // Simulate a buggy device silently losing an entry (§6.1: bugs,
+  // misconfiguration or insufficient gateway memory).
+  controller.cluster(0).device(0).remove_route(
+      100, IpPrefix::must_parse("10.100.0.0/24"));
+  const auto report = controller.check_consistency(0);
+  EXPECT_EQ(report.missing_on_device, 1u);
+}
+
+TEST(Controller, ClusterRouteCountsFeedFig23) {
+  Controller::Config fig_config = small_config();
+  fig_config.routes_water_level = 4;
+  Controller controller(fig_config);
+  controller.add_vpc(make_vpc(100, 4, 1));
+  controller.add_vpc(make_vpc(101, 4, 1));
+  const auto counts = controller.cluster_route_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 4u);
+}
+
+TEST(DisasterRecovery, NodeFailureJournalAndColdStandby) {
+  // Two primaries: losing one does not fail over, but dips below the
+  // live-fraction threshold and pulls in the cold standby.
+  Controller::Config controller_config = small_config();
+  controller_config.cluster_template.primary_devices = 2;
+  Controller controller(controller_config);
+  controller.add_vpc(make_vpc(100, 1, 1));
+  DisasterRecovery::Config config;
+  config.cold_standby_pool = 1;
+  config.min_live_fraction = 1.0;  // any loss triggers standby activation
+  DisasterRecovery recovery(&controller, config);
+  recovery.on_device_failure(0, 0, 10.0);
+  EXPECT_EQ(recovery.cold_standby_available(), 0u);
+  EXPECT_FALSE(controller.cluster(0).failed_over());
+  EXPECT_EQ(controller.cluster(0).live_device_count(), 2u);
+  EXPECT_GE(recovery.events().size(), 2u);
+}
+
+TEST(DisasterRecovery, FailoverWhenNoStandbyLeft) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 1, 1));
+  DisasterRecovery::Config config;
+  config.cold_standby_pool = 0;
+  DisasterRecovery recovery(&controller, config);
+  recovery.on_device_failure(0, 0, 1.0);
+  EXPECT_TRUE(controller.cluster(0).failed_over());
+  net::OverlayPacket pkt;
+  pkt.vni = 100;
+  pkt.inner.src = IpAddr(net::Ipv4Addr(10, 100, 0, 2));
+  pkt.inner.dst = IpAddr(net::Ipv4Addr(10, 100, 0, 2));
+  pkt.payload_size = 64;
+  EXPECT_EQ(controller.process(pkt).action,
+            xgwh::ForwardAction::kForwardToNc);
+}
+
+TEST(DisasterRecovery, PortIsolationReducesCapacity) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 1, 1));
+  DisasterRecovery::Config config;
+  config.ports_per_device = 4;
+  DisasterRecovery recovery(&controller, config);
+  recovery.on_port_fault(0, 0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(recovery.device_capacity_fraction(0, 0), 0.75);
+  recovery.on_port_recovery(0, 0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(recovery.device_capacity_fraction(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(recovery.device_capacity_fraction(0, 1), 1.0);
+}
+
+TEST(DisasterRecovery, AllPortsDownEscalatesToNodeFailure) {
+  Controller controller(small_config());
+  controller.add_vpc(make_vpc(100, 1, 1));
+  DisasterRecovery::Config config;
+  config.ports_per_device = 2;
+  config.cold_standby_pool = 0;
+  config.min_live_fraction = 0.0;
+  DisasterRecovery recovery(&controller, config);
+  recovery.on_port_fault(0, 0, 0, 1.0);
+  recovery.on_port_fault(0, 0, 1, 2.0);
+  EXPECT_TRUE(controller.cluster(0).failed_over());
+}
+
+}  // namespace
+}  // namespace sf::cluster

@@ -1,0 +1,163 @@
+// Controller operation fuzz: random sequences of VPC admissions, route
+// churn, migrations, device failures/recoveries — after every burst the
+// system must still satisfy its core invariants: desired state == device
+// tables (consistency audit), every VNI's probes resolve, and peer groups
+// stay co-located.
+
+#include <gtest/gtest.h>
+
+#include "cluster/controller.hpp"
+#include "cluster/probe.hpp"
+#include "workload/rng.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::cluster {
+namespace {
+
+class ControllerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ControllerFuzzTest, InvariantsSurviveRandomOperations) {
+  workload::Rng rng(GetParam());
+
+  workload::TopologyConfig topo;
+  topo.vpc_count = 24;
+  topo.total_vms = 500;
+  topo.nc_count = 60;
+  topo.peerings_per_vpc = 0.4;
+  topo.seed = GetParam() * 3 + 1;
+  const workload::RegionTopology region = workload::generate_topology(topo);
+
+  Controller::Config config;
+  config.cluster_template.primary_devices = 2;
+  config.cluster_template.backup_devices = 1;
+  config.max_clusters = 3;
+  config.initial_clusters = 3;
+  config.routes_water_level = 10'000;
+  Controller controller(config);
+  ASSERT_EQ(controller.install_topology(region), region.vpcs.size());
+
+  std::vector<std::pair<net::Vni, net::IpPrefix>> extra_routes;
+
+  auto verify = [&]() {
+    for (std::size_t c = 0; c < controller.cluster_count(); ++c) {
+      const auto audit = controller.check_consistency(c);
+      ASSERT_EQ(audit.missing_on_device, 0u) << "cluster " << c;
+    }
+    ProbeCampaign campaign;
+    const auto report = campaign.run_all(controller, region);
+    ASSERT_TRUE(report.passed())
+        << (report.failures.empty() ? "?" : report.failures.front());
+    // Peer groups co-located.
+    for (const auto& vpc : region.vpcs) {
+      for (net::Vni peer : vpc.peers) {
+        EXPECT_EQ(controller.cluster_for(vpc.vni),
+                  controller.cluster_for(peer))
+            << vpc.vni << " vs peer " << peer;
+      }
+    }
+  };
+
+  for (int burst = 0; burst < 8; ++burst) {
+    for (int op = 0; op < 20; ++op) {
+      const int roll = static_cast<int>(rng.uniform(10));
+      const workload::VpcRecord& vpc =
+          region.vpcs[rng.uniform(region.vpcs.size())];
+      if (roll < 4) {
+        // Add an extra route.
+        const net::IpPrefix prefix = net::Ipv4Prefix(
+            net::Ipv4Addr(
+                (192u << 24) |
+                static_cast<std::uint32_t>(rng.uniform(1u << 20)) << 4),
+            28);
+        if (controller.add_route(
+                vpc.vni, prefix,
+                tables::VxlanRouteAction{tables::RouteScope::kLocal, 0,
+                                         {}})) {
+          extra_routes.push_back({vpc.vni, prefix});
+        }
+      } else if (roll < 6 && !extra_routes.empty()) {
+        const std::size_t victim = rng.uniform(extra_routes.size());
+        controller.remove_route(extra_routes[victim].first,
+                                extra_routes[victim].second);
+        extra_routes.erase(extra_routes.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+      } else if (roll < 8) {
+        // Migrate a VPC (and its peer group) to a random cluster.
+        const std::uint32_t target = static_cast<std::uint32_t>(
+            rng.uniform(controller.cluster_count()));
+        EXPECT_TRUE(controller.migrate_vpc(vpc.vni, target));
+      } else {
+        // Flap a device (never the last live one of a cluster).
+        const std::size_t c = rng.uniform(controller.cluster_count());
+        auto& cluster = controller.cluster(c);
+        const std::size_t d = rng.uniform(cluster.device_count());
+        if (cluster.device_health(d) == DeviceHealth::kHealthy &&
+            cluster.live_device_count() > 1) {
+          cluster.fail_device(d);
+        } else if (cluster.device_health(d) == DeviceHealth::kFailed) {
+          cluster.recover_device(d);
+        }
+      }
+    }
+    verify();
+  }
+
+  // Recover everything and verify once more.
+  for (std::size_t c = 0; c < controller.cluster_count(); ++c) {
+    auto& cluster = controller.cluster(c);
+    for (std::size_t d = 0; d < cluster.device_count(); ++d) {
+      if (cluster.device_health(d) == DeviceHealth::kFailed) {
+        cluster.recover_device(d);
+      }
+    }
+  }
+  verify();
+}
+
+TEST(ControllerMigration, MovesTablesAndSteering) {
+  Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 0;
+  config.max_clusters = 2;
+  config.initial_clusters = 2;
+  Controller controller(config);
+
+  workload::VpcRecord vpc;
+  vpc.vni = 500;
+  vpc.family = net::IpFamily::kV4;
+  vpc.routes.push_back(workload::RouteRecord{
+      net::IpPrefix::must_parse("10.5.0.0/24"),
+      tables::VxlanRouteAction{tables::RouteScope::kLocal, 0, {}}});
+  vpc.vms.push_back(workload::VmRecord{
+      net::IpAddr::must_parse("10.5.0.2"), net::Ipv4Addr(172, 16, 0, 1)});
+  ASSERT_TRUE(controller.add_vpc(vpc));
+  const auto source = *controller.cluster_for(500);
+  const auto target = source == 0 ? 1u : 0u;
+
+  ASSERT_TRUE(controller.migrate_vpc(500, target));
+  EXPECT_EQ(controller.cluster_for(500), target);
+  EXPECT_EQ(controller.cluster(source).route_count(), 0u);
+  EXPECT_EQ(controller.cluster(source).mapping_count(), 0u);
+  EXPECT_EQ(controller.cluster(target).route_count(), 1u);
+  EXPECT_EQ(controller.cluster(target).mapping_count(), 1u);
+
+  net::OverlayPacket pkt;
+  pkt.vni = 500;
+  pkt.inner.src = net::IpAddr::must_parse("10.5.0.9");
+  pkt.inner.dst = net::IpAddr::must_parse("10.5.0.2");
+  pkt.payload_size = 64;
+  EXPECT_EQ(controller.process(pkt).action,
+            xgwh::ForwardAction::kForwardToNc);
+
+  // Idempotent and bounds-checked.
+  EXPECT_TRUE(controller.migrate_vpc(500, target));
+  EXPECT_FALSE(controller.migrate_vpc(500, 99));
+  EXPECT_FALSE(controller.migrate_vpc(12345, target));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzzTest,
+                         ::testing::Values(601, 602, 603));
+
+}  // namespace
+}  // namespace sf::cluster

@@ -1,0 +1,104 @@
+#include "cluster/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::cluster {
+namespace {
+
+struct Fixture {
+  Controller controller;
+  DisasterRecovery recovery;
+  HealthMonitor monitor;
+
+  Fixture()
+      : controller([] {
+          Controller::Config config;
+          config.cluster_template.primary_devices = 2;
+          config.cluster_template.backup_devices = 1;
+          config.initial_clusters = 1;
+          return config;
+        }()),
+        recovery(&controller,
+                 [] {
+                   DisasterRecovery::Config config;
+                   config.cold_standby_pool = 0;
+                   config.min_live_fraction = 0.0;
+                   return config;
+                 }()),
+        monitor(&recovery, HealthMonitor::Config{}) {}
+};
+
+TEST(HealthMonitor, SingleMissedHeartbeatDoesNotFail) {
+  Fixture f;
+  f.monitor.report_heartbeat(0, 0, false, 1.0);
+  f.monitor.report_heartbeat(0, 0, true, 2.0);
+  EXPECT_FALSE(f.monitor.device_considered_failed(0, 0));
+  EXPECT_EQ(f.controller.cluster(0).live_device_count(), 2u);
+}
+
+TEST(HealthMonitor, ThreeConsecutiveMissesFailTheDevice) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    f.monitor.report_heartbeat(0, 0, false, 1.0 + i);
+  }
+  EXPECT_TRUE(f.monitor.device_considered_failed(0, 0));
+  EXPECT_EQ(f.controller.cluster(0).live_device_count(), 1u);
+  // Further misses don't double-fail.
+  f.monitor.report_heartbeat(0, 0, false, 5.0);
+  EXPECT_EQ(f.controller.cluster(0).live_device_count(), 1u);
+}
+
+TEST(HealthMonitor, RecoveryNeedsTwoGoodHeartbeats) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    f.monitor.report_heartbeat(0, 0, false, 1.0 + i);
+  }
+  f.monitor.report_heartbeat(0, 0, true, 5.0);
+  EXPECT_TRUE(f.monitor.device_considered_failed(0, 0));
+  f.monitor.report_heartbeat(0, 0, true, 6.0);
+  EXPECT_FALSE(f.monitor.device_considered_failed(0, 0));
+  EXPECT_EQ(f.controller.cluster(0).live_device_count(), 2u);
+}
+
+TEST(HealthMonitor, FlappingHeartbeatNeverTriggers) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.monitor.report_heartbeat(0, 0, i % 2 == 0, 1.0 + i);
+  }
+  EXPECT_FALSE(f.monitor.device_considered_failed(0, 0));
+  EXPECT_EQ(f.controller.cluster(0).live_device_count(), 2u);
+}
+
+TEST(HealthMonitor, PortIsolationAfterSustainedErrors) {
+  Fixture f;
+  f.monitor.report_port_errors(0, 1, 3, 1e-4, 1.0);
+  EXPECT_FALSE(f.monitor.port_considered_isolated(0, 1, 3));
+  f.monitor.report_port_errors(0, 1, 3, 1e-4, 2.0);
+  EXPECT_TRUE(f.monitor.port_considered_isolated(0, 1, 3));
+  EXPECT_LT(f.recovery.device_capacity_fraction(0, 1), 1.0);
+  // Clean observations bring it back.
+  f.monitor.report_port_errors(0, 1, 3, 0.0, 3.0);
+  EXPECT_FALSE(f.monitor.port_considered_isolated(0, 1, 3));
+  EXPECT_DOUBLE_EQ(f.recovery.device_capacity_fraction(0, 1), 1.0);
+}
+
+TEST(HealthMonitor, PortsTrackedIndependently) {
+  Fixture f;
+  f.monitor.report_port_errors(0, 1, 3, 1e-4, 1.0);
+  f.monitor.report_port_errors(0, 1, 4, 1e-4, 1.0);
+  f.monitor.report_port_errors(0, 1, 3, 1e-4, 2.0);
+  EXPECT_TRUE(f.monitor.port_considered_isolated(0, 1, 3));
+  EXPECT_FALSE(f.monitor.port_considered_isolated(0, 1, 4));
+}
+
+TEST(HealthMonitor, ValidatesConfig) {
+  Fixture f;
+  HealthMonitor::Config bad;
+  bad.fail_after_missed = 0;
+  EXPECT_THROW(HealthMonitor(&f.recovery, bad), std::invalid_argument);
+  EXPECT_THROW(HealthMonitor(nullptr, HealthMonitor::Config{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::cluster

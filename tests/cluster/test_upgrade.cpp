@@ -1,0 +1,117 @@
+#include "cluster/upgrade.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::cluster {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+
+XgwHCluster make_cluster(std::size_t primaries) {
+  XgwHCluster::Config config;
+  config.primary_devices = primaries;
+  config.backup_devices = 0;
+  XgwHCluster cluster(config);
+  cluster.install_route(10, IpPrefix::must_parse("10.0.0.0/8"),
+                        {RouteScope::kLocal, 0, {}});
+  cluster.install_mapping({10, IpAddr::must_parse("10.0.0.2")},
+                          {net::Ipv4Addr(172, 16, 0, 1)});
+  return cluster;
+}
+
+net::OverlayPacket sample() {
+  net::OverlayPacket pkt;
+  pkt.vni = 10;
+  pkt.inner.src = IpAddr::must_parse("10.0.0.1");
+  pkt.inner.dst = IpAddr::must_parse("10.0.0.2");
+  pkt.payload_size = 64;
+  return pkt;
+}
+
+TEST(RollingUpgrade, UpgradesEveryPrimaryOneAtATime) {
+  XgwHCluster cluster = make_cluster(3);
+  RollingUpgrade roll;
+  int upgrades = 0;
+  std::size_t max_drained = 0;
+  const auto result = roll.run(
+      cluster,
+      [&](xgwh::XgwH&) {
+        ++upgrades;
+        // While this device is drained, traffic must still flow.
+        max_drained = std::max(
+            max_drained, cluster.device_count() -
+                             cluster.live_device_count());
+        EXPECT_EQ(cluster.process(sample()).action,
+                  xgwh::ForwardAction::kForwardToNc);
+        return true;
+      },
+      [](const XgwHCluster&) { return true; });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(upgrades, 3);
+  EXPECT_EQ(max_drained, 1u);  // never more than one device out
+  EXPECT_EQ(cluster.live_device_count(), 3u);
+  for (const auto& step : result.steps) {
+    EXPECT_TRUE(step.upgraded);
+    EXPECT_TRUE(step.health_ok);
+  }
+}
+
+TEST(RollingUpgrade, AbortsOnUpgradeFailureAndRestoresFleet) {
+  XgwHCluster cluster = make_cluster(3);
+  RollingUpgrade roll;
+  int attempts = 0;
+  const auto result = roll.run(
+      cluster, [&](xgwh::XgwH&) { return ++attempts != 2; },
+      [](const XgwHCluster&) { return true; });
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("device 1"), std::string::npos);
+  EXPECT_EQ(result.steps.size(), 2u);
+  // The fleet is whole again — device 1 simply runs the old version.
+  EXPECT_EQ(cluster.live_device_count(), 3u);
+  EXPECT_EQ(cluster.process(sample()).action,
+            xgwh::ForwardAction::kForwardToNc);
+}
+
+TEST(RollingUpgrade, AbortsOnHealthGate) {
+  XgwHCluster cluster = make_cluster(2);
+  RollingUpgrade roll;
+  const auto result =
+      roll.run(cluster, [](xgwh::XgwH&) { return true; },
+               [](const XgwHCluster&) { return false; });
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("health gate"), std::string::npos);
+  EXPECT_EQ(cluster.live_device_count(), 2u);
+}
+
+TEST(RollingUpgrade, RespectsMinLiveDevices) {
+  XgwHCluster cluster = make_cluster(1);
+  RollingUpgrade::Config config;
+  config.min_live_devices = 1;
+  RollingUpgrade roll(config);
+  const auto result =
+      roll.run(cluster, [](xgwh::XgwH&) { return true; },
+               [](const XgwHCluster&) { return true; });
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("not enough live"),
+            std::string::npos);
+  EXPECT_EQ(cluster.live_device_count(), 1u);
+}
+
+TEST(RollingUpgrade, SkipsRollWhenDeviceAlreadyDown) {
+  XgwHCluster cluster = make_cluster(3);
+  cluster.fail_device(1);
+  RollingUpgrade roll;
+  int upgrades = 0;
+  const auto result = roll.run(
+      cluster, [&](xgwh::XgwH&) { return ++upgrades > 0; },
+      [](const XgwHCluster&) { return true; });
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.abort_reason.find("unhealthy before roll"),
+            std::string::npos);
+  EXPECT_EQ(upgrades, 1);  // device 0 done, stopped at device 1
+}
+
+}  // namespace
+}  // namespace sf::cluster

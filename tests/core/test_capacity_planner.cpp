@@ -1,0 +1,63 @@
+#include "core/capacity_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::core {
+namespace {
+
+TEST(CapacityPlanner, ReproducesPaperWorkedExample) {
+  // §2.3: 15 Tbps / 100 Gbps at 50% water level, doubled for 1:1 backup
+  // -> 600 boxes at O($10K) -> O($10M)... then §4.2: ~10 XGW-H + ~4
+  // XGW-x86, > 90% cheaper.
+  const auto plan = plan_region(RegionRequirements{}, NodeEconomics{});
+  EXPECT_EQ(plan.x86_only.nodes, 600u);
+  EXPECT_NEAR(plan.x86_only.cost, 6e6, 1);
+  EXPECT_EQ(plan.sailfish_hardware.nodes, 20u);  // 10 primaries + backup
+  EXPECT_EQ(plan.sailfish_software.nodes, 4u);   // 2 + backup
+  EXPECT_GT(plan.cost_reduction, 0.9);
+}
+
+TEST(CapacityPlanner, EcmpCapPartitionsTheX86Fleet) {
+  const auto plan = plan_region(RegionRequirements{}, NodeEconomics{});
+  // 300 primaries / 64 next-hops -> 5 clusters (§2.3's "partitioned into
+  // multiple smaller clusters behind different load balancers").
+  EXPECT_EQ(plan.x86_only.clusters, 5u);
+  EXPECT_EQ(plan.sailfish_hardware.clusters, 1u);
+}
+
+TEST(CapacityPlanner, TableCapacityCanDominateSizing) {
+  // §6.2 "long-term viability": entries growing without traffic growth
+  // erode the advantage — the hardware fleet is then sized by memory.
+  RegionRequirements requirements;
+  requirements.traffic_bps = 5e12;
+  requirements.table_entries = 20'000'000;  // 10 clusters' worth
+  const auto plan = plan_region(requirements, NodeEconomics{});
+  // Traffic alone needs ceil(5T / 1.6T) = 4 primaries; entries need 10.
+  EXPECT_EQ(plan.sailfish_hardware.nodes, 20u);
+}
+
+TEST(CapacityPlanner, BackupDoublingIsOptional) {
+  RegionRequirements requirements;
+  requirements.backup_1_to_1 = false;
+  const auto plan = plan_region(requirements, NodeEconomics{});
+  EXPECT_EQ(plan.x86_only.nodes, 300u);
+}
+
+TEST(CapacityPlanner, CostReductionShrinksIfHardwarePricier) {
+  NodeEconomics economics;
+  economics.xgwh_unit_cost = 100'000;  // 10x an x86 box
+  const auto plan = plan_region(RegionRequirements{}, economics);
+  EXPECT_LT(plan.cost_reduction, 0.9);
+  EXPECT_GT(plan.cost_reduction, 0.0);
+}
+
+TEST(CapacityPlanner, RejectsBadRequirements) {
+  RegionRequirements bad;
+  bad.water_level = 0;
+  EXPECT_THROW(plan_region(bad, NodeEconomics{}), std::invalid_argument);
+  bad.water_level = 1.5;
+  EXPECT_THROW(plan_region(bad, NodeEconomics{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::core

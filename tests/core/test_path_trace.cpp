@@ -1,0 +1,135 @@
+#include "core/path_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sailfish.hpp"
+
+namespace sf::core {
+namespace {
+
+SailfishSystem make_small() {
+  auto options = quickstart_options();
+  options.flows.flow_count = 400;
+  return make_system(options);
+}
+
+net::OverlayPacket packet_for(const workload::Flow& flow) {
+  net::OverlayPacket pkt;
+  pkt.vni = flow.vni;
+  pkt.inner = flow.tuple;
+  pkt.payload_size = 128;
+  return pkt;
+}
+
+TEST(PathTrace, HardwarePathTellsTheWholeStory) {
+  SailfishSystem system = make_small();
+  const workload::Flow* east_west = nullptr;
+  for (const auto& flow : system.flows) {
+    if (flow.scope == tables::RouteScope::kLocal) {
+      east_west = &flow;
+      break;
+    }
+  }
+  ASSERT_NE(east_west, nullptr);
+  const PathTrace trace =
+      trace_packet(*system.region, packet_for(*east_west));
+  EXPECT_EQ(trace.result.path,
+            SailfishRegion::RegionResult::Path::kHardwareForwarded);
+  ASSERT_GE(trace.hops.size(), 4u);
+  EXPECT_EQ(trace.hops[0].where, "vni-director");
+  EXPECT_NE(trace.hops[1].where.find("ecmp"), std::string::npos);
+  EXPECT_EQ(trace.hops[2].where, "xgw-h");
+  EXPECT_NE(trace.hops[2].detail.find("2 pipeline pass(es)"),
+            std::string::npos);
+  EXPECT_NE(trace.hops[3].detail.find(east_west->dst_nc.to_string()),
+            std::string::npos);
+}
+
+TEST(PathTrace, MatchesProcessOutcome) {
+  SailfishSystem system = make_small();
+  for (std::size_t i = 0; i < system.flows.size(); i += 23) {
+    const auto pkt = packet_for(system.flows[i]);
+    const auto traced = trace_packet(*system.region, pkt, 1.0);
+    const auto processed = system.region->process(pkt, 1.0);
+    EXPECT_EQ(traced.result.path, processed.path);
+    EXPECT_EQ(traced.result.packet.outer_dst_ip,
+              processed.packet.outer_dst_ip);
+  }
+}
+
+TEST(PathTrace, SnatPathRecordsBinding) {
+  SailfishSystem system = make_small();
+  const workload::Flow* internet = nullptr;
+  for (const auto& flow : system.flows) {
+    if (flow.scope == tables::RouteScope::kInternet) {
+      internet = &flow;
+      break;
+    }
+  }
+  ASSERT_NE(internet, nullptr);
+  const PathTrace trace =
+      trace_packet(*system.region, packet_for(*internet), 1.0);
+  EXPECT_EQ(trace.result.path,
+            SailfishRegion::RegionResult::Path::kSoftwareSnat);
+  bool saw_snat = false;
+  for (const auto& hop : trace.hops) {
+    if (hop.where == "xgw-x86" &&
+        hop.detail.find("SNAT") != std::string::npos) {
+      saw_snat = true;
+    }
+  }
+  EXPECT_TRUE(saw_snat);
+}
+
+TEST(PathTrace, UnknownVniStopsAtDirector) {
+  SailfishSystem system = make_small();
+  net::OverlayPacket pkt;
+  pkt.vni = 0xabcdef;
+  pkt.inner.src = net::IpAddr::must_parse("10.0.0.1");
+  pkt.inner.dst = net::IpAddr::must_parse("10.0.0.2");
+  const PathTrace trace = trace_packet(*system.region, pkt);
+  EXPECT_EQ(trace.result.path,
+            SailfishRegion::RegionResult::Path::kDropped);
+  ASSERT_EQ(trace.hops.size(), 1u);
+  EXPECT_EQ(trace.hops[0].where, "vni-director");
+}
+
+TEST(PathTrace, RendersReadableText) {
+  SailfishSystem system = make_small();
+  const PathTrace trace =
+      trace_packet(*system.region, packet_for(system.flows.front()));
+  const std::string text = trace.to_string();
+  EXPECT_NE(text.find("[1] vni-director"), std::string::npos);
+  EXPECT_NE(text.find("=>"), std::string::npos);
+}
+
+TEST(PathTrace, FailedOverClusterIsVisible) {
+  SailfishSystem system = make_small();
+  auto& cluster = system.region->controller().cluster(0);
+  for (std::size_t d = 0; d < cluster.config().primary_devices; ++d) {
+    cluster.fail_device(d);
+  }
+  const workload::Flow* east_west = nullptr;
+  for (const auto& flow : system.flows) {
+    if (flow.scope == tables::RouteScope::kLocal &&
+        system.region->controller().cluster_for(flow.vni) == 0u) {
+      east_west = &flow;
+      break;
+    }
+  }
+  ASSERT_NE(east_west, nullptr);
+  const PathTrace trace =
+      trace_packet(*system.region, packet_for(*east_west));
+  bool noted = false;
+  for (const auto& hop : trace.hops) {
+    if (hop.detail.find("serving from backups") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+  EXPECT_EQ(trace.result.path,
+            SailfishRegion::RegionResult::Path::kHardwareForwarded);
+}
+
+}  // namespace
+}  // namespace sf::core

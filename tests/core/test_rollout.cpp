@@ -1,0 +1,78 @@
+#include "core/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sailfish.hpp"
+
+namespace sf::core {
+namespace {
+
+TEST(FleetInstall, SoftwareFleetTakesHoursHardwareMinutes) {
+  // §2.3: > 10 minutes per XGW-x86 at ~3000 entries/s for a 2M-entry set;
+  // a 600-box fleet with 20 parallel install streams takes hours, while
+  // the ten-XGW-H Sailfish fleet converges in minutes.
+  const double per_x86_node = fleet_install_seconds(1, 2'000'000, 3000, 1);
+  EXPECT_GT(per_x86_node, 600.0);  // the paper's ">10 minutes"
+
+  const double x86_fleet = fleet_install_seconds(600, 2'000'000, 3000, 20);
+  const double sailfish_fleet = fleet_install_seconds(10, 2'000'000, 3000, 10);
+  EXPECT_GT(x86_fleet, 4 * 3600.0);
+  EXPECT_LT(sailfish_fleet, 3600.0);
+  EXPECT_GT(x86_fleet / sailfish_fleet, 10.0);
+}
+
+TEST(FleetInstall, RejectsDegenerateArguments) {
+  EXPECT_THROW(fleet_install_seconds(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(fleet_install_seconds(1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(fleet_install_seconds(1, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(RolloutManager, HealthyRegionAdmitsFully) {
+  SailfishSystem system = make_system(quickstart_options());
+  RolloutManager rollout;
+  const auto stages =
+      rollout.admit_traffic(*system.region, system.flows, 1e12);
+  ASSERT_EQ(stages.size(), rollout.config().admission_steps.size());
+  for (const auto& stage : stages) {
+    EXPECT_TRUE(stage.passed) << stage.fraction;
+  }
+  EXPECT_TRUE(
+      RolloutManager::fully_admitted(stages, rollout.config()));
+  // Fractions ramp as configured.
+  EXPECT_DOUBLE_EQ(stages.front().fraction, 0.01);
+  EXPECT_DOUBLE_EQ(stages.back().fraction, 1.0);
+}
+
+TEST(RolloutManager, HaltsWhenHealthGateFails) {
+  SailfishSystem system = make_system(quickstart_options());
+  RolloutManager::Config config;
+  config.admission_steps = {0.1, 1.0, 2.0, 4.0};
+  // A gate below the hardware loss floor fails immediately after the
+  // region starts dropping for real (overload at absurd multiples).
+  config.max_drop_rate = 1e-9;
+  RolloutManager rollout(config);
+  // Offer far beyond the quickstart region's capacity so late stages drop.
+  const auto stages =
+      rollout.admit_traffic(*system.region, system.flows, 40e12);
+  ASSERT_FALSE(stages.empty());
+  EXPECT_LT(stages.size(), config.admission_steps.size());
+  EXPECT_FALSE(stages.back().passed);
+  EXPECT_FALSE(RolloutManager::fully_admitted(stages, config));
+  // Every stage before the failing one passed.
+  for (std::size_t i = 0; i + 1 < stages.size(); ++i) {
+    EXPECT_TRUE(stages[i].passed);
+  }
+}
+
+TEST(RolloutManager, OfferedLoadScalesWithFraction) {
+  SailfishSystem system = make_system(quickstart_options());
+  RolloutManager rollout;
+  const auto stages =
+      rollout.admit_traffic(*system.region, system.flows, 2e12);
+  for (const auto& stage : stages) {
+    EXPECT_DOUBLE_EQ(stage.offered_bps, 2e12 * stage.fraction);
+  }
+}
+
+}  // namespace
+}  // namespace sf::core

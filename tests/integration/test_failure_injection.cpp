@@ -1,0 +1,96 @@
+// Failure-injection properties over the whole region: under any sequence
+// of device failures/recoveries that leaves at least one live device per
+// cluster, forwarding stays correct (right NC, no false drops) and the
+// consistency audit keeps passing. Parameterized over injection seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/sailfish.hpp"
+#include "workload/rng.hpp"
+
+namespace sf {
+namespace {
+
+class FailureInjectionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+core::SailfishSystem make_system_under_test() {
+  auto options = core::quickstart_options();
+  options.region.controller.cluster_template.primary_devices = 3;
+  options.region.controller.cluster_template.backup_devices = 3;
+  options.flows.flow_count = 500;
+  return core::make_system(options);
+}
+
+net::OverlayPacket packet_for(const workload::Flow& flow) {
+  net::OverlayPacket pkt;
+  pkt.vni = flow.vni;
+  pkt.inner = flow.tuple;
+  pkt.payload_size = 96;
+  return pkt;
+}
+
+void verify_forwarding(core::SailfishSystem& system, int samples) {
+  int checked = 0;
+  for (const workload::Flow& flow : system.flows) {
+    if (flow.scope == tables::RouteScope::kInternet) continue;
+    const auto result = system.region->process(packet_for(flow));
+    ASSERT_EQ(result.path,
+              core::SailfishRegion::RegionResult::Path::kHardwareForwarded)
+        << result.drop_reason;
+    ASSERT_EQ(result.packet.outer_dst_ip, net::IpAddr(flow.dst_nc));
+    if (++checked >= samples) break;
+  }
+  ASSERT_GT(checked, 0);
+}
+
+TEST_P(FailureInjectionTest, ForwardingSurvivesChaoticFailures) {
+  core::SailfishSystem system = make_system_under_test();
+  workload::Rng rng(GetParam());
+  auto& controller = system.region->controller();
+  auto& recovery = system.region->disaster_recovery();
+
+  // Track health so we never exceed what the design tolerates (some
+  // device must serve each cluster — primaries or hot-standby backups).
+  const std::size_t clusters = controller.cluster_count();
+  std::vector<std::vector<bool>> down(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    down[c].resize(controller.cluster(c).device_count(), false);
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t c = rng.uniform(clusters);
+    auto& cluster_down = down[c];
+    const std::size_t d = rng.uniform(cluster_down.size());
+    const std::size_t down_count = static_cast<std::size_t>(
+        std::count(cluster_down.begin(), cluster_down.end(), true));
+    if (!cluster_down[d] && down_count + 1 < cluster_down.size()) {
+      recovery.on_device_failure(c, d, step);
+      cluster_down[d] = true;
+    } else if (cluster_down[d]) {
+      recovery.on_device_recovery(c, d, step);
+      cluster_down[d] = false;
+    }
+    if (step % 10 == 0) verify_forwarding(system, 15);
+  }
+
+  // Full recovery restores the primary serving set.
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t d = 0; d < down[c].size(); ++d) {
+      if (down[c][d]) recovery.on_device_recovery(c, d, 1000);
+    }
+    EXPECT_FALSE(controller.cluster(c).failed_over());
+  }
+  verify_forwarding(system, 40);
+
+  // Tables never drifted through all the churn.
+  for (std::size_t c = 0; c < clusters; ++c) {
+    EXPECT_EQ(controller.check_consistency(c).missing_on_device, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureInjectionTest,
+                         ::testing::Values(81, 82, 83));
+
+}  // namespace
+}  // namespace sf

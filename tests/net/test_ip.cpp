@@ -1,0 +1,165 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::net {
+namespace {
+
+TEST(Ipv4Addr, ParsesDottedQuad) {
+  auto addr = Ipv4Addr::parse("192.168.10.3");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xc0a80a03u);
+}
+
+TEST(Ipv4Addr, RoundTripsToString) {
+  for (const char* text : {"0.0.0.0", "10.1.1.11", "255.255.255.255"}) {
+    EXPECT_EQ(Ipv4Addr::must_parse(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4Addr, RejectsMalformedInput) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1..2.3", "a.b.c.d",
+        "1.2.3.4 ", "01.2.3.4", "-1.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Addr::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Addr, MustParseThrowsOnGarbage) {
+  EXPECT_THROW(Ipv4Addr::must_parse("not-an-ip"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Addr(10, 1, 1, 11), Ipv4Addr::must_parse("10.1.1.11"));
+}
+
+TEST(Ipv6Addr, ParsesFullForm) {
+  auto addr = Ipv6Addr::parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 1u);
+}
+
+TEST(Ipv6Addr, ParsesCompressedForms) {
+  EXPECT_EQ(Ipv6Addr::must_parse("::"), Ipv6Addr(0, 0));
+  EXPECT_EQ(Ipv6Addr::must_parse("::1"), Ipv6Addr(0, 1));
+  EXPECT_EQ(Ipv6Addr::must_parse("2001:db8::1"),
+            Ipv6Addr(0x20010db800000000ULL, 1));
+  EXPECT_EQ(Ipv6Addr::must_parse("fe80::"),
+            Ipv6Addr(0xfe80000000000000ULL, 0));
+}
+
+TEST(Ipv6Addr, ParsesMappedV4Form) {
+  auto addr = Ipv6Addr::parse("::ffff:10.1.2.3");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv6Addr::mapped(Ipv4Addr(10, 1, 2, 3)));
+}
+
+TEST(Ipv6Addr, RejectsMalformedInput) {
+  for (const char* text :
+       {"", ":::", "2001:db8", "1:2:3:4:5:6:7:8:9", "2001::db8::1",
+        "12345::", "g::1", "1:2:3:4:5:6:7:8::"}) {
+    EXPECT_FALSE(Ipv6Addr::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv6Addr, FormatsRfc5952) {
+  EXPECT_EQ(Ipv6Addr(0, 0).to_string(), "::");
+  EXPECT_EQ(Ipv6Addr(0, 1).to_string(), "::1");
+  EXPECT_EQ(Ipv6Addr::must_parse("2001:db8::8:800:200c:417a").to_string(),
+            "2001:db8::8:800:200c:417a");
+  // Leftmost longest zero run wins.
+  EXPECT_EQ(Ipv6Addr::must_parse("1:0:0:1:0:0:0:1").to_string(),
+            "1:0:0:1::1");
+}
+
+TEST(Ipv6Addr, TextRoundTripIsStable) {
+  for (const char* text :
+       {"::", "::1", "2001:db8::1", "fe80::1:2:3:4", "1:2:3:4:5:6:7:8"}) {
+    const Ipv6Addr addr = Ipv6Addr::must_parse(text);
+    EXPECT_EQ(Ipv6Addr::must_parse(addr.to_string()), addr) << text;
+  }
+}
+
+TEST(Ipv6Addr, BytesRoundTrip) {
+  const Ipv6Addr addr = Ipv6Addr::must_parse("2001:db8::42");
+  EXPECT_EQ(Ipv6Addr::from_bytes(addr.bytes()), addr);
+}
+
+TEST(Ipv6Addr, BitIndexing) {
+  const Ipv6Addr addr(0x8000000000000000ULL, 1);
+  EXPECT_TRUE(addr.bit(0));
+  EXPECT_FALSE(addr.bit(1));
+  EXPECT_TRUE(addr.bit(127));
+  EXPECT_FALSE(addr.bit(126));
+}
+
+TEST(IpAddr, DispatchesByFamily) {
+  const IpAddr v4 = IpAddr::must_parse("10.0.0.1");
+  const IpAddr v6 = IpAddr::must_parse("2001:db8::1");
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_TRUE(v6.is_v6());
+  EXPECT_EQ(v4.to_string(), "10.0.0.1");
+  EXPECT_EQ(v6.to_string(), "2001:db8::1");
+}
+
+TEST(IpAddr, WidenedZeroExtendsV4) {
+  const IpAddr v4 = IpAddr::must_parse("1.2.3.4");
+  EXPECT_EQ(v4.widened().hi(), 0u);
+  EXPECT_EQ(v4.widened().lo(), 0x01020304u);
+}
+
+TEST(IpAddr, DifferentFamiliesCompareUnequal) {
+  // 0.0.0.1 widened equals ::1 bitwise; the family must still separate.
+  EXPECT_NE(IpAddr(Ipv4Addr(1)), IpAddr(Ipv6Addr(0, 1)));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix prefix(Ipv4Addr::must_parse("192.168.10.99"), 24);
+  EXPECT_EQ(prefix.address().to_string(), "192.168.10.0");
+  EXPECT_EQ(prefix.to_string(), "192.168.10.0/24");
+}
+
+TEST(Ipv4Prefix, ContainsMatchesMask) {
+  const Ipv4Prefix prefix = Ipv4Prefix::must_parse("10.1.0.0/16");
+  EXPECT_TRUE(prefix.contains(Ipv4Addr::must_parse("10.1.255.3")));
+  EXPECT_FALSE(prefix.contains(Ipv4Addr::must_parse("10.2.0.1")));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix all = Ipv4Prefix::must_parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Addr::must_parse("255.255.255.255")));
+  EXPECT_EQ(all.mask(), 0u);
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_THROW(Ipv4Prefix(Ipv4Addr(0), 33), std::invalid_argument);
+}
+
+TEST(Ipv6Prefix, CanonicalizesAndContains) {
+  const Ipv6Prefix prefix = Ipv6Prefix::must_parse("2001:db8:0:1::/64");
+  EXPECT_TRUE(prefix.contains(Ipv6Addr::must_parse("2001:db8:0:1::99")));
+  EXPECT_FALSE(prefix.contains(Ipv6Addr::must_parse("2001:db8:0:2::1")));
+}
+
+TEST(Ipv6Prefix, Length65MasksIntoLowWord) {
+  const Ipv6Prefix prefix(Ipv6Addr::must_parse("2001:db8::8000:0:0:0"), 65);
+  EXPECT_TRUE(prefix.contains(Ipv6Addr::must_parse("2001:db8::8000:0:0:1")));
+  EXPECT_FALSE(prefix.contains(Ipv6Addr::must_parse("2001:db8::1")));
+}
+
+TEST(IpPrefix, PooledLengthAddsV4Offset) {
+  EXPECT_EQ(IpPrefix::must_parse("10.0.0.0/24").pooled_length(), 96u + 24u);
+  EXPECT_EQ(IpPrefix::must_parse("2001:db8::/64").pooled_length(), 64u);
+}
+
+TEST(IpPrefix, ContainsIsFamilyAware) {
+  const IpPrefix v4 = IpPrefix::must_parse("10.0.0.0/8");
+  EXPECT_TRUE(v4.contains(IpAddr::must_parse("10.9.9.9")));
+  EXPECT_FALSE(v4.contains(IpAddr::must_parse("2001:db8::1")));
+}
+
+}  // namespace
+}  // namespace sf::net

@@ -1,0 +1,142 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace sf::net {
+namespace {
+
+OverlayPacket sample_packet() {
+  OverlayPacket pkt;
+  pkt.outer_src_mac = MacAddr::must_parse("02:00:00:00:00:01");
+  pkt.outer_dst_mac = MacAddr::must_parse("02:00:00:00:00:02");
+  pkt.outer_src_ip = IpAddr::must_parse("10.0.0.5");
+  pkt.outer_dst_ip = IpAddr::must_parse("10.1.1.12");
+  pkt.outer_udp_src_port = 33333;
+  pkt.vni = 5001;
+  pkt.inner_src_mac = MacAddr::must_parse("02:00:00:00:01:01");
+  pkt.inner_dst_mac = MacAddr::must_parse("02:00:00:00:01:02");
+  pkt.inner.src = IpAddr::must_parse("192.168.10.2");
+  pkt.inner.dst = IpAddr::must_parse("192.168.10.3");
+  pkt.inner.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  pkt.inner.src_port = 45000;
+  pkt.inner.dst_port = 443;
+  pkt.payload_size = 100;
+  return pkt;
+}
+
+TEST(Headers, EthernetRoundTrip) {
+  EthernetHeader hdr{MacAddr::must_parse("aa:bb:cc:dd:ee:ff"),
+                     MacAddr::must_parse("11:22:33:44:55:66"), 0x0800};
+  std::array<std::uint8_t, EthernetHeader::kSize> buf{};
+  hdr.write(buf);
+  auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, hdr.dst);
+  EXPECT_EQ(parsed->src, hdr.src);
+  EXPECT_EQ(parsed->ether_type, hdr.ether_type);
+}
+
+TEST(Headers, Ipv6RoundTrip) {
+  Ipv6Header hdr;
+  hdr.payload_length = 1234;
+  hdr.next_header = 17;
+  hdr.hop_limit = 7;
+  hdr.flow_label = 0xabcde;
+  hdr.src = Ipv6Addr::must_parse("2001:db8::1");
+  hdr.dst = Ipv6Addr::must_parse("2001:db8::2");
+  std::array<std::uint8_t, Ipv6Header::kSize> buf{};
+  hdr.write(buf);
+  auto parsed = Ipv6Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, hdr.src);
+  EXPECT_EQ(parsed->dst, hdr.dst);
+  EXPECT_EQ(parsed->flow_label, hdr.flow_label);
+  EXPECT_EQ(parsed->payload_length, hdr.payload_length);
+}
+
+TEST(Headers, VxlanRequiresVniFlag) {
+  VxlanHeader hdr{VxlanHeader::kFlagVni, 0xabcdef};
+  std::array<std::uint8_t, VxlanHeader::kSize> buf{};
+  hdr.write(buf);
+  auto parsed = VxlanHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->vni, 0xabcdefu);
+  buf[0] = 0;  // clear the I bit
+  EXPECT_FALSE(VxlanHeader::parse(buf).has_value());
+}
+
+TEST(Headers, ParseRejectsShortBuffers) {
+  std::array<std::uint8_t, 4> tiny{};
+  EXPECT_FALSE(EthernetHeader::parse(tiny).has_value());
+  EXPECT_FALSE(Ipv4Header::parse(tiny).has_value());
+  EXPECT_FALSE(Ipv6Header::parse(tiny).has_value());
+  EXPECT_FALSE(TcpHeader::parse(tiny).has_value());
+  EXPECT_FALSE(VxlanHeader::parse(tiny).has_value());
+}
+
+TEST(OverlayPacket, WireSizeAddsUp) {
+  const OverlayPacket pkt = sample_packet();
+  // eth(14)+ip4(20)+udp(8)+vxlan(8)+eth(14)+ip4(20)+tcp(20)+payload(100)
+  EXPECT_EQ(pkt.wire_size(), 14u + 20 + 8 + 8 + 14 + 20 + 20 + 100);
+}
+
+TEST(OverlayPacket, EncodeDecodeRoundTrip) {
+  const OverlayPacket pkt = sample_packet();
+  const std::vector<std::uint8_t> bytes = encode(pkt);
+  EXPECT_EQ(bytes.size(), pkt.wire_size());
+  auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vni, pkt.vni);
+  EXPECT_EQ(decoded->inner.src, pkt.inner.src);
+  EXPECT_EQ(decoded->inner.dst, pkt.inner.dst);
+  EXPECT_EQ(decoded->inner.src_port, pkt.inner.src_port);
+  EXPECT_EQ(decoded->inner.dst_port, pkt.inner.dst_port);
+  EXPECT_EQ(decoded->outer_src_ip, pkt.outer_src_ip);
+  EXPECT_EQ(decoded->outer_dst_ip, pkt.outer_dst_ip);
+  EXPECT_EQ(decoded->payload_size, pkt.payload_size);
+}
+
+TEST(OverlayPacket, EncodeDecodeRoundTripIpv6Inner) {
+  OverlayPacket pkt = sample_packet();
+  pkt.inner.src = IpAddr::must_parse("2001:db8::2");
+  pkt.inner.dst = IpAddr::must_parse("2001:db8::3");
+  pkt.inner.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  auto decoded = decode(encode(pkt));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->inner.src, pkt.inner.src);
+  EXPECT_EQ(decoded->inner.dst, pkt.inner.dst);
+}
+
+TEST(OverlayPacket, EncodedIpv4ChecksumsVerify) {
+  const std::vector<std::uint8_t> bytes = encode(sample_packet());
+  std::span<const std::uint8_t> outer_ip(bytes.data() + 14, 20);
+  EXPECT_TRUE(ipv4_header_checksum_ok(outer_ip));
+}
+
+TEST(OverlayPacket, DecodeRejectsNonVxlanPort) {
+  std::vector<std::uint8_t> bytes = encode(sample_packet());
+  // UDP dst port lives at offset 14 (eth) + 20 (ip) + 2.
+  bytes[14 + 20 + 2] = 0x12;
+  bytes[14 + 20 + 3] = 0x34;
+  // The IPv4 checksum does not cover UDP, so only the port check trips.
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(OverlayPacket, DecodeRejectsCorruptChecksum) {
+  std::vector<std::uint8_t> bytes = encode(sample_packet());
+  bytes[14 + 8] ^= 0xff;  // outer TTL: breaks the header checksum
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(OverlayPacket, DecodeRejectsTruncation) {
+  const std::vector<std::uint8_t> bytes = encode(sample_packet());
+  for (std::size_t cut : {5ul, 20ul, 40ul, 60ul, 80ul}) {
+    std::span<const std::uint8_t> truncated(bytes.data(), cut);
+    EXPECT_FALSE(decode(truncated).has_value()) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace sf::net

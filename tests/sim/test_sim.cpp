@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+#include "sim/table_printer.hpp"
+#include "sim/timeseries.hpp"
+
+namespace sf::sim {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const double values[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_NEAR(stddev(values), 2.138, 0.01);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  std::span<const double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(stddev(empty), 0.0);
+  EXPECT_EQ(percentile(empty, 50), 0.0);
+  EXPECT_EQ(fairness_index(empty), 1.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double values[] = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const double values[] = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(Stats, FairnessIndexBounds) {
+  const double balanced[] = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(fairness_index(balanced), 1.0);
+  const double skewed[] = {20, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(fairness_index(skewed), 0.25);  // 1/n when one-hot
+}
+
+TEST(TimeSeries, RecordsAndSummarizes) {
+  TimeSeries series("drop_rate");
+  for (int i = 0; i < 10; ++i) series.record(i, i * 1.0);
+  EXPECT_EQ(series.points().size(), 10u);
+  EXPECT_DOUBLE_EQ(series.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(series.max_value(), 9.0);
+  EXPECT_DOUBLE_EQ(series.mean_value(), 4.5);
+}
+
+TEST(TimeSeries, DownsampleAverages) {
+  TimeSeries series("s");
+  for (int i = 0; i < 100; ++i) series.record(i, 1.0);
+  const auto samples = series.downsample(10);
+  ASSERT_EQ(samples.size(), 10u);
+  for (double v : samples) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(TimeSeries, SparklineRendersSomething) {
+  TimeSeries series("load");
+  for (int i = 0; i < 50; ++i) series.record(i, i % 7);
+  const std::string line = sparkline(series, 40);
+  EXPECT_NE(line.find("load:"), std::string::npos);
+  EXPECT_NE(line.find("max"), std::string::npos);
+}
+
+TEST(TimeSeries, CsvHasHeaderAndRows) {
+  TimeSeries a("a");
+  TimeSeries b("b");
+  a.record(0, 1);
+  a.record(1, 2);
+  b.record(0, 3);
+  const std::string csv = to_csv({&a, &b});
+  EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,3"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsMissingCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_percent(0.1234), "12.3%");
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+  EXPECT_EQ(format_si(3.2e12, "bps"), "3.2 Tbps");
+  EXPECT_EQ(format_si(25e6, "pps"), "25 Mpps");
+}
+
+}  // namespace
+}  // namespace sf::sim

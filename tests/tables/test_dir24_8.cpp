@@ -1,0 +1,141 @@
+#include "tables/dir24_8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tables/lpm_trie.hpp"
+#include "workload/rng.hpp"
+
+namespace sf::tables {
+namespace {
+
+using net::Ipv4Addr;
+using net::Ipv4Prefix;
+
+TEST(Dir24_8, BasicLongestMatch) {
+  Dir24_8 lpm;
+  EXPECT_TRUE(lpm.insert(Ipv4Prefix::must_parse("10.0.0.0/8"), 8));
+  EXPECT_TRUE(lpm.insert(Ipv4Prefix::must_parse("10.1.0.0/16"), 16));
+  EXPECT_TRUE(lpm.insert(Ipv4Prefix::must_parse("10.1.2.0/24"), 24));
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.1.2.3")), 24u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.1.9.9")), 16u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.9.9.9")), 8u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("11.0.0.1")), std::nullopt);
+}
+
+TEST(Dir24_8, HostRoutesUseSecondLevel) {
+  Dir24_8 lpm;
+  EXPECT_EQ(lpm.group_count(), 0u);
+  lpm.insert(Ipv4Prefix::must_parse("192.168.1.0/24"), 100);
+  EXPECT_EQ(lpm.group_count(), 0u);  // /24 stays in level 1
+  lpm.insert(Ipv4Prefix::must_parse("192.168.1.5/32"), 200);
+  EXPECT_EQ(lpm.group_count(), 1u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("192.168.1.5")), 200u);
+  // The /24 still covers the rest of the group.
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("192.168.1.6")), 100u);
+}
+
+TEST(Dir24_8, GroupCollapsesWhenDeepRoutesLeave) {
+  Dir24_8 lpm;
+  lpm.insert(Ipv4Prefix::must_parse("192.168.1.0/24"), 100);
+  lpm.insert(Ipv4Prefix::must_parse("192.168.1.128/25"), 200);
+  EXPECT_EQ(lpm.group_count(), 1u);
+  EXPECT_TRUE(lpm.remove(Ipv4Prefix::must_parse("192.168.1.128/25")));
+  EXPECT_EQ(lpm.group_count(), 0u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("192.168.1.200")), 100u);
+}
+
+TEST(Dir24_8, RemoveExposesCover) {
+  Dir24_8 lpm;
+  lpm.insert(Ipv4Prefix::must_parse("10.0.0.0/8"), 8);
+  lpm.insert(Ipv4Prefix::must_parse("10.1.0.0/16"), 16);
+  EXPECT_TRUE(lpm.remove(Ipv4Prefix::must_parse("10.1.0.0/16")));
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.1.1.1")), 8u);
+  EXPECT_FALSE(lpm.remove(Ipv4Prefix::must_parse("10.1.0.0/16")));
+  EXPECT_EQ(lpm.route_count(), 1u);
+}
+
+TEST(Dir24_8, DeepRemoveExposesDeeperCoverInsideGroup) {
+  Dir24_8 lpm;
+  lpm.insert(Ipv4Prefix::must_parse("10.1.2.0/25"), 25);
+  lpm.insert(Ipv4Prefix::must_parse("10.1.2.0/26"), 26);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.1.2.1")), 26u);
+  EXPECT_TRUE(lpm.remove(Ipv4Prefix::must_parse("10.1.2.0/26")));
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.1.2.1")), 25u);
+}
+
+TEST(Dir24_8, DefaultRoute) {
+  Dir24_8 lpm;
+  lpm.insert(Ipv4Prefix::must_parse("0.0.0.0/0"), 7);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("203.0.113.9")), 7u);
+  lpm.remove(Ipv4Prefix::must_parse("0.0.0.0/0"));
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("203.0.113.9")), std::nullopt);
+}
+
+TEST(Dir24_8, ReplaceUpdatesValue) {
+  Dir24_8 lpm;
+  lpm.insert(Ipv4Prefix::must_parse("10.0.0.0/8"), 1);
+  lpm.insert(Ipv4Prefix::must_parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(lpm.route_count(), 1u);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr::must_parse("10.0.0.1")), 2u);
+}
+
+TEST(Dir24_8, RejectsOversizedValues) {
+  Dir24_8 lpm;
+  EXPECT_FALSE(lpm.insert(Ipv4Prefix::must_parse("10.0.0.0/8"),
+                          Dir24_8::kMaxValue + 1));
+  EXPECT_EQ(lpm.route_count(), 0u);
+}
+
+TEST(Dir24_8, FuzzAgainstTrie) {
+  Dir24_8 lpm;
+  LpmTrie<std::uint32_t> trie;
+  workload::Rng rng(55);
+
+  struct Installed {
+    Ipv4Prefix prefix;
+  };
+  std::vector<Installed> installed;
+
+  // Cluster prefixes in a small region of the space so the fuzz exercises
+  // overlapping covers, group churn and collapses.
+  auto random_prefix = [&]() {
+    const unsigned length = 8 + static_cast<unsigned>(rng.uniform(25));
+    const std::uint32_t addr =
+        (10u << 24) | (static_cast<std::uint32_t>(rng.uniform(4)) << 16) |
+        (static_cast<std::uint32_t>(rng.uniform(16)) << 8) |
+        static_cast<std::uint32_t>(rng.uniform(256));
+    return Ipv4Prefix(Ipv4Addr(addr), length);
+  };
+
+  for (int op = 0; op < 3'000; ++op) {
+    const int roll = static_cast<int>(rng.uniform(10));
+    if (roll < 6 || installed.empty()) {
+      const Ipv4Prefix prefix = random_prefix();
+      const std::uint32_t value =
+          static_cast<std::uint32_t>(rng.uniform(1 << 24));
+      lpm.insert(prefix, value);
+      trie.insert(0, prefix, value);
+      installed.push_back({prefix});
+    } else {
+      const std::size_t victim = rng.uniform(installed.size());
+      const Ipv4Prefix prefix = installed[victim].prefix;
+      EXPECT_EQ(lpm.remove(prefix), trie.remove(0, prefix));
+      installed.erase(installed.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    }
+    if (op % 50 == 0) {
+      for (int probe = 0; probe < 30; ++probe) {
+        const Ipv4Addr addr(
+            (10u << 24) |
+            (static_cast<std::uint32_t>(rng.uniform(4)) << 16) |
+            static_cast<std::uint32_t>(rng.uniform(1 << 16)));
+        EXPECT_EQ(lpm.lookup(addr), trie.lookup(0, net::IpAddr(addr)))
+            << addr.to_string();
+      }
+    }
+  }
+  EXPECT_EQ(lpm.route_count(), trie.size());
+}
+
+}  // namespace
+}  // namespace sf::tables

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "tables/exact_table.hpp"
+#include "tables/masked_key_map.hpp"
+
+namespace sf::tables {
+namespace {
+
+struct IdentityHasher {
+  std::uint64_t operator()(std::uint64_t key) const { return key; }
+};
+
+TEST(ExactTable, InsertLookupErase) {
+  ExactTable<std::uint64_t, int> table({16, 4});
+  EXPECT_TRUE(table.insert(1, 100));
+  EXPECT_TRUE(table.insert(2, 200));
+  EXPECT_EQ(table.lookup(1), 100);
+  EXPECT_EQ(table.lookup(2), 200);
+  EXPECT_EQ(table.lookup(3), std::nullopt);
+  EXPECT_TRUE(table.erase(1));
+  EXPECT_FALSE(table.erase(1));
+  EXPECT_EQ(table.lookup(1), std::nullopt);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ExactTable, InsertReplacesExistingKey) {
+  ExactTable<std::uint64_t, int> table({16, 4});
+  table.insert(1, 100);
+  EXPECT_TRUE(table.insert(1, 101));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(1), 101);
+}
+
+TEST(ExactTable, BucketOverflowFailsInsert) {
+  // Identity hash + 1 bucket: every key collides; ways bound insertions.
+  ExactTable<std::uint64_t, int, IdentityHasher> table({1, 2});
+  EXPECT_TRUE(table.insert(10, 1));
+  EXPECT_TRUE(table.insert(20, 2));
+  EXPECT_FALSE(table.insert(30, 3));
+  EXPECT_EQ(table.stats().insert_failures, 1u);
+  // Freeing a way lets the next insert succeed.
+  EXPECT_TRUE(table.erase(10));
+  EXPECT_TRUE(table.insert(30, 3));
+}
+
+TEST(ExactTable, CapacityIsBucketsTimesWays) {
+  ExactTable<std::uint64_t, int> table({100, 4});  // rounds to 128 buckets
+  EXPECT_EQ(table.capacity(), 128u * 4u);
+}
+
+TEST(ExactTable, ForEachVisitsAllEntries) {
+  ExactTable<std::uint64_t, int> table({16, 4});
+  for (std::uint64_t k = 0; k < 10; ++k) table.insert(k, static_cast<int>(k));
+  std::size_t visited = 0;
+  std::uint64_t key_sum = 0;
+  table.for_each([&](const std::uint64_t& k, const int&) {
+    ++visited;
+    key_sum += k;
+  });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(key_sum, 45u);
+}
+
+TEST(ExactTable, RejectsZeroGeometry) {
+  using Table = ExactTable<std::uint64_t, int>;
+  EXPECT_THROW(Table({0, 4}), std::invalid_argument);
+  EXPECT_THROW(Table({16, 0}), std::invalid_argument);
+}
+
+TEST(MaskedKeyMap, LongestMatchAcrossDepths) {
+  MaskedKeyMap<int> map;
+  TcamKey key{{0xabcd'ef00'0000'0000ULL, 0, 0}};
+  map.insert(key, 8, 8);
+  map.insert(key, 16, 16);
+  map.insert(key, 32, 32);
+  auto hit = map.longest_match(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, 32);
+  EXPECT_EQ(hit->second, 32u);
+}
+
+TEST(MaskedKeyMap, BelowBoundExcludesDeeperEntries) {
+  MaskedKeyMap<int> map;
+  TcamKey key{{0xabcd'ef00'0000'0000ULL, 0, 0}};
+  map.insert(key, 8, 8);
+  map.insert(key, 32, 32);
+  auto hit = map.longest_match(key, 32);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, 8);
+}
+
+TEST(MaskedKeyMap, CanonicalizesKeysToDepth) {
+  MaskedKeyMap<int> map;
+  TcamKey noisy{{0xff12'3456'789a'bcdeULL, 0x1111, 0x2222}};
+  map.insert(noisy, 8, 1);
+  // Any key sharing the top 8 bits matches.
+  TcamKey probe{{0xff00'0000'0000'0000ULL, 0, 0}};
+  EXPECT_NE(map.find(probe, 8), nullptr);
+  auto hit = map.longest_match(probe);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, 1);
+}
+
+TEST(MaskedKeyMap, EraseMaintainsDepthIndex) {
+  MaskedKeyMap<int> map;
+  TcamKey a{{0x1000'0000'0000'0000ULL, 0, 0}};
+  TcamKey b{{0x2000'0000'0000'0000ULL, 0, 0}};
+  map.insert(a, 8, 1);
+  map.insert(b, 8, 2);
+  EXPECT_TRUE(map.erase(a, 8));
+  // Depth 8 must still be probed for b.
+  auto hit = map.longest_match(b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, 2);
+  EXPECT_TRUE(map.erase(b, 8));
+  EXPECT_FALSE(map.longest_match(b).has_value());
+}
+
+TEST(MaskedKeyMap, InsertReturnsNewness) {
+  MaskedKeyMap<int> map;
+  TcamKey key{};
+  EXPECT_TRUE(map.insert(key, 0, 1));
+  EXPECT_FALSE(map.insert(key, 0, 2));
+  EXPECT_EQ(map.size(), 1u);
+  auto hit = map.longest_match(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, 2);
+}
+
+TEST(MaskedKeyMap, SameBitsDifferentDepthAreDistinct) {
+  MaskedKeyMap<int> map;
+  TcamKey key{{0xaa00'0000'0000'0000ULL, 0, 0}};
+  map.insert(key, 8, 8);
+  map.insert(key, 16, 16);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_NE(map.find(key, 8), nullptr);
+  EXPECT_NE(map.find(key, 16), nullptr);
+}
+
+}  // namespace
+}  // namespace sf::tables

@@ -1,0 +1,106 @@
+#include "tables/range_expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tables/service_tables.hpp"
+#include "workload/rng.hpp"
+
+namespace sf::tables {
+namespace {
+
+// Exhaustive coverage check: each port in [lo, hi] matches exactly one
+// entry; each port outside matches none.
+void check_cover(std::uint16_t lo, std::uint16_t hi) {
+  const auto entries = expand_port_range(lo, hi);
+  for (std::uint32_t port = 0; port <= 0xffff; ++port) {
+    int matched = 0;
+    for (const TernaryRange& entry : entries) {
+      if (entry.matches(static_cast<std::uint16_t>(port))) ++matched;
+    }
+    const bool inside = port >= lo && port <= hi;
+    ASSERT_EQ(matched, inside ? 1 : 0)
+        << "port " << port << " in [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(RangeExpansion, SinglePortIsOneRow) {
+  const auto entries = expand_port_range(443, 443);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].mask, 0xffff);
+  check_cover(443, 443);
+}
+
+TEST(RangeExpansion, FullRangeIsOneRow) {
+  const auto entries = expand_port_range(0, 65535);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].mask, 0u);
+}
+
+TEST(RangeExpansion, AlignedBlockIsOneRow) {
+  EXPECT_EQ(port_range_expansion_cost(1024, 2047), 1u);
+  check_cover(1024, 2047);
+}
+
+TEST(RangeExpansion, EphemeralPortRange) {
+  // [1024, 65535]: the classic SNAT source range — a handful of rows.
+  const auto entries = expand_port_range(1024, 65535);
+  EXPECT_EQ(entries.size(), 6u);  // 1024+2048+4096+...+32768 blocks
+  check_cover(1024, 65535);
+}
+
+TEST(RangeExpansion, WorstCaseStaysBounded) {
+  // [1, 65534] is the textbook worst case: 2w-2 = 30 rows for w=16.
+  const auto entries = expand_port_range(1, 65534);
+  EXPECT_EQ(entries.size(), 30u);
+  check_cover(1, 65534);
+}
+
+TEST(RangeExpansion, RandomRangesCoverExactly) {
+  workload::Rng rng(41);
+  for (int i = 0; i < 30; ++i) {
+    const std::uint16_t a = static_cast<std::uint16_t>(rng.uniform(65536));
+    const std::uint16_t b = static_cast<std::uint16_t>(rng.uniform(65536));
+    check_cover(std::min(a, b), std::max(a, b));
+  }
+}
+
+TEST(RangeExpansion, RejectsInvertedRange) {
+  EXPECT_THROW(expand_port_range(10, 9), std::invalid_argument);
+}
+
+TEST(AclRangeRules, MatchSemantics) {
+  AclTable acl;
+  AclRule rule;
+  rule.dst_port_range = {{1024, 2047}};
+  rule.verdict = AclVerdict::kDeny;
+  acl.add(rule);
+  net::FiveTuple tuple{net::IpAddr::must_parse("10.0.0.1"),
+                       net::IpAddr::must_parse("10.0.0.2"), 6, 5, 1500};
+  EXPECT_EQ(acl.evaluate(1, tuple), AclVerdict::kDeny);
+  tuple.dst_port = 80;
+  EXPECT_EQ(acl.evaluate(1, tuple), AclVerdict::kPermit);
+  tuple.dst_port = 2048;
+  EXPECT_EQ(acl.evaluate(1, tuple), AclVerdict::kPermit);
+}
+
+TEST(AclRangeRules, TcamRowAccounting) {
+  AclTable acl;
+  AclRule exact;
+  exact.dst_port = 443;
+  acl.add(exact);
+  EXPECT_EQ(acl.tcam_rows(), 1u);
+
+  AclRule ranged;
+  ranged.dst_port_range = {{1, 65534}};  // 30 rows
+  acl.add(ranged);
+  EXPECT_EQ(acl.tcam_rows(), 31u);
+
+  AclRule double_ranged;
+  double_ranged.src_port_range = {{1024, 65535}};  // 6 rows
+  double_ranged.dst_port_range = {{1024, 65535}};  // x6 = 36 rows
+  acl.add(double_ranged);
+  EXPECT_EQ(acl.tcam_rows(), 31u + 36u);
+}
+
+}  // namespace
+}  // namespace sf::tables

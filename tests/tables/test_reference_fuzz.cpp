@@ -1,0 +1,102 @@
+// Randomized-operation fuzz of the hash structures against std:: reference
+// containers: thousands of interleaved insert/erase/lookup ops must agree
+// exactly with std::unordered_map / std::map semantics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "tables/exact_table.hpp"
+#include "tables/masked_key_map.hpp"
+#include "workload/rng.hpp"
+
+namespace sf::tables {
+namespace {
+
+TEST(ExactTableFuzz, AgreesWithUnorderedMap) {
+  ExactTable<std::uint64_t, int> table({1 << 12, 4});
+  std::unordered_map<std::uint64_t, int> reference;
+  workload::Rng rng(31);
+
+  for (int op = 0; op < 20'000; ++op) {
+    const std::uint64_t key = rng.uniform(4'000);
+    const int roll = static_cast<int>(rng.uniform(10));
+    if (roll < 5) {
+      const int value = static_cast<int>(rng.uniform(1'000'000));
+      // Sized at 4x the key universe: inserts must always succeed.
+      ASSERT_TRUE(table.insert(key, value));
+      reference[key] = value;
+    } else if (roll < 8) {
+      EXPECT_EQ(table.erase(key), reference.erase(key) > 0);
+    } else {
+      auto hit = table.lookup(key);
+      auto expected = reference.find(key);
+      if (expected == reference.end()) {
+        EXPECT_FALSE(hit.has_value());
+      } else {
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, expected->second);
+      }
+    }
+    if (op % 4096 == 0) {
+      EXPECT_EQ(table.size(), reference.size());
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+struct DepthKeyRef {
+  std::uint64_t bits;
+  unsigned depth;
+
+  friend bool operator<(const DepthKeyRef& a, const DepthKeyRef& b) {
+    return std::tie(a.bits, a.depth) < std::tie(b.bits, b.depth);
+  }
+};
+
+TEST(MaskedKeyMapFuzz, AgreesWithOrderedReference) {
+  MaskedKeyMap<int> map;
+  std::map<DepthKeyRef, int> reference;
+  workload::Rng rng(37);
+
+  auto make_key = [](std::uint64_t bits) {
+    return TcamKey{{bits, 0, 0}};
+  };
+
+  for (int op = 0; op < 10'000; ++op) {
+    const unsigned depth = 4 + static_cast<unsigned>(rng.uniform(16));
+    const std::uint64_t bits = rng.next_u64();
+    const std::uint64_t canonical =
+        bits & (~std::uint64_t{0} << (64 - depth));
+    const int roll = static_cast<int>(rng.uniform(10));
+    if (roll < 6) {
+      const int value = static_cast<int>(rng.uniform(1'000'000));
+      map.insert(make_key(bits), depth, value);
+      reference[{canonical, depth}] = value;
+    } else if (roll < 8) {
+      EXPECT_EQ(map.erase(make_key(bits), depth),
+                reference.erase({canonical, depth}) > 0);
+    } else {
+      // Longest match: the reference scans depths descending.
+      auto probe = make_key(bits);
+      std::optional<std::pair<int, unsigned>> expected;
+      for (unsigned d = 20; d >= 4 && !expected; --d) {
+        const std::uint64_t masked =
+            bits & (~std::uint64_t{0} << (64 - d));
+        auto it = reference.find({masked, d});
+        if (it != reference.end()) expected = {{it->second, d}};
+      }
+      const auto got = map.longest_match(probe);
+      EXPECT_EQ(got.has_value(), expected.has_value());
+      if (got && expected) {
+        EXPECT_EQ(got->first, expected->first);
+        EXPECT_EQ(got->second, expected->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace sf::tables

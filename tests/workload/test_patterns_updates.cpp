@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "workload/traffic_pattern.hpp"
+#include "workload/update_events.hpp"
+
+namespace sf::workload {
+namespace {
+
+TEST(TrafficPattern, PeaksAtConfiguredHour) {
+  TrafficPattern pattern;
+  pattern.jitter = 0;  // isolate the diurnal term
+  pattern.festival_multiplier = 1.0;
+  const double peak = rate_at(pattern, hours(pattern.peak_hour));
+  const double trough = rate_at(pattern, hours(pattern.peak_hour + 12));
+  EXPECT_GT(peak, trough);
+  EXPECT_NEAR(peak / pattern.base_bps, 1.0 + pattern.diurnal_amplitude,
+              1e-6);
+}
+
+TEST(TrafficPattern, FestivalMultipliesRate) {
+  TrafficPattern pattern;
+  pattern.jitter = 0;
+  pattern.diurnal_amplitude = 0;
+  // Mid-festival (well past the ramp).
+  const double festival = rate_at(pattern, days(5.5));
+  const double normal = rate_at(pattern, days(4.5));
+  EXPECT_NEAR(festival / normal, pattern.festival_multiplier, 1e-6);
+}
+
+TEST(TrafficPattern, FestivalRampsInAndOut) {
+  TrafficPattern pattern;
+  pattern.jitter = 0;
+  pattern.diurnal_amplitude = 0;
+  const double start = rate_at(pattern, days(5.0) + 60.0);
+  const double mid = rate_at(pattern, days(5.5));
+  EXPECT_LT(start, mid);
+}
+
+TEST(TrafficPattern, DeterministicJitter) {
+  TrafficPattern pattern;
+  EXPECT_EQ(rate_at(pattern, 12345.0), rate_at(pattern, 12345.0));
+  // Jitter varies between minutes but stays within the configured band.
+  const double a = rate_at(pattern, 0.0);
+  const double b = rate_at(pattern, 61.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(TrafficPattern, JitterBandRespected) {
+  TrafficPattern pattern;
+  pattern.diurnal_amplitude = 0;
+  pattern.festival_multiplier = 1.0;
+  for (int minute = 0; minute < 500; ++minute) {
+    const double rate = rate_at(pattern, minute * 60.0);
+    EXPECT_GE(rate, pattern.base_bps * (1.0 - pattern.jitter) * 0.999);
+    EXPECT_LE(rate, pattern.base_bps * (1.0 + pattern.jitter) * 1.001);
+  }
+}
+
+TEST(UpdateEvents, SortedAndWithinSpan) {
+  const std::vector<UpdateEvent> events =
+      generate_update_events(UpdateEventConfig{});
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].day, events[i].day);
+  }
+  EXPECT_GE(events.front().day, 0.0);
+  EXPECT_LE(events.back().day, 30.0);
+}
+
+TEST(UpdateEvents, SuddenEventsAreLargeAndCounted) {
+  UpdateEventConfig config;
+  config.sudden_events = 3;
+  const std::vector<UpdateEvent> events = generate_update_events(config);
+  std::size_t sudden = 0;
+  for (const UpdateEvent& event : events) {
+    if (event.sudden) {
+      ++sudden;
+      EXPECT_GE(event.delta_entries, config.sudden_delta_min);
+      EXPECT_LE(event.delta_entries, config.sudden_delta_max);
+    } else {
+      EXPECT_LE(std::abs(event.delta_entries), config.regular_delta_max);
+    }
+  }
+  EXPECT_EQ(sudden, 3u);
+}
+
+TEST(UpdateEvents, RegularChurnRateRoughlyMatches) {
+  UpdateEventConfig config;
+  config.regular_events_per_day = 100;
+  config.sudden_events = 0;
+  const std::vector<UpdateEvent> events = generate_update_events(config);
+  EXPECT_NEAR(static_cast<double>(events.size()),
+              100.0 * config.span_days, 400.0);
+}
+
+TEST(UpdateEvents, CumulativeSeriesIntegratesDeltas) {
+  std::vector<UpdateEvent> events = {
+      {1.0, +100, false}, {2.0, -30, false}, {10.0, +50000, true}};
+  const auto series = cumulative_entries(1000, events, 30.0, 1.0);
+  ASSERT_EQ(series.size(), 31u);
+  EXPECT_EQ(series[0].second, 1000);
+  EXPECT_EQ(series[1].second, 1100);
+  EXPECT_EQ(series[2].second, 1070);
+  EXPECT_EQ(series[9].second, 1070);
+  EXPECT_EQ(series[10].second, 51070);
+  EXPECT_EQ(series[30].second, 51070);
+}
+
+TEST(UpdateEvents, CumulativeNeverGoesNegative) {
+  std::vector<UpdateEvent> events = {{1.0, -100, false}};
+  const auto series = cumulative_entries(10, events, 5.0, 1.0);
+  for (const auto& [day, entries] : series) EXPECT_GE(entries, 0);
+}
+
+}  // namespace
+}  // namespace sf::workload

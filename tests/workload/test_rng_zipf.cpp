@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "workload/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace sf::workload {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    const std::uint64_t v = rng.uniform_range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng base(42);
+  Rng fork1 = base.fork(1);
+  Rng fork2 = base.fork(2);
+  Rng fork1_again = Rng(42).fork(1);
+  EXPECT_EQ(fork1.next_u64(), fork1_again.next_u64());
+  EXPECT_NE(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Zipf, PmfDecreasesWithRank) {
+  ZipfSampler zipf(100, 1.0);
+  for (std::size_t rank = 1; rank < 100; ++rank) {
+    EXPECT_GT(zipf.pmf(rank - 1), zipf.pmf(rank));
+  }
+  EXPECT_EQ(zipf.pmf(100), 0.0);
+}
+
+TEST(Zipf, SamplesFavorTheHead) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(3);
+  std::size_t head_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) < 10) ++head_hits;
+  }
+  // Top 1% of ranks should draw far more than 1% of samples.
+  EXPECT_GT(static_cast<double>(head_hits) / n, 0.3);
+}
+
+TEST(Zipf, WeightsNormalized) {
+  const std::vector<double> weights = zipf_weights(500, 1.1);
+  double sum = 0;
+  for (double w : weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(weights.front(), weights.back());
+}
+
+TEST(Zipf, FitExponentReproducesHeadMass) {
+  // Find s such that the top 5% of ranks carry 95% of mass, then verify.
+  const std::size_t n = 2000;
+  const double s = fit_zipf_exponent(n, 0.05, 0.95);
+  const std::vector<double> weights = zipf_weights(n, s);
+  double head = 0;
+  for (std::size_t i = 0; i < n / 20; ++i) head += weights[i];
+  EXPECT_NEAR(head, 0.95, 0.01);
+  EXPECT_GT(s, 1.0);  // 80/20-style skews need s > 1
+}
+
+TEST(Zipf, FitRejectsBadArguments) {
+  EXPECT_THROW(fit_zipf_exponent(1, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(fit_zipf_exponent(100, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(fit_zipf_exponent(100, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::workload

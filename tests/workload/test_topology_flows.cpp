@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/flowgen.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::workload {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig config;
+  config.vpc_count = 50;
+  config.total_vms = 1500;
+  config.nc_count = 100;
+  config.ipv6_fraction = 0.3;
+  config.peerings_per_vpc = 0.5;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Topology, GeneratesRequestedShape) {
+  const RegionTopology region = generate_topology(small_config());
+  EXPECT_EQ(region.vpcs.size(), 50u);
+  EXPECT_EQ(region.ncs.size(), 100u);
+  EXPECT_GE(region.total_vms(), 50u);  // every VPC gets >= 1 VM
+  EXPECT_GT(region.total_routes(), region.vpcs.size());  // subnets + default
+}
+
+TEST(Topology, DeterministicFromSeed) {
+  const RegionTopology a = generate_topology(small_config());
+  const RegionTopology b = generate_topology(small_config());
+  ASSERT_EQ(a.total_vms(), b.total_vms());
+  ASSERT_EQ(a.total_routes(), b.total_routes());
+  EXPECT_EQ(a.vpcs[7].vms[0].ip, b.vpcs[7].vms[0].ip);
+}
+
+TEST(Topology, VmCountsFollowZipfHead) {
+  const RegionTopology region = generate_topology(small_config());
+  // Rank-0 VPC (top customer) holds many more VMs than the median one.
+  EXPECT_GT(region.vpcs.front().vms.size(),
+            5 * region.vpcs[25].vms.size());
+}
+
+TEST(Topology, FamiliesMatchConfiguredMix) {
+  const RegionTopology region = generate_topology(small_config());
+  EXPECT_EQ(region.vm_count(net::IpFamily::kV6) +
+                region.vm_count(net::IpFamily::kV4),
+            region.total_vms());
+  // The 30% v6 share applies per VPC (VM counts are Zipf-skewed, so the
+  // per-VM split can tilt either way when a top customer lands on v6).
+  std::size_t v6_vpcs = 0;
+  for (const VpcRecord& vpc : region.vpcs) {
+    if (vpc.family == net::IpFamily::kV6) ++v6_vpcs;
+  }
+  EXPECT_GT(v6_vpcs, 5u);
+  EXPECT_LT(v6_vpcs, 30u);
+}
+
+TEST(Topology, TableKeysAreUnique) {
+  const RegionTopology region = generate_topology(small_config());
+  std::set<std::pair<net::Vni, std::string>> route_keys;
+  for (const auto& [key, action] : region.vxlan_routes()) {
+    EXPECT_TRUE(
+        route_keys.insert({key.vni, key.prefix.to_string()}).second)
+        << key.prefix.to_string();
+  }
+  std::set<std::pair<net::Vni, std::string>> vm_keys;
+  for (const auto& [key, action] : region.vm_mappings()) {
+    EXPECT_TRUE(vm_keys.insert({key.vni, key.vm_ip.to_string()}).second)
+        << key.vm_ip.to_string();
+  }
+}
+
+TEST(Topology, EveryVmResolvesThroughItsVpcRoutes) {
+  const RegionTopology region = generate_topology(small_config());
+  for (const VpcRecord& vpc : region.vpcs) {
+    for (std::size_t i = 0; i < vpc.vms.size(); i += 17) {
+      const VmRecord& vm = vpc.vms[i];
+      bool covered = false;
+      for (const RouteRecord& route : vpc.routes) {
+        if (route.action.scope == tables::RouteScope::kLocal &&
+            route.prefix.contains(vm.ip)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << vm.ip.to_string();
+    }
+  }
+}
+
+TEST(Topology, PeeringsAreSymmetricAndSameFamily) {
+  const RegionTopology region = generate_topology(small_config());
+  for (const VpcRecord& vpc : region.vpcs) {
+    for (net::Vni peer_vni : vpc.peers) {
+      const auto peer = std::find_if(
+          region.vpcs.begin(), region.vpcs.end(),
+          [&](const VpcRecord& v) { return v.vni == peer_vni; });
+      ASSERT_NE(peer, region.vpcs.end());
+      EXPECT_EQ(peer->family, vpc.family);
+      EXPECT_NE(std::find(peer->peers.begin(), peer->peers.end(), vpc.vni),
+                peer->peers.end());
+    }
+  }
+}
+
+TEST(Topology, RejectsEmptyConfig) {
+  TopologyConfig config = small_config();
+  config.vpc_count = 0;
+  EXPECT_THROW(generate_topology(config), std::invalid_argument);
+}
+
+TEST(FlowGen, WeightsSumToOne) {
+  const RegionTopology region = generate_topology(small_config());
+  FlowGenConfig config;
+  config.flow_count = 2000;
+  const std::vector<Flow> flows = generate_flows(region, config);
+  ASSERT_EQ(flows.size(), 2000u);
+  double sum = 0;
+  for (const Flow& flow : flows) sum += flow.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FlowGen, InternetShareMatchesConfig) {
+  const RegionTopology region = generate_topology(small_config());
+  FlowGenConfig config;
+  config.flow_count = 2000;
+  config.internet_fraction = 0.1;
+  config.internet_weight_share = 0.0002;
+  const std::vector<Flow> flows = generate_flows(region, config);
+  EXPECT_NEAR(scope_weight(flows, tables::RouteScope::kInternet), 0.0002,
+              1e-9);
+  // Flow *count* share is much larger than weight share.
+  std::size_t internet_count = 0;
+  for (const Flow& flow : flows) {
+    if (flow.scope == tables::RouteScope::kInternet) ++internet_count;
+  }
+  EXPECT_GT(internet_count, 100u);
+}
+
+TEST(FlowGen, HeavyHittersExist) {
+  const RegionTopology region = generate_topology(small_config());
+  FlowGenConfig config;
+  config.flow_count = 5000;
+  const std::vector<Flow> flows = generate_flows(region, config);
+  double top = 0;
+  for (const Flow& flow : flows) top = std::max(top, flow.weight);
+  // Zipf 1.25 over 5000 flows: the top flow carries several percent.
+  EXPECT_GT(top, 0.02);
+}
+
+TEST(FlowGen, EastWestFlowsResolveToNc) {
+  const RegionTopology region = generate_topology(small_config());
+  const std::vector<Flow> flows = generate_flows(region, FlowGenConfig{});
+  for (const Flow& flow : flows) {
+    if (flow.scope != tables::RouteScope::kInternet) {
+      EXPECT_NE(flow.dst_nc, net::Ipv4Addr()) << flow.tuple.dst.to_string();
+    }
+  }
+}
+
+TEST(FlowGen, Deterministic) {
+  const RegionTopology region = generate_topology(small_config());
+  const std::vector<Flow> a = generate_flows(region, FlowGenConfig{});
+  const std::vector<Flow> b = generate_flows(region, FlowGenConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace sf::workload

@@ -1,0 +1,99 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/topology.hpp"
+
+namespace sf::workload {
+namespace {
+
+std::vector<Flow> sample_flows() {
+  TopologyConfig topo;
+  topo.vpc_count = 20;
+  topo.total_vms = 400;
+  topo.nc_count = 50;
+  topo.seed = 9;
+  const RegionTopology region = generate_topology(topo);
+  FlowGenConfig config;
+  config.flow_count = 200;
+  return generate_flows(region, config);
+}
+
+TEST(TraceIo, RoundTripsGeneratedFlows) {
+  const std::vector<Flow> flows = sample_flows();
+  const std::string csv = flows_to_csv(flows);
+  const TraceParseResult parsed = parse_flows_csv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front().reason;
+  ASSERT_EQ(parsed.flows.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(parsed.flows[i].vni, flows[i].vni);
+    EXPECT_EQ(parsed.flows[i].tuple, flows[i].tuple);
+    EXPECT_EQ(parsed.flows[i].scope, flows[i].scope);
+    EXPECT_EQ(parsed.flows[i].dst_nc, flows[i].dst_nc);
+    EXPECT_EQ(parsed.flows[i].packet_size, flows[i].packet_size);
+    EXPECT_NEAR(parsed.flows[i].weight, flows[i].weight,
+                flows[i].weight * 1e-12 + 1e-15);
+  }
+}
+
+TEST(TraceIo, HandlesIpv6AndCommentsAndBlankLines) {
+  const std::string csv =
+      "# a comment\n"
+      "\n"
+      "5001,2001:db8::1,2001:db8::2,6,1000,443,0.25,local,172.16.0.1,512\n";
+  const TraceParseResult parsed = parse_flows_csv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.flows.size(), 1u);
+  EXPECT_TRUE(parsed.flows[0].tuple.src.is_v6());
+  EXPECT_EQ(parsed.flows[0].scope, tables::RouteScope::kLocal);
+}
+
+TEST(TraceIo, ReportsMalformedLinesWithNumbers) {
+  const std::string csv =
+      "1,10.0.0.1,10.0.0.2,6,1,2,0.5,local,172.16.0.1,512\n"
+      "not-a-flow\n"
+      "2,10.0.0.1,10.0.0.2,6,1,2,0.5,warp,172.16.0.1,512\n"
+      "99999999,10.0.0.1,10.0.0.2,6,1,2,0.5,local,172.16.0.1,512\n";
+  const TraceParseResult parsed = parse_flows_csv(csv);
+  EXPECT_EQ(parsed.flows.size(), 1u);
+  ASSERT_EQ(parsed.errors.size(), 3u);
+  EXPECT_EQ(parsed.errors[0].line, 2u);
+  EXPECT_EQ(parsed.errors[1].line, 3u);   // unknown scope
+  EXPECT_EQ(parsed.errors[2].line, 4u);   // vni > 24 bits
+}
+
+TEST(TraceIo, RejectsNegativeWeightAndBadProto) {
+  const std::string csv =
+      "1,10.0.0.1,10.0.0.2,6,1,2,-0.5,local,172.16.0.1,512\n"
+      "1,10.0.0.1,10.0.0.2,999,1,2,0.5,local,172.16.0.1,512\n";
+  const TraceParseResult parsed = parse_flows_csv(csv);
+  EXPECT_TRUE(parsed.flows.empty());
+  EXPECT_EQ(parsed.errors.size(), 2u);
+}
+
+TEST(TraceIo, AllScopesRoundTrip) {
+  std::vector<Flow> flows;
+  for (auto scope :
+       {tables::RouteScope::kLocal, tables::RouteScope::kPeer,
+        tables::RouteScope::kIdc, tables::RouteScope::kCrossRegion,
+        tables::RouteScope::kInternet}) {
+    Flow flow;
+    flow.vni = 7;
+    flow.tuple.src = net::IpAddr::must_parse("10.0.0.1");
+    flow.tuple.dst = net::IpAddr::must_parse("10.0.0.2");
+    flow.tuple.proto = 17;
+    flow.weight = 0.2;
+    flow.scope = scope;
+    flow.dst_nc = net::Ipv4Addr(172, 16, 0, 9);
+    flows.push_back(flow);
+  }
+  const TraceParseResult parsed = parse_flows_csv(flows_to_csv(flows));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.flows.size(), 5u);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(parsed.flows[i].scope, flows[i].scope);
+  }
+}
+
+}  // namespace
+}  // namespace sf::workload

@@ -1,0 +1,101 @@
+// Conservation and monotonicity properties of the interval simulator:
+// packets are neither created nor destroyed (offered == processed +
+// dropped, per core and in aggregate), capacity is respected exactly, and
+// reports are monotone in offered load — over randomized flow sets.
+
+#include <gtest/gtest.h>
+
+#include "workload/rng.hpp"
+#include "x86/xgw_x86.hpp"
+
+namespace sf::x86 {
+namespace {
+
+class IntervalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<FlowRate> random_flows(workload::Rng& rng, double scale) {
+    std::vector<FlowRate> flows;
+    const std::size_t count = 100 + rng.uniform(900);
+    for (std::size_t i = 0; i < count; ++i) {
+      net::FiveTuple tuple{
+          net::IpAddr(net::Ipv4Addr(
+              static_cast<std::uint32_t>(rng.next_u64()))),
+          net::IpAddr(net::Ipv4Addr(
+              static_cast<std::uint32_t>(rng.next_u64()))),
+          static_cast<std::uint8_t>(rng.chance(0.5) ? 6 : 17),
+          static_cast<std::uint16_t>(rng.uniform(65536)),
+          static_cast<std::uint16_t>(rng.uniform(65536))};
+      const double pps = rng.exponential(scale);
+      flows.push_back({tuple, pps, pps * 8 * 700});
+    }
+    return flows;
+  }
+};
+
+TEST_P(IntervalPropertyTest, PacketsAreConserved) {
+  workload::Rng rng(GetParam());
+  XgwX86 gw{XgwX86::Config{}};
+  const auto flows = random_flows(rng, 50'000);
+  const auto report = gw.simulate_interval(flows);
+
+  double offered_sum = 0;
+  for (const auto& flow : flows) offered_sum += flow.pps;
+  EXPECT_NEAR(report.offered_pps, offered_sum, offered_sum * 1e-9);
+
+  double cores_offered = 0;
+  double cores_processed = 0;
+  double cores_dropped = 0;
+  const double capacity = gw.config().model.core_pps();
+  for (const auto& core : report.cores) {
+    EXPECT_NEAR(core.offered_pps, core.processed_pps + core.dropped_pps,
+                1e-6);
+    EXPECT_LE(core.processed_pps, capacity + 1e-6);
+    EXPECT_GE(core.dropped_pps, 0.0);
+    EXPECT_GE(core.top1_pps, core.top2_pps);
+    EXPECT_LE(core.top1_pps + core.top2_pps, core.offered_pps + 1e-6);
+    cores_offered += core.offered_pps;
+    cores_processed += core.processed_pps;
+    cores_dropped += core.dropped_pps;
+  }
+  EXPECT_NEAR(cores_offered, report.offered_pps, 1e-6);
+  EXPECT_NEAR(cores_dropped, report.dropped_pps, 1e-6);
+  EXPECT_NEAR(cores_processed + cores_dropped, report.offered_pps, 1e-6);
+}
+
+TEST_P(IntervalPropertyTest, DropsAreMonotoneInLoad) {
+  workload::Rng rng(GetParam() + 100);
+  XgwX86 gw{XgwX86::Config{}};
+  const auto base = random_flows(rng, 30'000);
+  double previous_drop = -1;
+  for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+    std::vector<FlowRate> scaled = base;
+    for (auto& flow : scaled) {
+      flow.pps *= scale;
+      flow.bps *= scale;
+    }
+    const auto report = gw.simulate_interval(scaled);
+    EXPECT_GE(report.dropped_pps, previous_drop);
+    previous_drop = report.dropped_pps;
+  }
+}
+
+TEST_P(IntervalPropertyTest, FlowPlacementIsStable) {
+  // The same flow set yields the identical report (RSS is stateless).
+  workload::Rng rng(GetParam() + 200);
+  XgwX86 gw{XgwX86::Config{}};
+  const auto flows = random_flows(rng, 40'000);
+  const auto a = gw.simulate_interval(flows);
+  const auto b = gw.simulate_interval(flows);
+  EXPECT_EQ(a.offered_pps, b.offered_pps);
+  EXPECT_EQ(a.dropped_pps, b.dropped_pps);
+  EXPECT_EQ(a.max_core_utilization, b.max_core_utilization);
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    EXPECT_EQ(a.cores[c].offered_pps, b.cores[c].offered_pps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(901, 902, 903, 904));
+
+}  // namespace
+}  // namespace sf::x86

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "x86/cost_model.hpp"
+#include "x86/rss.hpp"
+#include "x86/snat.hpp"
+#include "x86/xgw_x86.hpp"
+
+namespace sf::x86 {
+namespace {
+
+using net::FiveTuple;
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+using tables::VmNcAction;
+using tables::VmNcKey;
+using tables::VxlanRouteAction;
+
+TEST(CostModel, PaperCalibration) {
+  const X86CostModel model;
+  EXPECT_NEAR(model.core_pps(), 0.78e6, 0.05e6);  // ~1 Mpps/core (§2.2)
+  EXPECT_NEAR(model.max_pps(), 25e6, 1e6);        // Fig. 18b: 25 Mpps
+  // Line rate (100G) needs packets >= ~512B (Fig. 18 discussion).
+  EXPECT_LT(model.throughput_bps(256), model.nic_bps);
+  EXPECT_NEAR(model.throughput_bps(512), model.nic_bps, 3e9);
+  EXPECT_DOUBLE_EQ(model.throughput_bps(1500), model.nic_bps);
+  EXPECT_NEAR(model.latency_us(0.2), 38, 1);      // Fig. 18c: ~40us
+  // Full table install: 2M entries at 3k/s > 10 minutes (§2.3).
+  EXPECT_GT(model.table_install_seconds(2'000'000), 600.0);
+}
+
+TEST(Rss, DeterministicPerFlow) {
+  RssIndirection rss(32);
+  FiveTuple flow{IpAddr::must_parse("10.0.0.1"),
+                 IpAddr::must_parse("10.0.0.2"), 6, 1234, 80};
+  EXPECT_EQ(rss.queue_for(flow), rss.queue_for(flow));
+  EXPECT_LT(rss.queue_for(flow), 32u);
+}
+
+TEST(Rss, SpreadsFlowsAcrossQueues) {
+  RssIndirection rss(32);
+  std::vector<int> counts(32, 0);
+  for (std::uint16_t port = 1; port <= 2000; ++port) {
+    FiveTuple flow{IpAddr::must_parse("10.0.0.1"),
+                   IpAddr::must_parse("10.0.0.2"), 6, port, 80};
+    ++counts[rss.queue_for(flow)];
+  }
+  int busy_queues = 0;
+  for (int count : counts) {
+    if (count > 0) ++busy_queues;
+  }
+  EXPECT_EQ(busy_queues, 32);
+}
+
+TEST(Rss, ReseedReshufflesSomeFlows) {
+  RssIndirection a(32, 128, 0);
+  RssIndirection b(32, 128, 12345);
+  int moved = 0;
+  for (std::uint16_t port = 1; port <= 200; ++port) {
+    FiveTuple flow{IpAddr::must_parse("10.0.0.1"),
+                   IpAddr::must_parse("10.0.0.2"), 6, port, 80};
+    if (a.queue_for(flow) != b.queue_for(flow)) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rss, RejectsZeroQueues) {
+  EXPECT_THROW(RssIndirection(0), std::invalid_argument);
+}
+
+SnatEngine::Config small_snat() {
+  return SnatEngine::Config{{net::Ipv4Addr(203, 0, 113, 1)}, 1000, 1003,
+                            60.0};
+}
+
+FiveTuple session(std::uint16_t sport) {
+  return FiveTuple{IpAddr::must_parse("192.168.1.2"),
+                   IpAddr::must_parse("93.184.216.34"), 6, sport, 443};
+}
+
+TEST(Snat, TranslateIsStablePerSession) {
+  SnatEngine snat(small_snat());
+  auto b1 = snat.translate(session(1111), 0);
+  auto b2 = snat.translate(session(1111), 1);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(*b1, *b2);
+  EXPECT_EQ(snat.stats().active_sessions, 1u);
+}
+
+TEST(Snat, DistinctSessionsGetDistinctBindings) {
+  SnatEngine snat(small_snat());
+  auto b1 = snat.translate(session(1111), 0);
+  auto b2 = snat.translate(session(2222), 0);
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_NE(*b1, *b2);
+}
+
+TEST(Snat, PoolExhaustionFailsGracefully) {
+  SnatEngine snat(small_snat());  // capacity 4
+  EXPECT_EQ(snat.capacity(), 4u);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(snat.translate(session(1000 + i), 0).has_value());
+  }
+  EXPECT_FALSE(snat.translate(session(9999), 0).has_value());
+  EXPECT_EQ(snat.stats().allocation_failures, 1u);
+}
+
+TEST(Snat, ReversePathRequiresMatchingPeer) {
+  SnatEngine snat(small_snat());
+  auto binding = snat.translate(session(1111), 0);
+  ASSERT_TRUE(binding.has_value());
+  auto tuple = snat.reverse(*binding, IpAddr::must_parse("93.184.216.34"),
+                            443, 1.0);
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->src_port, 1111);
+  // A different peer (spoofed response) is refused.
+  EXPECT_FALSE(snat.reverse(*binding, IpAddr::must_parse("8.8.8.8"), 443,
+                            1.0));
+  EXPECT_FALSE(snat.reverse(SnatBinding{net::Ipv4Addr(1), 1},
+                            IpAddr::must_parse("93.184.216.34"), 443, 1.0));
+}
+
+TEST(Snat, ExpiryReclaimsBindings) {
+  SnatEngine snat(small_snat());  // 60s timeout
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    snat.translate(session(1000 + i), 0);
+  }
+  EXPECT_EQ(snat.expire(30.0), 0u);
+  EXPECT_EQ(snat.expire(100.0), 4u);
+  EXPECT_EQ(snat.stats().active_sessions, 0u);
+  // Reclaimed bindings are reusable.
+  EXPECT_TRUE(snat.translate(session(5000), 101.0).has_value());
+}
+
+TEST(Snat, RejectsBadConfig) {
+  EXPECT_THROW(SnatEngine(SnatEngine::Config{{}, 1, 2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SnatEngine(SnatEngine::Config{{net::Ipv4Addr(1)}, 2000, 1000, 1}),
+      std::invalid_argument);
+}
+
+XgwX86 make_gateway() {
+  XgwX86 gw{XgwX86::Config{}};
+  gw.install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
+                   VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  gw.install_route(10, IpPrefix::must_parse("0.0.0.0/0"),
+                   VxlanRouteAction{RouteScope::kInternet, 0, {}});
+  gw.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.2")},
+                     VmNcAction{net::Ipv4Addr(10, 1, 1, 11)});
+  gw.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.3")},
+                     VmNcAction{net::Ipv4Addr(10, 1, 1, 12)});
+  return gw;
+}
+
+net::OverlayPacket packet_to(net::Vni vni, const char* dst) {
+  net::OverlayPacket pkt;
+  pkt.vni = vni;
+  pkt.inner.src = IpAddr::must_parse("192.168.10.2");
+  pkt.inner.dst = IpAddr::must_parse(dst);
+  pkt.inner.proto = 6;
+  pkt.inner.src_port = 40000;
+  pkt.inner.dst_port = 443;
+  pkt.payload_size = 100;
+  return pkt;
+}
+
+TEST(XgwX86, ForwardsLocalTraffic) {
+  XgwX86 gw = make_gateway();
+  const auto result = gw.process(packet_to(10, "192.168.10.3"));
+  EXPECT_EQ(result.action, X86Action::kForwardToNc);
+  EXPECT_EQ(result.packet.outer_dst_ip,
+            IpAddr(net::Ipv4Addr(10, 1, 1, 12)));
+}
+
+TEST(XgwX86, SnatRewritesSourceAndDecapsulates) {
+  XgwX86 gw = make_gateway();
+  const auto result = gw.process(packet_to(10, "93.184.216.34"), 1.0);
+  EXPECT_EQ(result.action, X86Action::kSnatToInternet);
+  ASSERT_TRUE(result.snat.has_value());
+  EXPECT_EQ(result.packet.inner.src, IpAddr(result.snat->public_ip));
+  EXPECT_EQ(result.packet.inner.src_port, result.snat->public_port);
+  EXPECT_EQ(result.packet.vni, 0u);  // decapsulated
+}
+
+TEST(XgwX86, ResponsePathReencapsulatesTowardNc) {
+  XgwX86 gw = make_gateway();
+  const auto out = gw.process(packet_to(10, "93.184.216.34"), 1.0);
+  ASSERT_TRUE(out.snat.has_value());
+  auto back = gw.process_response(*out.snat,
+                                  IpAddr::must_parse("93.184.216.34"), 443,
+                                  256, 2.0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->vni, 10u);
+  EXPECT_EQ(back->inner.dst, IpAddr::must_parse("192.168.10.2"));
+  EXPECT_EQ(back->outer_dst_ip, IpAddr(net::Ipv4Addr(10, 1, 1, 11)));
+}
+
+TEST(XgwX86, DropsUnknownVni) {
+  XgwX86 gw = make_gateway();
+  const auto result = gw.process(packet_to(99, "192.168.10.3"));
+  EXPECT_EQ(result.action, X86Action::kDrop);
+  EXPECT_EQ(result.drop_reason, "no route");
+}
+
+TEST(XgwX86, IntervalSimConcentratesHeavyHitterOnOneCore) {
+  XgwX86 gw{XgwX86::Config{}};
+  std::vector<FlowRate> flows;
+  // One elephant plus 500 mice.
+  FiveTuple elephant{IpAddr::must_parse("10.0.0.1"),
+                     IpAddr::must_parse("10.0.0.2"), 6, 1, 2};
+  flows.push_back({elephant, 2e6, 10e9});  // 2 Mpps on one flow
+  for (std::uint16_t port = 1; port <= 500; ++port) {
+    FiveTuple mouse{IpAddr::must_parse("10.1.0.1"),
+                    IpAddr::must_parse("10.1.0.2"), 6, port, 80};
+    flows.push_back({mouse, 1e3, 5e6});
+  }
+  const IntervalReport report = gw.simulate_interval(flows);
+  // The elephant's core saturates (2 Mpps > ~0.78 Mpps capacity) while
+  // total offered load is far below box capacity: the §2.3 pathology.
+  EXPECT_GT(report.max_core_utilization, 2.0);
+  EXPECT_GT(report.dropped_pps, 1e6);
+  EXPECT_LT(report.offered_pps, gw.config().model.max_pps());
+  // The overloaded core's top-1 flow dominates it (Fig. 7).
+  double top1 = 0;
+  double offered = 0;
+  for (const CoreLoad& core : report.cores) {
+    if (core.utilization > 1.0) {
+      top1 = core.top1_pps;
+      offered = core.offered_pps;
+    }
+  }
+  EXPECT_GT(top1 / offered, 0.9);
+}
+
+TEST(XgwX86, IntervalSimBalancedMiceDoNotDrop) {
+  XgwX86 gw{XgwX86::Config{}};
+  std::vector<FlowRate> flows;
+  for (std::uint16_t port = 1; port <= 2000; ++port) {
+    FiveTuple mouse{IpAddr::must_parse("10.1.0.1"),
+                    IpAddr::must_parse("10.1.0.2"), 6, port,
+                    static_cast<std::uint16_t>(port ^ 7)};
+    flows.push_back({mouse, 5e3, 20e6});  // 10 Mpps total over 2000 flows
+  }
+  const IntervalReport report = gw.simulate_interval(flows);
+  EXPECT_EQ(report.dropped_pps, 0);
+  EXPECT_LT(report.max_core_utilization, 1.0);
+}
+
+TEST(XgwX86, FullInstallTakesMinutes) {
+  XgwX86 gw = make_gateway();
+  // §2.3: ">10 minutes" for a full production table set. Scale: the
+  // model's install rate applied to this gateway's small tables.
+  EXPECT_NEAR(gw.full_install_seconds(),
+              (gw.route_count() + gw.mapping_count()) / 3000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sf::x86

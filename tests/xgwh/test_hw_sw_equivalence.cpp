@@ -1,0 +1,106 @@
+// The HW/SW co-design contract, tested as a property: for any random
+// topology, the hardware gateway (folded pipelines, ALPM, digest
+// compression) and the software gateway (DRAM tables) must produce the
+// same forwarding verdict and the same rewritten outer header for every
+// east-west destination — parameterized over topology seeds and
+// compression configurations.
+
+#include <gtest/gtest.h>
+
+#include "workload/topology.hpp"
+#include "x86/xgw_x86.hpp"
+#include "xgwh/xgwh.hpp"
+
+namespace sf {
+namespace {
+
+struct EquivalenceParam {
+  std::uint64_t seed;
+  const char* steps;  // compression steps for the hardware gateway
+  double ipv6_fraction = 0.3;
+};
+
+class HwSwEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+asic::CompressionConfig config_from(const char* steps) {
+  asic::CompressionConfig config;
+  for (const char* s = steps; *s; ++s) {
+    switch (*s) {
+      case 'a': config.fold = true; break;
+      case 'b': config.split = true; break;
+      case 'c': config.pool = true; break;
+      case 'd': config.compress = true; break;
+      case 'e': config.alpm = true; break;
+    }
+  }
+  return config;
+}
+
+TEST_P(HwSwEquivalenceTest, SameVerdictsAndRewrites) {
+  const EquivalenceParam param = GetParam();
+
+  workload::TopologyConfig topo;
+  topo.vpc_count = 40;
+  topo.total_vms = 800;
+  topo.nc_count = 120;
+  topo.peerings_per_vpc = 0.6;
+  topo.ipv6_fraction = param.ipv6_fraction;
+  topo.seed = param.seed;
+  const workload::RegionTopology region = workload::generate_topology(topo);
+
+  xgwh::XgwH::Config hw_config;
+  hw_config.compression = config_from(param.steps);
+  xgwh::XgwH hw(hw_config);
+  x86::XgwX86 sw{x86::XgwX86::Config{}};
+
+  for (const auto& [key, action] : region.vxlan_routes()) {
+    hw.install_route(key.vni, key.prefix, action);
+    sw.install_route(key.vni, key.prefix, action);
+  }
+  for (const auto& [key, action] : region.vm_mappings()) {
+    hw.install_mapping(key, action);
+    sw.install_mapping(key, action);
+  }
+
+  // Probe every 7th VM of every VPC, from every VPC's first VM, plus the
+  // peer paths.
+  std::size_t probes = 0;
+  for (const workload::VpcRecord& vpc : region.vpcs) {
+    const std::size_t stride = std::max<std::size_t>(1, vpc.vms.size() / 4);
+    for (std::size_t i = 0; i < vpc.vms.size(); i += stride) {
+      net::OverlayPacket pkt;
+      pkt.vni = vpc.vni;
+      pkt.inner.src = vpc.vms.front().ip;
+      pkt.inner.dst = vpc.vms[i].ip;
+      pkt.inner.proto = 6;
+      pkt.payload_size = 128;
+
+      const auto hw_result = hw.process(pkt);
+      const auto sw_result = sw.process(pkt);
+      ASSERT_EQ(hw_result.action, xgwh::ForwardAction::kForwardToNc)
+          << hw_result.drop_reason;
+      ASSERT_EQ(sw_result.action, x86::X86Action::kForwardToNc)
+          << sw_result.drop_reason;
+      EXPECT_EQ(hw_result.packet.outer_dst_ip,
+                sw_result.packet.outer_dst_ip)
+          << vpc.vni << " -> " << pkt.inner.dst.to_string();
+      ++probes;
+    }
+  }
+  EXPECT_GT(probes, region.vpcs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCompression, HwSwEquivalenceTest,
+    ::testing::Values(EquivalenceParam{501, "abcde", 0.3},
+                      EquivalenceParam{502, "abcde", 0.3},
+                      EquivalenceParam{503, "a", 0.3},
+                      EquivalenceParam{504, "", 0.3},
+                      EquivalenceParam{505, "ab", 0.3},
+                      EquivalenceParam{506, "abcd", 0.3},
+                      EquivalenceParam{507, "abcde", 1.0},
+                      EquivalenceParam{508, "abcde", 0.0}));
+
+}  // namespace
+}  // namespace sf

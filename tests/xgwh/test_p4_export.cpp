@@ -1,0 +1,76 @@
+#include "xgwh/p4_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xgwh/gateway_program.hpp"
+
+namespace sf::xgwh {
+namespace {
+
+TEST(P4Export, EmitsEveryLogicalTable) {
+  const std::string program = export_p4_program(P4ExportOptions{});
+  for (const LogicalTableInfo& info : gateway_table_layout()) {
+    EXPECT_NE(program.find("table " + info.name + " {"),
+              std::string::npos)
+        << info.name;
+  }
+}
+
+TEST(P4Export, EmitsHeadersMetadataAndParser) {
+  const std::string program = export_p4_program(P4ExportOptions{});
+  for (const char* fragment :
+       {"header vxlan_t", "bit<24> vni", "header bridged_meta_t",
+        "parser SailfishParser", "4789: vxlan"}) {
+    EXPECT_NE(program.find(fragment), std::string::npos) << fragment;
+  }
+}
+
+TEST(P4Export, FoldedModeEmitsLoopbackControls) {
+  const std::string program = export_p4_program(P4ExportOptions{});
+  EXPECT_NE(program.find("EgressRoute /* pipes 1/3, loopback */"),
+            std::string::npos);
+  EXPECT_NE(program.find("IngressEntry /* pipes 0/2 */"),
+            std::string::npos);
+}
+
+TEST(P4Export, UnfoldedModeEmitsSinglePassControls) {
+  P4ExportOptions options;
+  options.compression = asic::CompressionConfig::none();
+  const std::string program = export_p4_program(options);
+  EXPECT_NE(program.find("IngressFull /* all pipes */"),
+            std::string::npos);
+  EXPECT_EQ(program.find("EgressRoute"), std::string::npos);
+}
+
+TEST(P4Export, StagePragmasRespectLookupOrder) {
+  const std::string program = export_p4_program(P4ExportOptions{});
+  // The ALPM directory must be staged before its buckets, which precede
+  // the VM-NC table (match dependencies).
+  auto stage_for = [&](const std::string& table) {
+    const std::size_t at = program.find("table " + table + " {");
+    EXPECT_NE(at, std::string::npos) << table;
+    const std::size_t pragma = program.rfind("@pragma stage ", at);
+    EXPECT_NE(pragma, std::string::npos) << table;
+    return std::stoi(program.substr(pragma + 14, 3));
+  };
+  const int dir = stage_for("vxlan_route_alpm_dir");
+  const int buckets = stage_for("vxlan_route_alpm_buckets");
+  const int vm_nc = stage_for("vm_nc_pooled");
+  EXPECT_LT(dir, buckets);
+  EXPECT_LT(buckets, vm_nc);
+}
+
+TEST(P4Export, ReportsStagePlanFits) {
+  const std::string program = export_p4_program(P4ExportOptions{});
+  EXPECT_NE(program.find("stage plan: fits"), std::string::npos);
+}
+
+TEST(P4Export, PragmasCanBeDisabled) {
+  P4ExportOptions options;
+  options.stage_pragmas = false;
+  const std::string program = export_p4_program(options);
+  EXPECT_EQ(program.find("@pragma stage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sf::xgwh

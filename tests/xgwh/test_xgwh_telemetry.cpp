@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "xgwh/xgwh.hpp"
+
+namespace sf::xgwh {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+
+net::OverlayPacket pkt(net::Vni vni, const char* dst) {
+  net::OverlayPacket p;
+  p.vni = vni;
+  p.inner.src = IpAddr::must_parse("10.0.0.1");
+  p.inner.dst = IpAddr::must_parse(dst);
+  p.inner.proto = 6;
+  p.payload_size = 64;
+  return p;
+}
+
+TEST(XgwHTelemetry, CountersTrackOutcomes) {
+  XgwH gw{XgwH::Config{}};
+  gw.install_route(2, IpPrefix::must_parse("10.0.0.0/8"),
+                   {RouteScope::kLocal, 0, {}});
+  gw.install_mapping({2, IpAddr::must_parse("10.0.0.9")},
+                     {net::Ipv4Addr(172, 16, 0, 1)});
+  gw.install_route(3, IpPrefix::must_parse("0.0.0.0/0"),
+                   {RouteScope::kInternet, 0, {}});
+
+  gw.process(pkt(2, "10.0.0.9"));          // forwarded
+  gw.process(pkt(3, "93.184.216.34"), 1);  // fallback
+  gw.process(pkt(9, "10.0.0.9"), 1);       // route miss -> fallback
+
+  const auto& telemetry = gw.telemetry();
+  EXPECT_EQ(telemetry.packets_in, 3u);
+  EXPECT_EQ(telemetry.packets_forwarded, 1u);
+  EXPECT_EQ(telemetry.packets_fallback, 2u);
+  EXPECT_EQ(telemetry.packets_dropped, 0u);
+  EXPECT_GT(telemetry.bytes_in, 0u);
+}
+
+TEST(XgwHTelemetry, AclRangeRowsReachOccupancyModel) {
+  XgwH gw{XgwH::Config{}};
+  tables::AclRule ranged;
+  ranged.dst_port_range = {{1, 65534}};  // 30 TCAM rows
+  gw.add_acl_rule(ranged);
+  tables::AclRule exact;
+  exact.dst_port = 443;
+  gw.add_acl_rule(exact);
+  // live_workload() must charge the *expanded* row count.
+  EXPECT_EQ(gw.live_workload().acl_rules, 31u);
+}
+
+TEST(XgwHTelemetry, InstallIsIdempotentOnCounts) {
+  XgwH gw{XgwH::Config{}};
+  const IpPrefix prefix = IpPrefix::must_parse("10.0.0.0/8");
+  EXPECT_TRUE(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}));
+  EXPECT_FALSE(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}));
+  EXPECT_EQ(gw.route_count(), 1u);
+  EXPECT_EQ(gw.live_workload().vxlan_routes_v4, 1u);
+
+  const tables::VmNcKey key{5, IpAddr::must_parse("10.0.0.2")};
+  EXPECT_TRUE(gw.install_mapping(key, {net::Ipv4Addr(1)}));
+  EXPECT_TRUE(gw.install_mapping(key, {net::Ipv4Addr(2)}));  // replace
+  EXPECT_EQ(gw.mapping_count(), 1u);
+  EXPECT_EQ(gw.live_workload().vm_maps_v4, 1u);
+}
+
+TEST(XgwHTelemetry, ProcessIsDeterministic) {
+  XgwH a{XgwH::Config{}};
+  XgwH b{XgwH::Config{}};
+  for (XgwH* gw : {&a, &b}) {
+    gw->install_route(2, IpPrefix::must_parse("10.0.0.0/8"),
+                      {RouteScope::kLocal, 0, {}});
+    gw->install_mapping({2, IpAddr::must_parse("10.0.0.9")},
+                        {net::Ipv4Addr(172, 16, 0, 1)});
+  }
+  const auto ra = a.process(pkt(2, "10.0.0.9"));
+  const auto rb = b.process(pkt(2, "10.0.0.9"));
+  EXPECT_EQ(ra.action, rb.action);
+  EXPECT_EQ(ra.latency_us, rb.latency_us);
+  EXPECT_EQ(ra.egress_pipe, rb.egress_pipe);
+}
+
+TEST(XgwHTelemetry, LatencyGrowsWithPayload) {
+  XgwH gw{XgwH::Config{}};
+  gw.install_route(2, IpPrefix::must_parse("10.0.0.0/8"),
+                   {RouteScope::kLocal, 0, {}});
+  gw.install_mapping({2, IpAddr::must_parse("10.0.0.9")},
+                     {net::Ipv4Addr(172, 16, 0, 1)});
+  auto small = pkt(2, "10.0.0.9");
+  small.payload_size = 32;
+  auto large = pkt(2, "10.0.0.9");
+  large.payload_size = 1400;
+  EXPECT_LT(gw.process(small).latency_us, gw.process(large).latency_us);
+}
+
+}  // namespace
+}  // namespace sf::xgwh
