@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_gateway_balance.dir/bench_fig06_gateway_balance.cpp.o"
+  "CMakeFiles/bench_fig06_gateway_balance.dir/bench_fig06_gateway_balance.cpp.o.d"
+  "bench_fig06_gateway_balance"
+  "bench_fig06_gateway_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_gateway_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_heavy_hitters.dir/bench_fig07_heavy_hitters.cpp.o"
+  "CMakeFiles/bench_fig07_heavy_hitters.dir/bench_fig07_heavy_hitters.cpp.o.d"
+  "bench_fig07_heavy_hitters"
+  "bench_fig07_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_region_drop_rate.dir/bench_fig19_region_drop_rate.cpp.o"
+  "CMakeFiles/bench_fig19_region_drop_rate.dir/bench_fig19_region_drop_rate.cpp.o.d"
+  "bench_fig19_region_drop_rate"
+  "bench_fig19_region_drop_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_region_drop_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_pipe_balance_clusters.dir/bench_fig20_pipe_balance_clusters.cpp.o"
+  "CMakeFiles/bench_fig20_pipe_balance_clusters.dir/bench_fig20_pipe_balance_clusters.cpp.o.d"
+  "bench_fig20_pipe_balance_clusters"
+  "bench_fig20_pipe_balance_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_pipe_balance_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_pipe_balance_clusters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig21_pipe_balance_time.
+# This may be replaced when dependencies are built.

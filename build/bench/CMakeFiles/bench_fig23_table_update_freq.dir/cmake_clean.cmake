@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_table_update_freq.dir/bench_fig23_table_update_freq.cpp.o"
+  "CMakeFiles/bench_fig23_table_update_freq.dir/bench_fig23_table_update_freq.cpp.o.d"
+  "bench_fig23_table_update_freq"
+  "bench_fig23_table_update_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_table_update_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tables.dir/bench_micro_tables.cpp.o"
+  "CMakeFiles/bench_micro_tables.dir/bench_micro_tables.cpp.o.d"
+  "bench_micro_tables"
+  "bench_micro_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s8_cache_clusters.dir/bench_s8_cache_clusters.cpp.o"
+  "CMakeFiles/bench_s8_cache_clusters.dir/bench_s8_cache_clusters.cpp.o.d"
+  "bench_s8_cache_clusters"
+  "bench_s8_cache_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s8_cache_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overall_occupancy.dir/bench_table4_overall_occupancy.cpp.o"
+  "CMakeFiles/bench_table4_overall_occupancy.dir/bench_table4_overall_occupancy.cpp.o.d"
+  "bench_table4_overall_occupancy"
+  "bench_table4_overall_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overall_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ops.dir/cluster_ops.cpp.o"
+  "CMakeFiles/cluster_ops.dir/cluster_ops.cpp.o.d"
+  "cluster_ops"
+  "cluster_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_p4.dir/export_p4.cpp.o"
+  "CMakeFiles/export_p4.dir/export_p4.cpp.o.d"
+  "export_p4"
+  "export_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

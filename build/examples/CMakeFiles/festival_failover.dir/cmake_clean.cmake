@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/festival_failover.dir/festival_failover.cpp.o"
+  "CMakeFiles/festival_failover.dir/festival_failover.cpp.o.d"
+  "festival_failover"
+  "festival_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/festival_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_profile.dir/latency_profile.cpp.o"
+  "CMakeFiles/latency_profile.dir/latency_profile.cpp.o.d"
+  "latency_profile"
+  "latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

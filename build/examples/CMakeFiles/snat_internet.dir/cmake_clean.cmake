@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snat_internet.dir/snat_internet.cpp.o"
+  "CMakeFiles/snat_internet.dir/snat_internet.cpp.o.d"
+  "snat_internet"
+  "snat_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snat_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

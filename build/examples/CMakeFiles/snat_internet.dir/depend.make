@@ -1,0 +1,2 @@
+# Empty dependencies file for snat_internet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_peering.dir/vpc_peering.cpp.o"
+  "CMakeFiles/vpc_peering.dir/vpc_peering.cpp.o.d"
+  "vpc_peering"
+  "vpc_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/chip_config.cpp" "src/CMakeFiles/sf_asic.dir/asic/chip_config.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/chip_config.cpp.o.d"
+  "/root/repo/src/asic/memory.cpp" "src/CMakeFiles/sf_asic.dir/asic/memory.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/memory.cpp.o.d"
+  "/root/repo/src/asic/parser.cpp" "src/CMakeFiles/sf_asic.dir/asic/parser.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/parser.cpp.o.d"
+  "/root/repo/src/asic/phv.cpp" "src/CMakeFiles/sf_asic.dir/asic/phv.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/phv.cpp.o.d"
+  "/root/repo/src/asic/pipeline.cpp" "src/CMakeFiles/sf_asic.dir/asic/pipeline.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/pipeline.cpp.o.d"
+  "/root/repo/src/asic/placer.cpp" "src/CMakeFiles/sf_asic.dir/asic/placer.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/placer.cpp.o.d"
+  "/root/repo/src/asic/stage_planner.cpp" "src/CMakeFiles/sf_asic.dir/asic/stage_planner.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/stage_planner.cpp.o.d"
+  "/root/repo/src/asic/walker.cpp" "src/CMakeFiles/sf_asic.dir/asic/walker.cpp.o" "gcc" "src/CMakeFiles/sf_asic.dir/asic/walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_asic.dir/asic/chip_config.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/chip_config.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/memory.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/memory.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/parser.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/parser.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/phv.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/phv.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/pipeline.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/pipeline.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/placer.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/placer.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/stage_planner.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/stage_planner.cpp.o.d"
+  "CMakeFiles/sf_asic.dir/asic/walker.cpp.o"
+  "CMakeFiles/sf_asic.dir/asic/walker.cpp.o.d"
+  "libsf_asic.a"
+  "libsf_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/controller.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/controller.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/controller.cpp.o.d"
+  "/root/repo/src/cluster/disaster_recovery.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/disaster_recovery.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/disaster_recovery.cpp.o.d"
+  "/root/repo/src/cluster/health.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/health.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/health.cpp.o.d"
+  "/root/repo/src/cluster/load_balancer.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/load_balancer.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/load_balancer.cpp.o.d"
+  "/root/repo/src/cluster/probe.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/probe.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/probe.cpp.o.d"
+  "/root/repo/src/cluster/upgrade.cpp" "src/CMakeFiles/sf_cluster.dir/cluster/upgrade.cpp.o" "gcc" "src/CMakeFiles/sf_cluster.dir/cluster/upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_xgwh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

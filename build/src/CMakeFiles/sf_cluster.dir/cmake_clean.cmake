@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/controller.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/controller.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/disaster_recovery.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/disaster_recovery.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/health.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/health.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/load_balancer.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/load_balancer.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/probe.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/probe.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/cluster/upgrade.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster/upgrade.cpp.o.d"
+  "libsf_cluster.a"
+  "libsf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

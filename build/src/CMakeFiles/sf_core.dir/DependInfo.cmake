@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_cluster.cpp" "src/CMakeFiles/sf_core.dir/core/cache_cluster.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/cache_cluster.cpp.o.d"
+  "/root/repo/src/core/capacity_planner.cpp" "src/CMakeFiles/sf_core.dir/core/capacity_planner.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/capacity_planner.cpp.o.d"
+  "/root/repo/src/core/path_trace.cpp" "src/CMakeFiles/sf_core.dir/core/path_trace.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/path_trace.cpp.o.d"
+  "/root/repo/src/core/rate_limiter.cpp" "src/CMakeFiles/sf_core.dir/core/rate_limiter.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/rate_limiter.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/CMakeFiles/sf_core.dir/core/region.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/region.cpp.o.d"
+  "/root/repo/src/core/rollout.cpp" "src/CMakeFiles/sf_core.dir/core/rollout.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/rollout.cpp.o.d"
+  "/root/repo/src/core/sailfish.cpp" "src/CMakeFiles/sf_core.dir/core/sailfish.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/sailfish.cpp.o.d"
+  "/root/repo/src/core/table_sharing.cpp" "src/CMakeFiles/sf_core.dir/core/table_sharing.cpp.o" "gcc" "src/CMakeFiles/sf_core.dir/core/table_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_xgwh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/core/cache_cluster.cpp.o"
+  "CMakeFiles/sf_core.dir/core/cache_cluster.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/capacity_planner.cpp.o"
+  "CMakeFiles/sf_core.dir/core/capacity_planner.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/path_trace.cpp.o"
+  "CMakeFiles/sf_core.dir/core/path_trace.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/rate_limiter.cpp.o"
+  "CMakeFiles/sf_core.dir/core/rate_limiter.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/region.cpp.o"
+  "CMakeFiles/sf_core.dir/core/region.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/rollout.cpp.o"
+  "CMakeFiles/sf_core.dir/core/rollout.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/sailfish.cpp.o"
+  "CMakeFiles/sf_core.dir/core/sailfish.cpp.o.d"
+  "CMakeFiles/sf_core.dir/core/table_sharing.cpp.o"
+  "CMakeFiles/sf_core.dir/core/table_sharing.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

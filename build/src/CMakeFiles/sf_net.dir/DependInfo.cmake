@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/sf_net.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/hash.cpp" "src/CMakeFiles/sf_net.dir/net/hash.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/hash.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/sf_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/CMakeFiles/sf_net.dir/net/ip.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/ip.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/sf_net.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/sf_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/sf_net.dir/net/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

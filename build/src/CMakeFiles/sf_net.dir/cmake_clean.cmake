@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_net.dir/net/checksum.cpp.o"
+  "CMakeFiles/sf_net.dir/net/checksum.cpp.o.d"
+  "CMakeFiles/sf_net.dir/net/hash.cpp.o"
+  "CMakeFiles/sf_net.dir/net/hash.cpp.o.d"
+  "CMakeFiles/sf_net.dir/net/headers.cpp.o"
+  "CMakeFiles/sf_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/sf_net.dir/net/ip.cpp.o"
+  "CMakeFiles/sf_net.dir/net/ip.cpp.o.d"
+  "CMakeFiles/sf_net.dir/net/mac.cpp.o"
+  "CMakeFiles/sf_net.dir/net/mac.cpp.o.d"
+  "CMakeFiles/sf_net.dir/net/packet.cpp.o"
+  "CMakeFiles/sf_net.dir/net/packet.cpp.o.d"
+  "libsf_net.a"
+  "libsf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/sf_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/sf_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/table_printer.cpp" "src/CMakeFiles/sf_sim.dir/sim/table_printer.cpp.o" "gcc" "src/CMakeFiles/sf_sim.dir/sim/table_printer.cpp.o.d"
+  "/root/repo/src/sim/timeseries.cpp" "src/CMakeFiles/sf_sim.dir/sim/timeseries.cpp.o" "gcc" "src/CMakeFiles/sf_sim.dir/sim/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/sf_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/sim/table_printer.cpp.o"
+  "CMakeFiles/sf_sim.dir/sim/table_printer.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/sim/timeseries.cpp.o"
+  "CMakeFiles/sf_sim.dir/sim/timeseries.cpp.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tables/alpm.cpp" "src/CMakeFiles/sf_tables.dir/tables/alpm.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/alpm.cpp.o.d"
+  "/root/repo/src/tables/digest_table.cpp" "src/CMakeFiles/sf_tables.dir/tables/digest_table.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/digest_table.cpp.o.d"
+  "/root/repo/src/tables/dir24_8.cpp" "src/CMakeFiles/sf_tables.dir/tables/dir24_8.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/dir24_8.cpp.o.d"
+  "/root/repo/src/tables/entry.cpp" "src/CMakeFiles/sf_tables.dir/tables/entry.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/entry.cpp.o.d"
+  "/root/repo/src/tables/exact_table.cpp" "src/CMakeFiles/sf_tables.dir/tables/exact_table.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/exact_table.cpp.o.d"
+  "/root/repo/src/tables/lpm_trie.cpp" "src/CMakeFiles/sf_tables.dir/tables/lpm_trie.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/lpm_trie.cpp.o.d"
+  "/root/repo/src/tables/range_expansion.cpp" "src/CMakeFiles/sf_tables.dir/tables/range_expansion.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/range_expansion.cpp.o.d"
+  "/root/repo/src/tables/service_tables.cpp" "src/CMakeFiles/sf_tables.dir/tables/service_tables.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/service_tables.cpp.o.d"
+  "/root/repo/src/tables/tcam.cpp" "src/CMakeFiles/sf_tables.dir/tables/tcam.cpp.o" "gcc" "src/CMakeFiles/sf_tables.dir/tables/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

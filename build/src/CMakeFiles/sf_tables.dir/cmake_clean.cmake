@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_tables.dir/tables/alpm.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/alpm.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/digest_table.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/digest_table.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/dir24_8.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/dir24_8.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/entry.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/entry.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/exact_table.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/exact_table.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/lpm_trie.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/lpm_trie.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/range_expansion.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/range_expansion.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/service_tables.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/service_tables.cpp.o.d"
+  "CMakeFiles/sf_tables.dir/tables/tcam.cpp.o"
+  "CMakeFiles/sf_tables.dir/tables/tcam.cpp.o.d"
+  "libsf_tables.a"
+  "libsf_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flowgen.cpp" "src/CMakeFiles/sf_workload.dir/workload/flowgen.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/flowgen.cpp.o.d"
+  "/root/repo/src/workload/rng.cpp" "src/CMakeFiles/sf_workload.dir/workload/rng.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/rng.cpp.o.d"
+  "/root/repo/src/workload/topology.cpp" "src/CMakeFiles/sf_workload.dir/workload/topology.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/topology.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/sf_workload.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/trace_io.cpp.o.d"
+  "/root/repo/src/workload/traffic_pattern.cpp" "src/CMakeFiles/sf_workload.dir/workload/traffic_pattern.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/traffic_pattern.cpp.o.d"
+  "/root/repo/src/workload/update_events.cpp" "src/CMakeFiles/sf_workload.dir/workload/update_events.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/update_events.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/sf_workload.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/sf_workload.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workload.dir/workload/flowgen.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/flowgen.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/rng.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/rng.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/topology.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/topology.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/trace_io.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/traffic_pattern.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/traffic_pattern.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/update_events.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/update_events.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/workload/zipf.cpp.o"
+  "CMakeFiles/sf_workload.dir/workload/zipf.cpp.o.d"
+  "libsf_workload.a"
+  "libsf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/cost_model.cpp" "src/CMakeFiles/sf_x86.dir/x86/cost_model.cpp.o" "gcc" "src/CMakeFiles/sf_x86.dir/x86/cost_model.cpp.o.d"
+  "/root/repo/src/x86/queue_sim.cpp" "src/CMakeFiles/sf_x86.dir/x86/queue_sim.cpp.o" "gcc" "src/CMakeFiles/sf_x86.dir/x86/queue_sim.cpp.o.d"
+  "/root/repo/src/x86/rss.cpp" "src/CMakeFiles/sf_x86.dir/x86/rss.cpp.o" "gcc" "src/CMakeFiles/sf_x86.dir/x86/rss.cpp.o.d"
+  "/root/repo/src/x86/snat.cpp" "src/CMakeFiles/sf_x86.dir/x86/snat.cpp.o" "gcc" "src/CMakeFiles/sf_x86.dir/x86/snat.cpp.o.d"
+  "/root/repo/src/x86/xgw_x86.cpp" "src/CMakeFiles/sf_x86.dir/x86/xgw_x86.cpp.o" "gcc" "src/CMakeFiles/sf_x86.dir/x86/xgw_x86.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

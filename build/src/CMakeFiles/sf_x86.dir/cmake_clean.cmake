@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_x86.dir/x86/cost_model.cpp.o"
+  "CMakeFiles/sf_x86.dir/x86/cost_model.cpp.o.d"
+  "CMakeFiles/sf_x86.dir/x86/queue_sim.cpp.o"
+  "CMakeFiles/sf_x86.dir/x86/queue_sim.cpp.o.d"
+  "CMakeFiles/sf_x86.dir/x86/rss.cpp.o"
+  "CMakeFiles/sf_x86.dir/x86/rss.cpp.o.d"
+  "CMakeFiles/sf_x86.dir/x86/snat.cpp.o"
+  "CMakeFiles/sf_x86.dir/x86/snat.cpp.o.d"
+  "CMakeFiles/sf_x86.dir/x86/xgw_x86.cpp.o"
+  "CMakeFiles/sf_x86.dir/x86/xgw_x86.cpp.o.d"
+  "libsf_x86.a"
+  "libsf_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

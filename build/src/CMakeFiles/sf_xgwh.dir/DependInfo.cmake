@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xgwh/compression_plan.cpp" "src/CMakeFiles/sf_xgwh.dir/xgwh/compression_plan.cpp.o" "gcc" "src/CMakeFiles/sf_xgwh.dir/xgwh/compression_plan.cpp.o.d"
+  "/root/repo/src/xgwh/gateway_program.cpp" "src/CMakeFiles/sf_xgwh.dir/xgwh/gateway_program.cpp.o" "gcc" "src/CMakeFiles/sf_xgwh.dir/xgwh/gateway_program.cpp.o.d"
+  "/root/repo/src/xgwh/p4_export.cpp" "src/CMakeFiles/sf_xgwh.dir/xgwh/p4_export.cpp.o" "gcc" "src/CMakeFiles/sf_xgwh.dir/xgwh/p4_export.cpp.o.d"
+  "/root/repo/src/xgwh/xgwh.cpp" "src/CMakeFiles/sf_xgwh.dir/xgwh/xgwh.cpp.o" "gcc" "src/CMakeFiles/sf_xgwh.dir/xgwh/xgwh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

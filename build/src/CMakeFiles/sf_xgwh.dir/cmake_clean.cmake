@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_xgwh.dir/xgwh/compression_plan.cpp.o"
+  "CMakeFiles/sf_xgwh.dir/xgwh/compression_plan.cpp.o.d"
+  "CMakeFiles/sf_xgwh.dir/xgwh/gateway_program.cpp.o"
+  "CMakeFiles/sf_xgwh.dir/xgwh/gateway_program.cpp.o.d"
+  "CMakeFiles/sf_xgwh.dir/xgwh/p4_export.cpp.o"
+  "CMakeFiles/sf_xgwh.dir/xgwh/p4_export.cpp.o.d"
+  "CMakeFiles/sf_xgwh.dir/xgwh/xgwh.cpp.o"
+  "CMakeFiles/sf_xgwh.dir/xgwh/xgwh.cpp.o.d"
+  "libsf_xgwh.a"
+  "libsf_xgwh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_xgwh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

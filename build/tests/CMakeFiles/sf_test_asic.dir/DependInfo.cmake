@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asic/test_memory_phv.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_memory_phv.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_memory_phv.cpp.o.d"
+  "/root/repo/tests/asic/test_parser.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_parser.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_parser.cpp.o.d"
+  "/root/repo/tests/asic/test_placer.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_placer.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_placer.cpp.o.d"
+  "/root/repo/tests/asic/test_placer_properties.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_placer_properties.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_placer_properties.cpp.o.d"
+  "/root/repo/tests/asic/test_stage_planner.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_stage_planner.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_stage_planner.cpp.o.d"
+  "/root/repo/tests/asic/test_walker.cpp" "tests/CMakeFiles/sf_test_asic.dir/asic/test_walker.cpp.o" "gcc" "tests/CMakeFiles/sf_test_asic.dir/asic/test_walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_xgwh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_asic.dir/asic/test_memory_phv.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_memory_phv.cpp.o.d"
+  "CMakeFiles/sf_test_asic.dir/asic/test_parser.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_parser.cpp.o.d"
+  "CMakeFiles/sf_test_asic.dir/asic/test_placer.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_placer.cpp.o.d"
+  "CMakeFiles/sf_test_asic.dir/asic/test_placer_properties.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_placer_properties.cpp.o.d"
+  "CMakeFiles/sf_test_asic.dir/asic/test_stage_planner.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_stage_planner.cpp.o.d"
+  "CMakeFiles/sf_test_asic.dir/asic/test_walker.cpp.o"
+  "CMakeFiles/sf_test_asic.dir/asic/test_walker.cpp.o.d"
+  "sf_test_asic"
+  "sf_test_asic.pdb"
+  "sf_test_asic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

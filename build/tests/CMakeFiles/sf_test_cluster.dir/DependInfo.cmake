@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cluster.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "/root/repo/tests/cluster/test_controller.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_controller.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_controller.cpp.o.d"
+  "/root/repo/tests/cluster/test_controller_fuzz.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_controller_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_controller_fuzz.cpp.o.d"
+  "/root/repo/tests/cluster/test_health.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_health.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_health.cpp.o.d"
+  "/root/repo/tests/cluster/test_probe.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_probe.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_probe.cpp.o.d"
+  "/root/repo/tests/cluster/test_upgrade.cpp" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_upgrade.cpp.o" "gcc" "tests/CMakeFiles/sf_test_cluster.dir/cluster/test_upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_xgwh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_cluster.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_controller.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_controller.cpp.o.d"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_controller_fuzz.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_controller_fuzz.cpp.o.d"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_health.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_health.cpp.o.d"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_probe.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_probe.cpp.o.d"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_upgrade.cpp.o"
+  "CMakeFiles/sf_test_cluster.dir/cluster/test_upgrade.cpp.o.d"
+  "sf_test_cluster"
+  "sf_test_cluster.pdb"
+  "sf_test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_capacity_planner.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_capacity_planner.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_capacity_planner.cpp.o.d"
+  "/root/repo/tests/core/test_core.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_core.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_core.cpp.o.d"
+  "/root/repo/tests/core/test_path_trace.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_path_trace.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_path_trace.cpp.o.d"
+  "/root/repo/tests/core/test_region.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_region.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_region.cpp.o.d"
+  "/root/repo/tests/core/test_region_tunnels.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_region_tunnels.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_region_tunnels.cpp.o.d"
+  "/root/repo/tests/core/test_rollout.cpp" "tests/CMakeFiles/sf_test_core.dir/core/test_rollout.cpp.o" "gcc" "tests/CMakeFiles/sf_test_core.dir/core/test_rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_xgwh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_core.dir/core/test_capacity_planner.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_capacity_planner.cpp.o.d"
+  "CMakeFiles/sf_test_core.dir/core/test_core.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_core.cpp.o.d"
+  "CMakeFiles/sf_test_core.dir/core/test_path_trace.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_path_trace.cpp.o.d"
+  "CMakeFiles/sf_test_core.dir/core/test_region.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_region.cpp.o.d"
+  "CMakeFiles/sf_test_core.dir/core/test_region_tunnels.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_region_tunnels.cpp.o.d"
+  "CMakeFiles/sf_test_core.dir/core/test_rollout.cpp.o"
+  "CMakeFiles/sf_test_core.dir/core/test_rollout.cpp.o.d"
+  "sf_test_core"
+  "sf_test_core.pdb"
+  "sf_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/sf_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/sf_test_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/sf_test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/sf_test_integration.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/sf_test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "sf_test_integration"
+  "sf_test_integration.pdb"
+  "sf_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_fuzz_roundtrip.cpp" "tests/CMakeFiles/sf_test_net.dir/net/test_fuzz_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/sf_test_net.dir/net/test_fuzz_roundtrip.cpp.o.d"
+  "/root/repo/tests/net/test_ip.cpp" "tests/CMakeFiles/sf_test_net.dir/net/test_ip.cpp.o" "gcc" "tests/CMakeFiles/sf_test_net.dir/net/test_ip.cpp.o.d"
+  "/root/repo/tests/net/test_mac_hash_checksum.cpp" "tests/CMakeFiles/sf_test_net.dir/net/test_mac_hash_checksum.cpp.o" "gcc" "tests/CMakeFiles/sf_test_net.dir/net/test_mac_hash_checksum.cpp.o.d"
+  "/root/repo/tests/net/test_packet.cpp" "tests/CMakeFiles/sf_test_net.dir/net/test_packet.cpp.o" "gcc" "tests/CMakeFiles/sf_test_net.dir/net/test_packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_net.dir/net/test_fuzz_roundtrip.cpp.o"
+  "CMakeFiles/sf_test_net.dir/net/test_fuzz_roundtrip.cpp.o.d"
+  "CMakeFiles/sf_test_net.dir/net/test_ip.cpp.o"
+  "CMakeFiles/sf_test_net.dir/net/test_ip.cpp.o.d"
+  "CMakeFiles/sf_test_net.dir/net/test_mac_hash_checksum.cpp.o"
+  "CMakeFiles/sf_test_net.dir/net/test_mac_hash_checksum.cpp.o.d"
+  "CMakeFiles/sf_test_net.dir/net/test_packet.cpp.o"
+  "CMakeFiles/sf_test_net.dir/net/test_packet.cpp.o.d"
+  "sf_test_net"
+  "sf_test_net.pdb"
+  "sf_test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

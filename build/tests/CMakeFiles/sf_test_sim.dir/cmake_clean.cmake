@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_sim.dir/sim/test_sim.cpp.o"
+  "CMakeFiles/sf_test_sim.dir/sim/test_sim.cpp.o.d"
+  "sf_test_sim"
+  "sf_test_sim.pdb"
+  "sf_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tables/test_alpm.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_alpm.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_alpm.cpp.o.d"
+  "/root/repo/tests/tables/test_digest_table.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_digest_table.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_digest_table.cpp.o.d"
+  "/root/repo/tests/tables/test_dir24_8.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_dir24_8.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_dir24_8.cpp.o.d"
+  "/root/repo/tests/tables/test_exact_and_masked.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_exact_and_masked.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_exact_and_masked.cpp.o.d"
+  "/root/repo/tests/tables/test_lpm_equivalence.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_lpm_equivalence.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_lpm_equivalence.cpp.o.d"
+  "/root/repo/tests/tables/test_lpm_trie.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_lpm_trie.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_lpm_trie.cpp.o.d"
+  "/root/repo/tests/tables/test_range_expansion.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_range_expansion.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_range_expansion.cpp.o.d"
+  "/root/repo/tests/tables/test_reference_fuzz.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_reference_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_reference_fuzz.cpp.o.d"
+  "/root/repo/tests/tables/test_service_tables.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_service_tables.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_service_tables.cpp.o.d"
+  "/root/repo/tests/tables/test_tcam.cpp" "tests/CMakeFiles/sf_test_tables.dir/tables/test_tcam.cpp.o" "gcc" "tests/CMakeFiles/sf_test_tables.dir/tables/test_tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_tables.dir/tables/test_alpm.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_alpm.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_digest_table.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_digest_table.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_dir24_8.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_dir24_8.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_exact_and_masked.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_exact_and_masked.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_lpm_equivalence.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_lpm_equivalence.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_lpm_trie.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_lpm_trie.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_range_expansion.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_range_expansion.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_reference_fuzz.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_reference_fuzz.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_service_tables.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_service_tables.cpp.o.d"
+  "CMakeFiles/sf_test_tables.dir/tables/test_tcam.cpp.o"
+  "CMakeFiles/sf_test_tables.dir/tables/test_tcam.cpp.o.d"
+  "sf_test_tables"
+  "sf_test_tables.pdb"
+  "sf_test_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_flow_invariants.cpp" "tests/CMakeFiles/sf_test_workload.dir/workload/test_flow_invariants.cpp.o" "gcc" "tests/CMakeFiles/sf_test_workload.dir/workload/test_flow_invariants.cpp.o.d"
+  "/root/repo/tests/workload/test_patterns_updates.cpp" "tests/CMakeFiles/sf_test_workload.dir/workload/test_patterns_updates.cpp.o" "gcc" "tests/CMakeFiles/sf_test_workload.dir/workload/test_patterns_updates.cpp.o.d"
+  "/root/repo/tests/workload/test_rng_zipf.cpp" "tests/CMakeFiles/sf_test_workload.dir/workload/test_rng_zipf.cpp.o" "gcc" "tests/CMakeFiles/sf_test_workload.dir/workload/test_rng_zipf.cpp.o.d"
+  "/root/repo/tests/workload/test_topology_flows.cpp" "tests/CMakeFiles/sf_test_workload.dir/workload/test_topology_flows.cpp.o" "gcc" "tests/CMakeFiles/sf_test_workload.dir/workload/test_topology_flows.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_io.cpp" "tests/CMakeFiles/sf_test_workload.dir/workload/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/sf_test_workload.dir/workload/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_workload.dir/workload/test_flow_invariants.cpp.o"
+  "CMakeFiles/sf_test_workload.dir/workload/test_flow_invariants.cpp.o.d"
+  "CMakeFiles/sf_test_workload.dir/workload/test_patterns_updates.cpp.o"
+  "CMakeFiles/sf_test_workload.dir/workload/test_patterns_updates.cpp.o.d"
+  "CMakeFiles/sf_test_workload.dir/workload/test_rng_zipf.cpp.o"
+  "CMakeFiles/sf_test_workload.dir/workload/test_rng_zipf.cpp.o.d"
+  "CMakeFiles/sf_test_workload.dir/workload/test_topology_flows.cpp.o"
+  "CMakeFiles/sf_test_workload.dir/workload/test_topology_flows.cpp.o.d"
+  "CMakeFiles/sf_test_workload.dir/workload/test_trace_io.cpp.o"
+  "CMakeFiles/sf_test_workload.dir/workload/test_trace_io.cpp.o.d"
+  "sf_test_workload"
+  "sf_test_workload.pdb"
+  "sf_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/x86/test_interval_properties.cpp" "tests/CMakeFiles/sf_test_x86.dir/x86/test_interval_properties.cpp.o" "gcc" "tests/CMakeFiles/sf_test_x86.dir/x86/test_interval_properties.cpp.o.d"
+  "/root/repo/tests/x86/test_queue_sim.cpp" "tests/CMakeFiles/sf_test_x86.dir/x86/test_queue_sim.cpp.o" "gcc" "tests/CMakeFiles/sf_test_x86.dir/x86/test_queue_sim.cpp.o.d"
+  "/root/repo/tests/x86/test_snat_fuzz.cpp" "tests/CMakeFiles/sf_test_x86.dir/x86/test_snat_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sf_test_x86.dir/x86/test_snat_fuzz.cpp.o.d"
+  "/root/repo/tests/x86/test_x86.cpp" "tests/CMakeFiles/sf_test_x86.dir/x86/test_x86.cpp.o" "gcc" "tests/CMakeFiles/sf_test_x86.dir/x86/test_x86.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sf_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

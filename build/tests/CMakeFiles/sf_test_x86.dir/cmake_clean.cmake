@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_x86.dir/x86/test_interval_properties.cpp.o"
+  "CMakeFiles/sf_test_x86.dir/x86/test_interval_properties.cpp.o.d"
+  "CMakeFiles/sf_test_x86.dir/x86/test_queue_sim.cpp.o"
+  "CMakeFiles/sf_test_x86.dir/x86/test_queue_sim.cpp.o.d"
+  "CMakeFiles/sf_test_x86.dir/x86/test_snat_fuzz.cpp.o"
+  "CMakeFiles/sf_test_x86.dir/x86/test_snat_fuzz.cpp.o.d"
+  "CMakeFiles/sf_test_x86.dir/x86/test_x86.cpp.o"
+  "CMakeFiles/sf_test_x86.dir/x86/test_x86.cpp.o.d"
+  "sf_test_x86"
+  "sf_test_x86.pdb"
+  "sf_test_x86[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

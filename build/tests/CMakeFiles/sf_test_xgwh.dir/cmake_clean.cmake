@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_hw_sw_equivalence.cpp.o"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_hw_sw_equivalence.cpp.o.d"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_p4_export.cpp.o"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_p4_export.cpp.o.d"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_xgwh.cpp.o"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_xgwh.cpp.o.d"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_xgwh_telemetry.cpp.o"
+  "CMakeFiles/sf_test_xgwh.dir/xgwh/test_xgwh_telemetry.cpp.o.d"
+  "sf_test_xgwh"
+  "sf_test_xgwh.pdb"
+  "sf_test_xgwh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_test_xgwh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sf_test_net[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_tables[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_asic[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_xgwh[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_x86[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_core[1]_include.cmake")
+include("/root/repo/build/tests/sf_test_integration[1]_include.cmake")
