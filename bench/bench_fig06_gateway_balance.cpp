@@ -2,12 +2,17 @@
 // load is *balanced* (ECMP flow hashing over many flows works fine); the
 // §2.3 imbalance lives below, at the per-core level. Jain's fairness index
 // quantifies it.
+//
+// The series is read from the fleet's telemetry registry: step() folds
+// each interval into per-gateway / per-core counters, and the bench works
+// on snapshot deltas — the same numbers an operator's scrape would see.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/registry.hpp"
 #include "x86_region_sim.hpp"
 
 using namespace sf;
@@ -24,28 +29,39 @@ int main() {
     gateway_series.emplace_back("xgw-x86 " + std::to_string(g + 1));
   }
 
+  const unsigned cores = sim.config().model.cores;
+  const double capacity = sim.config().model.core_pps();
   const double step = 3600;
   std::vector<double> fairness_samples;
   std::vector<double> core_fairness_samples;
+  telemetry::Snapshot previous = sim.registry().snapshot();
   for (double t = 0; t < workload::days(8); t += step) {
-    const auto reports = sim.step(t);
-    std::vector<double> per_gateway_util;
-    for (std::size_t g = 0; g < reports.size(); ++g) {
+    sim.step(t);
+    const telemetry::Snapshot current = sim.registry().snapshot();
+    const telemetry::Snapshot interval =
+        telemetry::Snapshot::delta(previous, current);
+    previous = current;
+
+    std::vector<double> per_gateway_pps;
+    for (std::size_t g = 0; g < sim.gateway_count(); ++g) {
       double total_util = 0;
       std::vector<double> per_core;
-      for (const auto& core : reports[g].cores) {
-        total_util += std::min(1.0, core.utilization);
-        per_core.push_back(core.offered_pps);
+      for (unsigned c = 0; c < cores; ++c) {
+        const double offered = static_cast<double>(
+            interval.counter(bench::X86RegionSim::core_counter(g, c)));
+        total_util += std::min(1.0, offered / capacity);
+        per_core.push_back(offered);
       }
       const double mean_util =
-          total_util / static_cast<double>(reports[g].cores.size()) * 100.0;
+          total_util / static_cast<double>(cores) * 100.0;
       gateway_series[g].record(t / 86400.0, mean_util);
-      per_gateway_util.push_back(reports[g].offered_pps);
+      per_gateway_pps.push_back(static_cast<double>(
+          interval.counter(bench::X86RegionSim::gateway_counter(g))));
       if (g == sim.hottest_gateway()) {
         core_fairness_samples.push_back(sim::fairness_index(per_core));
       }
     }
-    fairness_samples.push_back(sim::fairness_index(per_gateway_util));
+    fairness_samples.push_back(sim::fairness_index(per_gateway_pps));
   }
 
   for (std::size_t g = 0; g < 5; ++g) {

@@ -3,10 +3,16 @@
 // traffic. Here each scene is an independent flow population (different
 // seed); we report the traffic share of the top flows on the most loaded
 // core.
+//
+// The shares are measured the way a switch would measure them: a count-min
+// sketch + top-K tracker on the overloaded core identifies the heavy
+// flows, and the core's offered rate comes from its registry counter.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sketch.hpp"
 #include "x86_region_sim.hpp"
 
 using namespace sf;
@@ -24,26 +30,39 @@ int main() {
     config.seed = 3000 + static_cast<std::uint64_t>(scene);
     bench::X86RegionSim sim(config);
     // Sample at the diurnal peak.
-    const auto reports =
-        sim.step(workload::hours(config.pattern.peak_hour));
+    const double t = workload::hours(config.pattern.peak_hour);
+    const auto reports = sim.step(t);
 
-    const x86::CoreLoad* hottest = nullptr;
-    for (const auto& report : reports) {
-      for (const auto& core : report.cores) {
-        if (hottest == nullptr ||
-            core.utilization > hottest->utilization) {
-          hottest = &core;
+    // Locate the most loaded core (which box, which core).
+    std::size_t hot_gateway = 0;
+    unsigned hot_core = 0;
+    double hot_util = -1;
+    for (std::size_t g = 0; g < reports.size(); ++g) {
+      for (unsigned c = 0; c < reports[g].cores.size(); ++c) {
+        if (reports[g].cores[c].utilization > hot_util) {
+          hot_util = reports[g].cores[c].utilization;
+          hot_gateway = g;
+          hot_core = c;
         }
       }
     }
-    const double top1 = hottest->top1_pps / hottest->offered_pps;
-    const double top2 = hottest->top2_pps / hottest->offered_pps;
+
+    // Its offered rate from the fleet registry, its heavy flows from the
+    // sketch-backed tracker.
+    const telemetry::Snapshot snap = sim.registry().snapshot();
+    const double offered = static_cast<double>(snap.counter(
+        bench::X86RegionSim::core_counter(hot_gateway, hot_core)));
+    const auto top = sim.core_heavy_hitters(hot_gateway, hot_core, t).top(2);
+    const double top1 =
+        top.size() > 0 ? static_cast<double>(top[0].estimate) / offered : 0;
+    const double top2 =
+        top.size() > 1 ? static_cast<double>(top[1].estimate) / offered : 0;
     const double rest = 1.0 - top1 - top2;
     top2_sum += top1 + top2;
     if (top1 + top2 > 0.5) ++dominated;
     table.add_row({std::to_string(scene), bench::pct(top1, 0),
                    bench::pct(top2, 0), bench::pct(rest, 0),
-                   sim::format_double(hottest->utilization * 100, 0) + "%"});
+                   sim::format_double(hot_util * 100, 0) + "%"});
   }
   table.print();
 

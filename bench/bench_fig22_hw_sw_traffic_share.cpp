@@ -2,12 +2,18 @@
 // forwarding tables": after table sharing, the software fleet carries a
 // few Gbps — under 0.2 per mille of the region — while holding the full
 // table set (routes + mappings + SNAT).
+//
+// The series is read from the region's telemetry registry: each
+// simulate_interval() accumulates its offered/fallback rates into
+// counters, and the bench differences successive snapshots — the numbers
+// are the registry's, not a private tally.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/table_sharing.hpp"
 #include "sailfish_region_sim.hpp"
+#include "telemetry/registry.hpp"
 
 using namespace sf;
 
@@ -19,13 +25,27 @@ int main() {
   sim::TimeSeries sw_rate("XGW-x86 rate (Gbps)");
   sim::TimeSeries sw_ratio("XGW-x86 ratio (permille)");
   const double step = 3600;
+  telemetry::Snapshot previous =
+      scenario.system.region->registry().snapshot();
   for (double t = 0; t < workload::days(8); t += step) {
     const double offered = workload::rate_at(scenario.pattern, t);
-    const auto report = scenario.system.region->simulate_interval(
+    scenario.system.region->simulate_interval(
         scenario.system.flows, offered,
         static_cast<std::uint64_t>(t / step));
-    sw_rate.record(t / 86400.0, report.fallback_bps / 1e9);
-    sw_ratio.record(t / 86400.0, report.fallback_ratio * 1000.0);
+    const telemetry::Snapshot current =
+        scenario.system.region->registry().snapshot();
+    const telemetry::Snapshot interval =
+        telemetry::Snapshot::delta(previous, current);
+    previous = current;
+
+    const double fallback_bps =
+        static_cast<double>(interval.counter("region.fallback_bps_sum"));
+    const double offered_bps =
+        static_cast<double>(interval.counter("region.offered_bps_sum"));
+    sw_rate.record(t / 86400.0, fallback_bps / 1e9);
+    sw_ratio.record(t / 86400.0,
+                    offered_bps > 0 ? fallback_bps / offered_bps * 1000.0
+                                    : 0.0);
   }
 
   std::printf("%s\n", sim::sparkline(sw_rate, 64).c_str());

@@ -14,9 +14,12 @@
 #pragma once
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "net/hash.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sketch.hpp"
 #include "workload/rng.hpp"
 #include "workload/traffic_pattern.hpp"
 #include "workload/zipf.hpp"
@@ -29,6 +32,8 @@ struct HeavyFlow {
   std::size_t gateway = 0;
   unsigned core = 0;
   double weight = 0;  // share of region traffic
+  /// Synthetic identity so sketches/trackers can key this flow.
+  telemetry::FlowKey key;
 };
 
 class X86RegionSim {
@@ -68,12 +73,43 @@ class X86RegionSim {
       flow.gateway = rng.uniform(config.gateways);
       flow.core = static_cast<unsigned>(rng.uniform(config.model.cores));
       flow.weight = weights[f] * config.heavy_share;
+      flow.key.vni = static_cast<net::Vni>(1000 + f);
+      flow.key.tuple.src = net::IpAddr(net::Ipv4Addr(
+          10, static_cast<std::uint8_t>(f >> 8),
+          static_cast<std::uint8_t>(f & 0xff), 2));
+      flow.key.tuple.dst = net::IpAddr(net::Ipv4Addr(192, 168, 0, 1));
+      flow.key.tuple.proto = 6;
+      flow.key.tuple.src_port = static_cast<std::uint16_t>(40000 + f);
+      flow.key.tuple.dst_port = 443;
       heavy_.push_back(flow);
     }
     // Deterministic per-core wobble of the background spread (RSS is
     // near-uniform over many flows, not exact).
     wobble_.resize(config.gateways * config.model.cores);
     for (double& w : wobble_) w = 0.94 + 0.12 * rng.uniform_real();
+
+    // Pre-resolve one offered-pps counter per gateway and per core; every
+    // step() adds its interval rates, so figure series come from snapshot
+    // deltas instead of private tallies.
+    gateway_offered_.reserve(config_.gateways);
+    core_offered_.reserve(config_.gateways * config_.model.cores);
+    for (std::size_t g = 0; g < config_.gateways; ++g) {
+      gateway_offered_.push_back(
+          &registry_.counter(gateway_counter(g)));
+      for (unsigned c = 0; c < config_.model.cores; ++c) {
+        core_offered_.push_back(&registry_.counter(core_counter(g, c)));
+      }
+    }
+    steps_ = &registry_.counter("fleet.steps");
+  }
+
+  /// Registry counter names used by the benches.
+  static std::string gateway_counter(std::size_t gateway) {
+    return "fleet.gw" + std::to_string(gateway) + ".offered_pps_sum";
+  }
+  static std::string core_counter(std::size_t gateway, unsigned core) {
+    return "fleet.gw" + std::to_string(gateway) + ".core" +
+           std::to_string(core) + ".offered_pps_sum";
   }
 
   /// One interval at time t: per-gateway reports (x86::IntervalReport
@@ -96,18 +132,9 @@ class X86RegionSim {
       }
     }
 
-    const std::uint64_t burst_key =
-        static_cast<std::uint64_t>(t_seconds / 60.0) + 1;
     for (std::size_t f = 0; f < heavy_.size(); ++f) {
       const HeavyFlow& flow = heavy_[f];
-      const double u =
-          static_cast<double>(net::mix64(burst_key ^ (f * 0x9e3779b9)) >>
-                              11) *
-          0x1.0p-53;
-      const double burst =
-          1.0 + config_.flow_burstiness * (2.0 * u - 1.0);
-      const double pps = flow.weight * region_bps * burst / 8.0 /
-                         config_.heavy_packet_bytes;
+      const double pps = heavy_pps(f, region_bps, t_seconds);
       x86::CoreLoad& core = reports[flow.gateway].cores[flow.core];
       core.offered_pps += pps;
       if (pps > core.top1_pps) {
@@ -134,7 +161,39 @@ class X86RegionSim {
                              ? report.dropped_pps / report.offered_pps
                              : 0;
     }
+
+    // Fold the interval into the registry (the registry is the mutable
+    // measurement plane of a const simulation step).
+    steps_->add();
+    for (std::size_t g = 0; g < config_.gateways; ++g) {
+      gateway_offered_[g]->add(
+          static_cast<std::uint64_t>(reports[g].offered_pps));
+      for (unsigned c = 0; c < config_.model.cores; ++c) {
+        core_offered_[g * config_.model.cores + c]->add(
+            static_cast<std::uint64_t>(reports[g].cores[c].offered_pps));
+      }
+    }
     return reports;
+  }
+
+  /// A tracker fed with the discrete heavy flows RSS pinned to one core
+  /// at time t — what a sketch on that core's datapath would see (the
+  /// smooth background mix stays inside the sketch's error band).
+  telemetry::HeavyHitterTracker core_heavy_hitters(
+      std::size_t gateway, unsigned core, double t_seconds) const {
+    telemetry::HeavyHitterTracker::Config cfg;
+    cfg.sketch.width = 1024;
+    cfg.capacity = 8;
+    telemetry::HeavyHitterTracker tracker(cfg);
+    const double region_bps =
+        workload::rate_at(config_.pattern, t_seconds);
+    for (std::size_t f = 0; f < heavy_.size(); ++f) {
+      const HeavyFlow& flow = heavy_[f];
+      if (flow.gateway != gateway || flow.core != core) continue;
+      tracker.add(flow.key, static_cast<std::uint64_t>(
+                                heavy_pps(f, region_bps, t_seconds)));
+    }
+    return tracker;
   }
 
   /// Gateway hosting the region's heaviest flow (the Fig. 4 box).
@@ -144,10 +203,31 @@ class X86RegionSim {
   const std::vector<HeavyFlow>& heavy_flows() const { return heavy_; }
   std::size_t gateway_count() const { return config_.gateways; }
 
+  telemetry::Registry& registry() const { return registry_; }
+
  private:
+  /// Offered pps of heavy flow f at time t (minute-keyed burstiness).
+  double heavy_pps(std::size_t f, double region_bps,
+                   double t_seconds) const {
+    const std::uint64_t burst_key =
+        static_cast<std::uint64_t>(t_seconds / 60.0) + 1;
+    const double u =
+        static_cast<double>(net::mix64(burst_key ^ (f * 0x9e3779b9)) >>
+                            11) *
+        0x1.0p-53;
+    const double burst = 1.0 + config_.flow_burstiness * (2.0 * u - 1.0);
+    return heavy_[f].weight * region_bps * burst / 8.0 /
+           config_.heavy_packet_bytes;
+  }
+
   Config config_;
   std::vector<HeavyFlow> heavy_;
   std::vector<double> wobble_;
+
+  mutable telemetry::Registry registry_;
+  std::vector<telemetry::Counter*> gateway_offered_;
+  std::vector<telemetry::Counter*> core_offered_;
+  telemetry::Counter* steps_ = nullptr;
 };
 
 }  // namespace sf::bench

@@ -19,6 +19,10 @@
 #include "asic/phv.hpp"
 #include "net/packet.hpp"
 
+namespace sf::telemetry {
+class Registry;
+}  // namespace sf::telemetry
+
 namespace sf::asic {
 
 enum class Gress : std::uint8_t { kIngress, kEgress };
@@ -31,6 +35,9 @@ struct PacketContext {
   Gress gress = Gress::kIngress;
   bool dropped = false;
   std::string drop_reason;
+  /// Set by the walker when its owner registered a telemetry registry:
+  /// stages record their per-table hit/miss counts here.
+  telemetry::Registry* stats = nullptr;
   /// Ingress sets this to steer the packet through the traffic manager;
   /// unset means "stay on the same pipeline".
   std::optional<unsigned> egress_pipe;

@@ -2,6 +2,29 @@
 
 namespace sf::asic {
 
+void Walker::set_registry(telemetry::Registry* registry) {
+  registry_ = registry;
+  ingress_packets_.clear();
+  egress_packets_.clear();
+  packets_ = nullptr;
+  drops_ = nullptr;
+  passes_ = nullptr;
+  if (registry_ == nullptr) return;
+  for (unsigned pipe = 0; pipe < program_->pipelines(); ++pipe) {
+    const std::string base = "asic.pipe" + std::to_string(pipe);
+    ingress_packets_.push_back(
+        &registry_->counter(base + ".ingress.packets"));
+    egress_packets_.push_back(
+        &registry_->counter(base + ".egress.packets"));
+  }
+  packets_ = &registry_->counter("asic.packets");
+  drops_ = &registry_->counter("asic.drops");
+  passes_ = &registry_->histogram(
+      "asic.passes", telemetry::Histogram::Config{
+                         /*min_value=*/1.0, /*growth=*/2.0,
+                         /*buckets=*/4, /*reservoir=*/128});
+}
+
 WalkResult Walker::run(net::OverlayPacket packet,
                        unsigned ingress_pipe) const {
   WalkResult result;
@@ -9,6 +32,8 @@ WalkResult Walker::run(net::OverlayPacket packet,
   ctx.packet = std::move(packet);
   ctx.meta = Phv(chip_.phv_metadata_bits);
   ctx.pipe = ingress_pipe;
+  ctx.stats = registry_;
+  if (packets_ != nullptr) packets_->add();
 
   unsigned pipe = ingress_pipe;
   for (unsigned pass = 0; pass < kMaxPasses; ++pass) {
@@ -16,6 +41,7 @@ WalkResult Walker::run(net::OverlayPacket packet,
     ctx.pipe = pipe;
     ctx.gress = Gress::kIngress;
     ctx.egress_pipe.reset();
+    if (packets_ != nullptr) ingress_packets_[pipe]->add();
     for (const StageFn& stage : program_->ingress(pipe).stages) {
       stage(ctx);
       if (ctx.dropped) break;
@@ -29,6 +55,7 @@ WalkResult Walker::run(net::OverlayPacket packet,
 
     ctx.pipe = egress;
     ctx.gress = Gress::kEgress;
+    if (packets_ != nullptr) egress_packets_[egress]->add();
     for (const StageFn& stage : program_->egress(egress).stages) {
       stage(ctx);
       if (ctx.dropped) break;
@@ -53,6 +80,10 @@ WalkResult Walker::run(net::OverlayPacket packet,
   result.meta = std::move(ctx.meta);
   result.dropped = ctx.dropped;
   result.drop_reason = std::move(ctx.drop_reason);
+  if (packets_ != nullptr) {
+    if (result.dropped) drops_->add();
+    passes_->record(static_cast<double>(result.passes));
+  }
   result.latency_us = chip_.latency_us(
       result.passes,
       result.packet.wire_size() + result.bridged_bits / 8);

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "asic/chip_config.hpp"
 #include "asic/pipeline.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sf::asic {
 
@@ -40,12 +42,25 @@ class Walker {
   Walker(const ChipConfig& chip, const PipelineProgram* program)
       : chip_(chip), program_(program) {}
 
+  /// Registers the registry the walk records into: per-pipe/per-gress
+  /// packet counts ("asic.pipeN.ingress.packets"), total packets, drops,
+  /// and a pass-count histogram. Stages see it as PacketContext::stats for
+  /// per-table hit/miss accounting. Counter handles are resolved here once
+  /// so the per-packet cost is a few pointer bumps.
+  void set_registry(telemetry::Registry* registry);
+
   /// Runs one packet entering at `ingress_pipe`.
   WalkResult run(net::OverlayPacket packet, unsigned ingress_pipe) const;
 
  private:
   ChipConfig chip_;
   const PipelineProgram* program_;
+  telemetry::Registry* registry_ = nullptr;
+  std::vector<telemetry::Counter*> ingress_packets_;  // per pipe
+  std::vector<telemetry::Counter*> egress_packets_;   // per pipe
+  telemetry::Counter* packets_ = nullptr;
+  telemetry::Counter* drops_ = nullptr;
+  telemetry::Histogram* passes_ = nullptr;
 };
 
 }  // namespace sf::asic

@@ -4,17 +4,34 @@
 
 namespace sf::cluster {
 
-Controller::Controller(Config config) : config_(std::move(config)) {
+Controller::Controller(Config config)
+    : config_(std::move(config)),
+      registry_(std::make_unique<telemetry::Registry>()),
+      journal_(std::make_unique<telemetry::EventJournal>(256)) {
   if (config_.max_clusters == 0) {
     throw std::invalid_argument("controller needs at least one cluster slot");
   }
+  ctr_routes_added_ = &registry_->counter("controller.routes_added");
+  ctr_routes_removed_ = &registry_->counter("controller.routes_removed");
+  ctr_mappings_added_ = &registry_->counter("controller.mappings_added");
+  ctr_mappings_removed_ = &registry_->counter("controller.mappings_removed");
+  ctr_vpcs_admitted_ = &registry_->counter("controller.vpcs_admitted");
+  ctr_admission_refused_ = &registry_->counter("controller.admission_refused");
+  ctr_migrations_ = &registry_->counter("controller.migrations");
+  ctr_clusters_opened_ = &registry_->counter("controller.clusters_opened");
+  ctr_packets_ = &registry_->counter("controller.packets_steered");
+  ctr_unknown_vni_ = &registry_->counter("controller.unknown_vni_drops");
   const std::size_t prebuilt =
       std::min(config_.initial_clusters, config_.max_clusters);
   for (std::size_t i = 0; i < prebuilt; ++i) {
     XgwHCluster::Config cfg = config_.cluster_template;
     cfg.cluster_id = static_cast<std::uint32_t>(clusters_.size());
     clusters_.push_back(std::make_unique<XgwHCluster>(cfg));
+    journal_->record("provisioning", "opened cluster " +
+                                         std::to_string(cfg.cluster_id) +
+                                         " (prebuilt)");
   }
+  ctr_clusters_opened_->add(prebuilt);
 }
 
 void Controller::mirror(const TableOp& op) {
@@ -41,12 +58,18 @@ std::optional<std::uint32_t> Controller::assign_cluster() {
   if (clusters_.size() >= config_.max_clusters) {
     alerts_.push_back(
         "admission refused: all clusters at water level, region full");
+    ctr_admission_refused_->add();
+    journal_->record("alert",
+                     "admission refused: all clusters at water level");
     return std::nullopt;
   }
   XgwHCluster::Config cfg = config_.cluster_template;
   cfg.cluster_id = static_cast<std::uint32_t>(clusters_.size());
   clusters_.push_back(std::make_unique<XgwHCluster>(cfg));
   alerts_.push_back("opened cluster " + std::to_string(cfg.cluster_id));
+  ctr_clusters_opened_->add();
+  journal_->record("provisioning",
+                   "opened cluster " + std::to_string(cfg.cluster_id));
   return cfg.cluster_id;
 }
 
@@ -70,6 +93,7 @@ bool Controller::add_vpc(const workload::VpcRecord& vpc) {
   state.cluster_id = *cluster_id;
   director_.assign(vpc.vni, *cluster_id);
   vpcs_.emplace(vpc.vni, std::move(state));
+  ctr_vpcs_admitted_->add();
 
   for (const workload::RouteRecord& route : vpc.routes) {
     add_route(vpc.vni, route.prefix, route.action);
@@ -128,11 +152,15 @@ bool Controller::add_route(net::Vni vni, const net::IpPrefix& prefix,
     existing->second = action;
   }
   mirror(TableOp{TableOp::Kind::kAddRoute, vni, prefix, action, {}, {}});
+  ctr_routes_added_->add();
 
   if (clusters_[it->second.cluster_id]->route_count() ==
       config_.routes_water_level) {
     alerts_.push_back("cluster " + std::to_string(it->second.cluster_id) +
                       " reached its route water level; sales closed");
+    journal_->record("water-level",
+                     "cluster " + std::to_string(it->second.cluster_id) +
+                         " reached its route water level; sales closed");
   }
   return true;
 }
@@ -148,6 +176,7 @@ bool Controller::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
   routes.erase(existing);
   clusters_[it->second.cluster_id]->remove_route(vni, prefix);
   mirror(TableOp{TableOp::Kind::kDelRoute, vni, prefix, {}, {}, {}});
+  ctr_routes_removed_->add();
   return true;
 }
 
@@ -167,6 +196,7 @@ bool Controller::add_mapping(const tables::VmNcKey& key,
     existing->second = action;
   }
   mirror(TableOp{TableOp::Kind::kAddMapping, key.vni, {}, {}, key, action});
+  ctr_mappings_added_->add();
   return true;
 }
 
@@ -182,6 +212,7 @@ bool Controller::remove_mapping(const tables::VmNcKey& key) {
   mappings.erase(existing);
   clusters_[it->second.cluster_id]->remove_mapping(key);
   mirror(TableOp{TableOp::Kind::kDelMapping, key.vni, {}, {}, key, {}});
+  ctr_mappings_removed_->add();
   return true;
 }
 
@@ -236,13 +267,21 @@ bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
                     std::to_string(group.size() - 1) +
                     " peers) to cluster " +
                     std::to_string(target_cluster));
+  ctr_migrations_->add();
+  journal_->record("migration",
+                   "migrated VNI " + std::to_string(vni) + " (+" +
+                       std::to_string(group.size() - 1) +
+                       " peers) to cluster " +
+                       std::to_string(target_cluster));
   return true;
 }
 
 xgwh::ForwardResult Controller::process(const net::OverlayPacket& packet,
                                         double now) {
+  ctr_packets_->add();
   auto cluster_id = director_.cluster_for(packet.vni);
   if (!cluster_id) {
+    ctr_unknown_vni_->add();
     xgwh::ForwardResult result;
     result.action = xgwh::ForwardAction::kDrop;
     result.drop_reason = "VNI not assigned to any cluster";
@@ -281,6 +320,36 @@ std::vector<std::size_t> Controller::cluster_route_counts() const {
     counts.push_back(cluster->route_count());
   }
   return counts;
+}
+
+telemetry::Snapshot Controller::telemetry_snapshot() const {
+  telemetry::Snapshot merged = registry_->snapshot();
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (std::size_t d = 0; d < clusters_[c]->device_count(); ++d) {
+      merged.merge(clusters_[c]->device(d).registry().snapshot(),
+                   "cluster" + std::to_string(c) + ".device" +
+                       std::to_string(d) + ".");
+    }
+  }
+  return merged;
+}
+
+std::vector<double> Controller::cluster_traffic_share() const {
+  std::vector<double> bytes(clusters_.size(), 0.0);
+  double total = 0;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (std::size_t d = 0; d < clusters_[c]->device_count(); ++d) {
+      const xgwh::XgwH& device = clusters_[c]->device(d);
+      const double b = static_cast<double>(
+          device.registry().counter_value("xgwh.bytes_in"));
+      bytes[c] += b;
+      total += b;
+    }
+  }
+  if (total > 0) {
+    for (double& share : bytes) share /= total;
+  }
+  return bytes;
 }
 
 }  // namespace sf::cluster

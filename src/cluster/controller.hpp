@@ -16,6 +16,8 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/load_balancer.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/registry.hpp"
 #include "workload/topology.hpp"
 
 namespace sf::cluster {
@@ -119,6 +121,25 @@ class Controller {
   /// Route entries per cluster (the Fig. 23 series).
   std::vector<std::size_t> cluster_route_counts() const;
 
+  /// Control-plane counters: table ops fanned out, VPC admissions and
+  /// refusals, migrations, clusters opened, packets steered.
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
+  /// Ring-buffer journal of control-plane events (provisioning,
+  /// water-level alerts, migrations, failovers recorded by the recovery
+  /// machinery).
+  telemetry::EventJournal& journal() { return *journal_; }
+  const telemetry::EventJournal& journal() const { return *journal_; }
+
+  /// Region-wide counter snapshot: this controller's own registry merged
+  /// with every device registry, prefixed "clusterC.deviceD.".
+  telemetry::Snapshot telemetry_snapshot() const;
+
+  /// Each cluster's fraction of region bytes, from the devices'
+  /// "xgwh.bytes_in" counters. All-zero traffic yields all zeros.
+  std::vector<double> cluster_traffic_share() const;
+
   const Config& config() const { return config_; }
 
  private:
@@ -138,6 +159,19 @@ class Controller {
   std::unordered_map<net::Vni, VpcState> vpcs_;
   std::function<void(const TableOp&)> mirror_;
   std::vector<std::string> alerts_;
+
+  std::unique_ptr<telemetry::Registry> registry_;
+  std::unique_ptr<telemetry::EventJournal> journal_;
+  telemetry::Counter* ctr_routes_added_ = nullptr;
+  telemetry::Counter* ctr_routes_removed_ = nullptr;
+  telemetry::Counter* ctr_mappings_added_ = nullptr;
+  telemetry::Counter* ctr_mappings_removed_ = nullptr;
+  telemetry::Counter* ctr_vpcs_admitted_ = nullptr;
+  telemetry::Counter* ctr_admission_refused_ = nullptr;
+  telemetry::Counter* ctr_migrations_ = nullptr;
+  telemetry::Counter* ctr_clusters_opened_ = nullptr;
+  telemetry::Counter* ctr_packets_ = nullptr;
+  telemetry::Counter* ctr_unknown_vni_ = nullptr;
 };
 
 }  // namespace sf::cluster

@@ -21,6 +21,7 @@ DisasterRecovery::DisasterRecovery(Controller* controller, Config config)
 }
 
 void DisasterRecovery::record(double now, std::string description) {
+  controller_->journal().record("failover", description, now);
   events_.push_back(Event{now, std::move(description)});
 }
 

@@ -29,6 +29,13 @@ std::string PathTrace::to_string() const {
   for (std::size_t i = 0; i < hops.size(); ++i) {
     out << "  [" << i + 1 << "] " << hops[i].where << ": "
         << hops[i].detail << "\n";
+    if (!hops[i].counters.empty()) {
+      out << "      counters:";
+      for (const auto& [name, value] : hops[i].counters) {
+        out << " " << name << "=" << value;
+      }
+      out << "\n";
+    }
   }
   out << "  => " << path_name(result.path);
   if (!result.drop_reason.empty()) out << " (" << result.drop_reason << ")";
@@ -82,7 +89,17 @@ PathTrace trace_packet(SailfishRegion& region,
     }
     detail << ", " << hw.latency_us << " us";
     if (!hw.drop_reason.empty()) detail << ", reason: " << hw.drop_reason;
-    trace.hops.push_back({"xgw-h", detail.str()});
+    TraceHop hop{"xgw-h", detail.str(), {}};
+    const auto& reg = cluster.device(*device).registry();
+    hop.counters = {
+        {"xgwh.packets_in", reg.counter_value("xgwh.packets_in")},
+        {"xgwh.packets_forwarded",
+         reg.counter_value("xgwh.packets_forwarded")},
+        {"xgwh.packets_fallback",
+         reg.counter_value("xgwh.packets_fallback")},
+        {"xgwh.packets_dropped", reg.counter_value("xgwh.packets_dropped")},
+    };
+    trace.hops.push_back(std::move(hop));
   }
   trace.result.latency_us = hw.latency_us;
 
@@ -124,7 +141,16 @@ PathTrace trace_packet(SailfishRegion& region,
              << sw.snat->public_port;
     }
     if (!sw.drop_reason.empty()) detail << ", reason: " << sw.drop_reason;
-    trace.hops.push_back({"xgw-x86", detail.str()});
+    TraceHop hop{"xgw-x86", detail.str(), {}};
+    const auto& reg = region.x86_node(node).registry();
+    hop.counters = {
+        {"x86.packets_in", reg.counter_value("x86.packets_in")},
+        {"x86.packets_forwarded",
+         reg.counter_value("x86.packets_forwarded")},
+        {"x86.packets_snat", reg.counter_value("x86.packets_snat")},
+        {"x86.packets_dropped", reg.counter_value("x86.packets_dropped")},
+    };
+    trace.hops.push_back(std::move(hop));
   }
   trace.result.latency_us += sw.latency_us;
   trace.result.packet = std::move(sw.packet);

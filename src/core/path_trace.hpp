@@ -6,7 +6,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/region.hpp"
@@ -16,6 +18,10 @@ namespace sf::core {
 struct TraceHop {
   std::string where;    // "vni-director", "cluster 2 ecmp", "xgw-h", ...
   std::string detail;   // human-readable decision
+  /// Counter context at this hop, read from the device's registry *after*
+  /// the packet passed — e.g. how many packets/drops that gateway has
+  /// seen, so one trace shows whether the hop is an outlier or a pattern.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 struct PathTrace {

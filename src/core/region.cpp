@@ -44,6 +44,21 @@ SailfishRegion::SailfishRegion(Config config)
 
   recovery_ = std::make_unique<cluster::DisasterRecovery>(
       &controller_, cluster::DisasterRecovery::Config{});
+
+  registry_ = std::make_unique<telemetry::Registry>();
+  ctr_packets_ = &registry_->counter("region.packets");
+  ctr_hw_forwarded_ = &registry_->counter("region.hw_forwarded");
+  ctr_hw_tunnel_ = &registry_->counter("region.hw_tunnel");
+  ctr_sw_forwarded_ = &registry_->counter("region.sw_forwarded");
+  ctr_sw_snat_ = &registry_->counter("region.sw_snat");
+  ctr_dropped_ = &registry_->counter("region.dropped");
+  ctr_intervals_ = &registry_->counter("region.intervals");
+  ctr_offered_bps_sum_ = &registry_->counter("region.offered_bps_sum");
+  ctr_offered_pps_sum_ = &registry_->counter("region.offered_pps_sum");
+  ctr_dropped_upps_sum_ = &registry_->counter("region.dropped_upps_sum");
+  ctr_fallback_bps_sum_ = &registry_->counter("region.fallback_bps_sum");
+  ctr_pipe1_bps_sum_ = &registry_->counter("region.pipe1_bps_sum");
+  ctr_pipe3_bps_sum_ = &registry_->counter("region.pipe3_bps_sum");
 }
 
 std::size_t SailfishRegion::install_topology(
@@ -70,6 +85,7 @@ std::size_t SailfishRegion::x86_node_index_for(
 SailfishRegion::RegionResult SailfishRegion::process(
     const net::OverlayPacket& packet, double now) {
   RegionResult result;
+  ctr_packets_->add();
 
   xgwh::ForwardResult hw = controller_.process(packet, now);
   result.latency_us = hw.latency_us;
@@ -78,14 +94,17 @@ SailfishRegion::RegionResult SailfishRegion::process(
     case xgwh::ForwardAction::kForwardToNc:
       result.path = RegionResult::Path::kHardwareForwarded;
       result.packet = std::move(hw.packet);
+      ctr_hw_forwarded_->add();
       return result;
     case xgwh::ForwardAction::kForwardTunnel:
       result.path = RegionResult::Path::kHardwareTunnel;
       result.packet = std::move(hw.packet);
+      ctr_hw_tunnel_->add();
       return result;
     case xgwh::ForwardAction::kDrop:
       result.path = RegionResult::Path::kDropped;
       result.drop_reason = std::move(hw.drop_reason);
+      ctr_dropped_->add();
       return result;
     case xgwh::ForwardAction::kFallbackToX86:
       break;
@@ -102,13 +121,16 @@ SailfishRegion::RegionResult SailfishRegion::process(
     case x86::X86Action::kForwardToNc:
     case x86::X86Action::kForwardTunnel:
       result.path = RegionResult::Path::kSoftwareForwarded;
+      ctr_sw_forwarded_->add();
       return result;
     case x86::X86Action::kSnatToInternet:
       result.path = RegionResult::Path::kSoftwareSnat;
+      ctr_sw_snat_->add();
       return result;
     case x86::X86Action::kDrop:
       result.path = RegionResult::Path::kDropped;
       result.drop_reason = std::move(sw.drop_reason);
+      ctr_dropped_->add();
       return result;
   }
   return result;
@@ -204,7 +226,31 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
       report.offered_pps > 0 ? report.dropped_pps / report.offered_pps : 0;
   report.fallback_ratio =
       total_bps > 0 ? report.fallback_bps / total_bps : 0;
+
+  // Accumulate the interval into the registry; deltas of successive
+  // snapshots recover the per-interval series the figures plot.
+  ctr_intervals_->add();
+  ctr_offered_bps_sum_->add(static_cast<std::uint64_t>(report.offered_bps));
+  ctr_offered_pps_sum_->add(static_cast<std::uint64_t>(report.offered_pps));
+  ctr_dropped_upps_sum_->add(
+      static_cast<std::uint64_t>(report.dropped_pps * 1e6));
+  ctr_fallback_bps_sum_->add(
+      static_cast<std::uint64_t>(report.fallback_bps));
+  ctr_pipe1_bps_sum_->add(
+      static_cast<std::uint64_t>(report.shard_pipe_bps[1]));
+  ctr_pipe3_bps_sum_->add(
+      static_cast<std::uint64_t>(report.shard_pipe_bps[3]));
   return report;
+}
+
+telemetry::Snapshot SailfishRegion::telemetry_snapshot() const {
+  telemetry::Snapshot merged = registry_->snapshot();
+  merged.merge(controller_.telemetry_snapshot());
+  for (std::size_t n = 0; n < x86_nodes_.size(); ++n) {
+    merged.merge(x86_nodes_[n]->registry().snapshot(),
+                 "x86" + std::to_string(n) + ".");
+  }
+  return merged;
 }
 
 }  // namespace sf::core

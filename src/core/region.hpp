@@ -22,6 +22,7 @@
 #include "cluster/controller.hpp"
 #include "cluster/disaster_recovery.hpp"
 #include "core/rate_limiter.hpp"
+#include "telemetry/registry.hpp"
 #include "workload/flowgen.hpp"
 #include "x86/xgw_x86.hpp"
 
@@ -98,6 +99,21 @@ class SailfishRegion {
                                    double total_bps,
                                    std::uint64_t jitter_key = 0) const;
 
+  // ---- telemetry ------------------------------------------------------------
+
+  /// Region-level counters. process() counts per-path outcomes
+  /// ("region.hw_forwarded", "region.sw_snat", ...); simulate_interval()
+  /// accumulates running sums of the interval rates ("region.offered_bps_sum",
+  /// "region.fallback_bps_sum", "region.pipe1_bps_sum", ...) so time series
+  /// fall out of snapshot deltas. Dropped pps is kept in micro-pps
+  /// ("region.dropped_upps_sum") to preserve the tiny loss-floor rates.
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
+  /// Everything at once: region counters, controller + per-device
+  /// registries ("clusterC.deviceD.") and the x86 fleet ("x86N.").
+  telemetry::Snapshot telemetry_snapshot() const;
+
   const Config& config() const { return config_; }
 
  private:
@@ -109,6 +125,22 @@ class SailfishRegion {
   std::vector<std::unique_ptr<x86::XgwX86>> x86_nodes_;
   cluster::EcmpGroup x86_ecmp_;
   std::unique_ptr<cluster::DisasterRecovery> recovery_;
+
+  // unique_ptr so the const interval simulator can record too.
+  std::unique_ptr<telemetry::Registry> registry_;
+  telemetry::Counter* ctr_packets_ = nullptr;
+  telemetry::Counter* ctr_hw_forwarded_ = nullptr;
+  telemetry::Counter* ctr_hw_tunnel_ = nullptr;
+  telemetry::Counter* ctr_sw_forwarded_ = nullptr;
+  telemetry::Counter* ctr_sw_snat_ = nullptr;
+  telemetry::Counter* ctr_dropped_ = nullptr;
+  telemetry::Counter* ctr_intervals_ = nullptr;
+  telemetry::Counter* ctr_offered_bps_sum_ = nullptr;
+  telemetry::Counter* ctr_offered_pps_sum_ = nullptr;
+  telemetry::Counter* ctr_dropped_upps_sum_ = nullptr;
+  telemetry::Counter* ctr_fallback_bps_sum_ = nullptr;
+  telemetry::Counter* ctr_pipe1_bps_sum_ = nullptr;
+  telemetry::Counter* ctr_pipe3_bps_sum_ = nullptr;
 };
 
 }  // namespace sf::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace sf::sim {
@@ -32,12 +33,16 @@ double min_value(std::span<const double> values) {
 }
 
 double percentile(std::span<const double> values, double p) {
-  if (values.empty()) return 0;
+  if (values.empty()) return 0;  // documented: empty input yields 0
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
+  if (values.size() == 1) return values.front();
+  // Out-of-range p clamps to the extremes; the fast paths also dodge the
+  // rank == size-1 boundary of the interpolation below.
+  if (p <= 0) return min_value(values);
+  if (p >= 100) return max_value(values);
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  const double rank =
-      std::clamp(p, 0.0, 100.0) / 100.0 *
-      static_cast<double>(sorted.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);

@@ -12,7 +12,9 @@ double stddev(std::span<const double> values);
 double max_value(std::span<const double> values);
 double min_value(std::span<const double> values);
 
-/// Percentile by linear interpolation; p in [0, 100].
+/// Percentile by linear interpolation. p is clamped to [0, 100] (p <= 0
+/// yields the minimum, p >= 100 the maximum); an empty span yields 0, a
+/// single element is returned for any p, and a NaN p yields NaN.
 double percentile(std::span<const double> values, double p);
 
 /// Jain's fairness index: 1.0 means perfectly balanced shares.

@@ -1,0 +1,143 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/table_printer.hpp"
+
+namespace sf::telemetry {
+namespace {
+
+std::string num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_table(const Snapshot& snapshot) {
+  std::ostringstream out;
+  if (!snapshot.counters.empty()) {
+    sim::TablePrinter counters({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      counters.add_row({name, std::to_string(value)});
+    }
+    out << counters.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    if (!snapshot.counters.empty()) out << "\n";
+    sim::TablePrinter hists(
+        {"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      const double mean =
+          h.count == 0 ? 0 : h.sum / static_cast<double>(h.count);
+      hists.add_row({name, std::to_string(h.count),
+                     sim::format_double(mean, 3),
+                     sim::format_double(h.p50, 3),
+                     sim::format_double(h.p90, 3),
+                     sim::format_double(h.p99, 3),
+                     sim::format_double(h.max, 3)});
+    }
+    out << hists.render();
+  }
+  return out.str();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+        << ",\"max\":" << num(h.max) << ",\"p50\":" << num(h.p50)
+        << ",\"p90\":" << num(h.p90) << ",\"p99\":" << num(h.p99)
+        << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out << ",";
+      const double edge = h.buckets[i].upper_edge;
+      out << "[" << (std::isinf(edge) ? "\"inf\"" : num(edge)) << ","
+          << h.buckets[i].count << "]";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prom_name(name) + "_total";
+    out << "# TYPE " << metric << " counter\n"
+        << metric << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const Histogram::Bucket& bucket : h.buckets) {
+      cumulative += bucket.count;
+      out << metric << "_bucket{le=\""
+          << (std::isinf(bucket.upper_edge) ? "+Inf"
+                                            : num(bucket.upper_edge))
+          << "\"} " << cumulative << "\n";
+    }
+    out << metric << "_sum " << num(h.sum) << "\n"
+        << metric << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string to_table(const std::vector<HeavyHitterTracker::Entry>& top,
+                     std::uint64_t total) {
+  sim::TablePrinter table({"rank", "flow", "estimate", "share"});
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const double share =
+        total == 0 ? 0
+                   : static_cast<double>(top[i].estimate) /
+                         static_cast<double>(total);
+    table.add_row({std::to_string(i + 1), top[i].key.to_string(),
+                   std::to_string(top[i].estimate),
+                   sim::format_percent(share, 2)});
+  }
+  return table.render();
+}
+
+}  // namespace sf::telemetry

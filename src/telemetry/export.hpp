@@ -1,0 +1,33 @@
+// Snapshot exporters: the same registry state in three shapes —
+//   * a human console table (sim::TablePrinter), for examples and benches;
+//   * canonical JSON, for scripted consumers;
+//   * Prometheus text exposition format, for a scrape endpoint.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/sketch.hpp"
+
+namespace sf::telemetry {
+
+/// Fixed-width console table: counters first, then histogram summaries.
+std::string to_table(const Snapshot& snapshot);
+
+/// {"counters": {...}, "histograms": {name: {count, sum, min, max,
+/// p50, p90, p99, buckets: [[upper, count], ...]}, ...}}
+std::string to_json(const Snapshot& snapshot);
+
+/// Prometheus text format. Names are sanitized to [a-zA-Z0-9_:]; counters
+/// get a `_total` suffix, histograms emit cumulative `_bucket{le=...}`,
+/// `_sum` and `_count` series.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// Heavy-hitter console table: rank, flow, estimated share of `total`.
+std::string to_table(const std::vector<HeavyHitterTracker::Entry>& top,
+                     std::uint64_t total);
+
+}  // namespace sf::telemetry

@@ -1,0 +1,58 @@
+#include "telemetry/journal.hpp"
+
+#include <sstream>
+
+namespace sf::telemetry {
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void EventJournal::record(std::string category, std::string message,
+                          double time) {
+  Event event{++sequence_, time, std::move(category), std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<Event> EventJournal::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> EventJournal::events(const std::string& category) const {
+  std::vector<Event> out;
+  for (const Event& event : events()) {
+    if (event.category == category) out.push_back(event);
+  }
+  return out;
+}
+
+void EventJournal::clear() {
+  ring_.clear();
+  head_ = 0;
+  // sequence_ keeps counting: total_recorded() stays a lifetime figure.
+}
+
+std::string EventJournal::to_string() const {
+  std::ostringstream out;
+  if (overwritten() > 0) {
+    out << "  (" << overwritten() << " older events overwritten)\n";
+  }
+  for (const Event& event : events()) {
+    out << "  #" << event.sequence << " [t=" << event.time << "] "
+        << event.category << ": " << event.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sf::telemetry

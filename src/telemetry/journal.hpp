@@ -1,0 +1,50 @@
+// Ring-buffer event journal: the operational paper trail (table updates,
+// failovers, water-level alerts) with bounded memory. When the ring wraps,
+// the oldest events are overwritten but the monotonic sequence numbers
+// make the loss visible to a consumer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::telemetry {
+
+struct Event {
+  std::uint64_t sequence = 0;  // 1-based, monotonic
+  double time = 0;             // producer's clock (simulation seconds)
+  std::string category;        // "table-update", "failover", "alert", ...
+  std::string message;
+};
+
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 256);
+
+  void record(std::string category, std::string message, double time = 0);
+
+  /// Retained events, oldest first.
+  std::vector<Event> events() const;
+
+  /// Retained events of one category, oldest first.
+  std::vector<Event> events(const std::string& category) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t total_recorded() const { return sequence_; }
+  std::uint64_t overwritten() const { return sequence_ - ring_.size(); }
+
+  void clear();
+
+  /// One line per event: "#seq [t=...] category: message".
+  std::string to_string() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next write position once the ring is full
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace sf::telemetry

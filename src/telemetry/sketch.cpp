@@ -1,0 +1,113 @@
+#include "telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/hash.hpp"
+
+namespace sf::telemetry {
+
+std::uint64_t FlowKey::hash() const {
+  return net::hash_combine(net::mix64(vni), tuple.hash());
+}
+
+std::string FlowKey::to_string() const {
+  std::ostringstream out;
+  out << "vni " << vni << " " << tuple.src.to_string() << ":"
+      << tuple.src_port << " -> " << tuple.dst.to_string() << ":"
+      << tuple.dst_port << " proto " << static_cast<unsigned>(tuple.proto);
+  return out.str();
+}
+
+CountMinSketch::CountMinSketch(Config config) : config_(config) {
+  if (config_.width == 0) config_.width = 1;
+  if (config_.depth == 0) config_.depth = 1;
+  rows_.assign(static_cast<std::size_t>(config_.depth) * config_.width, 0);
+}
+
+std::size_t CountMinSketch::index(unsigned row,
+                                  std::uint64_t key_hash) const {
+  // Per-row pairwise-independent-ish hashing: mix the key with a
+  // row-specific seed; the switch would use distinct CRC polynomials.
+  const std::uint64_t h = net::hash_combine(
+      net::mix64(config_.seed + 0x9e3779b97f4a7c15ULL * (row + 1)),
+      key_hash);
+  return static_cast<std::size_t>(row) * config_.width +
+         static_cast<std::size_t>(h % config_.width);
+}
+
+void CountMinSketch::add(std::uint64_t key_hash, std::uint64_t amount) {
+  for (unsigned row = 0; row < config_.depth; ++row) {
+    rows_[index(row, key_hash)] += amount;
+  }
+  total_ += amount;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key_hash) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (unsigned row = 0; row < config_.depth; ++row) {
+    best = std::min(best, rows_[index(row, key_hash)]);
+  }
+  return best == ~std::uint64_t{0} ? 0 : best;
+}
+
+double CountMinSketch::error_bound() const {
+  constexpr double kE = 2.718281828459045;
+  return kE / static_cast<double>(config_.width) *
+         static_cast<double>(total_);
+}
+
+void CountMinSketch::clear() {
+  std::fill(rows_.begin(), rows_.end(), 0);
+  total_ = 0;
+}
+
+HeavyHitterTracker::HeavyHitterTracker(Config config)
+    : config_(config), sketch_(config.sketch) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  entries_.reserve(config_.capacity);
+}
+
+void HeavyHitterTracker::add(const FlowKey& key, std::uint64_t amount) {
+  const std::uint64_t h = key.hash();
+  sketch_.add(h, amount);
+  const std::uint64_t estimate = sketch_.estimate(h);
+
+  // Capacity is small (top-K), so a linear scan beats a side index.
+  for (Entry& entry : entries_) {
+    if (entry.key == key) {
+      entry.estimate = estimate;
+      return;
+    }
+  }
+  if (entries_.size() < config_.capacity) {
+    entries_.push_back({key, estimate});
+    return;
+  }
+  auto weakest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.estimate < b.estimate; });
+  if (estimate > weakest->estimate) {
+    *weakest = {key, estimate};
+    ++evictions_;
+  }
+}
+
+std::vector<HeavyHitterTracker::Entry> HeavyHitterTracker::top(
+    std::size_t n) const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.estimate > b.estimate;
+            });
+  if (sorted.size() > n) sorted.resize(n);
+  return sorted;
+}
+
+void HeavyHitterTracker::clear() {
+  sketch_.clear();
+  entries_.clear();
+  evictions_ = 0;
+}
+
+}  // namespace sf::telemetry

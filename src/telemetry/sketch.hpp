@@ -1,0 +1,114 @@
+// Sketch-based heavy-hitter detection — the Fig. 7 elephant flows as a
+// dataplane structure.
+//
+// A count-min sketch is what a programmable switch can actually afford for
+// per-flow byte counting: depth hash rows of width counters, O(depth) work
+// per packet, fixed SRAM. The estimate only ever overcounts; with
+//
+//   eps   = e / width        (additive error as a fraction of the total)
+//   delta = e^-depth         (probability the bound is exceeded)
+//
+// estimate(k) <= true(k) + eps * total() with probability >= 1 - delta
+// (Cormode & Muthukrishnan). The HeavyHitterTracker pairs the sketch with
+// a bounded top-K candidate list (space-saving style): heavy flows are kept
+// by identity, mice stay inside the sketch's error band.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace sf::telemetry {
+
+/// Sketch key: the flow 5-tuple plus the tenant's VNI (two tenants may
+/// reuse overlapping private addresses; the VNI disambiguates).
+struct FlowKey {
+  net::Vni vni = 0;
+  net::FiveTuple tuple;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  std::uint64_t hash() const;
+  std::string to_string() const;
+};
+
+class CountMinSketch {
+ public:
+  struct Config {
+    std::size_t width = 2048;  // counters per row
+    unsigned depth = 4;        // independent hash rows
+    std::uint64_t seed = 0x5a11f15bULL;
+  };
+
+  CountMinSketch() : CountMinSketch(Config{}) {}
+  explicit CountMinSketch(Config config);
+
+  void add(std::uint64_t key_hash, std::uint64_t amount = 1);
+
+  /// Point estimate; never undercounts.
+  std::uint64_t estimate(std::uint64_t key_hash) const;
+
+  /// Sum of all added amounts.
+  std::uint64_t total() const { return total_; }
+
+  /// Additive overestimation bound at the current total: with probability
+  /// >= 1 - e^-depth, estimate(k) - true(k) <= error_bound().
+  double error_bound() const;
+
+  void clear();
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::size_t index(unsigned row, std::uint64_t key_hash) const;
+
+  Config config_;
+  std::vector<std::uint64_t> rows_;  // depth * width, row-major
+  std::uint64_t total_ = 0;
+};
+
+/// Count-min sketch + bounded top-K candidate list keyed by FlowKey.
+class HeavyHitterTracker {
+ public:
+  struct Config {
+    CountMinSketch::Config sketch;
+    std::size_t capacity = 16;  // top-K slots kept by identity
+  };
+
+  struct Entry {
+    FlowKey key;
+    std::uint64_t estimate = 0;
+  };
+
+  HeavyHitterTracker() : HeavyHitterTracker(Config{}) {}
+  explicit HeavyHitterTracker(Config config);
+
+  void add(const FlowKey& key, std::uint64_t amount = 1);
+
+  /// The current top-n candidates, heaviest first (n <= capacity).
+  std::vector<Entry> top(std::size_t n) const;
+
+  /// Sketch estimate for one key (tracked or not).
+  std::uint64_t estimate(const FlowKey& key) const {
+    return sketch_.estimate(key.hash());
+  }
+
+  std::uint64_t total() const { return sketch_.total(); }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t tracked() const { return entries_.size(); }
+  const CountMinSketch& sketch() const { return sketch_; }
+
+  void clear();
+
+ private:
+  Config config_;
+  CountMinSketch sketch_;
+  std::vector<Entry> entries_;  // unsorted, bounded by capacity
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sf::telemetry

@@ -1,0 +1,9 @@
+// Umbrella header for sf::telemetry: registry + sketch + journal +
+// exporters. Subsystems that only need one piece include it directly.
+
+#pragma once
+
+#include "telemetry/export.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sketch.hpp"

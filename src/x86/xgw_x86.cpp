@@ -21,23 +21,40 @@ std::string to_string(X86Action action) {
 XgwX86::XgwX86(Config config)
     : config_(config),
       snat_(config.snat),
-      rss_(config.model.cores, 128, config.rss_seed) {}
+      rss_(config.model.cores, 128, config.rss_seed),
+      registry_(std::make_unique<telemetry::Registry>()) {
+  ctr_packets_in_ = &registry_->counter("x86.packets_in");
+  ctr_bytes_in_ = &registry_->counter("x86.bytes_in");
+  ctr_forwarded_ = &registry_->counter("x86.packets_forwarded");
+  ctr_snat_ = &registry_->counter("x86.packets_snat");
+  ctr_snat_failures_ = &registry_->counter("x86.snat_failures");
+  ctr_dropped_ = &registry_->counter("x86.packets_dropped");
+  ctr_table_ops_ = &registry_->counter("x86.table_ops");
+  hist_latency_ = &registry_->histogram(
+      "x86.latency_us", telemetry::Histogram::Config{
+                            /*min_value=*/1.0, /*growth=*/2.0,
+                            /*buckets=*/16, /*reservoir=*/256});
+}
 
 bool XgwX86::install_route(net::Vni vni, const net::IpPrefix& prefix,
                            tables::VxlanRouteAction action) {
+  ctr_table_ops_->add();
   return routes_.insert(vni, prefix, action);
 }
 
 bool XgwX86::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+  ctr_table_ops_->add();
   return routes_.erase(vni, prefix);
 }
 
 bool XgwX86::install_mapping(const tables::VmNcKey& key,
                              tables::VmNcAction action) {
+  ctr_table_ops_->add();
   return mappings_.insert_or_assign(key, action).second;
 }
 
 bool XgwX86::remove_mapping(const tables::VmNcKey& key) {
+  ctr_table_ops_->add();
   return mappings_.erase(key) > 0;
 }
 
@@ -48,9 +65,12 @@ double XgwX86::full_install_seconds() const {
 
 X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
   ++telemetry_.packets_in;
+  ctr_packets_in_->add();
+  ctr_bytes_in_->add(packet.wire_size());
   X86Result result;
   result.packet = packet;
   result.latency_us = config_.model.latency_us(0.0);
+  hist_latency_->record(result.latency_us);
 
   net::Vni vni = packet.vni;
   std::optional<tables::VxlanRouteAction> route;
@@ -61,6 +81,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
   }
   if (!route) {
     ++telemetry_.packets_dropped;
+    ctr_dropped_->add();
     result.drop_reason = "no route";
     return result;
   }
@@ -70,6 +91,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       auto it = mappings_.find(tables::VmNcKey{vni, packet.inner.dst});
       if (it == mappings_.end()) {
         ++telemetry_.packets_dropped;
+        ctr_dropped_->add();
         result.drop_reason = "no VM-NC mapping";
         return result;
       }
@@ -77,6 +99,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       result.packet.outer_dst_ip = net::IpAddr(it->second.nc_ip);
       result.action = X86Action::kForwardToNc;
       ++telemetry_.packets_forwarded;
+      ctr_forwarded_->add();
       return result;
     }
     case tables::RouteScope::kIdc:
@@ -85,11 +108,14 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       result.packet.outer_dst_ip = net::IpAddr(route->remote_endpoint);
       result.action = X86Action::kForwardTunnel;
       ++telemetry_.packets_forwarded;
+      ctr_forwarded_->add();
       return result;
     case tables::RouteScope::kInternet: {
       auto binding = snat_.translate(packet.inner, now);
       if (!binding) {
         ++telemetry_.packets_dropped;
+        ctr_dropped_->add();
+        ctr_snat_failures_->add();
         result.drop_reason = "SNAT pool exhausted";
         return result;
       }
@@ -102,14 +128,17 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       result.snat = binding;
       result.action = X86Action::kSnatToInternet;
       ++telemetry_.packets_snat;
+      ctr_snat_->add();
       return result;
     }
     case tables::RouteScope::kPeer:
       ++telemetry_.packets_dropped;
+      ctr_dropped_->add();
       result.drop_reason = "peer VNI resolution loop";
       return result;
   }
   ++telemetry_.packets_dropped;
+  ctr_dropped_->add();
   result.drop_reason = "unhandled scope";
   return result;
 }

@@ -16,9 +16,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "net/packet.hpp"
 #include "tables/entry.hpp"
 #include "tables/route_table.hpp"
+#include "telemetry/registry.hpp"
 #include "x86/cost_model.hpp"
 #include "x86/rss.hpp"
 #include "x86/snat.hpp"
@@ -125,6 +128,11 @@ class XgwX86 {
   };
   const Telemetry& telemetry() const { return telemetry_; }
 
+  /// This node's counter registry: packet/byte outcomes, table ops, SNAT
+  /// session events and a latency histogram ("x86.*" names).
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
  private:
   struct VmNcKeyHasher {
     std::uint64_t operator()(const tables::VmNcKey& key) const {
@@ -140,6 +148,16 @@ class XgwX86 {
   SnatEngine snat_;
   RssIndirection rss_;
   Telemetry telemetry_;
+
+  std::unique_ptr<telemetry::Registry> registry_;
+  telemetry::Counter* ctr_packets_in_ = nullptr;
+  telemetry::Counter* ctr_bytes_in_ = nullptr;
+  telemetry::Counter* ctr_forwarded_ = nullptr;
+  telemetry::Counter* ctr_snat_ = nullptr;
+  telemetry::Counter* ctr_snat_failures_ = nullptr;
+  telemetry::Counter* ctr_dropped_ = nullptr;
+  telemetry::Counter* ctr_table_ops_ = nullptr;
+  telemetry::Histogram* hist_latency_ = nullptr;
 };
 
 }  // namespace sf::x86

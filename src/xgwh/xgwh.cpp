@@ -55,6 +55,28 @@ XgwH::XgwH(Config config)
       config_.fallback_rate_bps, config_.fallback_burst_bytes});
   build_program();
   walker_ = std::make_unique<asic::Walker>(config_.chip, &program_);
+
+  registry_ = std::make_unique<telemetry::Registry>();
+  walker_->set_registry(registry_.get());
+  ctr_packets_in_ = &registry_->counter("xgwh.packets_in");
+  ctr_bytes_in_ = &registry_->counter("xgwh.bytes_in");
+  ctr_forwarded_ = &registry_->counter("xgwh.packets_forwarded");
+  ctr_fallback_ = &registry_->counter("xgwh.packets_fallback");
+  ctr_dropped_ = &registry_->counter("xgwh.packets_dropped");
+  ctr_rate_limited_ = &registry_->counter("xgwh.fallback_rate_limited");
+  ctr_route_hit_ = &registry_->counter("xgwh.table.route.hit");
+  ctr_route_miss_ = &registry_->counter("xgwh.table.route.miss");
+  ctr_vm_hit_ = &registry_->counter("xgwh.table.vm_nc.hit");
+  ctr_vm_miss_ = &registry_->counter("xgwh.table.vm_nc.miss");
+  ctr_acl_deny_ = &registry_->counter("xgwh.table.acl.deny");
+  for (unsigned pipe = 0; pipe < 4; ++pipe) {
+    ctr_pipe_bytes_[pipe] = &registry_->counter(
+        "xgwh.pipe" + std::to_string(pipe) + ".loopback_bytes");
+  }
+  hist_latency_ = &registry_->histogram(
+      "xgwh.latency_us", telemetry::Histogram::Config{
+                             /*min_value=*/0.25, /*growth=*/2.0,
+                             /*buckets=*/16, /*reservoir=*/256});
 }
 
 unsigned XgwH::shard_of_vni(net::Vni vni) {
@@ -202,6 +224,7 @@ void XgwH::stage_entry(asic::PacketContext& ctx) {
 void XgwH::stage_acl(asic::PacketContext& ctx) {
   if (acl_.evaluate(ctx.packet.vni, ctx.packet.inner) ==
       tables::AclVerdict::kDeny) {
+    ctr_acl_deny_->add();
     ctx.drop("acl deny");
   }
 }
@@ -219,6 +242,7 @@ void XgwH::stage_route_lookup(asic::PacketContext& ctx, unsigned shard) {
   for (int hop = 0; hop < 4; ++hop) {
     auto route = shards_[shard_of(vni)].routes.lookup(vni,
                                                       ctx.packet.inner.dst);
+    (route ? ctr_route_hit_ : ctr_route_miss_)->add();
     if (!route) {
       // Long-tail/volatile tables live in XGW-x86: steer, don't drop.
       ctx.meta.set(kFallback, 1, 1, true);
@@ -275,6 +299,7 @@ void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
   (void)shard;
   auto mapping =
       shards_[shard_of(vni)].mappings.lookup(vni, ctx.packet.inner.dst);
+  (mapping ? ctr_vm_hit_ : ctr_vm_miss_)->add();
   if (!mapping) {
     // Mapping not in hardware (volatile entry): fall back to XGW-x86.
     ctx.meta.set(kFallback, 1, 1, true);
@@ -314,6 +339,8 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
                             std::optional<unsigned> ingress_pipe) {
   ++telemetry_.packets_in;
   telemetry_.bytes_in += packet.wire_size();
+  ctr_packets_in_->add();
+  ctr_bytes_in_->add(packet.wire_size());
 
   unsigned entry_pipe;
   if (ingress_pipe) {
@@ -331,6 +358,7 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
   result.latency_us = walked.latency_us;
   result.passes = walked.passes;
   result.egress_pipe = walked.egress_pipe;
+  hist_latency_->record(walked.latency_us);
 
   if (config_.compression.fold) {
     const unsigned shard = shard_of(packet.vni);
@@ -338,11 +366,13 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
     result.shard_pipe = loopback_pipe;
     if (!walked.dropped) {
       shard_pipe_bytes_[loopback_pipe] += packet.wire_size();
+      ctr_pipe_bytes_[loopback_pipe]->add(packet.wire_size());
     }
   }
 
   if (walked.dropped) {
     ++telemetry_.packets_dropped;
+    ctr_dropped_->add();
     result.action = ForwardAction::kDrop;
     result.drop_reason = std::move(walked.drop_reason);
     return result;
@@ -356,15 +386,19 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
                               now) == tables::MeterColor::kRed) {
       ++telemetry_.fallback_rate_limited;
       ++telemetry_.packets_dropped;
+      ctr_rate_limited_->add();
+      ctr_dropped_->add();
       result.action = ForwardAction::kDrop;
       result.drop_reason = "fallback rate limited";
       return result;
     }
     ++telemetry_.packets_fallback;
+    ctr_fallback_->add();
     result.action = ForwardAction::kFallbackToX86;
     return result;
   }
   ++telemetry_.packets_forwarded;
+  ctr_forwarded_->add();
   result.action = act == kActTunnel ? ForwardAction::kForwardTunnel
                                     : ForwardAction::kForwardToNc;
   return result;

@@ -29,6 +29,7 @@
 #include "tables/alpm.hpp"
 #include "tables/digest_table.hpp"
 #include "tables/service_tables.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sf::xgwh {
 
@@ -114,6 +115,13 @@ class XgwH {
   };
   const Telemetry& telemetry() const { return telemetry_; }
 
+  /// This device's always-on counter registry: the struct above plus
+  /// per-table hit/miss counts ("xgwh.table.route.hit", ...), the walker's
+  /// per-pipe stage counters ("asic.pipeN.*"), per-loopback-pipe bytes and
+  /// a forwarding-latency histogram. Fleet views merge these snapshots.
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
   /// Occupancy under this gateway's compression config, fed with live
   /// table statistics.
   asic::OccupancyReport occupancy_report() const;
@@ -170,6 +178,22 @@ class XgwH {
 
   std::array<std::uint64_t, 4> shard_pipe_bytes_{};
   Telemetry telemetry_;
+
+  // Registry + pre-resolved counter handles (hot-path instruments).
+  std::unique_ptr<telemetry::Registry> registry_;
+  telemetry::Counter* ctr_packets_in_ = nullptr;
+  telemetry::Counter* ctr_bytes_in_ = nullptr;
+  telemetry::Counter* ctr_forwarded_ = nullptr;
+  telemetry::Counter* ctr_fallback_ = nullptr;
+  telemetry::Counter* ctr_dropped_ = nullptr;
+  telemetry::Counter* ctr_rate_limited_ = nullptr;
+  telemetry::Counter* ctr_route_hit_ = nullptr;
+  telemetry::Counter* ctr_route_miss_ = nullptr;
+  telemetry::Counter* ctr_vm_hit_ = nullptr;
+  telemetry::Counter* ctr_vm_miss_ = nullptr;
+  telemetry::Counter* ctr_acl_deny_ = nullptr;
+  std::array<telemetry::Counter*, 4> ctr_pipe_bytes_{};
+  telemetry::Histogram* hist_latency_ = nullptr;
 };
 
 }  // namespace sf::xgwh

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/stats.hpp"
 #include "sim/table_printer.hpp"
 #include "sim/timeseries.hpp"
@@ -31,6 +33,24 @@ TEST(Stats, PercentileInterpolates) {
 TEST(Stats, PercentileIgnoresInputOrder) {
   const double values[] = {40, 10, 30, 20};
   EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+}
+
+TEST(Stats, PercentileSingleElementIsThatElement) {
+  const double one[] = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 42.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  const double values[] = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, -5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 250), 40.0);
+}
+
+TEST(Stats, PercentileNanPropagates) {
+  const double values[] = {10, 20, 30};
+  EXPECT_TRUE(std::isnan(percentile(values, std::nan(""))));
 }
 
 TEST(Stats, FairnessIndexBounds) {

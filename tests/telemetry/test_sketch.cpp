@@ -1,0 +1,183 @@
+#include "telemetry/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "workload/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace sf::telemetry {
+namespace {
+
+FlowKey key_for_rank(std::size_t rank) {
+  FlowKey key;
+  key.vni = static_cast<net::Vni>(100 + rank);
+  key.tuple.src = net::IpAddr(net::Ipv4Addr(
+      10, static_cast<std::uint8_t>(rank >> 8),
+      static_cast<std::uint8_t>(rank & 0xff), 2));
+  key.tuple.dst = net::IpAddr(net::Ipv4Addr(192, 168, 0, 1));
+  key.tuple.proto = 6;
+  key.tuple.src_port = static_cast<std::uint16_t>(1024 + rank);
+  key.tuple.dst_port = 443;
+  return key;
+}
+
+TEST(FlowKey, HashDistinguishesVniAndTuple) {
+  const FlowKey a = key_for_rank(1);
+  FlowKey b = key_for_rank(1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.vni = 999;  // same tuple, different tenant
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(CountMinSketch, NeverUndercounts) {
+  CountMinSketch::Config config;
+  config.width = 128;  // deliberately tight: collisions guaranteed
+  config.depth = 3;
+  CountMinSketch sketch(config);
+
+  workload::Rng rng(7);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t h = key_for_rank(rng.uniform(600)).hash();
+    const std::uint64_t amount = 1 + rng.uniform(4);
+    sketch.add(h, amount);
+    truth[h] += amount;
+  }
+
+  for (const auto& [hash, count] : truth) {
+    EXPECT_GE(sketch.estimate(hash), count);
+  }
+  std::uint64_t total = 0;
+  for (const auto& [hash, count] : truth) total += count;
+  EXPECT_EQ(sketch.total(), total);
+}
+
+TEST(CountMinSketch, ErrorBoundHoldsForMostKeys) {
+  // estimate - true <= (e/width) * total with probability >= 1 - e^-depth
+  // per key; over many keys a small violation fraction is allowed.
+  CountMinSketch::Config config;
+  config.width = 256;
+  config.depth = 4;
+  CountMinSketch sketch(config);
+
+  workload::Rng rng(11);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t h = key_for_rank(rng.uniform(2000)).hash();
+    sketch.add(h);
+    ++truth[h];
+  }
+
+  const double bound = sketch.error_bound();
+  EXPECT_NEAR(bound, 2.718281828 / 256.0 * 20000.0, 1.0);
+  std::size_t violations = 0;
+  for (const auto& [hash, count] : truth) {
+    const double overshoot =
+        static_cast<double>(sketch.estimate(hash) - count);
+    if (overshoot > bound) ++violations;
+  }
+  EXPECT_LE(static_cast<double>(violations),
+            0.05 * static_cast<double>(truth.size()));
+}
+
+TEST(CountMinSketch, ClearResets) {
+  CountMinSketch sketch;
+  sketch.add(123, 5);
+  EXPECT_EQ(sketch.total(), 5u);
+  sketch.clear();
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_EQ(sketch.estimate(123), 0u);
+}
+
+// The acceptance scenario: a Zipf(1.1) stream of 1000 flows; the tracker
+// must recover >= 90% of the true top-8 from a deterministic seed.
+TEST(HeavyHitterTracker, RecoversZipfTopEight) {
+  HeavyHitterTracker::Config config;
+  config.sketch.width = 1024;
+  config.sketch.depth = 4;
+  config.capacity = 16;
+  HeavyHitterTracker tracker(config);
+
+  const std::size_t kFlows = 1000;
+  workload::ZipfSampler zipf(kFlows, 1.1);
+  workload::Rng rng(2021);
+
+  std::vector<std::uint64_t> truth(kFlows, 0);
+  std::vector<FlowKey> keys;
+  keys.reserve(kFlows);
+  for (std::size_t r = 0; r < kFlows; ++r) keys.push_back(key_for_rank(r));
+
+  for (int i = 0; i < 200000; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    tracker.add(keys[rank]);
+    ++truth[rank];
+  }
+
+  // True top-8 flows by actual sampled counts.
+  std::vector<std::size_t> ranks(kFlows);
+  for (std::size_t r = 0; r < kFlows; ++r) ranks[r] = r;
+  std::sort(ranks.begin(), ranks.end(), [&](std::size_t a, std::size_t b) {
+    return truth[a] > truth[b];
+  });
+
+  const auto top = tracker.top(8);
+  ASSERT_EQ(top.size(), 8u);
+  std::size_t recovered = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const FlowKey& expected = keys[ranks[i]];
+    for (const auto& entry : top) {
+      if (entry.key == expected) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(recovered) / 8.0, 0.9);
+
+  // Estimates never undercount and stay sorted heaviest-first.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].estimate, top[i].estimate);
+  }
+  EXPECT_GE(top.front().estimate, truth[ranks.front()]);
+}
+
+TEST(HeavyHitterTracker, EvictsWeakestOverCapacity) {
+  HeavyHitterTracker::Config config;
+  config.capacity = 4;
+  HeavyHitterTracker tracker(config);
+
+  // 8 distinct flows with strictly increasing weight: later, heavier
+  // flows must displace the earlier, lighter ones.
+  for (std::size_t r = 0; r < 8; ++r) {
+    tracker.add(key_for_rank(r), (r + 1) * 100);
+  }
+
+  EXPECT_EQ(tracker.tracked(), 4u);
+  EXPECT_GT(tracker.evictions(), 0u);
+
+  const auto top = tracker.top(4);
+  ASSERT_EQ(top.size(), 4u);
+  for (const auto& entry : top) {
+    // Survivors are among the four heaviest (ranks 4..7).
+    bool heavy = false;
+    for (std::size_t r = 4; r < 8; ++r) {
+      if (entry.key == key_for_rank(r)) heavy = true;
+    }
+    EXPECT_TRUE(heavy) << entry.key.to_string();
+  }
+
+  tracker.clear();
+  EXPECT_EQ(tracker.tracked(), 0u);
+  EXPECT_EQ(tracker.total(), 0u);
+}
+
+}  // namespace
+}  // namespace sf::telemetry

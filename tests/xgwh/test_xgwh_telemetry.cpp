@@ -40,6 +40,43 @@ TEST(XgwHTelemetry, CountersTrackOutcomes) {
   EXPECT_GT(telemetry.bytes_in, 0u);
 }
 
+TEST(XgwHTelemetry, RegistryMirrorsTheTelemetryStruct) {
+  XgwH gw{XgwH::Config{}};
+  gw.install_route(2, IpPrefix::must_parse("10.0.0.0/8"),
+                   {RouteScope::kLocal, 0, {}});
+  gw.install_mapping({2, IpAddr::must_parse("10.0.0.9")},
+                     {net::Ipv4Addr(172, 16, 0, 1)});
+
+  gw.process(pkt(2, "10.0.0.9"));     // forwarded (route + vm hit)
+  gw.process(pkt(9, "10.0.0.9"), 1);  // route miss -> fallback
+
+  const auto& reg = gw.registry();
+  EXPECT_EQ(reg.counter_value("xgwh.packets_in"), gw.telemetry().packets_in);
+  EXPECT_EQ(reg.counter_value("xgwh.packets_forwarded"),
+            gw.telemetry().packets_forwarded);
+  EXPECT_EQ(reg.counter_value("xgwh.packets_fallback"),
+            gw.telemetry().packets_fallback);
+  EXPECT_EQ(reg.counter_value("xgwh.bytes_in"), gw.telemetry().bytes_in);
+
+  // Per-table hit/miss counters.
+  EXPECT_GT(reg.counter_value("xgwh.table.route.hit"), 0u);
+  EXPECT_GT(reg.counter_value("xgwh.table.route.miss"), 0u);
+  EXPECT_GT(reg.counter_value("xgwh.table.vm_nc.hit"), 0u);
+
+  // The asic walker feeds the same registry: both packets entered a
+  // pipeline, and the latency histogram saw both.
+  EXPECT_EQ(reg.counter_value("asic.packets"), 2u);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.histogram("xgwh.latency_us"), nullptr);
+  EXPECT_EQ(snap.histogram("xgwh.latency_us")->count, 2u);
+
+  // Loopback pipe bytes mirror the shard_pipe_bytes() array.
+  EXPECT_EQ(reg.counter_value("xgwh.pipe1.loopback_bytes"),
+            gw.shard_pipe_bytes()[1]);
+  EXPECT_EQ(reg.counter_value("xgwh.pipe3.loopback_bytes"),
+            gw.shard_pipe_bytes()[3]);
+}
+
 TEST(XgwHTelemetry, AclRangeRowsReachOccupancyModel) {
   XgwH gw{XgwH::Config{}};
   tables::AclRule ranged;
