@@ -20,7 +20,7 @@ double measure_xgwh_latency(xgwh::XgwH& gw, std::uint16_t payload) {
   pkt.inner.dst = net::IpAddr::must_parse("192.168.10.3");
   pkt.inner.proto = 6;
   pkt.payload_size = payload;
-  return gw.process(pkt).latency_us;
+  return gw.forward(pkt).latency_us;
 }
 
 }  // namespace

@@ -102,10 +102,11 @@ int main() {
       for (std::int64_t i = 0; i < event.delta_entries; ++i) {
         const net::IpPrefix prefix = net::Ipv4Prefix(
             net::Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), 28);
-        if (controller.add_route(
+        if (controller.install_route(
                 777, prefix,
                 tables::VxlanRouteAction{tables::RouteScope::kLocal, 0,
-                                         {}})) {
+                                         {}}) ==
+            dataplane::TableOpStatus::kOk) {
           installed.push_back(prefix);
           ++installs;
         }
@@ -114,7 +115,10 @@ int main() {
       for (std::int64_t i = 0; i < -event.delta_entries && !installed.empty();
            ++i) {
         const std::size_t victim = rng.uniform(installed.size());
-        if (controller.remove_route(777, installed[victim])) ++removals;
+        if (controller.remove_route(777, installed[victim]) ==
+            dataplane::TableOpStatus::kOk) {
+          ++removals;
+        }
         installed.erase(installed.begin() +
                         static_cast<std::ptrdiff_t>(victim));
       }

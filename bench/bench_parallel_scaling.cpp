@@ -1,0 +1,116 @@
+// Parallel interval-engine scaling: the same region stepped through the
+// same intervals at 1/2/4/8 worker threads. Reports throughput (simulated
+// intervals per second) and the speedup over single-threaded, and writes
+// the numbers to BENCH_parallel.json for tracking across machines.
+//
+// The determinism contract is asserted as a side effect: every thread
+// count must reproduce the single-threaded IntervalReport bit for bit.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sailfish_region_sim.hpp"
+#include "sim/table_printer.hpp"
+
+using namespace sf;
+
+namespace {
+
+bool reports_identical(const core::SailfishRegion::IntervalReport& a,
+                       const core::SailfishRegion::IntervalReport& b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+struct Run {
+  std::size_t threads = 1;
+  double seconds = 0;
+  double intervals_per_sec = 0;
+  double speedup = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Parallel scaling",
+                      "sharded interval engine, 1/2/4/8 worker threads");
+
+  bench::SailfishScenario scenario =
+      bench::make_scenario(/*scale=*/1.0, /*seed=*/7, /*base_tbps=*/20);
+  auto& region = *scenario.system.region;
+  const auto& flows = scenario.system.flows;
+  const std::size_t intervals = 12;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // Single-threaded reference reports, for the byte-identity check.
+  region.set_interval_threads(1);
+  std::vector<core::SailfishRegion::IntervalReport> reference;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    reference.push_back(region.simulate_interval(flows, 20e12, i));
+  }
+
+  std::vector<Run> runs;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    region.set_interval_threads(threads);
+    region.simulate_interval(flows, 20e12, 0);  // warm the pool
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < intervals; ++i) {
+      const auto report = region.simulate_interval(flows, 20e12, i);
+      if (!reports_identical(report, reference[i])) {
+        std::fprintf(stderr,
+                     "FATAL: %zu-thread report diverged at interval %zu\n",
+                     threads, i);
+        return 1;
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    Run run;
+    run.threads = threads;
+    run.seconds = elapsed.count();
+    run.intervals_per_sec = intervals / run.seconds;
+    run.speedup = runs.empty()
+                      ? 1.0
+                      : run.intervals_per_sec / runs[0].intervals_per_sec;
+    runs.push_back(run);
+  }
+
+  sim::TablePrinter table(
+      {"Threads", "Wall time (s)", "Intervals/s", "Speedup vs 1"});
+  for (const Run& run : runs) {
+    table.add_row({std::to_string(run.threads),
+                   sim::format_double(run.seconds, 3),
+                   sim::format_double(run.intervals_per_sec, 2),
+                   sim::format_double(run.speedup, 2) + "x"});
+  }
+  table.print();
+  std::printf("hardware_concurrency: %u, shards: %zu, flows: %zu\n", hw,
+              region.interval_plan().shards, flows.size());
+  bench::print_note(
+      "all thread counts reproduced the 1-thread reports bit for bit; "
+      "speedup is bounded by the cores actually available "
+      "(hardware_concurrency above).");
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n"
+       << "  \"bench\": \"parallel_scaling\",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"shards\": " << region.interval_plan().shards << ",\n"
+       << "  \"flows\": " << flows.size() << ",\n"
+       << "  \"intervals\": " << intervals << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << "    {\"threads\": " << run.threads << ", \"seconds\": "
+         << run.seconds << ", \"intervals_per_sec\": "
+         << run.intervals_per_sec << ", \"speedup\": " << run.speedup
+         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}

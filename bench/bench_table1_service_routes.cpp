@@ -28,18 +28,18 @@ net::OverlayPacket pkt(net::Vni vni, const net::IpAddr& src,
   return p;
 }
 
-const char* path_name(core::SailfishRegion::RegionResult::Path path) {
-  using Path = core::SailfishRegion::RegionResult::Path;
-  switch (path) {
-    case Path::kHardwareForwarded:
-      return "XGW-H -> vSwitch/NC";
-    case Path::kHardwareTunnel:
-      return "XGW-H -> CEN tunnel";
-    case Path::kSoftwareForwarded:
-      return "XGW-H -> XGW-x86 -> NC";
-    case Path::kSoftwareSnat:
+const char* path_name(const dataplane::Verdict& verdict) {
+  switch (verdict.action) {
+    case dataplane::Action::kForwardToNc:
+      return verdict.software_path ? "XGW-H -> XGW-x86 -> NC"
+                                   : "XGW-H -> vSwitch/NC";
+    case dataplane::Action::kForwardTunnel:
+      return verdict.software_path ? "XGW-H -> XGW-x86 -> NC"
+                                   : "XGW-H -> CEN tunnel";
+    case dataplane::Action::kSnatToInternet:
       return "XGW-H -> XGW-x86 -> Internet";
-    case Path::kDropped:
+    case dataplane::Action::kDrop:
+    case dataplane::Action::kFallbackToX86:
       return "DROPPED";
   }
   return "?";
@@ -75,10 +75,10 @@ int main() {
 
   // IDC and cross-region routes for VPC A (the topology generator only
   // makes intra-region services; Table 1 needs the CEN rows too).
-  controller.add_route(
+  controller.install_route(
       vpc_a->vni, net::IpPrefix::must_parse("172.31.0.0/16"),
       {tables::RouteScope::kIdc, 0, net::Ipv4Addr(198, 19, 0, 9)});
-  controller.add_route(
+  controller.install_route(
       vpc_a->vni, net::IpPrefix::must_parse("172.30.0.0/16"),
       {tables::RouteScope::kCrossRegion, 0, net::Ipv4Addr(198, 18, 0, 7)});
 
@@ -98,7 +98,7 @@ int main() {
   auto run = [&](const char* route, const char* example,
                  const net::OverlayPacket& packet) {
     const auto result = system.region->process(packet, 1.0);
-    table.add_row({route, example, path_name(result.path),
+    table.add_row({route, example, path_name(result),
                    sim::format_double(result.latency_us, 1) + " us"});
     return result;
   };
@@ -122,7 +122,7 @@ int main() {
   // Internet-VM: the response to the SNAT'd session re-enters through
   // the software gateway's binding.
   std::string internet_vm = "no binding";
-  if (outbound.path == core::SailfishRegion::RegionResult::Path::kSoftwareSnat) {
+  if (outbound.action == dataplane::Action::kSnatToInternet) {
     for (std::size_t n = 0; n < system.region->x86_node_count(); ++n) {
       auto back = system.region->x86_node(n).process_response(
           x86::SnatBinding{outbound.packet.inner.src.v4(),

@@ -29,7 +29,7 @@ int main() {
     pkt.inner.src = net::IpAddr::must_parse("10.0.0.1");
     pkt.inner.dst = net::IpAddr::must_parse("10.0.0.9");
     pkt.payload_size = payload;
-    const auto result = hw.process(pkt);
+    const auto result = hw.forward(pkt);
     std::printf("  %7uB %9.3f us\n", payload, result.latency_us);
   }
 

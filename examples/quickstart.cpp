@@ -12,18 +12,18 @@ using namespace sf;
 
 namespace {
 
-const char* path_name(core::SailfishRegion::RegionResult::Path path) {
-  using Path = core::SailfishRegion::RegionResult::Path;
-  switch (path) {
-    case Path::kHardwareForwarded:
-      return "XGW-H -> NC";
-    case Path::kHardwareTunnel:
-      return "XGW-H -> remote region";
-    case Path::kSoftwareForwarded:
-      return "XGW-H -> XGW-x86 -> NC";
-    case Path::kSoftwareSnat:
+const char* path_name(const dataplane::Verdict& verdict) {
+  switch (verdict.action) {
+    case dataplane::Action::kForwardToNc:
+      return verdict.software_path ? "XGW-H -> XGW-x86 -> NC"
+                                   : "XGW-H -> NC";
+    case dataplane::Action::kForwardTunnel:
+      return verdict.software_path ? "XGW-H -> XGW-x86 -> NC"
+                                   : "XGW-H -> remote region";
+    case dataplane::Action::kSnatToInternet:
       return "XGW-H -> XGW-x86 -> Internet (SNAT)";
-    case Path::kDropped:
+    case dataplane::Action::kDrop:
+    case dataplane::Action::kFallbackToX86:
       return "dropped";
   }
   return "?";
@@ -61,7 +61,7 @@ int main() {
     std::printf(
         "  vni %-6u %-22s -> %-22s  %-36s  %5.1f us\n", flow.vni,
         flow.tuple.src.to_string().c_str(),
-        flow.tuple.dst.to_string().c_str(), path_name(result.path),
+        flow.tuple.dst.to_string().c_str(), path_name(result),
         result.latency_us);
     if (shown_local >= 3 && shown_internet >= 2) break;
   }

@@ -45,12 +45,12 @@ int main() {
   request.inner.dst_port = 443;
   request.payload_size = 300;
 
-  const auto hw_result = hw.process(request, /*now=*/1.0);
+  const auto hw_result = hw.forward(request, /*now=*/1.0);
   std::printf("XGW-H: %s (outer DIP -> %s)\n",
               to_string(hw_result.action).c_str(),
               hw_result.packet.outer_dst_ip.to_string().c_str());
 
-  const auto sw_result = sw.process(request, /*now=*/1.0);
+  const auto sw_result = sw.forward(request, /*now=*/1.0);
   std::printf("XGW-x86: %s\n", to_string(sw_result.action).c_str());
   if (!sw_result.snat) {
     std::printf("SNAT failed!\n");

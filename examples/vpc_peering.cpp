@@ -64,7 +64,7 @@ int main() {
       return 1;
     }
 
-    const auto result = gateway.process(*parsed);
+    const auto result = gateway.forward(*parsed);
     std::printf("%s\n", c.title);
     std::printf("  in : vni=%u  inner %s -> %s  (%zu wire bytes)\n",
                 pkt.vni, pkt.inner.src.to_string().c_str(),

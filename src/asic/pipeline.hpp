@@ -35,6 +35,11 @@ struct PacketContext {
   Gress gress = Gress::kIngress;
   bool dropped = false;
   std::string drop_reason;
+  /// Optional machine-readable drop classifier set alongside drop_reason.
+  /// The asic layer itself is gateway-agnostic, so codes are opaque here;
+  /// the gateway that programmed the stages maps them back to its typed
+  /// drop taxonomy (0 = "stage gave no code").
+  std::uint8_t drop_code = 0;
   /// Set by the walker when its owner registered a telemetry registry:
   /// stages record their per-table hit/miss counts here.
   telemetry::Registry* stats = nullptr;
@@ -42,9 +47,10 @@ struct PacketContext {
   /// unset means "stay on the same pipeline".
   std::optional<unsigned> egress_pipe;
 
-  void drop(std::string reason) {
+  void drop(std::string reason, std::uint8_t code = 0) {
     dropped = true;
     drop_reason = std::move(reason);
+    drop_code = code;
   }
 };
 

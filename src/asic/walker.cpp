@@ -80,6 +80,7 @@ WalkResult Walker::run(net::OverlayPacket packet,
   result.meta = std::move(ctx.meta);
   result.dropped = ctx.dropped;
   result.drop_reason = std::move(ctx.drop_reason);
+  result.drop_code = ctx.drop_code;
   if (packets_ != nullptr) {
     if (result.dropped) drops_->add();
     passes_->record(static_cast<double>(result.passes));

@@ -25,6 +25,8 @@ struct WalkResult {
   Phv meta;
   bool dropped = false;
   std::string drop_reason;
+  /// Opaque drop classifier forwarded from PacketContext::drop_code.
+  std::uint8_t drop_code = 0;
   /// Pipeline passes (ingress+egress pairs) the packet made.
   unsigned passes = 0;
   /// Pipe whose egress finally emitted the packet.

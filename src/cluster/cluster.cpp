@@ -27,26 +27,53 @@ XgwHCluster::XgwHCluster(Config config)
   rebuild_ecmp();
 }
 
-void XgwHCluster::install_route(net::Vni vni, const net::IpPrefix& prefix,
-                                tables::VxlanRouteAction action) {
+dataplane::TableOpStatus XgwHCluster::install_route(
+    net::Vni vni, const net::IpPrefix& prefix,
+    tables::VxlanRouteAction action) {
+  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
+  bool first = true;
   for (Device& device : devices_) {
-    device.gateway->install_route(vni, prefix, action);
+    const auto s = device.gateway->install_route(vni, prefix, action);
+    if (first) status = s;
+    first = false;
   }
+  return status;
 }
 
-void XgwHCluster::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
-  for (Device& device : devices_) device.gateway->remove_route(vni, prefix);
-}
-
-void XgwHCluster::install_mapping(const tables::VmNcKey& key,
-                                  tables::VmNcAction action) {
+dataplane::TableOpStatus XgwHCluster::remove_route(
+    net::Vni vni, const net::IpPrefix& prefix) {
+  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
+  bool first = true;
   for (Device& device : devices_) {
-    device.gateway->install_mapping(key, action);
+    const auto s = device.gateway->remove_route(vni, prefix);
+    if (first) status = s;
+    first = false;
   }
+  return status;
 }
 
-void XgwHCluster::remove_mapping(const tables::VmNcKey& key) {
-  for (Device& device : devices_) device.gateway->remove_mapping(key);
+dataplane::TableOpStatus XgwHCluster::install_mapping(
+    const tables::VmNcKey& key, tables::VmNcAction action) {
+  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
+  bool first = true;
+  for (Device& device : devices_) {
+    const auto s = device.gateway->install_mapping(key, action);
+    if (first) status = s;
+    first = false;
+  }
+  return status;
+}
+
+dataplane::TableOpStatus XgwHCluster::remove_mapping(
+    const tables::VmNcKey& key) {
+  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
+  bool first = true;
+  for (Device& device : devices_) {
+    const auto s = device.gateway->remove_mapping(key);
+    if (first) status = s;
+    first = false;
+  }
+  return status;
 }
 
 std::size_t XgwHCluster::route_count() const {
@@ -57,16 +84,17 @@ std::size_t XgwHCluster::mapping_count() const {
   return devices_.empty() ? 0 : devices_.front().gateway->mapping_count();
 }
 
-xgwh::ForwardResult XgwHCluster::process(const net::OverlayPacket& packet,
+xgwh::ForwardResult XgwHCluster::forward(const net::OverlayPacket& packet,
                                          double now) {
   auto member = ecmp_.pick(packet.inner);
   if (!member) {
     xgwh::ForwardResult result;
-    result.action = xgwh::ForwardAction::kDrop;
-    result.drop_reason = "cluster has no live devices";
+    result.action = dataplane::Action::kDrop;
+    result.drop_reason = dataplane::DropReason::kNoLiveDevice;
+    result.packet = packet;
     return result;
   }
-  return devices_[*member].gateway->process(packet, now);
+  return devices_[*member].gateway->forward(packet, now);
 }
 
 std::optional<std::size_t> XgwHCluster::pick_device(

@@ -20,7 +20,8 @@ namespace sf::cluster {
 enum class DeviceRole : std::uint8_t { kPrimary, kBackup };
 enum class DeviceHealth : std::uint8_t { kHealthy, kFailed, kDraining };
 
-class XgwHCluster {
+class XgwHCluster : public dataplane::Gateway,
+                    public dataplane::TableProgrammer {
  public:
   struct Config {
     std::uint32_t cluster_id = 0;
@@ -32,22 +33,34 @@ class XgwHCluster {
 
   explicit XgwHCluster(Config config);
 
-  // ---- table fan-out -------------------------------------------------------
+  // ---- table fan-out (dataplane::TableProgrammer) -------------------------
 
-  void install_route(net::Vni vni, const net::IpPrefix& prefix,
-                     tables::VxlanRouteAction action);
-  void remove_route(net::Vni vni, const net::IpPrefix& prefix);
-  void install_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
-  void remove_mapping(const tables::VmNcKey& key);
+  /// Installs fan out to every device (primaries and backups hold the same
+  /// tables); the returned status is the first device's — they are
+  /// identical by construction, so one answer speaks for all.
+  dataplane::TableOpStatus install_route(
+      net::Vni vni, const net::IpPrefix& prefix,
+      tables::VxlanRouteAction action) override;
+  dataplane::TableOpStatus remove_route(net::Vni vni,
+                                        const net::IpPrefix& prefix) override;
+  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                           tables::VmNcAction action) override;
+  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
 
   std::size_t route_count() const;    // per device (identical by design)
   std::size_t mapping_count() const;
 
-  // ---- data plane -----------------------------------------------------------
+  // ---- data plane (dataplane::Gateway) --------------------------------------
 
-  /// ECMP-picks a live primary (or backup after failover) and processes.
-  xgwh::ForwardResult process(const net::OverlayPacket& packet,
+  /// ECMP-picks a live primary (or backup after failover) and forwards.
+  xgwh::ForwardResult forward(const net::OverlayPacket& packet,
                               double now = 0);
+
+  /// Gateway interface: forward() sliced to the unified verdict.
+  dataplane::Verdict process(const net::OverlayPacket& packet,
+                             double now) override {
+    return forward(packet, now);
+  }
 
   /// The device index process() would pick for this flow (tracing).
   std::optional<std::size_t> pick_device(const net::FiveTuple& tuple) const;

@@ -21,6 +21,9 @@ Controller::Controller(Config config)
   ctr_clusters_opened_ = &registry_->counter("controller.clusters_opened");
   ctr_packets_ = &registry_->counter("controller.packets_steered");
   ctr_unknown_vni_ = &registry_->counter("controller.unknown_vni_drops");
+  ctr_ops_rate_limited_ =
+      &registry_->counter("controller.table_ops_rate_limited");
+  op_tokens_ = static_cast<double>(config_.table_op_burst);
   const std::size_t prebuilt =
       std::min(config_.initial_clusters, config_.max_clusters);
   for (std::size_t i = 0; i < prebuilt; ++i) {
@@ -36,6 +39,25 @@ Controller::Controller(Config config)
 
 void Controller::mirror(const TableOp& op) {
   if (mirror_) mirror_(op);
+}
+
+void Controller::advance_clock(double now) {
+  clock_now_ = std::max(clock_now_, now);
+}
+
+bool Controller::take_op_token() {
+  if (config_.table_op_rate_limit <= 0) return true;
+  op_tokens_ = std::min(
+      op_tokens_ +
+          (clock_now_ - op_tokens_time_) * config_.table_op_rate_limit,
+      static_cast<double>(config_.table_op_burst));
+  op_tokens_time_ = clock_now_;
+  if (op_tokens_ < 1.0) {
+    ctr_ops_rate_limited_->add();
+    return false;
+  }
+  op_tokens_ -= 1.0;
+  return true;
 }
 
 std::optional<std::uint32_t> Controller::assign_cluster() {
@@ -96,11 +118,11 @@ bool Controller::add_vpc(const workload::VpcRecord& vpc) {
   ctr_vpcs_admitted_->add();
 
   for (const workload::RouteRecord& route : vpc.routes) {
-    add_route(vpc.vni, route.prefix, route.action);
+    install_route(vpc.vni, route.prefix, route.action);
   }
   for (const workload::VmRecord& vm : vpc.vms) {
-    add_mapping(tables::VmNcKey{vpc.vni, vm.ip},
-                tables::VmNcAction{vm.nc_ip});
+    install_mapping(tables::VmNcKey{vpc.vni, vm.ip},
+                    tables::VmNcAction{vm.nc_ip});
   }
   return true;
 }
@@ -137,11 +159,14 @@ std::size_t Controller::install_topology(
   return admitted;
 }
 
-bool Controller::add_route(net::Vni vni, const net::IpPrefix& prefix,
-                           tables::VxlanRouteAction action) {
+dataplane::TableOpStatus Controller::install_route(
+    net::Vni vni, const net::IpPrefix& prefix,
+    tables::VxlanRouteAction action) {
   auto it = vpcs_.find(vni);
-  if (it == vpcs_.end()) return false;
-  clusters_[it->second.cluster_id]->install_route(vni, prefix, action);
+  if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const dataplane::TableOpStatus status =
+      programmer(it->second.cluster_id).install_route(vni, prefix, action);
   auto& routes = it->second.routes;
   auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
     return r.first == prefix;
@@ -162,29 +187,34 @@ bool Controller::add_route(net::Vni vni, const net::IpPrefix& prefix,
                      "cluster " + std::to_string(it->second.cluster_id) +
                          " reached its route water level; sales closed");
   }
-  return true;
+  return status;
 }
 
-bool Controller::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+dataplane::TableOpStatus Controller::remove_route(
+    net::Vni vni, const net::IpPrefix& prefix) {
   auto it = vpcs_.find(vni);
-  if (it == vpcs_.end()) return false;
+  if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
   auto& routes = it->second.routes;
   auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
     return r.first == prefix;
   });
-  if (existing == routes.end()) return false;
+  if (existing == routes.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
   routes.erase(existing);
-  clusters_[it->second.cluster_id]->remove_route(vni, prefix);
+  const dataplane::TableOpStatus status =
+      programmer(it->second.cluster_id).remove_route(vni, prefix);
   mirror(TableOp{TableOp::Kind::kDelRoute, vni, prefix, {}, {}, {}});
   ctr_routes_removed_->add();
-  return true;
+  return status;
 }
 
-bool Controller::add_mapping(const tables::VmNcKey& key,
-                             tables::VmNcAction action) {
+dataplane::TableOpStatus Controller::install_mapping(
+    const tables::VmNcKey& key, tables::VmNcAction action) {
   auto it = vpcs_.find(key.vni);
-  if (it == vpcs_.end()) return false;
-  clusters_[it->second.cluster_id]->install_mapping(key, action);
+  if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const dataplane::TableOpStatus status =
+      programmer(it->second.cluster_id).install_mapping(key, action);
   auto& mappings = it->second.mappings;
   auto existing =
       std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {
@@ -197,23 +227,26 @@ bool Controller::add_mapping(const tables::VmNcKey& key,
   }
   mirror(TableOp{TableOp::Kind::kAddMapping, key.vni, {}, {}, key, action});
   ctr_mappings_added_->add();
-  return true;
+  return status;
 }
 
-bool Controller::remove_mapping(const tables::VmNcKey& key) {
+dataplane::TableOpStatus Controller::remove_mapping(
+    const tables::VmNcKey& key) {
   auto it = vpcs_.find(key.vni);
-  if (it == vpcs_.end()) return false;
+  if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
   auto& mappings = it->second.mappings;
   auto existing =
       std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {
         return m.first == key;
       });
-  if (existing == mappings.end()) return false;
+  if (existing == mappings.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
   mappings.erase(existing);
-  clusters_[it->second.cluster_id]->remove_mapping(key);
+  const dataplane::TableOpStatus status =
+      programmer(it->second.cluster_id).remove_mapping(key);
   mirror(TableOp{TableOp::Kind::kDelMapping, key.vni, {}, {}, key, {}});
   ctr_mappings_removed_->add();
-  return true;
+  return status;
 }
 
 bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
@@ -244,8 +277,8 @@ bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
   for (net::Vni member : group) {
     VpcState& state = vpcs_.at(member);
     if (state.cluster_id == target_cluster) continue;
-    XgwHCluster& source = *clusters_[state.cluster_id];
-    XgwHCluster& target = *clusters_[target_cluster];
+    dataplane::TableProgrammer& source = programmer(state.cluster_id);
+    dataplane::TableProgrammer& target = programmer(target_cluster);
     // Install on the target first, then retire from the source: the
     // director flip in between is the atomic switchover point.
     for (const auto& [prefix, action] : state.routes) {
@@ -283,11 +316,12 @@ xgwh::ForwardResult Controller::process(const net::OverlayPacket& packet,
   if (!cluster_id) {
     ctr_unknown_vni_->add();
     xgwh::ForwardResult result;
-    result.action = xgwh::ForwardAction::kDrop;
-    result.drop_reason = "VNI not assigned to any cluster";
+    result.action = dataplane::Action::kDrop;
+    result.drop_reason = dataplane::DropReason::kUnknownVni;
+    result.packet = packet;
     return result;
   }
-  return clusters_[*cluster_id]->process(packet, now);
+  return clusters_[*cluster_id]->forward(packet, now);
 }
 
 Controller::ConsistencyReport Controller::check_consistency(

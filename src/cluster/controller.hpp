@@ -16,29 +16,17 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/load_balancer.hpp"
+#include "dataplane/table_programmer.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/registry.hpp"
 #include "workload/topology.hpp"
 
 namespace sf::cluster {
 
-/// One table operation, as fanned out to install targets.
-struct TableOp {
-  enum class Kind : std::uint8_t {
-    kAddRoute,
-    kDelRoute,
-    kAddMapping,
-    kDelMapping,
-  };
-  Kind kind = Kind::kAddRoute;
-  net::Vni vni = 0;
-  net::IpPrefix prefix;                    // routes
-  tables::VxlanRouteAction route_action;   // routes
-  tables::VmNcKey mapping_key;             // mappings
-  tables::VmNcAction mapping_action;       // mappings
-};
+/// The fan-out unit is the shared dataplane one.
+using TableOp = dataplane::TableOp;
 
-class Controller {
+class Controller : public dataplane::TableProgrammer {
  public:
   struct Config {
     XgwHCluster::Config cluster_template;
@@ -51,6 +39,11 @@ class Controller {
     /// ("close the sale of the cluster's resources", §6.1).
     std::size_t routes_water_level = 200'000;
     std::size_t mappings_water_level = 400'000;
+    /// Update-channel budget (table ops per second; 0 disables). Protects
+    /// the devices' install path (§2.3's install-speed pain): ops beyond
+    /// the budget return kRateLimited and must be retried.
+    double table_op_rate_limit = 0;
+    std::size_t table_op_burst = 64;
   };
 
   explicit Controller(Config config);
@@ -71,11 +64,22 @@ class Controller {
   /// Installs a whole region topology.
   std::size_t install_topology(const workload::RegionTopology& region);
 
-  bool add_route(net::Vni vni, const net::IpPrefix& prefix,
-                 tables::VxlanRouteAction action);
-  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
-  bool add_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
-  bool remove_mapping(const tables::VmNcKey& key);
+  /// Desired-state edits (dataplane::TableProgrammer). kNotFound means the
+  /// VNI has no admitted VPC (installs) or the entry is absent (removes);
+  /// kRateLimited means the update-channel budget is exhausted and nothing
+  /// was changed.
+  dataplane::TableOpStatus install_route(
+      net::Vni vni, const net::IpPrefix& prefix,
+      tables::VxlanRouteAction action) override;
+  dataplane::TableOpStatus remove_route(net::Vni vni,
+                                        const net::IpPrefix& prefix) override;
+  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                           tables::VmNcAction action) override;
+  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+
+  /// Advances the controller clock (seconds) feeding the update-channel
+  /// rate limiter.
+  void advance_clock(double now);
 
   /// Moves a VPC's entries to another cluster and re-points the VNI
   /// director — §4.3's "precisely manage the traffic load on a particular
@@ -94,6 +98,12 @@ class Controller {
   /// Routes a packet to its VNI's cluster. Drops when the VNI is unknown.
   xgwh::ForwardResult process(const net::OverlayPacket& packet,
                               double now = 0);
+
+  /// The cluster's table interface — every device-programming path in the
+  /// controller goes through this, never through concrete cluster types.
+  dataplane::TableProgrammer& programmer(std::uint32_t cluster_id) {
+    return *clusters_.at(cluster_id);
+  }
 
   // ---- cluster access --------------------------------------------------------
 
@@ -152,6 +162,8 @@ class Controller {
   /// Picks (or opens) a cluster with capacity; nullopt when sales close.
   std::optional<std::uint32_t> assign_cluster();
   void mirror(const TableOp& op);
+  /// Update-channel token bucket (table_op_rate_limit / table_op_burst).
+  bool take_op_token();
 
   Config config_;
   std::vector<std::unique_ptr<XgwHCluster>> clusters_;
@@ -159,6 +171,10 @@ class Controller {
   std::unordered_map<net::Vni, VpcState> vpcs_;
   std::function<void(const TableOp&)> mirror_;
   std::vector<std::string> alerts_;
+
+  double clock_now_ = 0;
+  double op_tokens_ = 0;
+  double op_tokens_time_ = 0;
 
   std::unique_ptr<telemetry::Registry> registry_;
   std::unique_ptr<telemetry::EventJournal> journal_;
@@ -172,6 +188,7 @@ class Controller {
   telemetry::Counter* ctr_clusters_opened_ = nullptr;
   telemetry::Counter* ctr_packets_ = nullptr;
   telemetry::Counter* ctr_unknown_vni_ = nullptr;
+  telemetry::Counter* ctr_ops_rate_limited_ = nullptr;
 };
 
 }  // namespace sf::cluster

@@ -50,12 +50,12 @@ void ProbeCampaign::probe_vpc(Controller& controller,
     ++report->probes_sent;
     const auto result =
         controller.process(make_probe(vpc.vni, probe_src, vm.ip));
-    if (result.action != xgwh::ForwardAction::kForwardToNc ||
+    if (result.action != dataplane::Action::kForwardToNc ||
         result.packet.outer_dst_ip != net::IpAddr(vm.nc_ip)) {
       record_failure(report, "vni " + std::to_string(vpc.vni) + " VM " +
                                  vm.ip.to_string() +
                                  ": expected NC " + vm.nc_ip.to_string() +
-                                 ", got " + to_string(result.action));
+                                 ", got " + dataplane::to_string(result.action));
     }
   }
 
@@ -76,14 +76,14 @@ void ProbeCampaign::probe_vpc(Controller& controller,
       ++report->probes_sent;
       const auto result =
           controller.process(make_probe(vpc.vni, probe_src, target->ip));
-      if (result.action != xgwh::ForwardAction::kForwardToNc ||
+      if (result.action != dataplane::Action::kForwardToNc ||
           result.packet.outer_dst_ip != net::IpAddr(target->nc_ip)) {
         record_failure(report,
                        "vni " + std::to_string(vpc.vni) + " -> peer " +
                            std::to_string(peer_vni) + " VM " +
                            target->ip.to_string() + ": expected NC " +
                            target->nc_ip.to_string() + ", got " +
-                           to_string(result.action));
+                           dataplane::to_string(result.action));
       }
     }
   }
@@ -97,10 +97,10 @@ void ProbeCampaign::probe_vpc(Controller& controller,
     ++report->probes_sent;
     const auto result =
         controller.process(make_probe(vpc.vni, probe_src, public_dst));
-    if (result.action != xgwh::ForwardAction::kFallbackToX86) {
+    if (result.action != dataplane::Action::kFallbackToX86) {
       record_failure(report, "vni " + std::to_string(vpc.vni) +
                                  " Internet probe: expected fallback, got " +
-                                 to_string(result.action));
+                                 dataplane::to_string(result.action));
     }
   }
 }

@@ -3,26 +3,6 @@
 #include <sstream>
 
 namespace sf::core {
-namespace {
-
-const char* path_name(SailfishRegion::RegionResult::Path path) {
-  using Path = SailfishRegion::RegionResult::Path;
-  switch (path) {
-    case Path::kHardwareForwarded:
-      return "hardware-forwarded";
-    case Path::kHardwareTunnel:
-      return "hardware-tunnel";
-    case Path::kSoftwareForwarded:
-      return "software-forwarded";
-    case Path::kSoftwareSnat:
-      return "software-snat";
-    case Path::kDropped:
-      return "dropped";
-  }
-  return "?";
-}
-
-}  // namespace
 
 std::string PathTrace::to_string() const {
   std::ostringstream out;
@@ -37,8 +17,10 @@ std::string PathTrace::to_string() const {
       out << "\n";
     }
   }
-  out << "  => " << path_name(result.path);
-  if (!result.drop_reason.empty()) out << " (" << result.drop_reason << ")";
+  out << "  => " << dataplane::path_label(result);
+  if (result.dropped()) {
+    out << " (" << dataplane::to_string(result.drop_reason) << ")";
+  }
   return out.str();
 }
 
@@ -55,8 +37,8 @@ PathTrace trace_packet(SailfishRegion& region,
     trace.hops.push_back({"vni-director",
                           "vni " + std::to_string(packet.vni) +
                               " not assigned to any cluster"});
-    trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
-    trace.result.drop_reason = "VNI not assigned to any cluster";
+    trace.result =
+        dataplane::Verdict::drop(dataplane::DropReason::kUnknownVni);
     return trace;
   }
   trace.hops.push_back({"vni-director",
@@ -69,8 +51,8 @@ PathTrace trace_packet(SailfishRegion& region,
     trace.hops.push_back(
         {"cluster " + std::to_string(*cluster_id) + " ecmp",
          "no live devices"});
-    trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
-    trace.result.drop_reason = "cluster has no live devices";
+    trace.result =
+        dataplane::Verdict::drop(dataplane::DropReason::kNoLiveDevice);
     return trace;
   }
   trace.hops.push_back(
@@ -79,16 +61,18 @@ PathTrace trace_packet(SailfishRegion& region,
            cluster.device(*device).config().device_ip.to_string() + ")" +
            (cluster.failed_over() ? " [serving from backups]" : "")});
 
-  auto hw = cluster.device(*device).process(packet, now);
+  auto hw = cluster.device(*device).forward(packet, now);
   {
     std::ostringstream detail;
-    detail << to_string(hw.action) << ", " << hw.passes
+    detail << dataplane::to_string(hw.action) << ", " << hw.passes
            << " pipeline pass(es)";
     if (hw.shard_pipe) {
       detail << ", loopback via egress pipe " << *hw.shard_pipe;
     }
     detail << ", " << hw.latency_us << " us";
-    if (!hw.drop_reason.empty()) detail << ", reason: " << hw.drop_reason;
+    if (hw.dropped()) {
+      detail << ", reason: " << dataplane::to_string(hw.drop_reason);
+    }
     TraceHop hop{"xgw-h", detail.str(), {}};
     const auto& reg = cluster.device(*device).registry();
     hop.counters = {
@@ -104,43 +88,41 @@ PathTrace trace_packet(SailfishRegion& region,
   trace.result.latency_us = hw.latency_us;
 
   switch (hw.action) {
-    case xgwh::ForwardAction::kForwardToNc:
+    case dataplane::Action::kForwardToNc:
       trace.hops.push_back({"underlay",
                             "outer DIP " +
                                 hw.packet.outer_dst_ip.to_string() +
                                 " (destination NC)"});
-      trace.result.path =
-          SailfishRegion::RegionResult::Path::kHardwareForwarded;
-      trace.result.packet = std::move(hw.packet);
+      trace.result = std::move(static_cast<dataplane::Verdict&>(hw));
       return trace;
-    case xgwh::ForwardAction::kForwardTunnel:
+    case dataplane::Action::kForwardTunnel:
       trace.hops.push_back({"underlay",
                             "tunnel to " +
                                 hw.packet.outer_dst_ip.to_string()});
-      trace.result.path =
-          SailfishRegion::RegionResult::Path::kHardwareTunnel;
-      trace.result.packet = std::move(hw.packet);
+      trace.result = std::move(static_cast<dataplane::Verdict&>(hw));
       return trace;
-    case xgwh::ForwardAction::kDrop:
-      trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
-      trace.result.drop_reason = std::move(hw.drop_reason);
+    case dataplane::Action::kDrop:
+      trace.result = std::move(static_cast<dataplane::Verdict&>(hw));
       return trace;
-    case xgwh::ForwardAction::kFallbackToX86:
+    default:
       break;
   }
 
   const std::size_t node = region.x86_node_index_for(packet.inner);
   trace.hops.push_back({"fallback ecmp",
                         "steered to xgw-x86 node " + std::to_string(node)});
-  auto sw = region.x86_node(node).process(packet, now);
+  auto sw = region.x86_node(node).forward(packet, now);
   {
     std::ostringstream detail;
-    detail << to_string(sw.action) << ", " << sw.latency_us << " us";
+    detail << dataplane::to_string(sw.action) << ", " << sw.latency_us
+           << " us";
     if (sw.snat) {
       detail << ", SNAT " << sw.snat->public_ip.to_string() << ":"
              << sw.snat->public_port;
     }
-    if (!sw.drop_reason.empty()) detail << ", reason: " << sw.drop_reason;
+    if (sw.dropped()) {
+      detail << ", reason: " << dataplane::to_string(sw.drop_reason);
+    }
     TraceHop hop{"xgw-x86", detail.str(), {}};
     const auto& reg = region.x86_node(node).registry();
     hop.counters = {
@@ -152,22 +134,10 @@ PathTrace trace_packet(SailfishRegion& region,
     };
     trace.hops.push_back(std::move(hop));
   }
-  trace.result.latency_us += sw.latency_us;
-  trace.result.packet = std::move(sw.packet);
-  switch (sw.action) {
-    case x86::X86Action::kForwardToNc:
-    case x86::X86Action::kForwardTunnel:
-      trace.result.path =
-          SailfishRegion::RegionResult::Path::kSoftwareForwarded;
-      break;
-    case x86::X86Action::kSnatToInternet:
-      trace.result.path = SailfishRegion::RegionResult::Path::kSoftwareSnat;
-      break;
-    case x86::X86Action::kDrop:
-      trace.result.path = SailfishRegion::RegionResult::Path::kDropped;
-      trace.result.drop_reason = std::move(sw.drop_reason);
-      break;
-  }
+  const double hw_latency = trace.result.latency_us;
+  trace.result = std::move(static_cast<dataplane::Verdict&>(sw));
+  trace.result.latency_us += hw_latency;
+  trace.result.software_path = true;
   return trace;
 }
 

@@ -26,7 +26,7 @@ struct TraceHop {
 
 struct PathTrace {
   std::vector<TraceHop> hops;
-  SailfishRegion::RegionResult result;
+  dataplane::Verdict result;
 
   std::string to_string() const;
 };

@@ -22,28 +22,16 @@ SailfishRegion::SailfishRegion(Config config)
     x86_ecmp_.add(static_cast<std::uint32_t>(i));
   }
 
-  // Software holds the complete tables: mirror every controller op.
-  controller_.set_mirror([this](const cluster::TableOp& op) {
-    for (auto& node : x86_nodes_) {
-      switch (op.kind) {
-        case cluster::TableOp::Kind::kAddRoute:
-          node->install_route(op.vni, op.prefix, op.route_action);
-          break;
-        case cluster::TableOp::Kind::kDelRoute:
-          node->remove_route(op.vni, op.prefix);
-          break;
-        case cluster::TableOp::Kind::kAddMapping:
-          node->install_mapping(op.mapping_key, op.mapping_action);
-          break;
-        case cluster::TableOp::Kind::kDelMapping:
-          node->remove_mapping(op.mapping_key);
-          break;
-      }
-    }
+  // Software holds the complete tables: mirror every controller op to
+  // every node through the shared table interface.
+  controller_.set_mirror([this](const dataplane::TableOp& op) {
+    for (auto& node : x86_nodes_) dataplane::apply(*node, op);
   });
 
   recovery_ = std::make_unique<cluster::DisasterRecovery>(
       &controller_, cluster::DisasterRecovery::Config{});
+
+  engine_ = std::make_unique<dataplane::ShardEngine>(config_.interval_engine);
 
   registry_ = std::make_unique<telemetry::Registry>();
   ctr_packets_ = &registry_->counter("region.packets");
@@ -82,58 +70,51 @@ std::size_t SailfishRegion::x86_node_index_for(
   return x86_ecmp_.pick(tuple).value_or(0);
 }
 
-SailfishRegion::RegionResult SailfishRegion::process(
-    const net::OverlayPacket& packet, double now) {
-  RegionResult result;
+dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
+                                           double now) {
   ctr_packets_->add();
 
   xgwh::ForwardResult hw = controller_.process(packet, now);
-  result.latency_us = hw.latency_us;
-
-  switch (hw.action) {
-    case xgwh::ForwardAction::kForwardToNc:
-      result.path = RegionResult::Path::kHardwareForwarded;
-      result.packet = std::move(hw.packet);
-      ctr_hw_forwarded_->add();
-      return result;
-    case xgwh::ForwardAction::kForwardTunnel:
-      result.path = RegionResult::Path::kHardwareTunnel;
-      result.packet = std::move(hw.packet);
-      ctr_hw_tunnel_->add();
-      return result;
-    case xgwh::ForwardAction::kDrop:
-      result.path = RegionResult::Path::kDropped;
-      result.drop_reason = std::move(hw.drop_reason);
-      ctr_dropped_->add();
-      return result;
-    case xgwh::ForwardAction::kFallbackToX86:
-      break;
+  if (hw.action != dataplane::Action::kFallbackToX86) {
+    switch (hw.action) {
+      case dataplane::Action::kForwardToNc:
+        ctr_hw_forwarded_->add();
+        break;
+      case dataplane::Action::kForwardTunnel:
+        ctr_hw_tunnel_->add();
+        break;
+      case dataplane::Action::kDrop:
+        ctr_dropped_->add();
+        break;
+      default:
+        break;
+    }
+    return std::move(static_cast<dataplane::Verdict&>(hw));
   }
 
   // Software path: the XGW-H rewrote the outer header toward the fleet
   // VIP; ECMP picks the node, which processes the *original* overlay
   // packet (outer headers are re-derived there).
   x86::XgwX86& node = x86_for_flow(packet.inner);
-  x86::X86Result sw = node.process(packet, now);
-  result.latency_us += sw.latency_us;
-  result.packet = std::move(sw.packet);
-  switch (sw.action) {
-    case x86::X86Action::kForwardToNc:
-    case x86::X86Action::kForwardTunnel:
-      result.path = RegionResult::Path::kSoftwareForwarded;
+  x86::X86Result sw = node.forward(packet, now);
+  dataplane::Verdict verdict = std::move(static_cast<dataplane::Verdict&>(sw));
+  verdict.latency_us += hw.latency_us;
+  verdict.software_path = true;
+  switch (verdict.action) {
+    case dataplane::Action::kForwardToNc:
+    case dataplane::Action::kForwardTunnel:
       ctr_sw_forwarded_->add();
-      return result;
-    case x86::X86Action::kSnatToInternet:
-      result.path = RegionResult::Path::kSoftwareSnat;
+      break;
+    case dataplane::Action::kSnatToInternet:
       ctr_sw_snat_->add();
-      return result;
-    case x86::X86Action::kDrop:
-      result.path = RegionResult::Path::kDropped;
-      result.drop_reason = std::move(sw.drop_reason);
+      break;
+    case dataplane::Action::kDrop:
       ctr_dropped_->add();
-      return result;
+      break;
+    default:
+      break;
   }
-  return result;
+  return verdict;
 }
 
 SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
@@ -142,59 +123,156 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
   IntervalReport report;
   report.offered_bps = total_bps;
 
-  // Per-device offered load on the hardware path, per cluster.
+  const std::size_t clusters = controller_.cluster_count();
+  const std::size_t nodes = x86_nodes_.size();
+
+  // ---- Phase A: hash-sharded parallel classification ----------------------
+  // Each flow is classified exactly once, by the shard that owns its
+  // steering hash, into its private slot; per-shard registries count what
+  // each shard saw and merge through the snapshot machinery.
+  enum class Kind : std::uint8_t { kHardware, kSoftware, kUnknownVni };
+  struct Classified {
+    double pps = 0;
+    double bps = 0;
+    std::uint32_t cluster = 0;
+    std::uint32_t node = 0;
+    std::uint8_t pipe = 0;
+    Kind kind = Kind::kUnknownVni;
+  };
+  std::vector<Classified> classified(flows.size());
+
+  const auto owner = [&flows](std::size_t i) -> std::size_t {
+    const workload::Flow& flow = flows[i];
+    // The keys the dataplane already steers by: the RSS tuple hash on the
+    // software path, the VNI hash on the hardware path.
+    return flow.scope == tables::RouteScope::kInternet
+               ? static_cast<std::size_t>(flow.tuple.hash())
+               : static_cast<std::size_t>(net::mix64(flow.vni));
+  };
+  const telemetry::Snapshot engine_stats = engine_->run_sharded(
+      flows.size(), owner,
+      [&](std::size_t, std::span<const std::uint32_t> indices,
+          telemetry::Registry& registry) {
+        telemetry::Counter& seen = registry.counter("engine.flows");
+        telemetry::Counter& hw = registry.counter("engine.hw_flows");
+        telemetry::Counter& sw = registry.counter("engine.sw_flows");
+        telemetry::Counter& unknown =
+            registry.counter("engine.unknown_vni_flows");
+        for (const std::uint32_t i : indices) {
+          const workload::Flow& flow = flows[i];
+          Classified& out = classified[i];
+          out.bps = flow.weight * total_bps;
+          out.pps = out.bps / 8.0 / static_cast<double>(flow.packet_size);
+          seen.add();
+          if (flow.scope == tables::RouteScope::kInternet) {
+            out.kind = Kind::kSoftware;
+            out.node = x86_ecmp_.pick(flow.tuple).value_or(0);
+            sw.add();
+            continue;
+          }
+          const auto cluster_id = controller_.cluster_for(flow.vni);
+          if (!cluster_id) {
+            out.kind = Kind::kUnknownVni;
+            unknown.add();
+            continue;
+          }
+          out.kind = Kind::kHardware;
+          out.cluster = *cluster_id;
+          // Loopback-pipe accounting: the VNI's shard picks pipe 1 or 3
+          // (Fig. 14).
+          out.pipe = static_cast<std::uint8_t>(
+              1 + 2 * xgwh::XgwH::shard_of_vni(flow.vni));
+          hw.add();
+        }
+      });
+
+  // ---- Phase B: parallel accumulation over disjoint accumulators ----------
+  // Each task owns its outputs outright and walks the classified flows in
+  // original index order, so every floating-point sum reproduces the
+  // sequential order exactly — parallelism never reassociates an addition.
   struct DeviceLoad {
     double pps = 0;
     double bps = 0;
   };
-  std::vector<std::vector<DeviceLoad>> hw_load(controller_.cluster_count());
-  for (std::size_t c = 0; c < controller_.cluster_count(); ++c) {
+  std::vector<std::vector<DeviceLoad>> hw_load(clusters);
+  std::vector<std::size_t> live_devices(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
     hw_load[c].resize(controller_.cluster(c).device_count());
+    live_devices[c] =
+        std::max<std::size_t>(1, controller_.cluster(c).live_device_count());
   }
-  std::vector<std::vector<x86::FlowRate>> sw_flows(x86_nodes_.size());
 
-  for (const workload::Flow& flow : flows) {
-    const double bps = flow.weight * total_bps;
-    const double pps = bps / 8.0 / static_cast<double>(flow.packet_size);
-    report.offered_pps += pps;
+  double offered_pps = 0;
+  double fallback_bps = 0;
+  double unknown_vni_pps = 0;
+  std::array<double, 4> shard_pipe_bps{};
+  std::vector<x86::IntervalReport> node_reports(nodes);
+  std::vector<char> node_active(nodes, 0);
 
-    const bool software_path =
-        flow.scope == tables::RouteScope::kInternet;
-    if (software_path) {
-      report.fallback_bps += bps;
-      auto member = x86_ecmp_.pick(flow.tuple);
-      sw_flows[member.value_or(0)].push_back(
-          x86::FlowRate{flow.tuple, pps, bps});
-      continue;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(1 + clusters + nodes);
+  // Scalar totals: one pass over all flows in index order.
+  tasks.push_back([&] {
+    for (const Classified& f : classified) {
+      offered_pps += f.pps;
+      switch (f.kind) {
+        case Kind::kSoftware:
+          fallback_bps += f.bps;
+          break;
+        case Kind::kUnknownVni:
+          unknown_vni_pps += f.pps;
+          break;
+        case Kind::kHardware:
+          shard_pipe_bps[f.pipe] += f.bps;
+          break;
+      }
     }
-
-    auto cluster_id = controller_.cluster_for(flow.vni);
-    if (!cluster_id) {
-      report.dropped_pps += pps;
-      continue;
-    }
-    const cluster::XgwHCluster& cluster = controller_.cluster(*cluster_id);
-    const std::size_t devices = std::max<std::size_t>(
-        1, cluster.live_device_count());
-    // Each Flow aggregates a tenant's many real 5-tuples, so ECMP spreads
-    // it near-uniformly over the cluster's live devices (device-level
-    // bins are huge — §5.2's balls-into-bins argument; contrast with the
-    // per-core lumping modeled in x86::simulate_interval).
-    for (std::size_t device = 0; device < devices; ++device) {
-      hw_load[*cluster_id][device].pps += pps / static_cast<double>(devices);
-      hw_load[*cluster_id][device].bps += bps / static_cast<double>(devices);
-    }
-
-    // Loopback-pipe accounting: the VNI's shard picks pipe 1 or 3
-    // (Fig. 14).
-    const unsigned pipe = 1 + 2 * xgwh::XgwH::shard_of_vni(flow.vni);
-    report.shard_pipe_bps[pipe] += bps;
+  });
+  // Per-device offered load on the hardware path: one task per cluster.
+  // Each Flow aggregates a tenant's many real 5-tuples, so ECMP spreads
+  // it near-uniformly over the cluster's live devices (device-level bins
+  // are huge — §5.2's balls-into-bins argument; contrast with the
+  // per-core lumping modeled in x86::simulate_interval).
+  for (std::size_t c = 0; c < clusters; ++c) {
+    tasks.push_back([&, c] {
+      const auto devices = static_cast<double>(live_devices[c]);
+      for (const Classified& f : classified) {
+        if (f.kind != Kind::kHardware || f.cluster != c) continue;
+        for (std::size_t device = 0; device < live_devices[c]; ++device) {
+          hw_load[c][device].pps += f.pps / devices;
+          hw_load[c][device].bps += f.bps / devices;
+        }
+      }
+    });
   }
+  // Software path: one task per node builds its RSS flow list (index
+  // order) and runs the node's core simulation.
+  for (std::size_t n = 0; n < nodes; ++n) {
+    tasks.push_back([&, n] {
+      std::vector<x86::FlowRate> node_flows;
+      for (std::size_t i = 0; i < classified.size(); ++i) {
+        const Classified& f = classified[i];
+        if (f.kind == Kind::kSoftware && f.node == n) {
+          node_flows.push_back(x86::FlowRate{flows[i].tuple, f.pps, f.bps});
+        }
+      }
+      if (node_flows.empty()) return;
+      node_reports[n] = x86_nodes_[n]->simulate_interval(node_flows);
+      node_active[n] = 1;
+    });
+  }
+  engine_->run_tasks(std::move(tasks));
+
+  // ---- Phase C: sequential reduce (fixed order, one thread) ---------------
+  report.offered_pps = offered_pps;
+  report.fallback_bps = fallback_bps;
+  report.shard_pipe_bps = shard_pipe_bps;
+  report.dropped_pps = unknown_vni_pps;
 
   // Hardware drops: per-device pps and bps ceilings (huge) plus the
   // residual loss floor, deterministically jittered per interval.
   double hw_pps = 0;
-  for (std::size_t c = 0; c < controller_.cluster_count(); ++c) {
+  for (std::size_t c = 0; c < clusters; ++c) {
     if (controller_.cluster(c).device_count() == 0) continue;
     const double cap_pps =
         controller_.cluster(c).device(0).max_packet_rate_pps();
@@ -212,20 +290,23 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
                    0x1.0p-53);
   report.dropped_pps += hw_pps * config_.hardware_loss_floor * jitter;
 
-  // Software path: per-node RSS/core simulation.
-  for (std::size_t n = 0; n < x86_nodes_.size(); ++n) {
-    if (sw_flows[n].empty()) continue;
-    const x86::IntervalReport node_report =
-        x86_nodes_[n]->simulate_interval(sw_flows[n]);
-    report.dropped_pps += node_report.dropped_pps;
+  // Software path: fold the per-node reports in node order.
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (!node_active[n]) continue;
+    report.dropped_pps += node_reports[n].dropped_pps;
     report.x86_max_core_utilization = std::max(
-        report.x86_max_core_utilization, node_report.max_core_utilization);
+        report.x86_max_core_utilization, node_reports[n].max_core_utilization);
   }
 
   report.drop_rate =
       report.offered_pps > 0 ? report.dropped_pps / report.offered_pps : 0;
   report.fallback_ratio =
       total_bps > 0 ? report.fallback_bps / total_bps : 0;
+
+  // Fold the merged per-shard engine counters into the region registry.
+  for (const auto& [name, value] : engine_stats.counters) {
+    registry_->counter("region." + name).add(value);
+  }
 
   // Accumulate the interval into the registry; deltas of successive
   // snapshots recover the per-interval series the figures plot.

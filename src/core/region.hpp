@@ -22,13 +22,15 @@
 #include "cluster/controller.hpp"
 #include "cluster/disaster_recovery.hpp"
 #include "core/rate_limiter.hpp"
+#include "dataplane/gateway.hpp"
+#include "dataplane/shard_engine.hpp"
 #include "telemetry/registry.hpp"
 #include "workload/flowgen.hpp"
 #include "x86/xgw_x86.hpp"
 
 namespace sf::core {
 
-class SailfishRegion {
+class SailfishRegion : public dataplane::Gateway {
  public:
   struct Config {
     cluster::Controller::Config controller;
@@ -38,6 +40,10 @@ class SailfishRegion {
     /// bit errors and rare microbursts. The 1e-11..1e-10 band of Fig. 19.
     double hardware_loss_floor = 3e-11;
     unsigned x86_ecmp_max_next_hops = 64;
+    /// Sharded interval engine shape: shard count is fixed (part of the
+    /// simulation's identity — results never depend on it being spread
+    /// over more threads); threads is pure parallelism.
+    dataplane::ShardPlan interval_engine{};
   };
 
   explicit SailfishRegion(Config config);
@@ -58,23 +64,13 @@ class SailfishRegion {
   /// The software node the fallback path would pick for a flow (tracing).
   std::size_t x86_node_index_for(const net::FiveTuple& tuple) const;
 
-  // ---- functional end-to-end path -------------------------------------------
+  // ---- functional end-to-end path (dataplane::Gateway) ----------------------
 
-  struct RegionResult {
-    enum class Path : std::uint8_t {
-      kHardwareForwarded,  // LB -> XGW-H -> NC
-      kHardwareTunnel,     // LB -> XGW-H -> remote region/IDC
-      kSoftwareForwarded,  // LB -> XGW-H -> XGW-x86 -> NC
-      kSoftwareSnat,       // LB -> XGW-H -> XGW-x86 -> Internet
-      kDropped,
-    };
-    Path path = Path::kDropped;
-    net::OverlayPacket packet;
-    std::string drop_reason;
-    double latency_us = 0;
-  };
-
-  RegionResult process(const net::OverlayPacket& packet, double now = 0);
+  /// Runs one packet end to end: LB -> XGW-H, and for fallback traffic on
+  /// through the XGW-x86 fleet. `software_path` marks verdicts produced by
+  /// the software gateway; dataplane::path_label() names the Fig. 10 path.
+  dataplane::Verdict process(const net::OverlayPacket& packet,
+                             double now = 0) override;
 
   // ---- interval performance simulation ----------------------------------------
 
@@ -95,9 +91,26 @@ class SailfishRegion {
   /// Simulates one interval: each flow offers weight * total_bps.
   /// `jitter_key` deterministically perturbs the hardware loss floor so a
   /// time series shows the Fig. 19 band rather than a flat line.
+  ///
+  /// Internally the flow population is partitioned by the hash the
+  /// steering already uses (VNI hash for hardware flows, RSS tuple hash
+  /// for software ones) across `Config::interval_engine.shards` shards and
+  /// fanned out over the engine's thread pool. The report is byte-
+  /// identical for every thread count: per-shard work writes only
+  /// shard-private state, and every floating-point reduction runs
+  /// single-threaded in a fixed order.
   IntervalReport simulate_interval(std::span<const workload::Flow> flows,
                                    double total_bps,
                                    std::uint64_t jitter_key = 0) const;
+
+  /// Resizes the interval engine's worker pool (results unchanged —
+  /// the shard count stays fixed).
+  void set_interval_threads(std::size_t threads) {
+    engine_->set_threads(threads);
+  }
+  const dataplane::ShardPlan& interval_plan() const {
+    return engine_->plan();
+  }
 
   // ---- telemetry ------------------------------------------------------------
 
@@ -125,6 +138,9 @@ class SailfishRegion {
   std::vector<std::unique_ptr<x86::XgwX86>> x86_nodes_;
   cluster::EcmpGroup x86_ecmp_;
   std::unique_ptr<cluster::DisasterRecovery> recovery_;
+
+  // unique_ptr so the const interval simulator can drive the pool.
+  std::unique_ptr<dataplane::ShardEngine> engine_;
 
   // unique_ptr so the const interval simulator can record too.
   std::unique_ptr<telemetry::Registry> registry_;

@@ -1,0 +1,25 @@
+#include "dataplane/gateway.hpp"
+
+#include <stdexcept>
+
+namespace sf::dataplane {
+
+void Gateway::process_batch(std::span<const net::OverlayPacket> packets,
+                            double now, std::span<Verdict> out) {
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: output span smaller than the batch");
+  }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    out[i] = process(packets[i], now);
+  }
+}
+
+std::vector<Verdict> Gateway::process_batch(
+    std::span<const net::OverlayPacket> packets, double now) {
+  std::vector<Verdict> verdicts(packets.size());
+  process_batch(packets, now, verdicts);
+  return verdicts;
+}
+
+}  // namespace sf::dataplane

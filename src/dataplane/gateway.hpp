@@ -1,0 +1,38 @@
+// The common packet-processing interface: one packet or a batch.
+//
+// The batch form is the API the region engine and the benches feed;
+// `std::span` keeps callers free to batch from any contiguous storage. The
+// default implementation walks the batch through process() in order, so an
+// implementation that does nothing special is automatically equivalent to
+// the single-packet path — verdicts and telemetry included (the batch
+// equivalence tests hold every implementation to that).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataplane/verdict.hpp"
+
+namespace sf::dataplane {
+
+class Gateway {
+ public:
+  virtual ~Gateway() = default;
+
+  /// Processes one packet. `now` is the simulation clock (seconds), used
+  /// by rate limiters and session tables.
+  virtual Verdict process(const net::OverlayPacket& packet, double now) = 0;
+
+  /// Batch form: writes packets.size() verdicts into `out` (which must be
+  /// at least that large). Implementations must keep verdicts and
+  /// telemetry identical to looping process().
+  virtual void process_batch(std::span<const net::OverlayPacket> packets,
+                             double now, std::span<Verdict> out);
+
+  /// Allocating convenience wrapper around the span form.
+  std::vector<Verdict> process_batch(
+      std::span<const net::OverlayPacket> packets, double now = 0);
+};
+
+}  // namespace sf::dataplane

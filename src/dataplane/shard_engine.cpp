@@ -1,0 +1,85 @@
+#include "dataplane/shard_engine.hpp"
+
+#include <algorithm>
+
+namespace sf::dataplane {
+
+ShardEngine::ShardEngine(ShardPlan plan)
+    : plan_(plan),
+      pool_(std::make_unique<ThreadPool>(std::max<std::size_t>(
+          1, plan.threads))) {
+  if (plan_.shards == 0) plan_.shards = 1;
+}
+
+void ShardEngine::set_threads(std::size_t threads) {
+  plan_.threads = std::max<std::size_t>(1, threads);
+  pool_ = std::make_unique<ThreadPool>(plan_.threads);
+}
+
+telemetry::Snapshot ShardEngine::run_sharded(
+    std::size_t count, const std::function<std::size_t(std::size_t)>& owner,
+    const std::function<void(std::size_t, std::span<const std::uint32_t>,
+                             telemetry::Registry&)>& shard_fn) {
+  const std::size_t shards = plan_.shards;
+
+  // Phase 1 — hash-partition item indices, in parallel over contiguous
+  // chunks. Per-(chunk, shard) buckets concatenated in chunk order keep
+  // each shard's index list ascending for ANY chunk count, so the chunk
+  // count (a throughput knob) cannot influence results.
+  const std::size_t chunks =
+      count == 0 ? 0 : std::min(count, pool_->thread_count() * 4);
+  std::vector<std::vector<std::vector<std::uint32_t>>> buckets(chunks);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      buckets[c].resize(shards);
+      const std::size_t begin = count * c / chunks;
+      const std::size_t end = count * (c + 1) / chunks;
+      tasks.push_back([&, c, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          buckets[c][owner(i) % shards].push_back(
+              static_cast<std::uint32_t>(i));
+        }
+      });
+    }
+    pool_->run_all(std::move(tasks));
+  }
+
+  std::vector<std::vector<std::uint32_t>> shard_items(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < chunks; ++c) total += buckets[c][s].size();
+    shard_items[s].reserve(total);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      shard_items[s].insert(shard_items[s].end(), buckets[c][s].begin(),
+                            buckets[c][s].end());
+    }
+  }
+
+  // Phase 2 — run the shards across the pool, each against its own
+  // private registry (no shared mutable counters on the hot path).
+  std::vector<telemetry::Registry> registries(shards);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks.push_back(
+          [&, s] { shard_fn(s, shard_items[s], registries[s]); });
+    }
+    pool_->run_all(std::move(tasks));
+  }
+
+  // Reduce: merge per-shard snapshots in shard order.
+  telemetry::Snapshot merged;
+  for (std::size_t s = 0; s < shards; ++s) {
+    merged.merge(registries[s].snapshot());
+  }
+  return merged;
+}
+
+void ShardEngine::run_tasks(std::vector<std::function<void()>> tasks) {
+  pool_->run_all(std::move(tasks));
+}
+
+}  // namespace sf::dataplane

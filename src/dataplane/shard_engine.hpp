@@ -1,0 +1,69 @@
+// The sharded parallel work engine behind SailfishRegion::simulate_interval.
+//
+// Determinism contract: results are byte-identical for every thread count.
+// Two properties make that hold by construction:
+//
+//   * the shard partition is a pure hash of the work item (the same
+//     RSS/VNI-style flow hash the steering uses) modulo a FIXED shard
+//     count — never the thread count — so which shard owns which item is a
+//     property of the workload, not of the machine;
+//   * shard work writes only shard-private state (per-item output slots,
+//     per-shard registries), and every floating-point reduction runs in a
+//     fixed order (shard 0..S-1, item index ascending) on one thread.
+//
+// Threads only decide which worker executes which shard; they never change
+// what is computed or in which order it is summed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dataplane/thread_pool.hpp"
+#include "telemetry/registry.hpp"
+
+namespace sf::dataplane {
+
+/// Shape of a sharded run: a fixed shard count (the determinism unit) and
+/// the worker parallelism to spread shards over.
+struct ShardPlan {
+  std::size_t shards = 16;
+  std::size_t threads = 1;
+};
+
+class ShardEngine {
+ public:
+  explicit ShardEngine(ShardPlan plan);
+
+  const ShardPlan& plan() const { return plan_; }
+
+  /// Re-sizes the worker pool (shard count stays fixed, so results are
+  /// unchanged). Used by the scaling bench and operators tuning a host.
+  void set_threads(std::size_t threads);
+
+  /// Partitions items [0, count) by `owner` (a pure hash -> shard index,
+  /// values >= shards are reduced modulo shards), then runs
+  /// `shard_fn(shard, indices, registry)` across the pool. Each shard gets
+  /// a fresh private telemetry registry; after the barrier the per-shard
+  /// snapshots are merged (shard order) into the returned snapshot via the
+  /// standard snapshot-merge machinery. The index lists are ascending, so
+  /// a shard that processes its items in list order sees them in the
+  /// original sequence.
+  telemetry::Snapshot run_sharded(
+      std::size_t count,
+      const std::function<std::size_t(std::size_t)>& owner,
+      const std::function<void(std::size_t shard,
+                               std::span<const std::uint32_t> indices,
+                               telemetry::Registry& registry)>& shard_fn);
+
+  /// Runs independent tasks on the pool; returns after all finish.
+  void run_tasks(std::vector<std::function<void()>> tasks);
+
+ private:
+  ShardPlan plan_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace sf::dataplane

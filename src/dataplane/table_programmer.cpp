@@ -1,0 +1,35 @@
+#include "dataplane/table_programmer.hpp"
+
+namespace sf::dataplane {
+
+std::string to_string(TableOpStatus status) {
+  switch (status) {
+    case TableOpStatus::kOk:
+      return "ok";
+    case TableOpStatus::kDuplicate:
+      return "duplicate";
+    case TableOpStatus::kNotFound:
+      return "not-found";
+    case TableOpStatus::kCapacityExceeded:
+      return "capacity-exceeded";
+    case TableOpStatus::kRateLimited:
+      return "rate-limited";
+  }
+  return "?";
+}
+
+TableOpStatus apply(TableProgrammer& target, const TableOp& op) {
+  switch (op.kind) {
+    case TableOp::Kind::kAddRoute:
+      return target.install_route(op.vni, op.prefix, op.route_action);
+    case TableOp::Kind::kDelRoute:
+      return target.remove_route(op.vni, op.prefix);
+    case TableOp::Kind::kAddMapping:
+      return target.install_mapping(op.mapping_key, op.mapping_action);
+    case TableOp::Kind::kDelMapping:
+      return target.remove_mapping(op.mapping_key);
+  }
+  return TableOpStatus::kNotFound;
+}
+
+}  // namespace sf::dataplane

@@ -1,0 +1,76 @@
+// The controller-facing table-programming interface.
+//
+// XGW-H, XGW-x86 (and the fan-out wrappers above them) used to declare the
+// same four install/remove methods independently, each returning a bare
+// `bool` whose meaning drifted per layer ("newly inserted"? "accepted"?
+// "found"?). This header is the single declaration: a `TableProgrammer`
+// interface with a `TableOpStatus` enum that distinguishes the failure
+// modes a real controller must react to — duplicates are idempotent
+// successes, capacity means "close the sale" (§6.1), rate limiting
+// protects the device's update channel (§2.3's install-speed pain).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/headers.hpp"
+#include "net/ip.hpp"
+#include "tables/entry.hpp"
+
+namespace sf::dataplane {
+
+enum class TableOpStatus : std::uint8_t {
+  kOk = 0,            // state changed as requested
+  kDuplicate,         // entry already present; action refreshed in place
+  kNotFound,          // remove/update target absent (or unknown VNI)
+  kCapacityExceeded,  // table full / digest conflict unresolvable
+  kRateLimited,       // update channel budget exhausted; retry later
+};
+
+std::string to_string(TableOpStatus status);
+
+/// True when the desired entry is present (install) or absent (remove)
+/// after the call — the idempotent notion of success callers usually want.
+constexpr bool succeeded(TableOpStatus status) {
+  return status == TableOpStatus::kOk || status == TableOpStatus::kDuplicate;
+}
+
+/// The controller-facing table API every gateway implements. The two
+/// tables are the paper's Fig. 2 pair: VXLAN routes (LPM) and VM-NC
+/// mappings (exact).
+class TableProgrammer {
+ public:
+  virtual ~TableProgrammer() = default;
+
+  virtual TableOpStatus install_route(net::Vni vni,
+                                      const net::IpPrefix& prefix,
+                                      tables::VxlanRouteAction action) = 0;
+  virtual TableOpStatus remove_route(net::Vni vni,
+                                     const net::IpPrefix& prefix) = 0;
+  virtual TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                        tables::VmNcAction action) = 0;
+  virtual TableOpStatus remove_mapping(const tables::VmNcKey& key) = 0;
+};
+
+/// One table operation, as the controller fans it out to install targets
+/// (devices, mirrors, recovery replays).
+struct TableOp {
+  enum class Kind : std::uint8_t {
+    kAddRoute,
+    kDelRoute,
+    kAddMapping,
+    kDelMapping,
+  };
+  Kind kind = Kind::kAddRoute;
+  net::Vni vni = 0;
+  net::IpPrefix prefix;                    // routes
+  tables::VxlanRouteAction route_action;   // routes
+  tables::VmNcKey mapping_key;             // mappings
+  tables::VmNcAction mapping_action;       // mappings
+};
+
+/// Applies one fanned-out op to a target through the interface.
+TableOpStatus apply(TableProgrammer& target, const TableOp& op);
+
+}  // namespace sf::dataplane

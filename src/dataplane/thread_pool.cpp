@@ -1,0 +1,53 @@
+#include "dataplane/thread_pool.hpp"
+
+namespace sf::dataplane {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  tasks_ = std::move(tasks);
+  next_task_ = 0;
+  unfinished_ = tasks_.size();
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  tasks_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || next_task_ < tasks_.size(); });
+    if (stop_) return;
+    while (next_task_ < tasks_.size()) {
+      const std::size_t index = next_task_++;
+      lock.unlock();
+      tasks_[index]();
+      lock.lock();
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sf::dataplane

@@ -1,0 +1,52 @@
+// A fixed worker pool for the sharded interval engine.
+//
+// Deliberately minimal: one blocking primitive — run a batch of tasks and
+// wait for all of them. Workers are created once (the "fixed thread pool"
+// of the region engine) and reused across intervals; a pool built with 0
+// or 1 threads executes inline on the caller, so the single-threaded
+// configuration has no synchronization on its path at all.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sf::dataplane {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total worker parallelism; 0 and 1 both mean "no
+  /// worker threads, run inline".
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism run_all() can reach (>= 1).
+  std::size_t thread_count() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Runs every task, returning when all have finished. Tasks must not
+  /// throw. Not reentrant: one run_all() at a time.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> tasks_;
+  std::size_t next_task_ = 0;
+  std::size_t unfinished_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sf::dataplane

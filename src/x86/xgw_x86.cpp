@@ -4,20 +4,6 @@
 
 namespace sf::x86 {
 
-std::string to_string(X86Action action) {
-  switch (action) {
-    case X86Action::kForwardToNc:
-      return "forward-to-nc";
-    case X86Action::kForwardTunnel:
-      return "forward-tunnel";
-    case X86Action::kSnatToInternet:
-      return "snat-to-internet";
-    case X86Action::kDrop:
-      return "drop";
-  }
-  return "?";
-}
-
 XgwX86::XgwX86(Config config)
     : config_(config),
       snat_(config.snat),
@@ -36,26 +22,34 @@ XgwX86::XgwX86(Config config)
                             /*buckets=*/16, /*reservoir=*/256});
 }
 
-bool XgwX86::install_route(net::Vni vni, const net::IpPrefix& prefix,
-                           tables::VxlanRouteAction action) {
+dataplane::TableOpStatus XgwX86::install_route(
+    net::Vni vni, const net::IpPrefix& prefix,
+    tables::VxlanRouteAction action) {
   ctr_table_ops_->add();
-  return routes_.insert(vni, prefix, action);
+  return routes_.insert(vni, prefix, action)
+             ? dataplane::TableOpStatus::kOk
+             : dataplane::TableOpStatus::kDuplicate;
 }
 
-bool XgwX86::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+dataplane::TableOpStatus XgwX86::remove_route(net::Vni vni,
+                                              const net::IpPrefix& prefix) {
   ctr_table_ops_->add();
-  return routes_.erase(vni, prefix);
+  return routes_.erase(vni, prefix) ? dataplane::TableOpStatus::kOk
+                                    : dataplane::TableOpStatus::kNotFound;
 }
 
-bool XgwX86::install_mapping(const tables::VmNcKey& key,
-                             tables::VmNcAction action) {
+dataplane::TableOpStatus XgwX86::install_mapping(const tables::VmNcKey& key,
+                                                 tables::VmNcAction action) {
   ctr_table_ops_->add();
-  return mappings_.insert_or_assign(key, action).second;
+  return mappings_.insert_or_assign(key, action).second
+             ? dataplane::TableOpStatus::kOk
+             : dataplane::TableOpStatus::kDuplicate;
 }
 
-bool XgwX86::remove_mapping(const tables::VmNcKey& key) {
+dataplane::TableOpStatus XgwX86::remove_mapping(const tables::VmNcKey& key) {
   ctr_table_ops_->add();
-  return mappings_.erase(key) > 0;
+  return mappings_.erase(key) > 0 ? dataplane::TableOpStatus::kOk
+                                  : dataplane::TableOpStatus::kNotFound;
 }
 
 double XgwX86::full_install_seconds() const {
@@ -63,12 +57,13 @@ double XgwX86::full_install_seconds() const {
                                              mapping_count());
 }
 
-X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
+X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
   ++telemetry_.packets_in;
   ctr_packets_in_->add();
   ctr_bytes_in_->add(packet.wire_size());
   X86Result result;
   result.packet = packet;
+  result.software_path = true;
   result.latency_us = config_.model.latency_us(0.0);
   hist_latency_->record(result.latency_us);
 
@@ -82,7 +77,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
   if (!route) {
     ++telemetry_.packets_dropped;
     ctr_dropped_->add();
-    result.drop_reason = "no route";
+    result.drop_reason = dataplane::DropReason::kNoRoute;
     return result;
   }
 
@@ -92,12 +87,12 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       if (it == mappings_.end()) {
         ++telemetry_.packets_dropped;
         ctr_dropped_->add();
-        result.drop_reason = "no VM-NC mapping";
+        result.drop_reason = dataplane::DropReason::kNoVmNcMapping;
         return result;
       }
       result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
       result.packet.outer_dst_ip = net::IpAddr(it->second.nc_ip);
-      result.action = X86Action::kForwardToNc;
+      result.action = dataplane::Action::kForwardToNc;
       ++telemetry_.packets_forwarded;
       ctr_forwarded_->add();
       return result;
@@ -106,7 +101,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
     case tables::RouteScope::kCrossRegion:
       result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
       result.packet.outer_dst_ip = net::IpAddr(route->remote_endpoint);
-      result.action = X86Action::kForwardTunnel;
+      result.action = dataplane::Action::kForwardTunnel;
       ++telemetry_.packets_forwarded;
       ctr_forwarded_->add();
       return result;
@@ -116,7 +111,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
         ++telemetry_.packets_dropped;
         ctr_dropped_->add();
         ctr_snat_failures_->add();
-        result.drop_reason = "SNAT pool exhausted";
+        result.drop_reason = dataplane::DropReason::kSnatPoolExhausted;
         return result;
       }
       // Decap: the packet leaves as plain IP with the public source.
@@ -126,7 +121,7 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
       result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
       result.packet.outer_dst_ip = packet.inner.dst;
       result.snat = binding;
-      result.action = X86Action::kSnatToInternet;
+      result.action = dataplane::Action::kSnatToInternet;
       ++telemetry_.packets_snat;
       ctr_snat_->add();
       return result;
@@ -134,12 +129,12 @@ X86Result XgwX86::process(const net::OverlayPacket& packet, double now) {
     case tables::RouteScope::kPeer:
       ++telemetry_.packets_dropped;
       ctr_dropped_->add();
-      result.drop_reason = "peer VNI resolution loop";
+      result.drop_reason = dataplane::DropReason::kPeerResolutionLoop;
       return result;
   }
   ++telemetry_.packets_dropped;
   ctr_dropped_->add();
-  result.drop_reason = "unhandled scope";
+  result.drop_reason = dataplane::DropReason::kUnhandledScope;
   return result;
 }
 

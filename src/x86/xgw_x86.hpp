@@ -18,6 +18,8 @@
 
 #include <memory>
 
+#include "dataplane/gateway.hpp"
+#include "dataplane/table_programmer.hpp"
 #include "net/packet.hpp"
 #include "tables/entry.hpp"
 #include "tables/route_table.hpp"
@@ -28,20 +30,9 @@
 
 namespace sf::x86 {
 
-enum class X86Action : std::uint8_t {
-  kForwardToNc,
-  kForwardTunnel,
-  kSnatToInternet,
-  kDrop,
-};
-
-std::string to_string(X86Action action);
-
-struct X86Result {
-  X86Action action = X86Action::kDrop;
-  net::OverlayPacket packet;
-  std::string drop_reason;
-  double latency_us = 0;
+/// The software gateway's verdict: the unified dataplane fields plus the
+/// SNAT binding when one was created.
+struct X86Result : dataplane::Verdict {
   std::optional<SnatBinding> snat;
 };
 
@@ -72,7 +63,7 @@ struct IntervalReport {
   double max_core_utilization = 0;
 };
 
-class XgwX86 {
+class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
  public:
   struct Config {
     X86CostModel model;
@@ -84,13 +75,16 @@ class XgwX86 {
 
   explicit XgwX86(Config config);
 
-  // ---- controller-facing table API ---------------------------------------
+  // ---- controller-facing table API (dataplane::TableProgrammer) ----------
 
-  bool install_route(net::Vni vni, const net::IpPrefix& prefix,
-                     tables::VxlanRouteAction action);
-  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
-  bool install_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
-  bool remove_mapping(const tables::VmNcKey& key);
+  dataplane::TableOpStatus install_route(
+      net::Vni vni, const net::IpPrefix& prefix,
+      tables::VxlanRouteAction action) override;
+  dataplane::TableOpStatus remove_route(net::Vni vni,
+                                        const net::IpPrefix& prefix) override;
+  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                           tables::VmNcAction action) override;
+  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
 
   std::size_t route_count() const { return routes_.size(); }
   std::size_t mapping_count() const { return mappings_.size(); }
@@ -99,9 +93,16 @@ class XgwX86 {
   /// from scratch — the ">10 minutes" pain of §2.3.
   double full_install_seconds() const;
 
-  // ---- functional data path ----------------------------------------------
+  // ---- functional data path (dataplane::Gateway) --------------------------
 
-  X86Result process(const net::OverlayPacket& packet, double now = 0);
+  /// Processes one packet with the SNAT-binding extra.
+  X86Result forward(const net::OverlayPacket& packet, double now = 0);
+
+  /// Gateway interface: forward() sliced to the unified verdict.
+  dataplane::Verdict process(const net::OverlayPacket& packet,
+                             double now) override {
+    return forward(packet, now);
+  }
 
   /// Internet response path: a packet addressed to a SNAT binding is
   /// translated back and re-encapsulated toward the VM's NC.

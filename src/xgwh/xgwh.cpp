@@ -21,21 +21,22 @@ constexpr std::uint64_t kActForward = 0;
 constexpr std::uint64_t kActTunnel = 1;
 constexpr std::uint64_t kActFallback = 2;
 
-}  // namespace
-
-std::string to_string(ForwardAction action) {
-  switch (action) {
-    case ForwardAction::kForwardToNc:
-      return "forward-to-nc";
-    case ForwardAction::kForwardTunnel:
-      return "forward-tunnel";
-    case ForwardAction::kFallbackToX86:
-      return "fallback-to-x86";
-    case ForwardAction::kDrop:
-      return "drop";
-  }
-  return "?";
+// Drops carry the typed reason through the gateway-agnostic asic layer as
+// a (string, code) pair; forward() recovers the enum from the code.
+void drop_with(asic::PacketContext& ctx, dataplane::DropReason reason) {
+  ctx.drop(dataplane::to_string(reason), static_cast<std::uint8_t>(reason));
 }
+
+dataplane::DropReason reason_from_code(std::uint8_t code) {
+  // Code 0 means the asic layer itself aborted (no stage gave a reason).
+  if (code == 0 ||
+      code > static_cast<std::uint8_t>(dataplane::DropReason::kUnhandledScope)) {
+    return dataplane::DropReason::kPipelineFault;
+  }
+  return static_cast<dataplane::DropReason>(code);
+}
+
+}  // namespace
 
 XgwH::XgwH(Config config)
     : config_(std::move(config)), program_(config_.chip.pipelines) {
@@ -92,45 +93,55 @@ const XgwH::Shard& XgwH::shard_for(net::Vni vni) const {
   return shards_[shard_of(vni)];
 }
 
-bool XgwH::install_route(net::Vni vni, const net::IpPrefix& prefix,
-                         tables::VxlanRouteAction action) {
+dataplane::TableOpStatus XgwH::install_route(net::Vni vni,
+                                             const net::IpPrefix& prefix,
+                                             tables::VxlanRouteAction action) {
   Shard& shard = shard_for(vni);
   const bool is_new = shard.routes.insert(vni, prefix, action);
   if (is_new) {
     (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                            : shard.routes_v6)++;
   }
-  return is_new;
+  return is_new ? dataplane::TableOpStatus::kOk
+                : dataplane::TableOpStatus::kDuplicate;
 }
 
-bool XgwH::remove_route(net::Vni vni, const net::IpPrefix& prefix) {
+dataplane::TableOpStatus XgwH::remove_route(net::Vni vni,
+                                            const net::IpPrefix& prefix) {
   Shard& shard = shard_for(vni);
-  if (!shard.routes.erase(vni, prefix)) return false;
+  if (!shard.routes.erase(vni, prefix)) {
+    return dataplane::TableOpStatus::kNotFound;
+  }
   (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                          : shard.routes_v6)--;
-  return true;
+  return dataplane::TableOpStatus::kOk;
 }
 
-bool XgwH::install_mapping(const tables::VmNcKey& key,
-                           tables::VmNcAction action) {
+dataplane::TableOpStatus XgwH::install_mapping(const tables::VmNcKey& key,
+                                               tables::VmNcAction action) {
   Shard& shard = shard_for(key.vni);
   const std::size_t before =
       shard.mappings.stats().main_entries +
       shard.mappings.stats().conflict_entries;
-  if (!shard.mappings.insert(key, action)) return false;
+  if (!shard.mappings.insert(key, action)) {
+    // The digest table only rejects when the main bucket and the conflict
+    // store are both unable to take the entry.
+    return dataplane::TableOpStatus::kCapacityExceeded;
+  }
   const std::size_t after = shard.mappings.stats().main_entries +
                             shard.mappings.stats().conflict_entries;
   if (after > before) {
     (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)++;
+    return dataplane::TableOpStatus::kOk;
   }
-  return true;
+  return dataplane::TableOpStatus::kDuplicate;
 }
 
-bool XgwH::remove_mapping(const tables::VmNcKey& key) {
+dataplane::TableOpStatus XgwH::remove_mapping(const tables::VmNcKey& key) {
   Shard& shard = shard_for(key.vni);
-  if (!shard.mappings.erase(key)) return false;
+  if (!shard.mappings.erase(key)) return dataplane::TableOpStatus::kNotFound;
   (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)--;
-  return true;
+  return dataplane::TableOpStatus::kOk;
 }
 
 void XgwH::add_acl_rule(tables::AclRule rule) { acl_.add(std::move(rule)); }
@@ -210,7 +221,7 @@ void XgwH::build_program() {
 
 void XgwH::stage_entry(asic::PacketContext& ctx) {
   if (ctx.packet.vni > net::kMaxVni) {
-    ctx.drop("invalid VNI");
+    drop_with(ctx, dataplane::DropReason::kInvalidVni);
     return;
   }
   const unsigned shard = shard_of(ctx.packet.vni);
@@ -225,7 +236,7 @@ void XgwH::stage_acl(asic::PacketContext& ctx) {
   if (acl_.evaluate(ctx.packet.vni, ctx.packet.inner) ==
       tables::AclVerdict::kDeny) {
     ctr_acl_deny_->add();
-    ctx.drop("acl deny");
+    drop_with(ctx, dataplane::DropReason::kAclDeny);
   }
 }
 
@@ -274,7 +285,7 @@ void XgwH::stage_route_lookup(asic::PacketContext& ctx, unsigned shard) {
         return;
     }
   }
-  ctx.drop("peer VNI resolution loop");
+  drop_with(ctx, dataplane::DropReason::kPeerResolutionLoop);
 }
 
 void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
@@ -327,7 +338,7 @@ void XgwH::stage_rewrite(asic::PacketContext& ctx) {
   }
   auto nc = ctx.meta.get(kNcIp);
   if (!nc) {
-    ctx.drop("no NC resolved for local scope");
+    drop_with(ctx, dataplane::DropReason::kNoNcResolved);
     return;
   }
   ctx.packet.outer_dst_ip =
@@ -335,7 +346,7 @@ void XgwH::stage_rewrite(asic::PacketContext& ctx) {
   ctx.meta.set(kAction, kActForward, 2);
 }
 
-ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
+ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
                             std::optional<unsigned> ingress_pipe) {
   ++telemetry_.packets_in;
   telemetry_.bytes_in += packet.wire_size();
@@ -373,8 +384,8 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
   if (walked.dropped) {
     ++telemetry_.packets_dropped;
     ctr_dropped_->add();
-    result.action = ForwardAction::kDrop;
-    result.drop_reason = std::move(walked.drop_reason);
+    result.action = dataplane::Action::kDrop;
+    result.drop_reason = reason_from_code(walked.drop_code);
     return result;
   }
 
@@ -388,19 +399,19 @@ ForwardResult XgwH::process(const net::OverlayPacket& packet, double now,
       ++telemetry_.packets_dropped;
       ctr_rate_limited_->add();
       ctr_dropped_->add();
-      result.action = ForwardAction::kDrop;
-      result.drop_reason = "fallback rate limited";
+      result.action = dataplane::Action::kDrop;
+      result.drop_reason = dataplane::DropReason::kFallbackRateLimited;
       return result;
     }
     ++telemetry_.packets_fallback;
     ctr_fallback_->add();
-    result.action = ForwardAction::kFallbackToX86;
+    result.action = dataplane::Action::kFallbackToX86;
     return result;
   }
   ++telemetry_.packets_forwarded;
   ctr_forwarded_->add();
-  result.action = act == kActTunnel ? ForwardAction::kForwardTunnel
-                                    : ForwardAction::kForwardToNc;
+  result.action = act == kActTunnel ? dataplane::Action::kForwardTunnel
+                                    : dataplane::Action::kForwardToNc;
   return result;
 }
 

@@ -26,6 +26,8 @@
 #include "asic/pipeline.hpp"
 #include "asic/placer.hpp"
 #include "asic/walker.hpp"
+#include "dataplane/gateway.hpp"
+#include "dataplane/table_programmer.hpp"
 #include "tables/alpm.hpp"
 #include "tables/digest_table.hpp"
 #include "tables/service_tables.hpp"
@@ -33,21 +35,9 @@
 
 namespace sf::xgwh {
 
-/// What the gateway decided to do with a packet.
-enum class ForwardAction : std::uint8_t {
-  kForwardToNc,    // rewritten toward the destination server
-  kForwardTunnel,  // rewritten toward a remote region/IDC endpoint
-  kFallbackToX86,  // steered to the software gateway (SNAT & long tail)
-  kDrop,
-};
-
-std::string to_string(ForwardAction action);
-
-struct ForwardResult {
-  ForwardAction action = ForwardAction::kDrop;
-  net::OverlayPacket packet;  // with rewritten outer header
-  std::string drop_reason;
-  double latency_us = 0;
+/// The hardware gateway's verdict: the unified dataplane fields plus the
+/// chip-level observables the figures consume.
+struct ForwardResult : dataplane::Verdict {
   unsigned passes = 0;
   unsigned egress_pipe = 0;
   /// Loopback egress pipe (1 or 3) the packet crossed in folded mode —
@@ -55,7 +45,7 @@ struct ForwardResult {
   std::optional<unsigned> shard_pipe;
 };
 
-class XgwH {
+class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
  public:
   struct Config {
     asic::ChipConfig chip;
@@ -74,13 +64,16 @@ class XgwH {
 
   explicit XgwH(Config config);
 
-  // ---- controller-facing table API ---------------------------------------
+  // ---- controller-facing table API (dataplane::TableProgrammer) ----------
 
-  bool install_route(net::Vni vni, const net::IpPrefix& prefix,
-                     tables::VxlanRouteAction action);
-  bool remove_route(net::Vni vni, const net::IpPrefix& prefix);
-  bool install_mapping(const tables::VmNcKey& key, tables::VmNcAction action);
-  bool remove_mapping(const tables::VmNcKey& key);
+  dataplane::TableOpStatus install_route(
+      net::Vni vni, const net::IpPrefix& prefix,
+      tables::VxlanRouteAction action) override;
+  dataplane::TableOpStatus remove_route(net::Vni vni,
+                                        const net::IpPrefix& prefix) override;
+  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                           tables::VmNcAction action) override;
+  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
   void add_acl_rule(tables::AclRule rule);
 
   std::size_t route_count() const;
@@ -90,13 +83,19 @@ class XgwH {
   bool has_route(net::Vni vni, const net::IpPrefix& prefix) const;
   bool has_mapping(const tables::VmNcKey& key) const;
 
-  // ---- data plane ---------------------------------------------------------
+  // ---- data plane (dataplane::Gateway) ------------------------------------
 
-  /// Processes one packet. `now` is the simulation clock (seconds), used
-  /// by the fallback rate limiter; `ingress_pipe` defaults to a flow-hash
-  /// pick among the entry pipes.
-  ForwardResult process(const net::OverlayPacket& packet, double now = 0,
+  /// Processes one packet with full chip observables. `now` is the
+  /// simulation clock (seconds), used by the fallback rate limiter;
+  /// `ingress_pipe` defaults to a flow-hash pick among the entry pipes.
+  ForwardResult forward(const net::OverlayPacket& packet, double now = 0,
                         std::optional<unsigned> ingress_pipe = std::nullopt);
+
+  /// Gateway interface: forward() sliced to the unified verdict.
+  dataplane::Verdict process(const net::OverlayPacket& packet,
+                             double now) override {
+    return forward(packet, now);
+  }
 
   // ---- telemetry ----------------------------------------------------------
 

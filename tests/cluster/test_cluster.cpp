@@ -98,8 +98,8 @@ TEST(XgwHCluster, FansOutTablesToAllDevices) {
 TEST(XgwHCluster, ProcessesThroughLiveDevice) {
   XgwHCluster cluster(small_cluster());
   install_sample(cluster);
-  const auto result = cluster.process(sample_packet());
-  EXPECT_EQ(result.action, xgwh::ForwardAction::kForwardToNc);
+  const auto result = cluster.forward(sample_packet());
+  EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
 }
 
 TEST(XgwHCluster, DeviceFailureShrinksEcmp) {
@@ -110,8 +110,8 @@ TEST(XgwHCluster, DeviceFailureShrinksEcmp) {
   EXPECT_EQ(cluster.live_device_count(), 1u);
   EXPECT_FALSE(cluster.failed_over());
   // Traffic still flows via the surviving primary.
-  EXPECT_EQ(cluster.process(sample_packet()).action,
-            xgwh::ForwardAction::kForwardToNc);
+  EXPECT_EQ(cluster.forward(sample_packet()).action,
+            dataplane::Action::kForwardToNc);
 }
 
 TEST(XgwHCluster, FailsOverToBackupsWhenPrimariesDie) {
@@ -122,8 +122,8 @@ TEST(XgwHCluster, FailsOverToBackupsWhenPrimariesDie) {
   EXPECT_TRUE(cluster.failed_over());
   EXPECT_EQ(cluster.live_device_count(), 2u);  // the two backups
   // Backups hold identical tables: forwarding continues.
-  EXPECT_EQ(cluster.process(sample_packet()).action,
-            xgwh::ForwardAction::kForwardToNc);
+  EXPECT_EQ(cluster.forward(sample_packet()).action,
+            dataplane::Action::kForwardToNc);
   // Recovery of a primary switches back.
   cluster.recover_device(0);
   EXPECT_FALSE(cluster.failed_over());
@@ -135,8 +135,8 @@ TEST(XgwHCluster, AllDevicesDownDrops) {
   for (std::size_t d = 0; d < cluster.device_count(); ++d) {
     cluster.fail_device(d);
   }
-  const auto result = cluster.process(sample_packet());
-  EXPECT_EQ(result.action, xgwh::ForwardAction::kDrop);
+  const auto result = cluster.forward(sample_packet());
+  EXPECT_EQ(result.action, dataplane::Action::kDrop);
 }
 
 TEST(XgwHCluster, WaterLevelsReflectLoad) {

@@ -92,10 +92,10 @@ TEST(Controller, RoutesPacketsToTheRightCluster) {
   pkt.inner.dst = IpAddr(net::Ipv4Addr(10, 101, 0, 3));
   pkt.payload_size = 64;
   const auto result = controller.process(pkt);
-  EXPECT_EQ(result.action, xgwh::ForwardAction::kForwardToNc);
+  EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
 
   pkt.vni = 999;  // unknown tenant
-  EXPECT_EQ(controller.process(pkt).action, xgwh::ForwardAction::kDrop);
+  EXPECT_EQ(controller.process(pkt).action, dataplane::Action::kDrop);
 }
 
 TEST(Controller, MirrorsOpsToSoftwareFleet) {
@@ -114,14 +114,18 @@ TEST(Controller, IncrementalRouteUpdates) {
   Controller controller(small_config());
   controller.add_vpc(make_vpc(100, 1, 1));
   const IpPrefix extra = IpPrefix::must_parse("10.200.0.0/24");
-  EXPECT_TRUE(controller.add_route(
-      100, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}));
+  EXPECT_EQ(controller.install_route(
+                100, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kOk);
   EXPECT_EQ(controller.cluster(0).route_count(), 2u);
-  EXPECT_TRUE(controller.remove_route(100, extra));
+  EXPECT_EQ(controller.remove_route(100, extra),
+            dataplane::TableOpStatus::kOk);
   EXPECT_EQ(controller.cluster(0).route_count(), 1u);
-  EXPECT_FALSE(controller.remove_route(100, extra));
-  EXPECT_FALSE(controller.add_route(
-      999, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}));
+  EXPECT_EQ(controller.remove_route(100, extra),
+            dataplane::TableOpStatus::kNotFound);
+  EXPECT_EQ(controller.install_route(
+                999, extra, VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kNotFound);
 }
 
 TEST(Controller, ConsistencyCheckPassesCleanInstall) {
@@ -187,7 +191,7 @@ TEST(DisasterRecovery, FailoverWhenNoStandbyLeft) {
   pkt.inner.dst = IpAddr(net::Ipv4Addr(10, 100, 0, 2));
   pkt.payload_size = 64;
   EXPECT_EQ(controller.process(pkt).action,
-            xgwh::ForwardAction::kForwardToNc);
+            dataplane::Action::kForwardToNc);
 }
 
 TEST(DisasterRecovery, PortIsolationReducesCapacity) {

@@ -70,10 +70,10 @@ TEST_P(ControllerFuzzTest, InvariantsSurviveRandomOperations) {
                 (192u << 24) |
                 static_cast<std::uint32_t>(rng.uniform(1u << 20)) << 4),
             28);
-        if (controller.add_route(
+        if (dataplane::succeeded(controller.install_route(
                 vpc.vni, prefix,
                 tables::VxlanRouteAction{tables::RouteScope::kLocal, 0,
-                                         {}})) {
+                                         {}}))) {
           extra_routes.push_back({vpc.vni, prefix});
         }
       } else if (roll < 6 && !extra_routes.empty()) {
@@ -148,7 +148,7 @@ TEST(ControllerMigration, MovesTablesAndSteering) {
   pkt.inner.dst = net::IpAddr::must_parse("10.5.0.2");
   pkt.payload_size = 64;
   EXPECT_EQ(controller.process(pkt).action,
-            xgwh::ForwardAction::kForwardToNc);
+            dataplane::Action::kForwardToNc);
 
   // Idempotent and bounds-checked.
   EXPECT_TRUE(controller.migrate_vpc(500, target));

@@ -43,8 +43,8 @@ TEST(RollingUpgrade, UpgradesEveryPrimaryOneAtATime) {
         max_drained = std::max(
             max_drained, cluster.device_count() -
                              cluster.live_device_count());
-        EXPECT_EQ(cluster.process(sample()).action,
-                  xgwh::ForwardAction::kForwardToNc);
+        EXPECT_EQ(cluster.forward(sample()).action,
+                  dataplane::Action::kForwardToNc);
         return true;
       },
       [](const XgwHCluster&) { return true; });
@@ -70,8 +70,8 @@ TEST(RollingUpgrade, AbortsOnUpgradeFailureAndRestoresFleet) {
   EXPECT_EQ(result.steps.size(), 2u);
   // The fleet is whole again — device 1 simply runs the old version.
   EXPECT_EQ(cluster.live_device_count(), 3u);
-  EXPECT_EQ(cluster.process(sample()).action,
-            xgwh::ForwardAction::kForwardToNc);
+  EXPECT_EQ(cluster.forward(sample()).action,
+            dataplane::Action::kForwardToNc);
 }
 
 TEST(RollingUpgrade, AbortsOnHealthGate) {

@@ -1,0 +1,118 @@
+// The sharded interval engine's determinism contract: for any worker
+// count, simulate_interval produces bit-identical reports and identical
+// telemetry. The FP reductions must not merely be close — double addition
+// is non-associative, so this only holds if the engine really performs
+// the same additions in the same order regardless of threads.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/region.hpp"
+#include "core/sailfish.hpp"
+
+namespace sf::core {
+namespace {
+
+bool bit_identical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_reports_bit_identical(const SailfishRegion::IntervalReport& a,
+                                  const SailfishRegion::IntervalReport& b) {
+  EXPECT_TRUE(bit_identical(a.offered_bps, b.offered_bps));
+  EXPECT_TRUE(bit_identical(a.offered_pps, b.offered_pps));
+  EXPECT_TRUE(bit_identical(a.dropped_pps, b.dropped_pps));
+  EXPECT_TRUE(bit_identical(a.drop_rate, b.drop_rate));
+  EXPECT_TRUE(bit_identical(a.fallback_bps, b.fallback_bps));
+  EXPECT_TRUE(bit_identical(a.fallback_ratio, b.fallback_ratio));
+  for (std::size_t pipe = 0; pipe < 4; ++pipe) {
+    EXPECT_TRUE(bit_identical(a.shard_pipe_bps[pipe],
+                              b.shard_pipe_bps[pipe]))
+        << "pipe " << pipe;
+  }
+  EXPECT_TRUE(bit_identical(a.x86_max_core_utilization,
+                            b.x86_max_core_utilization));
+}
+
+SailfishSystem make_fixture() {
+  SailfishOptions options = quickstart_options();
+  options.flows.flow_count = 1200;
+  return make_system(options);
+}
+
+TEST(ParallelDeterminism, OneAndEightThreadsBitIdentical) {
+  SailfishSystem single = make_fixture();
+  SailfishSystem parallel = make_fixture();
+  single.region->set_interval_threads(1);
+  parallel.region->set_interval_threads(8);
+
+  for (std::uint64_t interval = 0; interval < 4; ++interval) {
+    const auto a = single.region->simulate_interval(single.flows, 2.5e12,
+                                                    interval);
+    const auto b = parallel.region->simulate_interval(parallel.flows,
+                                                      2.5e12, interval);
+    expect_reports_bit_identical(a, b);
+  }
+
+  // The whole telemetry tree agrees too — per-device, per-node and
+  // region counters, including the engine's own counters.
+  const auto snap_a = single.region->telemetry_snapshot();
+  const auto snap_b = parallel.region->telemetry_snapshot();
+  EXPECT_EQ(snap_a.counters, snap_b.counters);
+}
+
+TEST(ParallelDeterminism, ThreadCountSweepsAgree) {
+  SailfishSystem reference = make_fixture();
+  reference.region->set_interval_threads(1);
+  const auto expected =
+      reference.region->simulate_interval(reference.flows, 1.8e12, 42);
+
+  for (std::size_t threads : {2, 3, 5, 16}) {
+    SailfishSystem system = make_fixture();
+    system.region->set_interval_threads(threads);
+    const auto report =
+        system.region->simulate_interval(system.flows, 1.8e12, 42);
+    SCOPED_TRACE(threads);
+    expect_reports_bit_identical(expected, report);
+  }
+}
+
+TEST(ParallelDeterminism, ResizingThePoolMidStreamChangesNothing) {
+  SailfishSystem a = make_fixture();
+  SailfishSystem b = make_fixture();
+  a.region->set_interval_threads(1);
+  const auto r1 = a.region->simulate_interval(a.flows, 2e12, 7);
+  const auto r2 = a.region->simulate_interval(a.flows, 2e12, 8);
+
+  b.region->set_interval_threads(4);
+  const auto s1 = b.region->simulate_interval(b.flows, 2e12, 7);
+  b.region->set_interval_threads(2);
+  const auto s2 = b.region->simulate_interval(b.flows, 2e12, 8);
+
+  expect_reports_bit_identical(r1, s1);
+  expect_reports_bit_identical(r2, s2);
+}
+
+TEST(ParallelDeterminism, EngineCountersMatchTheFlowPopulation) {
+  SailfishSystem system = make_fixture();
+  system.region->set_interval_threads(4);
+  system.region->simulate_interval(system.flows, 2e12, 1);
+  const auto snap = system.region->registry().snapshot();
+  EXPECT_EQ(snap.counter("region.engine.flows"), system.flows.size());
+  EXPECT_EQ(snap.counter("region.engine.hw_flows") +
+                snap.counter("region.engine.sw_flows") +
+                snap.counter("region.engine.unknown_vni_flows"),
+            system.flows.size());
+}
+
+TEST(ParallelDeterminism, PlanShapeIsStableUnderResizes) {
+  SailfishSystem system = make_fixture();
+  const std::size_t shards = system.region->interval_plan().shards;
+  system.region->set_interval_threads(8);
+  EXPECT_EQ(system.region->interval_plan().shards, shards);
+  EXPECT_EQ(system.region->interval_plan().threads, 8u);
+}
+
+}  // namespace
+}  // namespace sf::core

@@ -33,8 +33,7 @@ TEST(PathTrace, HardwarePathTellsTheWholeStory) {
   ASSERT_NE(east_west, nullptr);
   const PathTrace trace =
       trace_packet(*system.region, packet_for(*east_west));
-  EXPECT_EQ(trace.result.path,
-            SailfishRegion::RegionResult::Path::kHardwareForwarded);
+  EXPECT_EQ(dataplane::path_label(trace.result), "hardware-forwarded");
   ASSERT_GE(trace.hops.size(), 4u);
   EXPECT_EQ(trace.hops[0].where, "vni-director");
   EXPECT_NE(trace.hops[1].where.find("ecmp"), std::string::npos);
@@ -51,7 +50,8 @@ TEST(PathTrace, MatchesProcessOutcome) {
     const auto pkt = packet_for(system.flows[i]);
     const auto traced = trace_packet(*system.region, pkt, 1.0);
     const auto processed = system.region->process(pkt, 1.0);
-    EXPECT_EQ(traced.result.path, processed.path);
+    EXPECT_EQ(dataplane::path_label(traced.result),
+              dataplane::path_label(processed));
     EXPECT_EQ(traced.result.packet.outer_dst_ip,
               processed.packet.outer_dst_ip);
   }
@@ -69,8 +69,7 @@ TEST(PathTrace, SnatPathRecordsBinding) {
   ASSERT_NE(internet, nullptr);
   const PathTrace trace =
       trace_packet(*system.region, packet_for(*internet), 1.0);
-  EXPECT_EQ(trace.result.path,
-            SailfishRegion::RegionResult::Path::kSoftwareSnat);
+  EXPECT_EQ(dataplane::path_label(trace.result), "software-snat");
   bool saw_snat = false;
   for (const auto& hop : trace.hops) {
     if (hop.where == "xgw-x86" &&
@@ -88,8 +87,7 @@ TEST(PathTrace, UnknownVniStopsAtDirector) {
   pkt.inner.src = net::IpAddr::must_parse("10.0.0.1");
   pkt.inner.dst = net::IpAddr::must_parse("10.0.0.2");
   const PathTrace trace = trace_packet(*system.region, pkt);
-  EXPECT_EQ(trace.result.path,
-            SailfishRegion::RegionResult::Path::kDropped);
+  EXPECT_TRUE(trace.result.dropped());
   ASSERT_EQ(trace.hops.size(), 1u);
   EXPECT_EQ(trace.hops[0].where, "vni-director");
 }
@@ -127,8 +125,7 @@ TEST(PathTrace, FailedOverClusterIsVisible) {
     }
   }
   EXPECT_TRUE(noted);
-  EXPECT_EQ(trace.result.path,
-            SailfishRegion::RegionResult::Path::kHardwareForwarded);
+  EXPECT_EQ(dataplane::path_label(trace.result), "hardware-forwarded");
 }
 
 }  // namespace

@@ -40,9 +40,8 @@ TEST(SailfishRegion, EastWestFlowsForwardInHardware) {
   for (const workload::Flow& flow : system.flows) {
     if (flow.scope == tables::RouteScope::kInternet) continue;
     const auto result = system.region->process(packet_for_flow(flow));
-    ASSERT_EQ(result.path,
-              SailfishRegion::RegionResult::Path::kHardwareForwarded)
-        << result.drop_reason;
+    ASSERT_EQ(dataplane::path_label(result), "hardware-forwarded")
+        << dataplane::to_string(result.drop_reason);
     EXPECT_EQ(result.packet.outer_dst_ip, IpAddr(flow.dst_nc));
     if (++checked > 60) break;
   }
@@ -55,8 +54,8 @@ TEST(SailfishRegion, InternetFlowsTakeSoftwareSnatPath) {
   for (const workload::Flow& flow : system.flows) {
     if (flow.scope != tables::RouteScope::kInternet) continue;
     const auto result = system.region->process(packet_for_flow(flow), 1.0);
-    ASSERT_EQ(result.path, SailfishRegion::RegionResult::Path::kSoftwareSnat)
-        << result.drop_reason;
+    ASSERT_EQ(dataplane::path_label(result), "software-snat")
+        << dataplane::to_string(result.drop_reason);
     // SNAT decapsulated the packet and rewrote the source.
     EXPECT_EQ(result.packet.vni, 0u);
     if (++checked > 20) break;
@@ -70,11 +69,10 @@ TEST(SailfishRegion, SoftwarePathIsSlowerThanHardware) {
   double sw_latency = 0;
   for (const workload::Flow& flow : system.flows) {
     const auto result = system.region->process(packet_for_flow(flow), 2.0);
-    if (result.path ==
-        SailfishRegion::RegionResult::Path::kHardwareForwarded) {
+    if (result.action == dataplane::Action::kForwardToNc &&
+        !result.software_path) {
       hw_latency = result.latency_us;
-    } else if (result.path ==
-               SailfishRegion::RegionResult::Path::kSoftwareSnat) {
+    } else if (result.action == dataplane::Action::kSnatToInternet) {
       sw_latency = result.latency_us;
     }
     if (hw_latency > 0 && sw_latency > 0) break;
@@ -93,7 +91,8 @@ TEST(SailfishRegion, UnknownVniDrops) {
   pkt.inner.dst = IpAddr::must_parse("10.0.0.2");
   pkt.payload_size = 64;
   const auto result = system.region->process(pkt);
-  EXPECT_EQ(result.path, SailfishRegion::RegionResult::Path::kDropped);
+  EXPECT_TRUE(result.dropped());
+  EXPECT_EQ(result.drop_reason, dataplane::DropReason::kUnknownVni);
 }
 
 TEST(SailfishRegion, IntervalReportSplitsHardwareAndSoftware) {

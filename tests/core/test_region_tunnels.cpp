@@ -22,11 +22,11 @@ SailfishSystem system_with_tunnels() {
   auto& controller = system.region->controller();
   const net::Vni vni = first_v4_vni(system);
   // Cross-region route (CEN to another region's gateway).
-  controller.add_route(
+  controller.install_route(
       vni, net::IpPrefix::must_parse("172.30.0.0/16"),
       {tables::RouteScope::kCrossRegion, 0, net::Ipv4Addr(198, 18, 0, 7)});
   // IDC route over the leased line.
-  controller.add_route(
+  controller.install_route(
       vni, net::IpPrefix::must_parse("172.31.0.0/16"),
       {tables::RouteScope::kIdc, 0, net::Ipv4Addr(198, 19, 0, 9)});
   return system;
@@ -45,7 +45,7 @@ TEST(RegionTunnels, CrossRegionTrafficTakesHardwareTunnel) {
   SailfishSystem system = system_with_tunnels();
   const net::Vni vni = first_v4_vni(system);
   const auto result = system.region->process(to(vni, "172.30.5.5"));
-  EXPECT_EQ(result.path, SailfishRegion::RegionResult::Path::kHardwareTunnel);
+  EXPECT_EQ(dataplane::path_label(result), "hardware-tunnel");
   EXPECT_EQ(result.packet.outer_dst_ip,
             net::IpAddr(net::Ipv4Addr(198, 18, 0, 7)));
 }
@@ -54,7 +54,7 @@ TEST(RegionTunnels, IdcTrafficTakesHardwareTunnel) {
   SailfishSystem system = system_with_tunnels();
   const net::Vni vni = first_v4_vni(system);
   const auto result = system.region->process(to(vni, "172.31.9.9"));
-  EXPECT_EQ(result.path, SailfishRegion::RegionResult::Path::kHardwareTunnel);
+  EXPECT_EQ(dataplane::path_label(result), "hardware-tunnel");
   EXPECT_EQ(result.packet.outer_dst_ip,
             net::IpAddr(net::Ipv4Addr(198, 19, 0, 9)));
 }
@@ -74,8 +74,7 @@ TEST(RegionTunnels, PathTraceShowsTunnelHop) {
   SailfishSystem system = system_with_tunnels();
   const net::Vni vni = first_v4_vni(system);
   const auto trace = trace_packet(*system.region, to(vni, "172.30.5.5"));
-  EXPECT_EQ(trace.result.path,
-            SailfishRegion::RegionResult::Path::kHardwareTunnel);
+  EXPECT_EQ(dataplane::path_label(trace.result), "hardware-tunnel");
   bool tunnel_hop = false;
   for (const auto& hop : trace.hops) {
     if (hop.detail.find("tunnel to 198.18.0.7") != std::string::npos) {
@@ -89,11 +88,11 @@ TEST(RegionTunnels, RemovingTunnelFallsToDefaultRoute) {
   SailfishSystem system = system_with_tunnels();
   auto& controller = system.region->controller();
   const net::Vni vni = first_v4_vni(system);
-  ASSERT_TRUE(controller.remove_route(
-      vni, net::IpPrefix::must_parse("172.30.0.0/16")));
+  ASSERT_TRUE(dataplane::succeeded(controller.remove_route(
+      vni, net::IpPrefix::must_parse("172.30.0.0/16"))));
   // Now covered by the VPC's default Internet route -> software SNAT.
   const auto result = system.region->process(to(vni, "172.30.5.5"), 1.0);
-  EXPECT_EQ(result.path, SailfishRegion::RegionResult::Path::kSoftwareSnat);
+  EXPECT_EQ(dataplane::path_label(result), "software-snat");
 }
 
 }  // namespace

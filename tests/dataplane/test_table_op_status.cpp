@@ -1,0 +1,165 @@
+// TableOpStatus error paths across every TableProgrammer implementation:
+// device-level duplicates and misses, digest-table capacity, and the
+// controller's update-channel rate limiter.
+
+#include "dataplane/table_programmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/controller.hpp"
+#include "x86/xgw_x86.hpp"
+#include "xgwh/xgwh.hpp"
+
+namespace sf::dataplane {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+using tables::VmNcAction;
+using tables::VmNcKey;
+using tables::VxlanRouteAction;
+
+TEST(TableOpStatus, NamesAndSuccessPredicate) {
+  EXPECT_EQ(to_string(TableOpStatus::kOk), "ok");
+  EXPECT_EQ(to_string(TableOpStatus::kDuplicate), "duplicate");
+  EXPECT_EQ(to_string(TableOpStatus::kNotFound), "not-found");
+  EXPECT_EQ(to_string(TableOpStatus::kCapacityExceeded),
+            "capacity-exceeded");
+  EXPECT_EQ(to_string(TableOpStatus::kRateLimited), "rate-limited");
+  EXPECT_TRUE(succeeded(TableOpStatus::kOk));
+  EXPECT_TRUE(succeeded(TableOpStatus::kDuplicate));
+  EXPECT_FALSE(succeeded(TableOpStatus::kNotFound));
+  EXPECT_FALSE(succeeded(TableOpStatus::kCapacityExceeded));
+  EXPECT_FALSE(succeeded(TableOpStatus::kRateLimited));
+}
+
+template <typename Programmer>
+void check_device_status_codes(Programmer& gw) {
+  const IpPrefix prefix = IpPrefix::must_parse("10.1.0.0/16");
+  const VxlanRouteAction route{RouteScope::kLocal, 0, {}};
+  EXPECT_EQ(gw.install_route(9, prefix, route), TableOpStatus::kOk);
+  EXPECT_EQ(gw.install_route(9, prefix, route), TableOpStatus::kDuplicate);
+  EXPECT_EQ(gw.remove_route(9, prefix), TableOpStatus::kOk);
+  EXPECT_EQ(gw.remove_route(9, prefix), TableOpStatus::kNotFound);
+
+  const VmNcKey key{9, IpAddr::must_parse("10.1.0.2")};
+  EXPECT_EQ(gw.install_mapping(key, VmNcAction{net::Ipv4Addr(1)}),
+            TableOpStatus::kOk);
+  EXPECT_EQ(gw.remove_mapping(key), TableOpStatus::kOk);
+  EXPECT_EQ(gw.remove_mapping(key), TableOpStatus::kNotFound);
+}
+
+TEST(TableOpStatus, XgwHDeviceCodes) {
+  xgwh::XgwH gw{xgwh::XgwH::Config{}};
+  check_device_status_codes(gw);
+}
+
+TEST(TableOpStatus, XgwX86DeviceCodes) {
+  x86::XgwX86 gw{x86::XgwX86::Config{}};
+  check_device_status_codes(gw);
+}
+
+TEST(TableOpStatus, ApplyFansOutEveryOpKind) {
+  xgwh::XgwH gw{xgwh::XgwH::Config{}};
+  TableOp add_route;
+  add_route.kind = TableOp::Kind::kAddRoute;
+  add_route.vni = 4;
+  add_route.prefix = IpPrefix::must_parse("10.4.0.0/16");
+  add_route.route_action = {RouteScope::kLocal, 0, {}};
+  EXPECT_EQ(apply(gw, add_route), TableOpStatus::kOk);
+
+  TableOp add_map;
+  add_map.kind = TableOp::Kind::kAddMapping;
+  add_map.mapping_key = {4, IpAddr::must_parse("10.4.0.2")};
+  add_map.mapping_action = {net::Ipv4Addr(172, 16, 0, 9)};
+  EXPECT_EQ(apply(gw, add_map), TableOpStatus::kOk);
+  EXPECT_EQ(gw.route_count(), 1u);
+  EXPECT_EQ(gw.mapping_count(), 1u);
+
+  TableOp del_map = add_map;
+  del_map.kind = TableOp::Kind::kDelMapping;
+  EXPECT_EQ(apply(gw, del_map), TableOpStatus::kOk);
+  TableOp del_route = add_route;
+  del_route.kind = TableOp::Kind::kDelRoute;
+  EXPECT_EQ(apply(gw, del_route), TableOpStatus::kOk);
+  EXPECT_EQ(apply(gw, del_route), TableOpStatus::kNotFound);
+}
+
+workload::VpcRecord one_vm_vpc(net::Vni vni) {
+  workload::VpcRecord vpc;
+  vpc.vni = vni;
+  vpc.family = net::IpFamily::kV4;
+  vpc.routes.push_back(workload::RouteRecord{
+      net::IpPrefix::must_parse("10.9.0.0/24"),
+      VxlanRouteAction{RouteScope::kLocal, 0, {}}});
+  vpc.vms.push_back(workload::VmRecord{IpAddr::must_parse("10.9.0.2"),
+                                       net::Ipv4Addr(172, 16, 0, 1)});
+  return vpc;
+}
+
+TEST(TableOpStatus, ControllerRejectsUnknownVni) {
+  cluster::Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 0;
+  cluster::Controller controller(config);
+  EXPECT_EQ(controller.install_route(
+                77, IpPrefix::must_parse("10.0.0.0/8"),
+                VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kNotFound);
+  EXPECT_EQ(controller.install_mapping(
+                VmNcKey{77, IpAddr::must_parse("10.0.0.2")},
+                VmNcAction{net::Ipv4Addr(1)}),
+            TableOpStatus::kNotFound);
+}
+
+TEST(TableOpStatus, ControllerRateLimitsTheUpdateChannel) {
+  cluster::Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 0;
+  config.table_op_rate_limit = 10;  // 10 ops/s
+  config.table_op_burst = 2;
+  cluster::Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(one_vm_vpc(50)));  // consumes the burst
+
+  const VxlanRouteAction route{RouteScope::kLocal, 0, {}};
+  EXPECT_EQ(controller.install_route(
+                50, IpPrefix::must_parse("10.50.0.0/24"), route),
+            TableOpStatus::kRateLimited);
+  EXPECT_GT(controller.registry().counter_value(
+                "controller.table_ops_rate_limited"),
+            0u);
+
+  // Time passes; the token bucket refills at 10 ops/s.
+  controller.advance_clock(1.0);
+  EXPECT_EQ(controller.install_route(
+                50, IpPrefix::must_parse("10.50.0.0/24"), route),
+            TableOpStatus::kOk);
+
+  // Nothing was changed by the limited op: desired state holds exactly
+  // the admitted route plus the one successful addition.
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+}
+
+TEST(TableOpStatus, ControllerRemoveMissesBeforeSpendingTokens) {
+  cluster::Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 0;
+  config.table_op_rate_limit = 1000;
+  config.table_op_burst = 8;
+  cluster::Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(one_vm_vpc(60)));
+  // A remove of an absent entry reports kNotFound (and must not consume
+  // the channel budget — the op never reaches a device).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(controller.remove_route(
+                  60, IpPrefix::must_parse("10.99.0.0/24")),
+              TableOpStatus::kNotFound);
+  }
+  EXPECT_EQ(controller.remove_route(
+                60, IpPrefix::must_parse("10.9.0.0/24")),
+            TableOpStatus::kOk);
+}
+
+}  // namespace
+}  // namespace sf::dataplane

@@ -1,0 +1,125 @@
+#include "dataplane/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dataplane/shard_engine.hpp"
+
+namespace sf::dataplane {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsEveryTask) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int ran = 0;
+  pool.run_all({[&] { ++ran; }, [&] { ++ran; }, [&] { ++ran; }});
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(ThreadPool, ZeroThreadsAlsoMeansInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  bool ran = false;
+  pool.run_all({[&] { ran = true; }});
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, WorkersRunAllTasksExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run_all({[&] { total.fetch_add(1); }, [&] { total.fetch_add(1); }});
+  }
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  pool.run_all({});
+}
+
+TEST(ShardEngine, OwnerHashDecidesShardMembership) {
+  ShardEngine engine(ShardPlan{4, 2});
+  std::vector<std::vector<std::uint32_t>> seen(4);
+  engine.run_sharded(
+      40, [](std::size_t i) { return i; },  // owner = index mod shards
+      [&](std::size_t shard, std::span<const std::uint32_t> indices,
+          telemetry::Registry&) {
+        seen[shard].assign(indices.begin(), indices.end());
+      });
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    ASSERT_EQ(seen[shard].size(), 10u) << shard;
+    for (std::uint32_t index : seen[shard]) {
+      EXPECT_EQ(index % 4, shard);
+    }
+    // Ascending order — the contract the deterministic reduce leans on.
+    EXPECT_TRUE(std::is_sorted(seen[shard].begin(), seen[shard].end()));
+  }
+}
+
+TEST(ShardEngine, PartitionIsIndependentOfThreadCount) {
+  auto partition = [](std::size_t threads) {
+    ShardEngine engine(ShardPlan{8, threads});
+    std::vector<std::vector<std::uint32_t>> shards(8);
+    engine.run_sharded(
+        1000, [](std::size_t i) { return i * 2654435761u; },
+        [&](std::size_t shard, std::span<const std::uint32_t> indices,
+            telemetry::Registry&) {
+          shards[shard].assign(indices.begin(), indices.end());
+        });
+    return shards;
+  };
+  EXPECT_EQ(partition(1), partition(4));
+  EXPECT_EQ(partition(1), partition(8));
+}
+
+TEST(ShardEngine, MergesPerShardRegistriesInShardOrder) {
+  ShardEngine engine(ShardPlan{4, 3});
+  const auto snapshot = engine.run_sharded(
+      16, [](std::size_t i) { return i; },
+      [](std::size_t shard, std::span<const std::uint32_t> indices,
+         telemetry::Registry& registry) {
+        registry.counter("engine.items").add(indices.size());
+        if (shard == 2) registry.counter("engine.special").add(7);
+      });
+  EXPECT_EQ(snapshot.counter("engine.items"), 16u);
+  EXPECT_EQ(snapshot.counter("engine.special"), 7u);
+}
+
+TEST(ShardEngine, SetThreadsPreservesResults) {
+  ShardEngine engine(ShardPlan{4, 1});
+  auto run = [&] {
+    std::vector<double> sums(4, 0);
+    engine.run_sharded(
+        100, [](std::size_t i) { return i % 4; },
+        [&](std::size_t shard, std::span<const std::uint32_t> indices,
+            telemetry::Registry&) {
+          for (std::uint32_t index : indices) {
+            sums[shard] += 0.1 * static_cast<double>(index);
+          }
+        });
+    return std::accumulate(sums.begin(), sums.end(), 0.0);
+  };
+  const double single = run();
+  engine.set_threads(8);
+  EXPECT_EQ(engine.plan().shards, 4u);
+  const double parallel = run();
+  EXPECT_EQ(single, parallel);  // bit-identical, not just close
+}
+
+}  // namespace
+}  // namespace sf::dataplane

@@ -1,0 +1,82 @@
+#include "dataplane/verdict.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::dataplane {
+namespace {
+
+TEST(Verdict, DefaultIsDropWithoutReason) {
+  Verdict verdict;
+  EXPECT_EQ(verdict.action, Action::kDrop);
+  EXPECT_EQ(verdict.drop_reason, DropReason::kNone);
+  EXPECT_FALSE(verdict.software_path);
+  EXPECT_TRUE(verdict.dropped());
+  EXPECT_FALSE(verdict.forwarded());
+}
+
+TEST(Verdict, DropFactoryCarriesReason) {
+  const Verdict verdict = Verdict::drop(DropReason::kAclDeny);
+  EXPECT_TRUE(verdict.dropped());
+  EXPECT_EQ(verdict.drop_reason, DropReason::kAclDeny);
+}
+
+TEST(Verdict, ForwardedCoversEveryDeliveringAction) {
+  for (Action action : {Action::kForwardToNc, Action::kForwardTunnel,
+                        Action::kSnatToInternet}) {
+    Verdict verdict;
+    verdict.action = action;
+    EXPECT_TRUE(verdict.forwarded()) << to_string(action);
+    EXPECT_FALSE(verdict.dropped());
+  }
+  Verdict fallback;
+  fallback.action = Action::kFallbackToX86;
+  EXPECT_FALSE(fallback.forwarded());
+  EXPECT_FALSE(fallback.dropped());
+}
+
+TEST(Verdict, ActionNamesAreStable) {
+  EXPECT_EQ(to_string(Action::kForwardToNc), "forward-to-nc");
+  EXPECT_EQ(to_string(Action::kForwardTunnel), "forward-tunnel");
+  EXPECT_EQ(to_string(Action::kFallbackToX86), "fallback-to-x86");
+  EXPECT_EQ(to_string(Action::kSnatToInternet), "snat-to-internet");
+  EXPECT_EQ(to_string(Action::kDrop), "drop");
+}
+
+TEST(Verdict, DropReasonNamesKeepTheLegacyStrings) {
+  // These strings appear in traces and operator tooling; renames here are
+  // user-visible breaks.
+  EXPECT_EQ(to_string(DropReason::kAclDeny), "acl deny");
+  EXPECT_EQ(to_string(DropReason::kNoRoute), "no route");
+  EXPECT_EQ(to_string(DropReason::kNoVmNcMapping), "no VM-NC mapping");
+  EXPECT_EQ(to_string(DropReason::kPeerResolutionLoop),
+            "peer VNI resolution loop");
+  EXPECT_EQ(to_string(DropReason::kSnatPoolExhausted),
+            "SNAT pool exhausted");
+  EXPECT_EQ(to_string(DropReason::kFallbackRateLimited),
+            "fallback rate limited");
+  EXPECT_EQ(to_string(DropReason::kUnknownVni),
+            "VNI not assigned to any cluster");
+  EXPECT_EQ(to_string(DropReason::kNoLiveDevice),
+            "cluster has no live devices");
+}
+
+TEST(Verdict, PathLabelDistinguishesHardwareAndSoftware) {
+  Verdict verdict;
+  verdict.action = Action::kForwardToNc;
+  EXPECT_EQ(path_label(verdict), "hardware-forwarded");
+  verdict.software_path = true;
+  EXPECT_EQ(path_label(verdict), "software-forwarded");
+
+  verdict.software_path = false;
+  verdict.action = Action::kForwardTunnel;
+  EXPECT_EQ(path_label(verdict), "hardware-tunnel");
+
+  verdict.action = Action::kSnatToInternet;
+  EXPECT_EQ(path_label(verdict), "software-snat");
+
+  verdict.action = Action::kDrop;
+  EXPECT_EQ(path_label(verdict), "dropped");
+}
+
+}  // namespace
+}  // namespace sf::dataplane

@@ -43,9 +43,8 @@ TEST(EndToEnd, WireBytesThroughTheRegion) {
     auto parsed = net::decode(bytes);
     ASSERT_TRUE(parsed.has_value());
     const auto result = system.region->process(*parsed);
-    ASSERT_EQ(result.path,
-              SailfishRegion::RegionResult::Path::kHardwareForwarded)
-        << result.drop_reason;
+    ASSERT_EQ(dataplane::path_label(result), "hardware-forwarded")
+        << dataplane::to_string(result.drop_reason);
     // The rewritten packet re-encodes to valid bytes addressed to the NC.
     const auto out_bytes = encode(result.packet);
     auto out = net::decode(out_bytes);
@@ -68,10 +67,11 @@ TEST(EndToEnd, HardwareAndSoftwareAgreeOnForwarding) {
     if (flow.scope == tables::RouteScope::kInternet) continue;
     const auto pkt = packet_for_flow(flow);
     const auto hw = system.region->controller().process(pkt);
-    const auto sw = system.region->x86_node(0).process(pkt);
-    ASSERT_EQ(hw.action, xgwh::ForwardAction::kForwardToNc)
-        << hw.drop_reason;
-    ASSERT_EQ(sw.action, x86::X86Action::kForwardToNc) << sw.drop_reason;
+    const auto sw = system.region->x86_node(0).forward(pkt);
+    ASSERT_EQ(hw.action, dataplane::Action::kForwardToNc)
+        << dataplane::to_string(hw.drop_reason);
+    ASSERT_EQ(sw.action, dataplane::Action::kForwardToNc)
+        << dataplane::to_string(sw.drop_reason);
     EXPECT_EQ(hw.packet.outer_dst_ip, sw.packet.outer_dst_ip);
     if (++checked >= 80) break;
   }
@@ -84,10 +84,12 @@ TEST(EndToEnd, ConsistencyAuditSurvivesChurn) {
   // Churn: drop and re-add some routes through the controller.
   const auto& vpc = system.topology.vpcs[3];
   for (const auto& route : vpc.routes) {
-    ASSERT_TRUE(controller.remove_route(vpc.vni, route.prefix));
+    ASSERT_TRUE(dataplane::succeeded(
+        controller.remove_route(vpc.vni, route.prefix)));
   }
   for (const auto& route : vpc.routes) {
-    ASSERT_TRUE(controller.add_route(vpc.vni, route.prefix, route.action));
+    ASSERT_TRUE(dataplane::succeeded(
+        controller.install_route(vpc.vni, route.prefix, route.action)));
   }
   for (std::size_t c = 0; c < controller.cluster_count(); ++c) {
     const auto report = controller.check_consistency(c);
@@ -110,9 +112,8 @@ TEST(EndToEnd, FailoverPreservesForwarding) {
     if (flow.scope == tables::RouteScope::kInternet) continue;
     if (system.region->controller().cluster_for(flow.vni) != 0u) continue;
     const auto result = system.region->process(packet_for_flow(flow));
-    EXPECT_EQ(result.path,
-              SailfishRegion::RegionResult::Path::kHardwareForwarded)
-        << result.drop_reason;
+    EXPECT_EQ(dataplane::path_label(result), "hardware-forwarded")
+        << dataplane::to_string(result.drop_reason);
     if (++checked >= 10) break;
   }
   EXPECT_GT(checked, 0u);
@@ -141,8 +142,8 @@ TEST(EndToEnd, SnatRoundTripThroughRegion) {
   ASSERT_NE(internet_flow, nullptr);
   const auto out =
       system.region->process(packet_for_flow(*internet_flow), 1.0);
-  ASSERT_EQ(out.path, SailfishRegion::RegionResult::Path::kSoftwareSnat)
-      << out.drop_reason;
+  ASSERT_EQ(dataplane::path_label(out), "software-snat")
+      << dataplane::to_string(out.drop_reason);
   // Response from the Internet peer returns through the same x86 node
   // and is re-encapsulated toward the VM's NC.
   auto& node = system.region->x86_node(0);

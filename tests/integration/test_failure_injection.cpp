@@ -35,9 +35,8 @@ void verify_forwarding(core::SailfishSystem& system, int samples) {
   for (const workload::Flow& flow : system.flows) {
     if (flow.scope == tables::RouteScope::kInternet) continue;
     const auto result = system.region->process(packet_for(flow));
-    ASSERT_EQ(result.path,
-              core::SailfishRegion::RegionResult::Path::kHardwareForwarded)
-        << result.drop_reason;
+    ASSERT_EQ(dataplane::path_label(result), "hardware-forwarded")
+        << dataplane::to_string(result.drop_reason);
     ASSERT_EQ(result.packet.outer_dst_ip, net::IpAddr(flow.dst_nc));
     if (++checked >= samples) break;
   }

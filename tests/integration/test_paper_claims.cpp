@@ -29,7 +29,7 @@ TEST(PaperClaims, Abstract_LatencyReducedBy95Percent) {
   pkt.inner.src = net::IpAddr::must_parse("10.0.0.1");
   pkt.inner.dst = net::IpAddr::must_parse("10.0.0.2");
   pkt.payload_size = 128;
-  const double hw_latency = hw.process(pkt).latency_us;
+  const double hw_latency = hw.forward(pkt).latency_us;
   const double sw_latency = x86::X86CostModel{}.latency_us(0.3);
   EXPECT_NEAR(hw_latency, 2.2, 0.2);
   EXPECT_GT(1.0 - hw_latency / sw_latency, 0.90);

@@ -167,16 +167,16 @@ net::OverlayPacket packet_to(net::Vni vni, const char* dst) {
 
 TEST(XgwX86, ForwardsLocalTraffic) {
   XgwX86 gw = make_gateway();
-  const auto result = gw.process(packet_to(10, "192.168.10.3"));
-  EXPECT_EQ(result.action, X86Action::kForwardToNc);
+  const auto result = gw.forward(packet_to(10, "192.168.10.3"));
+  EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
   EXPECT_EQ(result.packet.outer_dst_ip,
             IpAddr(net::Ipv4Addr(10, 1, 1, 12)));
 }
 
 TEST(XgwX86, SnatRewritesSourceAndDecapsulates) {
   XgwX86 gw = make_gateway();
-  const auto result = gw.process(packet_to(10, "93.184.216.34"), 1.0);
-  EXPECT_EQ(result.action, X86Action::kSnatToInternet);
+  const auto result = gw.forward(packet_to(10, "93.184.216.34"), 1.0);
+  EXPECT_EQ(result.action, dataplane::Action::kSnatToInternet);
   ASSERT_TRUE(result.snat.has_value());
   EXPECT_EQ(result.packet.inner.src, IpAddr(result.snat->public_ip));
   EXPECT_EQ(result.packet.inner.src_port, result.snat->public_port);
@@ -185,7 +185,7 @@ TEST(XgwX86, SnatRewritesSourceAndDecapsulates) {
 
 TEST(XgwX86, ResponsePathReencapsulatesTowardNc) {
   XgwX86 gw = make_gateway();
-  const auto out = gw.process(packet_to(10, "93.184.216.34"), 1.0);
+  const auto out = gw.forward(packet_to(10, "93.184.216.34"), 1.0);
   ASSERT_TRUE(out.snat.has_value());
   auto back = gw.process_response(*out.snat,
                                   IpAddr::must_parse("93.184.216.34"), 443,
@@ -198,9 +198,9 @@ TEST(XgwX86, ResponsePathReencapsulatesTowardNc) {
 
 TEST(XgwX86, DropsUnknownVni) {
   XgwX86 gw = make_gateway();
-  const auto result = gw.process(packet_to(99, "192.168.10.3"));
-  EXPECT_EQ(result.action, X86Action::kDrop);
-  EXPECT_EQ(result.drop_reason, "no route");
+  const auto result = gw.forward(packet_to(99, "192.168.10.3"));
+  EXPECT_EQ(result.action, dataplane::Action::kDrop);
+  EXPECT_EQ(result.drop_reason, dataplane::DropReason::kNoRoute);
 }
 
 TEST(XgwX86, IntervalSimConcentratesHeavyHitterOnOneCore) {

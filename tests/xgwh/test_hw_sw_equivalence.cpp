@@ -76,12 +76,12 @@ TEST_P(HwSwEquivalenceTest, SameVerdictsAndRewrites) {
       pkt.inner.proto = 6;
       pkt.payload_size = 128;
 
-      const auto hw_result = hw.process(pkt);
-      const auto sw_result = sw.process(pkt);
-      ASSERT_EQ(hw_result.action, xgwh::ForwardAction::kForwardToNc)
-          << hw_result.drop_reason;
-      ASSERT_EQ(sw_result.action, x86::X86Action::kForwardToNc)
-          << sw_result.drop_reason;
+      const auto hw_result = hw.forward(pkt);
+      const auto sw_result = sw.forward(pkt);
+      ASSERT_EQ(hw_result.action, dataplane::Action::kForwardToNc)
+          << dataplane::to_string(hw_result.drop_reason);
+      ASSERT_EQ(sw_result.action, dataplane::Action::kForwardToNc)
+          << dataplane::to_string(sw_result.drop_reason);
       EXPECT_EQ(hw_result.packet.outer_dst_ip,
                 sw_result.packet.outer_dst_ip)
           << vpc.vni << " -> " << pkt.inner.dst.to_string();

@@ -59,8 +59,8 @@ TEST(XgwH, SameVpcForwarding) {
   XgwH gw(folded_config());
   install_fig2(gw);
   const auto result =
-      gw.process(packet_to(10, "192.168.10.2", "192.168.10.3"));
-  EXPECT_EQ(result.action, ForwardAction::kForwardToNc);
+      gw.forward(packet_to(10, "192.168.10.2", "192.168.10.3"));
+  EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
   EXPECT_EQ(result.packet.outer_dst_ip,
             IpAddr(net::Ipv4Addr(10, 1, 1, 12)));
   EXPECT_EQ(result.packet.outer_src_ip,
@@ -72,8 +72,8 @@ TEST(XgwH, CrossVpcPeerForwarding) {
   XgwH gw(folded_config());
   install_fig2(gw);
   const auto result =
-      gw.process(packet_to(10, "192.168.10.2", "192.168.30.5"));
-  EXPECT_EQ(result.action, ForwardAction::kForwardToNc);
+      gw.forward(packet_to(10, "192.168.10.2", "192.168.30.5"));
+  EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
   EXPECT_EQ(result.packet.outer_dst_ip,
             IpAddr(net::Ipv4Addr(10, 1, 1, 15)));
 }
@@ -84,8 +84,8 @@ TEST(XgwH, UnfoldedModeForwardsIdentically) {
   install_fig2(folded);
   install_fig2(unfolded);
   const auto packet = packet_to(10, "192.168.10.2", "192.168.30.5");
-  const auto a = folded.process(packet);
-  const auto b = unfolded.process(packet);
+  const auto a = folded.forward(packet);
+  const auto b = unfolded.forward(packet);
   EXPECT_EQ(a.action, b.action);
   EXPECT_EQ(a.packet.outer_dst_ip, b.packet.outer_dst_ip);
 }
@@ -96,8 +96,8 @@ TEST(XgwH, FoldingDoublesPassesAndLatency) {
   install_fig2(folded);
   install_fig2(unfolded);
   const auto packet = packet_to(10, "192.168.10.2", "192.168.10.3");
-  const auto a = folded.process(packet);
-  const auto b = unfolded.process(packet);
+  const auto a = folded.forward(packet);
+  const auto b = unfolded.forward(packet);
   EXPECT_EQ(a.passes, 2u);
   EXPECT_EQ(b.passes, 1u);
   EXPECT_GT(a.latency_us, b.latency_us);
@@ -120,8 +120,8 @@ TEST(XgwH, TunnelScopesRewriteToRemoteEndpoint) {
       20, IpPrefix::must_parse("172.30.0.0/16"),
       VxlanRouteAction{RouteScope::kCrossRegion, 0,
                        net::Ipv4Addr(198, 18, 0, 7)});
-  const auto result = gw.process(packet_to(20, "10.0.0.1", "172.30.1.1"));
-  EXPECT_EQ(result.action, ForwardAction::kForwardTunnel);
+  const auto result = gw.forward(packet_to(20, "10.0.0.1", "172.30.1.1"));
+  EXPECT_EQ(result.action, dataplane::Action::kForwardTunnel);
   EXPECT_EQ(result.packet.outer_dst_ip,
             IpAddr(net::Ipv4Addr(198, 18, 0, 7)));
 }
@@ -130,16 +130,16 @@ TEST(XgwH, InternetScopeFallsBackToX86) {
   XgwH gw(folded_config());
   gw.install_route(30, IpPrefix::must_parse("0.0.0.0/0"),
                    VxlanRouteAction{RouteScope::kInternet, 0, {}});
-  const auto result = gw.process(packet_to(30, "10.0.0.1", "93.184.216.34"));
-  EXPECT_EQ(result.action, ForwardAction::kFallbackToX86);
+  const auto result = gw.forward(packet_to(30, "10.0.0.1", "93.184.216.34"));
+  EXPECT_EQ(result.action, dataplane::Action::kFallbackToX86);
   EXPECT_EQ(result.packet.outer_dst_ip,
             IpAddr(gw.config().x86_next_hop));
 }
 
 TEST(XgwH, RouteMissFallsBackInsteadOfDropping) {
   XgwH gw(folded_config());
-  const auto result = gw.process(packet_to(99, "10.0.0.1", "10.0.0.2"));
-  EXPECT_EQ(result.action, ForwardAction::kFallbackToX86);
+  const auto result = gw.forward(packet_to(99, "10.0.0.1", "10.0.0.2"));
+  EXPECT_EQ(result.action, dataplane::Action::kFallbackToX86);
 }
 
 TEST(XgwH, MappingMissFallsBack) {
@@ -147,8 +147,8 @@ TEST(XgwH, MappingMissFallsBack) {
   gw.install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
                    VxlanRouteAction{RouteScope::kLocal, 0, {}});
   const auto result =
-      gw.process(packet_to(10, "192.168.10.2", "192.168.10.3"));
-  EXPECT_EQ(result.action, ForwardAction::kFallbackToX86);
+      gw.forward(packet_to(10, "192.168.10.2", "192.168.10.3"));
+  EXPECT_EQ(result.action, dataplane::Action::kFallbackToX86);
 }
 
 TEST(XgwH, PeerLoopIsDropped) {
@@ -157,9 +157,9 @@ TEST(XgwH, PeerLoopIsDropped) {
                    VxlanRouteAction{RouteScope::kPeer, 2, {}});
   gw.install_route(2, IpPrefix::must_parse("10.0.0.0/8"),
                    VxlanRouteAction{RouteScope::kPeer, 1, {}});
-  const auto result = gw.process(packet_to(1, "10.0.0.1", "10.0.0.2"));
-  EXPECT_EQ(result.action, ForwardAction::kDrop);
-  EXPECT_NE(result.drop_reason.find("loop"), std::string::npos);
+  const auto result = gw.forward(packet_to(1, "10.0.0.1", "10.0.0.2"));
+  EXPECT_EQ(result.action, dataplane::Action::kDrop);
+  EXPECT_EQ(result.drop_reason, dataplane::DropReason::kPeerResolutionLoop);
 }
 
 TEST(XgwH, AclDeniesTraffic) {
@@ -171,9 +171,9 @@ TEST(XgwH, AclDeniesTraffic) {
   rule.verdict = tables::AclVerdict::kDeny;
   gw.add_acl_rule(rule);
   const auto result =
-      gw.process(packet_to(10, "192.168.10.2", "192.168.10.3"));
-  EXPECT_EQ(result.action, ForwardAction::kDrop);
-  EXPECT_EQ(result.drop_reason, "acl deny");
+      gw.forward(packet_to(10, "192.168.10.2", "192.168.10.3"));
+  EXPECT_EQ(result.action, dataplane::Action::kDrop);
+  EXPECT_EQ(result.drop_reason, dataplane::DropReason::kAclDeny);
 }
 
 TEST(XgwH, FallbackRateLimiterDropsExcess) {
@@ -184,10 +184,10 @@ TEST(XgwH, FallbackRateLimiterDropsExcess) {
   gw.install_route(30, IpPrefix::must_parse("0.0.0.0/0"),
                    VxlanRouteAction{RouteScope::kInternet, 0, {}});
   const auto packet = packet_to(30, "10.0.0.1", "93.184.216.34");
-  const auto first = gw.process(packet, /*now=*/0);
-  const auto second = gw.process(packet, /*now=*/0);
-  EXPECT_EQ(first.action, ForwardAction::kFallbackToX86);
-  EXPECT_EQ(second.action, ForwardAction::kDrop);
+  const auto first = gw.forward(packet, /*now=*/0);
+  const auto second = gw.forward(packet, /*now=*/0);
+  EXPECT_EQ(first.action, dataplane::Action::kFallbackToX86);
+  EXPECT_EQ(second.action, dataplane::Action::kDrop);
   EXPECT_EQ(gw.telemetry().fallback_rate_limited, 1u);
 }
 
@@ -207,8 +207,8 @@ TEST(XgwH, ShardPipesSplitByVniHash) {
     gw.install_mapping(VmNcKey{v, IpAddr::must_parse("10.0.0.2")},
                        VmNcAction{net::Ipv4Addr(10, 1, 1, 1)});
   }
-  const auto shard0 = gw.process(packet_to(vni0, "10.0.0.1", "10.0.0.2"));
-  const auto shard1 = gw.process(packet_to(vni1, "10.0.0.1", "10.0.0.2"));
+  const auto shard0 = gw.forward(packet_to(vni0, "10.0.0.1", "10.0.0.2"));
+  const auto shard1 = gw.forward(packet_to(vni1, "10.0.0.1", "10.0.0.2"));
   EXPECT_EQ(shard0.shard_pipe, 1u);
   EXPECT_EQ(shard1.shard_pipe, 3u);
   EXPECT_GT(gw.shard_pipe_bytes()[1], 0u);
@@ -224,10 +224,12 @@ TEST(XgwH, TableCountsAndConsistencyHelpers) {
   EXPECT_FALSE(gw.has_route(10, IpPrefix::must_parse("192.168.99.0/24")));
   EXPECT_TRUE(
       gw.has_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.2")}));
-  EXPECT_TRUE(gw.remove_route(10, IpPrefix::must_parse("192.168.10.0/24")));
+  EXPECT_EQ(gw.remove_route(10, IpPrefix::must_parse("192.168.10.0/24")),
+            dataplane::TableOpStatus::kOk);
   EXPECT_EQ(gw.route_count(), 3u);
-  EXPECT_TRUE(gw.remove_mapping(
-      VmNcKey{10, IpAddr::must_parse("192.168.10.2")}));
+  EXPECT_EQ(gw.remove_mapping(
+                VmNcKey{10, IpAddr::must_parse("192.168.10.2")}),
+            dataplane::TableOpStatus::kOk);
   EXPECT_EQ(gw.mapping_count(), 2u);
 }
 

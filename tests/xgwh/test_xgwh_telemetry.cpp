@@ -28,9 +28,9 @@ TEST(XgwHTelemetry, CountersTrackOutcomes) {
   gw.install_route(3, IpPrefix::must_parse("0.0.0.0/0"),
                    {RouteScope::kInternet, 0, {}});
 
-  gw.process(pkt(2, "10.0.0.9"));          // forwarded
-  gw.process(pkt(3, "93.184.216.34"), 1);  // fallback
-  gw.process(pkt(9, "10.0.0.9"), 1);       // route miss -> fallback
+  gw.forward(pkt(2, "10.0.0.9"));          // forwarded
+  gw.forward(pkt(3, "93.184.216.34"), 1);  // fallback
+  gw.forward(pkt(9, "10.0.0.9"), 1);       // route miss -> fallback
 
   const auto& telemetry = gw.telemetry();
   EXPECT_EQ(telemetry.packets_in, 3u);
@@ -47,8 +47,8 @@ TEST(XgwHTelemetry, RegistryMirrorsTheTelemetryStruct) {
   gw.install_mapping({2, IpAddr::must_parse("10.0.0.9")},
                      {net::Ipv4Addr(172, 16, 0, 1)});
 
-  gw.process(pkt(2, "10.0.0.9"));     // forwarded (route + vm hit)
-  gw.process(pkt(9, "10.0.0.9"), 1);  // route miss -> fallback
+  gw.forward(pkt(2, "10.0.0.9"));     // forwarded (route + vm hit)
+  gw.forward(pkt(9, "10.0.0.9"), 1);  // route miss -> fallback
 
   const auto& reg = gw.registry();
   EXPECT_EQ(reg.counter_value("xgwh.packets_in"), gw.telemetry().packets_in);
@@ -92,14 +92,18 @@ TEST(XgwHTelemetry, AclRangeRowsReachOccupancyModel) {
 TEST(XgwHTelemetry, InstallIsIdempotentOnCounts) {
   XgwH gw{XgwH::Config{}};
   const IpPrefix prefix = IpPrefix::must_parse("10.0.0.0/8");
-  EXPECT_TRUE(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}));
-  EXPECT_FALSE(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}));
+  EXPECT_EQ(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_EQ(gw.install_route(5, prefix, {RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kDuplicate);
   EXPECT_EQ(gw.route_count(), 1u);
   EXPECT_EQ(gw.live_workload().vxlan_routes_v4, 1u);
 
   const tables::VmNcKey key{5, IpAddr::must_parse("10.0.0.2")};
-  EXPECT_TRUE(gw.install_mapping(key, {net::Ipv4Addr(1)}));
-  EXPECT_TRUE(gw.install_mapping(key, {net::Ipv4Addr(2)}));  // replace
+  EXPECT_EQ(gw.install_mapping(key, {net::Ipv4Addr(1)}),
+            dataplane::TableOpStatus::kOk);
+  // Replacing in place is an idempotent success, reported as kDuplicate.
+  EXPECT_TRUE(dataplane::succeeded(gw.install_mapping(key, {net::Ipv4Addr(2)})));
   EXPECT_EQ(gw.mapping_count(), 1u);
   EXPECT_EQ(gw.live_workload().vm_maps_v4, 1u);
 }
@@ -113,8 +117,8 @@ TEST(XgwHTelemetry, ProcessIsDeterministic) {
     gw->install_mapping({2, IpAddr::must_parse("10.0.0.9")},
                         {net::Ipv4Addr(172, 16, 0, 1)});
   }
-  const auto ra = a.process(pkt(2, "10.0.0.9"));
-  const auto rb = b.process(pkt(2, "10.0.0.9"));
+  const auto ra = a.forward(pkt(2, "10.0.0.9"));
+  const auto rb = b.forward(pkt(2, "10.0.0.9"));
   EXPECT_EQ(ra.action, rb.action);
   EXPECT_EQ(ra.latency_us, rb.latency_us);
   EXPECT_EQ(ra.egress_pipe, rb.egress_pipe);
@@ -130,7 +134,7 @@ TEST(XgwHTelemetry, LatencyGrowsWithPayload) {
   small.payload_size = 32;
   auto large = pkt(2, "10.0.0.9");
   large.payload_size = 1400;
-  EXPECT_LT(gw.process(small).latency_us, gw.process(large).latency_us);
+  EXPECT_LT(gw.forward(small).latency_us, gw.forward(large).latency_us);
 }
 
 }  // namespace
