@@ -1,0 +1,607 @@
+#include "chaos/injector.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "cluster/upgrade.hpp"
+#include "net/packet.hpp"
+#include "tables/entry.hpp"
+#include "workload/topology.hpp"
+
+namespace sf::chaos {
+namespace {
+
+// Stable printf-style formatting — every number the injector renders goes
+// through here so logs and reports are byte-identical across runs.
+std::string format(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+std::uint64_t slot_key(std::size_t cluster, std::size_t device) {
+  return (static_cast<std::uint64_t>(cluster) << 32) | device;
+}
+
+/// A down-window on one device slot: heartbeats are missed while it is
+/// active. Crashes produce one, flaps a train of them.
+struct DownWindow {
+  double start = 0;
+  double end = 0;
+  std::size_t fault = 0;  // owning FaultRecord index
+};
+
+/// A port with outstanding injected error reports. While `bad_remaining`
+/// is positive the probe tick reports `error_rate`; afterwards it reports
+/// clean until the monitor lets the port back in and the track retires.
+struct PortTrack {
+  std::size_t cluster = 0;
+  std::size_t device = 0;
+  unsigned port = 0;
+  unsigned bad_remaining = 0;
+  double error_rate = 0;
+  std::vector<std::size_t> faults;
+};
+
+/// Sits between DisasterRecovery and the HealthMonitor so the injector
+/// observes every device-level transition — including the ones recovery
+/// decides on its own (escalation, cold-standby replacement) — at the
+/// exact instant they happen, then forwards them to the monitor.
+struct RecoveryTap : cluster::RecoveryListener {
+  struct Transition {
+    std::size_t cluster = 0;
+    std::size_t device = 0;
+    bool failed = false;
+    double time = 0;
+  };
+
+  cluster::RecoveryListener* next = nullptr;
+  std::vector<Transition> transitions;
+
+  void on_device_marked_failed(std::size_t cluster, std::size_t device,
+                               double now) override {
+    transitions.push_back({cluster, device, true, now});
+    if (next != nullptr) next->on_device_marked_failed(cluster, device, now);
+  }
+  void on_device_marked_recovered(std::size_t cluster, std::size_t device,
+                                  double now) override {
+    transitions.push_back({cluster, device, false, now});
+    if (next != nullptr) {
+      next->on_device_marked_recovered(cluster, device, now);
+    }
+  }
+};
+
+bool is_port_fault(FaultKind kind) {
+  return kind == FaultKind::kPortErrorBurst || kind == FaultKind::kLinkLoss;
+}
+
+bool is_device_fault(FaultKind kind) {
+  return kind == FaultKind::kDeviceCrash || kind == FaultKind::kDeviceFlap;
+}
+
+/// A synthetic tenant for update storms: one subnet route and two VM
+/// mappings, addressed out of 10/8 so it never collides with generated
+/// topologies (which allocate under distinct per-VPC blocks).
+workload::VpcRecord storm_vpc(net::Vni vni, unsigned ordinal) {
+  workload::VpcRecord vpc;
+  vpc.vni = vni;
+  const std::uint32_t base =
+      0x0a000000u | ((static_cast<std::uint32_t>(ordinal) & 0xffffu) << 8);
+  workload::RouteRecord route;
+  route.prefix = net::Ipv4Prefix(net::Ipv4Addr(base), 24);
+  route.action =
+      tables::VxlanRouteAction{tables::RouteScope::kLocal, 0, net::Ipv4Addr()};
+  vpc.routes.push_back(route);
+  for (std::uint32_t vm_index = 0; vm_index < 2; ++vm_index) {
+    workload::VmRecord vm;
+    vm.ip = net::IpAddr(net::Ipv4Addr(base + 1 + vm_index));
+    vm.nc_ip = net::Ipv4Addr(0xac100000u + ordinal);
+    vpc.vms.push_back(vm);
+  }
+  return vpc;
+}
+
+}  // namespace
+
+struct ChaosInjector::ActiveFault {
+  ChaosEvent event;
+  bool done = false;
+  /// Injection keeps running until this instant (down windows, report
+  /// bursts); recovery is then verified against the live machinery.
+  double end = 0;
+};
+
+ChaosInjector::ChaosInjector(core::SailfishRegion& region,
+                             std::span<const workload::Flow> flows,
+                             Config config)
+    : region_(region), flows_(flows), config_(config) {}
+
+ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
+  log_.clear();
+  ChaosReport report;
+  report.schedule_seed = schedule.seed();
+
+  cluster::Controller& controller = region_.controller();
+  cluster::DisasterRecovery& recovery = region_.disaster_recovery();
+
+  // The monitor registers itself as DR's listener; the tap then takes the
+  // slot and forwards, so both the monitor and the injector see every
+  // recovery-initiated transition.
+  cluster::HealthMonitor monitor(&recovery, config_.health);
+  RecoveryTap tap;
+  tap.next = &monitor;
+  recovery.set_listener(&tap);
+
+  const double dt = config_.probe_interval_s;
+  const auto& events = schedule.events();
+  std::vector<ActiveFault> faults;
+  faults.reserve(events.size());
+  report.faults.reserve(events.size());
+  for (const ChaosEvent& event : events) {
+    report.faults.push_back(FaultRecord{event});
+    faults.push_back(ActiveFault{event, false, 0});
+  }
+
+  // slot -> down windows (std::map for deterministic iteration).
+  std::map<std::uint64_t, std::vector<DownWindow>> windows;
+  // port key -> outstanding error-report track.
+  std::map<std::uint64_t, PortTrack> tracks;
+  double channel_down_until = -1;
+  std::size_t channel_fault = 0;
+  bool channel_down = false;
+
+  const auto slot_down = [&](std::uint64_t key, double now,
+                             std::size_t* fault_out = nullptr) {
+    auto it = windows.find(key);
+    if (it == windows.end()) return false;
+    for (const DownWindow& w : it->second) {
+      if (w.start <= now + 1e-9 && now < w.end - 1e-9) {
+        if (fault_out != nullptr) *fault_out = w.fault;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const double horizon = schedule.horizon();
+  const double deadline = horizon + config_.settle_s;
+  std::size_t next_event = 0;
+  std::size_t probe_count = std::min(config_.probe_flows, flows_.size());
+
+  for (std::uint64_t tick = 0;; ++tick) {
+    const double now = static_cast<double>(tick) * dt;
+
+    // ---- 1. fire schedule events due at this tick -------------------------
+    while (next_event < events.size() &&
+           events[next_event].time <= now + 1e-9) {
+      const std::size_t index = next_event++;
+      const ChaosEvent& event = events[index];
+      ActiveFault& fault = faults[index];
+      log_.append(now, "inject", event.to_string());
+      switch (event.kind) {
+        case FaultKind::kDeviceCrash: {
+          fault.end = event.time + event.duration;
+          windows[slot_key(event.cluster, event.device)].push_back(
+              DownWindow{event.time, fault.end, index});
+          break;
+        }
+        case FaultKind::kDeviceFlap: {
+          auto& slot = windows[slot_key(event.cluster, event.device)];
+          for (unsigned cycle = 0; cycle < event.count; ++cycle) {
+            const double start =
+                event.time + 2.0 * cycle * event.duration;
+            slot.push_back(
+                DownWindow{start, start + event.duration, index});
+          }
+          fault.end = event.time + 2.0 * event.count * event.duration;
+          break;
+        }
+        case FaultKind::kPortErrorBurst:
+        case FaultKind::kLinkLoss: {
+          // A burst hits one named port; link loss takes out the first
+          // `count` ports together (a cut trunk) with enough bad reports
+          // to cross the isolation threshold.
+          const unsigned burst =
+              event.kind == FaultKind::kPortErrorBurst
+                  ? event.count
+                  : config_.health.isolate_port_after + 1;
+          const unsigned first =
+              event.kind == FaultKind::kPortErrorBurst ? event.port : 0;
+          const unsigned span =
+              event.kind == FaultKind::kPortErrorBurst ? 1 : event.count;
+          for (unsigned p = first; p < first + span; ++p) {
+            const std::uint64_t key =
+                (slot_key(event.cluster, event.device) << 12) | p;
+            PortTrack& track = tracks[key];
+            track.cluster = event.cluster;
+            track.device = event.device;
+            track.port = p;
+            track.bad_remaining += burst;
+            track.error_rate = event.error_rate;
+            track.faults.push_back(index);
+          }
+          fault.end = event.time + burst * dt;
+          break;
+        }
+        case FaultKind::kChannelOutage: {
+          fault.end = event.time + event.duration;
+          if (!channel_down) {
+            controller.set_update_channel_up(false);
+            channel_down = true;
+            log_.append(now, "channel", "update channel down");
+          }
+          channel_down_until = std::max(channel_down_until, fault.end);
+          channel_fault = index;
+          report.faults[index].detected_at = now;
+          break;
+        }
+        case FaultKind::kUpdateStorm: {
+          std::size_t admitted = 0;
+          for (unsigned v = 0; v < event.count; ++v) {
+            const unsigned ordinal = storm_vni_next_++;
+            if (controller.add_vpc(storm_vpc(
+                    config_.storm_vni_base + ordinal, ordinal))) {
+              ++admitted;
+            }
+          }
+          report.faults[index].detected_at = now;
+          fault.end = event.time;
+          log_.append(now, "storm",
+                      format("%zu vpcs admitted, %zu table ops deferred",
+                             admitted, controller.deferred_op_count()));
+          break;
+        }
+        case FaultKind::kMidUpgradeFailure: {
+          cluster::XgwHCluster& c = controller.cluster(event.cluster);
+          const std::size_t fail_at =
+              event.device % c.config().primary_devices;
+          std::size_t invocation = 0;
+          cluster::RollingUpgrade roll;
+          const cluster::RollingUpgrade::Result result = roll.run(
+              c,
+              [&](xgwh::XgwH&) { return invocation++ != fail_at; },
+              [&](const cluster::XgwHCluster& cc) {
+                return !cc.failed_over();
+              });
+          report.faults[index].detected_at = now;
+          report.faults[index].rerouted_at = now;
+          report.faults[index].recovered_at = now;
+          fault.done = true;
+          fault.end = event.time;
+          log_.append(now, "upgrade",
+                      result.completed
+                          ? "roll completed"
+                          : "roll aborted: " + result.abort_reason);
+          break;
+        }
+      }
+    }
+
+    // ---- 2. heartbeat probes (fixed cluster-major order) ------------------
+    tap.transitions.clear();
+    for (std::size_t c = 0; c < controller.cluster_count(); ++c) {
+      const std::size_t devices = controller.cluster(c).device_count();
+      for (std::size_t d = 0; d < devices; ++d) {
+        const bool ok = !slot_down(slot_key(c, d), now);
+        monitor.report_heartbeat(c, d, ok, now);
+      }
+    }
+
+    // ---- 3. port error probes (sorted port-key order) ---------------------
+    for (auto it = tracks.begin(); it != tracks.end();) {
+      PortTrack& track = it->second;
+      if (track.bad_remaining > 0) {
+        --track.bad_remaining;
+        monitor.report_port_errors(track.cluster, track.device, track.port,
+                                   track.error_rate, now);
+        ++it;
+        continue;
+      }
+      monitor.report_port_errors(track.cluster, track.device, track.port,
+                                 0.0, now);
+      if (!monitor.port_considered_isolated(track.cluster, track.device,
+                                            track.port)) {
+        it = tracks.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // ---- 4. recovery transitions observed this tick -----------------------
+    for (const RecoveryTap::Transition& tr : tap.transitions) {
+      const std::uint64_t key = slot_key(tr.cluster, tr.device);
+      log_.append(now, "recovery",
+                  format("cluster %zu device %zu marked %s", tr.cluster,
+                         tr.device, tr.failed ? "failed" : "recovered"));
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        ActiveFault& fault = faults[i];
+        FaultRecord& record = report.faults[i];
+        if (fault.done || fault.event.time > now + 1e-9) continue;
+        if (slot_key(fault.event.cluster, fault.event.device) != key) {
+          continue;
+        }
+        if (tr.failed) {
+          if (record.detected_at < 0) record.detected_at = tr.time;
+          if (record.rerouted_at < 0) record.rerouted_at = tr.time;
+          if (is_port_fault(fault.event.kind)) record.escalated = true;
+        } else if (is_device_fault(fault.event.kind) && now < fault.end) {
+          // The slot came back while the schedule still holds the device
+          // down: a cold standby took over. Fresh hardware — truncate the
+          // remaining down windows so its heartbeats arrive clean.
+          record.replaced = true;
+          record.recovered_at = tr.time;
+          fault.done = true;
+          auto wit = windows.find(key);
+          if (wit != windows.end()) {
+            for (DownWindow& w : wit->second) {
+              if (w.fault == i) w.end = std::min(w.end, now);
+            }
+          }
+        }
+      }
+    }
+
+    // ---- 5. control-plane clock: drain deferred pushes --------------------
+    if (channel_down && now + 1e-9 >= channel_down_until) {
+      controller.set_update_channel_up(true);
+      channel_down = false;
+      log_.append(now, "channel", "update channel restored");
+    }
+    const std::size_t replayed = controller.advance_clock(now);
+    if (replayed > 0) {
+      log_.append(now, "retry",
+                  format("replayed %zu deferred table ops, %zu pending",
+                         replayed, controller.deferred_op_count()));
+    }
+
+    // ---- 6. fault lifecycle updates (level-triggered) ---------------------
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      ActiveFault& fault = faults[i];
+      FaultRecord& record = report.faults[i];
+      if (fault.done || fault.event.time > now + 1e-9) continue;
+      const std::size_t ec = fault.event.cluster;
+      const std::size_t ed = fault.event.device;
+      switch (fault.event.kind) {
+        case FaultKind::kDeviceCrash:
+        case FaultKind::kDeviceFlap: {
+          if (now + 1e-9 >= fault.end &&
+              !monitor.device_considered_failed(ec, ed) &&
+              controller.cluster(ec).device_health(ed) ==
+                  cluster::DeviceHealth::kHealthy) {
+            // Either fully recovered, or so brief the debounce never
+            // acted — both count as converged.
+            record.recovered_at =
+                record.detected_at < 0 ? fault.end : now;
+            fault.done = true;
+            log_.append(now, "recover",
+                        format("cluster %zu device %zu converged", ec, ed));
+          }
+          break;
+        }
+        case FaultKind::kPortErrorBurst:
+        case FaultKind::kLinkLoss: {
+          bool any_isolated = false;
+          bool any_tracked = false;
+          for (const auto& [key, track] : tracks) {
+            if (track.cluster != ec || track.device != ed) continue;
+            if (std::find(track.faults.begin(), track.faults.end(), i) ==
+                track.faults.end()) {
+              continue;
+            }
+            any_tracked = true;
+            if (monitor.port_considered_isolated(ec, ed, track.port)) {
+              any_isolated = true;
+            }
+          }
+          if (record.detected_at < 0 && any_isolated) {
+            record.detected_at = now;
+          }
+          if (record.rerouted_at < 0 &&
+              (recovery.device_capacity_fraction(ec, ed) < 1.0 ||
+               monitor.device_considered_failed(ec, ed))) {
+            record.rerouted_at = now;
+          }
+          if (!any_tracked && !monitor.device_considered_failed(ec, ed) &&
+              recovery.isolated_port_count(ec, ed) == 0) {
+            record.recovered_at = now;
+            fault.done = true;
+            log_.append(now, "recover",
+                        format("cluster %zu device %zu ports clean", ec, ed));
+          }
+          break;
+        }
+        case FaultKind::kChannelOutage:
+        case FaultKind::kUpdateStorm: {
+          const bool outage_over =
+              fault.event.kind != FaultKind::kChannelOutage || !channel_down;
+          if (outage_over && controller.deferred_op_count() == 0) {
+            record.recovered_at = now;
+            fault.done = true;
+            log_.append(now, "recover", "control plane drained");
+          }
+          break;
+        }
+        case FaultKind::kMidUpgradeFailure:
+          break;
+      }
+    }
+
+    // ---- 7. probe traffic through the functional path ---------------------
+    for (std::size_t f = 0; f < probe_count; ++f) {
+      const workload::Flow& flow = flows_[f];
+      ++report.probes_sent;
+      const auto cluster_id = controller.cluster_for(flow.vni);
+      if (cluster_id.has_value()) {
+        const cluster::XgwHCluster& c = controller.cluster(*cluster_id);
+        const auto device = c.pick_device(flow.tuple);
+        std::size_t owner = 0;
+        if (device.has_value() &&
+            c.device_health(*device) == cluster::DeviceHealth::kHealthy &&
+            slot_down(slot_key(*cluster_id, *device), now, &owner)) {
+          // ECMP still steers into a device the schedule has killed but
+          // the monitor has not yet failed: the packet blackholes.
+          ++report.faults[owner].blackholed;
+          ++report.probe_drops;
+          continue;
+        }
+      }
+      net::OverlayPacket pkt;
+      pkt.vni = flow.vni;
+      pkt.inner = flow.tuple;
+      pkt.payload_size = 96;
+      const dataplane::Verdict verdict = region_.process(pkt, now);
+      if (verdict.dropped()) ++report.probe_drops;
+    }
+
+    // ---- 8. interval-simulator sample (the fig19-under-failure series) ----
+    if (config_.interval_bps > 0 && config_.interval_every > 0 &&
+        tick % config_.interval_every == 0) {
+      const core::SailfishRegion::IntervalReport interval =
+          region_.simulate_interval(flows_, config_.interval_bps, tick);
+      report.drop_rate_series.emplace_back(now, interval.drop_rate);
+      report.peak_drop_rate =
+          std::max(report.peak_drop_rate, interval.drop_rate);
+    }
+
+    // ---- 9. termination ---------------------------------------------------
+    bool all_done = next_event == events.size();
+    for (const ActiveFault& fault : faults) {
+      all_done = all_done && fault.done;
+    }
+    if (all_done && !channel_down && controller.deferred_op_count() == 0) {
+      log_.append(now, "converged", "all faults recovered");
+      break;
+    }
+    if (now + 1e-9 >= deadline) {
+      log_.append(now, "deadline", "settle window exhausted");
+      break;
+    }
+  }
+
+  report.events_applied = next_event;
+
+  // ---- leak audit: nothing may survive a fully recovered schedule --------
+  for (std::size_t c = 0; c < controller.cluster_count(); ++c) {
+    const cluster::XgwHCluster& cl = controller.cluster(c);
+    if (cl.failed_over()) {
+      report.leaks.push_back(
+          format("cluster %zu still failed over to backups", c));
+    }
+    for (std::size_t d = 0; d < cl.device_count(); ++d) {
+      if (cl.device_health(d) != cluster::DeviceHealth::kHealthy) {
+        report.leaks.push_back(
+            format("cluster %zu device %zu still out of ECMP", c, d));
+      }
+      if (monitor.device_considered_failed(c, d)) {
+        report.leaks.push_back(
+            format("cluster %zu device %zu still failed in monitor", c, d));
+      }
+      if (recovery.isolated_port_count(c, d) != 0) {
+        report.leaks.push_back(
+            format("cluster %zu device %zu has %u ports still isolated", c,
+                   d, recovery.isolated_port_count(c, d)));
+      }
+    }
+    const cluster::Controller::ConsistencyReport audit =
+        controller.check_consistency(c);
+    if (audit.missing_on_device != 0) {
+      report.leaks.push_back(
+          format("cluster %zu missing %zu entries on device", c,
+                 audit.missing_on_device));
+    }
+  }
+  if (!recovery.quiescent()) {
+    report.leaks.push_back("disaster recovery holds stale isolated-port state");
+  }
+  if (controller.deferred_op_count() != 0) {
+    report.leaks.push_back(format("%zu table ops still deferred",
+                                  controller.deferred_op_count()));
+  }
+  if (!controller.update_channel_up()) {
+    report.leaks.push_back("update channel left down");
+  }
+  for (const std::string& leak : report.leaks) {
+    log_.append(deadline, "leak", leak);
+  }
+
+  // ---- aggregates --------------------------------------------------------
+  std::size_t detected = 0;
+  std::size_t rerouted = 0;
+  for (const FaultRecord& record : report.faults) {
+    if (record.time_to_detect() >= 0) {
+      ++detected;
+      report.mean_time_to_detect += record.time_to_detect();
+      report.max_time_to_detect =
+          std::max(report.max_time_to_detect, record.time_to_detect());
+    }
+    if (record.time_to_reroute() >= 0) {
+      ++rerouted;
+      report.mean_time_to_reroute += record.time_to_reroute();
+      report.max_time_to_reroute =
+          std::max(report.max_time_to_reroute, record.time_to_reroute());
+    }
+  }
+  if (detected > 0) {
+    report.mean_time_to_detect /= static_cast<double>(detected);
+  }
+  if (rerouted > 0) {
+    report.mean_time_to_reroute /= static_cast<double>(rerouted);
+  }
+
+  // Detach the tap before it goes out of scope; the monitor dies with it.
+  recovery.set_listener(nullptr);
+  return report;
+}
+
+std::string ChaosReport::to_json() const {
+  std::string out = "{\n";
+  out += format("  \"schedule_seed\": %llu,\n",
+                static_cast<unsigned long long>(schedule_seed));
+  out += format("  \"events_applied\": %zu,\n", events_applied);
+  out += format("  \"converged\": %s,\n", leaks.empty() ? "true" : "false");
+  out += format("  \"mean_time_to_detect_s\": %.3f,\n", mean_time_to_detect);
+  out += format("  \"max_time_to_detect_s\": %.3f,\n", max_time_to_detect);
+  out += format("  \"mean_time_to_reroute_s\": %.3f,\n", mean_time_to_reroute);
+  out += format("  \"max_time_to_reroute_s\": %.3f,\n", max_time_to_reroute);
+  out += format("  \"probes_sent\": %llu,\n",
+                static_cast<unsigned long long>(probes_sent));
+  out += format("  \"probe_drops\": %llu,\n",
+                static_cast<unsigned long long>(probe_drops));
+  out += format("  \"peak_drop_rate\": %.9e,\n", peak_drop_rate);
+  out += "  \"faults\": [\n";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultRecord& record = faults[i];
+    out += "    {\"event\": \"" + record.event.to_string() + "\", ";
+    out += format("\"detect_s\": %.3f, ", record.time_to_detect());
+    out += format("\"reroute_s\": %.3f, ", record.time_to_reroute());
+    out += format("\"recovered_at\": %.3f, ", record.recovered_at);
+    out += format("\"blackholed\": %llu, ",
+                  static_cast<unsigned long long>(record.blackholed));
+    out += format("\"replaced\": %s, ", record.replaced ? "true" : "false");
+    out += format("\"escalated\": %s}", record.escalated ? "true" : "false");
+    out += i + 1 < faults.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"drop_rate_series\": [\n";
+  for (std::size_t i = 0; i < drop_rate_series.size(); ++i) {
+    out += format("    [%.3f, %.9e]", drop_rate_series[i].first,
+                  drop_rate_series[i].second);
+    out += i + 1 < drop_rate_series.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"leaks\": [";
+  for (std::size_t i = 0; i < leaks.size(); ++i) {
+    out += "\"" + leaks[i] + "\"";
+    if (i + 1 < leaks.size()) out += ", ";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace sf::chaos

@@ -1,0 +1,129 @@
+// sf::chaos — the fault injector and recovery verifier.
+//
+// The injector replays a ChaosSchedule against a full SailfishRegion: it
+// owns the HealthMonitor, delivers heartbeat and port-error probes on a
+// fixed tick, translates schedule events into the observations the
+// monitor would see (missed heartbeats, error bursts, channel outages,
+// provisioning storms, aborted upgrades), and watches the recovery
+// machinery converge. For every fault it measures time-to-detect,
+// time-to-reroute and time-to-recover, counts the probe packets lost
+// inside the convergence window (blackholed at a dead-but-not-yet-failed
+// device, or dropped with a verdict reason), and samples the interval
+// simulator for the drop-rate-under-failure series (the Fig. 19 band with
+// faults in it).
+//
+// Determinism contract: the whole run is a pure function of (region
+// construction inputs, schedule, config). The event log and the report's
+// JSON rendering are byte-identical across runs and across interval-engine
+// thread counts; a regression test asserts exactly that.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "cluster/health.hpp"
+#include "core/region.hpp"
+#include "sim/event_log.hpp"
+#include "workload/flowgen.hpp"
+
+namespace sf::chaos {
+
+/// Per-fault convergence record.
+struct FaultRecord {
+  ChaosEvent event;
+  double detected_at = -1;   // health monitoring confirmed the fault
+  double rerouted_at = -1;   // serving set / capacity reflects it
+  double recovered_at = -1;  // back to full health
+  /// Probe packets ECMP-steered into a dead device before re-steering.
+  std::uint64_t blackholed = 0;
+  /// The slot was replaced by a cold standby mid-fault.
+  bool replaced = false;
+  /// A port fault escalated to node level (all ports isolated).
+  bool escalated = false;
+
+  double time_to_detect() const {
+    return detected_at < 0 ? -1 : detected_at - event.time;
+  }
+  double time_to_reroute() const {
+    return rerouted_at < 0 ? -1 : rerouted_at - event.time;
+  }
+};
+
+/// Everything a chaos run measured, plus the convergence verdict.
+struct ChaosReport {
+  std::uint64_t schedule_seed = 0;
+  std::size_t events_applied = 0;
+  std::vector<FaultRecord> faults;
+
+  // Aggregates over faults that were detected / rerouted.
+  double mean_time_to_detect = 0;
+  double max_time_to_detect = 0;
+  double mean_time_to_reroute = 0;
+  double max_time_to_reroute = 0;
+
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_drops = 0;  // blackholed + verdict drops
+  double peak_drop_rate = 0;      // max over interval-sim samples
+  /// (time, drop rate) samples from the interval simulator.
+  std::vector<std::pair<double, double>> drop_rate_series;
+
+  /// Post-run invariant violations (stale DR state, unconverged queue,
+  /// devices still out). Empty means the region fully recovered.
+  std::vector<std::string> leaks;
+  bool converged() const { return leaks.empty(); }
+
+  /// Stable JSON rendering — the convergence-metrics artifact the bench
+  /// writes and the determinism tests compare byte for byte.
+  std::string to_json() const;
+};
+
+class ChaosInjector {
+ public:
+  struct Config {
+    /// Probe tick (heartbeat + port scrape cadence, seconds). Schedule
+    /// times should be multiples of this.
+    double probe_interval_s = 0.5;
+    /// Health thresholds driving detection latency.
+    cluster::HealthMonitor::Config health;
+    /// Hardware-scope flows probed through the functional path per tick.
+    std::size_t probe_flows = 24;
+    /// When > 0, run the interval simulator at this offered rate every
+    /// `interval_every` ticks and record the drop-rate series.
+    double interval_bps = 0;
+    std::size_t interval_every = 4;
+    /// Extra time after the last scheduled fault for recovery to finish.
+    double settle_s = 30.0;
+    /// Base VNI for storm-provisioned tenants (outside topology VNIs).
+    net::Vni storm_vni_base = 0xC0DE00;
+  };
+
+  ChaosInjector(core::SailfishRegion& region,
+                std::span<const workload::Flow> flows, Config config);
+
+  /// Replays the schedule to quiescence (or the settle deadline) and
+  /// returns the measured report. Repeatable: each run() constructs fresh
+  /// monitoring state, but the region keeps any tables the run installed —
+  /// drive one schedule per region for clean-room results.
+  ChaosReport run(const ChaosSchedule& schedule);
+
+  /// The replay log of the last run() — byte-identical for equal inputs.
+  const sim::EventLog& log() const { return log_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct ActiveFault;
+
+  core::SailfishRegion& region_;
+  std::span<const workload::Flow> flows_;
+  Config config_;
+  sim::EventLog log_;
+  net::Vni storm_vni_next_ = 0;
+};
+
+}  // namespace sf::chaos

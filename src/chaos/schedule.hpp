@@ -1,0 +1,90 @@
+// sf::chaos — deterministic fault-injection schedules.
+//
+// A ChaosSchedule is a time-ordered list of failure events — device
+// crashes and flaps, port error bursts, link loss, controller
+// update-channel outages and rate-limit storms, mid-upgrade failures —
+// that the ChaosInjector replays against a full region. Schedules are
+// either scripted (add one event per line of a regression test) or drawn
+// from a 64-bit seed: the same seed always yields the same events, so any
+// bug a randomized run finds becomes a one-line reproducible test case.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kDeviceCrash,       // heartbeats missed for `duration` seconds
+  kDeviceFlap,        // `count` crash/recover cycles, `duration` s apart
+  kPortErrorBurst,    // `count` bad error-rate reports on one port
+  kLinkLoss,          // error bursts across the first `count` ports
+  kChannelOutage,     // controller update channel down for `duration`
+  kUpdateStorm,       // `count` VPC provisionings pushed in one tick
+  kMidUpgradeFailure, // rolling upgrade whose action fails at `device`
+};
+
+std::string to_string(FaultKind kind);
+
+struct ChaosEvent {
+  double time = 0;
+  FaultKind kind = FaultKind::kDeviceCrash;
+  std::size_t cluster = 0;
+  std::size_t device = 0;
+  unsigned port = 0;
+  /// Flap cycles / bad reports / affected ports / stormed VPCs.
+  unsigned count = 0;
+  /// Crash & outage length; flap half-period (seconds).
+  double duration = 0;
+  /// Port error rate reported during bursts.
+  double error_rate = 1e-3;
+
+  /// Stable one-line rendering (the schedule's replay identity).
+  std::string to_string() const;
+};
+
+class ChaosSchedule {
+ public:
+  /// Shape of randomized schedules. The device/port bounds must match the
+  /// region the schedule will run against.
+  struct RandomConfig {
+    double horizon_s = 60.0;
+    std::size_t events = 10;
+    std::size_t clusters = 1;
+    std::size_t devices_per_cluster = 4;
+    unsigned ports_per_device = 32;
+    /// Include update-channel outages and provisioning storms.
+    bool control_plane_faults = true;
+    /// Include mid-upgrade failures.
+    bool upgrade_faults = true;
+  };
+
+  ChaosSchedule() = default;
+
+  /// Draws a schedule from a seed — byte-identical for equal
+  /// (seed, config) pairs.
+  static ChaosSchedule random(std::uint64_t seed,
+                              const RandomConfig& config);
+
+  /// Appends one scripted event (kept sorted by time, stable for ties).
+  ChaosSchedule& add(ChaosEvent event);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Last instant any event is still active (event end, not start).
+  double horizon() const;
+
+  /// One line per event — equal schedules render equal bytes.
+  std::string to_string() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace sf::chaos

@@ -23,7 +23,10 @@ Controller::Controller(Config config)
   ctr_unknown_vni_ = &registry_->counter("controller.unknown_vni_drops");
   ctr_ops_rate_limited_ =
       &registry_->counter("controller.table_ops_rate_limited");
+  ctr_ops_deferred_ = &registry_->counter("controller.table_ops_deferred");
+  ctr_ops_replayed_ = &registry_->counter("controller.table_ops_replayed");
   op_tokens_ = static_cast<double>(config_.table_op_burst);
+  retry_queue_ = std::make_unique<UpdateQueue>(*this, config_.retry);
   const std::size_t prebuilt =
       std::min(config_.initial_clusters, config_.max_clusters);
   for (std::size_t i = 0; i < prebuilt; ++i) {
@@ -41,11 +44,36 @@ void Controller::mirror(const TableOp& op) {
   if (mirror_) mirror_(op);
 }
 
-void Controller::advance_clock(double now) {
+std::size_t Controller::advance_clock(double now) {
   clock_now_ = std::max(clock_now_, now);
+  const std::size_t replayed = retry_queue_->advance(clock_now_);
+  if (replayed > 0) ctr_ops_replayed_->add(replayed);
+  return replayed;
+}
+
+dataplane::TableOpStatus Controller::push_op(const TableOp& op) {
+  const std::size_t pending_before = retry_queue_->pending();
+  const dataplane::TableOpStatus status =
+      retry_queue_->submit(op, clock_now_);
+  if (retry_queue_->pending() > pending_before) ctr_ops_deferred_->add();
+  return status;
+}
+
+void Controller::set_update_channel_up(bool up) {
+  if (up == update_channel_up_) return;
+  update_channel_up_ = up;
+  retry_queue_->set_channel_up(up);
+  journal_->record("update-channel",
+                   up ? "update channel restored; draining deferred ops"
+                      : "update channel down; pushes will be deferred",
+                   clock_now_);
 }
 
 bool Controller::take_op_token() {
+  if (!update_channel_up_) {
+    ctr_ops_rate_limited_->add();
+    return false;
+  }
   if (config_.table_op_rate_limit <= 0) return true;
   op_tokens_ = std::min(
       op_tokens_ +
@@ -117,12 +145,18 @@ bool Controller::add_vpc(const workload::VpcRecord& vpc) {
   vpcs_.emplace(vpc.vni, std::move(state));
   ctr_vpcs_admitted_->add();
 
+  // Reliable pushes: a rate-limited burst defers onto the retry queue
+  // instead of silently losing entries — before this, an op rejected by
+  // the update-channel budget simply never reached the devices and the
+  // VPC was admitted with holes in its tables.
   for (const workload::RouteRecord& route : vpc.routes) {
-    install_route(vpc.vni, route.prefix, route.action);
+    push_op(TableOp{TableOp::Kind::kAddRoute, vpc.vni, route.prefix,
+                    route.action, {}, {}});
   }
   for (const workload::VmRecord& vm : vpc.vms) {
-    install_mapping(tables::VmNcKey{vpc.vni, vm.ip},
-                    tables::VmNcAction{vm.nc_ip});
+    push_op(TableOp{TableOp::Kind::kAddMapping, vpc.vni, {}, {},
+                    tables::VmNcKey{vpc.vni, vm.ip},
+                    tables::VmNcAction{vm.nc_ip}});
   }
   return true;
 }

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/load_balancer.hpp"
+#include "cluster/update_queue.hpp"
 #include "dataplane/table_programmer.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/registry.hpp"
@@ -44,6 +45,9 @@ class Controller : public dataplane::TableProgrammer {
     /// the budget return kRateLimited and must be retried.
     double table_op_rate_limit = 0;
     std::size_t table_op_burst = 64;
+    /// Backoff shape of the internal retry queue that redelivers
+    /// rate-limited provisioning pushes (see push_op / advance_clock).
+    UpdateQueue::Config retry;
   };
 
   explicit Controller(Config config);
@@ -78,8 +82,28 @@ class Controller : public dataplane::TableProgrammer {
   dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
 
   /// Advances the controller clock (seconds) feeding the update-channel
-  /// rate limiter.
-  void advance_clock(double now);
+  /// rate limiter, then redelivers any deferred (rate-limited) pushes
+  /// that are due. Returns the number of deferred ops applied.
+  std::size_t advance_clock(double now);
+
+  /// Reliable push: applies the op now when the update channel allows it,
+  /// otherwise parks it on the retry queue — provisioning (add_vpc) and
+  /// recovery replays go through here, so a rate-limited burst converges
+  /// instead of silently losing entries. kRateLimited means "deferred,
+  /// not lost".
+  dataplane::TableOpStatus push_op(const TableOp& op);
+
+  /// Ops parked on the retry queue awaiting redelivery.
+  std::size_t deferred_op_count() const { return retry_queue_->pending(); }
+  const UpdateQueue::Stats& retry_stats() const {
+    return retry_queue_->stats();
+  }
+
+  /// Models losing the update channel to the devices entirely: while down,
+  /// every table push is deferred (direct install/remove calls return
+  /// kRateLimited) and nothing drains until the channel returns.
+  void set_update_channel_up(bool up);
+  bool update_channel_up() const { return update_channel_up_; }
 
   /// Moves a VPC's entries to another cluster and re-points the VNI
   /// director — §4.3's "precisely manage the traffic load on a particular
@@ -175,6 +199,9 @@ class Controller : public dataplane::TableProgrammer {
   double clock_now_ = 0;
   double op_tokens_ = 0;
   double op_tokens_time_ = 0;
+  bool update_channel_up_ = true;
+  /// Redelivery of rate-limited pushes; targets this controller itself.
+  std::unique_ptr<UpdateQueue> retry_queue_;
 
   std::unique_ptr<telemetry::Registry> registry_;
   std::unique_ptr<telemetry::EventJournal> journal_;
@@ -189,6 +216,8 @@ class Controller : public dataplane::TableProgrammer {
   telemetry::Counter* ctr_packets_ = nullptr;
   telemetry::Counter* ctr_unknown_vni_ = nullptr;
   telemetry::Counter* ctr_ops_rate_limited_ = nullptr;
+  telemetry::Counter* ctr_ops_deferred_ = nullptr;
+  telemetry::Counter* ctr_ops_replayed_ = nullptr;
 };
 
 }  // namespace sf::cluster

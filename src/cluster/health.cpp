@@ -10,9 +10,15 @@ HealthMonitor::HealthMonitor(DisasterRecovery* recovery, Config config)
     throw std::invalid_argument("HealthMonitor needs a DisasterRecovery");
   }
   if (config_.fail_after_missed == 0 || config_.recover_after_ok == 0 ||
-      config_.isolate_port_after == 0) {
+      config_.isolate_port_after == 0 ||
+      config_.recover_port_after_ok == 0) {
     throw std::invalid_argument("HealthMonitor thresholds must be >= 1");
   }
+  recovery_->set_listener(this);
+}
+
+HealthMonitor::~HealthMonitor() {
+  if (recovery_->listener() == this) recovery_->set_listener(nullptr);
 }
 
 void HealthMonitor::report_heartbeat(std::size_t cluster,
@@ -45,12 +51,19 @@ void HealthMonitor::report_port_errors(std::size_t cluster,
   PortState& state = ports_[port_key(cluster, device, port)];
   if (error_rate <= config_.port_error_rate_threshold) {
     state.consecutive_bad = 0;
-    if (state.isolated) {
+    // Symmetric hysteresis: a port leaves isolation only on *sustained*
+    // clean observations, mirroring how it entered. Without this a
+    // flapping port re-enters the ECMP spread on every good probe and
+    // oscillates.
+    if (state.isolated &&
+        ++state.consecutive_ok >= config_.recover_port_after_ok) {
       state.isolated = false;
+      state.consecutive_ok = 0;
       recovery_->on_port_recovery(cluster, device, port, now);
     }
     return;
   }
+  state.consecutive_ok = 0;
   if (!state.isolated &&
       ++state.consecutive_bad >= config_.isolate_port_after) {
     state.isolated = true;
@@ -70,6 +83,31 @@ bool HealthMonitor::port_considered_isolated(std::size_t cluster,
                                              unsigned port) const {
   auto it = ports_.find(port_key(cluster, device, port));
   return it != ports_.end() && it->second.isolated;
+}
+
+void HealthMonitor::on_device_marked_failed(std::size_t cluster,
+                                            std::size_t device,
+                                            double /*now*/) {
+  DeviceState& state = devices_[device_key(cluster, device)];
+  state.failed = true;
+  state.consecutive_missed = 0;
+  state.consecutive_ok = 0;
+}
+
+void HealthMonitor::on_device_marked_recovered(std::size_t cluster,
+                                               std::size_t device,
+                                               double /*now*/) {
+  devices_.erase(device_key(cluster, device));
+  // The replacement device's ports are fresh: drop the old observation
+  // history so stale isolation cannot outlive the hardware it described.
+  const std::uint64_t base = device_key(cluster, device);
+  for (auto it = ports_.begin(); it != ports_.end();) {
+    if ((it->first >> 12) == base) {
+      it = ports_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace sf::cluster

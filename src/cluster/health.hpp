@@ -2,7 +2,15 @@
 // recovery"): the controller watches heartbeats, traffic and error rates,
 // and only acts on *sustained* evidence — a single missed heartbeat or a
 // brief jitter burst must not flap a device in and out of the ECMP set.
+// The same hysteresis applies symmetrically on the way back: one clean
+// observation does not un-isolate a port, and one good heartbeat does not
+// return a failed device to service.
+//
 // Confirmed transitions are forwarded to the DisasterRecovery coordinator.
+// The monitor also registers itself as the coordinator's RecoveryListener,
+// so decisions recovery takes on its own (port-fault escalation to a
+// device failure, cold-standby replacement) are reflected back into the
+// monitoring state instead of silently diverging from it.
 
 #pragma once
 
@@ -13,7 +21,7 @@
 
 namespace sf::cluster {
 
-class HealthMonitor {
+class HealthMonitor : public RecoveryListener {
  public:
   struct Config {
     /// Consecutive missed heartbeats before a device is failed.
@@ -24,9 +32,14 @@ class HealthMonitor {
     double port_error_rate_threshold = 1e-6;
     /// Consecutive bad observations before a port is isolated.
     unsigned isolate_port_after = 2;
+    /// Consecutive clean observations before an isolated port returns to
+    /// the ECMP spread — the symmetric half of isolate_port_after, so a
+    /// flapping port cannot oscillate in and out on every probe.
+    unsigned recover_port_after_ok = 2;
   };
 
   HealthMonitor(DisasterRecovery* recovery, Config config);
+  ~HealthMonitor() override;
 
   /// Feeds one heartbeat observation for a device.
   void report_heartbeat(std::size_t cluster, std::size_t device, bool ok,
@@ -42,6 +55,17 @@ class HealthMonitor {
   bool port_considered_isolated(std::size_t cluster, std::size_t device,
                                 unsigned port) const;
 
+  // ---- RecoveryListener (recovery-initiated transitions) -------------------
+
+  /// DR escalated a failure it decided on its own (e.g. all ports gone):
+  /// adopt the failed state so later ok-heartbeats drive a real recovery.
+  void on_device_marked_failed(std::size_t cluster, std::size_t device,
+                               double now) override;
+  /// The slot serves again on fresh hardware: forget the old device's
+  /// heartbeat debt and port isolation history.
+  void on_device_marked_recovered(std::size_t cluster, std::size_t device,
+                                  double now) override;
+
  private:
   struct DeviceState {
     unsigned consecutive_missed = 0;
@@ -50,6 +74,7 @@ class HealthMonitor {
   };
   struct PortState {
     unsigned consecutive_bad = 0;
+    unsigned consecutive_ok = 0;
     bool isolated = false;
   };
 

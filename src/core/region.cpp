@@ -28,8 +28,8 @@ SailfishRegion::SailfishRegion(Config config)
     for (auto& node : x86_nodes_) dataplane::apply(*node, op);
   });
 
-  recovery_ = std::make_unique<cluster::DisasterRecovery>(
-      &controller_, cluster::DisasterRecovery::Config{});
+  recovery_ = std::make_unique<cluster::DisasterRecovery>(&controller_,
+                                                          config_.recovery);
 
   engine_ = std::make_unique<dataplane::ShardEngine>(config_.interval_engine);
 
@@ -85,6 +85,7 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
         break;
       case dataplane::Action::kDrop:
         ctr_dropped_->add();
+        count_drop_reason(hw.drop_reason);
         break;
       default:
         break;
@@ -110,11 +111,19 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
       break;
     case dataplane::Action::kDrop:
       ctr_dropped_->add();
+      count_drop_reason(verdict.drop_reason);
       break;
     default:
       break;
   }
   return verdict;
+}
+
+void SailfishRegion::count_drop_reason(dataplane::DropReason reason) {
+  // Per-reason drop accounting: drops are rare, so the by-name lookup is
+  // fine here, and snapshot deltas of "region.drop.<reason>" measure what
+  // was lost inside a failover window and why.
+  registry_->counter("region.drop." + dataplane::to_string(reason)).add();
 }
 
 SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
@@ -273,11 +282,23 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
   // residual loss floor, deterministically jittered per interval.
   double hw_pps = 0;
   for (std::size_t c = 0; c < clusters; ++c) {
-    if (controller_.cluster(c).device_count() == 0) continue;
+    const std::size_t device_count = controller_.cluster(c).device_count();
+    if (device_count == 0) continue;
+    // Port-level isolation shaves capacity: scale the per-device envelope
+    // by the cluster's mean usable-capacity fraction from the recovery
+    // coordinator. With no isolated ports every fraction is exactly 1.0,
+    // so healthy intervals reproduce the unscaled arithmetic bit for bit.
+    double capacity_scale = 0;
+    for (std::size_t d = 0; d < device_count; ++d) {
+      capacity_scale += recovery_->device_capacity_fraction(c, d);
+    }
+    capacity_scale /= static_cast<double>(device_count);
     const double cap_pps =
-        controller_.cluster(c).device(0).max_packet_rate_pps();
+        controller_.cluster(c).device(0).max_packet_rate_pps() *
+        capacity_scale;
     const double cap_bps =
-        controller_.cluster(c).device(0).max_throughput_bps();
+        controller_.cluster(c).device(0).max_throughput_bps() *
+        capacity_scale;
     for (const DeviceLoad& load : hw_load[c]) {
       hw_pps += load.pps;
       const double overload =

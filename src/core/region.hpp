@@ -34,6 +34,8 @@ class SailfishRegion : public dataplane::Gateway {
  public:
   struct Config {
     cluster::Controller::Config controller;
+    /// Recovery coordination (cold-standby pool, port-isolation shape).
+    cluster::DisasterRecovery::Config recovery;
     std::size_t x86_nodes = 4;
     x86::XgwX86::Config x86_template;
     /// Residual per-packet loss probability of the hardware path — port
@@ -57,6 +59,9 @@ class SailfishRegion : public dataplane::Gateway {
   cluster::Controller& controller() { return controller_; }
   const cluster::Controller& controller() const { return controller_; }
   cluster::DisasterRecovery& disaster_recovery() { return *recovery_; }
+  const cluster::DisasterRecovery& disaster_recovery() const {
+    return *recovery_;
+  }
 
   std::size_t x86_node_count() const { return x86_nodes_.size(); }
   x86::XgwX86& x86_node(std::size_t index) { return *x86_nodes_.at(index); }
@@ -115,7 +120,10 @@ class SailfishRegion : public dataplane::Gateway {
   // ---- telemetry ------------------------------------------------------------
 
   /// Region-level counters. process() counts per-path outcomes
-  /// ("region.hw_forwarded", "region.sw_snat", ...); simulate_interval()
+  /// ("region.hw_forwarded", "region.sw_snat", ...) and, for drops, a
+  /// per-reason breakdown ("region.drop.no live device in ECMP set", ...)
+  /// whose snapshot deltas measure packets lost inside a failover
+  /// convergence window; simulate_interval()
   /// accumulates running sums of the interval rates ("region.offered_bps_sum",
   /// "region.fallback_bps_sum", "region.pipe1_bps_sum", ...) so time series
   /// fall out of snapshot deltas. Dropped pps is kept in micro-pps
@@ -132,6 +140,7 @@ class SailfishRegion : public dataplane::Gateway {
  private:
   x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple);
   const x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple) const;
+  void count_drop_reason(dataplane::DropReason reason);
 
   Config config_;
   cluster::Controller controller_;

@@ -1,0 +1,47 @@
+// Append-only event log with byte-stable formatting — the replay record of
+// a simulated schedule. Two runs of the same scenario must produce the
+// same log bytes; fingerprint() condenses that contract into one number a
+// regression test can assert on (sf::chaos drives its determinism check
+// through this).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::sim {
+
+class EventLog {
+ public:
+  struct Entry {
+    double time = 0;
+    std::string category;
+    std::string message;
+  };
+
+  void append(double time, std::string category, std::string message);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Entry& entry(std::size_t index) const { return entries_.at(index); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Entries of one category, in append order.
+  std::vector<Entry> entries(const std::string& category) const;
+  std::size_t count(const std::string& category) const;
+
+  /// One line per entry: "[t=%.3f] category: message\n". The fixed-width
+  /// time format keeps the rendering independent of locale and platform.
+  std::string to_string() const;
+
+  /// FNV-1a over to_string() — equal logs, equal fingerprints.
+  std::uint64_t fingerprint() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sf::sim

@@ -1,0 +1,175 @@
+#include "cluster/update_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sf::cluster {
+namespace {
+
+using dataplane::TableOp;
+using dataplane::TableOpStatus;
+
+/// A programmable target: rejects with kRateLimited until `accept_after`
+/// attempts have been seen, and records the order entries land in.
+struct ScriptedTarget : dataplane::TableProgrammer {
+  std::size_t reject_next = 0;   // reject this many calls, then accept
+  std::size_t calls = 0;
+  std::vector<std::string> landed;
+
+  TableOpStatus answer(const std::string& label) {
+    ++calls;
+    if (reject_next > 0) {
+      --reject_next;
+      return TableOpStatus::kRateLimited;
+    }
+    landed.push_back(label);
+    return TableOpStatus::kOk;
+  }
+
+  TableOpStatus install_route(net::Vni vni, const net::IpPrefix&,
+                              tables::VxlanRouteAction) override {
+    return answer("add-route:" + std::to_string(vni));
+  }
+  TableOpStatus remove_route(net::Vni vni, const net::IpPrefix&) override {
+    return answer("del-route:" + std::to_string(vni));
+  }
+  TableOpStatus install_mapping(const tables::VmNcKey& key,
+                                tables::VmNcAction) override {
+    return answer("add-map:" + std::to_string(key.vni));
+  }
+  TableOpStatus remove_mapping(const tables::VmNcKey& key) override {
+    return answer("del-map:" + std::to_string(key.vni));
+  }
+};
+
+TableOp route_op(TableOp::Kind kind, net::Vni vni) {
+  TableOp op;
+  op.kind = kind;
+  op.vni = vni;
+  return op;
+}
+
+TEST(UpdateQueue, AppliesDirectlyWhenChannelClear) {
+  ScriptedTarget target;
+  UpdateQueue queue(target, UpdateQueue::Config{});
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 0.0),
+            TableOpStatus::kOk);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+}
+
+TEST(UpdateQueue, RateLimitedOpIsParkedNotLost) {
+  ScriptedTarget target;
+  target.reject_next = 1;
+  UpdateQueue queue(target, UpdateQueue::Config{});
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 0.0),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(queue.pending(), 1u);
+  // Not due yet: nothing happens.
+  EXPECT_EQ(queue.advance(0.1), 0u);
+  // Due: the retry lands it.
+  EXPECT_EQ(queue.advance(0.5), 1u);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+  EXPECT_EQ(queue.stats().deferred, 1u);
+  EXPECT_EQ(queue.stats().applied, 1u);
+}
+
+TEST(UpdateQueue, PreservesSubmissionOrderAcrossRetries) {
+  // The poster-child inversion: "remove A" gets rate limited, then
+  // "add A" arrives while the channel is clear again. Were later ops
+  // allowed to overtake parked ones, the add would land first and the
+  // delayed remove would then wipe the entry — the opposite final state.
+  ScriptedTarget target;
+  target.reject_next = 1;
+  UpdateQueue queue(target, UpdateQueue::Config{});
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kDelRoute, 7), 0.0),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 0.0),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_EQ(queue.advance(1.0), 2u);
+  const std::vector<std::string> want{"del-route:7", "add-route:7"};
+  EXPECT_EQ(target.landed, want);
+}
+
+TEST(UpdateQueue, BackoffGrowsAndCaps) {
+  ScriptedTarget target;
+  target.reject_next = 100;  // keep rejecting
+  UpdateQueue::Config config;
+  config.initial_backoff_s = 1.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_s = 4.0;
+  UpdateQueue queue(target, config);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 0.0);
+  ASSERT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 1.0);
+  queue.advance(1.0);  // retry fails -> backoff 2s
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 3.0);
+  queue.advance(3.0);  // retry fails -> backoff 4s
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 7.0);
+  queue.advance(7.0);  // retry fails -> capped at 4s
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 11.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  // Channel finally clears: the op still lands — never silently dropped.
+  target.reject_next = 0;
+  EXPECT_EQ(queue.advance(11.0), 1u);
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+}
+
+TEST(UpdateQueue, MaxAttemptsGivesUp) {
+  ScriptedTarget target;
+  target.reject_next = 100;
+  UpdateQueue::Config config;
+  config.max_attempts = 3;
+  UpdateQueue queue(target, config);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 0.0);
+  for (double now = 1.0; now < 64.0; now += 1.0) queue.advance(now);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().gave_up, 1u);
+  EXPECT_TRUE(target.landed.empty());
+}
+
+TEST(UpdateQueue, ChannelOutageParksEverything) {
+  ScriptedTarget target;
+  UpdateQueue queue(target, UpdateQueue::Config{});
+  queue.set_channel_up(false);
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kAddRoute, 1), 0.0),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(queue.submit(route_op(TableOp::Kind::kAddRoute, 2), 0.0),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(queue.advance(10.0), 0u);  // down: nothing drains
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.set_channel_up(true);
+  EXPECT_EQ(queue.advance(10.0), 2u);
+  const std::vector<std::string> want{"add-route:1", "add-route:2"};
+  EXPECT_EQ(target.landed, want);
+}
+
+TEST(UpdateQueue, OverflowRejectsBeyondMaxPending) {
+  ScriptedTarget target;
+  UpdateQueue::Config config;
+  config.max_pending = 2;
+  UpdateQueue queue(target, config);
+  queue.set_channel_up(false);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 1), 0.0);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 2), 0.0);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 3), 0.0);
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_EQ(queue.stats().overflowed, 1u);
+}
+
+TEST(UpdateQueue, ValidatesConfig) {
+  ScriptedTarget target;
+  UpdateQueue::Config bad;
+  bad.initial_backoff_s = 0;
+  EXPECT_THROW(UpdateQueue(target, bad), std::invalid_argument);
+  bad = UpdateQueue::Config{};
+  bad.backoff_multiplier = 0.5;
+  EXPECT_THROW(UpdateQueue(target, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::cluster
