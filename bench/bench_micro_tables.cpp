@@ -49,6 +49,7 @@ std::vector<std::pair<net::Vni, net::IpAddr>> probes(std::size_t count) {
 
 void BM_LpmTrieLookup(benchmark::State& state) {
   tables::LpmTrie<std::uint32_t> trie;
+  trie.reserve(kRoutes);
   workload::Rng rng(1);
   fill_routes(trie, rng);
   const auto keys = probes(1024);

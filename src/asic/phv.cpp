@@ -1,77 +1,111 @@
 #include "asic/phv.hpp"
 
-#include <algorithm>
-
 namespace sf::asic {
 
-Phv::Field* Phv::find(const std::string& name) {
-  for (Field& field : fields_) {
-    if (field.name == name) return &field;
+namespace {
+
+thread_local std::uint64_t g_string_lookups = 0;
+
+}  // namespace
+
+FieldId PhvLayout::intern(std::string_view name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  if (frozen_) {
+    throw std::logic_error("PhvLayout frozen: cannot intern new field \"" +
+                           std::string(name) + "\" at runtime");
   }
-  return nullptr;
+  if (names_.size() >= kInvalidFieldId) {
+    throw std::length_error("PhvLayout: too many PHV fields");
+  }
+  const FieldId id = static_cast<FieldId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
 }
 
-const Phv::Field* Phv::find(const std::string& name) const {
-  for (const Field& field : fields_) {
-    if (field.name == name) return &field;
+FieldId PhvLayout::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidFieldId : it->second;
+}
+
+Phv::Phv(unsigned budget_bits, std::shared_ptr<PhvLayout> layout)
+    : budget_bits_(budget_bits), layout_(std::move(layout)) {
+  if (layout_ == nullptr) layout_ = std::make_shared<PhvLayout>();
+  slots_.resize(layout_->size());
+}
+
+void Phv::check_width(unsigned bits) const {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("PHV field width must be 1..64 bits");
   }
-  return nullptr;
+}
+
+void Phv::set(FieldId id, std::uint64_t value, unsigned bits, bool bridged) {
+  check_width(bits);
+  if (id >= slots_.size()) {
+    if (id >= layout_->size()) {
+      throw std::out_of_range("PHV field id not in layout");
+    }
+    slots_.resize(layout_->size());
+  }
+  Slot& slot = slots_[id];
+  const unsigned old_bits = slot.present ? slot.bits : 0;
+  if (used_bits_ - old_bits + bits > budget_bits_) {
+    throw std::length_error("PHV budget exceeded: " + layout_->name(id));
+  }
+  used_bits_ = used_bits_ - old_bits + bits;
+  slot.value = value;
+  slot.bits = static_cast<std::uint16_t>(bits);
+  slot.bridged = (slot.present && slot.bridged) || bridged;
+  slot.present = true;
 }
 
 void Phv::set(const std::string& name, std::uint64_t value, unsigned bits,
               bool bridged) {
-  if (bits == 0 || bits > 64) {
-    throw std::invalid_argument("PHV field width must be 1..64 bits");
-  }
-  if (Field* field = find(name); field != nullptr) {
-    if (used_bits() - field->bits + bits > budget_bits_) {
-      throw std::length_error("PHV budget exceeded: " + name);
-    }
-    field->value = value;
-    field->bits = bits;
-    field->bridged = field->bridged || bridged;
-    return;
-  }
-  if (used_bits() + bits > budget_bits_) {
-    throw std::length_error("PHV budget exceeded: " + name);
-  }
-  fields_.push_back(Field{name, value, bits, bridged});
+  check_width(bits);
+  ++g_string_lookups;
+  set(resolve_for_write(name), value, bits, bridged);
 }
 
 std::optional<std::uint64_t> Phv::get(const std::string& name) const {
-  const Field* field = find(name);
-  if (field == nullptr) return std::nullopt;
-  return field->value;
+  ++g_string_lookups;
+  return get(layout_->find(name));
 }
 
 void Phv::bridge(const std::string& name) {
-  if (Field* field = find(name); field != nullptr) field->bridged = true;
+  ++g_string_lookups;
+  bridge(layout_->find(name));
+}
+
+FieldId Phv::resolve_for_write(const std::string& name) {
+  const FieldId id = layout_->find(name);
+  return id != kInvalidFieldId ? id : layout_->intern(name);
 }
 
 unsigned Phv::cross_gress() {
   unsigned bridged_bits = 0;
-  std::erase_if(fields_, [&](const Field& field) {
-    if (field.bridged) {
-      bridged_bits += field.bits;
-      return false;
+  for (Slot& slot : slots_) {
+    if (!slot.present) continue;
+    if (slot.bridged) {
+      bridged_bits += slot.bits;
+      // Bridged fields survive exactly one crossing; re-bridge to carry
+      // again.
+      slot.bridged = false;
+    } else {
+      used_bits_ -= slot.bits;
+      slot.present = false;
     }
-    return true;
-  });
-  // Bridged fields survive exactly one crossing; re-bridge to carry again.
-  for (Field& field : fields_) field.bridged = false;
+  }
   bridged_bits_total_ += bridged_bits;
   return bridged_bits;
 }
 
-unsigned Phv::used_bits() const {
-  unsigned total = 0;
-  for (const Field& field : fields_) total += field.bits;
-  return total;
+void Phv::clear() {
+  for (Slot& slot : slots_) slot = Slot{};
+  bridged_bits_total_ = 0;
+  used_bits_ = 0;
 }
 
-void Phv::clear() {
-  fields_.clear();
-  bridged_bits_total_ = 0;
-}
+std::uint64_t Phv::string_lookups() { return g_string_lookups; }
 
 }  // namespace sf::asic

@@ -6,38 +6,110 @@
 // three, which is why the gateway program groups tables that share
 // metadata into the same gress. The Phv enforces a per-gress bit budget so
 // programs feel the "PHV resources are scarce" constraint (§6.2).
+//
+// Field access is compiled: a PhvLayout interns every field name to a
+// dense FieldId at program-build time, and the per-packet hot path indexes
+// a flat slot array — no string hashing or comparisons per packet
+// (DESIGN.md §9). The string overloads survive for tests and ad-hoc use;
+// they resolve through the layout and count against string_lookups() so a
+// regression test can assert the walker hot loop never takes them.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sf::asic {
 
+/// Dense index of a PHV field within a PhvLayout.
+using FieldId = std::uint16_t;
+inline constexpr FieldId kInvalidFieldId = 0xFFFF;
+
+/// The compile-time name -> FieldId interner. One layout per
+/// PipelineProgram; every Phv walked under that program indexes fields by
+/// id. Interning is append-only, so sharing a layout between Phv copies is
+/// safe; freeze() locks it once the program is fully bound so a stray
+/// runtime intern (a per-packet string) becomes a hard error.
+class PhvLayout {
+ public:
+  /// Returns the id for `name`, interning it on first sight. Throws
+  /// std::logic_error once frozen.
+  FieldId intern(std::string_view name);
+
+  /// Returns the id for `name`, or kInvalidFieldId when unknown.
+  FieldId find(std::string_view name) const;
+
+  const std::string& name(FieldId id) const { return names_.at(id); }
+  std::size_t size() const { return names_.size(); }
+
+  /// Locks the layout: further intern() calls throw. Called when a
+  /// pipeline program finishes binding its stages.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, FieldId, std::less<>> index_;
+  bool frozen_ = false;
+};
+
 class Phv {
  public:
-  explicit Phv(unsigned budget_bits = 1536) : budget_bits_(budget_bits) {}
+  /// `layout` is the program's field interner; when null the Phv creates a
+  /// private layout so the string API keeps working standalone (tests,
+  /// ad-hoc metadata). The layout is shared, not copied: ids stay stable
+  /// across Phv copies and across packets walked under the same program.
+  explicit Phv(unsigned budget_bits = 1536,
+               std::shared_ptr<PhvLayout> layout = nullptr);
+
+  // ---- compiled (hot-path) API: no string traffic ------------------------
 
   /// Writes a field (creating it on first write). Throws std::length_error
   /// when the budget would be exceeded.
-  void set(const std::string& name, std::uint64_t value, unsigned bits,
+  void set(FieldId id, std::uint64_t value, unsigned bits,
            bool bridged = false);
 
-  std::optional<std::uint64_t> get(const std::string& name) const;
+  std::optional<std::uint64_t> get(FieldId id) const {
+    if (id >= slots_.size() || !slots_[id].present) return std::nullopt;
+    return slots_[id].value;
+  }
 
-  bool has(const std::string& name) const { return get(name).has_value(); }
+  /// get() without the optional, for stages that know the field exists.
+  std::uint64_t get_or(FieldId id, std::uint64_t fallback = 0) const {
+    if (id >= slots_.size() || !slots_[id].present) return fallback;
+    return slots_[id].value;
+  }
+
+  bool has(FieldId id) const {
+    return id < slots_.size() && slots_[id].present;
+  }
 
   /// Marks an existing field for bridging across the next gress boundary.
+  void bridge(FieldId id) {
+    if (id < slots_.size() && slots_[id].present) slots_[id].bridged = true;
+  }
+
+  // ---- string API (cold path: tests, ad-hoc) -----------------------------
+
+  void set(const std::string& name, std::uint64_t value, unsigned bits,
+           bool bridged = false);
+  std::optional<std::uint64_t> get(const std::string& name) const;
+  bool has(const std::string& name) const { return get(name).has_value(); }
   void bridge(const std::string& name);
+
+  // ---- gress semantics ---------------------------------------------------
 
   /// Crosses a gress boundary: non-bridged fields are dropped; returns the
   /// number of bits appended to the packet for the bridged ones.
   unsigned cross_gress();
 
-  unsigned used_bits() const;
+  unsigned used_bits() const { return used_bits_; }
   unsigned budget_bits() const { return budget_bits_; }
 
   /// Total bits bridged so far (wire overhead accounting).
@@ -45,20 +117,28 @@ class Phv {
 
   void clear();
 
+  const PhvLayout& layout() const { return *layout_; }
+
+  /// Thread-local count of string-keyed lookups since process start. The
+  /// fastpath test asserts this stays flat across Walker::run.
+  static std::uint64_t string_lookups();
+
  private:
-  struct Field {
-    std::string name;
+  struct Slot {
     std::uint64_t value = 0;
-    unsigned bits = 0;
+    std::uint16_t bits = 0;
+    bool present = false;
     bool bridged = false;
   };
 
-  Field* find(const std::string& name);
-  const Field* find(const std::string& name) const;
+  FieldId resolve_for_write(const std::string& name);
+  void check_width(unsigned bits) const;
 
   unsigned budget_bits_;
   unsigned bridged_bits_total_ = 0;
-  std::vector<Field> fields_;
+  unsigned used_bits_ = 0;
+  std::shared_ptr<PhvLayout> layout_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace sf::asic

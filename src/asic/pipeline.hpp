@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asic/chip_config.hpp"
@@ -34,11 +36,14 @@ struct PacketContext {
   unsigned pipe = 0;
   Gress gress = Gress::kIngress;
   bool dropped = false;
-  std::string drop_reason;
-  /// Optional machine-readable drop classifier set alongside drop_reason.
-  /// The asic layer itself is gateway-agnostic, so codes are opaque here;
-  /// the gateway that programmed the stages maps them back to its typed
-  /// drop taxonomy (0 = "stage gave no code").
+  /// Human-readable drop label. Always a pointer to a string with static
+  /// storage duration (a literal or a static to_string table entry) — the
+  /// hot path never allocates a reason string per packet.
+  const char* drop_note = nullptr;
+  /// Machine-readable drop classifier set alongside drop_note. The asic
+  /// layer itself is gateway-agnostic, so codes are opaque here; the
+  /// gateway that programmed the stages maps them back to its typed drop
+  /// taxonomy (0 = "stage gave no code").
   std::uint8_t drop_code = 0;
   /// Set by the walker when its owner registered a telemetry registry:
   /// stages record their per-table hit/miss counts here.
@@ -47,9 +52,11 @@ struct PacketContext {
   /// unset means "stay on the same pipeline".
   std::optional<unsigned> egress_pipe;
 
-  void drop(std::string reason, std::uint8_t code = 0) {
+  /// `note` must have static storage duration (string literal / static
+  /// table entry); the context stores the pointer, not a copy.
+  void drop(const char* note, std::uint8_t code = 0) {
     dropped = true;
-    drop_reason = std::move(reason);
+    drop_note = note;
     drop_code = code;
   }
 };
@@ -66,7 +73,10 @@ struct GressProgram {
 class PipelineProgram {
  public:
   explicit PipelineProgram(unsigned pipelines = 4)
-      : ingress_(pipelines), egress_(pipelines), loopback_(pipelines, false) {}
+      : ingress_(pipelines),
+        egress_(pipelines),
+        loopback_(pipelines, false),
+        phv_layout_(std::make_shared<PhvLayout>()) {}
 
   void set_ingress(unsigned pipe, GressProgram program) {
     ingress_.at(pipe) = std::move(program);
@@ -88,10 +98,21 @@ class PipelineProgram {
     return static_cast<unsigned>(ingress_.size());
   }
 
+  /// The program's compiled field interner. Gateways intern their field
+  /// names here while binding stages, then freeze(); packets walked under
+  /// this program resolve fields by FieldId only. The layout is shared so
+  /// it outlives the program inside any Phv still referencing it.
+  PhvLayout& phv_layout() { return *phv_layout_; }
+  const PhvLayout& phv_layout() const { return *phv_layout_; }
+  const std::shared_ptr<PhvLayout>& phv_layout_ptr() const {
+    return phv_layout_;
+  }
+
  private:
   std::vector<GressProgram> ingress_;
   std::vector<GressProgram> egress_;
   std::vector<bool> loopback_;
+  std::shared_ptr<PhvLayout> phv_layout_;
 };
 
 }  // namespace sf::asic

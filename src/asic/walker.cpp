@@ -30,7 +30,7 @@ WalkResult Walker::run(net::OverlayPacket packet,
   WalkResult result;
   PacketContext ctx;
   ctx.packet = std::move(packet);
-  ctx.meta = Phv(chip_.phv_metadata_bits);
+  ctx.meta = Phv(chip_->phv_metadata_bits, program_->phv_layout_ptr());
   ctx.pipe = ingress_pipe;
   ctx.stats = registry_;
   if (packets_ != nullptr) packets_->add();
@@ -79,13 +79,13 @@ WalkResult Walker::run(net::OverlayPacket packet,
   result.packet = std::move(ctx.packet);
   result.meta = std::move(ctx.meta);
   result.dropped = ctx.dropped;
-  result.drop_reason = std::move(ctx.drop_reason);
+  result.drop_note = ctx.drop_note;
   result.drop_code = ctx.drop_code;
   if (packets_ != nullptr) {
     if (result.dropped) drops_->add();
     passes_->record(static_cast<double>(result.passes));
   }
-  result.latency_us = chip_.latency_us(
+  result.latency_us = chip_->latency_us(
       result.passes,
       result.packet.wire_size() + result.bridged_bits / 8);
   return result;

@@ -24,7 +24,9 @@ struct WalkResult {
   /// Final metadata (whatever survived to the last gress).
   Phv meta;
   bool dropped = false;
-  std::string drop_reason;
+  /// Static-storage drop label forwarded from PacketContext::drop_note
+  /// (never heap-allocated; null when not dropped).
+  const char* drop_note = nullptr;
   /// Opaque drop classifier forwarded from PacketContext::drop_code.
   std::uint8_t drop_code = 0;
   /// Pipeline passes (ingress+egress pairs) the packet made.
@@ -41,8 +43,12 @@ class Walker {
  public:
   static constexpr unsigned kMaxPasses = 8;
 
+  /// The walker borrows both the chip model and the program: the caller
+  /// (the gateway owning both) must keep them alive for the walker's
+  /// lifetime. Binding to a temporary ChipConfig is a compile error.
   Walker(const ChipConfig& chip, const PipelineProgram* program)
-      : chip_(chip), program_(program) {}
+      : chip_(&chip), program_(program) {}
+  Walker(ChipConfig&&, const PipelineProgram*) = delete;
 
   /// Registers the registry the walk records into: per-pipe/per-gress
   /// packet counts ("asic.pipeN.ingress.packets"), total packets, drops,
@@ -55,7 +61,7 @@ class Walker {
   WalkResult run(net::OverlayPacket packet, unsigned ingress_pipe) const;
 
  private:
-  ChipConfig chip_;
+  const ChipConfig* chip_;
   const PipelineProgram* program_;
   telemetry::Registry* registry_ = nullptr;
   std::vector<telemetry::Counter*> ingress_packets_;  // per pipe

@@ -129,11 +129,23 @@ void XgwHCluster::rebuild_ecmp() {
 void XgwHCluster::fail_device(std::size_t index) {
   devices_.at(index).health = DeviceHealth::kFailed;
   rebuild_ecmp();
+  invalidate_fast_paths();
 }
 
 void XgwHCluster::recover_device(std::size_t index) {
   devices_.at(index).health = DeviceHealth::kHealthy;
   rebuild_ecmp();
+  invalidate_fast_paths();
+}
+
+void XgwHCluster::invalidate_fast_paths() {
+  // A health transition re-steers flows across devices (and DR standby
+  // swaps reuse a device object for a different slot), so every member's
+  // cached verdicts must lazily expire — the next packet of each flow
+  // re-walks against the device's current tables.
+  for (Device& device : devices_) {
+    if (device.gateway) device.gateway->invalidate_fast_path();
+  }
 }
 
 double XgwHCluster::sram_water_level() const {

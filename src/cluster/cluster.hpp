@@ -103,6 +103,9 @@ class XgwHCluster : public dataplane::Gateway,
   };
 
   void rebuild_ecmp();
+  /// Bumps every member device's flow-cache epoch after a health
+  /// transition / standby swap re-steers flows.
+  void invalidate_fast_paths();
 
   Config config_;
   std::vector<Device> devices_;

@@ -1,0 +1,45 @@
+#include "dataplane/flow_cache.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "net/hash.hpp"
+
+namespace sf::dataplane {
+
+FlowKey make_flow_key(std::uint32_t vni, const net::FiveTuple& tuple) {
+  // Two independently seeded 64-bit digests over the same material; both
+  // halves must collide for two flows to alias in the cache. The address
+  // and port digests are computed once and remixed for the second half —
+  // this runs on every cacheable packet, so it stays lean.
+  const std::uint64_t ports = (std::uint64_t{tuple.src_port} << 32) |
+                              (std::uint64_t{tuple.dst_port} << 16) |
+                              tuple.proto;
+  const std::uint64_t src = net::hash_ip(tuple.src);
+  const std::uint64_t dst = net::hash_ip(tuple.dst);
+  const std::uint64_t p = net::mix64(ports);
+  FlowKey key;
+  key.hi = net::hash_combine(0x5a11f15bf10c4a1eULL ^ vni,
+                             net::hash_combine(src, dst ^ p));
+  key.lo = net::hash_combine(0xc0ffee0ddfa57e57ULL + vni,
+                             net::hash_combine(dst ^ ~p, src));
+  return key;
+}
+
+std::size_t default_flow_cache_entries() {
+  static const std::size_t entries = [] {
+    const char* env = std::getenv("SF_FLOW_CACHE");
+    if (env == nullptr) return std::size_t{1} << 12;
+    const std::string_view value(env);
+    if (value == "0" || value == "off" || value == "OFF") {
+      return std::size_t{0};
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env) return std::size_t{1} << 12;  // non-numeric: default on
+    return static_cast<std::size_t>(parsed);
+  }();
+  return entries;
+}
+
+}  // namespace sf::dataplane

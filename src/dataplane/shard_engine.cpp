@@ -37,6 +37,10 @@ telemetry::Snapshot ShardEngine::run_sharded(
       const std::size_t begin = count * c / chunks;
       const std::size_t end = count * (c + 1) / chunks;
       tasks.push_back([&, c, begin, end] {
+        // Pre-size for the uniform-hash expectation (plus slack) so the
+        // partition loop almost never reallocates mid-run.
+        const std::size_t expect = (end - begin) / shards + 8;
+        for (auto& bucket : buckets[c]) bucket.reserve(expect);
         for (std::size_t i = begin; i < end; ++i) {
           buckets[c][owner(i) % shards].push_back(
               static_cast<std::uint32_t>(i));
@@ -80,6 +84,71 @@ telemetry::Snapshot ShardEngine::run_sharded(
 
 void ShardEngine::run_tasks(std::vector<std::function<void()>> tasks) {
   pool_->run_all(std::move(tasks));
+}
+
+void ShardEngine::process_packets(
+    std::span<const net::OverlayPacket> packets, double now,
+    const std::function<Gateway&(std::size_t)>& gateway_for,
+    std::span<Verdict> out) {
+  if (out.size() != packets.size()) {
+    throw std::invalid_argument(
+        "process_packets: out.size() must equal packets.size()");
+  }
+
+  // Single-thread fast path: one ascending sweep dispatching each packet
+  // to its owner shard. Every gateway still sees exactly the packets with
+  // owner % shards == its shard, in ascending index order — the same
+  // sequence the bucketed path below feeds it — so results are identical
+  // at any thread count. What changes is the memory pattern: packets and
+  // verdicts stream sequentially instead of stride-hopping through
+  // per-shard index lists.
+  if (plan_.threads <= 1) {
+    const std::size_t shards = plan_.shards;
+    std::vector<Gateway*> gateways(shards);
+    for (std::size_t s = 0; s < shards; ++s) gateways[s] = &gateway_for(s);
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const std::size_t shard =
+          static_cast<std::size_t>(packets[i].inner.hash()) % shards;
+      out[i] = gateways[shard]->process(packets[i], now);
+    }
+    return;
+  }
+
+  run_sharded(
+      packets.size(),
+      [&](std::size_t i) {
+        return static_cast<std::size_t>(packets[i].inner.hash());
+      },
+      [&](std::size_t shard, std::span<const std::uint32_t> indices,
+          telemetry::Registry&) {
+        Gateway& gateway = gateway_for(shard);
+        // Ascending input order within the shard: the gateway's stateful
+        // pieces (meters, caches) see the same packet sequence regardless
+        // of thread count. Output slots are disjoint by index.
+        constexpr std::size_t kPrefetch = 8;
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+          if (k + kPrefetch < indices.size()) {
+            // A shard's indices stride ~shards-wide through the batch —
+            // past what hardware prefetchers track — so fetch the packet
+            // and verdict slot a few iterations ahead.
+            const std::uint32_t ahead = indices[k + kPrefetch];
+            const char* pkt = reinterpret_cast<const char*>(&packets[ahead]);
+            __builtin_prefetch(pkt);
+            __builtin_prefetch(pkt + 64);  // OverlayPacket spans >1 line
+            __builtin_prefetch(&out[ahead], 1);
+          }
+          const std::uint32_t i = indices[k];
+          out[i] = gateway.process(packets[i], now);
+        }
+      });
+}
+
+std::vector<Verdict> ShardEngine::process_packets(
+    std::span<const net::OverlayPacket> packets, double now,
+    const std::function<Gateway&(std::size_t)>& gateway_for) {
+  std::vector<Verdict> verdicts(packets.size());
+  process_packets(packets, now, gateway_for, verdicts);
+  return verdicts;
 }
 
 }  // namespace sf::dataplane

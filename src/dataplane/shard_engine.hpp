@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "dataplane/gateway.hpp"
 #include "dataplane/thread_pool.hpp"
 #include "telemetry/registry.hpp"
 
@@ -60,6 +61,26 @@ class ShardEngine {
 
   /// Runs independent tasks on the pool; returns after all finish.
   void run_tasks(std::vector<std::function<void()>> tasks);
+
+  /// Deterministic parallel packet-batch path. Packets are partitioned by
+  /// their flow hash modulo the FIXED shard count; each shard then
+  /// processes its packets in ascending input order against the gateway
+  /// `gateway_for(shard)` returns — one gateway (and thus one flow cache)
+  /// per shard, touched only by its owning worker, so the fast path needs
+  /// no locks. Verdicts land in `out` at the packet's original index;
+  /// `out.size()` must equal `packets.size()`. Identical verdict streams
+  /// at any thread count, provided the per-shard gateways start in
+  /// identical states.
+  void process_packets(std::span<const net::OverlayPacket> packets,
+                       double now,
+                       const std::function<Gateway&(std::size_t)>& gateway_for,
+                       std::span<Verdict> out);
+
+  /// Convenience overload: allocates the verdict vector once up front
+  /// (pre-sized, no mid-loop reallocation) and returns it.
+  std::vector<Verdict> process_packets(
+      std::span<const net::OverlayPacket> packets, double now,
+      const std::function<Gateway&(std::size_t)>& gateway_for);
 
  private:
   ShardPlan plan_;

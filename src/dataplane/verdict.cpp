@@ -2,7 +2,7 @@
 
 namespace sf::dataplane {
 
-std::string to_string(Action action) {
+const char* name(Action action) {
   switch (action) {
     case Action::kForwardToNc:
       return "forward-to-nc";
@@ -18,7 +18,9 @@ std::string to_string(Action action) {
   return "?";
 }
 
-std::string to_string(DropReason reason) {
+std::string to_string(Action action) { return name(action); }
+
+const char* name(DropReason reason) {
   // The strings keep the exact phrasing of the pre-enum free-form reasons
   // so traces and logs read the same as before the API migration.
   switch (reason) {
@@ -51,6 +53,8 @@ std::string to_string(DropReason reason) {
   }
   return "?";
 }
+
+std::string to_string(DropReason reason) { return name(reason); }
 
 std::string path_label(const Verdict& verdict) {
   switch (verdict.action) {

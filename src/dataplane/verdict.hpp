@@ -28,6 +28,9 @@ enum class Action : std::uint8_t {
   kDrop,
 };
 
+/// Static-storage name — the allocation-free spelling for hot paths
+/// (drop notes, cached verdicts). to_string() wraps it.
+const char* name(Action action);
 std::string to_string(Action action);
 
 /// Why a packet was dropped. `kNone` means "not dropped" — every verdict
@@ -48,6 +51,9 @@ enum class DropReason : std::uint8_t {
   kUnhandledScope,
 };
 
+/// Static-storage name; byte-identical to to_string(). Gateways stamp this
+/// into PacketContext::drop_note so a drop never allocates.
+const char* name(DropReason reason);
 std::string to_string(DropReason reason);
 
 /// The unified per-packet result.

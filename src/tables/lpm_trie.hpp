@@ -111,6 +111,15 @@ class LpmTrie {
     return best;
   }
 
+  /// Pre-sizes the node arena ahead of a bulk load of roughly
+  /// `prefix_count` prefixes. Dense loads share long spines, so the
+  /// estimate budgets ~8 fresh arena nodes per prefix (plus slack for the
+  /// cold spine of the first few); an under-estimate only means the arena
+  /// grows the normal way later.
+  void reserve(std::size_t prefix_count) {
+    nodes_.reserve(nodes_.size() + prefix_count * 8 + 64);
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -30,10 +30,16 @@ void Histogram::record(double value) {
 
   std::size_t bucket = 0;
   if (value > config_.min_value) {
-    bucket = static_cast<std::size_t>(
-        std::ceil(std::log(value / config_.min_value) /
-                  std::log(config_.growth)));
-    bucket = std::min(bucket, config_.buckets);  // overflow slot
+    if (value == last_value_) {
+      bucket = last_bucket_;
+    } else {
+      bucket = static_cast<std::size_t>(
+          std::ceil(std::log(value / config_.min_value) /
+                    std::log(config_.growth)));
+      bucket = std::min(bucket, config_.buckets);  // overflow slot
+      last_value_ = value;
+      last_bucket_ = bucket;
+    }
   }
   ++counts_[bucket];
 

@@ -77,6 +77,11 @@ class Histogram {
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
+  // Memo of the last bucket computation: recorded values repeat heavily
+  // (identical packets produce identical latencies), and the memo skips
+  // the log() on a repeat without changing any result.
+  double last_value_ = 0;
+  std::size_t last_bucket_ = 0;
 };
 
 /// Point-in-time value of one histogram inside a Snapshot. Percentiles are
@@ -133,6 +138,15 @@ class Registry {
   }
   std::size_t instrument_count() const {
     return counters_.size() + histograms_.size();
+  }
+  std::size_t counter_count() const { return counters_.size(); }
+
+  /// Visits every counter in name order. The Counter& handles are stable
+  /// for the registry's lifetime — callers may keep the pointers (the flow
+  /// cache snapshots counter values around a walk to capture its deltas).
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& [name, counter] : counters_) fn(name, *counter);
   }
 
   Snapshot snapshot() const;

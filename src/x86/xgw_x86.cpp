@@ -8,6 +8,8 @@ XgwX86::XgwX86(Config config)
     : config_(config),
       snat_(config.snat),
       rss_(config.model.cores, 128, config.rss_seed),
+      flow_cache_(dataplane::FlowCache<CachedVerdict>::Config{
+          config.flow_cache_entries}),
       registry_(std::make_unique<telemetry::Registry>()) {
   ctr_packets_in_ = &registry_->counter("x86.packets_in");
   ctr_bytes_in_ = &registry_->counter("x86.bytes_in");
@@ -26,6 +28,7 @@ dataplane::TableOpStatus XgwX86::install_route(
     net::Vni vni, const net::IpPrefix& prefix,
     tables::VxlanRouteAction action) {
   ctr_table_ops_->add();
+  invalidate_fast_path();
   return routes_.insert(vni, prefix, action)
              ? dataplane::TableOpStatus::kOk
              : dataplane::TableOpStatus::kDuplicate;
@@ -34,6 +37,7 @@ dataplane::TableOpStatus XgwX86::install_route(
 dataplane::TableOpStatus XgwX86::remove_route(net::Vni vni,
                                               const net::IpPrefix& prefix) {
   ctr_table_ops_->add();
+  invalidate_fast_path();
   return routes_.erase(vni, prefix) ? dataplane::TableOpStatus::kOk
                                     : dataplane::TableOpStatus::kNotFound;
 }
@@ -41,6 +45,7 @@ dataplane::TableOpStatus XgwX86::remove_route(net::Vni vni,
 dataplane::TableOpStatus XgwX86::install_mapping(const tables::VmNcKey& key,
                                                  tables::VmNcAction action) {
   ctr_table_ops_->add();
+  invalidate_fast_path();
   return mappings_.insert_or_assign(key, action).second
              ? dataplane::TableOpStatus::kOk
              : dataplane::TableOpStatus::kDuplicate;
@@ -48,6 +53,7 @@ dataplane::TableOpStatus XgwX86::install_mapping(const tables::VmNcKey& key,
 
 dataplane::TableOpStatus XgwX86::remove_mapping(const tables::VmNcKey& key) {
   ctr_table_ops_->add();
+  invalidate_fast_path();
   return mappings_.erase(key) > 0 ? dataplane::TableOpStatus::kOk
                                   : dataplane::TableOpStatus::kNotFound;
 }
@@ -67,6 +73,47 @@ X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
   result.latency_us = config_.model.latency_us(0.0);
   hist_latency_->record(result.latency_us);
 
+  // Shared epilogues — the slow path lands here after the lookup chain,
+  // and a cache hit replays the same bumps without walking the chain.
+  auto drop = [&](dataplane::DropReason reason) -> X86Result& {
+    ++telemetry_.packets_dropped;
+    ctr_dropped_->add();
+    result.drop_reason = reason;
+    return result;
+  };
+  auto forward_to = [&](dataplane::Action action,
+                        const net::IpAddr& outer_dst) -> X86Result& {
+    result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
+    result.packet.outer_dst_ip = outer_dst;
+    result.action = action;
+    ++telemetry_.packets_forwarded;
+    ctr_forwarded_->add();
+    return result;
+  };
+
+  // Fast path: the stateless outcomes (routes + mappings are pure table
+  // functions of the flow) replay from the cache. SNAT never caches.
+  const bool cacheable = flow_cache_.enabled();
+  dataplane::FlowKey key;
+  if (cacheable) {
+    key = dataplane::make_flow_key(packet.vni, packet.inner);
+    if (const CachedVerdict* hit = flow_cache_.find(key, table_generation_)) {
+      return hit->action == dataplane::Action::kDrop
+                 ? drop(hit->reason)
+                 : forward_to(hit->action, hit->outer_dst);
+    }
+  }
+  // Second-miss admission: see FlowCache::note_miss.
+  const bool capture = cacheable && flow_cache_.note_miss(key);
+  auto remember = [&](X86Result& r) -> X86Result& {
+    if (capture) {
+      flow_cache_.insert(
+          key, table_generation_,
+          CachedVerdict{r.action, r.drop_reason, r.packet.outer_dst_ip});
+    }
+    return r;
+  };
+
   net::Vni vni = packet.vni;
   std::optional<tables::VxlanRouteAction> route;
   for (int hop = 0; hop < 4; ++hop) {
@@ -75,36 +122,22 @@ X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
     vni = route->next_hop_vni;
   }
   if (!route) {
-    ++telemetry_.packets_dropped;
-    ctr_dropped_->add();
-    result.drop_reason = dataplane::DropReason::kNoRoute;
-    return result;
+    return remember(drop(dataplane::DropReason::kNoRoute));
   }
 
   switch (route->scope) {
     case tables::RouteScope::kLocal: {
       auto it = mappings_.find(tables::VmNcKey{vni, packet.inner.dst});
       if (it == mappings_.end()) {
-        ++telemetry_.packets_dropped;
-        ctr_dropped_->add();
-        result.drop_reason = dataplane::DropReason::kNoVmNcMapping;
-        return result;
+        return remember(drop(dataplane::DropReason::kNoVmNcMapping));
       }
-      result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
-      result.packet.outer_dst_ip = net::IpAddr(it->second.nc_ip);
-      result.action = dataplane::Action::kForwardToNc;
-      ++telemetry_.packets_forwarded;
-      ctr_forwarded_->add();
-      return result;
+      return remember(forward_to(dataplane::Action::kForwardToNc,
+                                 net::IpAddr(it->second.nc_ip)));
     }
     case tables::RouteScope::kIdc:
     case tables::RouteScope::kCrossRegion:
-      result.packet.outer_src_ip = net::IpAddr(config_.device_ip);
-      result.packet.outer_dst_ip = net::IpAddr(route->remote_endpoint);
-      result.action = dataplane::Action::kForwardTunnel;
-      ++telemetry_.packets_forwarded;
-      ctr_forwarded_->add();
-      return result;
+      return remember(forward_to(dataplane::Action::kForwardTunnel,
+                                 net::IpAddr(route->remote_endpoint)));
     case tables::RouteScope::kInternet: {
       auto binding = snat_.translate(packet.inner, now);
       if (!binding) {
@@ -127,15 +160,9 @@ X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
       return result;
     }
     case tables::RouteScope::kPeer:
-      ++telemetry_.packets_dropped;
-      ctr_dropped_->add();
-      result.drop_reason = dataplane::DropReason::kPeerResolutionLoop;
-      return result;
+      return remember(drop(dataplane::DropReason::kPeerResolutionLoop));
   }
-  ++telemetry_.packets_dropped;
-  ctr_dropped_->add();
-  result.drop_reason = dataplane::DropReason::kUnhandledScope;
-  return result;
+  return remember(drop(dataplane::DropReason::kUnhandledScope));
 }
 
 std::optional<net::OverlayPacket> XgwX86::process_response(

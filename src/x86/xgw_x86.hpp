@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "dataplane/flow_cache.hpp"
 #include "dataplane/gateway.hpp"
 #include "dataplane/table_programmer.hpp"
 #include "net/packet.hpp"
@@ -71,6 +72,10 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
     SnatEngine::Config snat{
         {net::Ipv4Addr(203, 0, 113, 1)}, 1024, 65535, 300};
     std::uint32_t rss_seed = 0;
+    /// Flow-cache slots in front of the route/mapping lookup chain
+    /// (0 disables; default honors the SF_FLOW_CACHE gate). SNAT verdicts
+    /// are never cached — the session table is stateful.
+    std::size_t flow_cache_entries = dataplane::default_flow_cache_entries();
   };
 
   explicit XgwX86(Config config);
@@ -85,6 +90,14 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
   dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
                                            tables::VmNcAction action) override;
   dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+
+  /// Bumps the flow-cache epoch (every table op does this internally;
+  /// cluster health/DR transitions call it on reroutes).
+  void invalidate_fast_path() { ++table_generation_; }
+  std::uint64_t fast_path_generation() const { return table_generation_; }
+  const dataplane::FlowCacheStats& flow_cache_stats() const {
+    return flow_cache_.stats();
+  }
 
   std::size_t route_count() const { return routes_.size(); }
   std::size_t mapping_count() const { return mappings_.size(); }
@@ -142,6 +155,14 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
     }
   };
 
+  /// Cached non-SNAT verdict: the action, the drop reason, and the outer
+  /// rewrite target (outer_src is always this device's IP).
+  struct CachedVerdict {
+    dataplane::Action action = dataplane::Action::kDrop;
+    dataplane::DropReason reason = dataplane::DropReason::kNone;
+    net::IpAddr outer_dst;
+  };
+
   Config config_;
   tables::SoftwareLpm<tables::VxlanRouteAction> routes_;
   std::unordered_map<tables::VmNcKey, tables::VmNcAction, VmNcKeyHasher>
@@ -149,6 +170,9 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
   SnatEngine snat_;
   RssIndirection rss_;
   Telemetry telemetry_;
+
+  dataplane::FlowCache<CachedVerdict> flow_cache_;
+  std::uint64_t table_generation_ = 0;
 
   std::unique_ptr<telemetry::Registry> registry_;
   telemetry::Counter* ctr_packets_in_ = nullptr;

@@ -1,5 +1,6 @@
 #include "xgwh/xgwh.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "net/hash.hpp"
@@ -8,7 +9,9 @@ namespace sf::xgwh {
 namespace {
 
 // Metadata field names used across gresses. Widths reflect what a P4
-// program would carry in its bridged header.
+// program would carry in its bridged header. build_program() interns each
+// name to a dense FieldId once; the per-packet stages below only ever
+// index the PHV slot array.
 constexpr const char* kShard = "shard";              // 1 bit
 constexpr const char* kScope = "scope";              // 3 bits
 constexpr const char* kFallback = "fallback";        // 1 bit
@@ -22,9 +25,10 @@ constexpr std::uint64_t kActTunnel = 1;
 constexpr std::uint64_t kActFallback = 2;
 
 // Drops carry the typed reason through the gateway-agnostic asic layer as
-// a (string, code) pair; forward() recovers the enum from the code.
+// a (static note, code) pair; forward() recovers the enum from the code.
+// dataplane::name() strings have static storage, so this never allocates.
 void drop_with(asic::PacketContext& ctx, dataplane::DropReason reason) {
-  ctx.drop(dataplane::to_string(reason), static_cast<std::uint8_t>(reason));
+  ctx.drop(dataplane::name(reason), static_cast<std::uint8_t>(reason));
 }
 
 dataplane::DropReason reason_from_code(std::uint8_t code) {
@@ -56,6 +60,8 @@ XgwH::XgwH(Config config)
       config_.fallback_rate_bps, config_.fallback_burst_bytes});
   build_program();
   walker_ = std::make_unique<asic::Walker>(config_.chip, &program_);
+  flow_cache_ = dataplane::FlowCache<CachedWalk>(
+      dataplane::FlowCache<CachedWalk>::Config{config_.flow_cache_entries});
 
   registry_ = std::make_unique<telemetry::Registry>();
   walker_->set_registry(registry_.get());
@@ -78,6 +84,9 @@ XgwH::XgwH(Config config)
       "xgwh.latency_us", telemetry::Histogram::Config{
                              /*min_value=*/0.25, /*growth=*/2.0,
                              /*buckets=*/16, /*reservoir=*/256});
+  // The walker registered "asic.passes" in set_registry() above; a cache
+  // hit replays the per-walk record into the same histogram.
+  hist_passes_ = &registry_->histogram("asic.passes");
 }
 
 unsigned XgwH::shard_of_vni(net::Vni vni) {
@@ -102,6 +111,7 @@ dataplane::TableOpStatus XgwH::install_route(net::Vni vni,
     (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                            : shard.routes_v6)++;
   }
+  invalidate_fast_path();  // re-inserts can change the action payload too
   return is_new ? dataplane::TableOpStatus::kOk
                 : dataplane::TableOpStatus::kDuplicate;
 }
@@ -114,6 +124,7 @@ dataplane::TableOpStatus XgwH::remove_route(net::Vni vni,
   }
   (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                          : shard.routes_v6)--;
+  invalidate_fast_path();
   return dataplane::TableOpStatus::kOk;
 }
 
@@ -128,6 +139,7 @@ dataplane::TableOpStatus XgwH::install_mapping(const tables::VmNcKey& key,
     // store are both unable to take the entry.
     return dataplane::TableOpStatus::kCapacityExceeded;
   }
+  invalidate_fast_path();
   const std::size_t after = shard.mappings.stats().main_entries +
                             shard.mappings.stats().conflict_entries;
   if (after > before) {
@@ -141,10 +153,14 @@ dataplane::TableOpStatus XgwH::remove_mapping(const tables::VmNcKey& key) {
   Shard& shard = shard_for(key.vni);
   if (!shard.mappings.erase(key)) return dataplane::TableOpStatus::kNotFound;
   (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)--;
+  invalidate_fast_path();
   return dataplane::TableOpStatus::kOk;
 }
 
-void XgwH::add_acl_rule(tables::AclRule rule) { acl_.add(std::move(rule)); }
+void XgwH::add_acl_rule(tables::AclRule rule) {
+  acl_.add(std::move(rule));
+  invalidate_fast_path();
+}
 
 bool XgwH::has_route(net::Vni vni, const net::IpPrefix& prefix) const {
   return shard_for(vni).routes.find(vni, prefix) != nullptr;
@@ -168,6 +184,19 @@ std::size_t XgwH::mapping_count() const {
 }
 
 void XgwH::build_program() {
+  // Compile step: intern every metadata field name once. The stages below
+  // only touch the PHV through these dense ids — no string hashing per
+  // packet. freeze() turns any runtime intern into a hard error.
+  asic::PhvLayout& layout = program_.phv_layout();
+  fid_shard_ = layout.intern(kShard);
+  fid_scope_ = layout.intern(kScope);
+  fid_fallback_ = layout.intern(kFallback);
+  fid_resolved_vni_ = layout.intern(kResolvedVni);
+  fid_tunnel_ip_ = layout.intern(kTunnelIp);
+  fid_nc_ip_ = layout.intern(kNcIp);
+  fid_action_ = layout.intern(kAction);
+  layout.freeze();
+
   const bool folded = config_.compression.fold;
   auto bind = [this](void (XgwH::*fn)(asic::PacketContext&)) {
     return [this, fn](asic::PacketContext& ctx) { (this->*fn)(ctx); };
@@ -225,7 +254,7 @@ void XgwH::stage_entry(asic::PacketContext& ctx) {
     return;
   }
   const unsigned shard = shard_of(ctx.packet.vni);
-  ctx.meta.set(kShard, shard, 1, /*bridged=*/true);
+  ctx.meta.set(fid_shard_, shard, 1, /*bridged=*/true);
   if (config_.compression.fold) {
     // Steer through the loopback pipe owning this shard (Fig. 14).
     ctx.egress_pipe = 1 + 2 * shard;
@@ -256,32 +285,33 @@ void XgwH::stage_route_lookup(asic::PacketContext& ctx, unsigned shard) {
     (route ? ctr_route_hit_ : ctr_route_miss_)->add();
     if (!route) {
       // Long-tail/volatile tables live in XGW-x86: steer, don't drop.
-      ctx.meta.set(kFallback, 1, 1, true);
-      ctx.meta.set(kResolvedVni, vni, 24, true);
+      ctx.meta.set(fid_fallback_, 1, 1, true);
+      ctx.meta.set(fid_resolved_vni_, vni, 24, true);
       return;
     }
     switch (route->scope) {
       case tables::RouteScope::kLocal:
-        ctx.meta.set(kScope, static_cast<std::uint64_t>(route->scope), 3,
+        ctx.meta.set(fid_scope_, static_cast<std::uint64_t>(route->scope), 3,
                      true);
-        ctx.meta.set(kFallback, 0, 1, true);
-        ctx.meta.set(kResolvedVni, vni, 24, true);
+        ctx.meta.set(fid_fallback_, 0, 1, true);
+        ctx.meta.set(fid_resolved_vni_, vni, 24, true);
         return;
       case tables::RouteScope::kPeer:
         vni = route->next_hop_vni;
         continue;
       case tables::RouteScope::kIdc:
       case tables::RouteScope::kCrossRegion:
-        ctx.meta.set(kScope, static_cast<std::uint64_t>(route->scope), 3,
+        ctx.meta.set(fid_scope_, static_cast<std::uint64_t>(route->scope), 3,
                      true);
-        ctx.meta.set(kFallback, 0, 1, true);
-        ctx.meta.set(kResolvedVni, vni, 24, true);
-        ctx.meta.set(kTunnelIp, route->remote_endpoint.value(), 32, true);
+        ctx.meta.set(fid_fallback_, 0, 1, true);
+        ctx.meta.set(fid_resolved_vni_, vni, 24, true);
+        ctx.meta.set(fid_tunnel_ip_, route->remote_endpoint.value(), 32,
+                     true);
         return;
       case tables::RouteScope::kInternet:
         // South-north: SNAT happens at XGW-x86 (Fig. 11).
-        ctx.meta.set(kFallback, 1, 1, true);
-        ctx.meta.set(kResolvedVni, vni, 24, true);
+        ctx.meta.set(fid_fallback_, 1, 1, true);
+        ctx.meta.set(fid_resolved_vni_, vni, 24, true);
         return;
     }
   }
@@ -290,7 +320,8 @@ void XgwH::stage_route_lookup(asic::PacketContext& ctx, unsigned shard) {
 
 void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
   // Re-bridge the routing verdict across the remaining crossings.
-  for (const char* field : {kScope, kFallback, kResolvedVni, kTunnelIp}) {
+  for (asic::FieldId field :
+       {fid_scope_, fid_fallback_, fid_resolved_vni_, fid_tunnel_ip_}) {
     ctx.meta.bridge(field);
   }
   if (config_.compression.fold) {
@@ -299,13 +330,13 @@ void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
     ctx.egress_pipe = ctx.pipe == 1 ? 0 : 2;
   }
 
-  if (ctx.meta.get(kFallback).value_or(0) == 1) return;
-  const auto scope = static_cast<tables::RouteScope>(
-      ctx.meta.get(kScope).value_or(0));
+  if (ctx.meta.get_or(fid_fallback_) == 1) return;
+  const auto scope =
+      static_cast<tables::RouteScope>(ctx.meta.get_or(fid_scope_));
   if (scope != tables::RouteScope::kLocal) return;  // tunnel scopes skip
 
   const net::Vni vni =
-      static_cast<net::Vni>(ctx.meta.get(kResolvedVni).value_or(0));
+      static_cast<net::Vni>(ctx.meta.get_or(fid_resolved_vni_));
   // Like the route stage: the mapping lives in the resolved VNI's shard.
   (void)shard;
   auto mapping =
@@ -313,85 +344,164 @@ void XgwH::stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard) {
   (mapping ? ctr_vm_hit_ : ctr_vm_miss_)->add();
   if (!mapping) {
     // Mapping not in hardware (volatile entry): fall back to XGW-x86.
-    ctx.meta.set(kFallback, 1, 1, true);
+    ctx.meta.set(fid_fallback_, 1, 1, true);
     return;
   }
-  ctx.meta.set(kNcIp, mapping->nc_ip.value(), 32, true);
+  ctx.meta.set(fid_nc_ip_, mapping->nc_ip.value(), 32, true);
 }
 
 void XgwH::stage_rewrite(asic::PacketContext& ctx) {
   ctx.packet.outer_src_ip = net::IpAddr(config_.device_ip);
-  if (ctx.meta.get(kFallback).value_or(0) == 1) {
+  if (ctx.meta.get_or(fid_fallback_) == 1) {
     ctx.packet.outer_dst_ip = net::IpAddr(config_.x86_next_hop);
-    ctx.meta.set(kAction, kActFallback, 2);
+    ctx.meta.set(fid_action_, kActFallback, 2);
     return;
   }
-  const auto scope = static_cast<tables::RouteScope>(
-      ctx.meta.get(kScope).value_or(0));
+  const auto scope =
+      static_cast<tables::RouteScope>(ctx.meta.get_or(fid_scope_));
   if (scope == tables::RouteScope::kIdc ||
       scope == tables::RouteScope::kCrossRegion) {
-    ctx.packet.outer_dst_ip = net::IpAddr(
-        net::Ipv4Addr(static_cast<std::uint32_t>(
-            ctx.meta.get(kTunnelIp).value_or(0))));
-    ctx.meta.set(kAction, kActTunnel, 2);
+    ctx.packet.outer_dst_ip = net::IpAddr(net::Ipv4Addr(
+        static_cast<std::uint32_t>(ctx.meta.get_or(fid_tunnel_ip_))));
+    ctx.meta.set(fid_action_, kActTunnel, 2);
     return;
   }
-  auto nc = ctx.meta.get(kNcIp);
+  auto nc = ctx.meta.get(fid_nc_ip_);
   if (!nc) {
     drop_with(ctx, dataplane::DropReason::kNoNcResolved);
     return;
   }
   ctx.packet.outer_dst_ip =
       net::IpAddr(net::Ipv4Addr(static_cast<std::uint32_t>(*nc)));
-  ctx.meta.set(kAction, kActForward, 2);
+  ctx.meta.set(fid_action_, kActForward, 2);
 }
 
-ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
-                            std::optional<unsigned> ingress_pipe) {
-  ++telemetry_.packets_in;
-  telemetry_.bytes_in += packet.wire_size();
-  ctr_packets_in_->add();
-  ctr_bytes_in_->add(packet.wire_size());
+void XgwH::snapshot_walk_counters() {
+  // The counter set is fixed after construction in practice; re-scan only
+  // if something registered extra counters since the last walk.
+  if (tracked_counters_.size() != registry_->counter_count()) {
+    tracked_counters_.clear();
+    tracked_counters_.reserve(registry_->counter_count());
+    registry_->for_each_counter(
+        [this](const std::string&, telemetry::Counter& counter) {
+          tracked_counters_.push_back(&counter);
+        });
+  }
+  walk_baseline_.resize(tracked_counters_.size());
+  for (std::size_t i = 0; i < tracked_counters_.size(); ++i) {
+    walk_baseline_[i] = tracked_counters_[i]->value();
+  }
+}
 
-  unsigned entry_pipe;
-  if (ingress_pipe) {
-    entry_pipe = *ingress_pipe;
-  } else {
-    const std::uint64_t h = packet.inner.hash();
-    entry_pipe = config_.compression.fold ? (h & 1 ? 2 : 0)
-                                          : static_cast<unsigned>(h & 3);
+XgwH::CachedWalk XgwH::summarize_walk(const asic::WalkResult& walked,
+                                      bool capture_deltas) {
+  CachedWalk walk;
+  walk.dropped = walked.dropped;
+  walk.drop_code = walked.drop_code;
+  walk.act = static_cast<std::uint8_t>(
+      walked.meta.get_or(fid_action_, kActForward));
+  // stage_rewrite is the only stage that mutates the packet: it writes
+  // outer_src unconditionally, then outer_dst unless it drops first
+  // (kNoNcResolved). Whether the rewrite ran is a property of the walk
+  // path, so it caches with the verdict.
+  walk.set_outer_src =
+      !walked.dropped ||
+      walked.drop_code ==
+          static_cast<std::uint8_t>(dataplane::DropReason::kNoNcResolved);
+  walk.set_outer_dst = !walked.dropped;
+  walk.outer_src = walked.packet.outer_src_ip;
+  walk.outer_dst = walked.packet.outer_dst_ip;
+  walk.passes = static_cast<std::uint8_t>(walked.passes);
+  walk.egress_pipe = static_cast<std::uint8_t>(walked.egress_pipe);
+  walk.bridged_bits = static_cast<std::uint16_t>(walked.bridged_bits);
+  // Exact per-counter deltas the walk produced (stage hit/miss counts,
+  // per-pipe packet counts, asic totals) — replayed verbatim on a hit so
+  // telemetry snapshots cannot tell the fast path from a walk. The
+  // pattern is interned: flows sharing a walk path share one delta set.
+  if (capture_deltas) {
+    scratch_deltas_.clear();
+    for (std::size_t i = 0; i < tracked_counters_.size(); ++i) {
+      const std::uint64_t delta =
+          tracked_counters_[i]->value() - walk_baseline_[i];
+      if (delta != 0) scratch_deltas_.push_back({tracked_counters_[i], delta});
+    }
+    walk.delta_set = intern_delta_set(scratch_deltas_);
+  }
+  return walk;
+}
+
+std::uint32_t XgwH::intern_delta_set(const std::vector<CounterDelta>& deltas) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const CounterDelta& d : deltas) {
+    h ^= reinterpret_cast<std::uintptr_t>(d.counter) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    h ^= d.delta + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  auto [it, fresh] =
+      delta_set_index_.try_emplace(h, static_cast<std::uint32_t>(
+                                          delta_sets_.size()));
+  if (fresh) {
+    delta_sets_.push_back(deltas);
+    return it->second;
+  }
+  // Hash collision between distinct patterns would silently misattribute
+  // counters; verify and fall back to an un-deduplicated append.
+  const std::vector<CounterDelta>& existing = delta_sets_[it->second];
+  const bool same =
+      existing.size() == deltas.size() &&
+      std::equal(existing.begin(), existing.end(), deltas.begin(),
+                 [](const CounterDelta& a, const CounterDelta& b) {
+                   return a.counter == b.counter && a.delta == b.delta;
+                 });
+  if (same) return it->second;
+  delta_sets_.push_back(deltas);
+  return static_cast<std::uint32_t>(delta_sets_.size() - 1);
+}
+
+ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
+                           const CachedWalk& walk, bool replayed) {
+  if (replayed) {
+    if (walk.delta_set != CachedWalk::kNoDeltaSet) {
+      for (const CounterDelta& d : delta_sets_[walk.delta_set]) {
+        d.counter->add(d.delta);
+      }
+    }
+    hist_passes_->record(static_cast<double>(walk.passes));
   }
 
-  asic::WalkResult walked = walker_->run(packet, entry_pipe);
-
   ForwardResult result;
-  result.packet = std::move(walked.packet);
-  result.latency_us = walked.latency_us;
-  result.passes = walked.passes;
-  result.egress_pipe = walked.egress_pipe;
-  hist_latency_->record(walked.latency_us);
+  result.packet = packet;
+  if (walk.set_outer_src) result.packet.outer_src_ip = walk.outer_src;
+  if (walk.set_outer_dst) result.packet.outer_dst_ip = walk.outer_dst;
+  result.passes = walk.passes;
+  result.egress_pipe = walk.egress_pipe;
+  // Same formula the walker applies; wire size comes from this packet, so
+  // flows whose packets vary in size still get exact latencies on a hit.
+  result.latency_us = config_.chip.latency_us(
+      walk.passes, result.packet.wire_size() + walk.bridged_bits / 8);
+  hist_latency_->record(result.latency_us);
 
   if (config_.compression.fold) {
     const unsigned shard = shard_of(packet.vni);
     const unsigned loopback_pipe = 1 + 2 * shard;
     result.shard_pipe = loopback_pipe;
-    if (!walked.dropped) {
+    if (!walk.dropped) {
       shard_pipe_bytes_[loopback_pipe] += packet.wire_size();
       ctr_pipe_bytes_[loopback_pipe]->add(packet.wire_size());
     }
   }
 
-  if (walked.dropped) {
+  if (walk.dropped) {
     ++telemetry_.packets_dropped;
     ctr_dropped_->add();
     result.action = dataplane::Action::kDrop;
-    result.drop_reason = reason_from_code(walked.drop_code);
+    result.drop_reason = reason_from_code(walk.drop_code);
     return result;
   }
 
-  const std::uint64_t act = walked.meta.get(kAction).value_or(kActForward);
-  if (act == kActFallback) {
-    // Overload protection before handing to the software gateway.
+  if (walk.act == kActFallback) {
+    // Overload protection before handing to the software gateway. The
+    // meter is stateful, so it runs on every packet — cache hits included.
     if (fallback_meter_.offer(fallback_meter_index_,
                               static_cast<double>(packet.wire_size()),
                               now) == tables::MeterColor::kRed) {
@@ -410,8 +520,47 @@ ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
   }
   ++telemetry_.packets_forwarded;
   ctr_forwarded_->add();
-  result.action = act == kActTunnel ? dataplane::Action::kForwardTunnel
-                                    : dataplane::Action::kForwardToNc;
+  result.action = walk.act == kActTunnel ? dataplane::Action::kForwardTunnel
+                                         : dataplane::Action::kForwardToNc;
+  return result;
+}
+
+ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
+                            std::optional<unsigned> ingress_pipe) {
+  ++telemetry_.packets_in;
+  telemetry_.bytes_in += packet.wire_size();
+  ctr_packets_in_->add();
+  ctr_bytes_in_->add(packet.wire_size());
+
+  // Fast path: replay the cached walk for this exact (VNI, 5-tuple). An
+  // explicit ingress_pipe overrides the flow-hash pick, so those packets
+  // bypass the cache entirely.
+  const bool cacheable = flow_cache_.enabled() && !ingress_pipe.has_value();
+  dataplane::FlowKey key;
+  if (cacheable) {
+    key = dataplane::make_flow_key(packet.vni, packet.inner);
+    if (const CachedWalk* hit = flow_cache_.find(key, table_generation_)) {
+      return finish(packet, now, *hit, /*replayed=*/true);
+    }
+  }
+
+  unsigned entry_pipe;
+  if (ingress_pipe) {
+    entry_pipe = *ingress_pipe;
+  } else {
+    const std::uint64_t h = packet.inner.hash();
+    entry_pipe = config_.compression.fold ? (h & 1 ? 2 : 0)
+                                          : static_cast<unsigned>(h & 3);
+  }
+
+  // Second-miss admission: only flows that have missed before are worth
+  // the capture + insert; one-packet flows cost a single filter write.
+  const bool capture = cacheable && flow_cache_.note_miss(key);
+  if (capture) snapshot_walk_counters();
+  const asic::WalkResult walked = walker_->run(packet, entry_pipe);
+  CachedWalk summary = summarize_walk(walked, /*capture_deltas=*/capture);
+  const ForwardResult result = finish(packet, now, summary, /*replayed=*/false);
+  if (capture) flow_cache_.insert(key, table_generation_, summary);
   return result;
 }
 

@@ -21,11 +21,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "asic/chip_config.hpp"
 #include "asic/pipeline.hpp"
 #include "asic/placer.hpp"
 #include "asic/walker.hpp"
+#include "dataplane/flow_cache.hpp"
 #include "dataplane/gateway.hpp"
 #include "dataplane/table_programmer.hpp"
 #include "tables/alpm.hpp"
@@ -60,6 +64,11 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
     /// the expected mapping count; fleet simulations spawn many devices,
     /// so the default stays modest.
     std::size_t vm_table_buckets = 1 << 14;
+    /// Flow-cache slots in front of the pipeline walk (0 disables; the
+    /// default honors the SF_FLOW_CACHE environment gate). The cache table
+    /// is allocated lazily on first insert, so idle fleet devices cost
+    /// nothing.
+    std::size_t flow_cache_entries = dataplane::default_flow_cache_entries();
   };
 
   explicit XgwH(Config config);
@@ -75,6 +84,19 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
                                            tables::VmNcAction action) override;
   dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
   void add_acl_rule(tables::AclRule rule);
+
+  /// Bumps the flow-cache epoch: cached verdicts filled before this call
+  /// lazily miss and re-walk. Every table mutation calls this internally;
+  /// the cluster/DR layers call it on health reroutes and standby swaps.
+  void invalidate_fast_path() { ++table_generation_; }
+  std::uint64_t fast_path_generation() const { return table_generation_; }
+
+  /// Hit/miss/eviction statistics of the flow cache (plain struct, kept
+  /// outside the registry so telemetry snapshots stay byte-identical with
+  /// the cache on or off).
+  const dataplane::FlowCacheStats& flow_cache_stats() const {
+    return flow_cache_.stats();
+  }
 
   std::size_t route_count() const;
   std::size_t mapping_count() const;
@@ -152,6 +174,36 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
     std::size_t maps_v6 = 0;
   };
 
+  struct CounterDelta {
+    telemetry::Counter* counter = nullptr;
+    std::uint64_t delta = 0;
+  };
+
+  /// The per-flow summary the cache replays in place of a pipeline walk:
+  /// the walk's verdict inputs, the packet mutation (outer header
+  /// rewrite), and the exact per-counter deltas the walk produced so a
+  /// replayed hit leaves the telemetry registry byte-identical to a walk.
+  ///
+  /// The deltas live in a shared flyweight table (`delta_sets_`), not in
+  /// the entry: distinct walks produce only a handful of distinct delta
+  /// patterns (path x pipes x passes), so interning keeps the cache entry
+  /// at ~2 cache lines and every hit replays a vector that stays hot.
+  struct CachedWalk {
+    static constexpr std::uint32_t kNoDeltaSet = 0xFFFFFFFF;
+
+    bool dropped = false;
+    std::uint8_t drop_code = 0;
+    std::uint8_t act = 0;  // kAction metadata (valid when !dropped)
+    bool set_outer_src = false;
+    bool set_outer_dst = false;
+    std::uint8_t passes = 0;
+    std::uint8_t egress_pipe = 0;
+    std::uint16_t bridged_bits = 0;
+    std::uint32_t delta_set = kNoDeltaSet;  // index into delta_sets_
+    net::IpAddr outer_src;
+    net::IpAddr outer_dst;
+  };
+
   /// Shard index (0/1) for a VNI — parity split (§4.4).
   unsigned shard_of(net::Vni vni) const;
   Shard& shard_for(net::Vni vni);
@@ -166,6 +218,14 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
   void stage_vm_nc_lookup(asic::PacketContext& ctx, unsigned shard);
   void stage_rewrite(asic::PacketContext& ctx);
 
+  // Fast-path plumbing.
+  void snapshot_walk_counters();
+  CachedWalk summarize_walk(const asic::WalkResult& walked,
+                            bool capture_deltas);
+  std::uint32_t intern_delta_set(const std::vector<CounterDelta>& deltas);
+  ForwardResult finish(const net::OverlayPacket& packet, double now,
+                       const CachedWalk& walk, bool replayed);
+
   Config config_;
   std::array<Shard, 2> shards_;
   tables::AclTable acl_;
@@ -174,6 +234,26 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
 
   asic::PipelineProgram program_;
   std::unique_ptr<asic::Walker> walker_;
+
+  // Compiled PHV field handles (interned once in build_program()).
+  asic::FieldId fid_shard_ = asic::kInvalidFieldId;
+  asic::FieldId fid_scope_ = asic::kInvalidFieldId;
+  asic::FieldId fid_fallback_ = asic::kInvalidFieldId;
+  asic::FieldId fid_resolved_vni_ = asic::kInvalidFieldId;
+  asic::FieldId fid_tunnel_ip_ = asic::kInvalidFieldId;
+  asic::FieldId fid_nc_ip_ = asic::kInvalidFieldId;
+  asic::FieldId fid_action_ = asic::kInvalidFieldId;
+
+  // Flow-cache fast path (single-writer; one cache per device/shard).
+  dataplane::FlowCache<CachedWalk> flow_cache_;
+  std::uint64_t table_generation_ = 0;
+  std::vector<telemetry::Counter*> tracked_counters_;
+  std::vector<std::uint64_t> walk_baseline_;
+  std::vector<CounterDelta> scratch_deltas_;  // miss-side staging buffer
+  /// Interned walk-delta patterns (flyweight; counter pointers are stable
+  /// for the registry's lifetime, so sets never invalidate).
+  std::vector<std::vector<CounterDelta>> delta_sets_;
+  std::unordered_map<std::uint64_t, std::uint32_t> delta_set_index_;
 
   std::array<std::uint64_t, 4> shard_pipe_bytes_{};
   Telemetry telemetry_;
@@ -193,6 +273,7 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
   telemetry::Counter* ctr_acl_deny_ = nullptr;
   std::array<telemetry::Counter*, 4> ctr_pipe_bytes_{};
   telemetry::Histogram* hist_latency_ = nullptr;
+  telemetry::Histogram* hist_passes_ = nullptr;  // walker's, for hit replay
 };
 
 }  // namespace sf::xgwh

@@ -20,7 +20,8 @@ TEST(Walker, SinglePassWithoutLoopback) {
   int egress_runs = 0;
   program.set_ingress(0, {"in", {[&](PacketContext&) { ++ingress_runs; }}});
   program.set_egress(0, {"out", {[&](PacketContext&) { ++egress_runs; }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_FALSE(result.dropped);
   EXPECT_EQ(result.passes, 1u);
@@ -35,7 +36,8 @@ TEST(Walker, SteeringToAnotherEgressPipe) {
       0, {"in", {[](PacketContext& ctx) { ctx.egress_pipe = 3; }}});
   int pipe3_egress = 0;
   program.set_egress(3, {"out", {[&](PacketContext&) { ++pipe3_egress; }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_EQ(result.egress_pipe, 3u);
   EXPECT_EQ(pipe3_egress, 1);
@@ -59,7 +61,8 @@ TEST(Walker, FoldedPathMakesTwoPasses) {
   program.set_egress(0, {"eg0", {[&](PacketContext&) {
                            trace.push_back("E0");
                          }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_FALSE(result.dropped);
   EXPECT_EQ(result.passes, 2u);
@@ -79,7 +82,8 @@ TEST(Walker, MetadataDoesNotCrossGressUnbridged) {
   program.set_egress(0, {"out", {[&](PacketContext& ctx) {
                            seen = ctx.meta.get("secret");
                          }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   walker.run(sample_packet(), 0);
   EXPECT_FALSE(seen.has_value());
 }
@@ -93,7 +97,8 @@ TEST(Walker, BridgedMetadataSurvivesAndIsCharged) {
   program.set_egress(0, {"out", {[&](PacketContext& ctx) {
                            seen = ctx.meta.get("carry");
                          }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_EQ(seen, 7u);
   EXPECT_EQ(result.bridged_bits, 24u);
@@ -105,10 +110,11 @@ TEST(Walker, DropInIngressSkipsEgress) {
   program.set_ingress(
       0, {"in", {[](PacketContext& ctx) { ctx.drop("test drop"); }}});
   program.set_egress(0, {"out", {[&](PacketContext&) { ++egress_runs; }}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_TRUE(result.dropped);
-  EXPECT_EQ(result.drop_reason, "test drop");
+  EXPECT_STREQ(result.drop_note, "test drop");
   EXPECT_EQ(egress_runs, 0);
 }
 
@@ -116,10 +122,13 @@ TEST(Walker, LoopbackCycleIsBounded) {
   PipelineProgram program(4);
   // Every pipe loops back forever: the walker must abort.
   for (unsigned p = 0; p < 4; ++p) program.set_loopback(p, true);
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   const WalkResult result = walker.run(sample_packet(), 0);
   EXPECT_TRUE(result.dropped);
-  EXPECT_NE(result.drop_reason.find("loopback"), std::string::npos);
+  ASSERT_NE(result.drop_note, nullptr);
+  EXPECT_NE(std::string(result.drop_note).find("loopback"),
+            std::string::npos);
   EXPECT_LE(result.passes, Walker::kMaxPasses);
 }
 
@@ -131,7 +140,8 @@ TEST(Walker, StagesRunInOrder) {
                            [&](PacketContext&) { order.push_back(2); },
                            [&](PacketContext&) { order.push_back(3); }}});
   program.set_egress(0, {"out", {}});
-  Walker walker{ChipConfig{}, &program};
+  const ChipConfig chip;
+  Walker walker{chip, &program};
   walker.run(sample_packet(), 0);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }

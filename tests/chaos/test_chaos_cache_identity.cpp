@@ -1,0 +1,80 @@
+// The flow cache under fire: a fixed-seed chaos schedule replayed against
+// two identically built regions — flow caches ON in one, OFF in the other
+// — must produce byte-identical reports and event logs. Health reroutes,
+// cold-standby swaps and provisioning storms all bump the caches' epochs,
+// so a cached gateway can never serve a verdict its uncached twin would
+// not compute.
+
+#include "chaos/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sailfish.hpp"
+#include "telemetry/export.hpp"
+
+namespace sf::chaos {
+namespace {
+
+core::SailfishOptions options_with_cache(std::size_t cache_entries) {
+  core::SailfishOptions options = core::quickstart_options();
+  options.region.recovery.ports_per_device = 4;
+  options.region.recovery.cold_standby_pool = 1;
+  options.region.recovery.min_live_fraction = 0.9;
+  options.region.controller.cluster_template.device.flow_cache_entries =
+      cache_entries;
+  options.region.x86_template.flow_cache_entries = cache_entries;
+  return options;
+}
+
+ChaosInjector::Config injector_config() {
+  ChaosInjector::Config config;
+  config.settle_s = 20.0;
+  config.interval_bps = 5e12;
+  return config;
+}
+
+TEST(ChaosCacheIdentity, FixedSeedScheduleReplaysIdenticallyCacheOnOrOff) {
+  const ChaosSchedule::RandomConfig shape{
+      /*horizon_s=*/30.0, /*events=*/6, /*clusters=*/1,
+      /*devices_per_cluster=*/4, /*ports_per_device=*/4,
+      /*control_plane_faults=*/true, /*upgrade_faults=*/true};
+  const ChaosSchedule schedule = ChaosSchedule::random(20260807, shape);
+
+  auto run = [&](std::size_t cache_entries) {
+    core::SailfishSystem system =
+        core::make_system(options_with_cache(cache_entries));
+    ChaosInjector injector(*system.region, system.flows, injector_config());
+    const ChaosReport report = injector.run(schedule);
+    return std::pair<std::string, std::string>(report.to_json(),
+                                               injector.log().to_string());
+  };
+
+  const auto cached = run(/*cache_entries=*/1 << 12);
+  const auto uncached = run(/*cache_entries=*/0);
+  EXPECT_EQ(cached.first, uncached.first);    // report JSON, byte for byte
+  EXPECT_EQ(cached.second, uncached.second);  // full replay log
+}
+
+TEST(ChaosCacheIdentity, RegionTelemetryMatchesAfterScriptedFailover) {
+  // A scripted device crash + recovery: afterwards the cached and
+  // uncached regions' merged registries must render identically.
+  ChaosSchedule schedule;
+  schedule.add(ChaosEvent{/*time=*/1.0, FaultKind::kDeviceCrash,
+                          /*cluster=*/0, /*device=*/0, /*port=*/0,
+                          /*count=*/0, /*duration=*/5.0,
+                          /*error_rate=*/0});
+
+  auto run = [&](std::size_t cache_entries) {
+    core::SailfishSystem system =
+        core::make_system(options_with_cache(cache_entries));
+    ChaosInjector injector(*system.region, system.flows, injector_config());
+    const ChaosReport report = injector.run(schedule);
+    EXPECT_TRUE(report.converged()) << report.to_json();
+    return telemetry::to_json(system.region->telemetry_snapshot());
+  };
+
+  EXPECT_EQ(run(1 << 12), run(0));
+}
+
+}  // namespace
+}  // namespace sf::chaos

@@ -1,0 +1,132 @@
+// FlowCache unit behavior: exact-match round trips, epoch-based lazy
+// invalidation (the coherence primitive every gateway mutation leans on),
+// deterministic eviction, the disabled mode, and the packed key digest.
+
+#include "dataplane/flow_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::dataplane {
+namespace {
+
+net::FiveTuple tuple(std::uint8_t last_octet, std::uint16_t src_port = 40000) {
+  net::FiveTuple t;
+  t.src = net::IpAddr(net::Ipv4Addr(10, 0, 0, 1));
+  t.dst = net::IpAddr(net::Ipv4Addr(192, 168, 0, last_octet));
+  t.proto = 6;
+  t.src_port = src_port;
+  t.dst_port = 80;
+  return t;
+}
+
+TEST(FlowCache, InsertFindRoundTrip) {
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  EXPECT_EQ(cache.find(key, 0), nullptr);
+  cache.insert(key, 0, 42);
+  int* hit = cache.find(key, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(FlowCache, StaleGenerationIsAMissAndReclaimsTheSlot) {
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  cache.insert(key, /*generation=*/0, 42);
+
+  // A mutation bumped the epoch: the entry must not replay.
+  EXPECT_EQ(cache.find(key, /*generation=*/1), nullptr);
+  EXPECT_EQ(cache.stats().stale_reclaims, 1u);
+  // The slot was reclaimed outright — even the old epoch misses now.
+  EXPECT_EQ(cache.find(key, /*generation=*/0), nullptr);
+  EXPECT_EQ(cache.size(0), 0u);
+
+  // Refill under the new epoch works as usual.
+  cache.insert(key, 1, 43);
+  int* hit = cache.find(key, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 43);
+}
+
+TEST(FlowCache, OverwriteSameKeyUpdatesInPlace) {
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  cache.insert(key, 0, 1);
+  cache.insert(key, 0, 2);
+  ASSERT_NE(cache.find(key, 0), nullptr);
+  EXPECT_EQ(*cache.find(key, 0), 2);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(0), 1u);
+}
+
+TEST(FlowCache, ZeroEntriesDisablesTheCache) {
+  FlowCache<int> cache(FlowCache<int>::Config{/*entries=*/0});
+  EXPECT_FALSE(cache.enabled());
+  const FlowKey key = make_flow_key(10, tuple(2));
+  cache.insert(key, 0, 42);  // no-op
+  EXPECT_EQ(cache.find(key, 0), nullptr);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(FlowCache, CapacityRoundsUpToPowerOfTwo) {
+  FlowCache<int> cache(FlowCache<int>::Config{/*entries=*/1000});
+  EXPECT_EQ(cache.capacity(), 1024u);
+}
+
+TEST(FlowCache, EvictionIsBoundedAndTheNewestKeyAlwaysLands) {
+  // A deliberately tiny cache under a flood of distinct flows: occupancy
+  // never exceeds capacity, evictions are counted, and the most recent
+  // insert is always immediately findable (the hot flow wins its window).
+  FlowCache<int> cache(FlowCache<int>::Config{/*entries=*/64});
+  for (int i = 0; i < 10'000; ++i) {
+    const FlowKey key =
+        make_flow_key(static_cast<std::uint32_t>(i), tuple(5));
+    cache.insert(key, 0, i);
+    ASSERT_NE(cache.find(key, 0), nullptr) << i;
+  }
+  EXPECT_LE(cache.size(0), cache.capacity());
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(FlowCache, ClearDropsEverything) {
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  cache.insert(key, 0, 42);
+  cache.clear();
+  EXPECT_EQ(cache.find(key, 0), nullptr);
+  EXPECT_EQ(cache.size(0), 0u);
+}
+
+TEST(FlowKeyDigest, DistinguishesEveryKeyField) {
+  const FlowKey base = make_flow_key(10, tuple(2));
+  EXPECT_EQ(base, make_flow_key(10, tuple(2)));  // deterministic
+
+  EXPECT_FALSE(base == make_flow_key(11, tuple(2)));        // vni
+  EXPECT_FALSE(base == make_flow_key(10, tuple(3)));        // dst ip
+  EXPECT_FALSE(base == make_flow_key(10, tuple(2, 40001)))  // src port
+      << "src_port must feed the digest";
+  net::FiveTuple udp = tuple(2);
+  udp.proto = 17;
+  EXPECT_FALSE(base == make_flow_key(10, udp));  // proto
+  net::FiveTuple other_src = tuple(2);
+  other_src.src = net::IpAddr(net::Ipv4Addr(10, 0, 0, 2));
+  EXPECT_FALSE(base == make_flow_key(10, other_src));  // src ip
+  net::FiveTuple other_dport = tuple(2);
+  other_dport.dst_port = 443;
+  EXPECT_FALSE(base == make_flow_key(10, other_dport));  // dst port
+}
+
+TEST(FlowCacheDefaults, DefaultEntriesIsAPowerOfTwoOrDisabled) {
+  const std::size_t entries = default_flow_cache_entries();
+  // Honors SF_FLOW_CACHE when set; either way the FlowCache built from it
+  // must be internally consistent.
+  FlowCache<int> cache(FlowCache<int>::Config{entries});
+  EXPECT_EQ(cache.enabled(), entries != 0);
+  EXPECT_GE(cache.capacity(), entries);
+}
+
+}  // namespace
+}  // namespace sf::dataplane

@@ -1,0 +1,139 @@
+// Fast-path micro-contracts, checked with real instrumentation rather
+// than inspection:
+//
+//   * a warmed cache hit performs ZERO heap allocations end to end
+//     (counting global operator new/delete overrides below);
+//   * the packet path performs no string-keyed PHV lookups at all — the
+//     compiled FieldId handles carry every stage (Phv::string_lookups()).
+//
+// This lives in its own binary because the operator new/delete overrides
+// are global: they must not contaminate the other test suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "asic/phv.hpp"
+#include "x86/xgw_x86.hpp"
+#include "xgwh/xgwh.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sf {
+namespace {
+
+using net::IpAddr;
+using net::IpPrefix;
+using tables::RouteScope;
+using tables::VmNcAction;
+using tables::VmNcKey;
+using tables::VxlanRouteAction;
+
+void install_tables(dataplane::TableProgrammer& gw) {
+  gw.install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
+                   VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  gw.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.2")},
+                     VmNcAction{net::Ipv4Addr(10, 1, 1, 11)});
+}
+
+net::OverlayPacket sample_packet(std::uint16_t src_port = 40000) {
+  net::OverlayPacket pkt;
+  pkt.vni = 10;
+  pkt.inner.src = IpAddr::must_parse("192.168.10.3");
+  pkt.inner.dst = IpAddr::must_parse("192.168.10.2");
+  pkt.inner.proto = 6;
+  pkt.inner.src_port = src_port;
+  pkt.inner.dst_port = 80;
+  pkt.payload_size = 200;
+  return pkt;
+}
+
+TEST(FastPath, XgwHCacheHitMakesZeroHeapAllocations) {
+  xgwh::XgwH::Config config;
+  config.flow_cache_entries = 1 << 10;
+  xgwh::XgwH gw(config);
+  install_tables(gw);
+  const net::OverlayPacket pkt = sample_packet();
+
+  // Warm-up: fill the cache AND saturate the histogram reservoirs
+  // (latency keeps 256 samples, passes 128) so steady state is reached.
+  for (int i = 0; i < 400; ++i) gw.forward(pkt, i * 1e-6);
+  ASSERT_GT(gw.flow_cache_stats().hits, 0u);
+  ASSERT_EQ(gw.forward(pkt, 1.0).action, dataplane::Action::kForwardToNc);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) gw.forward(pkt, 2.0 + i * 1e-6);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "a warmed cache hit must not touch the heap";
+}
+
+TEST(FastPath, XgwX86CacheHitMakesZeroHeapAllocations) {
+  x86::XgwX86::Config config;
+  config.flow_cache_entries = 1 << 10;
+  x86::XgwX86 gw(config);
+  install_tables(gw);
+  const net::OverlayPacket pkt = sample_packet();
+
+  for (int i = 0; i < 400; ++i) gw.forward(pkt, i * 1e-6);
+  ASSERT_GT(gw.flow_cache_stats().hits, 0u);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) gw.forward(pkt, 2.0 + i * 1e-6);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(FastPath, NoStringKeyedPhvLookupsOnThePacketPath) {
+  // Misses walk the full pipeline; hits replay. NEITHER may fall back to
+  // string-keyed PHV access — every stage runs on interned FieldIds.
+  xgwh::XgwH::Config config;
+  config.flow_cache_entries = 1 << 10;
+  xgwh::XgwH gw(config);
+  install_tables(gw);
+
+  const std::uint64_t before = asic::Phv::string_lookups();
+  for (int i = 0; i < 200; ++i) {
+    // Rotate ports: a mix of cold flows (walks) and repeats (hits).
+    gw.forward(sample_packet(static_cast<std::uint16_t>(40000 + i % 8)),
+               i * 1e-6);
+  }
+  EXPECT_EQ(asic::Phv::string_lookups(), before)
+      << "a stage regressed to Phv string access on the packet path";
+}
+
+TEST(FastPath, FrozenLayoutRejectsRuntimeInterning) {
+  // The program's layout freezes at build time: a typo'd field name in a
+  // stage must fail loudly instead of silently interning a new slot.
+  auto shared = std::make_shared<asic::PhvLayout>();
+  shared->intern("known");
+  shared->freeze();
+  EXPECT_TRUE(shared->frozen());
+  EXPECT_THROW(shared->intern("late"), std::logic_error);
+  asic::Phv phv(256, shared);
+  EXPECT_THROW(phv.set("unknown", 1, 8), std::logic_error);
+  phv.set("known", 5, 8);
+  EXPECT_EQ(phv.get("known"), 5u);
+}
+
+}  // namespace
+}  // namespace sf

@@ -37,6 +37,7 @@ TEST_P(TcamEquivalenceTest, TcamMatchesTrie) {
   workload::Rng rng(param.seed);
 
   LpmTrie<int> trie;
+  trie.reserve(param.routes);
   Tcam<int> tcam;  // pooled keys, priority = pooled prefix length
 
   for (std::size_t i = 0; i < param.routes; ++i) {
