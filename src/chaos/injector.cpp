@@ -1,11 +1,13 @@
 #include "chaos/injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <limits>
 
 #include "cluster/upgrade.hpp"
+#include "guard/guard.hpp"
 #include "net/packet.hpp"
 #include "tables/entry.hpp"
 #include "workload/topology.hpp"
@@ -107,6 +109,35 @@ workload::VpcRecord storm_vpc(net::Vni vni, unsigned ordinal) {
   return vpc;
 }
 
+/// Appends a storm tenant's flood to a flow population: `flow_count`
+/// Zipf-skewed flows whose weights sum to `weight_total`, addressed
+/// between the storm VPC's two VMs so every packet resolves through the
+/// tables storm provisioning installed.
+void append_storm_flows(std::vector<workload::Flow>& out, net::Vni vni,
+                        unsigned ordinal, unsigned flow_count,
+                        double weight_total, double zipf_exponent) {
+  const std::uint32_t base =
+      0x0a000000u | ((static_cast<std::uint32_t>(ordinal) & 0xffffu) << 8);
+  double norm = 0;
+  for (unsigned k = 0; k < flow_count; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k + 1), zipf_exponent);
+  }
+  for (unsigned k = 0; k < flow_count; ++k) {
+    workload::Flow flow;
+    flow.vni = vni;
+    flow.scope = tables::RouteScope::kLocal;
+    flow.dst_nc = net::Ipv4Addr(0xac100000u + ordinal);
+    flow.tuple.src = net::IpAddr(net::Ipv4Addr(base + 1));
+    flow.tuple.dst = net::IpAddr(net::Ipv4Addr(base + 2));
+    flow.tuple.proto = 17;
+    flow.tuple.src_port = static_cast<std::uint16_t>(0x4000 + k);
+    flow.tuple.dst_port = 4789;
+    flow.weight = weight_total / norm /
+                  std::pow(static_cast<double>(k + 1), zipf_exponent);
+    out.push_back(flow);
+  }
+}
+
 }  // namespace
 
 struct ChaosInjector::ActiveFault {
@@ -155,6 +186,22 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
   double channel_down_until = -1;
   std::size_t channel_fault = 0;
   bool channel_down = false;
+
+  // Tenant storms armed this run (the flood blends into interval samples
+  // while [start, end) covers the tick).
+  struct Storm {
+    std::size_t fault = 0;  // owning FaultRecord index
+    net::Vni vni = 0;
+    unsigned ordinal = 0;
+    unsigned flow_count = 0;
+    double magnitude = 0;  // offered rate as a multiple of interval_bps
+    double start = 0;
+    double end = 0;
+  };
+  std::vector<Storm> storms;
+  const auto storm_active = [](const Storm& storm, double now) {
+    return storm.start <= now + 1e-9 && now < storm.end - 1e-9;
+  };
 
   const auto slot_down = [&](std::uint64_t key, double now,
                              std::size_t* fault_out = nullptr) {
@@ -278,6 +325,38 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
                       result.completed
                           ? "roll completed"
                           : "roll aborted: " + result.abort_reason);
+          break;
+        }
+        case FaultKind::kTenantStorm: {
+          const unsigned ordinal = storm_vni_next_++;
+          const net::Vni vni =
+              config_.storm_vni_base + static_cast<net::Vni>(ordinal);
+          controller.add_vpc(storm_vpc(vni, ordinal));
+          guard::TenantGuard* guard = region_.tenant_guard();
+          if (guard == nullptr || config_.interval_bps <= 0 ||
+              config_.interval_every == 0) {
+            // Without a guard (or interval sampling to meter against)
+            // there is nothing to degrade or verify — retire immediately.
+            report.faults[index].detected_at = now;
+            report.faults[index].recovered_at = now;
+            fault.done = true;
+            fault.end = event.time;
+            log_.append(now, "tenant-storm",
+                        "skipped: region has no guard or interval sampling");
+            break;
+          }
+          const double limit_bps =
+              config_.storm_limit_fraction * config_.interval_bps;
+          guard->set_limit(guard::TenantLimit{vni, limit_bps, 0.0});
+          fault.end = event.time + event.duration;
+          storms.push_back(Storm{index, vni, ordinal, event.count,
+                                 event.error_rate, event.time, fault.end});
+          report.faults[index].detected_at = now;
+          log_.append(now, "tenant-storm",
+                      format("vni %u armed: limit %.3e bps, flood %.1fx "
+                             "region rate over %u flows for %.1fs",
+                             static_cast<unsigned>(vni), limit_bps,
+                             event.error_rate, event.count, event.duration));
           break;
         }
       }
@@ -429,6 +508,25 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
         }
         case FaultKind::kMidUpgradeFailure:
           break;
+        case FaultKind::kTenantStorm: {
+          // Done when the flood is over AND the guard has walked the
+          // tenant back down the ladder to full service.
+          if (now + 1e-9 < fault.end) break;
+          const guard::TenantGuard* guard = region_.tenant_guard();
+          net::Vni vni = 0;
+          for (const Storm& storm : storms) {
+            if (storm.fault == i) vni = storm.vni;
+          }
+          if (guard == nullptr ||
+              guard->tier_of(vni) == guard::Tier::kFull) {
+            record.recovered_at = now;
+            fault.done = true;
+            log_.append(now, "recover",
+                        format("storm tenant %u back to full service",
+                               static_cast<unsigned>(vni)));
+          }
+          break;
+        }
       }
     }
 
@@ -462,11 +560,67 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
     // ---- 8. interval-simulator sample (the fig19-under-failure series) ----
     if (config_.interval_bps > 0 && config_.interval_every > 0 &&
         tick % config_.interval_every == 0) {
-      const core::SailfishRegion::IntervalReport interval =
-          region_.simulate_interval(flows_, config_.interval_bps, tick);
+      // While a tenant storm rages, the flood rides on top of the base
+      // population: the base keeps its absolute offered rate and each
+      // storm adds `magnitude` x interval_bps of Zipf-skewed flows.
+      double storm_total = 0;
+      for (const Storm& storm : storms) {
+        if (storm_active(storm, now)) storm_total += storm.magnitude;
+      }
+      core::SailfishRegion::IntervalReport interval;
+      if (storm_total > 0) {
+        std::vector<workload::Flow> blended(flows_.begin(), flows_.end());
+        const double scale = 1.0 / (1.0 + storm_total);
+        for (workload::Flow& flow : blended) flow.weight *= scale;
+        for (const Storm& storm : storms) {
+          if (!storm_active(storm, now)) continue;
+          append_storm_flows(blended, storm.vni, storm.ordinal,
+                             storm.flow_count, storm.magnitude * scale,
+                             config_.storm_zipf_exponent);
+        }
+        interval = region_.simulate_interval(
+            blended, config_.interval_bps * (1.0 + storm_total), tick);
+      } else {
+        interval =
+            region_.simulate_interval(flows_, config_.interval_bps, tick);
+      }
       report.drop_rate_series.emplace_back(now, interval.drop_rate);
       report.peak_drop_rate =
           std::max(report.peak_drop_rate, interval.drop_rate);
+
+      // Storm isolation samples: the storm tenant's ladder tier and the
+      // drop rate over everyone else (guard sheds excluded — they hit
+      // only the storm tenant).
+      double all_storm_offered_pps = 0;
+      for (const auto& tenant : interval.guard_tenants) {
+        all_storm_offered_pps += tenant.offered_pps;
+      }
+      for (const Storm& storm : storms) {
+        if (!storm_active(storm, now)) continue;
+        ChaosReport::StormSample sample;
+        sample.time = now;
+        sample.vni = storm.vni;
+        for (const auto& tenant : interval.guard_tenants) {
+          if (tenant.vni != storm.vni) continue;
+          sample.tier = static_cast<int>(tenant.tier);
+          sample.storm_offered_pps = tenant.offered_pps;
+          sample.storm_shed_pps = tenant.shed_pps;
+        }
+        const double victim_pps =
+            interval.offered_pps - all_storm_offered_pps;
+        const double victim_dropped =
+            interval.dropped_pps - interval.guard_shed_pps;
+        sample.victim_drop_rate =
+            victim_pps > 0 ? std::max(victim_dropped, 0.0) / victim_pps : 0;
+        if (report.faults[storm.fault].rerouted_at < 0 && sample.tier > 0) {
+          // "Rerouted" for a storm: the guard moved the tenant off full
+          // service.
+          report.faults[storm.fault].rerouted_at = now;
+        }
+        report.peak_victim_drop_rate =
+            std::max(report.peak_victim_drop_rate, sample.victim_drop_rate);
+        report.storm_samples.push_back(sample);
+      }
     }
 
     // ---- 9. termination ---------------------------------------------------
@@ -518,6 +672,16 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
   }
   if (!recovery.quiescent()) {
     report.leaks.push_back("disaster recovery holds stale isolated-port state");
+  }
+  if (const guard::TenantGuard* guard = region_.tenant_guard()) {
+    for (const Storm& storm : storms) {
+      if (guard->tier_of(storm.vni) != guard::Tier::kFull) {
+        report.leaks.push_back(
+            format("storm tenant %u still degraded to %s",
+                   static_cast<unsigned>(storm.vni),
+                   guard::name(guard->tier_of(storm.vni))));
+      }
+    }
   }
   if (controller.deferred_op_count() != 0) {
     report.leaks.push_back(format("%zu table ops still deferred",
@@ -595,6 +759,24 @@ std::string ChaosReport::to_json() const {
     out += i + 1 < drop_rate_series.size() ? ",\n" : "\n";
   }
   out += "  ],\n";
+  // Present only for schedules with tenant storms, so every pre-storm
+  // report renders byte-identically.
+  if (!storm_samples.empty()) {
+    out += format("  \"peak_victim_drop_rate\": %.9e,\n",
+                  peak_victim_drop_rate);
+    out += "  \"tenant_storms\": [\n";
+    for (std::size_t i = 0; i < storm_samples.size(); ++i) {
+      const StormSample& sample = storm_samples[i];
+      out += format("    {\"t\": %.3f, \"vni\": %u, \"tier\": %d, "
+                    "\"offered_pps\": %.3e, \"shed_pps\": %.3e, "
+                    "\"victim_drop_rate\": %.9e}",
+                    sample.time, static_cast<unsigned>(sample.vni),
+                    sample.tier, sample.storm_offered_pps,
+                    sample.storm_shed_pps, sample.victim_drop_rate);
+      out += i + 1 < storm_samples.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
   out += "  \"leaks\": [";
   for (std::size_t i = 0; i < leaks.size(); ++i) {
     out += "\"" + leaks[i] + "\"";

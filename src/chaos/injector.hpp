@@ -72,6 +72,24 @@ struct ChaosReport {
   /// (time, drop rate) samples from the interval simulator.
   std::vector<std::pair<double, double>> drop_rate_series;
 
+  /// One row per interval sample taken while a tenant storm was active:
+  /// the guard's ladder tier for the storm tenant and the collateral
+  /// damage on everyone else. Empty (and absent from the JSON) for
+  /// schedules without kTenantStorm events.
+  struct StormSample {
+    double time = 0;
+    net::Vni vni = 0;
+    int tier = 0;                  // guard::Tier at the end of the interval
+    double storm_offered_pps = 0;
+    double storm_shed_pps = 0;
+    /// Drop rate over the non-storm population only — the isolation
+    /// number the storm is meant to leave unharmed.
+    double victim_drop_rate = 0;
+  };
+  std::vector<StormSample> storm_samples;
+  /// Worst victim drop rate seen across storm samples.
+  double peak_victim_drop_rate = 0;
+
   /// Post-run invariant violations (stale DR state, unconverged queue,
   /// devices still out). Empty means the region fully recovered.
   std::vector<std::string> leaks;
@@ -100,6 +118,12 @@ class ChaosInjector {
     double settle_s = 30.0;
     /// Base VNI for storm-provisioned tenants (outside topology VNIs).
     net::Vni storm_vni_base = 0xC0DE00;
+    /// Tenant-storm shape (kTenantStorm). The storm tenant's byte-rate
+    /// limit is armed on the region's guard as this fraction of
+    /// `interval_bps`; the flood itself is Zipf-skewed over the event's
+    /// `count` flows with this exponent.
+    double storm_limit_fraction = 0.05;
+    double storm_zipf_exponent = 1.2;
   };
 
   ChaosInjector(core::SailfishRegion& region,

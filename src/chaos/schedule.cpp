@@ -23,6 +23,8 @@ std::string to_string(FaultKind kind) {
       return "update-storm";
     case FaultKind::kMidUpgradeFailure:
       return "mid-upgrade-failure";
+    case FaultKind::kTenantStorm:
+      return "tenant-storm";
   }
   return "?";
 }
@@ -54,6 +56,7 @@ double ChaosSchedule::horizon() const {
     switch (event.kind) {
       case FaultKind::kDeviceCrash:
       case FaultKind::kChannelOutage:
+      case FaultKind::kTenantStorm:
         end += event.duration;
         break;
       case FaultKind::kDeviceFlap:
@@ -100,10 +103,24 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed,
     event.device = rng.uniform(config.devices_per_cluster);
     event.port = static_cast<unsigned>(rng.uniform(config.ports_per_device));
 
-    // Data-plane faults always; control-plane/upgrade faults when enabled.
+    // Data-plane faults always; control-plane/upgrade/tenant faults when
+    // enabled. The storm face is appended last so configs without it draw
+    // byte-identical schedules from the same seed.
     const std::uint64_t faces = 4 + (config.control_plane_faults ? 2 : 0) +
-                                (config.upgrade_faults ? 1 : 0);
-    switch (rng.uniform(faces)) {
+                                (config.upgrade_faults ? 1 : 0) +
+                                (config.tenant_storms ? 1 : 0);
+    const std::uint64_t face = rng.uniform(faces);
+    if (config.tenant_storms && face + 1 == faces) {
+      event.kind = FaultKind::kTenantStorm;
+      event.count = 16 + static_cast<unsigned>(rng.uniform(16));
+      event.duration = 3.0 + static_cast<double>(rng.uniform(5));
+      // error_rate doubles as the storm magnitude: the tenant offers this
+      // multiple of the region's nominal interval rate.
+      event.error_rate = 2.0 + static_cast<double>(rng.uniform(4));
+      schedule.add(event);
+      continue;
+    }
+    switch (face) {
       case 0:
         event.kind = FaultKind::kDeviceCrash;
         event.duration = 2.0 + static_cast<double>(rng.uniform(8));

@@ -24,6 +24,8 @@ enum class FaultKind : std::uint8_t {
   kChannelOutage,     // controller update channel down for `duration`
   kUpdateStorm,       // `count` VPC provisionings pushed in one tick
   kMidUpgradeFailure, // rolling upgrade whose action fails at `device`
+  kTenantStorm,       // one tenant floods `error_rate` x region capacity
+                      // over `count` Zipf-skewed flows for `duration` s
 };
 
 std::string to_string(FaultKind kind);
@@ -59,6 +61,10 @@ class ChaosSchedule {
     bool control_plane_faults = true;
     /// Include mid-upgrade failures.
     bool upgrade_faults = true;
+    /// Include single-tenant overload storms (needs a region with a
+    /// tenant guard to be meaningful). Off by default so pre-existing
+    /// seeds keep drawing byte-identical schedules.
+    bool tenant_storms = false;
   };
 
   ChaosSchedule() = default;

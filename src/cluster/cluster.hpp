@@ -65,6 +65,15 @@ class XgwHCluster : public dataplane::Gateway,
   /// The device index process() would pick for this flow (tracing).
   std::optional<std::size_t> pick_device(const net::FiveTuple& tuple) const;
 
+  /// True when the device that would serve this packet holds its flow in
+  /// the flow cache — the guard's tier-1 "established?" probe. Const and
+  /// side-effect free (see XgwH::flow_established).
+  bool flow_established(const net::OverlayPacket& packet) const {
+    const std::optional<std::size_t> index = pick_device(packet.inner);
+    if (!index) return false;
+    return devices_[*index].gateway->flow_established(packet);
+  }
+
   // ---- health / failover ----------------------------------------------------
 
   std::size_t device_count() const { return devices_.size(); }

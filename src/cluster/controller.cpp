@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "guard/guard.hpp"
+
 namespace sf::cluster {
 
 Controller::Controller(Config config)
@@ -27,6 +29,14 @@ Controller::Controller(Config config)
   ctr_ops_replayed_ = &registry_->counter("controller.table_ops_replayed");
   op_tokens_ = static_cast<double>(config_.table_op_burst);
   retry_queue_ = std::make_unique<UpdateQueue>(*this, config_.retry);
+  if (config_.breaker.trip_after > 0 && guard::guard_enabled()) {
+    breaker_ = std::make_unique<guard::CircuitBreaker>(config_.breaker);
+    ctr_breaker_trips_ = &registry_->counter("controller.breaker_trips");
+    ctr_breaker_reopens_ = &registry_->counter("controller.breaker_reopens");
+    ctr_breaker_closes_ = &registry_->counter("controller.breaker_closes");
+    ctr_breaker_short_circuited_ =
+        &registry_->counter("controller.breaker_short_circuited");
+  }
   const std::size_t prebuilt =
       std::min(config_.initial_clusters, config_.max_clusters);
   for (std::size_t i = 0; i < prebuilt; ++i) {
@@ -46,6 +56,12 @@ void Controller::mirror(const TableOp& op) {
 
 std::size_t Controller::advance_clock(double now) {
   clock_now_ = std::max(clock_now_, now);
+  // While the breaker is plain-open the channel is not worth trying:
+  // retries stay parked (half-open lets the head op through as the probe).
+  if (breaker_ && breaker_->state(clock_now_) ==
+                      guard::CircuitBreaker::State::kOpen) {
+    return 0;
+  }
   const std::size_t replayed = retry_queue_->advance(clock_now_);
   if (replayed > 0) ctr_ops_replayed_->add(replayed);
   return replayed;
@@ -53,10 +69,48 @@ std::size_t Controller::advance_clock(double now) {
 
 dataplane::TableOpStatus Controller::push_op(const TableOp& op) {
   const std::size_t pending_before = retry_queue_->pending();
-  const dataplane::TableOpStatus status =
-      retry_queue_->submit(op, clock_now_);
+  dataplane::TableOpStatus status;
+  if (breaker_ && !breaker_->allow(clock_now_)) {
+    // Short-circuit: park without burning a channel attempt. Order is
+    // kept (the queue is strict FIFO) and nothing is lost.
+    breaker_->note_short_circuit();
+    ctr_breaker_short_circuited_->add();
+    status = retry_queue_->defer(op, clock_now_);
+  } else {
+    status = retry_queue_->submit(op, clock_now_);
+  }
   if (retry_queue_->pending() > pending_before) ctr_ops_deferred_->add();
   return status;
+}
+
+void Controller::breaker_failure() {
+  if (!breaker_) return;
+  const guard::CircuitBreaker::Stats before = breaker_->stats();
+  breaker_->record_failure(clock_now_);
+  const guard::CircuitBreaker::Stats& after = breaker_->stats();
+  if (after.trips > before.trips) {
+    ctr_breaker_trips_->add();
+    journal_->record("breaker", "update-channel breaker tripped open",
+                     clock_now_);
+  }
+  if (after.reopens > before.reopens) {
+    ctr_breaker_reopens_->add();
+    journal_->record("breaker",
+                     "half-open probe refused; breaker re-opened",
+                     clock_now_);
+  }
+}
+
+void Controller::breaker_success() {
+  if (!breaker_) return;
+  const guard::CircuitBreaker::Stats before = breaker_->stats();
+  breaker_->record_success(clock_now_);
+  if (breaker_->stats().closes > before.closes) {
+    ctr_breaker_closes_->add();
+    journal_->record("breaker",
+                     "half-open probe succeeded; breaker closed",
+                     clock_now_);
+  }
 }
 
 void Controller::set_update_channel_up(bool up) {
@@ -72,9 +126,13 @@ void Controller::set_update_channel_up(bool up) {
 bool Controller::take_op_token() {
   if (!update_channel_up_) {
     ctr_ops_rate_limited_->add();
+    breaker_failure();
     return false;
   }
-  if (config_.table_op_rate_limit <= 0) return true;
+  if (config_.table_op_rate_limit <= 0) {
+    breaker_success();
+    return true;
+  }
   op_tokens_ = std::min(
       op_tokens_ +
           (clock_now_ - op_tokens_time_) * config_.table_op_rate_limit,
@@ -82,9 +140,11 @@ bool Controller::take_op_token() {
   op_tokens_time_ = clock_now_;
   if (op_tokens_ < 1.0) {
     ctr_ops_rate_limited_->add();
+    breaker_failure();
     return false;
   }
   op_tokens_ -= 1.0;
+  breaker_success();
   return true;
 }
 

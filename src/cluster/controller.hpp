@@ -18,6 +18,7 @@
 #include "cluster/load_balancer.hpp"
 #include "cluster/update_queue.hpp"
 #include "dataplane/table_programmer.hpp"
+#include "guard/circuit_breaker.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/registry.hpp"
 #include "workload/topology.hpp"
@@ -48,6 +49,13 @@ class Controller : public dataplane::TableProgrammer {
     /// Backoff shape of the internal retry queue that redelivers
     /// rate-limited provisioning pushes (see push_op / advance_clock).
     UpdateQueue::Config retry;
+    /// Circuit breaker on the update channel (sf::guard). Disabled by
+    /// default (trip_after == 0): `breaker.trip_after` consecutive
+    /// channel refusals stop all push attempts for `open_cooldown_s`,
+    /// parking new ops straight onto the retry queue (order kept, nothing
+    /// lost), then probe with the queue head. Also honors the SF_GUARD
+    /// environment gate.
+    guard::CircuitBreaker::Config breaker;
   };
 
   explicit Controller(Config config);
@@ -98,6 +106,10 @@ class Controller : public dataplane::TableProgrammer {
   const UpdateQueue::Stats& retry_stats() const {
     return retry_queue_->stats();
   }
+
+  /// The update-channel circuit breaker; nullptr when not configured (or
+  /// gated off by SF_GUARD).
+  const guard::CircuitBreaker* breaker() const { return breaker_.get(); }
 
   /// Models losing the update channel to the devices entirely: while down,
   /// every table push is deferred (direct install/remove calls return
@@ -187,7 +199,11 @@ class Controller : public dataplane::TableProgrammer {
   std::optional<std::uint32_t> assign_cluster();
   void mirror(const TableOp& op);
   /// Update-channel token bucket (table_op_rate_limit / table_op_burst).
+  /// Every outcome feeds the circuit breaker when one is configured.
   bool take_op_token();
+  /// Breaker feedback with trip/close journaling (no-ops when absent).
+  void breaker_failure();
+  void breaker_success();
 
   Config config_;
   std::vector<std::unique_ptr<XgwHCluster>> clusters_;
@@ -202,6 +218,8 @@ class Controller : public dataplane::TableProgrammer {
   bool update_channel_up_ = true;
   /// Redelivery of rate-limited pushes; targets this controller itself.
   std::unique_ptr<UpdateQueue> retry_queue_;
+  /// Built only when configured (trip_after > 0) and SF_GUARD allows it.
+  std::unique_ptr<guard::CircuitBreaker> breaker_;
 
   std::unique_ptr<telemetry::Registry> registry_;
   std::unique_ptr<telemetry::EventJournal> journal_;
@@ -218,6 +236,12 @@ class Controller : public dataplane::TableProgrammer {
   telemetry::Counter* ctr_ops_rate_limited_ = nullptr;
   telemetry::Counter* ctr_ops_deferred_ = nullptr;
   telemetry::Counter* ctr_ops_replayed_ = nullptr;
+  // Registered only when the breaker is built, so unconfigured
+  // controllers keep their telemetry snapshots byte-identical.
+  telemetry::Counter* ctr_breaker_trips_ = nullptr;
+  telemetry::Counter* ctr_breaker_reopens_ = nullptr;
+  telemetry::Counter* ctr_breaker_closes_ = nullptr;
+  telemetry::Counter* ctr_breaker_short_circuited_ = nullptr;
 };
 
 }  // namespace sf::cluster

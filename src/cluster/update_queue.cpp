@@ -30,6 +30,12 @@ dataplane::TableOpStatus UpdateQueue::park(const dataplane::TableOp& op,
   return dataplane::TableOpStatus::kRateLimited;
 }
 
+dataplane::TableOpStatus UpdateQueue::defer(const dataplane::TableOp& op,
+                                            double now) {
+  ++stats_.submitted;
+  return park(op, now, 0);  // no attempt burned: parked, not retried
+}
+
 dataplane::TableOpStatus UpdateQueue::submit(const dataplane::TableOp& op,
                                              double now) {
   ++stats_.submitted;

@@ -53,6 +53,14 @@ class UpdateQueue {
   /// op is not lost, advance() will deliver it).
   dataplane::TableOpStatus submit(const dataplane::TableOp& op, double now);
 
+  /// Parks one op WITHOUT attempting the channel first — the circuit
+  /// breaker's short-circuit: while the breaker is open every new op goes
+  /// straight to the queue, keeping submission order, and is delivered by
+  /// advance() once the breaker lets the channel be tried again. Returns
+  /// kRateLimited like any parked submission (kRateLimited also on
+  /// max_pending overflow, with stats().overflowed bumped).
+  dataplane::TableOpStatus defer(const dataplane::TableOp& op, double now);
+
   /// Retries due ops in FIFO order until the head is not yet due, the
   /// channel rejects again, or the queue empties. Returns ops applied.
   std::size_t advance(double now);

@@ -1,6 +1,8 @@
 #include "core/region.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "net/hash.hpp"
 
@@ -34,6 +36,30 @@ SailfishRegion::SailfishRegion(Config config)
   engine_ = std::make_unique<dataplane::ShardEngine>(config_.interval_engine);
 
   registry_ = std::make_unique<telemetry::Registry>();
+  if (config_.enable_guard && guard::guard_enabled()) {
+    // Guard shards follow the interval engine so the interval pre-pass
+    // mutates each shard's ladder state from exactly one worker.
+    guard_ = std::make_unique<guard::TenantGuard>(
+        config_.guard, config_.interval_engine.shards);
+    ctr_guard_admitted_ = &registry_->counter("region.guard.admitted");
+    ctr_guard_established_ =
+        &registry_->counter("region.guard.established_served");
+    ctr_guard_shed_new_flow_ =
+        &registry_->counter("region.guard.shed_new_flow");
+    ctr_guard_shed_tenant_ = &registry_->counter("region.guard.shed_tenant");
+    ctr_guard_escalations_ =
+        &registry_->counter("region.guard.tier_escalations");
+    ctr_guard_deescalations_ =
+        &registry_->counter("region.guard.tier_deescalations");
+    ctr_guard_shed_upps_sum_ =
+        &registry_->counter("region.guard.shed_upps_sum");
+  }
+  if (config_.enable_punt_path && guard::guard_enabled()) {
+    punt_queue_ = std::make_unique<guard::PuntQueue>(config_.punt_queue);
+    ctr_guard_punted_ = &registry_->counter("region.guard.punted");
+    ctr_guard_punt_queue_full_ =
+        &registry_->counter("region.guard.punt_queue_full");
+  }
   ctr_packets_ = &registry_->counter("region.packets");
   ctr_hw_forwarded_ = &registry_->counter("region.hw_forwarded");
   ctr_hw_tunnel_ = &registry_->counter("region.hw_tunnel");
@@ -70,9 +96,112 @@ std::size_t SailfishRegion::x86_node_index_for(
   return x86_ecmp_.pick(tuple).value_or(0);
 }
 
+std::pair<std::size_t, std::size_t> SailfishRegion::punt_lane_for(
+    const net::OverlayPacket& packet) const {
+  const auto cluster_id = controller_.cluster_for(packet.vni);
+  if (!cluster_id) return {0, 0};
+  const std::size_t cluster = *cluster_id;
+  const auto device = controller_.cluster(cluster).pick_device(packet.inner);
+  return {cluster, device.value_or(0)};
+}
+
+dataplane::Verdict SailfishRegion::finish_software(x86::X86Result sw,
+                                                   double extra_latency_us) {
+  dataplane::Verdict verdict = std::move(static_cast<dataplane::Verdict&>(sw));
+  verdict.latency_us += extra_latency_us;
+  verdict.software_path = true;
+  switch (verdict.action) {
+    case dataplane::Action::kForwardToNc:
+    case dataplane::Action::kForwardTunnel:
+      ctr_sw_forwarded_->add();
+      break;
+    case dataplane::Action::kSnatToInternet:
+      ctr_sw_snat_->add();
+      break;
+    case dataplane::Action::kDrop:
+      ctr_dropped_->add();
+      count_drop_reason(verdict.drop_reason);
+      break;
+    default:
+      break;
+  }
+  return verdict;
+}
+
+dataplane::Verdict SailfishRegion::punt_to_x86(
+    const net::OverlayPacket& packet, double now, double base_latency_us,
+    bool allow_cache) {
+  const auto [cluster, device] = punt_lane_for(packet);
+  const guard::PuntQueue::Admit admit =
+      punt_queue_->offer(cluster, device, now);
+  if (!admit.admitted) {
+    // Queue-full backpressure is a *typed* drop, never silent loss.
+    ctr_guard_punt_queue_full_->add();
+    ctr_dropped_->add();
+    count_drop_reason(dataplane::DropReason::kPuntQueueFull);
+    return dataplane::Verdict::drop(dataplane::DropReason::kPuntQueueFull);
+  }
+  ctr_guard_punted_->add();
+  // Each hardware device drains to a fixed paired XGW-x86 (static
+  // pairing keeps the punt lane's destination stable; contrast with the
+  // legacy tuple-ECMP fallback steering).
+  const std::size_t devices_per_cluster =
+      std::max<std::size_t>(1, config_.controller.cluster_template
+                                       .primary_devices +
+                                   config_.controller.cluster_template
+                                       .backup_devices);
+  x86::XgwX86& node =
+      *x86_nodes_[(cluster * devices_per_cluster + device) %
+                  x86_nodes_.size()];
+  x86::X86Result sw = allow_cache ? node.forward(packet, now)
+                                  : node.forward_punted(packet, now);
+  return finish_software(std::move(sw),
+                         base_latency_us + admit.queue_delay_us);
+}
+
 dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
                                            double now) {
   ctr_packets_->add();
+
+  // Tenant guard: meter the packet before any gateway sees it.
+  if (guard_ && guard_->any_limits()) {
+    const guard::TenantGuard::Stats before = guard_->stats();
+    const guard::TenantGuard::PacketDecision decision = guard_->admit_packet(
+        packet.vni, packet.wire_size(), now, [&] {
+          const auto cluster_id = controller_.cluster_for(packet.vni);
+          if (!cluster_id) return false;
+          return controller_.cluster(*cluster_id).flow_established(packet);
+        });
+    const guard::TenantGuard::Stats& after = guard_->stats();
+    if (after.escalations > before.escalations) ctr_guard_escalations_->add();
+    if (after.deescalations > before.deescalations) {
+      ctr_guard_deescalations_->add();
+    }
+    if (decision.admit) {
+      if (decision.tier == guard::Tier::kShedNewFlows) {
+        ctr_guard_established_->add();
+      } else {
+        ctr_guard_admitted_->add();
+      }
+    } else if (decision.punt && punt_queue_) {
+      // Tier-1 non-established packet: serve via the punt path. The x86
+      // cache is off-limits for these — meter-degraded spillover must
+      // never earn fast-path entries.
+      return punt_to_x86(packet, now, 0.0, /*allow_cache=*/false);
+    } else {
+      const dataplane::DropReason reason =
+          decision.punt ? dataplane::DropReason::kTenantNewFlowShed
+                        : decision.drop_reason;
+      if (reason == dataplane::DropReason::kTenantShed) {
+        ctr_guard_shed_tenant_->add();
+      } else {
+        ctr_guard_shed_new_flow_->add();
+      }
+      ctr_dropped_->add();
+      count_drop_reason(reason);
+      return dataplane::Verdict::drop(reason);
+    }
+  }
 
   xgwh::ForwardResult hw = controller_.process(packet, now);
   if (hw.action != dataplane::Action::kFallbackToX86) {
@@ -93,30 +222,19 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
     return std::move(static_cast<dataplane::Verdict&>(hw));
   }
 
-  // Software path: the XGW-H rewrote the outer header toward the fleet
-  // VIP; ECMP picks the node, which processes the *original* overlay
-  // packet (outer headers are re-derived there).
-  x86::XgwX86& node = x86_for_flow(packet.inner);
-  x86::X86Result sw = node.forward(packet, now);
-  dataplane::Verdict verdict = std::move(static_cast<dataplane::Verdict&>(sw));
-  verdict.latency_us += hw.latency_us;
-  verdict.software_path = true;
-  switch (verdict.action) {
-    case dataplane::Action::kForwardToNc:
-    case dataplane::Action::kForwardTunnel:
-      ctr_sw_forwarded_->add();
-      break;
-    case dataplane::Action::kSnatToInternet:
-      ctr_sw_snat_->add();
-      break;
-    case dataplane::Action::kDrop:
-      ctr_dropped_->add();
-      count_drop_reason(verdict.drop_reason);
-      break;
-    default:
-      break;
+  // Fallback traffic (SNAT, table-placement misses, fallback-metered
+  // flows): with a punt path configured it crosses the bounded per-device
+  // punt queue toward the paired node; normal fallback may use the x86
+  // flow cache (it is steady-state traffic, not overload spillover).
+  if (punt_queue_) {
+    return punt_to_x86(packet, now, hw.latency_us, /*allow_cache=*/true);
   }
-  return verdict;
+
+  // Legacy software path: the XGW-H rewrote the outer header toward the
+  // fleet VIP; ECMP picks the node, which processes the *original*
+  // overlay packet (outer headers are re-derived there).
+  x86::XgwX86& node = x86_for_flow(packet.inner);
+  return finish_software(node.forward(packet, now), hw.latency_us);
 }
 
 void SailfishRegion::count_drop_reason(dataplane::DropReason reason) {
@@ -134,6 +252,58 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
 
   const std::size_t clusters = controller_.cluster_count();
   const std::size_t nodes = x86_nodes_.size();
+
+  // ---- Guard pre-pass: per-tenant metering + degradation ladder -----------
+  // Runs only when a guard with limits exists; sharded by mix64(vni) — the
+  // same pure-hash partition the guard's state uses — so each shard's
+  // ladder is stepped by exactly one worker and results are byte-
+  // identical at any thread count. Produces each tenant's admit fraction
+  // for this interval; everything downstream sees the post-shed rates.
+  std::map<net::Vni, double> guard_admit;
+  if (guard_ && guard_->any_limits()) {
+    const std::size_t shard_count = guard_->shard_count();
+    std::vector<std::vector<guard::TenantGuard::TenantInterval>>
+        shard_tenants(shard_count);
+    std::vector<std::map<net::Vni, double>> shard_fractions(shard_count);
+    const telemetry::Snapshot guard_stats = engine_->run_sharded(
+        flows.size(),
+        [&flows](std::size_t i) {
+          return static_cast<std::size_t>(net::mix64(flows[i].vni));
+        },
+        [&](std::size_t shard, std::span<const std::uint32_t> indices,
+            telemetry::Registry& registry) {
+          // Offered rates of this shard's tenants (ordered map: the
+          // reduce below walks tenants in one fixed order).
+          std::map<net::Vni, guard::TenantGuard::Offered> offered;
+          for (const std::uint32_t i : indices) {
+            const workload::Flow& flow = flows[i];
+            if (!guard_->metered(flow.vni)) continue;
+            guard::TenantGuard::Offered& load = offered[flow.vni];
+            const double bps = flow.weight * total_bps;
+            load.bps += bps;
+            load.pps += bps / 8.0 / static_cast<double>(flow.packet_size);
+          }
+          shard_fractions[shard] = guard_->interval_step(
+              shard, offered, shard_tenants[shard], registry);
+        });
+    // Sequential merge in shard order, then ascending VNI overall.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      for (const auto& [vni, fraction] : shard_fractions[s]) {
+        guard_admit[vni] = fraction;
+      }
+      report.guard_tenants.insert(report.guard_tenants.end(),
+                                  shard_tenants[s].begin(),
+                                  shard_tenants[s].end());
+    }
+    std::sort(report.guard_tenants.begin(), report.guard_tenants.end(),
+              [](const auto& a, const auto& b) { return a.vni < b.vni; });
+    for (const auto& tenant : report.guard_tenants) {
+      report.guard_shed_pps += tenant.shed_pps;
+    }
+    for (const auto& [name, value] : guard_stats.counters) {
+      registry_->counter("region." + name).add(value);
+    }
+  }
 
   // ---- Phase A: hash-sharded parallel classification ----------------------
   // Each flow is classified exactly once, by the shard that owns its
@@ -172,6 +342,16 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
           Classified& out = classified[i];
           out.bps = flow.weight * total_bps;
           out.pps = out.bps / 8.0 / static_cast<double>(flow.packet_size);
+          // Guard: downstream sees only the admitted share; the shed
+          // share is accounted as guard drops in the reduce. (Read-only
+          // lookup — the map was sealed before this pass.)
+          if (!guard_admit.empty()) {
+            if (auto it = guard_admit.find(flow.vni);
+                it != guard_admit.end()) {
+              out.bps *= it->second;
+              out.pps *= it->second;
+            }
+          }
           seen.add();
           if (flow.scope == tables::RouteScope::kInternet) {
             out.kind = Kind::kSoftware;
@@ -273,10 +453,12 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
   engine_->run_tasks(std::move(tasks));
 
   // ---- Phase C: sequential reduce (fixed order, one thread) ---------------
-  report.offered_pps = offered_pps;
+  // Offered is the raw (pre-shed) rate: the served sum plus what the
+  // guard shed, so drop rates are measured against what tenants offered.
+  report.offered_pps = offered_pps + report.guard_shed_pps;
   report.fallback_bps = fallback_bps;
   report.shard_pipe_bps = shard_pipe_bps;
-  report.dropped_pps = unknown_vni_pps;
+  report.dropped_pps = unknown_vni_pps + report.guard_shed_pps;
 
   // Hardware drops: per-device pps and bps ceilings (huge) plus the
   // residual loss floor, deterministically jittered per interval.
@@ -342,6 +524,10 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
       static_cast<std::uint64_t>(report.shard_pipe_bps[1]));
   ctr_pipe3_bps_sum_->add(
       static_cast<std::uint64_t>(report.shard_pipe_bps[3]));
+  if (guard_) {
+    ctr_guard_shed_upps_sum_->add(
+        static_cast<std::uint64_t>(report.guard_shed_pps * 1e6));
+  }
   return report;
 }
 

@@ -24,6 +24,8 @@
 #include "core/rate_limiter.hpp"
 #include "dataplane/gateway.hpp"
 #include "dataplane/shard_engine.hpp"
+#include "guard/guard.hpp"
+#include "guard/punt_queue.hpp"
 #include "telemetry/registry.hpp"
 #include "workload/flowgen.hpp"
 #include "x86/xgw_x86.hpp"
@@ -46,6 +48,21 @@ class SailfishRegion : public dataplane::Gateway {
     /// simulation's identity — results never depend on it being spread
     /// over more threads); threads is pure parallelism.
     dataplane::ShardPlan interval_engine{};
+    /// Per-tenant overload guard (sf::guard, DESIGN.md §10). Off by
+    /// default; also honors the SF_GUARD environment gate. When absent
+    /// the region registers no guard counters and behaves byte-
+    /// identically to a guard-less build. The guard's shard count is the
+    /// interval engine's, so the interval pre-pass parallelizes without
+    /// locks.
+    bool enable_guard = false;
+    guard::TenantGuard::Config guard;
+    /// Hardware→x86 punt path. When enabled, XGW-H fallback traffic and
+    /// tier-1 meter-degraded packets go through a bounded per-device punt
+    /// queue toward the *paired* XGW-x86 (queue-full backpressure drops
+    /// with kPuntQueueFull); when disabled, fallback keeps the legacy
+    /// tuple-ECMP steering and tier-1 non-established packets are shed.
+    bool enable_punt_path = false;
+    guard::PuntQueue::Config punt_queue;
   };
 
   explicit SailfishRegion(Config config);
@@ -69,6 +86,12 @@ class SailfishRegion : public dataplane::Gateway {
   /// The software node the fallback path would pick for a flow (tracing).
   std::size_t x86_node_index_for(const net::FiveTuple& tuple) const;
 
+  /// The tenant guard; nullptr when not configured (or gated off by
+  /// SF_GUARD). Non-const so chaos storms can arm limits at runtime.
+  guard::TenantGuard* tenant_guard() { return guard_.get(); }
+  const guard::TenantGuard* tenant_guard() const { return guard_.get(); }
+  const guard::PuntQueue* punt_queue() const { return punt_queue_.get(); }
+
   // ---- functional end-to-end path (dataplane::Gateway) ----------------------
 
   /// Runs one packet end to end: LB -> XGW-H, and for fallback traffic on
@@ -91,6 +114,12 @@ class SailfishRegion : public dataplane::Gateway {
     /// (indices 1 and 3 are the interesting ones — Figs. 20/21).
     std::array<double, 4> shard_pipe_bps{};
     double x86_max_core_utilization = 0;
+    /// Packets/s shed by the tenant guard this interval (already included
+    /// in dropped_pps). Zero when no guard is configured.
+    double guard_shed_pps = 0;
+    /// Per metered tenant: offered rate, shed rate and ladder tier at the
+    /// end of the interval, ascending VNI. Empty without a guard.
+    std::vector<guard::TenantGuard::TenantInterval> guard_tenants;
   };
 
   /// Simulates one interval: each flow offers weight * total_bps.
@@ -141,12 +170,27 @@ class SailfishRegion : public dataplane::Gateway {
   x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple);
   const x86::XgwX86& x86_for_flow(const net::FiveTuple& tuple) const;
   void count_drop_reason(dataplane::DropReason reason);
+  /// The punt lane a packet uses: the serving (cluster, device) pair.
+  std::pair<std::size_t, std::size_t> punt_lane_for(
+      const net::OverlayPacket& packet) const;
+  /// Runs the packet over the punt path: bounded queue toward the paired
+  /// XGW-x86 (kPuntQueueFull on overflow). `allow_cache` is false for
+  /// meter-degraded punts (they must not touch the x86 flow cache).
+  dataplane::Verdict punt_to_x86(const net::OverlayPacket& packet,
+                                 double now, double base_latency_us,
+                                 bool allow_cache);
+  /// Shared software-path accounting for fallback/punt verdicts.
+  dataplane::Verdict finish_software(x86::X86Result sw,
+                                     double extra_latency_us);
 
   Config config_;
   cluster::Controller controller_;
   std::vector<std::unique_ptr<x86::XgwX86>> x86_nodes_;
   cluster::EcmpGroup x86_ecmp_;
   std::unique_ptr<cluster::DisasterRecovery> recovery_;
+  /// Built only when configured and SF_GUARD allows (see Config::guard).
+  std::unique_ptr<guard::TenantGuard> guard_;
+  std::unique_ptr<guard::PuntQueue> punt_queue_;
 
   // unique_ptr so the const interval simulator can drive the pool.
   std::unique_ptr<dataplane::ShardEngine> engine_;
@@ -166,6 +210,17 @@ class SailfishRegion : public dataplane::Gateway {
   telemetry::Counter* ctr_fallback_bps_sum_ = nullptr;
   telemetry::Counter* ctr_pipe1_bps_sum_ = nullptr;
   telemetry::Counter* ctr_pipe3_bps_sum_ = nullptr;
+  // Guard counters, registered only when the guard/punt path is built so
+  // guard-less regions keep byte-identical telemetry snapshots.
+  telemetry::Counter* ctr_guard_admitted_ = nullptr;
+  telemetry::Counter* ctr_guard_established_ = nullptr;
+  telemetry::Counter* ctr_guard_punted_ = nullptr;
+  telemetry::Counter* ctr_guard_punt_queue_full_ = nullptr;
+  telemetry::Counter* ctr_guard_shed_new_flow_ = nullptr;
+  telemetry::Counter* ctr_guard_shed_tenant_ = nullptr;
+  telemetry::Counter* ctr_guard_escalations_ = nullptr;
+  telemetry::Counter* ctr_guard_deescalations_ = nullptr;
+  telemetry::Counter* ctr_guard_shed_upps_sum_ = nullptr;
 };
 
 }  // namespace sf::core

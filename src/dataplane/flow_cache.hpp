@@ -117,6 +117,23 @@ class FlowCache {
     return nullptr;
   }
 
+  /// Const presence probe: true when `key` holds a live entry for
+  /// `generation`. Unlike find(), this never mutates the table or the
+  /// stats — stale slots are left for the next find() to reclaim — so
+  /// outside observers (the guard's "is this flow established?" check)
+  /// can ask without perturbing hit/miss accounting or byte-identity.
+  bool contains(const FlowKey& key, std::uint64_t generation) const {
+    if (capacity_ == 0 || table_.empty()) return false;
+    std::size_t slot = static_cast<std::size_t>(key.hi) & mask_;
+    for (std::size_t probe = 0; probe < config_.max_probes; ++probe) {
+      const Entry& entry = table_[slot];
+      if (!entry.occupied) return false;
+      if (entry.key == key) return entry.generation == generation;
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
   /// Admission check, called on a miss: a flow earns a cache entry on its
   /// SECOND miss, not its first (microflow promotion). One-packet flows —
   /// the bulk of a realistic mix — then cost a single filter write instead

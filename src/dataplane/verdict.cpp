@@ -50,6 +50,14 @@ const char* name(DropReason reason) {
       return "cluster has no live devices";
     case DropReason::kUnhandledScope:
       return "unhandled scope";
+    case DropReason::kTenantShed:
+      return "tenant shed by overload guard";
+    case DropReason::kTenantNewFlowShed:
+      return "tenant new-flow setup shed";
+    case DropReason::kPuntQueueFull:
+      return "punt queue full";
+    case DropReason::kSnatPortBlockExhausted:
+      return "SNAT port block exhausted for external IP";
   }
   return "?";
 }

@@ -49,6 +49,12 @@ enum class DropReason : std::uint8_t {
   kUnknownVni,           // VNI not assigned to any cluster
   kNoLiveDevice,         // cluster ECMP set is empty
   kUnhandledScope,
+  // ---- sf::guard overload protection (never emitted by asic stages; the
+  // walker's drop codes stop at kUnhandledScope) ----------------------------
+  kTenantShed,            // tier-2 degradation: the whole tenant is shed
+  kTenantNewFlowShed,     // tier-1 degradation: new-flow setup shed
+  kPuntQueueFull,         // hardware→x86 punt queue backpressure
+  kSnatPortBlockExhausted,  // the session's external IP has no free port
 };
 
 /// Static-storage name; byte-identical to to_string(). Gateways stamp this

@@ -1,0 +1,66 @@
+#include "guard/circuit_breaker.hpp"
+
+namespace sf::guard {
+
+const char* name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::State CircuitBreaker::state(double now) const {
+  if (state_ != State::kOpen) return state_;
+  return now - opened_at_ >= config_.open_cooldown_s ? State::kHalfOpen
+                                                     : State::kOpen;
+}
+
+bool CircuitBreaker::allow(double now) const {
+  if (!enabled()) return true;
+  return state(now) != State::kOpen;
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (!enabled()) return;
+  switch (state(now)) {
+    case State::kClosed:
+      if (++failure_streak_ >= config_.trip_after) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+        failure_streak_ = 0;
+        ++stats_.trips;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      state_ = State::kOpen;
+      opened_at_ = now;
+      ++stats_.reopens;
+      break;
+    case State::kOpen:
+      break;  // nothing should be attempting, but stay open regardless
+  }
+}
+
+void CircuitBreaker::record_success(double now) {
+  if (!enabled()) return;
+  switch (state(now)) {
+    case State::kHalfOpen:
+      state_ = State::kClosed;
+      failure_streak_ = 0;
+      ++stats_.closes;
+      break;
+    case State::kClosed:
+      failure_streak_ = 0;
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+}  // namespace sf::guard

@@ -1,0 +1,256 @@
+#include "guard/guard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "net/hash.hpp"
+
+namespace sf::guard {
+
+bool guard_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SF_GUARD");
+    if (env == nullptr) return true;
+    const std::string_view value(env);
+    return !(value == "0" || value == "off" || value == "OFF");
+  }();
+  return enabled;
+}
+
+const char* name(Tier tier) {
+  switch (tier) {
+    case Tier::kFull:
+      return "full-service";
+    case Tier::kShedNewFlows:
+      return "shed-new-flows";
+    case Tier::kShedTenant:
+      return "shed-tenant";
+  }
+  return "?";
+}
+
+std::string to_string(Tier tier) { return name(tier); }
+
+TenantGuard::TenantGuard(Config config, std::size_t shards)
+    : config_(std::move(config)),
+      shards_(std::max<std::size_t>(1, shards)) {
+  if (config_.burst_seconds <= 0) {
+    throw std::invalid_argument("guard burst_seconds must be positive");
+  }
+  if (config_.escalate_after == 0 || config_.deescalate_after == 0) {
+    throw std::invalid_argument("guard ladder thresholds must be >= 1");
+  }
+  has_default_limit_ =
+      config_.default_rate_bps > 0 || config_.default_rate_pps > 0;
+  for (const TenantLimit& limit : config_.tenants) set_limit(limit);
+}
+
+std::size_t TenantGuard::shard_of(net::Vni vni) const {
+  return static_cast<std::size_t>(net::mix64(vni)) % shards_.size();
+}
+
+void TenantGuard::set_limit(const TenantLimit& limit) {
+  TenantState state;
+  state.rate_bps = limit.rate_bps;
+  state.rate_pps = limit.rate_pps;
+  shards_[shard_of(limit.vni)].tenants[limit.vni] = state;
+}
+
+bool TenantGuard::any_limits() const {
+  if (has_default_limit_) return true;
+  for (const Shard& shard : shards_) {
+    for (const auto& [vni, state] : shard.tenants) {
+      if (state.rate_bps > 0 || state.rate_pps > 0) return true;
+    }
+  }
+  return false;
+}
+
+TenantGuard::TenantState* TenantGuard::state_for(net::Vni vni) {
+  Shard& shard = shards_[shard_of(vni)];
+  auto it = shard.tenants.find(vni);
+  if (it != shard.tenants.end()) return &it->second;
+  if (!has_default_limit_) return nullptr;
+  TenantState state;
+  state.rate_bps = config_.default_rate_bps;
+  state.rate_pps = config_.default_rate_pps;
+  return &shard.tenants.emplace(vni, state).first->second;
+}
+
+const TenantGuard::TenantState* TenantGuard::state_for(net::Vni vni) const {
+  const Shard& shard = shards_[shard_of(vni)];
+  auto it = shard.tenants.find(vni);
+  return it == shard.tenants.end() ? nullptr : &it->second;
+}
+
+bool TenantGuard::metered(net::Vni vni) const {
+  const TenantState* state = state_for(vni);
+  if (state != nullptr) return state->rate_bps > 0 || state->rate_pps > 0;
+  return has_default_limit_;
+}
+
+Tier TenantGuard::tier_of(net::Vni vni) const {
+  const TenantState* state = state_for(vni);
+  return state == nullptr ? Tier::kFull : state->tier;
+}
+
+int TenantGuard::observe(TenantState& state, bool over) {
+  if (over) {
+    state.conform_streak = 0;
+    if (++state.over_streak >= config_.escalate_after &&
+        state.tier != Tier::kShedTenant) {
+      state.tier = static_cast<Tier>(static_cast<std::uint8_t>(state.tier) + 1);
+      state.over_streak = 0;
+      return +1;
+    }
+    return 0;
+  }
+  state.over_streak = 0;
+  if (++state.conform_streak >= config_.deescalate_after &&
+      state.tier != Tier::kFull) {
+    state.tier = static_cast<Tier>(static_cast<std::uint8_t>(state.tier) - 1);
+    state.conform_streak = 0;
+    return -1;
+  }
+  return 0;
+}
+
+TenantGuard::PacketDecision TenantGuard::admit_packet(
+    net::Vni vni, std::size_t wire_bytes, double now,
+    const std::function<bool()>& established) {
+  PacketDecision decision;
+  TenantState* state = state_for(vni);
+  if (state == nullptr || (state->rate_bps <= 0 && state->rate_pps <= 0)) {
+    ++stats_.admitted;
+    return decision;  // unmetered tenant: full service, no ladder
+  }
+
+  // Refill the token buckets. The clock may step backwards in replayed
+  // scenarios; a negative dt refills nothing rather than draining.
+  if (!state->primed) {
+    state->byte_tokens = state->rate_bps / 8.0 * config_.burst_seconds;
+    state->packet_tokens = state->rate_pps * config_.burst_seconds;
+    state->tokens_time = now;
+    state->primed = true;
+  }
+  const double dt = std::max(0.0, now - state->tokens_time);
+  state->tokens_time = std::max(state->tokens_time, now);
+  if (state->rate_bps > 0) {
+    state->byte_tokens =
+        std::min(state->byte_tokens + dt * state->rate_bps / 8.0,
+                 state->rate_bps / 8.0 * config_.burst_seconds);
+  }
+  if (state->rate_pps > 0) {
+    state->packet_tokens =
+        std::min(state->packet_tokens + dt * state->rate_pps,
+                 state->rate_pps * config_.burst_seconds);
+  }
+
+  const bool over =
+      (state->rate_bps > 0 &&
+       state->byte_tokens < static_cast<double>(wire_bytes)) ||
+      (state->rate_pps > 0 && state->packet_tokens < 1.0);
+  if (!over) {
+    if (state->rate_bps > 0) {
+      state->byte_tokens -= static_cast<double>(wire_bytes);
+    }
+    if (state->rate_pps > 0) state->packet_tokens -= 1.0;
+  }
+  const int moved = observe(*state, over);
+  if (moved > 0) ++stats_.escalations;
+  if (moved < 0) ++stats_.deescalations;
+
+  decision.tier = state->tier;
+  switch (state->tier) {
+    case Tier::kFull:
+      // Full service — the ladder, not the packet, absorbs the first
+      // over-limit observations.
+      decision.admit = true;
+      ++stats_.admitted;
+      return decision;
+    case Tier::kShedNewFlows:
+      if (established && established()) {
+        decision.admit = true;
+        ++stats_.established_served;
+        return decision;
+      }
+      decision.admit = false;
+      decision.punt = true;
+      decision.drop_reason = dataplane::DropReason::kTenantNewFlowShed;
+      ++stats_.punted;
+      return decision;
+    case Tier::kShedTenant:
+      decision.admit = false;
+      decision.drop_reason = dataplane::DropReason::kTenantShed;
+      ++stats_.shed_tenant;
+      return decision;
+  }
+  return decision;
+}
+
+std::map<net::Vni, double> TenantGuard::interval_step(
+    std::size_t shard_index, const std::map<net::Vni, Offered>& offered,
+    std::vector<TenantInterval>& out, telemetry::Registry& registry) {
+  std::map<net::Vni, double> fractions;
+  Shard& shard = shards_[shard_index];
+  if (shard.tenants.empty()) return fractions;
+
+  telemetry::Counter& ctr_over = registry.counter("guard.interval.over");
+  telemetry::Counter& ctr_esc =
+      registry.counter("guard.interval.escalations");
+  telemetry::Counter& ctr_deesc =
+      registry.counter("guard.interval.deescalations");
+  telemetry::Counter& ctr_shed_kpps =
+      registry.counter("guard.interval.shed_kpps_sum");
+
+  for (auto& [vni, state] : shard.tenants) {
+    if (state.rate_bps <= 0 && state.rate_pps <= 0) continue;
+    Offered load;
+    if (auto it = offered.find(vni); it != offered.end()) load = it->second;
+
+    const bool over = (state.rate_bps > 0 && load.bps > state.rate_bps) ||
+                      (state.rate_pps > 0 && load.pps > state.rate_pps);
+    const int moved = observe(state, over);
+    if (over) ctr_over.add();
+    if (moved > 0) ctr_esc.add();
+    if (moved < 0) ctr_deesc.add();
+
+    double fraction = 1.0;
+    switch (state.tier) {
+      case Tier::kFull:
+        break;
+      case Tier::kShedNewFlows: {
+        // Clamp the tenant to its budget: the excess models the new-flow
+        // setup load tier 1 sheds while established flows keep flowing.
+        double f_bps = 1.0;
+        double f_pps = 1.0;
+        if (state.rate_bps > 0 && load.bps > state.rate_bps) {
+          f_bps = state.rate_bps / load.bps;
+        }
+        if (state.rate_pps > 0 && load.pps > state.rate_pps) {
+          f_pps = state.rate_pps / load.pps;
+        }
+        fraction = std::min(f_bps, f_pps);
+        break;
+      }
+      case Tier::kShedTenant:
+        fraction = 0.0;
+        break;
+    }
+    fractions[vni] = fraction;
+
+    TenantInterval summary;
+    summary.vni = vni;
+    summary.offered_pps = load.pps;
+    summary.offered_bps = load.bps;
+    summary.shed_pps = load.pps * (1.0 - fraction);
+    summary.tier = state.tier;
+    out.push_back(summary);
+    ctr_shed_kpps.add(static_cast<std::uint64_t>(summary.shed_pps / 1e3));
+  }
+  return fractions;
+}
+
+}  // namespace sf::guard

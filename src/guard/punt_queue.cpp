@@ -1,0 +1,54 @@
+#include "guard/punt_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sf::guard {
+
+PuntQueue::PuntQueue(Config config) : config_(config) {
+  if (config_.depth_packets == 0) {
+    throw std::invalid_argument("punt queue depth must be >= 1");
+  }
+  if (config_.drain_pps <= 0) {
+    throw std::invalid_argument("punt queue drain rate must be positive");
+  }
+}
+
+void PuntQueue::drain(Lane& lane, double now, double drain_pps) {
+  if (!lane.primed) {
+    lane.last_time = now;
+    lane.primed = true;
+    return;
+  }
+  const double dt = std::max(0.0, now - lane.last_time);
+  lane.occupancy = std::max(0.0, lane.occupancy - dt * drain_pps);
+  lane.last_time = std::max(lane.last_time, now);
+}
+
+PuntQueue::Admit PuntQueue::offer(std::size_t cluster, std::size_t device,
+                                  double now) {
+  Lane& lane = lanes_[{cluster, device}];
+  drain(lane, now, config_.drain_pps);
+  Admit result;
+  if (lane.occupancy + 1.0 > static_cast<double>(config_.depth_packets)) {
+    ++stats_.overflowed;
+    return result;  // backpressure: caller drops with kPuntQueueFull
+  }
+  lane.occupancy += 1.0;
+  result.admitted = true;
+  result.queue_delay_us = lane.occupancy / config_.drain_pps * 1e6;
+  ++stats_.admitted;
+  return result;
+}
+
+double PuntQueue::occupancy(std::size_t cluster, std::size_t device,
+                            double now) const {
+  auto it = lanes_.find({cluster, device});
+  if (it == lanes_.end()) return 0;
+  const Lane& lane = it->second;
+  if (!lane.primed) return lane.occupancy;
+  const double dt = std::max(0.0, now - lane.last_time);
+  return std::max(0.0, lane.occupancy - dt * config_.drain_pps);
+}
+
+}  // namespace sf::guard

@@ -1,0 +1,79 @@
+// sf::guard::PuntQueue — the hardware→x86 punt path (DESIGN.md §10).
+//
+// When XGW-H cannot serve a packet itself — a SNAT flow, a table-placement
+// miss steered by the fallback meter, or a meter-degraded tier-1 tenant —
+// the region punts it to the paired XGW-x86 instead of dropping it. Real
+// switches do this over a bounded per-device queue toward the software
+// fleet; when the queue is full the hardware has no choice but to drop,
+// and that drop must be *typed* (kPuntQueueFull), never silent.
+//
+// This models each (cluster, device) punt lane as a fluid queue: occupancy
+// drains at `drain_pps` continuously and grows by one per admitted punt.
+// An admit that would push occupancy past `depth_packets` is refused.
+// Admitted packets pay a queueing delay of occupancy / drain_pps — the
+// punt path is slower than the ASIC by construction, which the latency
+// histograms show.
+//
+// Single-writer like everything else on the functional path; the interval
+// engine never touches it (interval-path shedding is modeled fluidly by
+// the guard itself).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace sf::guard {
+
+class PuntQueue {
+ public:
+  struct Config {
+    /// Bounded queue depth per (cluster, device) lane.
+    std::size_t depth_packets = 1024;
+    /// Drain rate toward the paired XGW-x86.
+    double drain_pps = 500e3;
+  };
+
+  struct Admit {
+    bool admitted = false;
+    /// Modeled queueing delay for an admitted packet.
+    double queue_delay_us = 0;
+  };
+
+  /// Plain-struct observability (kept out of any registry so an idle
+  /// punt path never perturbs telemetry snapshots).
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t overflowed = 0;
+  };
+
+  PuntQueue() : PuntQueue(Config{}) {}
+  explicit PuntQueue(Config config);
+
+  /// Offers one packet to the (cluster, device) lane at time `now`.
+  Admit offer(std::size_t cluster, std::size_t device, double now);
+
+  /// Current occupancy of one lane at time `now` (drains lazily).
+  double occupancy(std::size_t cluster, std::size_t device, double now) const;
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Lane {
+    double occupancy = 0;
+    double last_time = 0;
+    bool primed = false;
+  };
+
+  /// Drains `lane` up to `now`. The clock may step backwards in replayed
+  /// scenarios; a negative dt drains nothing.
+  static void drain(Lane& lane, double now, double drain_pps);
+
+  Config config_;
+  std::map<std::pair<std::size_t, std::size_t>, Lane> lanes_;
+  Stats stats_;
+};
+
+}  // namespace sf::guard

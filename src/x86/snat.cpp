@@ -11,36 +11,59 @@ SnatEngine::SnatEngine(Config config) : config_(std::move(config)) {
   if (config_.port_min > config_.port_max) {
     throw std::invalid_argument("SNAT port range is inverted");
   }
-  for (net::Ipv4Addr ip : config_.public_ips) {
+  free_ports_.resize(config_.public_ips.size());
+  for (std::size_t i = 0; i < config_.public_ips.size(); ++i) {
+    if (!ip_index_.emplace(config_.public_ips[i].value(), i).second) {
+      throw std::invalid_argument("SNAT public IPs must be distinct");
+    }
     for (std::uint32_t port = config_.port_min; port <= config_.port_max;
          ++port) {
-      free_pool_.push_back(
-          SnatBinding{ip, static_cast<std::uint16_t>(port)});
+      free_ports_[i].push_back(static_cast<std::uint16_t>(port));
     }
   }
 }
 
-std::optional<SnatBinding> SnatEngine::allocate() {
-  if (free_pool_.empty()) return std::nullopt;
-  SnatBinding binding = free_pool_.front();
-  free_pool_.pop_front();
-  return binding;
+std::size_t SnatEngine::ip_index_for(const net::FiveTuple& session) const {
+  return static_cast<std::size_t>(session.hash()) % config_.public_ips.size();
+}
+
+net::Ipv4Addr SnatEngine::ip_for(const net::FiveTuple& session) const {
+  return config_.public_ips[ip_index_for(session)];
+}
+
+std::size_t SnatEngine::free_ports(net::Ipv4Addr public_ip) const {
+  auto it = ip_index_.find(public_ip.value());
+  return it == ip_index_.end() ? 0 : free_ports_[it->second].size();
+}
+
+std::optional<SnatBinding> SnatEngine::allocate(
+    const net::FiveTuple& session) {
+  std::deque<std::uint16_t>& block = free_ports_[ip_index_for(session)];
+  if (block.empty()) return std::nullopt;  // no cross-IP spill by design
+  const std::uint16_t port = block.front();
+  block.pop_front();
+  return SnatBinding{ip_for(session), port};
 }
 
 void SnatEngine::release(const SnatBinding& binding) {
-  free_pool_.push_back(binding);
+  free_ports_[ip_index_.at(binding.public_ip.value())].push_back(
+      binding.public_port);
 }
 
-std::optional<SnatBinding> SnatEngine::translate(
-    const net::FiveTuple& session, double now) {
+std::optional<SnatBinding> SnatEngine::translate(const net::FiveTuple& session,
+                                                 double now,
+                                                 AllocFailure* failure) {
+  if (failure != nullptr) *failure = AllocFailure::kNone;
   if (auto it = by_tuple_.find(session); it != by_tuple_.end()) {
     Session& s = sessions_[it->second];
     s.last_used = now;
     return s.binding;
   }
-  auto binding = allocate();
+  auto binding = allocate(session);
   if (!binding) {
     ++allocation_failures_;
+    ++port_block_exhaustions_;
+    if (failure != nullptr) *failure = AllocFailure::kPortBlockExhausted;
     return std::nullopt;
   }
   std::size_t slot;
@@ -91,7 +114,8 @@ std::size_t SnatEngine::expire(double now) {
 }
 
 SnatEngine::Stats SnatEngine::stats() const {
-  return Stats{by_tuple_.size(), allocation_failures_, expired_};
+  return Stats{by_tuple_.size(), allocation_failures_, expired_,
+               port_block_exhaustions_};
 }
 
 std::size_t SnatEngine::capacity() const {

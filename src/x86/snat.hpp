@@ -3,9 +3,15 @@
 // the Internet. Session counts reach O(100M) in production — far beyond
 // on-chip memory — which is why the SNAT table lives in XGW-x86's DRAM.
 //
-// The engine owns a pool of public IPs, allocates ports per IP, keeps the
-// forward and reverse mappings (the response path arrives keyed by public
-// IP/port), and expires idle sessions.
+// The engine owns a pool of public IPs and a *per-IP port block*: a
+// session is hash-pinned to one external IP (so the fleet can shard
+// reverse-path routes per IP) and allocates a port from that IP's block
+// only. There is no cross-IP spill — when the pinned IP's block is empty
+// the allocation fails with AllocFailure::kPortBlockExhausted even if
+// other IPs still have free ports, exactly the failure mode a /32 SNAT
+// pool shows in production. The engine keeps the forward and reverse
+// mappings (the response path arrives keyed by public IP/port) and
+// expires idle sessions, returning their ports to the owning block.
 
 #pragma once
 
@@ -27,6 +33,14 @@ struct SnatBinding {
   friend bool operator==(const SnatBinding&, const SnatBinding&) = default;
 };
 
+/// Why translate() returned no binding.
+enum class AllocFailure : std::uint8_t {
+  kNone = 0,
+  /// The session's hash-pinned external IP has no free port (the typed
+  /// exhaustion the region surfaces as kSnatPortBlockExhausted).
+  kPortBlockExhausted,
+};
+
 class SnatEngine {
  public:
   struct Config {
@@ -41,14 +55,21 @@ class SnatEngine {
     std::size_t active_sessions = 0;
     std::size_t allocation_failures = 0;
     std::size_t expired_sessions = 0;
+    /// Subset of allocation_failures where the pinned IP's block was dry.
+    /// (Currently the only failure mode, split out so operators can alarm
+    /// on the per-IP exhaustion specifically.)
+    std::size_t port_block_exhaustions = 0;
   };
 
   explicit SnatEngine(Config config);
 
   /// Translates an outbound session: returns the binding (existing or
-  /// newly allocated), or nullopt when the pool is exhausted.
+  /// newly allocated), or nullopt when the session's port block is
+  /// exhausted. When `failure` is non-null it receives the typed reason
+  /// (kNone on success).
   std::optional<SnatBinding> translate(const net::FiveTuple& session,
-                                       double now);
+                                       double now,
+                                       AllocFailure* failure = nullptr);
 
   /// Reverse path: finds the inner session for a response addressed to
   /// (public ip, public port, peer ip, peer port).
@@ -64,6 +85,12 @@ class SnatEngine {
 
   /// Total bindings the pool can hold.
   std::size_t capacity() const;
+
+  /// The external IP this session is pinned to (pure hash; stable).
+  net::Ipv4Addr ip_for(const net::FiveTuple& session) const;
+
+  /// Free ports remaining in one external IP's block.
+  std::size_t free_ports(net::Ipv4Addr public_ip) const;
 
  private:
   struct TupleHasher {
@@ -88,16 +115,23 @@ class SnatEngine {
     double last_used = 0;
   };
 
-  std::optional<SnatBinding> allocate();
+  std::size_t ip_index_for(const net::FiveTuple& session) const;
+  std::optional<SnatBinding> allocate(const net::FiveTuple& session);
   void release(const SnatBinding& binding);
 
   Config config_;
-  std::deque<SnatBinding> free_pool_;
+  /// Per-IP free-port blocks, parallel to config_.public_ips. Ports start
+  /// ascending and recycle FIFO (pop front, released ports push back) —
+  /// with a single public IP this is byte-identical to the pre-block
+  /// global pool.
+  std::vector<std::deque<std::uint16_t>> free_ports_;
+  std::unordered_map<std::uint32_t, std::size_t> ip_index_;  // value() -> idx
   std::unordered_map<net::FiveTuple, std::size_t, TupleHasher> by_tuple_;
   std::unordered_map<BindingKey, std::size_t, BindingHasher> by_binding_;
   std::vector<Session> sessions_;
   std::vector<std::size_t> free_slots_;
   std::size_t allocation_failures_ = 0;
+  std::size_t port_block_exhaustions_ = 0;
   std::size_t expired_ = 0;
 };
 

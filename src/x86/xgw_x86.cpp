@@ -64,6 +64,16 @@ double XgwX86::full_install_seconds() const {
 }
 
 X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
+  return forward_impl(packet, now, /*allow_cache=*/true);
+}
+
+X86Result XgwX86::forward_punted(const net::OverlayPacket& packet,
+                                 double now) {
+  return forward_impl(packet, now, /*allow_cache=*/false);
+}
+
+X86Result XgwX86::forward_impl(const net::OverlayPacket& packet, double now,
+                               bool allow_cache) {
   ++telemetry_.packets_in;
   ctr_packets_in_->add();
   ctr_bytes_in_->add(packet.wire_size());
@@ -92,8 +102,10 @@ X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
   };
 
   // Fast path: the stateless outcomes (routes + mappings are pure table
-  // functions of the flow) replay from the cache. SNAT never caches.
-  const bool cacheable = flow_cache_.enabled();
+  // functions of the flow) replay from the cache. SNAT never caches, and
+  // punted packets (allow_cache == false) neither probe nor fill — a shed
+  // tenant's spillover must not touch the fast path at all.
+  const bool cacheable = allow_cache && flow_cache_.enabled();
   dataplane::FlowKey key;
   if (cacheable) {
     key = dataplane::make_flow_key(packet.vni, packet.inner);
@@ -139,12 +151,22 @@ X86Result XgwX86::forward(const net::OverlayPacket& packet, double now) {
       return remember(forward_to(dataplane::Action::kForwardTunnel,
                                  net::IpAddr(route->remote_endpoint)));
     case tables::RouteScope::kInternet: {
-      auto binding = snat_.translate(packet.inner, now);
+      AllocFailure failure = AllocFailure::kNone;
+      auto binding = snat_.translate(packet.inner, now, &failure);
       if (!binding) {
         ++telemetry_.packets_dropped;
         ctr_dropped_->add();
         ctr_snat_failures_->add();
-        result.drop_reason = dataplane::DropReason::kSnatPoolExhausted;
+        if (failure == AllocFailure::kPortBlockExhausted) {
+          // Lazily registered: a node that never exhausts a block keeps
+          // its telemetry snapshot byte-identical to before this counter
+          // existed.
+          registry_->counter("x86.snat_port_block_exhausted").add();
+          result.drop_reason =
+              dataplane::DropReason::kSnatPortBlockExhausted;
+        } else {
+          result.drop_reason = dataplane::DropReason::kSnatPoolExhausted;
+        }
         return result;
       }
       // Decap: the packet leaves as plain IP with the public source.

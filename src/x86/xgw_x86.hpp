@@ -111,6 +111,13 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
   /// Processes one packet with the SNAT-binding extra.
   X86Result forward(const net::OverlayPacket& packet, double now = 0);
 
+  /// Punt-path entry: identical to forward() except the verdict is never
+  /// admitted to this node's flow cache. Meter-degraded punts are
+  /// transient overload spillover, not steady-state flows — caching them
+  /// would let a shed tenant's packets evict legitimate fast-path entries
+  /// (and the guard tests assert they never land in any cache).
+  X86Result forward_punted(const net::OverlayPacket& packet, double now = 0);
+
   /// Gateway interface: forward() sliced to the unified verdict.
   dataplane::Verdict process(const net::OverlayPacket& packet,
                              double now) override {
@@ -162,6 +169,9 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
     dataplane::DropReason reason = dataplane::DropReason::kNone;
     net::IpAddr outer_dst;
   };
+
+  X86Result forward_impl(const net::OverlayPacket& packet, double now,
+                         bool allow_cache);
 
   Config config_;
   tables::SoftwareLpm<tables::VxlanRouteAction> routes_;

@@ -98,6 +98,17 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
     return flow_cache_.stats();
   }
 
+  /// True when this device's flow cache holds a live entry for the
+  /// packet's flow — the guard's tier-1 "established?" probe. Const and
+  /// side-effect free: it never touches cache stats or the admission
+  /// filter, so probing cannot perturb cache-on/off byte-identity.
+  bool flow_established(const net::OverlayPacket& packet) const {
+    if (!flow_cache_.enabled()) return false;
+    return flow_cache_.contains(
+        dataplane::make_flow_key(packet.vni, packet.inner),
+        table_generation_);
+  }
+
   std::size_t route_count() const;
   std::size_t mapping_count() const;
 

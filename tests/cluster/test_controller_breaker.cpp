@@ -1,0 +1,170 @@
+// Update-channel circuit breaker at the controller level (sf::guard):
+// consecutive channel refusals trip it, open short-circuits pushes onto
+// the retry queue WITHOUT burning channel attempts, the half-open probe
+// closes (or re-opens) it, and the deferred ops drain in strict FIFO —
+// proven by a remove-then-re-add pair whose inversion would leave the
+// opposite final table state.
+
+#include "cluster/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::cluster {
+namespace {
+
+using dataplane::TableOpStatus;
+using tables::RouteScope;
+using tables::VxlanRouteAction;
+using workload::VpcRecord;
+
+Controller::Config breaker_config(unsigned trip_after, double cooldown_s) {
+  Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 1;
+  config.breaker.trip_after = trip_after;
+  config.breaker.open_cooldown_s = cooldown_s;
+  return config;
+}
+
+VpcRecord make_vpc(net::Vni vni, std::size_t subnets) {
+  VpcRecord vpc;
+  vpc.vni = vni;
+  vpc.family = net::IpFamily::kV4;
+  for (std::size_t s = 0; s < subnets; ++s) {
+    vpc.routes.push_back(workload::RouteRecord{
+        net::Ipv4Prefix(
+            net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff),
+                          static_cast<std::uint8_t>(s), 0),
+            24),
+        VxlanRouteAction{RouteScope::kLocal, 0, {}}});
+  }
+  return vpc;
+}
+
+net::IpPrefix subnet(net::Vni vni, std::uint8_t s) {
+  return net::Ipv4Prefix(
+      net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff), s, 0), 24);
+}
+
+TableOp route_op(TableOp::Kind kind, net::Vni vni, std::uint8_t s) {
+  TableOp op;
+  op.kind = kind;
+  op.vni = vni;
+  op.prefix = subnet(vni, s);
+  op.route_action = VxlanRouteAction{RouteScope::kLocal, 0, {}};
+  return op;
+}
+
+TEST(ControllerBreaker, UnconfiguredControllerHasNoBreaker) {
+  Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 1;
+  Controller controller(config);  // trip_after defaults to 0
+  EXPECT_EQ(controller.breaker(), nullptr);
+  EXPECT_FALSE(
+      controller.registry().has_counter("controller.breaker_trips"));
+}
+
+TEST(ControllerBreaker, FifoSurvivesTripShortCircuitAndHalfOpenClose) {
+  Controller controller(breaker_config(/*trip_after=*/2, /*cooldown_s=*/5.0));
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 2)));
+  ASSERT_NE(controller.breaker(), nullptr);
+  ASSERT_EQ(controller.cluster(0).route_count(), 2u);
+
+  // Two refused direct pushes during an outage trip the breaker.
+  controller.set_update_channel_up(false);
+  EXPECT_EQ(controller.install_route(
+                100, subnet(100, 9), VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.breaker()->stats().trips, 0u);
+  EXPECT_EQ(controller.install_route(
+                100, subnet(100, 9), VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.breaker()->stats().trips, 1u);
+  EXPECT_EQ(controller.breaker()->state(0.0),
+            guard::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(controller.registry().counter_value("controller.breaker_trips"),
+            1u);
+
+  // While open, pushes short-circuit straight onto the retry queue:
+  // "remove subnet 0" then "re-add subnet 0". FIFO must hold — the
+  // inverted order would apply the add to the still-present entry and
+  // then delete it, leaving the route gone.
+  EXPECT_EQ(controller.push_op(route_op(TableOp::Kind::kDelRoute, 100, 0)),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.push_op(route_op(TableOp::Kind::kAddRoute, 100, 0)),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.deferred_op_count(), 2u);
+  EXPECT_EQ(controller.breaker()->stats().short_circuited, 2u);
+  EXPECT_EQ(controller.registry().counter_value(
+                "controller.breaker_short_circuited"),
+            2u);
+
+  // Channel restored, but the breaker is still inside its cooldown: the
+  // clock advance drains nothing.
+  controller.set_update_channel_up(true);
+  EXPECT_EQ(controller.advance_clock(1.0), 0u);
+  EXPECT_EQ(controller.deferred_op_count(), 2u);
+
+  // Past the cooldown: half-open lets the queue head probe; it succeeds,
+  // the breaker closes, and the rest of the queue drains IN ORDER.
+  EXPECT_EQ(controller.breaker()->state(6.0),
+            guard::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(controller.advance_clock(6.0), 2u);
+  EXPECT_EQ(controller.deferred_op_count(), 0u);
+  EXPECT_EQ(controller.breaker()->state(6.0),
+            guard::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(controller.breaker()->stats().closes, 1u);
+  EXPECT_EQ(controller.registry().counter_value("controller.breaker_closes"),
+            1u);
+  EXPECT_EQ(
+      controller.registry().counter_value("controller.table_ops_replayed"),
+      2u);
+
+  // FIFO proof: remove-then-add round-tripped, so the route is present
+  // on the desired state AND on every device.
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+  const auto report = controller.check_consistency(0);
+  EXPECT_GT(report.entries_checked, 0u);
+  EXPECT_EQ(report.missing_on_device, 0u);
+}
+
+TEST(ControllerBreaker, HalfOpenProbeFailureReopensForAnotherCooldown) {
+  Controller controller(breaker_config(/*trip_after=*/1, /*cooldown_s=*/5.0));
+  ASSERT_TRUE(controller.add_vpc(make_vpc(7, 1)));
+
+  controller.set_update_channel_up(false);
+  EXPECT_EQ(controller.install_route(
+                7, subnet(7, 3), VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.breaker()->stats().trips, 1u);
+
+  // Cooldown elapses but the channel is still down: the half-open probe
+  // is refused and the breaker re-opens from the probe's timestamp.
+  EXPECT_EQ(controller.advance_clock(5.0), 0u);
+  EXPECT_EQ(controller.breaker()->state(5.0),
+            guard::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(controller.install_route(
+                7, subnet(7, 3), VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kRateLimited);
+  EXPECT_EQ(controller.breaker()->stats().reopens, 1u);
+  EXPECT_EQ(controller.registry().counter_value("controller.breaker_reopens"),
+            1u);
+  EXPECT_EQ(controller.breaker()->state(9.9),
+            guard::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(controller.breaker()->state(10.0),
+            guard::CircuitBreaker::State::kHalfOpen);
+
+  // Channel back + next probe succeeds: the breaker finally closes and
+  // the install lands.
+  controller.set_update_channel_up(true);
+  EXPECT_EQ(controller.advance_clock(10.0), 0u);  // queue was never fed
+  EXPECT_EQ(controller.install_route(
+                7, subnet(7, 3), VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            TableOpStatus::kOk);
+  EXPECT_EQ(controller.breaker()->stats().closes, 1u);
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sf::cluster

@@ -161,6 +161,80 @@ TEST(UpdateQueue, OverflowRejectsBeyondMaxPending) {
   EXPECT_EQ(queue.stats().overflowed, 1u);
 }
 
+TEST(UpdateQueue, DeferParksWithoutAttemptingTheChannel) {
+  ScriptedTarget target;
+  UpdateQueue queue(target, UpdateQueue::Config{});
+  EXPECT_EQ(queue.defer(route_op(TableOp::Kind::kAddRoute, 7), 0.0),
+            TableOpStatus::kRateLimited);
+  // Parked straight away: the target never saw a call.
+  EXPECT_EQ(target.calls, 0u);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.stats().submitted, 1u);
+  EXPECT_EQ(queue.stats().deferred, 1u);
+  EXPECT_EQ(queue.advance(1.0), 1u);
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+}
+
+TEST(UpdateQueue, DeferDoesNotBurnAnAttempt) {
+  // A deferred op starts at attempts = 0, so with max_attempts = 2 it
+  // survives one failed retry where a submitted op would give up.
+  ScriptedTarget target;
+  target.reject_next = 1;
+  UpdateQueue::Config config;
+  config.max_attempts = 2;
+  UpdateQueue queue(target, config);
+  queue.defer(route_op(TableOp::Kind::kAddRoute, 7), 0.0);
+  EXPECT_EQ(queue.advance(1.0), 0u);  // retry refused: attempts 0 -> 1
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.stats().gave_up, 0u);
+  EXPECT_EQ(queue.advance(10.0), 1u);  // second retry lands it
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+}
+
+TEST(UpdateQueue, OverflowKeepsFifoOfTheAdmittedPrefix) {
+  // Bounded-queue overflow at capacity: the ops that fit drain strictly
+  // in arrival order, the overflowed one is reported, not reordered in.
+  ScriptedTarget target;
+  UpdateQueue::Config config;
+  config.max_pending = 3;
+  UpdateQueue queue(target, config);
+  queue.set_channel_up(false);
+  for (net::Vni vni = 1; vni <= 5; ++vni) {
+    queue.submit(route_op(TableOp::Kind::kAddRoute, vni), 0.0);
+  }
+  EXPECT_EQ(queue.pending(), 3u);
+  EXPECT_EQ(queue.stats().overflowed, 2u);
+  queue.set_channel_up(true);
+  EXPECT_EQ(queue.advance(1.0), 3u);
+  const std::vector<std::string> want{"add-route:1", "add-route:2",
+                                      "add-route:3"};
+  EXPECT_EQ(target.landed, want);
+}
+
+TEST(UpdateQueue, BackwardClockNeverRetriesEarlyOrLosesOps) {
+  // Non-monotonic clock against the backoff: a clock that steps backwards
+  // must not fire retries early, must not corrupt the due times, and the
+  // parked op still lands once real time passes the deadline.
+  ScriptedTarget target;
+  target.reject_next = 2;
+  UpdateQueue::Config config;
+  config.initial_backoff_s = 1.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_s = 8.0;
+  UpdateQueue queue(target, config);
+  queue.submit(route_op(TableOp::Kind::kAddRoute, 7), 10.0);  // due 11.0
+  EXPECT_EQ(queue.advance(5.0), 0u);   // clock went backwards: nothing
+  EXPECT_EQ(queue.advance(0.0), 0u);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 11.0);
+  EXPECT_EQ(queue.advance(11.0), 0u);  // refused: due 11 + backoff 2
+  EXPECT_DOUBLE_EQ(queue.next_retry_at(), 13.0);
+  EXPECT_EQ(queue.advance(4.0), 0u);   // backwards again: still parked
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.advance(13.0), 1u);
+  EXPECT_EQ(target.landed, std::vector<std::string>{"add-route:7"});
+}
+
 TEST(UpdateQueue, ValidatesConfig) {
   ScriptedTarget target;
   UpdateQueue::Config bad;

@@ -100,6 +100,42 @@ TEST(FlowCache, ClearDropsEverything) {
   EXPECT_EQ(cache.size(0), 0u);
 }
 
+TEST(FlowCache, ContainsTracksLiveEntriesOnly) {
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  EXPECT_FALSE(cache.contains(key, 0));
+  cache.insert(key, 0, 42);
+  EXPECT_TRUE(cache.contains(key, 0));
+  EXPECT_FALSE(cache.contains(make_flow_key(10, tuple(3)), 0));
+  // A stale generation reads as absent, but the slot is NOT reclaimed —
+  // contains() is a pure observer; find() still sees the stale entry.
+  EXPECT_FALSE(cache.contains(key, 1));
+  EXPECT_EQ(cache.stats().stale_reclaims, 0u);
+  EXPECT_EQ(cache.size(0), 1u);
+
+  const FlowCache<int> disabled{FlowCache<int>::Config{/*entries=*/0}};
+  EXPECT_FALSE(disabled.contains(key, 0));
+}
+
+TEST(FlowCache, ContainsNeverPerturbsHitMissAccounting) {
+  // The guard's established-flow probe rides on contains(); if it bumped
+  // hits/misses the cache-on/off byte-identity contract would break.
+  FlowCache<int> cache;
+  const FlowKey key = make_flow_key(10, tuple(2));
+  cache.insert(key, 0, 42);
+  const FlowCacheStats before = cache.stats();
+  for (int i = 0; i < 100; ++i) {
+    cache.contains(key, 0);                       // live hit
+    cache.contains(key, 7);                       // stale generation
+    cache.contains(make_flow_key(99, tuple(9)), 0);  // absent
+  }
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+  EXPECT_EQ(cache.stats().insertions, before.insertions);
+  EXPECT_EQ(cache.stats().evictions, before.evictions);
+  EXPECT_EQ(cache.stats().stale_reclaims, before.stale_reclaims);
+}
+
 TEST(FlowKeyDigest, DistinguishesEveryKeyField) {
   const FlowKey base = make_flow_key(10, tuple(2));
   EXPECT_EQ(base, make_flow_key(10, tuple(2)));  // deterministic

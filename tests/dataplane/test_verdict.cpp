@@ -58,6 +58,13 @@ TEST(Verdict, DropReasonNamesKeepTheLegacyStrings) {
             "VNI not assigned to any cluster");
   EXPECT_EQ(to_string(DropReason::kNoLiveDevice),
             "cluster has no live devices");
+  EXPECT_EQ(to_string(DropReason::kTenantShed),
+            "tenant shed by overload guard");
+  EXPECT_EQ(to_string(DropReason::kTenantNewFlowShed),
+            "tenant new-flow setup shed");
+  EXPECT_EQ(to_string(DropReason::kPuntQueueFull), "punt queue full");
+  EXPECT_EQ(to_string(DropReason::kSnatPortBlockExhausted),
+            "SNAT port block exhausted for external IP");
 }
 
 TEST(Verdict, PathLabelDistinguishesHardwareAndSoftware) {

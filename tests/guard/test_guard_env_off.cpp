@@ -1,0 +1,63 @@
+// SF_GUARD gate: with the environment variable set to "off", a region (or
+// controller) configured with guard features must not build them — the
+// process behaves byte-identically to a guard-less build. Lives in its own
+// test binary because guard_enabled() latches on first use, so the gate
+// must be set before anything in the process consults it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/sailfish.hpp"
+#include "guard/guard.hpp"
+
+namespace sf::core {
+namespace {
+
+// Latch the gate before main() — and before any other code in this binary
+// can touch guard_enabled().
+const bool kGateOff = [] {
+  setenv("SF_GUARD", "off", 1);
+  return guard::guard_enabled();
+}();
+
+TEST(GuardEnvOff, GateReadsOff) { EXPECT_FALSE(kGateOff); }
+
+TEST(GuardEnvOff, RegionBuildsNoGuardDespiteConfig) {
+  SailfishOptions options = quickstart_options();
+  options.region.enable_guard = true;
+  options.region.guard.tenants.push_back(guard::TenantLimit{1, 1.0, 0.0});
+  options.region.enable_punt_path = true;
+  SailfishSystem system = make_system(options);
+
+  EXPECT_EQ(system.region->tenant_guard(), nullptr);
+  EXPECT_EQ(system.region->punt_queue(), nullptr);
+
+  // No guard counters leak into telemetry — snapshots match a guard-less
+  // region's key set exactly.
+  const auto snapshot = system.region->telemetry_snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(name.find("guard"), std::string::npos) << name;
+  }
+
+  // And the limited tenant's traffic flows untouched.
+  net::OverlayPacket packet;
+  packet.vni = system.flows.front().vni;
+  packet.inner = system.flows.front().tuple;
+  packet.payload_size = 256;
+  const auto verdict = system.region->process(packet, 0.0);
+  EXPECT_NE(verdict.drop_reason, dataplane::DropReason::kTenantShed);
+  EXPECT_NE(verdict.drop_reason, dataplane::DropReason::kTenantNewFlowShed);
+}
+
+TEST(GuardEnvOff, ControllerBuildsNoBreakerDespiteConfig) {
+  cluster::Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 1;
+  config.breaker.trip_after = 3;
+  cluster::Controller controller(config);
+  EXPECT_EQ(controller.breaker(), nullptr);
+}
+
+}  // namespace
+}  // namespace sf::core

@@ -1,0 +1,126 @@
+// SNAT per-IP port-block exhaustion: a /32 pool's block runs dry, the
+// failure is *typed* (AllocFailure::kPortBlockExhausted), sessions never
+// spill to another IP's block, and expiry returns ports to the owning
+// block in FIFO order.
+
+#include "x86/snat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sf::x86 {
+namespace {
+
+net::FiveTuple session(std::uint32_t host, std::uint16_t port) {
+  net::FiveTuple tuple;
+  tuple.src = net::IpAddr(net::Ipv4Addr(10, 0, 0, 1));
+  tuple.dst = net::IpAddr(net::Ipv4Addr(0x08080800u | (host & 0xff)));
+  tuple.proto = 6;
+  tuple.src_port = port;
+  tuple.dst_port = 443;
+  return tuple;
+}
+
+TEST(SnatExhaustion, SingleIpBlockExhaustsWithTypedFailure) {
+  SnatEngine::Config config;
+  config.public_ips = {net::Ipv4Addr(203, 0, 113, 7)};  // a /32 pool
+  config.port_min = 1024;
+  config.port_max = 1027;  // four ports total
+  SnatEngine snat(config);
+  ASSERT_EQ(snat.capacity(), 4u);
+
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    AllocFailure failure = AllocFailure::kPortBlockExhausted;
+    const auto binding = snat.translate(session(1, 1000 + i), 0.0, &failure);
+    ASSERT_TRUE(binding.has_value()) << i;
+    EXPECT_EQ(failure, AllocFailure::kNone);
+  }
+  EXPECT_EQ(snat.free_ports(config.public_ips[0]), 0u);
+
+  // The fifth distinct session finds the block dry.
+  AllocFailure failure = AllocFailure::kNone;
+  const auto binding = snat.translate(session(1, 2000), 0.0, &failure);
+  EXPECT_FALSE(binding.has_value());
+  EXPECT_EQ(failure, AllocFailure::kPortBlockExhausted);
+  EXPECT_EQ(snat.stats().allocation_failures, 1u);
+  EXPECT_EQ(snat.stats().port_block_exhaustions, 1u);
+
+  // An EXISTING session still translates while the block is dry.
+  AllocFailure existing_failure = AllocFailure::kPortBlockExhausted;
+  const auto existing =
+      snat.translate(session(1, 1000), 1.0, &existing_failure);
+  EXPECT_TRUE(existing.has_value());
+  EXPECT_EQ(existing_failure, AllocFailure::kNone);
+
+  // Expiry frees the ports; allocation works again.
+  EXPECT_EQ(snat.expire(1000.0), 4u);
+  EXPECT_EQ(snat.free_ports(config.public_ips[0]), 4u);
+  const auto fresh = snat.translate(session(1, 2000), 1000.0, &failure);
+  EXPECT_TRUE(fresh.has_value());
+  EXPECT_EQ(failure, AllocFailure::kNone);
+}
+
+TEST(SnatExhaustion, NoSpillAcrossIpBlocks) {
+  SnatEngine::Config config;
+  config.public_ips = {net::Ipv4Addr(203, 0, 113, 1),
+                       net::Ipv4Addr(203, 0, 113, 2)};
+  config.port_min = 1024;
+  config.port_max = 1025;  // two ports per IP
+  SnatEngine snat(config);
+
+  // Find sessions pinned to IP 0 until its block is dry.
+  const net::Ipv4Addr ip0 = config.public_ips[0];
+  std::uint16_t port = 1;
+  std::size_t pinned = 0;
+  std::size_t exhausted = 0;
+  while (exhausted == 0 && port < 2000) {
+    const net::FiveTuple tuple = session(2, port++);
+    if (snat.ip_for(tuple) != ip0) continue;
+    AllocFailure failure = AllocFailure::kNone;
+    const auto binding = snat.translate(tuple, 0.0, &failure);
+    if (binding.has_value()) {
+      ++pinned;
+      // Pinned sessions always land on their hash-chosen IP.
+      EXPECT_EQ(binding->public_ip, ip0);
+    } else {
+      EXPECT_EQ(failure, AllocFailure::kPortBlockExhausted);
+      ++exhausted;
+    }
+  }
+  EXPECT_EQ(pinned, 2u);
+  EXPECT_EQ(exhausted, 1u);
+  // The other IP's block was never touched: no cross-IP spill.
+  EXPECT_EQ(snat.free_ports(config.public_ips[1]), 2u);
+  EXPECT_EQ(snat.free_ports(ip0), 0u);
+}
+
+TEST(SnatExhaustion, ReleasedPortsRecycleFifo) {
+  SnatEngine::Config config;
+  config.public_ips = {net::Ipv4Addr(203, 0, 113, 7)};
+  config.port_min = 1024;
+  config.port_max = 1026;
+  SnatEngine snat(config);
+
+  const auto a = snat.translate(session(3, 1), 0.0);
+  const auto b = snat.translate(session(3, 2), 0.0);
+  const auto c = snat.translate(session(3, 3), 0.0);
+  ASSERT_TRUE(a && b && c);
+  // Ascending allocation from the block head.
+  EXPECT_EQ(a->public_port, 1024);
+  EXPECT_EQ(b->public_port, 1025);
+  EXPECT_EQ(c->public_port, 1026);
+
+  // Keep b and c warm; only a ages out. Its port rejoins the (empty)
+  // block, so the next allocation recycles exactly 1024.
+  snat.translate(session(3, 2), 800.0);
+  snat.translate(session(3, 3), 800.0);
+  EXPECT_EQ(snat.expire(900.0), 1u);
+  EXPECT_EQ(snat.free_ports(config.public_ips[0]), 1u);
+  const auto d = snat.translate(session(3, 4), 900.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->public_port, 1024);
+}
+
+}  // namespace
+}  // namespace sf::x86
