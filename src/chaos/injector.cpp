@@ -203,6 +203,25 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
     return storm.start <= now + 1e-9 && now < storm.end - 1e-9;
   };
 
+  // DPU node failures armed this run. The node is held dark until `end`,
+  // then restored; recovery is verified by watching the interval samples
+  // for the placer re-promoting elephants onto the returned node.
+  struct DpuFault {
+    std::size_t fault = 0;  // owning FaultRecord index
+    std::size_t node = 0;
+    double end = 0;
+    bool restored = false;
+  };
+  std::vector<DpuFault> dpu_faults;
+  bool has_dpu_events = false;
+  for (const ChaosEvent& event : events) {
+    has_dpu_events = has_dpu_events || event.kind == FaultKind::kDpuFailure;
+  }
+  // Last interval sample's DPU-served rate and its timestamp, for the
+  // re-promotion check after a node restore.
+  double last_dpu_pps = 0;
+  double last_dpu_sample_at = -1;
+
   const auto slot_down = [&](std::uint64_t key, double now,
                              std::size_t* fault_out = nullptr) {
     auto it = windows.find(key);
@@ -357,6 +376,35 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
                              "region rate over %u flows for %.1fs",
                              static_cast<unsigned>(vni), limit_bps,
                              event.error_rate, event.count, event.duration));
+          break;
+        }
+        case FaultKind::kDpuFailure: {
+          if (region_.dpu_node_count() == 0) {
+            // No DPU tier in this region — nothing to fail or verify.
+            report.faults[index].detected_at = now;
+            report.faults[index].recovered_at = now;
+            fault.done = true;
+            fault.end = event.time;
+            log_.append(now, "dpu-failure",
+                        "skipped: region has no DPU tier");
+            break;
+          }
+          const std::size_t node = event.device % region_.dpu_node_count();
+          const std::uint64_t placed_before =
+              region_.dpu_node(node).flow_count();
+          region_.set_dpu_failed(node, true);
+          fault.end = event.time + event.duration;
+          dpu_faults.push_back(DpuFault{index, node, fault.end, false});
+          // The failure is injected below the health plane: the region
+          // fails the node over synchronously (placement misses fall back
+          // to x86), so detect and reroute coincide with injection.
+          report.faults[index].detected_at = now;
+          report.faults[index].rerouted_at = now;
+          log_.append(now, "dpu-failure",
+                      format("node %zu dark for %.1fs, %llu placed flows "
+                             "failing over to x86",
+                             node, event.duration,
+                             static_cast<unsigned long long>(placed_before)));
           break;
         }
       }
@@ -527,6 +575,34 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
           }
           break;
         }
+        case FaultKind::kDpuFailure: {
+          DpuFault* armed = nullptr;
+          for (DpuFault& df : dpu_faults) {
+            if (df.fault == i) armed = &df;
+          }
+          if (armed == nullptr) break;  // skipped at injection
+          if (!armed->restored && now + 1e-9 >= armed->end) {
+            region_.set_dpu_failed(armed->node, false);
+            armed->restored = true;
+            log_.append(now, "dpu-failure",
+                        format("node %zu restored", armed->node));
+          }
+          if (!armed->restored) break;
+          // Recovered once the placer has re-promoted elephants after the
+          // restore — the interval samples show the tier serving again.
+          // Without interval sampling there is nothing to watch; the
+          // restore itself is the recovery.
+          const bool sampling =
+              config_.interval_bps > 0 && config_.interval_every > 0;
+          if (!sampling || (last_dpu_sample_at > armed->end - 1e-9 &&
+                            last_dpu_pps > 0)) {
+            record.recovered_at = now;
+            fault.done = true;
+            log_.append(now, "recover",
+                        format("dpu node %zu serving again", armed->node));
+          }
+          break;
+        }
       }
     }
 
@@ -587,6 +663,18 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
       report.drop_rate_series.emplace_back(now, interval.drop_rate);
       report.peak_drop_rate =
           std::max(report.peak_drop_rate, interval.drop_rate);
+      last_dpu_pps = interval.dpu_pps;
+      last_dpu_sample_at = now;
+      if (has_dpu_events && region_.dpu_node_count() > 0) {
+        ChaosReport::DpuSample sample;
+        sample.time = now;
+        sample.dpu_pps = interval.dpu_pps;
+        sample.overflow_x86_pps = interval.overflow_x86_pps;
+        sample.punt_queue_occupancy = interval.punt_queue_occupancy;
+        sample.p99_latency_us = interval.p99_latency_us;
+        sample.dpu_flow_entries = interval.dpu_flow_entries;
+        report.dpu_samples.push_back(sample);
+      }
 
       // Storm isolation samples: the storm tenant's ladder tier and the
       // drop rate over everyone else (guard sheds excluded — they hit
@@ -683,6 +771,11 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
       }
     }
   }
+  for (std::size_t n = 0; n < region_.dpu_node_count(); ++n) {
+    if (region_.dpu_node(n).failed()) {
+      report.leaks.push_back(format("dpu node %zu left failed", n));
+    }
+  }
   if (controller.deferred_op_count() != 0) {
     report.leaks.push_back(format("%zu table ops still deferred",
                                   controller.deferred_op_count()));
@@ -774,6 +867,23 @@ std::string ChaosReport::to_json() const {
                     sample.tier, sample.storm_offered_pps,
                     sample.storm_shed_pps, sample.victim_drop_rate);
       out += i + 1 < storm_samples.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
+  // Present only for schedules with DPU faults, so every DPU-less report
+  // renders byte-identically.
+  if (!dpu_samples.empty()) {
+    out += "  \"dpu_samples\": [\n";
+    for (std::size_t i = 0; i < dpu_samples.size(); ++i) {
+      const DpuSample& sample = dpu_samples[i];
+      out += format("    {\"t\": %.3f, \"dpu_pps\": %.3e, "
+                    "\"overflow_x86_pps\": %.3e, "
+                    "\"punt_queue_occupancy\": %.6f, "
+                    "\"p99_latency_us\": %.3f, \"dpu_flow_entries\": %llu}",
+                    sample.time, sample.dpu_pps, sample.overflow_x86_pps,
+                    sample.punt_queue_occupancy, sample.p99_latency_us,
+                    static_cast<unsigned long long>(sample.dpu_flow_entries));
+      out += i + 1 < dpu_samples.size() ? ",\n" : "\n";
     }
     out += "  ],\n";
   }

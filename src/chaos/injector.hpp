@@ -90,6 +90,19 @@ struct ChaosReport {
   /// Worst victim drop rate seen across storm samples.
   double peak_victim_drop_rate = 0;
 
+  /// One row per interval sample taken while the schedule carries DPU
+  /// faults: how the three-tier placement rode out the node loss. Empty
+  /// (and absent from the JSON) for schedules without kDpuFailure events.
+  struct DpuSample {
+    double time = 0;
+    double dpu_pps = 0;            // traffic the DPU tier still served
+    double overflow_x86_pps = 0;   // overflow riding the punt lanes
+    double punt_queue_occupancy = 0;
+    double p99_latency_us = 0;
+    std::uint64_t dpu_flow_entries = 0;
+  };
+  std::vector<DpuSample> dpu_samples;
+
   /// Post-run invariant violations (stale DR state, unconverged queue,
   /// devices still out). Empty means the region fully recovered.
   std::vector<std::string> leaks;

@@ -25,6 +25,8 @@ std::string to_string(FaultKind kind) {
       return "mid-upgrade-failure";
     case FaultKind::kTenantStorm:
       return "tenant-storm";
+    case FaultKind::kDpuFailure:
+      return "dpu-failure";
   }
   return "?";
 }
@@ -57,6 +59,7 @@ double ChaosSchedule::horizon() const {
       case FaultKind::kDeviceCrash:
       case FaultKind::kChannelOutage:
       case FaultKind::kTenantStorm:
+      case FaultKind::kDpuFailure:
         end += event.duration;
         break;
       case FaultKind::kDeviceFlap:
@@ -103,14 +106,23 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed,
     event.device = rng.uniform(config.devices_per_cluster);
     event.port = static_cast<unsigned>(rng.uniform(config.ports_per_device));
 
-    // Data-plane faults always; control-plane/upgrade/tenant faults when
-    // enabled. The storm face is appended last so configs without it draw
-    // byte-identical schedules from the same seed.
-    const std::uint64_t faces = 4 + (config.control_plane_faults ? 2 : 0) +
-                                (config.upgrade_faults ? 1 : 0) +
-                                (config.tenant_storms ? 1 : 0);
+    // Data-plane faults always; control-plane/upgrade/tenant/DPU faults
+    // when enabled. New faces are appended after all existing ones so
+    // configs without them draw byte-identical schedules from the same
+    // seed.
+    const std::uint64_t base_faces = 4 +
+                                     (config.control_plane_faults ? 2 : 0) +
+                                     (config.upgrade_faults ? 1 : 0);
+    const std::uint64_t faces = base_faces + (config.tenant_storms ? 1 : 0) +
+                                (config.dpu_faults ? 1 : 0);
     const std::uint64_t face = rng.uniform(faces);
-    if (config.tenant_storms && face + 1 == faces) {
+    if (config.dpu_faults && face + 1 == faces) {
+      event.kind = FaultKind::kDpuFailure;
+      event.duration = 3.0 + static_cast<double>(rng.uniform(6));
+      schedule.add(event);
+      continue;
+    }
+    if (config.tenant_storms && face == base_faces) {
       event.kind = FaultKind::kTenantStorm;
       event.count = 16 + static_cast<unsigned>(rng.uniform(16));
       event.duration = 3.0 + static_cast<double>(rng.uniform(5));

@@ -26,6 +26,9 @@ enum class FaultKind : std::uint8_t {
   kMidUpgradeFailure, // rolling upgrade whose action fails at `device`
   kTenantStorm,       // one tenant floods `error_rate` x region capacity
                       // over `count` Zipf-skewed flows for `duration` s
+  kDpuFailure,        // DPU node `device` dark for `duration` seconds;
+                      // placed elephants must fail over to x86 and
+                      // re-promote once the node returns
 };
 
 std::string to_string(FaultKind kind);
@@ -65,6 +68,11 @@ class ChaosSchedule {
     /// tenant guard to be meaningful). Off by default so pre-existing
     /// seeds keep drawing byte-identical schedules.
     bool tenant_storms = false;
+    /// Include DPU node failures (needs a region with the DPU tier to be
+    /// meaningful). Appended after the storm face and off by default, so
+    /// every pre-existing (seed, config) pair keeps drawing byte-identical
+    /// schedules.
+    bool dpu_faults = false;
   };
 
   ChaosSchedule() = default;

@@ -29,6 +29,10 @@ Controller::Controller(Config config)
   ctr_ops_replayed_ = &registry_->counter("controller.table_ops_replayed");
   op_tokens_ = static_cast<double>(config_.table_op_burst);
   retry_queue_ = std::make_unique<UpdateQueue>(*this, config_.retry);
+  if (config_.admit_overflow) {
+    ctr_overflow_admitted_ =
+        &registry_->counter("controller.overflow_vpcs_admitted");
+  }
   if (config_.breaker.trip_after > 0 && guard::guard_enabled()) {
     breaker_ = std::make_unique<guard::CircuitBreaker>(config_.breaker);
     ctr_breaker_trips_ = &registry_->counter("controller.breaker_trips");
@@ -195,13 +199,30 @@ bool Controller::add_vpc(const workload::VpcRecord& vpc) {
       cluster_id = assigned;
       break;
     }
+    // Peers already living in the software tier pull the whole group
+    // down with them — co-location holds across tiers too.
+    if (is_overflow(peer)) {
+      cluster_id = kSoftwareTier;
+      break;
+    }
   }
   if (!cluster_id) cluster_id = assign_cluster();
+  if (!cluster_id && config_.admit_overflow) cluster_id = kSoftwareTier;
   if (!cluster_id) return false;
 
   VpcState state;
   state.cluster_id = *cluster_id;
-  director_.assign(vpc.vni, *cluster_id);
+  // Software-tier VPCs never reach the VNI director: XGW-H has no tables
+  // for them, so steering a packet at a cluster would only burn a drop.
+  if (*cluster_id != kSoftwareTier) {
+    director_.assign(vpc.vni, *cluster_id);
+  } else {
+    ++overflow_vpcs_;
+    ctr_overflow_admitted_->add();
+    journal_->record("provisioning",
+                     "VNI " + std::to_string(vpc.vni) +
+                         " admitted into the software tier (overflow)");
+  }
   vpcs_.emplace(vpc.vni, std::move(state));
   ctr_vpcs_admitted_->add();
 
@@ -258,9 +279,18 @@ dataplane::TableOpStatus Controller::install_route(
     tables::VxlanRouteAction action) {
   auto it = vpcs_.find(vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
-  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const bool software_tier = it->second.cluster_id == kSoftwareTier;
+  // Software-tier VPCs program no device: their desired state only needs
+  // to reach the mirror (x86 + DPU hold the complete tables), so the
+  // device update channel is never consumed.
+  if (!software_tier && !take_op_token()) {
+    return dataplane::TableOpStatus::kRateLimited;
+  }
   const dataplane::TableOpStatus status =
-      programmer(it->second.cluster_id).install_route(vni, prefix, action);
+      software_tier
+          ? dataplane::TableOpStatus::kOk
+          : programmer(it->second.cluster_id)
+                .install_route(vni, prefix, action);
   auto& routes = it->second.routes;
   auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
     return r.first == prefix;
@@ -273,8 +303,9 @@ dataplane::TableOpStatus Controller::install_route(
   mirror(TableOp{TableOp::Kind::kAddRoute, vni, prefix, action, {}, {}});
   ctr_routes_added_->add();
 
-  if (clusters_[it->second.cluster_id]->route_count() ==
-      config_.routes_water_level) {
+  if (!software_tier &&
+      clusters_[it->second.cluster_id]->route_count() ==
+          config_.routes_water_level) {
     alerts_.push_back("cluster " + std::to_string(it->second.cluster_id) +
                       " reached its route water level; sales closed");
     journal_->record("water-level",
@@ -293,10 +324,15 @@ dataplane::TableOpStatus Controller::remove_route(
     return r.first == prefix;
   });
   if (existing == routes.end()) return dataplane::TableOpStatus::kNotFound;
-  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const bool software_tier = it->second.cluster_id == kSoftwareTier;
+  if (!software_tier && !take_op_token()) {
+    return dataplane::TableOpStatus::kRateLimited;
+  }
   routes.erase(existing);
   const dataplane::TableOpStatus status =
-      programmer(it->second.cluster_id).remove_route(vni, prefix);
+      software_tier
+          ? dataplane::TableOpStatus::kOk
+          : programmer(it->second.cluster_id).remove_route(vni, prefix);
   mirror(TableOp{TableOp::Kind::kDelRoute, vni, prefix, {}, {}, {}});
   ctr_routes_removed_->add();
   return status;
@@ -306,9 +342,14 @@ dataplane::TableOpStatus Controller::install_mapping(
     const tables::VmNcKey& key, tables::VmNcAction action) {
   auto it = vpcs_.find(key.vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
-  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const bool software_tier = it->second.cluster_id == kSoftwareTier;
+  if (!software_tier && !take_op_token()) {
+    return dataplane::TableOpStatus::kRateLimited;
+  }
   const dataplane::TableOpStatus status =
-      programmer(it->second.cluster_id).install_mapping(key, action);
+      software_tier
+          ? dataplane::TableOpStatus::kOk
+          : programmer(it->second.cluster_id).install_mapping(key, action);
   auto& mappings = it->second.mappings;
   auto existing =
       std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {
@@ -334,10 +375,15 @@ dataplane::TableOpStatus Controller::remove_mapping(
         return m.first == key;
       });
   if (existing == mappings.end()) return dataplane::TableOpStatus::kNotFound;
-  if (!take_op_token()) return dataplane::TableOpStatus::kRateLimited;
+  const bool software_tier = it->second.cluster_id == kSoftwareTier;
+  if (!software_tier && !take_op_token()) {
+    return dataplane::TableOpStatus::kRateLimited;
+  }
   mappings.erase(existing);
   const dataplane::TableOpStatus status =
-      programmer(it->second.cluster_id).remove_mapping(key);
+      software_tier
+          ? dataplane::TableOpStatus::kOk
+          : programmer(it->second.cluster_id).remove_mapping(key);
   mirror(TableOp{TableOp::Kind::kDelMapping, key.vni, {}, {}, key, {}});
   ctr_mappings_removed_->add();
   return status;
@@ -347,6 +393,9 @@ bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
   if (target_cluster >= clusters_.size()) return false;
   auto it = vpcs_.find(vni);
   if (it == vpcs_.end()) return false;
+  // Software-tier VPCs have no device entries to move; promoting one into
+  // hardware is a (future) re-admission, not a migration.
+  if (it->second.cluster_id == kSoftwareTier) return false;
   // No early-out on cluster_id == target: the member loop below skips
   // already-placed members, and walking the group anyway heals any
   // co-location drift defensively.
@@ -371,6 +420,7 @@ bool Controller::migrate_vpc(net::Vni vni, std::uint32_t target_cluster) {
   for (net::Vni member : group) {
     VpcState& state = vpcs_.at(member);
     if (state.cluster_id == target_cluster) continue;
+    if (state.cluster_id == kSoftwareTier) continue;  // nothing on devices
     dataplane::TableProgrammer& source = programmer(state.cluster_id);
     dataplane::TableProgrammer& target = programmer(target_cluster);
     // Install on the target first, then retire from the source: the

@@ -56,7 +56,18 @@ class Controller : public dataplane::TableProgrammer {
     /// lost), then probe with the queue head. Also honors the SF_GUARD
     /// environment gate.
     guard::CircuitBreaker::Config breaker;
+    /// When every cluster is at its water level, admit the VPC into the
+    /// *software tier* instead of refusing the sale: its desired state is
+    /// recorded and mirrored (the XGW-x86 fleet — and the DPU tier, when
+    /// built — holds the complete tables) but no device is programmed and
+    /// the VNI director never learns the VNI. The region serves such
+    /// tenants entirely below the ASIC (DESIGN.md §11). Off by default:
+    /// existing deployments keep refusing, byte-identically.
+    bool admit_overflow = false;
   };
+
+  /// Sentinel cluster id of software-tier (overflow-admitted) VPCs.
+  static constexpr std::uint32_t kSoftwareTier = 0xffffffffu;
 
   explicit Controller(Config config);
 
@@ -130,6 +141,14 @@ class Controller : public dataplane::TableProgrammer {
     return director_.cluster_for(vni);
   }
   const VniDirector& director() const { return director_; }
+
+  /// True when `vni` was admitted into the software tier (no cluster).
+  bool is_overflow(net::Vni vni) const {
+    auto it = vpcs_.find(vni);
+    return it != vpcs_.end() && it->second.cluster_id == kSoftwareTier;
+  }
+  /// Software-tier VPCs admitted so far.
+  std::size_t overflow_count() const { return overflow_vpcs_; }
 
   /// Routes a packet to its VNI's cluster. Drops when the VNI is unknown.
   xgwh::ForwardResult process(const net::OverlayPacket& packet,
@@ -209,6 +228,7 @@ class Controller : public dataplane::TableProgrammer {
   std::vector<std::unique_ptr<XgwHCluster>> clusters_;
   VniDirector director_;
   std::unordered_map<net::Vni, VpcState> vpcs_;
+  std::size_t overflow_vpcs_ = 0;
   std::function<void(const TableOp&)> mirror_;
   std::vector<std::string> alerts_;
 
@@ -236,6 +256,9 @@ class Controller : public dataplane::TableProgrammer {
   telemetry::Counter* ctr_ops_rate_limited_ = nullptr;
   telemetry::Counter* ctr_ops_deferred_ = nullptr;
   telemetry::Counter* ctr_ops_replayed_ = nullptr;
+  // Registered only when admit_overflow is set, so refusing controllers
+  // keep their telemetry snapshots byte-identical.
+  telemetry::Counter* ctr_overflow_admitted_ = nullptr;
   // Registered only when the breaker is built, so unconfigured
   // controllers keep their telemetry snapshots byte-identical.
   telemetry::Counter* ctr_breaker_trips_ = nullptr;

@@ -25,9 +25,14 @@ SailfishRegion::SailfishRegion(Config config)
   }
 
   // Software holds the complete tables: mirror every controller op to
-  // every node through the shared table interface.
+  // every node through the shared table interface. DPU nodes receive the
+  // same fan-out as an *invalidation* (a mutated tenant's placed flows
+  // evict — their cached verdicts may be stale), and the placer forgets
+  // those placements so the flows can re-promote against fresh state.
   controller_.set_mirror([this](const dataplane::TableOp& op) {
     for (auto& node : x86_nodes_) dataplane::apply(*node, op);
+    for (auto& node : dpu_nodes_) dataplane::apply(*node, op);
+    if (placer_) placer_->evict_vni(op.vni);
   });
 
   recovery_ = std::make_unique<cluster::DisasterRecovery>(&controller_,
@@ -59,6 +64,26 @@ SailfishRegion::SailfishRegion(Config config)
     ctr_guard_punted_ = &registry_->counter("region.guard.punted");
     ctr_guard_punt_queue_full_ =
         &registry_->counter("region.guard.punt_queue_full");
+  }
+  if (config_.enable_dpu && dpu::dpu_enabled()) {
+    const std::size_t dpu_count = std::max<std::size_t>(1, config_.dpu_nodes);
+    for (std::size_t i = 0; i < dpu_count; ++i) {
+      dpu::XgwDpu::Config cfg = config_.dpu_template;
+      cfg.device_ip =
+          net::Ipv4Addr(config_.dpu_template.device_ip.value() +
+                        static_cast<std::uint32_t>(i));
+      dpu_nodes_.push_back(std::make_unique<dpu::XgwDpu>(cfg));
+    }
+    // Placer shards follow the interval engine (like the guard) so the
+    // sketch pre-pass mutates each shard's tracker from exactly one
+    // worker.
+    placer_ = std::make_unique<dpu::TierPlacer>(
+        config_.tier_placer, config_.interval_engine.shards, dpu_count);
+    ctr_dpu_served_ = &registry_->counter("region.dpu.served");
+    ctr_dpu_fallback_ = &registry_->counter("region.dpu.fallback");
+    ctr_dpu_promotions_ = &registry_->counter("region.dpu.promotions");
+    ctr_dpu_demotions_ = &registry_->counter("region.dpu.demotions");
+    ctr_dpu_pps_sum_ = &registry_->counter("region.dpu.pps_sum");
   }
   ctr_packets_ = &registry_->counter("region.packets");
   ctr_hw_forwarded_ = &registry_->counter("region.hw_forwarded");
@@ -159,9 +184,75 @@ dataplane::Verdict SailfishRegion::punt_to_x86(
                          base_latency_us + admit.queue_delay_us);
 }
 
+std::optional<dataplane::Verdict> SailfishRegion::try_dpu(
+    const net::OverlayPacket& packet, double now, double extra_latency_us) {
+  if (dpu_nodes_.empty()) return std::nullopt;
+  const auto node =
+      placer_->placement(telemetry::FlowKey{packet.vni, packet.inner});
+  if (!node) return std::nullopt;
+  dataplane::Verdict verdict = dpu_nodes_[*node]->process(packet, now);
+  if (verdict.action == dataplane::Action::kFallbackToX86) {
+    // Placed, but the box lost the entry (failure) — keep going to x86.
+    ctr_dpu_fallback_->add();
+    return std::nullopt;
+  }
+  verdict.latency_us += extra_latency_us;
+  ctr_dpu_served_->add();
+  return verdict;
+}
+
+dataplane::Verdict SailfishRegion::serve_software_tier(
+    const net::OverlayPacket& packet, double now) {
+  if (auto verdict = try_dpu(packet, now, 0.0)) return *verdict;
+  if (punt_queue_) {
+    return punt_to_x86(packet, now, 0.0, /*allow_cache=*/true);
+  }
+  x86::XgwX86& node = x86_for_flow(packet.inner);
+  return finish_software(node.forward(packet, now), 0.0);
+}
+
+void SailfishRegion::set_dpu_failed(std::size_t node, bool failed) {
+  dpu_nodes_.at(node)->set_failed(failed);
+  if (failed) placer_->evict_node(node);
+}
+
+void SailfishRegion::publish_pressure_gauges(double now) {
+  if (punt_queue_) {
+    registry_->gauge("region.punt_queue.occupancy")
+        .set(punt_queue_->max_occupancy(now));
+    registry_->gauge("region.punt_queue.high_watermark")
+        .set(punt_queue_->stats().high_watermark);
+  }
+  double cache_occupied = 0;
+  double cache_watermark = 0;
+  for (const auto& node : x86_nodes_) {
+    const dataplane::FlowCacheStats& stats = node->flow_cache_stats();
+    cache_occupied += static_cast<double>(stats.occupied);
+    cache_watermark += static_cast<double>(stats.high_watermark);
+  }
+  registry_->gauge("region.flow_cache.occupied").set(cache_occupied);
+  registry_->gauge("region.flow_cache.high_watermark").set(cache_watermark);
+  if (!dpu_nodes_.empty()) {
+    double entries = 0;
+    double capacity = 0;
+    for (const auto& node : dpu_nodes_) {
+      entries += static_cast<double>(node->flow_count());
+      capacity += static_cast<double>(node->config().flow_table_entries);
+    }
+    registry_->gauge("region.dpu.flow_entries").set(entries);
+    registry_->gauge("region.dpu.table_occupancy")
+        .set(capacity > 0 ? entries / capacity : 0);
+  }
+}
+
 dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
                                            double now) {
   ctr_packets_->add();
+
+  // Software-tier tenants (overflow-admitted) never touch XGW-H: the VNI
+  // director does not know them, so the whole region path is DPU-then-x86.
+  // The guard still meters them below like everyone else.
+  const bool software_tier = controller_.is_overflow(packet.vni);
 
   // Tenant guard: meter the packet before any gateway sees it.
   if (guard_ && guard_->any_limits()) {
@@ -184,9 +275,11 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
         ctr_guard_admitted_->add();
       }
     } else if (decision.punt && punt_queue_) {
-      // Tier-1 non-established packet: serve via the punt path. The x86
-      // cache is off-limits for these — meter-degraded spillover must
-      // never earn fast-path entries.
+      // Tier-1 non-established packet: serve via the punt path. A placed
+      // DPU entry absorbs it first — the elephant's spillover never even
+      // queues. The x86 cache is off-limits for these — meter-degraded
+      // spillover must never earn fast-path entries.
+      if (auto verdict = try_dpu(packet, now, 0.0)) return *verdict;
       return punt_to_x86(packet, now, 0.0, /*allow_cache=*/false);
     } else {
       const dataplane::DropReason reason =
@@ -202,6 +295,8 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
       return dataplane::Verdict::drop(reason);
     }
   }
+
+  if (software_tier) return serve_software_tier(packet, now);
 
   xgwh::ForwardResult hw = controller_.process(packet, now);
   if (hw.action != dataplane::Action::kFallbackToX86) {
@@ -223,9 +318,11 @@ dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,
   }
 
   // Fallback traffic (SNAT, table-placement misses, fallback-metered
-  // flows): with a punt path configured it crosses the bounded per-device
-  // punt queue toward the paired node; normal fallback may use the x86
-  // flow cache (it is steady-state traffic, not overload spillover).
+  // flows): a placed DPU entry serves it before any x86 involvement; with
+  // a punt path configured the rest crosses the bounded per-device punt
+  // queue toward the paired node; normal fallback may use the x86 flow
+  // cache (it is steady-state traffic, not overload spillover).
+  if (auto verdict = try_dpu(packet, now, hw.latency_us)) return *verdict;
   if (punt_queue_) {
     return punt_to_x86(packet, now, hw.latency_us, /*allow_cache=*/true);
   }
@@ -305,11 +402,64 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
     }
   }
 
+  // ---- Tier-placement pass: sketch update + promotion/demotion ------------
+  // Only when the DPU tier is built. The observe step is sharded by
+  // mix64(vni) — each shard's tracker is touched by exactly one worker —
+  // and the apply step runs sequentially over ordered state, so the
+  // placement after any interval is byte-identical at any thread count.
+  const bool dpu_active = !dpu_nodes_.empty();
+  const bool overflow_active = controller_.overflow_count() > 0;
+  if (dpu_active) {
+    engine_->run_sharded(
+        flows.size(),
+        [&flows](std::size_t i) {
+          return static_cast<std::size_t>(net::mix64(flows[i].vni));
+        },
+        [&](std::size_t shard, std::span<const std::uint32_t> indices,
+            telemetry::Registry&) {
+          placer_->begin_interval(shard);
+          for (const std::uint32_t i : indices) {
+            const workload::Flow& flow = flows[i];
+            if (flow.scope == tables::RouteScope::kInternet) continue;
+            if (!controller_.is_overflow(flow.vni)) continue;
+            const double bps = flow.weight * total_bps;
+            const double pps =
+                bps / 8.0 / static_cast<double>(flow.packet_size);
+            placer_->observe(
+                shard, telemetry::FlowKey{flow.vni, flow.tuple},
+                static_cast<std::uint64_t>(pps));
+          }
+        });
+    const dpu::TierPlacer::ApplyResult placed = placer_->apply(
+        [&](const telemetry::FlowKey& key, std::size_t node) {
+          // Interval-model entries carry a synthetic pre-resolved verdict;
+          // only placement (and hence capacity/latency) matters here. The
+          // functional path installs real verdicts through the same API.
+          return dataplane::succeeded(dpu_nodes_[node]->install_flow(
+              key.vni, key.tuple,
+              dpu::XgwDpu::FlowEntry{dataplane::Action::kForwardToNc,
+                                     net::IpAddr{}}));
+        },
+        [&](const telemetry::FlowKey& key, std::size_t node) {
+          dpu_nodes_[node]->remove_flow(key.vni, key.tuple);
+        });
+    report.dpu_promotions = placed.promoted;
+    report.dpu_demotions = placed.demoted;
+    ctr_dpu_promotions_->add(placed.promoted);
+    ctr_dpu_demotions_->add(placed.demoted);
+  }
+
   // ---- Phase A: hash-sharded parallel classification ----------------------
   // Each flow is classified exactly once, by the shard that owns its
   // steering hash, into its private slot; per-shard registries count what
   // each shard saw and merge through the snapshot machinery.
-  enum class Kind : std::uint8_t { kHardware, kSoftware, kUnknownVni };
+  enum class Kind : std::uint8_t {
+    kHardware,
+    kSoftware,
+    kUnknownVni,
+    kDpu,          // software-tier flow placed on a DPU node
+    kOverflowX86,  // software-tier flow crossing to x86
+  };
   struct Classified {
     double pps = 0;
     double bps = 0;
@@ -361,6 +511,25 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
           }
           const auto cluster_id = controller_.cluster_for(flow.vni);
           if (!cluster_id) {
+            // Software-tier tenants are *admitted*, just not in hardware:
+            // a placed elephant rides its DPU entry, the rest crosses to
+            // x86. Counters register lazily so runs without overflow
+            // tenants keep byte-identical snapshots.
+            if (controller_.is_overflow(flow.vni)) {
+              if (dpu_active) {
+                if (const auto node = placer_->placement(
+                        telemetry::FlowKey{flow.vni, flow.tuple})) {
+                  out.kind = Kind::kDpu;
+                  out.node = static_cast<std::uint32_t>(*node);
+                  registry.counter("engine.dpu_flows").add();
+                  continue;
+                }
+              }
+              out.kind = Kind::kOverflowX86;
+              out.node = x86_ecmp_.pick(flow.tuple).value_or(0);
+              registry.counter("engine.overflow_x86_flows").add();
+              continue;
+            }
             out.kind = Kind::kUnknownVni;
             unknown.add();
             continue;
@@ -391,15 +560,40 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
         std::max<std::size_t>(1, controller_.cluster(c).live_device_count());
   }
 
+  // Overflow spillover toward x86 crosses the punt lanes as a fluid
+  // queue: offered beyond the drain capacity drops (the interval-model
+  // analog of kPuntQueueFull), and the occupancy fraction reports how
+  // deep the lanes run. Computed sequentially before Phase B because the
+  // per-node tasks need the admitted scale.
+  double overflow_x86_offered_pps = 0;
+  if (overflow_active) {
+    for (const Classified& f : classified) {
+      if (f.kind == Kind::kOverflowX86) overflow_x86_offered_pps += f.pps;
+    }
+  }
+  double overflow_scale = 1.0;
+  if (overflow_active && punt_queue_) {
+    const double drain_pps =
+        config_.punt_queue.drain_pps * static_cast<double>(nodes);
+    if (overflow_x86_offered_pps > drain_pps && drain_pps > 0) {
+      overflow_scale = drain_pps / overflow_x86_offered_pps;
+    }
+    report.punt_queue_occupancy =
+        drain_pps > 0 ? std::min(1.0, overflow_x86_offered_pps / drain_pps)
+                      : 1.0;
+  }
+
   double offered_pps = 0;
   double fallback_bps = 0;
+  double fallback_pps = 0;
   double unknown_vni_pps = 0;
   std::array<double, 4> shard_pipe_bps{};
   std::vector<x86::IntervalReport> node_reports(nodes);
   std::vector<char> node_active(nodes, 0);
+  std::vector<DeviceLoad> dpu_load(dpu_nodes_.size());
 
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(1 + clusters + nodes);
+  tasks.reserve(1 + clusters + nodes + dpu_nodes_.size());
   // Scalar totals: one pass over all flows in index order.
   tasks.push_back([&] {
     for (const Classified& f : classified) {
@@ -407,6 +601,7 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
       switch (f.kind) {
         case Kind::kSoftware:
           fallback_bps += f.bps;
+          fallback_pps += f.pps;
           break;
         case Kind::kUnknownVni:
           unknown_vni_pps += f.pps;
@@ -414,6 +609,9 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
         case Kind::kHardware:
           shard_pipe_bps[f.pipe] += f.bps;
           break;
+        case Kind::kDpu:
+        case Kind::kOverflowX86:
+          break;  // summed by the DPU tasks / the fluid-lane pass above
       }
     }
   });
@@ -434,8 +632,19 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
       }
     });
   }
+  // DPU tier: one task per node sums its placed elephants (index order).
+  for (std::size_t d = 0; d < dpu_load.size(); ++d) {
+    tasks.push_back([&, d] {
+      for (const Classified& f : classified) {
+        if (f.kind != Kind::kDpu || f.node != d) continue;
+        dpu_load[d].pps += f.pps;
+        dpu_load[d].bps += f.bps;
+      }
+    });
+  }
   // Software path: one task per node builds its RSS flow list (index
-  // order) and runs the node's core simulation.
+  // order) and runs the node's core simulation. Overflow spillover joins
+  // its node's list at the punt-lane-admitted share.
   for (std::size_t n = 0; n < nodes; ++n) {
     tasks.push_back([&, n] {
       std::vector<x86::FlowRate> node_flows;
@@ -443,6 +652,10 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
         const Classified& f = classified[i];
         if (f.kind == Kind::kSoftware && f.node == n) {
           node_flows.push_back(x86::FlowRate{flows[i].tuple, f.pps, f.bps});
+        } else if (f.kind == Kind::kOverflowX86 && f.node == n) {
+          node_flows.push_back(x86::FlowRate{
+              flows[i].tuple, f.pps * overflow_scale,
+              f.bps * overflow_scale});
         }
       }
       if (node_flows.empty()) return;
@@ -457,6 +670,7 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
   // guard shed, so drop rates are measured against what tenants offered.
   report.offered_pps = offered_pps + report.guard_shed_pps;
   report.fallback_bps = fallback_bps;
+  report.fallback_pps = fallback_pps;
   report.shard_pipe_bps = shard_pipe_bps;
   report.dropped_pps = unknown_vni_pps + report.guard_shed_pps;
 
@@ -501,6 +715,77 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
         report.x86_max_core_utilization, node_reports[n].max_core_utilization);
   }
 
+  // DPU tier: per-node capacity ceilings (same fluid arithmetic as the
+  // hardware devices) and table occupancy; overflow spillover beyond the
+  // punt-lane drain capacity drops. All sums in fixed node order.
+  if (dpu_active) {
+    for (std::size_t d = 0; d < dpu_load.size(); ++d) {
+      report.dpu_pps += dpu_load[d].pps;
+      report.dpu_bps += dpu_load[d].bps;
+      const dpu::XgwDpu::Config& cfg = dpu_nodes_[d]->config();
+      const double overload =
+          std::max({dpu_load[d].pps / cfg.max_packet_rate_pps,
+                    dpu_load[d].bps / cfg.max_throughput_bps, 1.0});
+      report.dropped_pps += dpu_load[d].pps * (1.0 - 1.0 / overload);
+      report.dpu_flow_entries += dpu_nodes_[d]->flow_count();
+    }
+    double capacity = 0;
+    for (const auto& node : dpu_nodes_) {
+      capacity += static_cast<double>(node->config().flow_table_entries);
+    }
+    report.dpu_table_occupancy =
+        capacity > 0 ? static_cast<double>(report.dpu_flow_entries) / capacity
+                     : 0;
+    ctr_dpu_pps_sum_->add(static_cast<std::uint64_t>(report.dpu_pps));
+  }
+  if (overflow_active) {
+    report.overflow_x86_pps = overflow_x86_offered_pps * overflow_scale;
+    report.overflow_pps = overflow_x86_offered_pps + report.dpu_pps;
+    report.dropped_pps +=
+        overflow_x86_offered_pps * (1.0 - overflow_scale);
+  }
+
+  // pps-weighted p99 over the served path classes: ASIC, DPU, plain x86,
+  // and overflow-x86 including its fluid queueing delay. Only computed
+  // when the three-tier machinery is in play; classic regions report 0.
+  if (overflow_active || dpu_active) {
+    struct PathClass {
+      double latency_us = 0;
+      double pps = 0;
+    };
+    const double x86_latency = config_.x86_template.model.latency_us(
+        report.x86_max_core_utilization);
+    const double queue_delay_us =
+        punt_queue_ ? report.punt_queue_occupancy *
+                          static_cast<double>(
+                              config_.punt_queue.depth_packets) /
+                          config_.punt_queue.drain_pps * 1e6
+                    : 0;
+    std::vector<PathClass> path_classes;
+    path_classes.push_back(
+        {config_.controller.cluster_template.device.chip.latency_us(2, 650),
+         hw_pps});
+    path_classes.push_back(
+        {config_.dpu_template.base_latency_us, report.dpu_pps});
+    path_classes.push_back({x86_latency, fallback_pps});
+    path_classes.push_back(
+        {x86_latency + queue_delay_us, report.overflow_x86_pps});
+    std::sort(path_classes.begin(), path_classes.end(),
+              [](const PathClass& a, const PathClass& b) {
+                return a.latency_us < b.latency_us;
+              });
+    double served = 0;
+    for (const PathClass& c : path_classes) served += c.pps;
+    double cumulative = 0;
+    for (const PathClass& c : path_classes) {
+      cumulative += c.pps;
+      if (cumulative >= 0.99 * served) {
+        report.p99_latency_us = c.latency_us;
+        break;
+      }
+    }
+  }
+
   report.drop_rate =
       report.offered_pps > 0 ? report.dropped_pps / report.offered_pps : 0;
   report.fallback_ratio =
@@ -537,6 +822,10 @@ telemetry::Snapshot SailfishRegion::telemetry_snapshot() const {
   for (std::size_t n = 0; n < x86_nodes_.size(); ++n) {
     merged.merge(x86_nodes_[n]->registry().snapshot(),
                  "x86" + std::to_string(n) + ".");
+  }
+  for (std::size_t n = 0; n < dpu_nodes_.size(); ++n) {
+    merged.merge(dpu_nodes_[n]->registry().snapshot(),
+                 "dpu" + std::to_string(n) + ".");
   }
   return merged;
 }

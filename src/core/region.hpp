@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "core/rate_limiter.hpp"
 #include "dataplane/gateway.hpp"
 #include "dataplane/shard_engine.hpp"
+#include "dpu/tier_placer.hpp"
+#include "dpu/xgw_dpu.hpp"
 #include "guard/guard.hpp"
 #include "guard/punt_queue.hpp"
 #include "telemetry/registry.hpp"
@@ -63,6 +66,18 @@ class SailfishRegion : public dataplane::Gateway {
     /// tuple-ECMP steering and tier-1 non-established packets are shed.
     bool enable_punt_path = false;
     guard::PuntQueue::Config punt_queue;
+    /// DPU middle tier (DESIGN.md §11): a rack of flow-offload boxes
+    /// between XGW-H and the x86 fleet. Promotion/demotion is driven by
+    /// the TierPlacer's sketches each interval; on the functional path,
+    /// software-tier packets (overflow VPCs, guard punts, XGW-H fallback)
+    /// try their placed DPU entry before the punt queue / x86. Off by
+    /// default; also honors the SF_DPU environment gate — when either
+    /// gate is closed nothing is built, no counters register, and every
+    /// artifact is byte-identical to a DPU-less build.
+    bool enable_dpu = false;
+    std::size_t dpu_nodes = 2;
+    dpu::XgwDpu::Config dpu_template;
+    dpu::TierPlacer::Config tier_placer;
   };
 
   explicit SailfishRegion(Config config);
@@ -92,6 +107,21 @@ class SailfishRegion : public dataplane::Gateway {
   const guard::TenantGuard* tenant_guard() const { return guard_.get(); }
   const guard::PuntQueue* punt_queue() const { return punt_queue_.get(); }
 
+  /// The DPU tier; empty/nullptr when not configured (or gated off by
+  /// SF_DPU).
+  std::size_t dpu_node_count() const { return dpu_nodes_.size(); }
+  dpu::XgwDpu& dpu_node(std::size_t index) { return *dpu_nodes_.at(index); }
+  const dpu::XgwDpu& dpu_node(std::size_t index) const {
+    return *dpu_nodes_.at(index);
+  }
+  dpu::TierPlacer* tier_placer() { return placer_.get(); }
+  const dpu::TierPlacer* tier_placer() const { return placer_.get(); }
+
+  /// Chaos hook: fails (or recovers) one DPU node. Failure clears the
+  /// node's flow table AND the placer's record of it — elephants fall
+  /// back to x86 immediately and re-promote from scratch on recovery.
+  void set_dpu_failed(std::size_t node, bool failed);
+
   // ---- functional end-to-end path (dataplane::Gateway) ----------------------
 
   /// Runs one packet end to end: LB -> XGW-H, and for fallback traffic on
@@ -109,6 +139,7 @@ class SailfishRegion : public dataplane::Gateway {
     double drop_rate = 0;
     /// Traffic carried by the software path.
     double fallback_bps = 0;
+    double fallback_pps = 0;
     double fallback_ratio = 0;
     /// Bits/s crossing each loopback egress pipe, summed over clusters
     /// (indices 1 and 3 are the interesting ones — Figs. 20/21).
@@ -120,6 +151,25 @@ class SailfishRegion : public dataplane::Gateway {
     /// Per metered tenant: offered rate, shed rate and ladder tier at the
     /// end of the interval, ascending VNI. Empty without a guard.
     std::vector<guard::TenantGuard::TenantInterval> guard_tenants;
+    // ---- three-tier placement (zero unless overflow VPCs exist or the
+    // DPU tier is built) -----------------------------------------------------
+    /// Offered by software-tier (overflow-admitted) tenants.
+    double overflow_pps = 0;
+    /// Served by the DPU tier / crossing to x86 after the DPU miss.
+    double dpu_pps = 0;
+    double dpu_bps = 0;
+    double overflow_x86_pps = 0;
+    /// Fluid overflow-lane occupancy toward x86, as a fraction of the
+    /// drain capacity (1.0 == saturated; excess drops as kPuntQueueFull).
+    double punt_queue_occupancy = 0;
+    /// pps-weighted p99 forwarding latency across the served path classes
+    /// (ASIC, DPU, x86, x86-with-queue-delay).
+    double p99_latency_us = 0;
+    std::size_t dpu_flow_entries = 0;
+    /// Placed entries / total DPU table capacity, in [0, 1].
+    double dpu_table_occupancy = 0;
+    std::size_t dpu_promotions = 0;
+    std::size_t dpu_demotions = 0;
   };
 
   /// Simulates one interval: each flow offers weight * total_bps.
@@ -161,8 +211,16 @@ class SailfishRegion : public dataplane::Gateway {
   const telemetry::Registry& registry() const { return *registry_; }
 
   /// Everything at once: region counters, controller + per-device
-  /// registries ("clusterC.deviceD.") and the x86 fleet ("x86N.").
+  /// registries ("clusterC.deviceD."), the x86 fleet ("x86N.") and the
+  /// DPU tier ("dpuN.", only when built).
   telemetry::Snapshot telemetry_snapshot() const;
+
+  /// Publishes point-in-time pressure gauges into the region registry:
+  /// punt-queue occupancy + high watermark (when the punt path is built),
+  /// aggregate x86 flow-cache occupancy + high watermark, and DPU table
+  /// occupancy (when the tier is built). Opt-in — a region that never
+  /// calls this keeps gauge-free (pre-gauge byte-identical) snapshots.
+  void publish_pressure_gauges(double now);
 
   const Config& config() const { return config_; }
 
@@ -182,6 +240,16 @@ class SailfishRegion : public dataplane::Gateway {
   /// Shared software-path accounting for fallback/punt verdicts.
   dataplane::Verdict finish_software(x86::X86Result sw,
                                      double extra_latency_us);
+  /// Tries the DPU tier for one packet: nullopt when the tier is absent,
+  /// the flow is not placed, or the placed node failed (caller continues
+  /// toward x86 as if the tier did not exist).
+  std::optional<dataplane::Verdict> try_dpu(const net::OverlayPacket& packet,
+                                            double now,
+                                            double extra_latency_us);
+  /// Serves a software-tier (overflow-admitted) tenant's packet:
+  /// DPU first, then the punt path / legacy ECMP toward x86.
+  dataplane::Verdict serve_software_tier(const net::OverlayPacket& packet,
+                                         double now);
 
   Config config_;
   cluster::Controller controller_;
@@ -191,6 +259,9 @@ class SailfishRegion : public dataplane::Gateway {
   /// Built only when configured and SF_GUARD allows (see Config::guard).
   std::unique_ptr<guard::TenantGuard> guard_;
   std::unique_ptr<guard::PuntQueue> punt_queue_;
+  /// Built only when configured and SF_DPU allows (see Config::enable_dpu).
+  std::vector<std::unique_ptr<dpu::XgwDpu>> dpu_nodes_;
+  std::unique_ptr<dpu::TierPlacer> placer_;
 
   // unique_ptr so the const interval simulator can drive the pool.
   std::unique_ptr<dataplane::ShardEngine> engine_;
@@ -221,6 +292,13 @@ class SailfishRegion : public dataplane::Gateway {
   telemetry::Counter* ctr_guard_escalations_ = nullptr;
   telemetry::Counter* ctr_guard_deescalations_ = nullptr;
   telemetry::Counter* ctr_guard_shed_upps_sum_ = nullptr;
+  // DPU counters, registered only when the tier is built so DPU-less
+  // regions keep byte-identical telemetry snapshots.
+  telemetry::Counter* ctr_dpu_served_ = nullptr;
+  telemetry::Counter* ctr_dpu_fallback_ = nullptr;
+  telemetry::Counter* ctr_dpu_promotions_ = nullptr;
+  telemetry::Counter* ctr_dpu_demotions_ = nullptr;
+  telemetry::Counter* ctr_dpu_pps_sum_ = nullptr;
 };
 
 }  // namespace sf::core

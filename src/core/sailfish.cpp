@@ -1,5 +1,7 @@
 #include "core/sailfish.hpp"
 
+#include <algorithm>
+
 namespace sf::core {
 
 const char* version() { return "sailfish 1.0.0"; }
@@ -16,6 +18,48 @@ SailfishOptions quickstart_options() {
   options.region.controller.cluster_template.backup_devices = 2;
   options.region.controller.max_clusters = 4;
   options.region.x86_nodes = 2;
+  return options;
+}
+
+SailfishOptions overflow_options(double hardware_shortfall, bool with_dpu) {
+  SailfishOptions options = quickstart_options();
+  if (hardware_shortfall < 1.0) hardware_shortfall = 1.0;
+
+  // Squeeze hardware: one cluster, water levels at ~1/shortfall of the
+  // topology's table demand (subnets + the default route per VPC), so
+  // everything beyond that overflows into the software tier.
+  auto& controller = options.region.controller;
+  controller.max_clusters = 1;
+  controller.initial_clusters = 1;
+  const std::size_t routes_per_vpc = options.topology.subnets_per_vpc + 1;
+  const double total_routes = static_cast<double>(
+      options.topology.vpc_count * routes_per_vpc);
+  controller.routes_water_level = std::max(
+      routes_per_vpc,
+      static_cast<std::size_t>(total_routes / hardware_shortfall));
+  controller.mappings_water_level = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(options.topology.total_vms) /
+             hardware_shortfall));
+  controller.admit_overflow = true;
+
+  // The overflow rides the bounded punt lanes toward x86; the drain is
+  // deliberately far below the spillover so the DPU-less baseline
+  // saturates the lanes (occupancy 1.0, typed drops) and the DPU tier
+  // has something to relieve.
+  options.region.enable_punt_path = true;
+  options.region.punt_queue.depth_packets = 2048;
+  options.region.punt_queue.drain_pps = 2e6;
+
+  if (with_dpu) {
+    options.region.enable_dpu = true;
+    options.region.dpu_nodes = 2;
+    options.region.dpu_template.flow_table_entries = 4096;
+    options.region.tier_placer.tracker.capacity = 64;
+    options.region.tier_placer.promote_min_pps = 20000;
+    options.region.tier_placer.max_promote_per_interval = 64;
+    options.region.tier_placer.demote_after_idle = 2;
+  }
   return options;
 }
 

@@ -40,4 +40,16 @@ SailfishSystem make_system(const SailfishOptions& options);
 /// A small, fast default setup for examples and smoke tests.
 SailfishOptions quickstart_options();
 
+/// A three-tier overflow scenario (DESIGN.md §11): the quickstart
+/// topology with hardware squeezed so only about 1/`hardware_shortfall`
+/// of the region's table demand fits XGW-H. The remaining VPCs are
+/// overflow-admitted into the software tier (punt path on, bounded
+/// drain). With `with_dpu`, the DPU middle tier is enabled so the
+/// TierPlacer promotes overflow elephants out of the x86 spillover;
+/// without it the whole overflow rides the punt lanes — the baseline the
+/// bench compares against. `hardware_shortfall` of 4 to 16 covers the
+/// BENCH_dpu.json frontier.
+SailfishOptions overflow_options(double hardware_shortfall = 4.0,
+                                 bool with_dpu = true);
+
 }  // namespace sf::core

@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -54,6 +55,11 @@ struct FlowCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t stale_reclaims = 0;
+  /// Slots currently holding an entry (any generation; stale slots count
+  /// until a probe reclaims them — they still consume table space).
+  std::uint64_t occupied = 0;
+  /// Highest `occupied` ever reached.
+  std::uint64_t high_watermark = 0;
 };
 
 /// Default entry count for gateway flow caches: 1 << 12 unless the
@@ -109,6 +115,7 @@ class FlowCache {
         }
         entry.occupied = false;  // stale epoch: reclaim, force a full walk
         ++stats_.stale_reclaims;
+        --stats_.occupied;
         break;
       }
       slot = (slot + 1) & mask_;
@@ -190,6 +197,10 @@ class FlowCache {
     }
     Entry& entry = table_[victim];
     if (entry.occupied && !(entry.key == key)) ++stats_.evictions;
+    if (!entry.occupied) {
+      ++stats_.occupied;
+      stats_.high_watermark = std::max(stats_.high_watermark, stats_.occupied);
+    }
     entry.key = key;
     entry.generation = generation;
     entry.value = std::move(value);

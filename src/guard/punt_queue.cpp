@@ -38,6 +38,7 @@ PuntQueue::Admit PuntQueue::offer(std::size_t cluster, std::size_t device,
   result.admitted = true;
   result.queue_delay_us = lane.occupancy / config_.drain_pps * 1e6;
   ++stats_.admitted;
+  stats_.high_watermark = std::max(stats_.high_watermark, lane.occupancy);
   return result;
 }
 
@@ -49,6 +50,14 @@ double PuntQueue::occupancy(std::size_t cluster, std::size_t device,
   if (!lane.primed) return lane.occupancy;
   const double dt = std::max(0.0, now - lane.last_time);
   return std::max(0.0, lane.occupancy - dt * config_.drain_pps);
+}
+
+double PuntQueue::max_occupancy(double now) const {
+  double deepest = 0;
+  for (const auto& [key, lane] : lanes_) {
+    deepest = std::max(deepest, occupancy(key.first, key.second, now));
+  }
+  return deepest;
 }
 
 }  // namespace sf::guard

@@ -42,10 +42,13 @@ class PuntQueue {
   };
 
   /// Plain-struct observability (kept out of any registry so an idle
-  /// punt path never perturbs telemetry snapshots).
+  /// punt path never perturbs telemetry snapshots; the region publishes
+  /// these as gauges only when asked — publish_pressure_gauges()).
   struct Stats {
     std::uint64_t admitted = 0;
     std::uint64_t overflowed = 0;
+    /// Highest post-admit occupancy any lane ever reached (packets).
+    double high_watermark = 0;
   };
 
   PuntQueue() : PuntQueue(Config{}) {}
@@ -56,6 +59,9 @@ class PuntQueue {
 
   /// Current occupancy of one lane at time `now` (drains lazily).
   double occupancy(std::size_t cluster, std::size_t device, double now) const;
+
+  /// Deepest current occupancy across all lanes at time `now`.
+  double max_occupancy(double now) const;
 
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }

@@ -51,8 +51,16 @@ std::string to_table(const Snapshot& snapshot) {
     }
     out << counters.render();
   }
-  if (!snapshot.histograms.empty()) {
+  if (!snapshot.gauges.empty()) {
     if (!snapshot.counters.empty()) out << "\n";
+    sim::TablePrinter gauges({"gauge", "level"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      gauges.add_row({name, num(value)});
+    }
+    out << gauges.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    if (!snapshot.counters.empty() || !snapshot.gauges.empty()) out << "\n";
     sim::TablePrinter hists(
         {"histogram", "count", "mean", "p50", "p90", "p99", "max"});
     for (const auto& [name, h] : snapshot.histograms) {
@@ -97,7 +105,21 @@ std::string to_json(const Snapshot& snapshot) {
     }
     out << "]}";
   }
-  out << "}}";
+  out << "}";
+  // Gauge-less snapshots render without the key at all, so counter-only
+  // registries keep their pre-gauge JSON bytes (the CI byte-diffs depend
+  // on this).
+  if (!snapshot.gauges.empty()) {
+    out << ",\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << json_escape(name) << "\":" << num(value);
+    }
+    out << "}";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -107,6 +129,11 @@ std::string to_prometheus(const Snapshot& snapshot) {
     const std::string metric = prom_name(name) + "_total";
     out << "# TYPE " << metric << " counter\n"
         << metric << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " gauge\n"
+        << metric << " " << num(value) << "\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string metric = prom_name(name);

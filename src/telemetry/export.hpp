@@ -14,16 +14,19 @@
 
 namespace sf::telemetry {
 
-/// Fixed-width console table: counters first, then histogram summaries.
+/// Fixed-width console table: counters, then gauges (when any), then
+/// histogram summaries.
 std::string to_table(const Snapshot& snapshot);
 
 /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
-/// p50, p90, p99, buckets: [[upper, count], ...]}, ...}}
+/// p50, p90, p99, buckets: [[upper, count], ...]}, ...}}. A "gauges"
+/// object follows only when the snapshot holds gauges, so counter-only
+/// snapshots render byte-identically to pre-gauge builds.
 std::string to_json(const Snapshot& snapshot);
 
 /// Prometheus text format. Names are sanitized to [a-zA-Z0-9_:]; counters
-/// get a `_total` suffix, histograms emit cumulative `_bucket{le=...}`,
-/// `_sum` and `_count` series.
+/// get a `_total` suffix, gauges emit plain level series, histograms emit
+/// cumulative `_bucket{le=...}`, `_sum` and `_count` series.
 std::string to_prometheus(const Snapshot& snapshot);
 
 /// Heavy-hitter console table: rank, flow, estimated share of `total`.

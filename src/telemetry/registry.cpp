@@ -89,9 +89,20 @@ const HistogramSnapshot* Snapshot::histogram(const std::string& name) const {
   return it == histograms.end() ? nullptr : &it->second;
 }
 
+double Snapshot::gauge(const std::string& name, double fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
 void Snapshot::merge(const Snapshot& other, const std::string& prefix) {
   for (const auto& [name, value] : other.counters) {
     counters[prefix + name] += value;
+  }
+  // Gauges are levels, not rates: merging same-named gauges sums them
+  // (fleet views namespace per-device gauges with `prefix`, so collisions
+  // only happen when the caller wants an aggregate level).
+  for (const auto& [name, value] : other.gauges) {
+    gauges[prefix + name] += value;
   }
   for (const auto& [name, hist] : other.histograms) {
     auto [it, inserted] = histograms.try_emplace(prefix + name, hist);
@@ -122,6 +133,8 @@ Snapshot Snapshot::delta(const Snapshot& earlier, const Snapshot& later) {
     const std::uint64_t before = earlier.counter(name);
     out.counters[name] = value >= before ? value - before : 0;
   }
+  // A level does not difference: the delta carries the later level as-is.
+  out.gauges = later.gauges;
   for (const auto& [name, hist] : later.histograms) {
     HistogramSnapshot d = hist;  // min/max/percentiles stay from `later`
     if (const HistogramSnapshot* before = earlier.histogram(name)) {
@@ -158,10 +171,21 @@ Histogram& Registry::histogram(const std::string& name,
   return *it->second;
 }
 
+Gauge& Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
   }
   for (const auto& [name, hist] : histograms_) {
     HistogramSnapshot h;

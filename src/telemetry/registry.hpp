@@ -29,6 +29,19 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// A point-in-time level — queue occupancy, table fill, high watermarks.
+/// Unlike a Counter it moves both ways: set() overwrites, and a snapshot
+/// captures the level as of that instant (delta keeps the later level
+/// rather than differencing — a level is not a rate).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
 /// Bounded log-bucketed histogram for latency/size-style values.
 ///
 /// Bucket i covers (min_value * growth^(i-1), min_value * growth^i]; one
@@ -102,10 +115,15 @@ struct HistogramSnapshot {
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Point-in-time levels. Empty for registries without gauges, so
+  /// snapshots (and every exporter rendering) of counter-only registries
+  /// are byte-identical to pre-gauge builds.
+  std::map<std::string, double> gauges;
 
   std::uint64_t counter(const std::string& name,
                         std::uint64_t fallback = 0) const;
   const HistogramSnapshot* histogram(const std::string& name) const;
+  double gauge(const std::string& name, double fallback = 0) const;
 
   /// Sums `other` into this snapshot, optionally namespacing its names
   /// with `prefix` — fleet aggregation ("cluster0." + device counters).
@@ -127,9 +145,18 @@ class Registry {
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name,
                        Histogram::Config config = {});
+  Gauge& gauge(const std::string& name);
 
   bool has_counter(const std::string& name) const {
     return counters_.contains(name);
+  }
+  bool has_gauge(const std::string& name) const {
+    return gauges_.contains(name);
+  }
+  /// Const read of a gauge's current level; 0 when absent.
+  double gauge_value(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second->value();
   }
   /// Const read of a counter's current value; 0 when absent.
   std::uint64_t counter_value(const std::string& name) const {
@@ -137,7 +164,7 @@ class Registry {
     return it == counters_.end() ? 0 : it->second->value();
   }
   std::size_t instrument_count() const {
-    return counters_.size() + histograms_.size();
+    return counters_.size() + histograms_.size() + gauges_.size();
   }
   std::size_t counter_count() const { return counters_.size(); }
 
@@ -154,6 +181,7 @@ class Registry {
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 }  // namespace sf::telemetry

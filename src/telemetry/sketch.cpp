@@ -57,6 +57,16 @@ double CountMinSketch::error_bound() const {
          static_cast<double>(total_);
 }
 
+void CountMinSketch::decay(double factor) {
+  factor = std::clamp(factor, 0.0, 1.0);
+  // Integer truncation after one double multiply: deterministic on every
+  // IEEE-754 host, and counters monotonically shrink toward zero.
+  for (std::uint64_t& cell : rows_) {
+    cell = static_cast<std::uint64_t>(static_cast<double>(cell) * factor);
+  }
+  total_ = static_cast<std::uint64_t>(static_cast<double>(total_) * factor);
+}
+
 void CountMinSketch::clear() {
   std::fill(rows_.begin(), rows_.end(), 0);
   total_ = 0;
@@ -102,6 +112,16 @@ std::vector<HeavyHitterTracker::Entry> HeavyHitterTracker::top(
             });
   if (sorted.size() > n) sorted.resize(n);
   return sorted;
+}
+
+void HeavyHitterTracker::decay(double factor) {
+  sketch_.decay(factor);
+  // Refresh every candidate against the decayed sketch and drop the ones
+  // that faded out entirely, freeing their top-K slots for current flows.
+  std::erase_if(entries_, [this](Entry& entry) {
+    entry.estimate = sketch_.estimate(entry.key.hash());
+    return entry.estimate == 0;
+  });
 }
 
 void HeavyHitterTracker::clear() {

@@ -59,6 +59,14 @@ class CountMinSketch {
   /// >= 1 - e^-depth, estimate(k) - true(k) <= error_bound().
   double error_bound() const;
 
+  /// Exponential interval decay: every counter (and the total) is scaled
+  /// by `factor` in [0, 1] and truncated back to an integer. Called once
+  /// per measurement interval, this turns the all-time totals into an
+  /// exponentially weighted recent-rate estimate — a flow that stops
+  /// sending halves out of the sketch instead of looking heavy forever.
+  /// Deterministic: same counters + same factor -> same counters.
+  void decay(double factor);
+
   void clear();
 
   const Config& config() const { return config_; }
@@ -101,6 +109,14 @@ class HeavyHitterTracker {
   std::uint64_t evictions() const { return evictions_; }
   std::size_t tracked() const { return entries_.size(); }
   const CountMinSketch& sketch() const { return sketch_; }
+
+  /// Interval decay (see CountMinSketch::decay): scales the sketch by
+  /// `factor`, re-reads every tracked candidate's estimate from the
+  /// decayed sketch, and drops candidates whose estimate reaches zero —
+  /// the staleness fix that keeps top() reflecting *current* traffic
+  /// rather than all-time totals. Call once per interval before feeding
+  /// the interval's samples.
+  void decay(double factor);
 
   void clear();
 

@@ -136,6 +136,29 @@ TEST(FlowCache, ContainsNeverPerturbsHitMissAccounting) {
   EXPECT_EQ(cache.stats().stale_reclaims, before.stale_reclaims);
 }
 
+TEST(FlowCache, OccupancyCountsSlotsAndTheWatermarkIsSticky) {
+  FlowCache<int> cache;
+  cache.insert(make_flow_key(1, tuple(2)), 0, 1);
+  cache.insert(make_flow_key(2, tuple(3)), 0, 2);
+  EXPECT_EQ(cache.stats().occupied, 2u);
+  EXPECT_EQ(cache.stats().high_watermark, 2u);
+
+  // A stale-generation probe reclaims its slot: live occupancy falls,
+  // the high watermark does not.
+  EXPECT_EQ(cache.find(make_flow_key(1, tuple(2)), 1), nullptr);
+  EXPECT_EQ(cache.stats().occupied, 1u);
+  EXPECT_EQ(cache.stats().high_watermark, 2u);
+
+  // Overwriting a live key in place claims no new slot.
+  cache.insert(make_flow_key(2, tuple(3)), 0, 5);
+  EXPECT_EQ(cache.stats().occupied, 1u);
+  EXPECT_EQ(cache.stats().high_watermark, 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().occupied, 0u);
+  EXPECT_EQ(cache.stats().high_watermark, 0u);
+}
+
 TEST(FlowKeyDigest, DistinguishesEveryKeyField) {
   const FlowKey base = make_flow_key(10, tuple(2));
   EXPECT_EQ(base, make_flow_key(10, tuple(2)));  // deterministic

@@ -1,0 +1,65 @@
+// SF_DPU gate: with the environment variable set to "off", a region
+// configured with the DPU tier must not build it — the process behaves
+// byte-identically to a DPU-less build. Lives in its own test binary
+// because dpu_enabled() latches on first use, so the gate must be set
+// before anything in the process consults it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/sailfish.hpp"
+#include "dpu/xgw_dpu.hpp"
+
+namespace sf::core {
+namespace {
+
+// Latch the gate before main() — and before any other code in this binary
+// can touch dpu_enabled().
+const bool kGateOff = [] {
+  setenv("SF_DPU", "off", 1);
+  return dpu::dpu_enabled();
+}();
+
+TEST(DpuEnvOff, GateReadsOff) { EXPECT_FALSE(kGateOff); }
+
+TEST(DpuEnvOff, RegionBuildsNoDpuTierDespiteConfig) {
+  SailfishSystem gated = make_system(overflow_options(4.0, true));
+  EXPECT_EQ(gated.region->dpu_node_count(), 0u);
+  EXPECT_EQ(gated.region->tier_placer(), nullptr);
+
+  // No DPU counters leak into telemetry.
+  for (const auto& [name, value] :
+       gated.region->telemetry_snapshot().counters) {
+    EXPECT_EQ(name.find("dpu"), std::string::npos) << name;
+  }
+}
+
+TEST(DpuEnvOff, GatedRegionMatchesDpulessBuildByteForByte) {
+  // Same overflow scenario, DPU configured-but-gated vs never configured:
+  // every interval number and the telemetry key set must match exactly.
+  SailfishSystem gated = make_system(overflow_options(4.0, true));
+  SailfishSystem plain = make_system(overflow_options(4.0, false));
+
+  for (int k = 0; k < 4; ++k) {
+    const auto a = gated.region->simulate_interval(
+        gated.flows, 1e11, static_cast<std::uint64_t>(k));
+    const auto b = plain.region->simulate_interval(
+        plain.flows, 1e11, static_cast<std::uint64_t>(k));
+    EXPECT_EQ(a.offered_pps, b.offered_pps);
+    EXPECT_EQ(a.dropped_pps, b.dropped_pps);
+    EXPECT_EQ(a.fallback_bps, b.fallback_bps);
+    EXPECT_EQ(a.overflow_x86_pps, b.overflow_x86_pps);
+    EXPECT_EQ(a.punt_queue_occupancy, b.punt_queue_occupancy);
+    EXPECT_EQ(a.p99_latency_us, b.p99_latency_us);
+    EXPECT_EQ(a.dpu_pps, 0.0);
+    EXPECT_EQ(a.dpu_flow_entries, 0u);
+  }
+
+  const auto sa = gated.region->telemetry_snapshot();
+  const auto sb = plain.region->telemetry_snapshot();
+  EXPECT_EQ(sa.counters, sb.counters);
+}
+
+}  // namespace
+}  // namespace sf::core

@@ -1,0 +1,143 @@
+// sf::dpu::XgwDpu — the simulated DPU gateway: bounded exact-match flow
+// table with pre-resolved verdicts, typed placement statuses, the
+// controller-mirror invalidation surface, and the failure contract (a
+// dead box is a transparent wire to x86).
+
+#include <gtest/gtest.h>
+
+#include "dpu/xgw_dpu.hpp"
+
+namespace sf::dpu {
+namespace {
+
+net::FiveTuple tuple_n(std::uint16_t n) {
+  net::FiveTuple tuple;
+  tuple.src = net::IpAddr(net::Ipv4Addr(10, 1, 0, 1));
+  tuple.dst = net::IpAddr(net::Ipv4Addr(10, 1, 0, 2));
+  tuple.proto = 6;
+  tuple.src_port = n;
+  tuple.dst_port = 443;
+  return tuple;
+}
+
+net::OverlayPacket packet_for(net::Vni vni, const net::FiveTuple& tuple) {
+  net::OverlayPacket packet;
+  packet.vni = vni;
+  packet.inner = tuple;
+  packet.payload_size = 256;
+  return packet;
+}
+
+XgwDpu::FlowEntry entry_to(net::Ipv4Addr nc) {
+  return XgwDpu::FlowEntry{dataplane::Action::kForwardToNc,
+                           net::IpAddr(nc)};
+}
+
+TEST(XgwDpu, PlacedFlowReplaysVerdictAtDpuLatency) {
+  XgwDpu::Config config;
+  config.base_latency_us = 8.0;
+  XgwDpu dpu(config);
+  const net::FiveTuple tuple = tuple_n(1);
+  const net::Ipv4Addr nc(172, 16, 0, 9);
+  ASSERT_EQ(dpu.install_flow(7, tuple, entry_to(nc)),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_TRUE(dpu.has_flow(7, tuple));
+
+  const dataplane::Verdict verdict = dpu.process(packet_for(7, tuple), 0.0);
+  EXPECT_EQ(verdict.action, dataplane::Action::kForwardToNc);
+  EXPECT_EQ(verdict.packet.outer_src_ip, net::IpAddr(config.device_ip));
+  EXPECT_EQ(verdict.packet.outer_dst_ip, net::IpAddr(nc));
+  EXPECT_DOUBLE_EQ(verdict.latency_us, 8.0);
+  EXPECT_EQ(dpu.registry().counter("dpu.packets_forwarded").value(), 1u);
+}
+
+TEST(XgwDpu, MissFallsBackToX86) {
+  XgwDpu dpu;
+  const dataplane::Verdict verdict =
+      dpu.process(packet_for(7, tuple_n(1)), 0.0);
+  EXPECT_EQ(verdict.action, dataplane::Action::kFallbackToX86);
+  EXPECT_FALSE(verdict.dropped());
+  EXPECT_EQ(dpu.registry().counter("dpu.misses").value(), 1u);
+
+  // Same tuple under another tenant's VNI is a distinct flow: placing
+  // tenant 7 must not serve tenant 8.
+  ASSERT_EQ(dpu.install_flow(7, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_EQ(dpu.process(packet_for(8, tuple_n(1)), 0.0).action,
+            dataplane::Action::kFallbackToX86);
+}
+
+TEST(XgwDpu, TypedStatusesDuplicateCapacityNotFound) {
+  XgwDpu::Config config;
+  config.flow_table_entries = 2;
+  XgwDpu dpu(config);
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  // Duplicate refreshes the entry in place.
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 2})),
+            dataplane::TableOpStatus::kDuplicate);
+  EXPECT_EQ(dpu.process(packet_for(1, tuple_n(1)), 0.0).packet.outer_dst_ip,
+            net::IpAddr(net::Ipv4Addr(172, 16, 0, 2)));
+
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(2), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(3), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kCapacityExceeded);
+  EXPECT_DOUBLE_EQ(dpu.occupancy(), 1.0);
+  EXPECT_TRUE(dataplane::succeeded(
+      dataplane::TableOpStatus::kDuplicate));
+  EXPECT_FALSE(dataplane::succeeded(
+      dataplane::TableOpStatus::kCapacityExceeded));
+
+  EXPECT_EQ(dpu.remove_flow(1, tuple_n(2)), dataplane::TableOpStatus::kOk);
+  EXPECT_EQ(dpu.remove_flow(1, tuple_n(2)),
+            dataplane::TableOpStatus::kNotFound);
+  EXPECT_EQ(dpu.flow_count(), 1u);
+}
+
+TEST(XgwDpu, ControllerMirrorInvalidatesOnlyThatTenant) {
+  XgwDpu dpu;
+  ASSERT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  ASSERT_EQ(dpu.install_flow(1, tuple_n(2), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  ASSERT_EQ(dpu.install_flow(2, tuple_n(1), entry_to({172, 16, 0, 2})),
+            dataplane::TableOpStatus::kOk);
+
+  // A mirrored mapping mutation for tenant 1 evicts tenant 1's placed
+  // flows (their cached verdicts may be stale) and leaves tenant 2 alone.
+  tables::VmNcKey key;
+  key.vni = 1;
+  key.vm_ip = net::IpAddr(net::Ipv4Addr(10, 1, 0, 2));
+  EXPECT_EQ(dpu.install_mapping(key, tables::VmNcAction{}),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_FALSE(dpu.has_flow(1, tuple_n(1)));
+  EXPECT_FALSE(dpu.has_flow(1, tuple_n(2)));
+  EXPECT_TRUE(dpu.has_flow(2, tuple_n(1)));
+  EXPECT_EQ(dpu.registry().counter("dpu.invalidations").value(), 2u);
+}
+
+TEST(XgwDpu, FailureClearsSramAndRefusesInstalls) {
+  XgwDpu dpu;
+  ASSERT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  dpu.set_failed(true);
+  EXPECT_TRUE(dpu.failed());
+  EXPECT_EQ(dpu.flow_count(), 0u);  // SRAM state is gone
+  EXPECT_FALSE(dpu.has_flow(1, tuple_n(1)));
+  EXPECT_EQ(dpu.process(packet_for(1, tuple_n(1)), 0.0).action,
+            dataplane::Action::kFallbackToX86);
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kRateLimited);
+
+  // Recovery brings back an *empty* table that accepts placements again.
+  dpu.set_failed(false);
+  EXPECT_EQ(dpu.flow_count(), 0u);
+  EXPECT_EQ(dpu.install_flow(1, tuple_n(1), entry_to({172, 16, 0, 1})),
+            dataplane::TableOpStatus::kOk);
+  EXPECT_EQ(dpu.process(packet_for(1, tuple_n(1)), 0.0).action,
+            dataplane::Action::kForwardToNc);
+}
+
+}  // namespace
+}  // namespace sf::dpu

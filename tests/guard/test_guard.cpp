@@ -258,6 +258,23 @@ TEST(PuntQueue, BackwardClockDrainsNothing) {
   EXPECT_FALSE(queue.offer(0, 0, 1.0).admitted);
 }
 
+TEST(PuntQueue, HighWatermarkRemembersTheDeepestLane) {
+  PuntQueue::Config config;
+  config.depth_packets = 10;
+  config.drain_pps = 1.0;
+  PuntQueue queue(config);
+  queue.offer(0, 0, 0.0);
+  queue.offer(0, 0, 0.0);
+  queue.offer(0, 0, 0.0);
+  queue.offer(0, 1, 0.0);  // a shallower lane must not lower the mark
+  EXPECT_DOUBLE_EQ(queue.stats().high_watermark, 3.0);
+  EXPECT_DOUBLE_EQ(queue.max_occupancy(0.0), 3.0);
+
+  // Draining pulls the live occupancy down, but the watermark is sticky.
+  EXPECT_DOUBLE_EQ(queue.max_occupancy(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(queue.stats().high_watermark, 3.0);
+}
+
 TEST(PuntQueue, ValidatesConfig) {
   PuntQueue::Config bad;
   bad.depth_packets = 0;

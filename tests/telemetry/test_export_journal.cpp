@@ -58,6 +58,37 @@ TEST(Export, PrometheusEmitsSanitizedSeries) {
   EXPECT_NE(prom.find("gw_latency_us_sum"), std::string::npos);
 }
 
+TEST(Export, GaugesRenderOnlyWhenPresent) {
+  // Counter-only snapshots keep their pre-gauge bytes: no "gauges" key in
+  // the JSON, no gauge series in Prometheus (CI byte-diffs depend on it).
+  const Snapshot plain = sample_snapshot();
+  EXPECT_EQ(to_json(plain).find("\"gauges\""), std::string::npos);
+  EXPECT_EQ(to_prometheus(plain).find("# TYPE") != std::string::npos &&
+                to_prometheus(plain).find(" gauge\n") != std::string::npos,
+            false);
+
+  Registry registry;
+  registry.counter("gw.packets_in").add(1);
+  registry.gauge("gw.punt_queue.occupancy").set(0.75);
+  registry.gauge("gw.flow_cache.high_watermark").set(512);
+  const Snapshot with_gauges = registry.snapshot();
+
+  const std::string json = to_json(with_gauges);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"gw.punt_queue.occupancy\":0.75"),
+            std::string::npos);
+
+  const std::string prom = to_prometheus(with_gauges);
+  EXPECT_NE(prom.find("# TYPE gw_punt_queue_occupancy gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gw_punt_queue_occupancy 0.75"), std::string::npos);
+  EXPECT_NE(prom.find("gw_flow_cache_high_watermark 512"),
+            std::string::npos);
+
+  const std::string table = to_table(with_gauges);
+  EXPECT_NE(table.find("gw.punt_queue.occupancy"), std::string::npos);
+}
+
 TEST(Export, HeavyHitterTableShowsShares) {
   HeavyHitterTracker tracker;
   FlowKey key;

@@ -99,6 +99,46 @@ TEST(Snapshot, DeltaYieldsRates) {
   EXPECT_EQ(clamped.counter("pkts"), 0u);
 }
 
+TEST(Gauge, MovesBothWaysAndSnapshotsTheLevel) {
+  Registry registry;
+  Gauge& occupancy = registry.gauge("queue.occupancy");
+  occupancy.set(0.75);
+  occupancy.set(0.25);  // unlike a counter, levels go down too
+  EXPECT_DOUBLE_EQ(registry.gauge_value("queue.occupancy"), 0.25);
+  EXPECT_TRUE(registry.has_gauge("queue.occupancy"));
+  EXPECT_FALSE(registry.has_gauge("other"));
+  EXPECT_EQ(&occupancy, &registry.gauge("queue.occupancy"));
+
+  const Snapshot snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.gauge("queue.occupancy"), 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("missing", 7.0), 7.0);
+}
+
+TEST(Gauge, DeltaKeepsTheLaterLevelNotADifference) {
+  Registry registry;
+  registry.gauge("fill").set(0.9);
+  const Snapshot earlier = registry.snapshot();
+  registry.gauge("fill").set(0.4);
+  const Snapshot later = registry.snapshot();
+
+  // A level is not a rate: the delta reports where the gauge *is* now.
+  const Snapshot diff = Snapshot::delta(earlier, later);
+  EXPECT_DOUBLE_EQ(diff.gauge("fill"), 0.4);
+}
+
+TEST(Gauge, MergeNamespacesPerDeviceLevels) {
+  Registry device0;
+  Registry device1;
+  device0.gauge("table.fill").set(0.5);
+  device1.gauge("table.fill").set(0.25);
+
+  Snapshot fleet;
+  fleet.merge(device0.snapshot(), "dev0.");
+  fleet.merge(device1.snapshot(), "dev1.");
+  EXPECT_DOUBLE_EQ(fleet.gauge("dev0.table.fill"), 0.5);
+  EXPECT_DOUBLE_EQ(fleet.gauge("dev1.table.fill"), 0.25);
+}
+
 TEST(Snapshot, MergePrefixesAndSums) {
   Registry device0;
   Registry device1;

@@ -179,5 +179,108 @@ TEST(HeavyHitterTracker, EvictsWeakestOverCapacity) {
   EXPECT_EQ(tracker.total(), 0u);
 }
 
+TEST(HeavyHitterTracker, ChurnAtTheCapacityBoundaryKeepsTheHeaviest) {
+  // K flows fill the candidate list, then a stream of near-tied
+  // challengers hammers the K boundary. The list must stay bounded, churn
+  // must be visible as evictions, and the true heaviest flow must never
+  // be displaced by the tied tail.
+  HeavyHitterTracker::Config config;
+  config.capacity = 4;
+  HeavyHitterTracker tracker(config);
+
+  tracker.add(key_for_rank(0), 10'000);  // the undisputed elephant
+  for (std::size_t r = 1; r < 4; ++r) tracker.add(key_for_rank(r), 500);
+  ASSERT_EQ(tracker.tracked(), 4u);
+
+  const std::uint64_t before = tracker.evictions();
+  for (int round = 0; round < 16; ++round) {
+    // Challengers arrive just above the weakest incumbent's weight.
+    tracker.add(key_for_rank(100 + round), 501 + round);
+  }
+  EXPECT_EQ(tracker.tracked(), 4u);  // bounded through the churn
+  EXPECT_GT(tracker.evictions(), before);
+
+  const auto top = tracker.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, key_for_rank(0));
+  EXPECT_GE(top[0].estimate, 10'000u);
+}
+
+TEST(HeavyHitterTracker, TwoTenantsSharingATupleAreDistinctFlows) {
+  // Two tenants reusing the same private 5-tuple (overlapping RFC1918
+  // space) must be tracked separately: the VNI is part of the key.
+  HeavyHitterTracker tracker;
+  FlowKey tenant_a = key_for_rank(3);
+  FlowKey tenant_b = tenant_a;
+  tenant_a.vni = 111;
+  tenant_b.vni = 222;
+
+  tracker.add(tenant_a, 9'000);
+  tracker.add(tenant_b, 400);
+
+  EXPECT_EQ(tracker.tracked(), 2u);
+  EXPECT_GE(tracker.estimate(tenant_a), 9'000u);
+  const auto top = tracker.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, tenant_a);
+  EXPECT_EQ(top[1].key, tenant_b);
+  // The light tenant's estimate must not inherit the heavy tenant's
+  // volume beyond the sketch's collision error band.
+  EXPECT_LE(static_cast<double>(top[1].estimate),
+            400.0 + tracker.sketch().error_bound());
+}
+
+TEST(CountMinSketch, DecayScalesTruncatesAndClamps) {
+  CountMinSketch sketch;
+  sketch.add(1, 1000);
+  sketch.add(2, 5);
+
+  sketch.decay(0.5);
+  EXPECT_EQ(sketch.estimate(1), 500u);
+  EXPECT_EQ(sketch.total(), 502u);  // 1005 * 0.5, truncated
+
+  // Integer truncation drives small counters to zero instead of leaving
+  // a permanent remainder.
+  sketch.decay(0.5);
+  sketch.decay(0.5);
+  EXPECT_EQ(sketch.estimate(2), 0u);
+
+  // The factor clamps to [0, 1]: decay can never inflate, and a negative
+  // factor is a full clear.
+  sketch.decay(7.0);
+  EXPECT_EQ(sketch.estimate(1), 125u);
+  sketch.decay(-1.0);
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_EQ(sketch.estimate(1), 0u);
+}
+
+TEST(HeavyHitterTracker, DecayAgesOutQuietFlowsAndRefreshesEstimates) {
+  HeavyHitterTracker::Config config;
+  config.capacity = 8;
+  HeavyHitterTracker tracker(config);
+
+  tracker.add(key_for_rank(0), 8'000);  // goes quiet after this interval
+  tracker.add(key_for_rank(1), 1'000);  // keeps sending
+
+  for (int interval = 0; interval < 14; ++interval) {
+    tracker.decay(0.5);
+    tracker.add(key_for_rank(1), 1'000);
+  }
+
+  // The quiet flow halves out of both the sketch and the candidate list;
+  // the steady sender's decayed estimate converges near its per-interval
+  // rate (geometric series: rate * 2), not its all-time total.
+  EXPECT_EQ(tracker.estimate(key_for_rank(0)), 0u);
+  const auto top = tracker.top(tracker.tracked());
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, key_for_rank(1));
+  EXPECT_GE(top[0].estimate, 1'000u);
+  EXPECT_LE(top[0].estimate, 2'000u);
+  for (const auto& entry : top) {
+    EXPECT_NE(entry.key, key_for_rank(0));
+    EXPECT_GT(entry.estimate, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace sf::telemetry
