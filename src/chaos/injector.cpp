@@ -378,6 +378,40 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
                              event.error_rate, event.count, event.duration));
           break;
         }
+        case FaultKind::kChurnStorm: {
+          // Tenant-onboarding wave: a burst of new VPCs through the
+          // update channel (each is several route/mapping table ops)...
+          std::size_t admitted = 0;
+          const unsigned first_ordinal = storm_vni_next_;
+          for (unsigned v = 0; v < event.count; ++v) {
+            const unsigned ordinal = storm_vni_next_++;
+            if (controller.add_vpc(storm_vpc(
+                    config_.storm_vni_base + ordinal, ordinal))) {
+              ++admitted;
+            }
+          }
+          // ...then a VM-migration wave: the freshly onboarded tenants
+          // immediately re-place onto other clusters, churning both the
+          // source and target cluster tables mid-run.
+          std::size_t migrated = 0;
+          if (controller.cluster_count() > 1) {
+            for (unsigned v = 0; v < event.count; ++v) {
+              const net::Vni vni = config_.storm_vni_base +
+                                   static_cast<net::Vni>(first_ordinal + v);
+              const std::uint32_t target = static_cast<std::uint32_t>(
+                  (event.cluster + 1 + v) % controller.cluster_count());
+              if (controller.migrate_vpc(vni, target)) ++migrated;
+            }
+          }
+          report.faults[index].detected_at = now;
+          fault.end = event.time;
+          log_.append(now, "churn-storm",
+                      format("%zu vpcs onboarded, %zu migrated, %zu table "
+                             "ops deferred",
+                             admitted, migrated,
+                             controller.deferred_op_count()));
+          break;
+        }
         case FaultKind::kDpuFailure: {
           if (region_.dpu_node_count() == 0) {
             // No DPU tier in this region — nothing to fail or verify.
@@ -544,7 +578,8 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
           break;
         }
         case FaultKind::kChannelOutage:
-        case FaultKind::kUpdateStorm: {
+        case FaultKind::kUpdateStorm:
+        case FaultKind::kChurnStorm: {
           const bool outage_over =
               fault.event.kind != FaultKind::kChannelOutage || !channel_down;
           if (outage_over && controller.deferred_op_count() == 0) {

@@ -27,6 +27,8 @@ std::string to_string(FaultKind kind) {
       return "tenant-storm";
     case FaultKind::kDpuFailure:
       return "dpu-failure";
+    case FaultKind::kChurnStorm:
+      return "churn-storm";
   }
   return "?";
 }
@@ -71,6 +73,7 @@ double ChaosSchedule::horizon() const {
         break;
       case FaultKind::kUpdateStorm:
       case FaultKind::kMidUpgradeFailure:
+      case FaultKind::kChurnStorm:
         break;
     }
     horizon = std::max(horizon, end);
@@ -106,23 +109,34 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed,
     event.device = rng.uniform(config.devices_per_cluster);
     event.port = static_cast<unsigned>(rng.uniform(config.ports_per_device));
 
-    // Data-plane faults always; control-plane/upgrade/tenant/DPU faults
-    // when enabled. New faces are appended after all existing ones so
-    // configs without them draw byte-identical schedules from the same
-    // seed.
+    // Data-plane faults always; control-plane/upgrade/tenant/DPU/churn
+    // faults when enabled. New faces are appended after all existing ones
+    // (order: tenant, dpu, churn) so configs without them draw
+    // byte-identical schedules from the same seed.
+    constexpr std::uint64_t kNoFace = ~std::uint64_t{0};
     const std::uint64_t base_faces = 4 +
                                      (config.control_plane_faults ? 2 : 0) +
                                      (config.upgrade_faults ? 1 : 0);
-    const std::uint64_t faces = base_faces + (config.tenant_storms ? 1 : 0) +
-                                (config.dpu_faults ? 1 : 0);
-    const std::uint64_t face = rng.uniform(faces);
-    if (config.dpu_faults && face + 1 == faces) {
+    std::uint64_t next_face = base_faces;
+    const std::uint64_t tenant_face =
+        config.tenant_storms ? next_face++ : kNoFace;
+    const std::uint64_t dpu_face = config.dpu_faults ? next_face++ : kNoFace;
+    const std::uint64_t churn_face =
+        config.churn_storms ? next_face++ : kNoFace;
+    const std::uint64_t face = rng.uniform(next_face);
+    if (face == churn_face) {
+      event.kind = FaultKind::kChurnStorm;
+      event.count = 8 + static_cast<unsigned>(rng.uniform(24));
+      schedule.add(event);
+      continue;
+    }
+    if (face == dpu_face) {
       event.kind = FaultKind::kDpuFailure;
       event.duration = 3.0 + static_cast<double>(rng.uniform(6));
       schedule.add(event);
       continue;
     }
-    if (config.tenant_storms && face == base_faces) {
+    if (face == tenant_face) {
       event.kind = FaultKind::kTenantStorm;
       event.count = 16 + static_cast<unsigned>(rng.uniform(16));
       event.duration = 3.0 + static_cast<double>(rng.uniform(5));

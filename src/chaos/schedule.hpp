@@ -29,6 +29,10 @@ enum class FaultKind : std::uint8_t {
   kDpuFailure,        // DPU node `device` dark for `duration` seconds;
                       // placed elephants must fail over to x86 and
                       // re-promote once the node returns
+  kChurnStorm,        // `count` tenant onboardings plus a VM-migration
+                      // wave pushed through the update channel in one
+                      // tick — mid-interval table churn exercising the
+                      // RCU publish path
 };
 
 std::string to_string(FaultKind kind);
@@ -73,6 +77,11 @@ class ChaosSchedule {
     /// every pre-existing (seed, config) pair keeps drawing byte-identical
     /// schedules.
     bool dpu_faults = false;
+    /// Include table-churn storms (tenant-onboarding waves plus VM
+    /// migrations pushed in one tick). Appended after the DPU face and
+    /// off by default, so every pre-existing (seed, config) pair keeps
+    /// drawing byte-identical schedules.
+    bool churn_storms = false;
   };
 
   ChaosSchedule() = default;

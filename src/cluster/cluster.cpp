@@ -27,53 +27,22 @@ XgwHCluster::XgwHCluster(Config config)
   rebuild_ecmp();
 }
 
-dataplane::TableOpStatus XgwHCluster::install_route(
-    net::Vni vni, const net::IpPrefix& prefix,
-    tables::VxlanRouteAction action) {
-  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
+dataplane::BatchResult XgwHCluster::apply(
+    const dataplane::TableOpBatch& batch) {
+  dataplane::BatchResult result;
   bool first = true;
   for (Device& device : devices_) {
-    const auto s = device.gateway->install_route(vni, prefix, action);
-    if (first) status = s;
+    dataplane::BatchResult device_result = device.gateway->apply(batch);
+    if (first) result = std::move(device_result);
     first = false;
   }
-  return status;
-}
-
-dataplane::TableOpStatus XgwHCluster::remove_route(
-    net::Vni vni, const net::IpPrefix& prefix) {
-  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
-  bool first = true;
-  for (Device& device : devices_) {
-    const auto s = device.gateway->remove_route(vni, prefix);
-    if (first) status = s;
-    first = false;
+  if (first) {
+    // No devices: report per-op success so desired state still advances.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      result.record(dataplane::TableOpStatus::kOk);
+    }
   }
-  return status;
-}
-
-dataplane::TableOpStatus XgwHCluster::install_mapping(
-    const tables::VmNcKey& key, tables::VmNcAction action) {
-  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
-  bool first = true;
-  for (Device& device : devices_) {
-    const auto s = device.gateway->install_mapping(key, action);
-    if (first) status = s;
-    first = false;
-  }
-  return status;
-}
-
-dataplane::TableOpStatus XgwHCluster::remove_mapping(
-    const tables::VmNcKey& key) {
-  dataplane::TableOpStatus status = dataplane::TableOpStatus::kOk;
-  bool first = true;
-  for (Device& device : devices_) {
-    const auto s = device.gateway->remove_mapping(key);
-    if (first) status = s;
-    first = false;
-  }
-  return status;
+  return result;
 }
 
 std::size_t XgwHCluster::route_count() const {

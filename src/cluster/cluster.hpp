@@ -36,16 +36,9 @@ class XgwHCluster : public dataplane::Gateway,
   // ---- table fan-out (dataplane::TableProgrammer) -------------------------
 
   /// Installs fan out to every device (primaries and backups hold the same
-  /// tables); the returned status is the first device's — they are
-  /// identical by construction, so one answer speaks for all.
-  dataplane::TableOpStatus install_route(
-      net::Vni vni, const net::IpPrefix& prefix,
-      tables::VxlanRouteAction action) override;
-  dataplane::TableOpStatus remove_route(net::Vni vni,
-                                        const net::IpPrefix& prefix) override;
-  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                           tables::VmNcAction action) override;
-  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+  /// tables); the returned per-op statuses are the first device's — they
+  /// are identical by construction, so one answer speaks for all.
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override;
 
   std::size_t route_count() const;    // per device (identical by design)
   std::size_t mapping_count() const;

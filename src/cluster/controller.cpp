@@ -274,11 +274,49 @@ std::size_t Controller::install_topology(
   return admitted;
 }
 
-dataplane::TableOpStatus Controller::install_route(
+dataplane::BatchResult Controller::apply(const dataplane::TableOpBatch& batch) {
+  dataplane::BatchResult result;
+  for (const TableOp& op : batch.ops) {
+    result.record(apply_one(op));
+  }
+  return result;
+}
+
+dataplane::TableOpStatus Controller::apply_one(const TableOp& op) {
+  switch (op.kind) {
+    case TableOp::Kind::kAddRoute:
+      return apply_install_route(op.vni, op.prefix, op.route_action);
+    case TableOp::Kind::kDelRoute:
+      return apply_remove_route(op.vni, op.prefix);
+    case TableOp::Kind::kAddMapping:
+      return apply_install_mapping(op.mapping_key, op.mapping_action);
+    case TableOp::Kind::kDelMapping:
+      return apply_remove_mapping(op.mapping_key);
+  }
+  return dataplane::TableOpStatus::kNotFound;
+}
+
+std::size_t Controller::drain_mid_interval(double start, double length,
+                                           std::size_t slices) {
+  if (slices == 0) return advance_clock(start + length);
+  std::size_t replayed = 0;
+  for (std::size_t s = 1; s <= slices; ++s) {
+    const double t =
+        start + length * (static_cast<double>(s) /
+                          static_cast<double>(slices));
+    replayed += advance_clock(t);
+  }
+  return replayed;
+}
+
+dataplane::TableOpStatus Controller::apply_install_route(
     net::Vni vni, const net::IpPrefix& prefix,
     tables::VxlanRouteAction action) {
   auto it = vpcs_.find(vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!placement_live(it->second.cluster_id)) {
+    return dataplane::TableOpStatus::kUnknownTarget;
+  }
   const bool software_tier = it->second.cluster_id == kSoftwareTier;
   // Software-tier VPCs program no device: their desired state only needs
   // to reach the mirror (x86 + DPU hold the complete tables), so the
@@ -315,10 +353,16 @@ dataplane::TableOpStatus Controller::install_route(
   return status;
 }
 
-dataplane::TableOpStatus Controller::remove_route(
+dataplane::TableOpStatus Controller::apply_remove_route(
     net::Vni vni, const net::IpPrefix& prefix) {
   auto it = vpcs_.find(vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  // Dangling placements fail typed and loud *before* any desired-state
+  // mutation — the old per-method surface silently "succeeded" here,
+  // desyncing the mirror from the devices.
+  if (!placement_live(it->second.cluster_id)) {
+    return dataplane::TableOpStatus::kUnknownTarget;
+  }
   auto& routes = it->second.routes;
   auto existing = std::find_if(routes.begin(), routes.end(), [&](auto& r) {
     return r.first == prefix;
@@ -338,10 +382,13 @@ dataplane::TableOpStatus Controller::remove_route(
   return status;
 }
 
-dataplane::TableOpStatus Controller::install_mapping(
+dataplane::TableOpStatus Controller::apply_install_mapping(
     const tables::VmNcKey& key, tables::VmNcAction action) {
   auto it = vpcs_.find(key.vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!placement_live(it->second.cluster_id)) {
+    return dataplane::TableOpStatus::kUnknownTarget;
+  }
   const bool software_tier = it->second.cluster_id == kSoftwareTier;
   if (!software_tier && !take_op_token()) {
     return dataplane::TableOpStatus::kRateLimited;
@@ -365,10 +412,13 @@ dataplane::TableOpStatus Controller::install_mapping(
   return status;
 }
 
-dataplane::TableOpStatus Controller::remove_mapping(
+dataplane::TableOpStatus Controller::apply_remove_mapping(
     const tables::VmNcKey& key) {
   auto it = vpcs_.find(key.vni);
   if (it == vpcs_.end()) return dataplane::TableOpStatus::kNotFound;
+  if (!placement_live(it->second.cluster_id)) {
+    return dataplane::TableOpStatus::kUnknownTarget;
+  }
   auto& mappings = it->second.mappings;
   auto existing =
       std::find_if(mappings.begin(), mappings.end(), [&](auto& m) {

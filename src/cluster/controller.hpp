@@ -87,23 +87,28 @@ class Controller : public dataplane::TableProgrammer {
   /// Installs a whole region topology.
   std::size_t install_topology(const workload::RegionTopology& region);
 
-  /// Desired-state edits (dataplane::TableProgrammer). kNotFound means the
-  /// VNI has no admitted VPC (installs) or the entry is absent (removes);
-  /// kRateLimited means the update-channel budget is exhausted and nothing
-  /// was changed.
-  dataplane::TableOpStatus install_route(
-      net::Vni vni, const net::IpPrefix& prefix,
-      tables::VxlanRouteAction action) override;
-  dataplane::TableOpStatus remove_route(net::Vni vni,
-                                        const net::IpPrefix& prefix) override;
-  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                           tables::VmNcAction action) override;
-  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+  /// Desired-state edits (dataplane::TableProgrammer v2). Every op in the
+  /// batch runs the full admission pipeline independently and gets its own
+  /// typed status: kNotFound means the VNI has no admitted VPC (installs)
+  /// or the entry is absent (removes); kRateLimited means the
+  /// update-channel budget is exhausted and nothing was changed;
+  /// kUnknownTarget means the VPC's recorded cluster id no longer names a
+  /// live cluster (dangling placement) — nothing was changed, and the op
+  /// must not be retried until the placement is repaired.
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override;
 
   /// Advances the controller clock (seconds) feeding the update-channel
   /// rate limiter, then redelivers any deferred (rate-limited) pushes
   /// that are due. Returns the number of deferred ops applied.
   std::size_t advance_clock(double now);
+
+  /// Drains the retry queue *mid-interval*: advances the clock through
+  /// `slices` evenly spaced virtual instants inside [start, start+length)
+  /// so deferred pushes land interleaved with the interval's packets
+  /// instead of piling up at interval boundaries (the churn bench's
+  /// tenant-onboarding wave uses this). Returns total ops replayed.
+  std::size_t drain_mid_interval(double start, double length,
+                                 std::size_t slices);
 
   /// Reliable push: applies the op now when the update channel allows it,
   /// otherwise parks it on the retry queue — provisioning (add_vpc) and
@@ -213,6 +218,26 @@ class Controller : public dataplane::TableProgrammer {
     std::vector<std::pair<net::IpPrefix, tables::VxlanRouteAction>> routes;
     std::vector<std::pair<tables::VmNcKey, tables::VmNcAction>> mappings;
   };
+
+  /// Test seam: lets regression tests forge VPC placement state (e.g. a
+  /// dangling cluster id) without widening the public surface.
+  friend struct ControllerTestPeer;
+
+  /// One batched op through the full admission pipeline (vpcs_ lookup,
+  /// placement check, token bucket, device fan-out, desired state, mirror).
+  dataplane::TableOpStatus apply_one(const TableOp& op);
+  dataplane::TableOpStatus apply_install_route(net::Vni vni,
+                                               const net::IpPrefix& prefix,
+                                               tables::VxlanRouteAction action);
+  dataplane::TableOpStatus apply_remove_route(net::Vni vni,
+                                              const net::IpPrefix& prefix);
+  dataplane::TableOpStatus apply_install_mapping(const tables::VmNcKey& key,
+                                                 tables::VmNcAction action);
+  dataplane::TableOpStatus apply_remove_mapping(const tables::VmNcKey& key);
+  /// kUnknownTarget when a hardware-tier VPC's cluster id is dangling.
+  bool placement_live(std::uint32_t cluster_id) const {
+    return cluster_id == kSoftwareTier || cluster_id < clusters_.size();
+  }
 
   /// Picks (or opens) a cluster with capacity; nullopt when sales close.
   std::optional<std::uint32_t> assign_cluster();

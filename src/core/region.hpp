@@ -23,6 +23,7 @@
 #include "cluster/controller.hpp"
 #include "cluster/disaster_recovery.hpp"
 #include "core/rate_limiter.hpp"
+#include "core/runtime_config.hpp"
 #include "dataplane/gateway.hpp"
 #include "dataplane/shard_engine.hpp"
 #include "dpu/tier_placer.hpp"
@@ -78,6 +79,13 @@ class SailfishRegion : public dataplane::Gateway {
     std::size_t dpu_nodes = 2;
     dpu::XgwDpu::Config dpu_template;
     dpu::TierPlacer::Config tier_placer;
+    /// Explicit runtime gates for this region. When set, the guard/DPU
+    /// kill switches come from here instead of the process-wide
+    /// environment latch (construction-time injection for tests and
+    /// embedders); when absent, the SF_GUARD/SF_DPU environment is
+    /// honored exactly as before. Per-device flow-cache sizing stays a
+    /// device Config knob (it defaults from the process gates).
+    std::optional<RuntimeConfig> runtime;
   };
 
   explicit SailfishRegion(Config config);

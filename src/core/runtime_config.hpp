@@ -1,0 +1,49 @@
+// sf::core::RuntimeConfig — the process's runtime gates, consolidated.
+//
+// Three subsystems used to read their own environment variable through a
+// private latch: the flow cache (SF_FLOW_CACHE sizes/disables the packet
+// fast path), the guard (SF_GUARD kills overload protection), and the DPU
+// tier (SF_DPU kills the middle tier). The knobs are one concept — "which
+// optional machinery does this process run" — so they parse into one
+// struct, once, and the legacy gate functions (
+// dataplane::default_flow_cache_entries(), guard::guard_enabled(),
+// dpu::dpu_enabled()) delegate here. Environment semantics are unchanged
+// byte-for-byte:
+//
+//   SF_FLOW_CACHE   unset → 4096 entries; "0"/"off"/"OFF" → disabled;
+//                   numeric → that many entries; other → 4096.
+//   SF_GUARD        unset → enabled; "0"/"off"/"OFF" → disabled.
+//   SF_DPU          unset → enabled; "0"/"off"/"OFF" → disabled.
+//
+// `process()` latches on first use (same discipline as the old per-gate
+// latches: set the environment before anything touches a gate, or the
+// test needs its own binary). `from_env()` re-parses every call — for
+// tests that exercise the parser itself without disturbing the latch.
+//
+// A region can also carry an explicit RuntimeConfig
+// (SailfishRegion::Config::runtime) to pin its subsystem gates
+// independently of the environment — construction-time dependency
+// injection instead of process-global state.
+
+#pragma once
+
+#include <cstddef>
+
+namespace sf::core {
+
+struct RuntimeConfig {
+  /// Flow-cache capacity devices default to (0 disables the fast path).
+  std::size_t flow_cache_entries = std::size_t{1} << 12;
+  /// sf::guard machinery (tenant guard, punt path, circuit breakers).
+  bool guard_enabled = true;
+  /// sf::dpu middle tier.
+  bool dpu_enabled = true;
+
+  /// Fresh parse of SF_FLOW_CACHE / SF_GUARD / SF_DPU (no latch).
+  static RuntimeConfig from_env();
+
+  /// The process-wide config: from_env(), latched on first use.
+  static const RuntimeConfig& process();
+};
+
+}  // namespace sf::core

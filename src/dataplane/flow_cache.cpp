@@ -1,8 +1,6 @@
 #include "dataplane/flow_cache.hpp"
 
-#include <cstdlib>
-#include <string_view>
-
+#include "core/runtime_config.hpp"
 #include "net/hash.hpp"
 
 namespace sf::dataplane {
@@ -27,19 +25,9 @@ FlowKey make_flow_key(std::uint32_t vni, const net::FiveTuple& tuple) {
 }
 
 std::size_t default_flow_cache_entries() {
-  static const std::size_t entries = [] {
-    const char* env = std::getenv("SF_FLOW_CACHE");
-    if (env == nullptr) return std::size_t{1} << 12;
-    const std::string_view value(env);
-    if (value == "0" || value == "off" || value == "OFF") {
-      return std::size_t{0};
-    }
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end == env) return std::size_t{1} << 12;  // non-numeric: default on
-    return static_cast<std::size_t>(parsed);
-  }();
-  return entries;
+  // Delegates to the consolidated runtime gates; semantics unchanged
+  // (SF_FLOW_CACHE, latched once per process).
+  return core::RuntimeConfig::process().flow_cache_entries;
 }
 
 }  // namespace sf::dataplane

@@ -1,6 +1,8 @@
 #include "dataplane/shard_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <thread>
 
 namespace sf::dataplane {
 
@@ -149,6 +151,105 @@ std::vector<Verdict> ShardEngine::process_packets(
   std::vector<Verdict> verdicts(packets.size());
   process_packets(packets, now, gateway_for, verdicts);
   return verdicts;
+}
+
+void ShardEngine::process_packets(
+    std::span<const net::OverlayPacket> packets, double now,
+    const std::function<Gateway&(std::size_t)>& gateway_for,
+    std::span<Verdict> out, const UpdatePlan& updates) {
+  if (out.size() != packets.size()) {
+    throw std::invalid_argument(
+        "process_packets: out.size() must equal packets.size()");
+  }
+  for (std::size_t k = 1; k < updates.updates.size(); ++k) {
+    if (updates.updates[k].apply_index < updates.updates[k - 1].apply_index) {
+      throw std::invalid_argument(
+          "process_packets: updates must be ascending by apply_index");
+    }
+  }
+
+  // Every shard's visibility floor is announced BEFORE the mutator
+  // starts: gateways reclaim table versions below their announced floor,
+  // so a mutator racing ahead of a shard's first advance() could
+  // otherwise collect versions that shard is about to pin.
+  if (updates.advance) {
+    for (std::size_t s = 0; s < plan_.shards; ++s) updates.advance(s, 0);
+  }
+
+  // The mutator is a real concurrent thread even at threads == 1: the
+  // whole point is that worker/mutator scheduling CANNOT matter. It
+  // publishes versions as fast as it likes; each packet's visibility is
+  // fixed by the stamped apply_index, enforced by the advance() pin.
+  std::thread mutator;
+  if (!updates.updates.empty() && updates.apply) {
+    mutator = std::thread([&updates] {
+      for (std::size_t k = 0; k < updates.updates.size(); ++k) {
+        updates.apply(k);
+      }
+    });
+  }
+
+  const std::span<const TimedTableOp> stream = updates.updates;
+  const auto& advance = updates.advance;
+  // Monotone per-shard cursor: `visible` for packet i is the count of
+  // updates with apply_index < i. A shard sees its packet indices
+  // ascending (both paths below), so each cursor only moves forward —
+  // O(1) amortized per packet, and identical per-packet values in the
+  // single-sweep and bucketed paths.
+  const auto advance_to = [&](std::size_t shard, std::size_t& cursor,
+                              std::size_t packet_index) {
+    std::size_t next = cursor;
+    while (next < stream.size() &&
+           stream[next].apply_index < packet_index) {
+      ++next;
+    }
+    if (next != cursor) {
+      cursor = next;
+      if (advance) advance(shard, cursor);
+    }
+  };
+
+  if (plan_.threads <= 1) {
+    const std::size_t shards = plan_.shards;
+    std::vector<Gateway*> gateways(shards);
+    std::vector<std::size_t> cursors(shards, 0);
+    for (std::size_t s = 0; s < shards; ++s) gateways[s] = &gateway_for(s);
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const std::size_t shard =
+          static_cast<std::size_t>(packets[i].inner.hash()) % shards;
+      advance_to(shard, cursors[shard], i);
+      out[i] = gateways[shard]->process(packets[i], now);
+    }
+  } else {
+    run_sharded(
+        packets.size(),
+        [&](std::size_t i) {
+          return static_cast<std::size_t>(packets[i].inner.hash());
+        },
+        [&](std::size_t shard, std::span<const std::uint32_t> indices,
+            telemetry::Registry&) {
+          Gateway& gateway = gateway_for(shard);
+          std::size_t cursor = 0;
+          // Same prefetch scheme as the plain bucketed path: shard index
+          // lists stride too wide for hardware prefetchers.
+          constexpr std::size_t kPrefetch = 8;
+          for (std::size_t k = 0; k < indices.size(); ++k) {
+            if (k + kPrefetch < indices.size()) {
+              const std::uint32_t ahead = indices[k + kPrefetch];
+              const char* pkt =
+                  reinterpret_cast<const char*>(&packets[ahead]);
+              __builtin_prefetch(pkt);
+              __builtin_prefetch(pkt + 64);
+              __builtin_prefetch(&out[ahead], 1);
+            }
+            const std::uint32_t i = indices[k];
+            advance_to(shard, cursor, i);
+            out[i] = gateway.process(packets[i], now);
+          }
+        });
+  }
+
+  if (mutator.joinable()) mutator.join();
 }
 
 }  // namespace sf::dataplane

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dataplane/gateway.hpp"
+#include "dataplane/table_programmer.hpp"
 #include "dataplane/thread_pool.hpp"
 #include "telemetry/registry.hpp"
 
@@ -81,6 +82,37 @@ class ShardEngine {
   std::vector<Verdict> process_packets(
       std::span<const net::OverlayPacket> packets, double now,
       const std::function<Gateway&(std::size_t)>& gateway_for);
+
+  /// A batch's control-plane update stream, interleaved with forwarding at
+  /// *virtual* apply times. `updates` must be ascending by apply_index; an
+  /// update with apply_index `a` is visible to exactly the packets with
+  /// index > a — a pure property of the stamped stream, never of thread
+  /// timing, so interleaved runs stay byte-identical at any thread count.
+  ///
+  /// `apply(k)` runs on a dedicated mutator thread, once per update in
+  /// stream order; it performs the actual table mutation (e.g. publishing
+  /// a new table version under RCU). `advance(shard, visible)` runs on the
+  /// shard's worker immediately before the first packet that requires the
+  /// first `visible` updates to be readable — the callback pins that
+  /// shard's gateway to the corresponding table version (e.g.
+  /// XgwX86::set_lookup_seq). Readers that reach a version before the
+  /// mutator publishes it wait inside their epoch pin; readers behind the
+  /// mutator read the *older* version out of the table's history. Either
+  /// way the verdict stream is a function of the op stream alone.
+  struct UpdatePlan {
+    std::span<const TimedTableOp> updates;
+    std::function<void(std::size_t k)> apply;
+    std::function<void(std::size_t shard, std::size_t visible)> advance;
+  };
+
+  /// process_packets with a concurrent, deterministically interleaved
+  /// update stream (see UpdatePlan). `advance(shard, 0)` is always issued
+  /// before a shard's first packet so every shard starts pinned at the
+  /// batch's base version.
+  void process_packets(std::span<const net::OverlayPacket> packets,
+                       double now,
+                       const std::function<Gateway&(std::size_t)>& gateway_for,
+                       std::span<Verdict> out, const UpdatePlan& updates);
 
  private:
   ShardPlan plan_;

@@ -14,22 +14,14 @@ std::string to_string(TableOpStatus status) {
       return "capacity-exceeded";
     case TableOpStatus::kRateLimited:
       return "rate-limited";
+    case TableOpStatus::kUnknownTarget:
+      return "unknown-target";
   }
   return "?";
 }
 
 TableOpStatus apply(TableProgrammer& target, const TableOp& op) {
-  switch (op.kind) {
-    case TableOp::Kind::kAddRoute:
-      return target.install_route(op.vni, op.prefix, op.route_action);
-    case TableOp::Kind::kDelRoute:
-      return target.remove_route(op.vni, op.prefix);
-    case TableOp::Kind::kAddMapping:
-      return target.install_mapping(op.mapping_key, op.mapping_action);
-    case TableOp::Kind::kDelMapping:
-      return target.remove_mapping(op.mapping_key);
-  }
-  return TableOpStatus::kNotFound;
+  return target.apply(TableOpBatch::single(op)).status();
 }
 
 }  // namespace sf::dataplane

@@ -1,18 +1,13 @@
 #include "dpu/xgw_dpu.hpp"
 
-#include <cstdlib>
-#include <string_view>
+#include "core/runtime_config.hpp"
 
 namespace sf::dpu {
 
 bool dpu_enabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("SF_DPU");
-    if (env == nullptr) return true;
-    const std::string_view value(env);
-    return !(value == "0" || value == "off" || value == "OFF");
-  }();
-  return enabled;
+  // Delegates to the consolidated runtime gates; semantics unchanged
+  // (SF_DPU, latched once per process).
+  return core::RuntimeConfig::process().dpu_enabled;
 }
 
 XgwDpu::XgwDpu(Config config)
@@ -107,28 +102,16 @@ std::size_t XgwDpu::evict_vni(net::Vni vni) {
   return evicted;
 }
 
-dataplane::TableOpStatus XgwDpu::install_route(net::Vni vni,
-                                               const net::IpPrefix& /*prefix*/,
-                                               tables::VxlanRouteAction) {
-  evict_vni(vni);
-  return dataplane::TableOpStatus::kOk;
-}
-
-dataplane::TableOpStatus XgwDpu::remove_route(net::Vni vni,
-                                              const net::IpPrefix& /*prefix*/) {
-  evict_vni(vni);
-  return dataplane::TableOpStatus::kOk;
-}
-
-dataplane::TableOpStatus XgwDpu::install_mapping(const tables::VmNcKey& key,
-                                                 tables::VmNcAction) {
-  evict_vni(key.vni);
-  return dataplane::TableOpStatus::kOk;
-}
-
-dataplane::TableOpStatus XgwDpu::remove_mapping(const tables::VmNcKey& key) {
-  evict_vni(key.vni);
-  return dataplane::TableOpStatus::kOk;
+dataplane::BatchResult XgwDpu::apply(const dataplane::TableOpBatch& batch) {
+  dataplane::BatchResult result;
+  for (const dataplane::TableOp& op : batch.ops) {
+    evict_vni(op.kind == dataplane::TableOp::Kind::kAddMapping ||
+                      op.kind == dataplane::TableOp::Kind::kDelMapping
+                  ? op.mapping_key.vni
+                  : op.vni);
+    result.record(dataplane::TableOpStatus::kOk);
+  }
+  return result;
 }
 
 void XgwDpu::set_failed(bool failed) {

@@ -94,14 +94,9 @@ class XgwDpu : public dataplane::Gateway, public dataplane::TableProgrammer {
   double occupancy() const;
 
   // ---- TableProgrammer: controller-mirror invalidation hooks -------------
-  dataplane::TableOpStatus install_route(net::Vni vni,
-                                         const net::IpPrefix& prefix,
-                                         tables::VxlanRouteAction action) override;
-  dataplane::TableOpStatus remove_route(net::Vni vni,
-                                        const net::IpPrefix& prefix) override;
-  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                           tables::VmNcAction action) override;
-  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+  // Every mirrored op evicts the mutated VNI's placed flows: the DPU holds
+  // per-flow verdicts, so any table change under a tenant invalidates them.
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override;
 
   /// Evicts every placed flow of one tenant (controller mutation, tenant
   /// teardown). Returns how many entries were removed.

@@ -1,22 +1,17 @@
 #include "guard/guard.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
-#include <string_view>
 
+#include "core/runtime_config.hpp"
 #include "net/hash.hpp"
 
 namespace sf::guard {
 
 bool guard_enabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("SF_GUARD");
-    if (env == nullptr) return true;
-    const std::string_view value(env);
-    return !(value == "0" || value == "off" || value == "OFF");
-  }();
-  return enabled;
+  // Delegates to the consolidated runtime gates; semantics unchanged
+  // (SF_GUARD, latched once per process).
+  return core::RuntimeConfig::process().guard_enabled;
 }
 
 const char* name(Tier tier) {

@@ -6,6 +6,9 @@ namespace sf::x86 {
 
 XgwX86::XgwX86(Config config)
     : config_(config),
+      routes_(/*bucket_hint=*/4096),
+      mappings_(/*bucket_hint=*/4096),
+      vni_gens_(/*bucket_hint=*/256),
       snat_(config.snat),
       rss_(config.model.cores, 128, config.rss_seed),
       flow_cache_(dataplane::FlowCache<CachedVerdict>::Config{
@@ -24,38 +27,96 @@ XgwX86::XgwX86(Config config)
                             /*buckets=*/16, /*reservoir=*/256});
 }
 
-dataplane::TableOpStatus XgwX86::install_route(
-    net::Vni vni, const net::IpPrefix& prefix,
-    tables::VxlanRouteAction action) {
-  ctr_table_ops_->add();
-  invalidate_fast_path();
-  return routes_.insert(vni, prefix, action)
-             ? dataplane::TableOpStatus::kOk
-             : dataplane::TableOpStatus::kDuplicate;
+dataplane::BatchResult XgwX86::apply(const dataplane::TableOpBatch& batch) {
+  dataplane::BatchResult result;
+  if (batch.empty()) {
+    result.publish_epoch = seq_;
+    return result;
+  }
+  // The whole batch lands at one new version: forwarding observes either
+  // none of it or all of it, never a partial transaction.
+  ++seq_;
+  for (const dataplane::TableOp& op : batch.ops) {
+    result.record(apply_one(op), seq_);
+  }
+  epoch_.publish(seq_);
+  // Steady-state reclamation: versions below the forwarding floor are
+  // unreachable; sweep every few hundred mutations.
+  if (seq_ - last_collect_seq_ >= 512) {
+    const std::uint64_t floor =
+        lookup_seq_.load(std::memory_order_acquire);
+    collect_garbage(floor == kLookupLatest ? seq_ : floor);
+  }
+  return result;
 }
 
-dataplane::TableOpStatus XgwX86::remove_route(net::Vni vni,
-                                              const net::IpPrefix& prefix) {
+dataplane::TableOpStatus XgwX86::apply_one(const dataplane::TableOp& op) {
   ctr_table_ops_->add();
-  invalidate_fast_path();
-  return routes_.erase(vni, prefix) ? dataplane::TableOpStatus::kOk
-                                    : dataplane::TableOpStatus::kNotFound;
+  note_mutation(op);
+  switch (op.kind) {
+    case dataplane::TableOp::Kind::kAddRoute:
+      return routes_.insert(op.vni, op.prefix, op.route_action, seq_)
+                 ? dataplane::TableOpStatus::kOk
+                 : dataplane::TableOpStatus::kDuplicate;
+    case dataplane::TableOp::Kind::kDelRoute:
+      return routes_.erase(op.vni, op.prefix, seq_)
+                 ? dataplane::TableOpStatus::kOk
+                 : dataplane::TableOpStatus::kNotFound;
+    case dataplane::TableOp::Kind::kAddMapping:
+      return mappings_.insert(op.mapping_key, op.mapping_action, seq_)
+                 ? dataplane::TableOpStatus::kOk
+                 : dataplane::TableOpStatus::kDuplicate;
+    case dataplane::TableOp::Kind::kDelMapping:
+      return mappings_.erase(op.mapping_key, seq_)
+                 ? dataplane::TableOpStatus::kOk
+                 : dataplane::TableOpStatus::kNotFound;
+  }
+  return dataplane::TableOpStatus::kNotFound;
 }
 
-dataplane::TableOpStatus XgwX86::install_mapping(const tables::VmNcKey& key,
-                                                 tables::VmNcAction action) {
-  ctr_table_ops_->add();
-  invalidate_fast_path();
-  return mappings_.insert_or_assign(key, action).second
-             ? dataplane::TableOpStatus::kOk
-             : dataplane::TableOpStatus::kDuplicate;
+void XgwX86::note_mutation(const dataplane::TableOp& op) {
+  if (op.kind == dataplane::TableOp::Kind::kAddRoute &&
+      op.route_action.scope == tables::RouteScope::kPeer) {
+    // Verdicts in either VNI may now cross the peer hop; both escalate to
+    // the global generation, permanently (a later non-peer mutation can
+    // still sit under a cached cross-VNI verdict).
+    peered_vnis_.insert(op.vni);
+    peered_vnis_.insert(op.route_action.next_hop_vni);
+    bump_generation(kGlobalGenKey);
+    return;
+  }
+  if (peered_vnis_.count(op.vni) > 0) {
+    bump_generation(kGlobalGenKey);
+  } else {
+    bump_generation(static_cast<std::uint32_t>(op.vni));
+  }
 }
 
-dataplane::TableOpStatus XgwX86::remove_mapping(const tables::VmNcKey& key) {
-  ctr_table_ops_->add();
-  invalidate_fast_path();
-  return mappings_.erase(key) > 0 ? dataplane::TableOpStatus::kOk
-                                  : dataplane::TableOpStatus::kNotFound;
+void XgwX86::bump_generation(std::uint32_t gen_key) {
+  const std::uint64_t* current = vni_gens_.find_latest(gen_key);
+  vni_gens_.insert(gen_key, (current != nullptr ? *current : 0) + 1, seq_);
+}
+
+std::uint64_t XgwX86::effective_generation(net::Vni vni,
+                                           std::uint64_t seq) const {
+  const std::uint64_t* global = vni_gens_.lookup(kGlobalGenKey, seq);
+  const std::uint64_t* local =
+      vni_gens_.lookup(static_cast<std::uint32_t>(vni), seq);
+  return ((global != nullptr ? *global : 0) << 32) |
+         ((local != nullptr ? *local : 0) & 0xFFFFFFFFu);
+}
+
+void XgwX86::invalidate_fast_path() {
+  ++seq_;
+  bump_generation(kGlobalGenKey);
+  epoch_.publish(seq_);
+}
+
+void XgwX86::collect_garbage(std::uint64_t keep_from) {
+  routes_.collect(keep_from, epoch_);
+  mappings_.collect(keep_from, epoch_);
+  vni_gens_.collect(keep_from, epoch_);
+  last_collect_seq_ = seq_;
 }
 
 double XgwX86::full_install_seconds() const {
@@ -101,15 +162,34 @@ X86Result XgwX86::forward_impl(const net::OverlayPacket& packet, double now,
     return result;
   };
 
+  // Pin the table version this packet reads: either the replay-required
+  // version (deterministic mid-interval interleave) or whatever the
+  // mutator last published. Everything below — cache generation, route
+  // walk, mapping probe — observes exactly that version.
+  const std::uint64_t want = lookup_seq_.load(std::memory_order_acquire);
+  std::uint64_t pin_seq;
+  if (want == kLookupLatest) {
+    pin_seq = reader_.pin_latest();
+  } else {
+    reader_.pin(want);
+    pin_seq = want;
+  }
+  struct Unpin {
+    rcu::EpochManager::Reader& reader;
+    ~Unpin() { reader.unpin(); }
+  } unpin_guard{reader_};
+
   // Fast path: the stateless outcomes (routes + mappings are pure table
   // functions of the flow) replay from the cache. SNAT never caches, and
   // punted packets (allow_cache == false) neither probe nor fill — a shed
   // tenant's spillover must not touch the fast path at all.
   const bool cacheable = allow_cache && flow_cache_.enabled();
   dataplane::FlowKey key;
+  std::uint64_t generation = 0;
   if (cacheable) {
     key = dataplane::make_flow_key(packet.vni, packet.inner);
-    if (const CachedVerdict* hit = flow_cache_.find(key, table_generation_)) {
+    generation = effective_generation(packet.vni, pin_seq);
+    if (const CachedVerdict* hit = flow_cache_.find(key, generation)) {
       return hit->action == dataplane::Action::kDrop
                  ? drop(hit->reason)
                  : forward_to(hit->action, hit->outer_dst);
@@ -120,31 +200,32 @@ X86Result XgwX86::forward_impl(const net::OverlayPacket& packet, double now,
   auto remember = [&](X86Result& r) -> X86Result& {
     if (capture) {
       flow_cache_.insert(
-          key, table_generation_,
+          key, generation,
           CachedVerdict{r.action, r.drop_reason, r.packet.outer_dst_ip});
     }
     return r;
   };
 
   net::Vni vni = packet.vni;
-  std::optional<tables::VxlanRouteAction> route;
+  const tables::VxlanRouteAction* route = nullptr;
   for (int hop = 0; hop < 4; ++hop) {
-    route = routes_.lookup(vni, packet.inner.dst);
-    if (!route || route->scope != tables::RouteScope::kPeer) break;
+    route = routes_.lookup(vni, packet.inner.dst, pin_seq);
+    if (route == nullptr || route->scope != tables::RouteScope::kPeer) break;
     vni = route->next_hop_vni;
   }
-  if (!route) {
+  if (route == nullptr) {
     return remember(drop(dataplane::DropReason::kNoRoute));
   }
 
   switch (route->scope) {
     case tables::RouteScope::kLocal: {
-      auto it = mappings_.find(tables::VmNcKey{vni, packet.inner.dst});
-      if (it == mappings_.end()) {
+      const tables::VmNcAction* mapping =
+          mappings_.lookup(tables::VmNcKey{vni, packet.inner.dst}, pin_seq);
+      if (mapping == nullptr) {
         return remember(drop(dataplane::DropReason::kNoVmNcMapping));
       }
       return remember(forward_to(dataplane::Action::kForwardToNc,
-                                 net::IpAddr(it->second.nc_ip)));
+                                 net::IpAddr(mapping->nc_ip)));
     }
     case tables::RouteScope::kIdc:
     case tables::RouteScope::kCrossRegion:
@@ -199,22 +280,23 @@ std::optional<net::OverlayPacket> XgwX86::process_response(
   // production system keeps the VNI in the session; we keep it simple by
   // storing sessions per (vni) in the tuple's src, which is unique within
   // the gateway's mapping table for this model.
-  for (const auto& [key, action] : mappings_) {
-    if (key.vm_ip == session->src) {
-      net::OverlayPacket packet;
-      packet.vni = key.vni;
-      packet.inner.src = peer_ip;
-      packet.inner.src_port = peer_port;
-      packet.inner.dst = session->src;
-      packet.inner.dst_port = session->src_port;
-      packet.inner.proto = session->proto;
-      packet.payload_size = payload_size;
-      packet.outer_src_ip = net::IpAddr(config_.device_ip);
-      packet.outer_dst_ip = net::IpAddr(action.nc_ip);
-      return packet;
-    }
-  }
-  return std::nullopt;
+  std::optional<net::OverlayPacket> reply;
+  mappings_.for_each_live([&](const tables::VmNcKey& key,
+                              const tables::VmNcAction& action) {
+    if (reply.has_value() || key.vm_ip != session->src) return;
+    net::OverlayPacket packet;
+    packet.vni = key.vni;
+    packet.inner.src = peer_ip;
+    packet.inner.src_port = peer_port;
+    packet.inner.dst = session->src;
+    packet.inner.dst_port = session->src_port;
+    packet.inner.proto = session->proto;
+    packet.payload_size = payload_size;
+    packet.outer_src_ip = net::IpAddr(config_.device_ip);
+    packet.outer_dst_ip = net::IpAddr(action.nc_ip);
+    reply = packet;
+  });
+  return reply;
 }
 
 IntervalReport XgwX86::simulate_interval(

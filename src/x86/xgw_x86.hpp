@@ -9,11 +9,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <memory>
@@ -22,8 +23,10 @@
 #include "dataplane/gateway.hpp"
 #include "dataplane/table_programmer.hpp"
 #include "net/packet.hpp"
+#include "rcu/epoch.hpp"
+#include "rcu/rcu_exact_table.hpp"
+#include "rcu/rcu_lpm.hpp"
 #include "tables/entry.hpp"
-#include "tables/route_table.hpp"
 #include "telemetry/registry.hpp"
 #include "x86/cost_model.hpp"
 #include "x86/rss.hpp"
@@ -82,25 +85,48 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
 
   // ---- controller-facing table API (dataplane::TableProgrammer) ----------
 
-  dataplane::TableOpStatus install_route(
-      net::Vni vni, const net::IpPrefix& prefix,
-      tables::VxlanRouteAction action) override;
-  dataplane::TableOpStatus remove_route(net::Vni vni,
-                                        const net::IpPrefix& prefix) override;
-  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                           tables::VmNcAction action) override;
-  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+  /// Applies a batch transactionally at one new table version: every op
+  /// of the batch becomes visible to forwarding at the same publish
+  /// epoch, mid-interval, from any mutator thread (tables are RCU —
+  /// rcu/rcu_lpm.hpp, DESIGN.md §13).
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override;
 
-  /// Bumps the flow-cache epoch (every table op does this internally;
-  /// cluster health/DR transitions call it on reroutes).
-  void invalidate_fast_path() { ++table_generation_; }
-  std::uint64_t fast_path_generation() const { return table_generation_; }
+  /// Invalidates every cached verdict (cluster health/DR transitions call
+  /// this on reroutes). Internally a versioned bump of the global cache
+  /// generation; table ops instead bump only the mutated VNI's generation.
+  void invalidate_fast_path();
+  /// Monotone table version; grows with every mutation.
+  std::uint64_t fast_path_generation() const { return seq_; }
   const dataplane::FlowCacheStats& flow_cache_stats() const {
     return flow_cache_.stats();
   }
 
-  std::size_t route_count() const { return routes_.size(); }
-  std::size_t mapping_count() const { return mappings_.size(); }
+  /// Latest published table version (the publish epoch of the last batch).
+  std::uint64_t table_version() const { return seq_; }
+
+  /// Forwarding reads the tables at this version; nullopt (default) reads
+  /// the latest published version. The deterministic mid-interval replay
+  /// sets it per packet to the packet's required version; values must be
+  /// nondecreasing. Callable from the forwarding thread while the mutator
+  /// thread applies batches.
+  void set_lookup_seq(std::optional<std::uint64_t> seq) {
+    lookup_seq_.store(seq.value_or(kLookupLatest),
+                      std::memory_order_release);
+  }
+
+  /// Reclaims table versions below `keep_from`: promises that no future
+  /// lookup will be pinned under it. Mutator-thread only; also runs
+  /// automatically every few hundred mutations.
+  void collect_garbage(std::uint64_t keep_from);
+
+  /// Dead-but-unreclaimed nodes across the route/mapping tables (tests).
+  std::size_t limbo_nodes() const {
+    return routes_.limbo_size() + mappings_.limbo_size() +
+           vni_gens_.limbo_size();
+  }
+
+  std::size_t route_count() const { return routes_.live_size(); }
+  std::size_t mapping_count() const { return mappings_.live_size(); }
 
   /// Seconds the controller needs to install this node's current tables
   /// from scratch — the ">10 minutes" pain of §2.3.
@@ -173,16 +199,47 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
   X86Result forward_impl(const net::OverlayPacket& packet, double now,
                          bool allow_cache);
 
+  // Mutator-side helpers (see apply()).
+  dataplane::TableOpStatus apply_one(const dataplane::TableOp& op);
+  void note_mutation(const dataplane::TableOp& op);
+  void bump_generation(std::uint32_t gen_key);
+  /// Composite flow-cache generation of `vni` as of table version `seq`
+  /// (caller holds the reader pin).
+  std::uint64_t effective_generation(net::Vni vni, std::uint64_t seq) const;
+
+  /// Reserved vni_gens_ key holding the global (all-VNI) generation; VNIs
+  /// are 24-bit, so it can never collide with a real one.
+  static constexpr std::uint32_t kGlobalGenKey = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kLookupLatest =
+      std::numeric_limits<std::uint64_t>::max();
+
+  struct GenKeyHasher {
+    std::uint64_t operator()(std::uint32_t key) const {
+      return net::mix64(key);
+    }
+  };
+
   Config config_;
-  tables::SoftwareLpm<tables::VxlanRouteAction> routes_;
-  std::unordered_map<tables::VmNcKey, tables::VmNcAction, VmNcKeyHasher>
+  rcu::EpochManager epoch_;
+  rcu::RcuLpm<tables::VxlanRouteAction> routes_;
+  rcu::RcuExactTable<tables::VmNcKey, tables::VmNcAction, VmNcKeyHasher>
       mappings_;
+  /// Per-VNI flow-cache generations, versioned like the tables so a
+  /// replayed packet reads the generation as of its pinned version.
+  rcu::RcuExactTable<std::uint32_t, std::uint64_t, GenKeyHasher> vni_gens_;
+  /// VNIs ever reached through a peer route (either side). Mutations on a
+  /// peered VNI bump the global generation: a cached verdict may have
+  /// walked across the peer hop, so per-VNI invalidation is not enough.
+  std::unordered_set<net::Vni> peered_vnis_;
+  mutable rcu::EpochManager::Reader reader_{epoch_};
+  std::uint64_t seq_ = 0;             // mutator-owned table version
+  std::uint64_t last_collect_seq_ = 0;
+  std::atomic<std::uint64_t> lookup_seq_{kLookupLatest};
   SnatEngine snat_;
   RssIndirection rss_;
   Telemetry telemetry_;
 
   dataplane::FlowCache<CachedVerdict> flow_cache_;
-  std::uint64_t table_generation_ = 0;
 
   std::unique_ptr<telemetry::Registry> registry_;
   telemetry::Counter* ctr_packets_in_ = nullptr;

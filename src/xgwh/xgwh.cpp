@@ -102,34 +102,75 @@ const XgwH::Shard& XgwH::shard_for(net::Vni vni) const {
   return shards_[shard_of(vni)];
 }
 
-dataplane::TableOpStatus XgwH::install_route(net::Vni vni,
-                                             const net::IpPrefix& prefix,
-                                             tables::VxlanRouteAction action) {
+dataplane::BatchResult XgwH::apply(const dataplane::TableOpBatch& batch) {
+  dataplane::BatchResult result;
+  for (const dataplane::TableOp& op : batch.ops) {
+    dataplane::TableOpStatus status = dataplane::TableOpStatus::kNotFound;
+    switch (op.kind) {
+      case dataplane::TableOp::Kind::kAddRoute:
+        status = apply_install_route(op.vni, op.prefix, op.route_action);
+        break;
+      case dataplane::TableOp::Kind::kDelRoute:
+        status = apply_remove_route(op.vni, op.prefix);
+        break;
+      case dataplane::TableOp::Kind::kAddMapping:
+        status = apply_install_mapping(op.mapping_key, op.mapping_action);
+        break;
+      case dataplane::TableOp::Kind::kDelMapping:
+        status = apply_remove_mapping(op.mapping_key);
+        break;
+    }
+    result.record(status, op_epoch_);
+  }
+  return result;
+}
+
+void XgwH::note_vni_mutation(net::Vni vni) {
+  ++op_epoch_;
+  if (peered_vnis_.count(vni) > 0) {
+    ++global_gen_;
+  } else {
+    ++vni_gens_[vni];
+  }
+}
+
+dataplane::TableOpStatus XgwH::apply_install_route(
+    net::Vni vni, const net::IpPrefix& prefix,
+    tables::VxlanRouteAction action) {
   Shard& shard = shard_for(vni);
   const bool is_new = shard.routes.insert(vni, prefix, action);
   if (is_new) {
     (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                            : shard.routes_v6)++;
   }
-  invalidate_fast_path();  // re-inserts can change the action payload too
+  // Re-inserts can change the action payload too, so invalidate either
+  // way. A peer route welds both VNIs' cache fates together permanently.
+  if (action.scope == tables::RouteScope::kPeer) {
+    peered_vnis_.insert(vni);
+    peered_vnis_.insert(action.next_hop_vni);
+    ++op_epoch_;
+    ++global_gen_;
+  } else {
+    note_vni_mutation(vni);
+  }
   return is_new ? dataplane::TableOpStatus::kOk
                 : dataplane::TableOpStatus::kDuplicate;
 }
 
-dataplane::TableOpStatus XgwH::remove_route(net::Vni vni,
-                                            const net::IpPrefix& prefix) {
+dataplane::TableOpStatus XgwH::apply_remove_route(net::Vni vni,
+                                                  const net::IpPrefix& prefix) {
   Shard& shard = shard_for(vni);
   if (!shard.routes.erase(vni, prefix)) {
     return dataplane::TableOpStatus::kNotFound;
   }
   (prefix.family() == net::IpFamily::kV4 ? shard.routes_v4
                                          : shard.routes_v6)--;
-  invalidate_fast_path();
+  note_vni_mutation(vni);
   return dataplane::TableOpStatus::kOk;
 }
 
-dataplane::TableOpStatus XgwH::install_mapping(const tables::VmNcKey& key,
-                                               tables::VmNcAction action) {
+dataplane::TableOpStatus XgwH::apply_install_mapping(
+    const tables::VmNcKey& key, tables::VmNcAction action) {
   Shard& shard = shard_for(key.vni);
   const std::size_t before =
       shard.mappings.stats().main_entries +
@@ -139,7 +180,7 @@ dataplane::TableOpStatus XgwH::install_mapping(const tables::VmNcKey& key,
     // store are both unable to take the entry.
     return dataplane::TableOpStatus::kCapacityExceeded;
   }
-  invalidate_fast_path();
+  note_vni_mutation(key.vni);
   const std::size_t after = shard.mappings.stats().main_entries +
                             shard.mappings.stats().conflict_entries;
   if (after > before) {
@@ -149,11 +190,12 @@ dataplane::TableOpStatus XgwH::install_mapping(const tables::VmNcKey& key,
   return dataplane::TableOpStatus::kDuplicate;
 }
 
-dataplane::TableOpStatus XgwH::remove_mapping(const tables::VmNcKey& key) {
+dataplane::TableOpStatus XgwH::apply_remove_mapping(
+    const tables::VmNcKey& key) {
   Shard& shard = shard_for(key.vni);
   if (!shard.mappings.erase(key)) return dataplane::TableOpStatus::kNotFound;
   (key.vm_ip.is_v4() ? shard.maps_v4 : shard.maps_v6)--;
-  invalidate_fast_path();
+  note_vni_mutation(key.vni);
   return dataplane::TableOpStatus::kOk;
 }
 
@@ -537,9 +579,11 @@ ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
   // bypass the cache entirely.
   const bool cacheable = flow_cache_.enabled() && !ingress_pipe.has_value();
   dataplane::FlowKey key;
+  std::uint64_t generation = 0;
   if (cacheable) {
     key = dataplane::make_flow_key(packet.vni, packet.inner);
-    if (const CachedWalk* hit = flow_cache_.find(key, table_generation_)) {
+    generation = effective_generation(packet.vni);
+    if (const CachedWalk* hit = flow_cache_.find(key, generation)) {
       return finish(packet, now, *hit, /*replayed=*/true);
     }
   }
@@ -560,7 +604,7 @@ ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
   const asic::WalkResult walked = walker_->run(packet, entry_pipe);
   CachedWalk summary = summarize_walk(walked, /*capture_deltas=*/capture);
   const ForwardResult result = finish(packet, now, summary, /*replayed=*/false);
-  if (capture) flow_cache_.insert(key, table_generation_, summary);
+  if (capture) flow_cache_.insert(key, generation, summary);
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -75,21 +76,21 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
 
   // ---- controller-facing table API (dataplane::TableProgrammer) ----------
 
-  dataplane::TableOpStatus install_route(
-      net::Vni vni, const net::IpPrefix& prefix,
-      tables::VxlanRouteAction action) override;
-  dataplane::TableOpStatus remove_route(net::Vni vni,
-                                        const net::IpPrefix& prefix) override;
-  dataplane::TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                           tables::VmNcAction action) override;
-  dataplane::TableOpStatus remove_mapping(const tables::VmNcKey& key) override;
+  /// Applies a batch op-by-op. Cached verdicts of a mutated VNI lazily
+  /// miss and re-walk; other VNIs keep their fast path (per-VNI
+  /// generations — DESIGN.md §13). The publish epoch reported per op is
+  /// the device's monotone mutation counter.
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override;
   void add_acl_rule(tables::AclRule rule);
 
-  /// Bumps the flow-cache epoch: cached verdicts filled before this call
-  /// lazily miss and re-walk. Every table mutation calls this internally;
-  /// the cluster/DR layers call it on health reroutes and standby swaps.
-  void invalidate_fast_path() { ++table_generation_; }
-  std::uint64_t fast_path_generation() const { return table_generation_; }
+  /// Invalidates every cached verdict, across all VNIs: the cluster/DR
+  /// layers call this on health reroutes and standby swaps, and ACL
+  /// changes escalate here too (rules match any VNI).
+  void invalidate_fast_path() {
+    ++op_epoch_;
+    ++global_gen_;
+  }
+  std::uint64_t fast_path_generation() const { return op_epoch_; }
 
   /// Hit/miss/eviction statistics of the flow cache (plain struct, kept
   /// outside the registry so telemetry snapshots stay byte-identical with
@@ -106,7 +107,7 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
     if (!flow_cache_.enabled()) return false;
     return flow_cache_.contains(
         dataplane::make_flow_key(packet.vni, packet.inner),
-        table_generation_);
+        effective_generation(packet.vni));
   }
 
   std::size_t route_count() const;
@@ -220,6 +221,27 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
   Shard& shard_for(net::Vni vni);
   const Shard& shard_for(net::Vni vni) const;
 
+  // Per-op bodies behind apply().
+  dataplane::TableOpStatus apply_install_route(
+      net::Vni vni, const net::IpPrefix& prefix,
+      tables::VxlanRouteAction action);
+  dataplane::TableOpStatus apply_remove_route(net::Vni vni,
+                                              const net::IpPrefix& prefix);
+  dataplane::TableOpStatus apply_install_mapping(const tables::VmNcKey& key,
+                                                 tables::VmNcAction action);
+  dataplane::TableOpStatus apply_remove_mapping(const tables::VmNcKey& key);
+
+  /// Invalidates cached verdicts that may depend on `vni`: bumps the
+  /// VNI's own generation, or the global one when the VNI ever took part
+  /// in a peer route (a cached verdict may have crossed the hop).
+  void note_vni_mutation(net::Vni vni);
+  /// Composite cache generation for a packet entering on `vni`.
+  std::uint64_t effective_generation(net::Vni vni) const {
+    const auto it = vni_gens_.find(vni);
+    const std::uint64_t local = it == vni_gens_.end() ? 0 : it->second;
+    return (global_gen_ << 32) | (local & 0xFFFFFFFFu);
+  }
+
   void build_program();
 
   // Stage implementations (bound into the PipelineProgram).
@@ -256,8 +278,14 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
   asic::FieldId fid_action_ = asic::kInvalidFieldId;
 
   // Flow-cache fast path (single-writer; one cache per device/shard).
+  // Invalidation is per-VNI: entries carry the composite generation of
+  // their entry VNI, so a route churn in one tenant leaves every other
+  // tenant's fast path warm.
   dataplane::FlowCache<CachedWalk> flow_cache_;
-  std::uint64_t table_generation_ = 0;
+  std::uint64_t op_epoch_ = 0;    // monotone mutation counter
+  std::uint64_t global_gen_ = 0;  // all-VNI invalidation generation
+  std::unordered_map<net::Vni, std::uint64_t> vni_gens_;
+  std::unordered_set<net::Vni> peered_vnis_;
   std::vector<telemetry::Counter*> tracked_counters_;
   std::vector<std::uint64_t> walk_baseline_;
   std::vector<CounterDelta> scratch_deltas_;  // miss-side staging buffer

@@ -221,4 +221,91 @@ TEST(DisasterRecovery, AllPortsDownEscalatesToNodeFailure) {
 }
 
 }  // namespace
+
+/// Forges placement state the public API cannot produce (declared a
+/// friend in controller.hpp): regression seam for decommission drift,
+/// where a VPC's recorded cluster id stops naming a live cluster.
+struct ControllerTestPeer {
+  static void set_cluster_id(Controller& controller, net::Vni vni,
+                             std::uint32_t cluster_id) {
+    controller.vpcs_.at(vni).cluster_id = cluster_id;
+  }
+};
+
+namespace {
+
+TEST(Controller, RemoveRouteOnDanglingClusterIsUnknownTarget) {
+  Controller controller(small_config());
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 2, 1)));
+  const IpPrefix prefix(net::Ipv4Prefix(net::Ipv4Addr(10, 100, 0, 0), 24));
+
+  ControllerTestPeer::set_cluster_id(controller, 100, 99);
+  EXPECT_EQ(controller.remove_route(100, prefix),
+            dataplane::TableOpStatus::kUnknownTarget);
+  // Typed, not destructive: desired state is untouched, so repairing the
+  // placement lets the very same op succeed.
+  ControllerTestPeer::set_cluster_id(controller, 100, 0);
+  EXPECT_EQ(controller.remove_route(100, prefix),
+            dataplane::TableOpStatus::kOk);
+}
+
+TEST(Controller, InstallOpsOnDanglingClusterAreUnknownTarget) {
+  Controller controller(small_config());
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 1, 1)));
+  ControllerTestPeer::set_cluster_id(controller, 100, 42);
+
+  EXPECT_EQ(controller.install_route(
+                100, IpPrefix(net::Ipv4Prefix(net::Ipv4Addr(10, 100, 9, 0), 24)),
+                VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kUnknownTarget);
+  EXPECT_EQ(controller.install_mapping(
+                {100, IpAddr(net::Ipv4Addr(10, 100, 0, 99))},
+                VmNcAction{net::Ipv4Addr(172, 16, 0, 9)}),
+            dataplane::TableOpStatus::kUnknownTarget);
+  // Nothing was fanned out to any device.
+  EXPECT_EQ(controller.cluster(0).route_count(), 1u);
+  EXPECT_EQ(controller.cluster(0).mapping_count(), 1u);
+}
+
+TEST(Controller, SoftwareTierPlacementIsNeverDangling) {
+  Controller::Config config = small_config();
+  config.max_clusters = 1;
+  config.routes_water_level = 1;
+  config.admit_overflow = true;
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 1, 1)));  // fills cluster 0
+  ASSERT_TRUE(controller.add_vpc(make_vpc(200, 1, 1)));  // software tier
+  ASSERT_TRUE(controller.is_overflow(200));
+
+  // kSoftwareTier is a live placement: ops mirror fine, no device fan-out.
+  EXPECT_EQ(controller.install_route(
+                200, IpPrefix(net::Ipv4Prefix(net::Ipv4Addr(10, 200, 9, 0), 24)),
+                VxlanRouteAction{RouteScope::kLocal, 0, {}}),
+            dataplane::TableOpStatus::kOk);
+}
+
+TEST(Controller, DrainMidIntervalReplaysDeferredOps) {
+  Controller controller(small_config());
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 1, 1)));
+
+  controller.set_update_channel_up(false);
+  TableOp op;
+  op.kind = TableOp::Kind::kAddRoute;
+  op.vni = 100;
+  op.prefix = IpPrefix(net::Ipv4Prefix(net::Ipv4Addr(10, 100, 7, 0), 24));
+  op.route_action = VxlanRouteAction{RouteScope::kLocal, 0, {}};
+  EXPECT_EQ(controller.push_op(op),
+            dataplane::TableOpStatus::kRateLimited);  // deferred, not lost
+  EXPECT_EQ(controller.deferred_op_count(), 1u);
+  EXPECT_EQ(controller.cluster(0).route_count(), 1u);
+
+  controller.set_update_channel_up(true);
+  // Sliced clock advance through the interval: the deferred push lands at
+  // its backoff-due instant *inside* [0, 2), not at the interval edge.
+  EXPECT_EQ(controller.drain_mid_interval(0.0, 2.0, 8), 1u);
+  EXPECT_EQ(controller.deferred_op_count(), 0u);
+  EXPECT_EQ(controller.cluster(0).route_count(), 2u);
+}
+
+}  // namespace
 }  // namespace sf::cluster

@@ -28,19 +28,27 @@ struct ScriptedTarget : dataplane::TableProgrammer {
     return TableOpStatus::kOk;
   }
 
-  TableOpStatus install_route(net::Vni vni, const net::IpPrefix&,
-                              tables::VxlanRouteAction) override {
-    return answer("add-route:" + std::to_string(vni));
-  }
-  TableOpStatus remove_route(net::Vni vni, const net::IpPrefix&) override {
-    return answer("del-route:" + std::to_string(vni));
-  }
-  TableOpStatus install_mapping(const tables::VmNcKey& key,
-                                tables::VmNcAction) override {
-    return answer("add-map:" + std::to_string(key.vni));
-  }
-  TableOpStatus remove_mapping(const tables::VmNcKey& key) override {
-    return answer("del-map:" + std::to_string(key.vni));
+  dataplane::BatchResult apply(const dataplane::TableOpBatch& batch) override {
+    dataplane::BatchResult result;
+    for (const TableOp& op : batch.ops) {
+      switch (op.kind) {
+        case TableOp::Kind::kAddRoute:
+          result.record(answer("add-route:" + std::to_string(op.vni)));
+          break;
+        case TableOp::Kind::kDelRoute:
+          result.record(answer("del-route:" + std::to_string(op.vni)));
+          break;
+        case TableOp::Kind::kAddMapping:
+          result.record(
+              answer("add-map:" + std::to_string(op.mapping_key.vni)));
+          break;
+        case TableOp::Kind::kDelMapping:
+          result.record(
+              answer("del-map:" + std::to_string(op.mapping_key.vni)));
+          break;
+      }
+    }
+    return result;
   }
 };
 

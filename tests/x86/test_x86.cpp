@@ -140,16 +140,18 @@ TEST(Snat, RejectsBadConfig) {
       std::invalid_argument);
 }
 
-XgwX86 make_gateway() {
-  XgwX86 gw{XgwX86::Config{}};
-  gw.install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
-                   VxlanRouteAction{RouteScope::kLocal, 0, {}});
-  gw.install_route(10, IpPrefix::must_parse("0.0.0.0/0"),
-                   VxlanRouteAction{RouteScope::kInternet, 0, {}});
-  gw.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.2")},
-                     VmNcAction{net::Ipv4Addr(10, 1, 1, 11)});
-  gw.install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.3")},
-                     VmNcAction{net::Ipv4Addr(10, 1, 1, 12)});
+// XgwX86 pins epoch/RCU state (atomics, a claimed reader slot) and is
+// immovable; tests hold it behind a unique_ptr.
+std::unique_ptr<XgwX86> make_gateway() {
+  auto gw = std::make_unique<XgwX86>(XgwX86::Config{});
+  gw->install_route(10, IpPrefix::must_parse("192.168.10.0/24"),
+                    VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  gw->install_route(10, IpPrefix::must_parse("0.0.0.0/0"),
+                    VxlanRouteAction{RouteScope::kInternet, 0, {}});
+  gw->install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.2")},
+                      VmNcAction{net::Ipv4Addr(10, 1, 1, 11)});
+  gw->install_mapping(VmNcKey{10, IpAddr::must_parse("192.168.10.3")},
+                      VmNcAction{net::Ipv4Addr(10, 1, 1, 12)});
   return gw;
 }
 
@@ -166,7 +168,8 @@ net::OverlayPacket packet_to(net::Vni vni, const char* dst) {
 }
 
 TEST(XgwX86, ForwardsLocalTraffic) {
-  XgwX86 gw = make_gateway();
+  auto gw_owner = make_gateway();
+  XgwX86& gw = *gw_owner;
   const auto result = gw.forward(packet_to(10, "192.168.10.3"));
   EXPECT_EQ(result.action, dataplane::Action::kForwardToNc);
   EXPECT_EQ(result.packet.outer_dst_ip,
@@ -174,7 +177,8 @@ TEST(XgwX86, ForwardsLocalTraffic) {
 }
 
 TEST(XgwX86, SnatRewritesSourceAndDecapsulates) {
-  XgwX86 gw = make_gateway();
+  auto gw_owner = make_gateway();
+  XgwX86& gw = *gw_owner;
   const auto result = gw.forward(packet_to(10, "93.184.216.34"), 1.0);
   EXPECT_EQ(result.action, dataplane::Action::kSnatToInternet);
   ASSERT_TRUE(result.snat.has_value());
@@ -184,7 +188,8 @@ TEST(XgwX86, SnatRewritesSourceAndDecapsulates) {
 }
 
 TEST(XgwX86, ResponsePathReencapsulatesTowardNc) {
-  XgwX86 gw = make_gateway();
+  auto gw_owner = make_gateway();
+  XgwX86& gw = *gw_owner;
   const auto out = gw.forward(packet_to(10, "93.184.216.34"), 1.0);
   ASSERT_TRUE(out.snat.has_value());
   auto back = gw.process_response(*out.snat,
@@ -197,7 +202,8 @@ TEST(XgwX86, ResponsePathReencapsulatesTowardNc) {
 }
 
 TEST(XgwX86, DropsUnknownVni) {
-  XgwX86 gw = make_gateway();
+  auto gw_owner = make_gateway();
+  XgwX86& gw = *gw_owner;
   const auto result = gw.forward(packet_to(99, "192.168.10.3"));
   EXPECT_EQ(result.action, dataplane::Action::kDrop);
   EXPECT_EQ(result.drop_reason, dataplane::DropReason::kNoRoute);
@@ -248,7 +254,8 @@ TEST(XgwX86, IntervalSimBalancedMiceDoNotDrop) {
 }
 
 TEST(XgwX86, FullInstallTakesMinutes) {
-  XgwX86 gw = make_gateway();
+  auto gw_owner = make_gateway();
+  XgwX86& gw = *gw_owner;
   // §2.3: ">10 minutes" for a full production table set. Scale: the
   // model's install rate applied to this gateway's small tables.
   EXPECT_NEAR(gw.full_install_seconds(),
