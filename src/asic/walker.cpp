@@ -27,11 +27,39 @@ void Walker::set_registry(telemetry::Registry* registry) {
 
 WalkResult Walker::run(net::OverlayPacket packet,
                        unsigned ingress_pipe) const {
-  WalkResult result;
   PacketContext ctx;
-  ctx.packet = std::move(packet);
-  ctx.meta = Phv(chip_->phv_metadata_bits, program_->phv_layout_ptr());
-  ctx.pipe = ingress_pipe;
+  WalkSummary summary;
+  run(packet, ingress_pipe, ctx, summary);
+  WalkResult result;
+  result.packet = std::move(ctx.packet);
+  result.meta = std::move(ctx.meta);
+  result.dropped = summary.dropped;
+  result.drop_note = summary.drop_note;
+  result.drop_code = summary.drop_code;
+  result.passes = summary.passes;
+  result.egress_pipe = summary.egress_pipe;
+  result.bridged_bits = summary.bridged_bits;
+  result.latency_us = summary.latency_us;
+  return result;
+}
+
+void Walker::run(const net::OverlayPacket& packet, unsigned ingress_pipe,
+                 PacketContext& ctx, WalkSummary& out,
+                 bool record_pass_hist) const {
+  out = WalkSummary{};
+  ctx.packet = packet;
+  // Reuse the context's Phv when it already belongs to this program (its
+  // slot vector keeps capacity across clear()); a fresh or foreign context
+  // gets a new one bound to the program's layout.
+  if (&ctx.meta.layout() == program_->phv_layout_ptr().get() &&
+      ctx.meta.budget_bits() == chip_->phv_metadata_bits) {
+    ctx.meta.clear();
+  } else {
+    ctx.meta = Phv(chip_->phv_metadata_bits, program_->phv_layout_ptr());
+  }
+  ctx.dropped = false;
+  ctx.drop_note = nullptr;
+  ctx.drop_code = 0;
   ctx.stats = registry_;
   if (packets_ != nullptr) packets_->add();
 
@@ -51,7 +79,7 @@ WalkResult Walker::run(net::OverlayPacket packet,
     // Traffic manager: move to the egress pipe; metadata must be bridged
     // to survive.
     const unsigned egress = ctx.egress_pipe.value_or(pipe);
-    result.bridged_bits += ctx.meta.cross_gress();
+    out.bridged_bits += ctx.meta.cross_gress();
 
     ctx.pipe = egress;
     ctx.gress = Gress::kEgress;
@@ -60,35 +88,31 @@ WalkResult Walker::run(net::OverlayPacket packet,
       stage(ctx);
       if (ctx.dropped) break;
     }
-    ++result.passes;
+    ++out.passes;
     if (ctx.dropped) break;
 
     if (!program_->loopback(egress)) {
-      result.egress_pipe = egress;
+      out.egress_pipe = egress;
       break;
     }
     // Loopback: the packet re-enters this pipe's ingress parser; metadata
     // again survives only if bridged.
-    result.bridged_bits += ctx.meta.cross_gress();
+    out.bridged_bits += ctx.meta.cross_gress();
     pipe = egress;
     if (pass + 1 == kMaxPasses) {
       ctx.drop("loopback cycle: exceeded max pipeline passes");
     }
   }
 
-  result.packet = std::move(ctx.packet);
-  result.meta = std::move(ctx.meta);
-  result.dropped = ctx.dropped;
-  result.drop_note = ctx.drop_note;
-  result.drop_code = ctx.drop_code;
+  out.dropped = ctx.dropped;
+  out.drop_note = ctx.drop_note;
+  out.drop_code = ctx.drop_code;
   if (packets_ != nullptr) {
-    if (result.dropped) drops_->add();
-    passes_->record(static_cast<double>(result.passes));
+    if (out.dropped) drops_->add();
+    if (record_pass_hist) passes_->record(static_cast<double>(out.passes));
   }
-  result.latency_us = chip_->latency_us(
-      result.passes,
-      result.packet.wire_size() + result.bridged_bits / 8);
-  return result;
+  out.latency_us = chip_->latency_us(
+      out.passes, ctx.packet.wire_size() + out.bridged_bits / 8);
 }
 
 }  // namespace sf::asic

@@ -19,6 +19,19 @@
 
 namespace sf::asic {
 
+/// The scalar observables of one walk — everything WalkResult carries
+/// except the rewritten packet and the surviving Phv (those stay in the
+/// caller's PacketContext under the borrow-shaped run()).
+struct WalkSummary {
+  bool dropped = false;
+  const char* drop_note = nullptr;
+  std::uint8_t drop_code = 0;
+  unsigned passes = 0;
+  unsigned egress_pipe = 0;
+  unsigned bridged_bits = 0;
+  double latency_us = 0;
+};
+
 struct WalkResult {
   net::OverlayPacket packet;
   /// Final metadata (whatever survived to the last gress).
@@ -57,8 +70,21 @@ class Walker {
   /// so the per-packet cost is a few pointer bumps.
   void set_registry(telemetry::Registry* registry);
 
-  /// Runs one packet entering at `ingress_pipe`.
+  /// Runs one packet entering at `ingress_pipe`. Thin wrapper over the
+  /// borrow-shaped overload below; copies the packet and Phv out.
   WalkResult run(net::OverlayPacket packet, unsigned ingress_pipe) const;
+
+  /// Borrow/out-param walk core: runs `packet` through the program reusing
+  /// the caller's `ctx` as scratch — its Phv keeps its slot capacity across
+  /// packets, so a warm context walks without allocating. The rewritten
+  /// packet and surviving metadata are left in `ctx`; the scalar
+  /// observables land in `out`. When `record_pass_hist` is false the
+  /// per-walk "asic.passes" record is skipped — batch callers re-record it
+  /// later in packet-index order so histogram streams keep the scalar
+  /// path's ordering (counters commute; histogram samples do not).
+  void run(const net::OverlayPacket& packet, unsigned ingress_pipe,
+           PacketContext& ctx, WalkSummary& out,
+           bool record_pass_hist = true) const;
 
  private:
   const ChipConfig* chip_;

@@ -1,5 +1,6 @@
 #include "core/runtime_config.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
@@ -29,6 +30,9 @@ RuntimeConfig RuntimeConfig::from_env() {
                                             config.flow_cache_entries);
   config.guard_enabled = !parse_off(std::getenv("SF_GUARD"));
   config.dpu_enabled = !parse_off(std::getenv("SF_DPU"));
+  // "off"/"0" means "no batching", which in burst terms is a burst of 1.
+  config.batch_size = std::max<std::size_t>(
+      1, parse_entries(std::getenv("SF_BATCH"), config.batch_size));
   return config;
 }
 

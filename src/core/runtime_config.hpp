@@ -14,6 +14,10 @@
 //                   numeric → that many entries; other → 4096.
 //   SF_GUARD        unset → enabled; "0"/"off"/"OFF" → disabled.
 //   SF_DPU          unset → enabled; "0"/"off"/"OFF" → disabled.
+//   SF_BATCH        unset → 32-packet bursts in the sharded engine;
+//                   "0"/"off"/"OFF"/"1" → scalar-shaped one-packet bursts;
+//                   numeric → that burst size. Byte-invisible by the
+//                   batch-identity contract (CI diffs 1 vs default).
 //
 // `process()` latches on first use (same discipline as the old per-gate
 // latches: set the environment before anything touches a gate, or the
@@ -38,6 +42,10 @@ struct RuntimeConfig {
   bool guard_enabled = true;
   /// sf::dpu middle tier.
   bool dpu_enabled = true;
+  /// Burst size of the sharded engine's batched packet path (min 1; 1
+  /// degenerates to the scalar shape). Results are identical at any value
+  /// — this is purely a throughput knob.
+  std::size_t batch_size = 32;
 
   /// Fresh parse of SF_FLOW_CACHE / SF_GUARD / SF_DPU (no latch).
   static RuntimeConfig from_env();

@@ -43,6 +43,14 @@ struct FlowKey {
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
 };
 
+/// Derives the cache key from the flow's 64-bit RSS hash
+/// (FiveTuple::hash()). The sharded engine computes that hash once per
+/// packet to pick a shard and threads it down through
+/// Gateway::process_batch, so the gateways never rehash the tuple; the
+/// tuple overload below is the scalar-path convenience that feeds the same
+/// derivation. Both halves remix the hash under independent seeds, so a
+/// cache collision still needs two 64-bit digests to agree.
+FlowKey make_flow_key(std::uint32_t vni, std::uint64_t tuple_hash);
 FlowKey make_flow_key(std::uint32_t vni, const net::FiveTuple& tuple);
 
 /// Cache observability. Deliberately a plain struct, not registry
@@ -95,6 +103,15 @@ class FlowCache {
   bool enabled() const { return capacity_ != 0; }
   std::size_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
+
+  /// Hints `key`'s home slot into cache ahead of a find(). No-op while the
+  /// table is lazily unallocated.
+  void prefetch(const FlowKey& key) const {
+    if (!table_.empty()) {
+      __builtin_prefetch(table_.data() +
+                         (static_cast<std::size_t>(key.hi) & mask_));
+    }
+  }
 
   /// Looks up `key`; entries stamped with a different generation are
   /// treated as absent and their slot reclaimed (lazy invalidation).

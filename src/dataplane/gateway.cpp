@@ -15,6 +15,31 @@ void Gateway::process_batch(std::span<const net::OverlayPacket> packets,
   }
 }
 
+void Gateway::process_batch(std::span<const net::OverlayPacket> packets,
+                            std::span<const std::uint64_t> flow_hashes,
+                            double now, std::span<Verdict> out) {
+  if (flow_hashes.size() != packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: flow_hashes.size() must equal packets.size()");
+  }
+  process_batch(packets, now, out);
+}
+
+void Gateway::process_batch_indexed(
+    std::span<const net::OverlayPacket> packets,
+    std::span<const std::uint64_t> flow_hashes,
+    std::span<const std::uint32_t> indices, double now,
+    std::span<Verdict> out) {
+  (void)flow_hashes;
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch_indexed: output span smaller than the packet array");
+  }
+  for (const std::uint32_t i : indices) {
+    out[i] = process(packets[i], now);
+  }
+}
+
 std::vector<Verdict> Gateway::process_batch(
     std::span<const net::OverlayPacket> packets, double now) {
   std::vector<Verdict> verdicts(packets.size());

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,29 @@ class Gateway {
   /// telemetry identical to looping process().
   virtual void process_batch(std::span<const net::OverlayPacket> packets,
                              double now, std::span<Verdict> out);
+
+  /// Hash-threaded batch form: `flow_hashes[i]` must equal
+  /// `packets[i].inner.hash()` — the sharded engine computes the RSS hash
+  /// once per packet to pick a shard and passes it down, so batch-aware
+  /// gateways derive their flow-cache keys and pipe steering from it
+  /// without rehashing. The default ignores the hashes and defers to the
+  /// 3-arg overload, so plain gateways stay correct automatically.
+  virtual void process_batch(std::span<const net::OverlayPacket> packets,
+                             std::span<const std::uint64_t> flow_hashes,
+                             double now, std::span<Verdict> out);
+
+  /// Indexed batch: processes `packets[k]` for each k in `indices` (in
+  /// order) and writes `out[k]`. All three parallel spans are BASE arrays
+  /// indexed by the same positions — the sharded engine hands each shard
+  /// sub-spans of one shared index list, so no per-burst gather/scatter
+  /// copies of packets or verdicts ever happen. `flow_hashes[k]` must
+  /// equal `packets[k].inner.hash()` for every referenced k (it may be
+  /// empty for gateways that do not use it). The default loops process().
+  virtual void process_batch_indexed(
+      std::span<const net::OverlayPacket> packets,
+      std::span<const std::uint64_t> flow_hashes,
+      std::span<const std::uint32_t> indices, double now,
+      std::span<Verdict> out);
 
   /// Allocating convenience wrapper around the span form.
   std::vector<Verdict> process_batch(

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/runtime_config.hpp"
+
 namespace sf::dataplane {
 
 ShardEngine::ShardEngine(ShardPlan plan)
@@ -92,57 +94,9 @@ void ShardEngine::process_packets(
     std::span<const net::OverlayPacket> packets, double now,
     const std::function<Gateway&(std::size_t)>& gateway_for,
     std::span<Verdict> out) {
-  if (out.size() != packets.size()) {
-    throw std::invalid_argument(
-        "process_packets: out.size() must equal packets.size()");
-  }
-
-  // Single-thread fast path: one ascending sweep dispatching each packet
-  // to its owner shard. Every gateway still sees exactly the packets with
-  // owner % shards == its shard, in ascending index order — the same
-  // sequence the bucketed path below feeds it — so results are identical
-  // at any thread count. What changes is the memory pattern: packets and
-  // verdicts stream sequentially instead of stride-hopping through
-  // per-shard index lists.
-  if (plan_.threads <= 1) {
-    const std::size_t shards = plan_.shards;
-    std::vector<Gateway*> gateways(shards);
-    for (std::size_t s = 0; s < shards; ++s) gateways[s] = &gateway_for(s);
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      const std::size_t shard =
-          static_cast<std::size_t>(packets[i].inner.hash()) % shards;
-      out[i] = gateways[shard]->process(packets[i], now);
-    }
-    return;
-  }
-
-  run_sharded(
-      packets.size(),
-      [&](std::size_t i) {
-        return static_cast<std::size_t>(packets[i].inner.hash());
-      },
-      [&](std::size_t shard, std::span<const std::uint32_t> indices,
-          telemetry::Registry&) {
-        Gateway& gateway = gateway_for(shard);
-        // Ascending input order within the shard: the gateway's stateful
-        // pieces (meters, caches) see the same packet sequence regardless
-        // of thread count. Output slots are disjoint by index.
-        constexpr std::size_t kPrefetch = 8;
-        for (std::size_t k = 0; k < indices.size(); ++k) {
-          if (k + kPrefetch < indices.size()) {
-            // A shard's indices stride ~shards-wide through the batch —
-            // past what hardware prefetchers track — so fetch the packet
-            // and verdict slot a few iterations ahead.
-            const std::uint32_t ahead = indices[k + kPrefetch];
-            const char* pkt = reinterpret_cast<const char*>(&packets[ahead]);
-            __builtin_prefetch(pkt);
-            __builtin_prefetch(pkt + 64);  // OverlayPacket spans >1 line
-            __builtin_prefetch(&out[ahead], 1);
-          }
-          const std::uint32_t i = indices[k];
-          out[i] = gateway.process(packets[i], now);
-        }
-      });
+  // One implementation for every shape: an empty update plan has no
+  // visibility boundaries, so the burst loop below never splits a burst.
+  process_packets(packets, now, gateway_for, out, UpdatePlan{});
 }
 
 std::vector<Verdict> ShardEngine::process_packets(
@@ -191,63 +145,75 @@ void ShardEngine::process_packets(
 
   const std::span<const TimedTableOp> stream = updates.updates;
   const auto& advance = updates.advance;
-  // Monotone per-shard cursor: `visible` for packet i is the count of
-  // updates with apply_index < i. A shard sees its packet indices
-  // ascending (both paths below), so each cursor only moves forward —
-  // O(1) amortized per packet, and identical per-packet values in the
-  // single-sweep and bucketed paths.
-  const auto advance_to = [&](std::size_t shard, std::size_t& cursor,
-                              std::size_t packet_index) {
-    std::size_t next = cursor;
-    while (next < stream.size() &&
-           stream[next].apply_index < packet_index) {
-      ++next;
-    }
-    if (next != cursor) {
-      cursor = next;
-      if (advance) advance(shard, cursor);
-    }
-  };
+  const std::size_t batch = std::max<std::size_t>(
+      1, plan_.batch != 0 ? plan_.batch
+                          : core::RuntimeConfig::process().batch_size);
 
-  if (plan_.threads <= 1) {
-    const std::size_t shards = plan_.shards;
-    std::vector<Gateway*> gateways(shards);
-    std::vector<std::size_t> cursors(shards, 0);
-    for (std::size_t s = 0; s < shards; ++s) gateways[s] = &gateway_for(s);
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      const std::size_t shard =
-          static_cast<std::size_t>(packets[i].inner.hash()) % shards;
-      advance_to(shard, cursors[shard], i);
-      out[i] = gateways[shard]->process(packets[i], now);
+  // The 5-tuple hash is computed exactly once per packet, in a tight
+  // pre-pass (chunked across the pool) rather than through the opaque
+  // owner() callback: independent per-packet mix chains overlap in the
+  // out-of-order window, and the same values thread into every gateway's
+  // hash-aware batch path for cache keys and pipe picks — the scalar path
+  // used to hash two to three times per packet.
+  std::vector<std::uint64_t> hashes(packets.size());
+  {
+    const std::size_t chunks = packets.size() == 0
+                                   ? 0
+                                   : std::min(packets.size(),
+                                              plan_.threads * 4);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = packets.size() * c / chunks;
+      const std::size_t end = packets.size() * (c + 1) / chunks;
+      tasks.push_back([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          hashes[i] = packets[i].inner.hash();
+        }
+      });
     }
-  } else {
-    run_sharded(
-        packets.size(),
-        [&](std::size_t i) {
-          return static_cast<std::size_t>(packets[i].inner.hash());
-        },
-        [&](std::size_t shard, std::span<const std::uint32_t> indices,
-            telemetry::Registry&) {
-          Gateway& gateway = gateway_for(shard);
-          std::size_t cursor = 0;
-          // Same prefetch scheme as the plain bucketed path: shard index
-          // lists stride too wide for hardware prefetchers.
-          constexpr std::size_t kPrefetch = 8;
-          for (std::size_t k = 0; k < indices.size(); ++k) {
-            if (k + kPrefetch < indices.size()) {
-              const std::uint32_t ahead = indices[k + kPrefetch];
-              const char* pkt =
-                  reinterpret_cast<const char*>(&packets[ahead]);
-              __builtin_prefetch(pkt);
-              __builtin_prefetch(pkt + 64);
-              __builtin_prefetch(&out[ahead], 1);
-            }
-            const std::uint32_t i = indices[k];
-            advance_to(shard, cursor, i);
-            out[i] = gateway.process(packets[i], now);
-          }
-        });
+    run_tasks(std::move(tasks));
   }
+
+  run_sharded(
+      packets.size(),
+      [&](std::size_t i) { return static_cast<std::size_t>(hashes[i]); },
+      [&](std::size_t shard, std::span<const std::uint32_t> indices,
+          telemetry::Registry&) {
+        Gateway& gateway = gateway_for(shard);
+        std::size_t cursor = 0;
+        // Feed the gateway sub-spans of this shard's (ascending) index
+        // list — whole bursts, no per-burst gather/scatter copies. The
+        // gateway's stateful pieces (meters, caches) see the same packet
+        // sequence regardless of thread count or burst size, so verdicts
+        // and telemetry are byte-identical at any ShardPlan.
+        std::size_t start = 0;
+        const auto flush = [&](std::size_t end_pos) {
+          if (start >= end_pos) return;
+          gateway.process_batch_indexed(
+              packets, hashes, indices.subspan(start, end_pos - start), now,
+              out);
+          start = end_pos;
+        };
+
+        for (std::size_t k = 0; k < indices.size(); ++k) {
+          const std::uint32_t i = indices[k];
+          // Monotone per-shard cursor: `visible` for packet i is the
+          // count of updates with apply_index < i. A table-visibility
+          // boundary splits the burst — every packet inside one
+          // process_batch_indexed call reads one table version.
+          if (cursor < stream.size() && stream[cursor].apply_index < i) {
+            flush(k);
+            while (cursor < stream.size() &&
+                   stream[cursor].apply_index < i) {
+              ++cursor;
+            }
+            if (advance) advance(shard, cursor);
+          }
+          if (k - start + 1 >= batch) flush(k + 1);
+        }
+        flush(indices.size());
+      });
 
   if (mutator.joinable()) mutator.join();
 }

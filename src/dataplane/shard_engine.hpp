@@ -33,6 +33,10 @@ namespace sf::dataplane {
 struct ShardPlan {
   std::size_t shards = 16;
   std::size_t threads = 1;
+  /// Burst size fed to each shard's gateway in process_packets (0 → the
+  /// process-wide SF_BATCH default). Purely a throughput knob: verdicts
+  /// and telemetry are byte-identical at any value.
+  std::size_t batch = 0;
 };
 
 class ShardEngine {
@@ -64,14 +68,17 @@ class ShardEngine {
   void run_tasks(std::vector<std::function<void()>> tasks);
 
   /// Deterministic parallel packet-batch path. Packets are partitioned by
-  /// their flow hash modulo the FIXED shard count; each shard then
-  /// processes its packets in ascending input order against the gateway
-  /// `gateway_for(shard)` returns — one gateway (and thus one flow cache)
-  /// per shard, touched only by its owning worker, so the fast path needs
-  /// no locks. Verdicts land in `out` at the packet's original index;
+  /// their flow hash modulo the FIXED shard count; each shard then feeds
+  /// its packets to the gateway `gateway_for(shard)` returns in whole
+  /// bursts (ShardPlan::batch), in ascending input order — one gateway
+  /// (and thus one flow cache) per shard, touched only by its owning
+  /// worker, so the fast path needs no locks. The 5-tuple hash is computed
+  /// exactly once per packet here and threaded into the gateways'
+  /// hash-aware process_batch, which derives cache keys and pipe steering
+  /// from it. Verdicts land in `out` at the packet's original index;
   /// `out.size()` must equal `packets.size()`. Identical verdict streams
-  /// at any thread count, provided the per-shard gateways start in
-  /// identical states.
+  /// at any thread count and burst size, provided the per-shard gateways
+  /// start in identical states.
   void process_packets(std::span<const net::OverlayPacket> packets,
                        double now,
                        const std::function<Gateway&(std::size_t)>& gateway_for,

@@ -83,7 +83,14 @@ class Alpm {
         }
       }
     } else {
-      part.routes.push_back(route);
+      // Keep the bucket grouped by head25 (see lookup_resolve): insert at
+      // the end of the route's head25 run. Splits re-sort by full key,
+      // which is a refinement of head25 order, so the invariant survives
+      // every mutation path.
+      auto pos = std::upper_bound(
+          part.routes.begin(), part.routes.end(), route.head25,
+          [](std::uint32_t h, const Route& r) { return h < r.head25; });
+      part.routes.insert(pos, route);
       if (part.routes.size() > config_.max_bucket_entries) {
         split_partition(pi);
       }
@@ -107,13 +114,63 @@ class Alpm {
   /// Longest-prefix match: one directory match plus one bucket scan.
   std::optional<Value> lookup(net::Vni vni, const net::IpAddr& ip) const {
     const TcamKey key = make_pooled_key(vni, ip);
+    return lookup_resolve(key, lookup_prepare(key));
+  }
+
+  /// Two-phase lookup for software-pipelined batch callers: prepare() does
+  /// the TCAM directory match and issues a prefetch for the SRAM bucket;
+  /// resolve() scans it. Hashing/prefetching N keys before resolving any
+  /// hides the bucket's DRAM latency behind the other N-1 directory
+  /// probes. lookup() above is exactly prepare+resolve back to back.
+  std::uint32_t lookup_prepare(const TcamKey& key) const {
     auto dir = directory_.longest_match(key);
-    if (!dir) return std::nullopt;  // cannot happen: root row always present
-    const Partition& part = partitions_[dir->first];
+    // The root row makes a directory miss impossible; keep the fallback
+    // anyway (partition 0 is the root).
+    const std::uint32_t pi = dir ? dir->first : 0;
+    __builtin_prefetch(partitions_[pi].routes.data());
+    return pi;
+  }
+
+  /// Batched prepare: one depth-major directory sweep over the whole
+  /// burst (MaskedKeyMap::longest_match_batch hashes and prefetches every
+  /// key's slot per depth before resolving any), then the per-partition
+  /// bucket prefetch. parts[i] is exactly lookup_prepare(keys[i]).
+  void lookup_prepare_batch(std::span<const TcamKey> keys,
+                            std::span<std::uint32_t> parts) const {
+    constexpr std::size_t kChunk = 128;
+    std::uint8_t hit[kChunk];
+    std::uint32_t value[kChunk];
+    unsigned depth[kChunk];
+    for (std::size_t base = 0; base < keys.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, keys.size() - base);
+      directory_.longest_match_batch(keys.subspan(base, n), {hit, n},
+                                     {value, n}, {depth, n});
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t pi = hit[i] ? value[i] : 0;
+        parts[base + i] = pi;
+        __builtin_prefetch(partitions_[pi].routes.data());
+      }
+    }
+  }
+
+  std::optional<Value> lookup_resolve(const TcamKey& key,
+                                      std::uint32_t partition) const {
+    const Partition& part = partitions_[partition];
+    // Every route's depth covers the full label‖VNI header (>= 25 bits),
+    // so a route whose leading 25 key bits differ from the lookup key's
+    // cannot match. Buckets stay grouped by head25 (insert/split maintain
+    // it), so one binary search lands on this tenant's run and the scan
+    // touches only routes that share the label‖VNI header — other
+    // tenants' routes in the bucket cost nothing.
+    const std::uint32_t head25 = static_cast<std::uint32_t>(key.w[0] >> 39);
     const Route* best = nullptr;
-    for (const Route& route : part.routes) {
+    auto it = std::lower_bound(
+        part.routes.begin(), part.routes.end(), head25,
+        [](const Route& r, std::uint32_t h) { return r.head25 < h; });
+    for (; it != part.routes.end() && it->head25 == head25; ++it) {
+      const Route& route = *it;
       if ((best == nullptr || route.depth > best->depth) &&
-          key.masked(tcam_mask(route.depth)) == route.key) {
+          key.masked(route.mask) == route.key) {
         best = &route;
       }
     }
@@ -173,6 +230,11 @@ class Alpm {
   struct Route {
     TcamKey key;        // canonical: masked to depth
     unsigned depth = 0; // 25 + pooled prefix length
+    /// Leading 25 key bits (label ‖ VNI) — the bucket scan's cheap
+    /// reject. Valid because depth >= 25 always.
+    std::uint32_t head25 = 0;
+    /// tcam_mask(depth), cached at build time.
+    TcamKey mask;
     Value value{};
   };
 
@@ -187,7 +249,9 @@ class Alpm {
                           Value value) {
     auto [key, mask] = make_pooled_prefix(vni, prefix);
     (void)mask;
-    return Route{key, 1 + 24 + prefix.pooled_length(), std::move(value)};
+    const unsigned depth = 1 + 24 + prefix.pooled_length();
+    return Route{key, depth, static_cast<std::uint32_t>(key.w[0] >> 39),
+                 tcam_mask(depth), std::move(value)};
   }
 
   std::size_t route_words(const Route& route, unsigned pivot_depth) const {
@@ -243,7 +307,10 @@ class Alpm {
                                         unsigned depth) const {
     auto hit = routes_.longest_match(pivot, depth);
     if (!hit) return std::nullopt;
-    return Route{pivot.masked(tcam_mask(hit->second)), hit->second,
+    const TcamKey mask = tcam_mask(hit->second);
+    const TcamKey key = pivot.masked(mask);
+    return Route{key, hit->second,
+                 static_cast<std::uint32_t>(key.w[0] >> 39), mask,
                  hit->first};
   }
 

@@ -89,6 +89,10 @@ std::optional<VmNcAction> DigestVmNcTable::lookup(
   return main_.lookup(pooled_key(vni, ip));
 }
 
+void DigestVmNcTable::prefetch(net::Vni vni, const net::IpAddr& ip) const {
+  main_.prefetch(pooled_key(vni, ip));
+}
+
 DigestVmNcTable::Stats DigestVmNcTable::stats() const {
   return Stats{main_.size(), conflicts_.size(), main_.stats().insert_failures,
                collision_events_};

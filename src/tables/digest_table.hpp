@@ -61,6 +61,10 @@ class DigestVmNcTable {
 
   std::optional<VmNcAction> lookup(net::Vni vni, const net::IpAddr& ip) const;
 
+  /// Prefetches the main-table bucket a later lookup(vni, ip) will scan
+  /// (the conflict store is tiny and stays hot on its own).
+  void prefetch(net::Vni vni, const net::IpAddr& ip) const;
+
   Stats stats() const;
 
   /// SRAM words (128-bit) the main table's *entries* occupy — 1 word per

@@ -14,6 +14,10 @@
 #include <stdexcept>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "net/hash.hpp"
 
 namespace sf::tables {
@@ -43,7 +47,26 @@ class ExactTable {
     while (buckets < config.buckets) buckets <<= 1;
     bucket_mask_ = buckets - 1;
     ways_ = config.ways;
-    slots_.resize(buckets * ways_);
+    const std::size_t total = buckets * ways_;
+    slots_.reserve(total);
+#if defined(__linux__)
+    // Large tables are probed at random bucket offsets, so with 4 KiB pages
+    // nearly every lookup eats a dTLB miss on top of the cache miss. Ask the
+    // kernel to back the slot array with huge pages before resize() faults
+    // the pages in (a no-op where THP is unavailable); the interior-aligned
+    // range keeps madvise happy with the vector's arbitrary base address.
+    constexpr std::size_t kHugePage = 2u << 20;
+    const std::size_t bytes = total * sizeof(Slot);
+    if (bytes >= 2 * kHugePage) {
+      auto base = reinterpret_cast<std::uintptr_t>(slots_.data());
+      const std::uintptr_t lo = (base + kHugePage - 1) & ~(kHugePage - 1);
+      const std::uintptr_t hi = (base + bytes) & ~(kHugePage - 1);
+      if (hi > lo) {
+        ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+      }
+    }
+#endif
+    slots_.resize(total);
   }
 
   /// Inserts or replaces. Returns false (and counts a failure) when the
@@ -73,6 +96,13 @@ class ExactTable {
       if (slot.occupied && slot.key == key) return slot.value;
     }
     return std::nullopt;
+  }
+
+  /// Hints the bucket `key` hashes to into cache. Batch callers prefetch N
+  /// buckets, then resolve N lookups, hiding the SRAM/DRAM miss of each
+  /// bucket behind the hashing of the others.
+  void prefetch(const Key& key) const {
+    __builtin_prefetch(slots_.data() + (hasher_(key) & bucket_mask_) * ways_);
   }
 
   bool contains(const Key& key) const { return lookup(key).has_value(); }

@@ -1,6 +1,7 @@
 #include "x86/xgw_x86.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sf::x86 {
 
@@ -133,8 +134,66 @@ X86Result XgwX86::forward_punted(const net::OverlayPacket& packet,
   return forward_impl(packet, now, /*allow_cache=*/false);
 }
 
+void XgwX86::process_batch(std::span<const net::OverlayPacket> packets,
+                           std::span<const std::uint64_t> flow_hashes,
+                           double now, std::span<dataplane::Verdict> out) {
+  if (flow_hashes.size() != packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: flow_hashes.size() must equal packets.size()");
+  }
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: output span smaller than the batch");
+  }
+  // Run-to-completion per packet (the SNAT engine and the RCU pin are
+  // inherently sequential), but with the batch's lookahead: each packet's
+  // cache slot is prefetched a few packets before its turn.
+  constexpr std::size_t kAhead = 8;
+  const bool cached = flow_cache_.enabled();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (cached && i + kAhead < packets.size()) {
+      flow_cache_.prefetch(dataplane::make_flow_key(
+          packets[i + kAhead].vni, flow_hashes[i + kAhead]));
+    }
+    out[i] = forward_impl(packets[i], now, /*allow_cache=*/true,
+                          &flow_hashes[i]);
+  }
+}
+
+void XgwX86::process_batch_indexed(std::span<const net::OverlayPacket> packets,
+                                   std::span<const std::uint64_t> flow_hashes,
+                                   std::span<const std::uint32_t> indices,
+                                   double now,
+                                   std::span<dataplane::Verdict> out) {
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch_indexed: output span smaller than the packet array");
+  }
+  // Same run-to-completion loop as the contiguous form, striding the
+  // shared index list: packet, verdict slot and cache slot of index
+  // indices[k + kAhead] are all requested while packet indices[k] runs.
+  constexpr std::size_t kAhead = 8;
+  const bool cached = flow_cache_.enabled();
+  const bool hashed = !flow_hashes.empty();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (k + kAhead < indices.size()) {
+      const std::uint32_t ahead = indices[k + kAhead];
+      __builtin_prefetch(&packets[ahead]);
+      __builtin_prefetch(&out[ahead], 1);
+      if (cached && hashed) {
+        flow_cache_.prefetch(
+            dataplane::make_flow_key(packets[ahead].vni, flow_hashes[ahead]));
+      }
+    }
+    const std::uint32_t i = indices[k];
+    out[i] = forward_impl(packets[i], now, /*allow_cache=*/true,
+                          hashed ? &flow_hashes[i] : nullptr);
+  }
+}
+
 X86Result XgwX86::forward_impl(const net::OverlayPacket& packet, double now,
-                               bool allow_cache) {
+                               bool allow_cache,
+                               const std::uint64_t* flow_hash) {
   ++telemetry_.packets_in;
   ctr_packets_in_->add();
   ctr_bytes_in_->add(packet.wire_size());
@@ -187,7 +246,9 @@ X86Result XgwX86::forward_impl(const net::OverlayPacket& packet, double now,
   dataplane::FlowKey key;
   std::uint64_t generation = 0;
   if (cacheable) {
-    key = dataplane::make_flow_key(packet.vni, packet.inner);
+    key = flow_hash != nullptr
+              ? dataplane::make_flow_key(packet.vni, *flow_hash)
+              : dataplane::make_flow_key(packet.vni, packet.inner);
     generation = effective_generation(packet.vni, pin_seq);
     if (const CachedVerdict* hit = flow_cache_.find(key, generation)) {
       return hit->action == dataplane::Action::kDrop

@@ -150,6 +150,25 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
     return forward(packet, now);
   }
 
+  /// Hash-threaded batch form: derives each packet's flow-cache key from
+  /// the precomputed RSS hash (`flow_hashes[i] == packets[i].inner.hash()`)
+  /// and prefetches cache slots a few packets ahead. Byte-identical to
+  /// looping process().
+  void process_batch(std::span<const net::OverlayPacket> packets,
+                     std::span<const std::uint64_t> flow_hashes, double now,
+                     std::span<dataplane::Verdict> out) override;
+
+  /// Index-list form the sharded engine feeds: same per-packet loop,
+  /// striding the shared index list with packet/verdict/cache-slot
+  /// lookahead. `flow_hashes` may be empty (tuples are then rehashed).
+  void process_batch_indexed(std::span<const net::OverlayPacket> packets,
+                             std::span<const std::uint64_t> flow_hashes,
+                             std::span<const std::uint32_t> indices,
+                             double now,
+                             std::span<dataplane::Verdict> out) override;
+
+  using dataplane::Gateway::process_batch;  // 3-arg + allocating forms
+
   /// Internet response path: a packet addressed to a SNAT binding is
   /// translated back and re-encapsulated toward the VM's NC.
   std::optional<net::OverlayPacket> process_response(
@@ -196,8 +215,12 @@ class XgwX86 : public dataplane::Gateway, public dataplane::TableProgrammer {
     net::IpAddr outer_dst;
   };
 
+  /// `flow_hash`, when non-null, is the packet's precomputed tuple hash —
+  /// the cache key derives from it instead of rehashing the 5-tuple
+  /// (dataplane::make_flow_key guarantees both derivations agree).
   X86Result forward_impl(const net::OverlayPacket& packet, double now,
-                         bool allow_cache);
+                         bool allow_cache,
+                         const std::uint64_t* flow_hash = nullptr);
 
   // Mutator-side helpers (see apply()).
   dataplane::TableOpStatus apply_one(const dataplane::TableOp& op);

@@ -87,6 +87,15 @@ XgwH::XgwH(Config config)
   // The walker registered "asic.passes" in set_registry() above; a cache
   // hit replays the per-walk record into the same histogram.
   hist_passes_ = &registry_->histogram("asic.passes");
+  // Same deal for the walker's packet counters: resolved by name (no new
+  // registrations) so the SoA batch walk can bump them in bulk.
+  ctr_asic_packets_ = &registry_->counter("asic.packets");
+  ctr_asic_drops_ = &registry_->counter("asic.drops");
+  for (unsigned pipe = 0; pipe < 4; ++pipe) {
+    const std::string base = "asic.pipe" + std::to_string(pipe);
+    ctr_asic_ingress_[pipe] = &registry_->counter(base + ".ingress.packets");
+    ctr_asic_egress_[pipe] = &registry_->counter(base + ".egress.packets");
+  }
 }
 
 unsigned XgwH::shard_of_vni(net::Vni vni) {
@@ -435,13 +444,14 @@ void XgwH::snapshot_walk_counters() {
   }
 }
 
-XgwH::CachedWalk XgwH::summarize_walk(const asic::WalkResult& walked,
+XgwH::CachedWalk XgwH::summarize_walk(const asic::PacketContext& ctx,
+                                      const asic::WalkSummary& walked,
                                       bool capture_deltas) {
   CachedWalk walk;
   walk.dropped = walked.dropped;
   walk.drop_code = walked.drop_code;
   walk.act = static_cast<std::uint8_t>(
-      walked.meta.get_or(fid_action_, kActForward));
+      ctx.meta.get_or(fid_action_, kActForward));
   // stage_rewrite is the only stage that mutates the packet: it writes
   // outer_src unconditionally, then outer_dst unless it drops first
   // (kNoNcResolved). Whether the rewrite ran is a property of the walk
@@ -451,8 +461,8 @@ XgwH::CachedWalk XgwH::summarize_walk(const asic::WalkResult& walked,
       walked.drop_code ==
           static_cast<std::uint8_t>(dataplane::DropReason::kNoNcResolved);
   walk.set_outer_dst = !walked.dropped;
-  walk.outer_src = walked.packet.outer_src_ip;
-  walk.outer_dst = walked.packet.outer_dst_ip;
+  walk.outer_src = ctx.packet.outer_src_ip;
+  walk.outer_dst = ctx.packet.outer_dst_ip;
   walk.passes = static_cast<std::uint8_t>(walked.passes);
   walk.egress_pipe = static_cast<std::uint8_t>(walked.egress_pipe);
   walk.bridged_bits = static_cast<std::uint16_t>(walked.bridged_bits);
@@ -500,8 +510,10 @@ std::uint32_t XgwH::intern_delta_set(const std::vector<CounterDelta>& deltas) {
   return static_cast<std::uint32_t>(delta_sets_.size() - 1);
 }
 
-ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
-                           const CachedWalk& walk, bool replayed) {
+void XgwH::finish_into(dataplane::Verdict& dest,
+                       const net::OverlayPacket& packet, double now,
+                       const CachedWalk& walk, bool replayed,
+                       ForwardResult* extras) {
   if (replayed) {
     if (walk.delta_set != CachedWalk::kNoDeltaSet) {
       for (const CounterDelta& d : delta_sets_[walk.delta_set]) {
@@ -511,22 +523,27 @@ ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
     hist_passes_->record(static_cast<double>(walk.passes));
   }
 
-  ForwardResult result;
-  result.packet = packet;
-  if (walk.set_outer_src) result.packet.outer_src_ip = walk.outer_src;
-  if (walk.set_outer_dst) result.packet.outer_dst_ip = walk.outer_dst;
-  result.passes = walk.passes;
-  result.egress_pipe = walk.egress_pipe;
+  // The batch path hands `dest` straight from the caller's verdict array,
+  // so every Verdict field is (re)assigned here — nothing may survive from
+  // a previous burst's verdict in the same slot.
+  dest.packet = packet;
+  if (walk.set_outer_src) dest.packet.outer_src_ip = walk.outer_src;
+  if (walk.set_outer_dst) dest.packet.outer_dst_ip = walk.outer_dst;
+  dest.software_path = false;
+  if (extras != nullptr) {
+    extras->passes = walk.passes;
+    extras->egress_pipe = walk.egress_pipe;
+  }
   // Same formula the walker applies; wire size comes from this packet, so
   // flows whose packets vary in size still get exact latencies on a hit.
-  result.latency_us = config_.chip.latency_us(
-      walk.passes, result.packet.wire_size() + walk.bridged_bits / 8);
-  hist_latency_->record(result.latency_us);
+  dest.latency_us = config_.chip.latency_us(
+      walk.passes, dest.packet.wire_size() + walk.bridged_bits / 8);
+  hist_latency_->record(dest.latency_us);
 
   if (config_.compression.fold) {
     const unsigned shard = shard_of(packet.vni);
     const unsigned loopback_pipe = 1 + 2 * shard;
-    result.shard_pipe = loopback_pipe;
+    if (extras != nullptr) extras->shard_pipe = loopback_pipe;
     if (!walk.dropped) {
       shard_pipe_bytes_[loopback_pipe] += packet.wire_size();
       ctr_pipe_bytes_[loopback_pipe]->add(packet.wire_size());
@@ -536,10 +553,11 @@ ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
   if (walk.dropped) {
     ++telemetry_.packets_dropped;
     ctr_dropped_->add();
-    result.action = dataplane::Action::kDrop;
-    result.drop_reason = reason_from_code(walk.drop_code);
-    return result;
+    dest.action = dataplane::Action::kDrop;
+    dest.drop_reason = reason_from_code(walk.drop_code);
+    return;
   }
+  dest.drop_reason = dataplane::DropReason::kNone;
 
   if (walk.act == kActFallback) {
     // Overload protection before handing to the software gateway. The
@@ -551,19 +569,25 @@ ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
       ++telemetry_.packets_dropped;
       ctr_rate_limited_->add();
       ctr_dropped_->add();
-      result.action = dataplane::Action::kDrop;
-      result.drop_reason = dataplane::DropReason::kFallbackRateLimited;
-      return result;
+      dest.action = dataplane::Action::kDrop;
+      dest.drop_reason = dataplane::DropReason::kFallbackRateLimited;
+      return;
     }
     ++telemetry_.packets_fallback;
     ctr_fallback_->add();
-    result.action = dataplane::Action::kFallbackToX86;
-    return result;
+    dest.action = dataplane::Action::kFallbackToX86;
+    return;
   }
   ++telemetry_.packets_forwarded;
   ctr_forwarded_->add();
-  result.action = walk.act == kActTunnel ? dataplane::Action::kForwardTunnel
-                                         : dataplane::Action::kForwardToNc;
+  dest.action = walk.act == kActTunnel ? dataplane::Action::kForwardTunnel
+                                       : dataplane::Action::kForwardToNc;
+}
+
+ForwardResult XgwH::finish(const net::OverlayPacket& packet, double now,
+                           const CachedWalk& walk, bool replayed) {
+  ForwardResult result;
+  finish_into(result, packet, now, walk, replayed, &result);
   return result;
 }
 
@@ -574,38 +598,444 @@ ForwardResult XgwH::forward(const net::OverlayPacket& packet, double now,
   ctr_packets_in_->add();
   ctr_bytes_in_->add(packet.wire_size());
 
-  // Fast path: replay the cached walk for this exact (VNI, 5-tuple). An
+  // One tuple hash serves both the entry-pipe pick and the cache key (the
+  // sharded engine threads the very same hash down process_batch). An
   // explicit ingress_pipe overrides the flow-hash pick, so those packets
   // bypass the cache entirely.
   const bool cacheable = flow_cache_.enabled() && !ingress_pipe.has_value();
   dataplane::FlowKey key;
   std::uint64_t generation = 0;
-  if (cacheable) {
-    key = dataplane::make_flow_key(packet.vni, packet.inner);
-    generation = effective_generation(packet.vni);
-    if (const CachedWalk* hit = flow_cache_.find(key, generation)) {
-      return finish(packet, now, *hit, /*replayed=*/true);
-    }
-  }
-
-  unsigned entry_pipe;
+  unsigned entry_pipe = 0;
   if (ingress_pipe) {
     entry_pipe = *ingress_pipe;
   } else {
     const std::uint64_t h = packet.inner.hash();
-    entry_pipe = config_.compression.fold ? (h & 1 ? 2 : 0)
-                                          : static_cast<unsigned>(h & 3);
+    entry_pipe = entry_pipe_of(h);
+    if (cacheable) {
+      // Fast path: replay the cached walk for this exact (VNI, 5-tuple).
+      key = dataplane::make_flow_key(packet.vni, h);
+      generation = effective_generation(packet.vni);
+      if (const CachedWalk* hit = flow_cache_.find(key, generation)) {
+        return finish(packet, now, *hit, /*replayed=*/true);
+      }
+    }
   }
 
   // Second-miss admission: only flows that have missed before are worth
   // the capture + insert; one-packet flows cost a single filter write.
   const bool capture = cacheable && flow_cache_.note_miss(key);
   if (capture) snapshot_walk_counters();
-  const asic::WalkResult walked = walker_->run(packet, entry_pipe);
-  CachedWalk summary = summarize_walk(walked, /*capture_deltas=*/capture);
+  asic::WalkSummary walked;
+  walker_->run(packet, entry_pipe, batch_.walk_ctx, walked);
+  CachedWalk summary =
+      summarize_walk(batch_.walk_ctx, walked, /*capture_deltas=*/capture);
   const ForwardResult result = finish(packet, now, summary, /*replayed=*/false);
   if (capture) flow_cache_.insert(key, generation, summary);
   return result;
+}
+
+void XgwH::process_batch(std::span<const net::OverlayPacket> packets,
+                         double now, std::span<dataplane::Verdict> out) {
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: output span smaller than the batch");
+  }
+  batch_.idx.resize(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    batch_.idx[i] = static_cast<std::uint32_t>(i);
+  }
+  process_batch_indexed(packets, {}, batch_.idx, now, out);
+}
+
+void XgwH::process_batch(std::span<const net::OverlayPacket> packets,
+                         std::span<const std::uint64_t> flow_hashes,
+                         double now, std::span<dataplane::Verdict> out) {
+  if (flow_hashes.size() != packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: flow_hashes.size() must equal packets.size()");
+  }
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch: output span smaller than the batch");
+  }
+  batch_.idx.resize(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    batch_.idx[i] = static_cast<std::uint32_t>(i);
+  }
+  process_batch_indexed(packets, flow_hashes, batch_.idx, now, out);
+}
+
+void XgwH::process_batch_indexed(std::span<const net::OverlayPacket> packets,
+                                 std::span<const std::uint64_t> flow_hashes,
+                                 std::span<const std::uint32_t> indices,
+                                 double now,
+                                 std::span<dataplane::Verdict> out) {
+  const std::size_t n = indices.size();
+  if (out.size() < packets.size()) {
+    throw std::invalid_argument(
+        "process_batch_indexed: output span smaller than the packet array");
+  }
+  if (n == 0) return;
+
+  BatchScratch& b = batch_;
+
+  // Normalize hashes to one position-indexed column: the later sweeps
+  // then stream it sequentially no matter how the indices stride. This
+  // first walk also prefetches each packet a few positions ahead — the
+  // engine's index lists stride the base array (one shard keeps every
+  // N-th packet), which defeats the hardware streamer, so the first
+  // touch of every packet would otherwise stall on L3; the later phases
+  // then re-touch the burst L2-warm.
+  constexpr std::size_t kAhead = 8;
+  const auto prefetch_packet = [&](std::size_t i) {
+    if (i + kAhead < n) {
+      const char* p =
+          reinterpret_cast<const char*>(&packets[indices[i + kAhead]]);
+      __builtin_prefetch(p);
+      __builtin_prefetch(p + 64);
+    }
+  };
+  b.hash.resize(n);
+  if (flow_hashes.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      prefetch_packet(i);
+      b.hash[i] = packets[indices[i]].inner.hash();
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      prefetch_packet(i);
+      b.hash[i] = flow_hashes[indices[i]];
+    }
+  }
+
+  // Bulk ingest, BEFORE any capture snapshot: a capture walk's counter
+  // delta window must contain that walk's adds and nothing else, exactly
+  // like the scalar path (which ingests each packet before snapshotting).
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) bytes += packets[indices[i]].wire_size();
+  telemetry_.packets_in += n;
+  telemetry_.bytes_in += bytes;
+  ctr_packets_in_->add(n);
+  ctr_bytes_in_->add(bytes);
+
+  b.pend.clear();
+  b.walk.resize(n);
+  b.replayed.assign(n, 0);
+
+  if (flow_cache_.enabled()) {
+    b.key.resize(n);
+    b.gen.resize(n);
+    // Phase 1: derive every cache key from the precomputed flow hash and
+    // issue its slot prefetch — by the time phase 2 probes slot i, the
+    // line has had n-i probes' worth of time to arrive.
+    for (std::size_t i = 0; i < n; ++i) {
+      b.key[i] = dataplane::make_flow_key(packets[indices[i]].vni, b.hash[i]);
+      b.gen[i] = effective_generation(packets[indices[i]].vni);
+      flow_cache_.prefetch(b.key[i]);
+    }
+    // Phase 2: probe in strict packet order — find/note_miss/insert
+    // mutate cache stats and admission state, and their sequence is part
+    // of the byte-identity contract. Only walks with no cache side
+    // effects (non-capture misses) defer to the SoA sweep.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const CachedWalk* hit = flow_cache_.find(b.key[i], b.gen[i])) {
+        b.walk[i] = *hit;  // copy: the pointer dies at the next insert
+        b.replayed[i] = 1;
+        continue;
+      }
+      if (flow_cache_.note_miss(b.key[i])) {
+        // Capture miss: walks alone so its delta window stays exact.
+        // Flush the deferred packets gathered so far first — their bulk
+        // counter adds must land outside the window.
+        flush_soa_walk(packets, indices);
+        snapshot_walk_counters();
+        asic::WalkSummary walked;
+        walker_->run(packets[indices[i]], entry_pipe_of(b.hash[i]),
+                     b.walk_ctx, walked, /*record_pass_hist=*/false);
+        b.walk[i] =
+            summarize_walk(b.walk_ctx, walked, /*capture_deltas=*/true);
+        flow_cache_.insert(b.key[i], b.gen[i], b.walk[i]);
+      } else {
+        b.pend.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      b.pend.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  flush_soa_walk(packets, indices);
+
+  // Phase 3: emit verdicts in packet order. Histogram records and the
+  // stateful fallback meter live here, so their streams are sample-for-
+  // sample what the scalar loop produces. Deferred walks suppressed their
+  // in-walk "asic.passes" record; replayed hits record theirs in finish.
+  for (std::size_t i = 0; i < n; ++i) {
+    // The verdict slots are write-allocated on first touch and the index
+    // stride defeats the hardware streamer — hint them in ahead.
+    if (i + 4 < n) {
+      char* slot = reinterpret_cast<char*>(&out[indices[i + 4]]);
+      __builtin_prefetch(slot, 1);
+      __builtin_prefetch(slot + 64, 1);
+      __builtin_prefetch(slot + 128, 1);
+    }
+    if (b.replayed[i] == 0) {
+      hist_passes_->record(static_cast<double>(b.walk[i].passes));
+    }
+    // In-place emission: finish_into writes every Verdict field, so the
+    // slot needs no clearing and no ForwardResult temporary is copied.
+    finish_into(out[indices[i]], packets[indices[i]], now, b.walk[i],
+                b.replayed[i] != 0);
+  }
+}
+
+void XgwH::flush_soa_walk(std::span<const net::OverlayPacket> packets,
+                          std::span<const std::uint32_t> indices) {
+  BatchScratch& b = batch_;
+  const std::size_t m = b.pend.size();
+  if (m == 0) return;
+  const bool fold = config_.compression.fold;
+
+  b.vni.resize(m);
+  b.entry_pipe.resize(m);
+  b.lb_pipe.resize(m);
+  b.exit_pipe.resize(m);
+  b.alive.assign(m, 1);
+  b.drop_code.assign(m, 0);
+  b.scope.assign(m, 0);
+  b.fallback.assign(m, 0);
+  b.has_nc.assign(m, 0);
+  b.tunnel_ip.resize(m);
+  b.nc_ip.resize(m);
+  b.rkey.resize(m);
+  b.rpart.resize(m);
+
+  // Counter totals, added in bulk at the end (counters commute, so only
+  // the totals must match the scalar walk's per-packet bumps).
+  std::array<std::uint64_t, 4> ing{};
+  std::array<std::uint64_t, 4> eg{};
+  std::uint64_t n_drops = 0, n_route_hit = 0, n_route_miss = 0;
+  std::uint64_t n_vm_hit = 0, n_vm_miss = 0, n_acl_deny = 0;
+
+  // Ingress pass 0: parse + entry + ACL. Every packet charges its entry
+  // pipe's ingress counter (the walker bumps it before any stage runs);
+  // folded survivors then cross to their shard's loopback egress.
+  b.work.clear();
+  for (std::size_t k = 0; k < m; ++k) {
+    const net::OverlayPacket& pkt = packets[indices[b.pend[k]]];
+    b.vni[k] = pkt.vni;
+    const unsigned entry = entry_pipe_of(b.hash[b.pend[k]]);
+    b.entry_pipe[k] = entry;
+    ++ing[entry];
+    if (pkt.vni > net::kMaxVni) {
+      b.alive[k] = 0;
+      b.drop_code[k] =
+          static_cast<std::uint8_t>(dataplane::DropReason::kInvalidVni);
+      continue;
+    }
+    b.lb_pipe[k] = 1 + 2 * shard_of(pkt.vni);
+    if (acl_.evaluate(pkt.vni, pkt.inner) == tables::AclVerdict::kDeny) {
+      ++n_acl_deny;
+      b.alive[k] = 0;
+      b.drop_code[k] =
+          static_cast<std::uint8_t>(dataplane::DropReason::kAclDeny);
+      continue;
+    }
+    if (fold) ++eg[b.lb_pipe[k]];
+    b.work.push_back(static_cast<std::uint32_t>(k));
+  }
+
+  // Route lookups, one software-pipelined sweep per peer hop: build the
+  // pooled key and prepare (TCAM directory probe + SRAM bucket prefetch)
+  // for the whole worklist, then resolve the whole worklist — each
+  // bucket's DRAM fetch hides behind the other keys' directory probes.
+  for (int hop = 0; hop < 4 && !b.work.empty(); ++hop) {
+    // Group the worklist by pipeline shard so each shard's ALPM gets one
+    // contiguous key span: the directory sweep then hashes + prefetches
+    // the whole span depth-major (the per-packet serial probe chain was
+    // the hot path's single largest stall).
+    for (unsigned s = 0; s < 2; ++s) {
+      b.shard_keys[s].clear();
+      b.shard_pos[s].clear();
+    }
+    for (std::uint32_t k : b.work) {
+      const net::OverlayPacket& pkt = packets[indices[b.pend[k]]];
+      b.rkey[k] = tables::make_pooled_key(b.vni[k], pkt.inner.dst);
+      const unsigned s = shard_of(b.vni[k]);
+      b.shard_keys[s].push_back(b.rkey[k]);
+      b.shard_pos[s].push_back(k);
+    }
+    for (unsigned s = 0; s < 2; ++s) {
+      b.shard_part[s].resize(b.shard_keys[s].size());
+      shards_[s].routes.lookup_prepare_batch(b.shard_keys[s],
+                                             b.shard_part[s]);
+      for (std::size_t j = 0; j < b.shard_pos[s].size(); ++j) {
+        b.rpart[b.shard_pos[s][j]] = b.shard_part[s][j];
+      }
+    }
+    b.next_work.clear();
+    for (std::uint32_t k : b.work) {
+      auto route = shards_[shard_of(b.vni[k])].routes.lookup_resolve(
+          b.rkey[k], b.rpart[k]);
+      if (!route) {
+        ++n_route_miss;
+        b.fallback[k] = 1;
+        continue;
+      }
+      ++n_route_hit;
+      switch (route->scope) {
+        case tables::RouteScope::kLocal:
+          b.scope[k] = static_cast<std::uint8_t>(route->scope);
+          break;
+        case tables::RouteScope::kPeer:
+          b.vni[k] = route->next_hop_vni;
+          b.next_work.push_back(k);
+          break;
+        case tables::RouteScope::kIdc:
+        case tables::RouteScope::kCrossRegion:
+          b.scope[k] = static_cast<std::uint8_t>(route->scope);
+          b.tunnel_ip[k] = route->remote_endpoint.value();
+          break;
+        case tables::RouteScope::kInternet:
+          b.fallback[k] = 1;
+          break;
+      }
+    }
+    std::swap(b.work, b.next_work);
+  }
+  // Hop budget exhausted with peers still pending: the scalar stage drops.
+  for (std::uint32_t k : b.work) {
+    b.alive[k] = 0;
+    b.drop_code[k] =
+        static_cast<std::uint8_t>(dataplane::DropReason::kPeerResolutionLoop);
+  }
+
+  // Pass 1 (folded): survivors loop back through the shard pipe's ingress
+  // and pick their exit pipe; unfolded exits through the entry pipe.
+  // Local-scope non-fallback packets queue for the VM-NC sweep.
+  b.work.clear();
+  for (std::size_t k = 0; k < m; ++k) {
+    if (!b.alive[k]) continue;
+    if (fold) ++ing[b.lb_pipe[k]];
+    b.exit_pipe[k] = fold ? (b.lb_pipe[k] == 1 ? 0u : 2u) : b.entry_pipe[k];
+    if (b.fallback[k] == 0 &&
+        static_cast<tables::RouteScope>(b.scope[k]) ==
+            tables::RouteScope::kLocal) {
+      b.work.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+
+  // VM-NC sweep: prefetch the mapping buckets a strip at a time, then
+  // resolve the strip. Strips keep the prefetched lines L1-resident —
+  // prefetching the whole burst up front left the early lines evicted by
+  // the time the resolve loop reached them. The mapping lives in the
+  // *resolved* VNI's shard, same as the scalar stage.
+  constexpr std::size_t kVmStrip = 64;
+  for (std::size_t s0 = 0; s0 < b.work.size(); s0 += kVmStrip) {
+    const std::size_t s1 = std::min(s0 + kVmStrip, b.work.size());
+    for (std::size_t j = s0; j < s1; ++j) {
+      const std::uint32_t k = b.work[j];
+      const net::OverlayPacket& pkt = packets[indices[b.pend[k]]];
+      shards_[shard_of(b.vni[k])].mappings.prefetch(b.vni[k], pkt.inner.dst);
+    }
+    for (std::size_t j = s0; j < s1; ++j) {
+      const std::uint32_t k = b.work[j];
+      const net::OverlayPacket& pkt = packets[indices[b.pend[k]]];
+      auto mapping =
+          shards_[shard_of(b.vni[k])].mappings.lookup(b.vni[k], pkt.inner.dst);
+      if (mapping) {
+        ++n_vm_hit;
+        b.has_nc[k] = 1;
+        b.nc_ip[k] = mapping->nc_ip.value();
+      } else {
+        ++n_vm_miss;
+        b.fallback[k] = 2;  // vm-stage fallback: bridged accounting differs
+      }
+    }
+  }
+
+  // Rewrite + summary fill. Passes and bridged bits are exact per-path
+  // constants of the pipeline program — DESIGN.md §15 derives them, and
+  // the batch-identity tests hold them to the walker's own accounting.
+  const net::IpAddr outer_src{config_.device_ip};
+  const net::IpAddr x86_hop{config_.x86_next_hop};
+  for (std::size_t k = 0; k < m; ++k) {
+    CachedWalk walk;  // delta_set stays kNoDeltaSet: nothing to replay
+    if (!b.alive[k]) {
+      // Pre-rewrite drops never touch the packet. A folded peer-loop drop
+      // dies in the loopback egress: it crossed once (the 1-bit shard
+      // field) and completed one pass; entry/ACL drops die in ingress.
+      walk.dropped = true;
+      walk.drop_code = b.drop_code[k];
+      const bool peer_loop =
+          b.drop_code[k] ==
+          static_cast<std::uint8_t>(dataplane::DropReason::kPeerResolutionLoop);
+      walk.passes = (fold && peer_loop) ? 1 : 0;
+      walk.bridged_bits = (fold && peer_loop) ? 1 : 0;
+      ++n_drops;
+      b.walk[b.pend[k]] = walk;
+      continue;
+    }
+    ++eg[b.exit_pipe[k]];  // the walker bumps it before the rewrite stage
+    const auto scope = static_cast<tables::RouteScope>(b.scope[k]);
+    const bool tunnel = b.fallback[k] == 0 &&
+                        (scope == tables::RouteScope::kIdc ||
+                         scope == tables::RouteScope::kCrossRegion);
+    walk.passes = fold ? 2 : 1;
+    walk.set_outer_src = true;
+    walk.outer_src = outer_src;
+    unsigned bridged = 0;
+    if (b.fallback[k] == 1) {
+      // Route stage steered to x86: fallback1+resolved24 crossed twice
+      // (folded) or once with the shard bit (unfolded).
+      bridged = fold ? 51u : 26u;
+      walk.act = static_cast<std::uint8_t>(kActFallback);
+      walk.outer_dst = x86_hop;
+    } else if (tunnel) {
+      // scope3+fallback1+resolved24+tunnel32, twice; +shard1 at entry.
+      bridged = fold ? 121u : 61u;
+      walk.act = static_cast<std::uint8_t>(kActTunnel);
+      walk.outer_dst = net::IpAddr(net::Ipv4Addr(b.tunnel_ip[k]));
+    } else if (b.fallback[k] == 2) {
+      // VM miss re-raises fallback: scope3+fallback1+resolved24, twice.
+      bridged = fold ? 57u : 29u;
+      walk.act = static_cast<std::uint8_t>(kActFallback);
+      walk.outer_dst = x86_hop;
+    } else if (b.has_nc[k]) {
+      // Local delivery: +nc32 on the final crossing.
+      bridged = fold ? 89u : 61u;
+      walk.act = static_cast<std::uint8_t>(kActForward);
+      walk.outer_dst = net::IpAddr(net::Ipv4Addr(b.nc_ip[k]));
+    } else {
+      // Local route, no NC, no fallback: the rewrite stage drops. The
+      // rewrite already wrote outer_src, so that mutation caches.
+      walk.dropped = true;
+      walk.drop_code =
+          static_cast<std::uint8_t>(dataplane::DropReason::kNoNcResolved);
+      walk.bridged_bits = fold ? 57u : 29u;
+      ++n_drops;
+      b.walk[b.pend[k]] = walk;
+      continue;
+    }
+    walk.set_outer_dst = true;
+    walk.egress_pipe = static_cast<std::uint8_t>(b.exit_pipe[k]);
+    walk.bridged_bits = static_cast<std::uint16_t>(bridged);
+    b.walk[b.pend[k]] = walk;
+  }
+
+  ctr_asic_packets_->add(m);
+  for (unsigned pipe = 0; pipe < 4; ++pipe) {
+    if (ing[pipe] != 0) ctr_asic_ingress_[pipe]->add(ing[pipe]);
+    if (eg[pipe] != 0) ctr_asic_egress_[pipe]->add(eg[pipe]);
+  }
+  if (n_drops != 0) ctr_asic_drops_->add(n_drops);
+  if (n_route_hit != 0) ctr_route_hit_->add(n_route_hit);
+  if (n_route_miss != 0) ctr_route_miss_->add(n_route_miss);
+  if (n_vm_hit != 0) ctr_vm_hit_->add(n_vm_hit);
+  if (n_vm_miss != 0) ctr_vm_miss_->add(n_vm_miss);
+  if (n_acl_deny != 0) ctr_acl_deny_->add(n_acl_deny);
+
+  b.pend.clear();
 }
 
 asic::GatewayWorkload XgwH::live_workload() const {

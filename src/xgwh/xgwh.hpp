@@ -131,6 +131,34 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
     return forward(packet, now);
   }
 
+  /// The SoA batched fast path (DESIGN.md §15): cache probes stay in
+  /// strict packet order (FlowCacheStats byte-exact), non-capture misses
+  /// walk the pipeline as a column-major batch with software-pipelined
+  /// table lookups, and verdicts emit in packet order. Byte-identical to
+  /// looping process() — verdicts, registry snapshots and cache stats.
+  void process_batch(std::span<const net::OverlayPacket> packets, double now,
+                     std::span<dataplane::Verdict> out) override;
+
+  /// Hash-threaded form: `flow_hashes[i]` must equal
+  /// `packets[i].inner.hash()` (the sharded engine's shard-steering hash).
+  /// Skips the per-packet tuple rehash for entry-pipe and cache-key
+  /// derivation.
+  void process_batch(std::span<const net::OverlayPacket> packets,
+                     std::span<const std::uint64_t> flow_hashes, double now,
+                     std::span<dataplane::Verdict> out) override;
+
+  /// The real batched fast path: the sharded engine hands each shard
+  /// sub-spans of one shared index list, so packets and verdicts are
+  /// never gathered/scattered through per-burst copies. `flow_hashes` may
+  /// be empty (hashes are then computed here, once per packet).
+  void process_batch_indexed(std::span<const net::OverlayPacket> packets,
+                             std::span<const std::uint64_t> flow_hashes,
+                             std::span<const std::uint32_t> indices,
+                             double now,
+                             std::span<dataplane::Verdict> out) override;
+
+  using dataplane::Gateway::process_batch;  // allocating convenience form
+
   // ---- telemetry ----------------------------------------------------------
 
   /// Bytes that crossed each loopback egress pipe (index = pipe).
@@ -253,11 +281,79 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
 
   // Fast-path plumbing.
   void snapshot_walk_counters();
-  CachedWalk summarize_walk(const asic::WalkResult& walked,
+  CachedWalk summarize_walk(const asic::PacketContext& ctx,
+                            const asic::WalkSummary& walked,
                             bool capture_deltas);
   std::uint32_t intern_delta_set(const std::vector<CounterDelta>& deltas);
   ForwardResult finish(const net::OverlayPacket& packet, double now,
                        const CachedWalk& walk, bool replayed);
+  /// finish() body writing straight into the caller's verdict slot — the
+  /// batch path emits without the intermediate ForwardResult copy. Every
+  /// Verdict field of `dest` is assigned; `extras`, when given, receives
+  /// the ForwardResult-only fields.
+  void finish_into(dataplane::Verdict& dest, const net::OverlayPacket& packet,
+                   double now, const CachedWalk& walk, bool replayed,
+                   ForwardResult* extras = nullptr);
+
+  /// Entry-pipe pick from the flow hash (the scalar path and the batch
+  /// path must agree bit-for-bit).
+  unsigned entry_pipe_of(std::uint64_t flow_hash) const {
+    return config_.compression.fold
+               ? (flow_hash & 1 ? 2u : 0u)
+               : static_cast<unsigned>(flow_hash & 3);
+  }
+
+  /// Walks the deferred (non-capture-miss) packets of the current burst as
+  /// a column-major SoA batch and fills their CachedWalk summaries.
+  void flush_soa_walk(std::span<const net::OverlayPacket> packets,
+                      std::span<const std::uint32_t> indices);
+
+  /// Reusable column-major scratch of the batched fast path (DESIGN.md
+  /// §15). A device is single-writer, so one scratch per device suffices;
+  /// vectors keep their capacity across bursts.
+  struct BatchScratch {
+    // Per-packet columns, indexed by POSITION in the burst's index list
+    // (not by the caller's packet index — positions are dense, indices
+    // may stride).
+    std::vector<dataplane::FlowKey> key;
+    std::vector<std::uint64_t> gen;
+    std::vector<CachedWalk> walk;
+    std::vector<std::uint8_t> replayed;
+    std::vector<std::uint64_t> hash;  // position-indexed flow hashes
+    std::vector<std::uint32_t> idx;   // identity list for contiguous calls
+    /// Burst positions whose walk is deferred to the SoA sweep (cache
+    /// misses that do NOT capture — or every packet when the cache is
+    /// off).
+    std::vector<std::uint32_t> pend;
+
+    // SoA walk columns, indexed by position in `pend`.
+    std::vector<net::Vni> vni;
+    std::vector<unsigned> entry_pipe;
+    std::vector<unsigned> lb_pipe;
+    std::vector<unsigned> exit_pipe;
+    std::vector<std::uint8_t> alive;
+    std::vector<std::uint8_t> drop_code;
+    std::vector<std::uint8_t> scope;  // tables::RouteScope of the route hit
+    std::vector<std::uint8_t> fallback;
+    std::vector<std::uint8_t> has_nc;
+    std::vector<std::uint32_t> tunnel_ip;
+    std::vector<std::uint32_t> nc_ip;
+    std::vector<tables::TcamKey> rkey;    // pooled route key per hop
+    std::vector<std::uint32_t> rpart;     // prepared ALPM partition
+    std::vector<std::uint32_t> work;      // current sweep's worklist
+    std::vector<std::uint32_t> next_work;
+    // Per-pipeline-shard gather lists for the batched directory sweep:
+    // the route stage groups the worklist by shard so each shard's ALPM
+    // sees one contiguous key span to software-pipeline.
+    std::vector<tables::TcamKey> shard_keys[2];
+    std::vector<std::uint32_t> shard_pos[2];
+    std::vector<std::uint32_t> shard_part[2];
+
+    /// Reused walk state for capture misses and the scalar forward() path
+    /// (borrowed-walker API; the Phv allocation amortizes across packets).
+    asic::PacketContext walk_ctx;
+  };
+  BatchScratch batch_;
 
   Config config_;
   std::array<Shard, 2> shards_;
@@ -313,6 +409,12 @@ class XgwH : public dataplane::Gateway, public dataplane::TableProgrammer {
   std::array<telemetry::Counter*, 4> ctr_pipe_bytes_{};
   telemetry::Histogram* hist_latency_ = nullptr;
   telemetry::Histogram* hist_passes_ = nullptr;  // walker's, for hit replay
+  // Walker-owned counters the SoA batch walk bumps in bulk (resolved by
+  // name after walker_->set_registry; no new registrations).
+  telemetry::Counter* ctr_asic_packets_ = nullptr;
+  telemetry::Counter* ctr_asic_drops_ = nullptr;
+  std::array<telemetry::Counter*, 4> ctr_asic_ingress_{};
+  std::array<telemetry::Counter*, 4> ctr_asic_egress_{};
 };
 
 }  // namespace sf::xgwh
