@@ -68,7 +68,7 @@ int main() {
   std::printf("per-table demand (gateway-wide):\n");
   sim::TablePrinter detail({"table", "SRAM words", "TCAM slices", "slot"});
   static const char* kSlots[] = {"Ingress 0/2", "Egress 1/3", "Ingress 1/3",
-                                 "Egress 0/2"};
+                                 "Egress 0/2", "Balanced"};
   for (const auto& demand : report.demands) {
     detail.add_row({demand.name, std::to_string(demand.sram_words),
                     std::to_string(demand.tcam_slices),

@@ -1,5 +1,6 @@
 #include "asic/memory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sf::asic {
@@ -9,6 +10,15 @@ ChipMemory::ChipMemory(const ChipConfig& config) : config_(config) {
   for (StageMemory& stage : stages_) {
     stage.sram_words_free = config.sram_words_per_stage();
     stage.tcam_slices_free = config.tcam_slices_per_stage();
+  }
+  pipe_free_.assign(std::size_t{config.pipelines} * 2, 0);
+  pipe_used_.assign(std::size_t{config.pipelines} * 2, 0);
+  first_free_stage_.assign(std::size_t{config.pipelines} * 2, 0);
+  for (unsigned p = 0; p < config.pipelines; ++p) {
+    pipe_free_[pipe_slot(p, MemoryKind::kSram)] =
+        config.sram_words_per_pipeline();
+    pipe_free_[pipe_slot(p, MemoryKind::kTcam)] =
+        config.tcam_slices_per_pipeline();
   }
 }
 
@@ -30,59 +40,65 @@ std::optional<std::vector<Extent>> ChipMemory::allocate(
     throw std::out_of_range("pipeline index out of range");
   }
   if (units == 0) return std::vector<Extent>{};
-  if (free_units(pipeline, kind) < units) return std::nullopt;
+  const std::size_t slot = pipe_slot(pipeline, kind);
+  if (pipe_free_[slot] < units) return std::nullopt;
 
   std::vector<Extent> extents;
   std::size_t remaining = units;
-  for (unsigned s = 0; s < config_.stages_per_pipeline && remaining > 0;
+  unsigned& cursor = first_free_stage_[slot];
+  for (unsigned s = cursor; s < config_.stages_per_pipeline && remaining > 0;
        ++s) {
     StageMemory& mem = stage(pipeline, s);
     std::size_t& free =
         kind == MemoryKind::kSram ? mem.sram_words_free : mem.tcam_slices_free;
     std::size_t& used =
         kind == MemoryKind::kSram ? mem.sram_words_used : mem.tcam_slices_used;
-    if (free == 0) continue;
+    if (free == 0) {
+      // Only advance past a contiguous exhausted prefix; a hole behind a
+      // non-empty stage must stay reachable.
+      if (s == cursor) ++cursor;
+      continue;
+    }
     const std::size_t take = std::min(free, remaining);
     free -= take;
     used += take;
     remaining -= take;
+    if (free == 0 && s == cursor) ++cursor;
     extents.push_back(Extent{pipeline, s, kind, take});
   }
-  allocations_.push_back(Allocation{owner, extents});
+  pipe_free_[slot] -= units;
+  pipe_used_[slot] += units;
+  if (track_allocations_) {
+    allocations_.push_back(Allocation{owner, extents});
+  }
   return extents;
 }
 
-void ChipMemory::release(const std::vector<Extent>& extents) {
-  for (const Extent& extent : extents) {
-    StageMemory& mem = stage(extent.pipeline, extent.stage);
-    if (extent.kind == MemoryKind::kSram) {
-      mem.sram_words_free += extent.units;
-      mem.sram_words_used -= extent.units;
-    } else {
-      mem.tcam_slices_free += extent.units;
-      mem.tcam_slices_used -= extent.units;
-    }
+void ChipMemory::release(const Extent& extent) {
+  StageMemory& mem = stage(extent.pipeline, extent.stage);
+  if (extent.kind == MemoryKind::kSram) {
+    mem.sram_words_free += extent.units;
+    mem.sram_words_used -= extent.units;
+  } else {
+    mem.tcam_slices_free += extent.units;
+    mem.tcam_slices_used -= extent.units;
   }
+  const std::size_t slot = pipe_slot(extent.pipeline, extent.kind);
+  pipe_free_[slot] += extent.units;
+  pipe_used_[slot] -= extent.units;
+  first_free_stage_[slot] = std::min(first_free_stage_[slot], extent.stage);
+}
+
+void ChipMemory::release(const std::vector<Extent>& extents) {
+  for (const Extent& extent : extents) release(extent);
 }
 
 std::size_t ChipMemory::free_units(unsigned pipeline, MemoryKind kind) const {
-  std::size_t total = 0;
-  for (unsigned s = 0; s < config_.stages_per_pipeline; ++s) {
-    const StageMemory& mem = stage(pipeline, s);
-    total += kind == MemoryKind::kSram ? mem.sram_words_free
-                                       : mem.tcam_slices_free;
-  }
-  return total;
+  return pipe_free_[pipe_slot(pipeline, kind)];
 }
 
 std::size_t ChipMemory::used_units(unsigned pipeline, MemoryKind kind) const {
-  std::size_t total = 0;
-  for (unsigned s = 0; s < config_.stages_per_pipeline; ++s) {
-    const StageMemory& mem = stage(pipeline, s);
-    total += kind == MemoryKind::kSram ? mem.sram_words_used
-                                       : mem.tcam_slices_used;
-  }
-  return total;
+  return pipe_used_[pipe_slot(pipeline, kind)];
 }
 
 std::size_t ChipMemory::capacity_units(unsigned pipeline,

@@ -6,6 +6,11 @@
 // the allocator here does the same: an allocation is a list of extents,
 // greedily packed stage by stage. Cross-pipeline placement is *not*
 // automatic; that is exactly the placer's job (asic/placer.hpp).
+//
+// Pipe-level totals are cached (free_units/used_units are O(1)) and a
+// first-free-stage cursor keeps allocate() from rescanning exhausted
+// front stages — the placer calls these in its innermost loop, and at 10M
+// routes the old per-stage recount dominated placement time.
 
 #pragma once
 
@@ -49,8 +54,11 @@ class ChipMemory {
                                               std::size_t units,
                                               const std::string& owner);
 
-  /// Releases previously allocated extents.
+  /// Releases previously allocated extents. Partial extents are fine: an
+  /// extent naming fewer units than were allocated in its stage releases
+  /// just those units (the incremental placer shrinks chains this way).
   void release(const std::vector<Extent>& extents);
+  void release(const Extent& extent);
 
   std::size_t free_units(unsigned pipeline, MemoryKind kind) const;
   std::size_t used_units(unsigned pipeline, MemoryKind kind) const;
@@ -61,7 +69,10 @@ class ChipMemory {
 
   const ChipConfig& config() const { return config_; }
 
-  /// Named allocations, for reports.
+  /// Named allocations, for reports. Retained layouts (asic/placement.hpp)
+  /// turn the log off: a long-lived placement applies unbounded deltas and
+  /// must not grow an owner-string ledger per allocation.
+  void set_track_allocations(bool track) { track_allocations_ = track; }
   struct Allocation {
     std::string owner;
     std::vector<Extent> extents;
@@ -71,9 +82,21 @@ class ChipMemory {
  private:
   StageMemory& stage(unsigned pipeline, unsigned stage_index);
   const StageMemory& stage(unsigned pipeline, unsigned stage_index) const;
+  std::size_t pipe_slot(unsigned pipeline, MemoryKind kind) const {
+    return std::size_t{pipeline} * 2 +
+           (kind == MemoryKind::kSram ? 0 : 1);
+  }
 
   ChipConfig config_;
   std::vector<StageMemory> stages_;  // pipeline-major
+  /// Cached per-(pipeline, kind) totals; index = pipeline * 2 + kind.
+  std::vector<std::size_t> pipe_free_;
+  std::vector<std::size_t> pipe_used_;
+  /// First stage that may still have free units, per (pipeline, kind):
+  /// every stage before the cursor is exhausted. allocate() advances it;
+  /// release() pulls it back.
+  std::vector<unsigned> first_free_stage_;
+  bool track_allocations_ = true;
   std::vector<Allocation> allocations_;
 };
 

@@ -4,26 +4,40 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tables/alpm.hpp"
 #include "tables/service_tables.hpp"
 #include "tables/tcam.hpp"
 
 namespace sf::asic {
 namespace {
 
-// Analytic ALPM estimate when no measured stats are supplied: partitions
-// sized by expected fill, one directory row (pooled key width) and a
-// reserved single-word bucket slot set per partition.
+// Analytic ALPM estimate when no measured stats are supplied. A positive
+// alpm_estimated_fill pins the legacy fixed-fill formula; otherwise the
+// calibrated model (tables::estimate_alpm_shape) supplies the fill curve.
+// Routes cost one SRAM word on SfChip (<=64-bit suffix + length + action
+// fits a 128-bit word); directory rows carry the 153-bit pooled key.
 AlpmDemand estimate_alpm(const ChipConfig& chip, std::size_t routes,
                          const CompressionConfig& config) {
-  const double fill = std::clamp(config.alpm_estimated_fill, 0.05, 1.0);
-  const std::size_t partitions = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(
-             static_cast<double>(routes) /
-             (fill * static_cast<double>(config.alpm_max_bucket)))));
+  const unsigned dir_slices =
+      chip.tcam_slices_per_entry(tables::kPooledRouteKeyBits);
+  if (config.alpm_estimated_fill > 0) {
+    const double fill = std::clamp(config.alpm_estimated_fill, 0.05, 1.0);
+    const std::size_t partitions = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               static_cast<double>(routes) /
+               (fill * static_cast<double>(config.alpm_max_bucket)))));
+    AlpmDemand demand;
+    demand.directory_slices = partitions * dir_slices;
+    demand.bucket_words = partitions * config.alpm_max_bucket;
+    return demand;
+  }
+  const unsigned route_words =
+      chip.sram_words_per_entry(64 + 8, tables::kVxlanRouteActionBits);
+  const tables::AlpmShapeEstimate estimate = tables::estimate_alpm_shape(
+      routes, config.alpm_max_bucket, dir_slices, route_words);
   AlpmDemand demand;
-  demand.directory_slices =
-      partitions * chip.tcam_slices_per_entry(tables::kPooledRouteKeyBits);
-  demand.bucket_words = partitions * config.alpm_max_bucket;
+  demand.directory_slices = estimate.directory_slices;
+  demand.bucket_words = estimate.bucket_words;
   return demand;
 }
 
@@ -127,148 +141,7 @@ std::vector<TableDemand> compute_demands(const ChipConfig& chip,
   return demands;
 }
 
-OccupancyReport Placer::evaluate(const GatewayWorkload& workload,
-                                 const CompressionConfig& config) const {
-  return place(compute_demands(chip_, workload, config), config);
-}
-
-OccupancyReport Placer::place(std::vector<TableDemand> demands,
-                              const CompressionConfig& config) const {
-  if (config.split && !config.fold) {
-    throw std::invalid_argument(
-        "table splitting between pipelines requires pipeline folding");
-  }
-
-  OccupancyReport report;
-  report.demands = demands;
-  report.pipes.resize(chip_.pipelines);
-
-  // Paths: folded -> {0,1} and {2,3}; unfolded -> each pipeline is an
-  // independent gateway holding everything.
-  struct Path {
-    std::vector<unsigned> pipes;
-  };
-  std::vector<Path> paths;
-  if (config.fold) {
-    for (unsigned p = 0; p + 1 < chip_.pipelines; p += 2) {
-      paths.push_back(Path{{p, p + 1}});
-    }
-  } else {
-    for (unsigned p = 0; p < chip_.pipelines; ++p) {
-      paths.push_back(Path{{p}});
-    }
-  }
-
-  ChipMemory memory(chip_);
-  bool feasible = true;
-  report.paths.resize(paths.size());
-  // Demand-based accounting per pipe (valid even when infeasible).
-  std::vector<std::size_t> sram_demand(chip_.pipelines, 0);
-  std::vector<std::size_t> tcam_demand(chip_.pipelines, 0);
-
-  for (std::size_t path_index = 0; path_index < paths.size(); ++path_index) {
-    const Path& path = paths[path_index];
-    std::size_t path_sram = 0;
-    std::size_t path_tcam = 0;
-    for (const TableDemand& table : demands) {
-      // Shard across paths under (b); otherwise every path replicates.
-      std::size_t sram = table.sram_words;
-      std::size_t tcam = table.tcam_slices;
-      if (config.split && table.shardable && paths.size() > 1) {
-        sram = (sram + paths.size() - 1) / paths.size();
-        tcam = (tcam + paths.size() - 1) / paths.size();
-      }
-
-      // Slot decides the preferred pipe on the path: front = first pipe,
-      // back = second (same pipe when unfolded).
-      path_sram += sram;
-      path_tcam += tcam;
-      const bool back_slot = table.slot == PathSlot::kBackEgress ||
-                             table.slot == PathSlot::kBackIngress;
-      const unsigned preferred =
-          path.pipes[back_slot && path.pipes.size() > 1 ? 1 : 0];
-      const unsigned other =
-          path.pipes[path.pipes.size() > 1 ? (back_slot ? 0 : 1) : 0];
-      const bool balanced =
-          table.slot == PathSlot::kBalanced && path.pipes.size() > 1;
-
-      for (auto [kind, units] :
-           {std::pair{MemoryKind::kSram, sram},
-            std::pair{MemoryKind::kTcam, tcam}}) {
-        if (units == 0) continue;
-        auto& demand_vec =
-            kind == MemoryKind::kSram ? sram_demand : tcam_demand;
-        // Balanced tables split half/half across the path's pipes ("tables
-        // should be evenly distributed in different pipelines"); slotted
-        // tables try their pipe and spill the remainder to the sibling
-        // ("mapping large tables across pipelines").
-        const std::size_t want_first = balanced ? (units + 1) / 2 : units;
-        const std::size_t room = memory.free_units(preferred, kind);
-        const std::size_t first = std::min(want_first, room);
-        if (first > 0 &&
-            memory.allocate(preferred, kind, first, table.name)) {
-          demand_vec[preferred] += first;
-        }
-        std::size_t rest = units - first;
-        if (rest > 0) {
-          if (other != preferred) {
-            const std::size_t other_room = memory.free_units(other, kind);
-            const std::size_t second = std::min(rest, other_room);
-            if (second > 0 &&
-                memory.allocate(other, kind, second, table.name)) {
-              demand_vec[other] += second;
-              rest -= second;
-            }
-            // A balanced table's own overflow may still fit back on the
-            // first pipe.
-            if (rest > 0) {
-              const std::size_t back_room =
-                  memory.free_units(preferred, kind);
-              const std::size_t third = std::min(rest, back_room);
-              if (third > 0 &&
-                  memory.allocate(preferred, kind, third, table.name)) {
-                demand_vec[preferred] += third;
-                rest -= third;
-              }
-            }
-          }
-        }
-        if (rest > 0) {
-          // Out of memory: record the unplaced demand against the
-          // preferred pipe so occupancy shows the overflow.
-          demand_vec[preferred] += rest;
-          feasible = false;
-        }
-      }
-    }
-    const double path_capacity_scale =
-        static_cast<double>(path.pipes.size());
-    report.paths[path_index].sram =
-        static_cast<double>(path_sram) /
-        (path_capacity_scale *
-         static_cast<double>(chip_.sram_words_per_pipeline()));
-    report.paths[path_index].tcam =
-        static_cast<double>(path_tcam) /
-        (path_capacity_scale *
-         static_cast<double>(chip_.tcam_slices_per_pipeline()));
-    report.sram_path_worst =
-        std::max(report.sram_path_worst, report.paths[path_index].sram);
-    report.tcam_path_worst =
-        std::max(report.tcam_path_worst, report.paths[path_index].tcam);
-  }
-
-  for (unsigned p = 0; p < chip_.pipelines; ++p) {
-    report.pipes[p].sram =
-        static_cast<double>(sram_demand[p]) /
-        static_cast<double>(chip_.sram_words_per_pipeline());
-    report.pipes[p].tcam =
-        static_cast<double>(tcam_demand[p]) /
-        static_cast<double>(chip_.tcam_slices_per_pipeline());
-    report.sram_worst = std::max(report.sram_worst, report.pipes[p].sram);
-    report.tcam_worst = std::max(report.tcam_worst, report.pipes[p].tcam);
-  }
-  report.feasible = feasible;
-  return report;
-}
+// Placer::evaluate()/place()/place_layout()/replace() live in
+// asic/placement.cpp with the retained-layout machinery they share.
 
 }  // namespace sf::asic

@@ -64,12 +64,26 @@ struct CompressionConfig {
   bool pool = false;      // (c)
   bool compress = false;  // (d)
   bool alpm = false;      // (e)
+  /// (f) cross-path spill: when a table overflows both pipes of its own
+  /// path, keep spilling into the *other* paths' pipes (same slot position
+  /// first, then the sibling) before declaring the demand unplaced. Off by
+  /// default — the paper's 4-pipe chip never needs it; the 10M-route
+  /// multi-pipeline scenarios do.
+  bool cross_path_spill = false;
 
   std::size_t alpm_max_bucket = 32;
   /// Expected bucket fill used for the analytic ALPM estimate when no
-  /// measured stats are provided.
-  double alpm_estimated_fill = 0.7;
+  /// measured stats are provided. A positive value pins the legacy
+  /// fixed-fill formula; <= 0 (the default) selects the calibrated model
+  /// (tables::estimate_alpm_shape), which tracks Alpm::stats() within 5%
+  /// from 1M to 10M routes.
+  double alpm_estimated_fill = 0;
   std::optional<AlpmDemand> measured_alpm;
+
+  /// Placer::replace() falls back to a full recompute once a layout has
+  /// accumulated this many fragmentation events (off-plan spill segments
+  /// opened or emptied by incremental moves).
+  std::size_t replace_fragmentation_limit = 64;
 
   static CompressionConfig none() { return {}; }
   static CompressionConfig all() {
@@ -124,6 +138,9 @@ std::vector<TableDemand> compute_demands(const ChipConfig& chip,
                                          const GatewayWorkload& workload,
                                          const CompressionConfig& config);
 
+class Placement;
+struct WorkloadDelta;
+
 class Placer {
  public:
   explicit Placer(ChipConfig chip) : chip_(chip) {}
@@ -136,6 +153,27 @@ class Placer {
   /// adds service tables with explicit slots).
   OccupancyReport place(std::vector<TableDemand> demands,
                         const CompressionConfig& config) const;
+
+  // ---- retained layouts (asic/placement.hpp) -----------------------------
+  // Same arithmetic as evaluate()/place(), but the result keeps the full
+  // layout (per-table spill chains, extents, chip memory) so deltas can be
+  // applied in place instead of recomputing everything.
+
+  Placement place_layout(const GatewayWorkload& workload,
+                         const CompressionConfig& config) const;
+  Placement place_layout(std::vector<TableDemand> demands,
+                         const CompressionConfig& config,
+                         const GatewayWorkload& workload) const;
+
+  /// Applies a workload delta to an existing layout. Incremental moves
+  /// touch only the affected tables' spill chains; the result is always
+  /// occupancy-identical to a from-scratch placement of the new workload
+  /// (the engine falls back to a full recompute whenever the incremental
+  /// layout would diverge, or once fragmentation crosses
+  /// CompressionConfig::replace_fragmentation_limit). Defined for layouts
+  /// built from a GatewayWorkload — demand-vector layouts (Table 4 style)
+  /// should be re-placed instead.
+  Placement replace(const Placement& base, const WorkloadDelta& delta) const;
 
   const ChipConfig& chip() const { return chip_; }
 

@@ -33,6 +33,10 @@ Controller::Controller(Config config)
     ctr_overflow_admitted_ =
         &registry_->counter("controller.overflow_vpcs_admitted");
   }
+  if (config_.placement_enabled) {
+    placement_engine_ =
+        std::make_unique<asic::PlacementEngine>(config_.placement);
+  }
   if (config_.breaker.trip_after > 0 && guard::guard_enabled()) {
     breaker_ = std::make_unique<guard::CircuitBreaker>(config_.breaker);
     ctr_breaker_trips_ = &registry_->counter("controller.breaker_trips");
@@ -279,7 +283,16 @@ dataplane::BatchResult Controller::apply(const dataplane::TableOpBatch& batch) {
   for (const TableOp& op : batch.ops) {
     result.record(apply_one(op));
   }
+  // One incremental re-placement per batch, not per op: the whole batch's
+  // churn lands as a single WorkloadDelta.
+  flush_placement_delta();
   return result;
+}
+
+void Controller::flush_placement_delta() {
+  if (!placement_engine_ || pending_placement_delta_.empty()) return;
+  placement_engine_->apply(pending_placement_delta_);
+  pending_placement_delta_ = {};
 }
 
 dataplane::TableOpStatus Controller::apply_one(const TableOp& op) {
@@ -335,6 +348,15 @@ dataplane::TableOpStatus Controller::apply_install_route(
   });
   if (existing == routes.end()) {
     routes.push_back({prefix, action});
+    // New hardware-tier entry: placement demand grows (replaced actions
+    // occupy the same slot; software-tier entries occupy no ASIC memory).
+    if (placement_engine_ && !software_tier) {
+      if (prefix.family() == net::IpFamily::kV4) {
+        ++pending_placement_delta_.vxlan_routes_v4;
+      } else {
+        ++pending_placement_delta_.vxlan_routes_v6;
+      }
+    }
   } else {
     existing->second = action;
   }
@@ -373,6 +395,13 @@ dataplane::TableOpStatus Controller::apply_remove_route(
     return dataplane::TableOpStatus::kRateLimited;
   }
   routes.erase(existing);
+  if (placement_engine_ && !software_tier) {
+    if (prefix.family() == net::IpFamily::kV4) {
+      --pending_placement_delta_.vxlan_routes_v4;
+    } else {
+      --pending_placement_delta_.vxlan_routes_v6;
+    }
+  }
   const dataplane::TableOpStatus status =
       software_tier
           ? dataplane::TableOpStatus::kOk
@@ -404,6 +433,13 @@ dataplane::TableOpStatus Controller::apply_install_mapping(
       });
   if (existing == mappings.end()) {
     mappings.push_back({key, action});
+    if (placement_engine_ && !software_tier) {
+      if (key.vm_ip.family() == net::IpFamily::kV4) {
+        ++pending_placement_delta_.vm_maps_v4;
+      } else {
+        ++pending_placement_delta_.vm_maps_v6;
+      }
+    }
   } else {
     existing->second = action;
   }
@@ -430,6 +466,13 @@ dataplane::TableOpStatus Controller::apply_remove_mapping(
     return dataplane::TableOpStatus::kRateLimited;
   }
   mappings.erase(existing);
+  if (placement_engine_ && !software_tier) {
+    if (key.vm_ip.family() == net::IpFamily::kV4) {
+      --pending_placement_delta_.vm_maps_v4;
+    } else {
+      --pending_placement_delta_.vm_maps_v6;
+    }
+  }
   const dataplane::TableOpStatus status =
       software_tier
           ? dataplane::TableOpStatus::kOk

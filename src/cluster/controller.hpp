@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "asic/placement.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/load_balancer.hpp"
 #include "cluster/update_queue.hpp"
@@ -64,6 +65,15 @@ class Controller : public dataplane::TableProgrammer {
     /// tenants entirely below the ASIC (DESIGN.md §11). Off by default:
     /// existing deployments keep refusing, byte-identically.
     bool admit_overflow = false;
+    /// Incremental ASIC placement engine (DESIGN.md §16): every applied
+    /// hardware-tier table op is accumulated into a WorkloadDelta and
+    /// driven through Placer::replace() at the end of each apply() batch,
+    /// so TableOpBatch churn maintains a live layout instead of forcing
+    /// full recomputes. Software-tier ops are excluded (they occupy no
+    /// ASIC memory). Off by default: nothing is built, snapshots stay
+    /// byte-identical.
+    bool placement_enabled = false;
+    asic::PlacementEngine::Config placement;
   };
 
   /// Sentinel cluster id of software-tier (overflow-admitted) VPCs.
@@ -126,6 +136,12 @@ class Controller : public dataplane::TableProgrammer {
   /// The update-channel circuit breaker; nullptr when not configured (or
   /// gated off by SF_GUARD).
   const guard::CircuitBreaker* breaker() const { return breaker_.get(); }
+
+  /// The live incremental placement engine; nullptr unless
+  /// Config::placement_enabled.
+  const asic::PlacementEngine* placement_engine() const {
+    return placement_engine_.get();
+  }
 
   /// Models losing the update channel to the devices entirely: while down,
   /// every table push is deferred (direct install/remove calls return
@@ -242,6 +258,9 @@ class Controller : public dataplane::TableProgrammer {
   /// Picks (or opens) a cluster with capacity; nullopt when sales close.
   std::optional<std::uint32_t> assign_cluster();
   void mirror(const TableOp& op);
+  /// Pushes the batch's accumulated workload delta through the placement
+  /// engine (no-op when disabled or the delta is empty).
+  void flush_placement_delta();
   /// Update-channel token bucket (table_op_rate_limit / table_op_burst).
   /// Every outcome feeds the circuit breaker when one is configured.
   bool take_op_token();
@@ -265,6 +284,10 @@ class Controller : public dataplane::TableProgrammer {
   std::unique_ptr<UpdateQueue> retry_queue_;
   /// Built only when configured (trip_after > 0) and SF_GUARD allows it.
   std::unique_ptr<guard::CircuitBreaker> breaker_;
+  /// Built only when Config::placement_enabled.
+  std::unique_ptr<asic::PlacementEngine> placement_engine_;
+  /// Hardware-tier entry churn accumulated since the last flush.
+  asic::WorkloadDelta pending_placement_delta_;
 
   std::unique_ptr<telemetry::Registry> registry_;
   std::unique_ptr<telemetry::EventJournal> journal_;

@@ -247,6 +247,29 @@ void SailfishRegion::publish_pressure_gauges(double now) {
     registry_->gauge("region.dpu.table_occupancy")
         .set(capacity > 0 ? entries / capacity : 0);
   }
+  if (const asic::PlacementEngine* engine = controller_.placement_engine()) {
+    const asic::Placement& placement = engine->placement();
+    const asic::ChipConfig& chip = placement.chip();
+    for (unsigned p = 0; p < chip.pipelines; ++p) {
+      const std::string prefix =
+          "region.placement.pipe" + std::to_string(p);
+      registry_->gauge(prefix + ".sram_words")
+          .set(static_cast<double>(
+              placement.pipe_units(p, asic::MemoryKind::kSram)));
+      registry_->gauge(prefix + ".tcam_slices")
+          .set(static_cast<double>(
+              placement.pipe_units(p, asic::MemoryKind::kTcam)));
+    }
+    const asic::PlacementStats& stats = placement.stats();
+    registry_->gauge("region.placement.spill_segments")
+        .set(static_cast<double>(placement.spill_segment_count()));
+    registry_->gauge("region.placement.delta_applies")
+        .set(static_cast<double>(stats.delta_applies));
+    registry_->gauge("region.placement.full_recomputes")
+        .set(static_cast<double>(stats.full_recomputes));
+    registry_->gauge("region.placement.feasible")
+        .set(placement.feasible() ? 1.0 : 0.0);
+  }
 }
 
 dataplane::Verdict SailfishRegion::process(const net::OverlayPacket& packet,

@@ -39,6 +39,28 @@
 
 namespace sf::tables {
 
+/// Analytic model of Alpm<...>::Stats for capacity planning without
+/// building the trie.
+struct AlpmShapeEstimate {
+  std::size_t partitions = 0;
+  std::size_t directory_slices = 0;
+  std::size_t bucket_words = 0;  // reserved SRAM words (partitions x bound)
+};
+
+/// Expected bucket fill (routes / reserved slots) for a given bucket
+/// bound, calibrated against Alpm::stats() on the paper's Zipf route
+/// workload (60k VPCs, 75/25 v4/v6) from 1M to 10M routes.
+double expected_alpm_fill(std::size_t max_bucket_entries);
+
+/// Calibrated shape estimate: tracks Alpm::stats() within 5% from 1M to
+/// 10M routes at the default bucket bound (regression-pinned).
+/// `slices_per_directory_entry` and `words_per_route` carry the chip's
+/// cost model (pooled-key directory rows, one-word routes on SfChip).
+AlpmShapeEstimate estimate_alpm_shape(std::size_t routes,
+                                      std::size_t max_bucket_entries,
+                                      unsigned slices_per_directory_entry,
+                                      unsigned words_per_route);
+
 template <typename Value>
 class Alpm {
  public:

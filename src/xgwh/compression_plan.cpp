@@ -23,6 +23,9 @@ asic::CompressionConfig config_for_steps(std::string_view steps) {
       case 'e':
         config.alpm = true;
         break;
+      case 'f':
+        config.cross_path_spill = true;
+        break;
       default:
         throw std::invalid_argument(std::string("unknown compression step: ") +
                                     step);
@@ -30,6 +33,11 @@ asic::CompressionConfig config_for_steps(std::string_view steps) {
   }
   if (config.split && !config.fold) {
     throw std::invalid_argument("step b requires step a (folding)");
+  }
+  if (config.cross_path_spill && !config.fold) {
+    // Unfolded paths are replicated full gateways; borrowing another
+    // replica's pipe would break lookup locality.
+    throw std::invalid_argument("step f requires step a (folding)");
   }
   return config;
 }
@@ -56,6 +64,8 @@ std::string step_description(char step) {
       return "Compressing longer table entries";
     case 'e':
       return "TCAM conservation for large FIBs (ALPM)";
+    case 'f':
+      return "Cross-path spill (multi-pipeline overflow)";
   }
   return "?";
 }

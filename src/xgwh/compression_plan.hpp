@@ -12,11 +12,13 @@
 
 namespace sf::xgwh {
 
-/// Builds a config enabling the given step letters (subset of "abcde"):
+/// Builds a config enabling the given step letters (subset of "abcdef"):
 ///   a = pipeline folding            b = table splitting between pipelines
 ///   c = IPv4/IPv6 table pooling     d = compressing longer table entries
-///   e = TCAM conservation (ALPM)
-/// Throws std::invalid_argument on unknown letters or b-without-a.
+///   e = TCAM conservation (ALPM)    f = cross-path spill (multi-pipeline
+///                                       overflow; requires a)
+/// Throws std::invalid_argument on unknown letters, b-without-a or
+/// f-without-a.
 asic::CompressionConfig config_for_steps(std::string_view steps);
 
 /// The cumulative step sequence of Fig. 17:

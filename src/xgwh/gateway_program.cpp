@@ -31,9 +31,38 @@ std::vector<LogicalTableInfo> gateway_table_layout() {
   };
 }
 
+std::vector<std::string> lookup_table_names(
+    const asic::CompressionConfig& config, net::IpFamily family) {
+  const bool v4 = family == net::IpFamily::kV4;
+  std::vector<std::string> names;
+  // Ingress front pipe.
+  names.push_back("acl");
+  if (config.alpm) {
+    names.push_back("vxlan_route_alpm_dir");
+    names.push_back("vxlan_route_alpm_buckets");
+  } else if (config.pool) {
+    names.push_back("vxlan_route_pooled");
+  } else {
+    names.push_back(v4 ? "vxlan_route_v4" : "vxlan_route_v6");
+  }
+  // Egress back pipe.
+  names.push_back("fallback_steering");
+  // Ingress back pipe.
+  if (config.compress) {
+    names.push_back("vm_nc_pooled");
+    names.push_back("vm_nc_conflicts");
+  } else {
+    names.push_back(v4 ? "vm_nc_v4" : "vm_nc_v6");
+  }
+  names.push_back("meters");
+  // Egress front pipe.
+  names.push_back("counters");
+  return names;
+}
+
 std::string describe_gateway_layout() {
   static const char* kSlotNames[] = {"Ingress 0/2", "Egress 1/3",
-                                     "Ingress 1/3", "Egress 0/2"};
+                                     "Ingress 1/3", "Egress 0/2", "Balanced"};
   std::ostringstream out;
   for (const LogicalTableInfo& info : gateway_table_layout()) {
     out << kSlotNames[static_cast<int>(info.slot)] << "  "

@@ -25,4 +25,13 @@ std::vector<LogicalTableInfo> gateway_table_layout();
 /// Renders the layout as a table-per-line summary (README/bench output).
 std::string describe_gateway_layout();
 
+/// Placement-table names (asic::compute_demands naming) a packet of the
+/// given IP family consults under a compression config, in lookup order
+/// along the folded path (Ingress front -> Egress back -> Ingress back ->
+/// Egress front). Service tables are listed unconditionally; callers
+/// intersect with the tables their workload actually placed. The
+/// differential placement tester walks packets through exactly this list.
+std::vector<std::string> lookup_table_names(
+    const asic::CompressionConfig& config, net::IpFamily family);
+
 }  // namespace sf::xgwh

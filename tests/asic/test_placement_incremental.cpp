@@ -1,0 +1,359 @@
+// Incremental re-placement (DESIGN.md §16): retained layouts, the
+// replace() parity invariant, spill-chain ordering and the fragmentation
+// fallback.
+
+#include "asic/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asic/placer.hpp"
+
+namespace sf::asic {
+namespace {
+
+GatewayWorkload small_workload() {
+  GatewayWorkload w = empty_gateway_workload();
+  w.vxlan_routes_v4 = 150'000;
+  w.vxlan_routes_v6 = 50'000;
+  w.vm_maps_v4 = 150'000;
+  w.vm_maps_v6 = 50'000;
+  w.digest_conflicts = 8;
+  w.meters = 40'000;
+  w.counters = 120'000;
+  w.steering_entries = 64;
+  return w;
+}
+
+void expect_accounting_parity(const Placement& got, const Placement& want) {
+  ASSERT_EQ(got.chip().pipelines, want.chip().pipelines);
+  for (unsigned p = 0; p < got.chip().pipelines; ++p) {
+    EXPECT_EQ(got.pipe_units(p, MemoryKind::kSram),
+              want.pipe_units(p, MemoryKind::kSram))
+        << "SRAM pipe " << p;
+    EXPECT_EQ(got.pipe_units(p, MemoryKind::kTcam),
+              want.pipe_units(p, MemoryKind::kTcam))
+        << "TCAM pipe " << p;
+  }
+  EXPECT_EQ(got.feasible(), want.feasible());
+  ASSERT_EQ(got.table_count(), want.table_count());
+  for (std::size_t t = 0; t < got.table_count(); ++t) {
+    EXPECT_EQ(got.demand(t).name, want.demand(t).name);
+    for (MemoryKind kind : {MemoryKind::kSram, MemoryKind::kTcam}) {
+      EXPECT_EQ(got.sharded_units(t, kind), want.sharded_units(t, kind))
+          << got.demand(t).name;
+      for (std::size_t path = 0; path < got.paths().size(); ++path) {
+        EXPECT_EQ(got.placed_units(t, path, kind),
+                  want.placed_units(t, path, kind))
+            << got.demand(t).name << " path " << path;
+        EXPECT_EQ(got.unplaced_units(t, path, kind),
+                  want.unplaced_units(t, path, kind))
+            << got.demand(t).name << " path " << path;
+      }
+    }
+  }
+  const OccupancyReport a = got.report();
+  const OccupancyReport b = want.report();
+  for (unsigned p = 0; p < got.chip().pipelines; ++p) {
+    EXPECT_DOUBLE_EQ(a.pipes[p].sram, b.pipes[p].sram);
+    EXPECT_DOUBLE_EQ(a.pipes[p].tcam, b.pipes[p].tcam);
+  }
+  EXPECT_DOUBLE_EQ(a.sram_path_worst, b.sram_path_worst);
+  EXPECT_DOUBLE_EQ(a.tcam_path_worst, b.tcam_path_worst);
+  EXPECT_EQ(a.feasible, b.feasible);
+}
+
+TEST(WorkloadDelta, EmptyMagnitudeAndClamp) {
+  WorkloadDelta delta;
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.magnitude(), 0u);
+
+  delta.vxlan_routes_v4 = 10;
+  delta.meters = -4;
+  EXPECT_FALSE(delta.empty());
+  EXPECT_EQ(delta.magnitude(), 14u);
+
+  GatewayWorkload w = empty_gateway_workload();
+  w.meters = 1;  // shrinking by 4 clamps at zero
+  const GatewayWorkload next = delta.applied_to(w);
+  EXPECT_EQ(next.vxlan_routes_v4, 10u);
+  EXPECT_EQ(next.meters, 0u);
+
+  WorkloadDelta other;
+  other.vxlan_routes_v4 = -3;
+  delta += other;
+  EXPECT_EQ(delta.vxlan_routes_v4, 7);
+}
+
+TEST(Placement, RetainedLayoutReportMatchesEvaluate) {
+  const Placer placer{ChipConfig{}};
+  const GatewayWorkload w = small_workload();
+  for (const CompressionConfig& config :
+       {CompressionConfig::none(), CompressionConfig::all()}) {
+    const OccupancyReport direct = placer.evaluate(w, config);
+    const OccupancyReport retained =
+        placer.place_layout(w, config).report();
+    ASSERT_EQ(direct.pipes.size(), retained.pipes.size());
+    for (std::size_t p = 0; p < direct.pipes.size(); ++p) {
+      EXPECT_DOUBLE_EQ(direct.pipes[p].sram, retained.pipes[p].sram);
+      EXPECT_DOUBLE_EQ(direct.pipes[p].tcam, retained.pipes[p].tcam);
+    }
+    EXPECT_DOUBLE_EQ(direct.sram_path_worst, retained.sram_path_worst);
+    EXPECT_DOUBLE_EQ(direct.tcam_path_worst, retained.tcam_path_worst);
+    EXPECT_EQ(direct.feasible, retained.feasible);
+    ASSERT_EQ(direct.demands.size(), retained.demands.size());
+  }
+}
+
+// Spill-ordering invariant: a slotted table overflowing its preferred
+// pipe spills to the path's *other* pipe — front slots run first pipe ->
+// second, back slots second -> first (the §4.4 lookup order Ingress
+// front -> Egress back -> Ingress back -> Egress front).
+TEST(Placement, SlotSpillOrdering) {
+  const ChipConfig chip;
+  const Placer placer(chip);
+  CompressionConfig config;
+  config.fold = true;
+
+  struct Case {
+    PathSlot slot;
+    unsigned want_first;   // pipe of the chain's first segment on path 0
+    unsigned want_second;  // spill pipe
+  };
+  const Case cases[] = {
+      {PathSlot::kFrontIngress, 0, 1},
+      {PathSlot::kBackEgress, 1, 0},
+      {PathSlot::kBackIngress, 1, 0},
+      {PathSlot::kFrontEgress, 0, 1},
+  };
+  const std::size_t cap = chip.sram_words_per_pipeline();
+  for (const Case& c : cases) {
+    std::vector<TableDemand> demands{
+        {"big", cap + cap / 2, 0, false, c.slot}};
+    const Placement layout =
+        placer.place_layout(demands, config, empty_gateway_workload());
+    const auto segments = layout.segments(0, 0, MemoryKind::kSram);
+    ASSERT_EQ(segments.size(), 2u) << static_cast<int>(c.slot);
+    EXPECT_EQ(segments[0].pipe, c.want_first);
+    EXPECT_EQ(segments[0].units, cap);
+    EXPECT_EQ(segments[1].pipe, c.want_second);
+    EXPECT_EQ(segments[1].units, cap / 2);
+    EXPECT_EQ(layout.spill_segment_count(), 2u);  // one per path
+    EXPECT_TRUE(layout.feasible());
+  }
+}
+
+TEST(Placement, BalancedSplitsHalfAndHalf) {
+  const ChipConfig chip;
+  const Placer placer(chip);
+  CompressionConfig config;
+  config.fold = true;
+  std::vector<TableDemand> demands{
+      {"bal", 100'001, 0, false, PathSlot::kBalanced}};
+  const Placement layout =
+      placer.place_layout(demands, config, empty_gateway_workload());
+  const auto segments = layout.segments(0, 0, MemoryKind::kSram);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].pipe, 0u);
+  EXPECT_EQ(segments[0].units, 50'001u);
+  EXPECT_EQ(segments[1].pipe, 1u);
+  EXPECT_EQ(segments[1].units, 50'000u);
+}
+
+// Cross-path spill (technique f): after both pipes of the home path, the
+// chain continues into the *other* paths' pipes, same slot position
+// first, then their sibling.
+TEST(Placement, CrossPathSpillOrdering) {
+  const ChipConfig chip;
+  const Placer placer(chip);
+  CompressionConfig config;
+  config.fold = true;
+  config.cross_path_spill = true;
+
+  const std::size_t cap = chip.sram_words_per_pipeline();
+  std::vector<TableDemand> demands{
+      {"huge", 2 * cap + cap / 2, 0, false, PathSlot::kBackIngress}};
+  const Placement layout =
+      placer.place_layout(demands, config, empty_gateway_workload());
+
+  // Path 0 = {0,1}, back slot: preferred 1, sibling 0, then path 1's
+  // back pipe 3, then its sibling 2.
+  const auto path0 = layout.segments(0, 0, MemoryKind::kSram);
+  ASSERT_EQ(path0.size(), 3u);
+  EXPECT_EQ(path0[0].pipe, 1u);
+  EXPECT_EQ(path0[0].units, cap);
+  EXPECT_EQ(path0[1].pipe, 0u);
+  EXPECT_EQ(path0[1].units, cap);
+  EXPECT_EQ(path0[2].pipe, 3u);
+  EXPECT_EQ(path0[2].units, cap / 2);
+
+  // Path 1 replicates the bill but only half of pipe 3 plus pipe 2 are
+  // left — the rest is unplaced and the layout infeasible.
+  const auto path1 = layout.segments(0, 1, MemoryKind::kSram);
+  ASSERT_EQ(path1.size(), 2u);
+  EXPECT_EQ(path1[0].pipe, 3u);
+  EXPECT_EQ(path1[0].units, cap / 2);
+  EXPECT_EQ(path1[1].pipe, 2u);
+  EXPECT_EQ(path1[1].units, cap);
+  EXPECT_EQ(layout.unplaced_units(0, 1, MemoryKind::kSram), cap);
+  EXPECT_FALSE(layout.feasible());
+
+  // Without (f) the same demand stops at the home path.
+  config.cross_path_spill = false;
+  const Placement gated =
+      placer.place_layout(demands, config, empty_gateway_workload());
+  EXPECT_EQ(gated.segments(0, 0, MemoryKind::kSram).size(), 2u);
+  EXPECT_EQ(gated.unplaced_units(0, 0, MemoryKind::kSram), cap / 2);
+}
+
+TEST(Placement, ReplaceGrowMatchesFreshPlacement) {
+  const Placer placer{ChipConfig{}};
+  const CompressionConfig config = CompressionConfig::all();
+  const GatewayWorkload base_workload = small_workload();
+  const Placement base = placer.place_layout(base_workload, config);
+
+  WorkloadDelta delta;
+  delta.vxlan_routes_v4 = 60'000;
+  delta.vm_maps_v6 = 20'000;
+  const Placement next = placer.replace(base, delta);
+  EXPECT_EQ(next.workload().vxlan_routes_v4,
+            base_workload.vxlan_routes_v4 + 60'000);
+
+  const Placement fresh =
+      placer.place_layout(delta.applied_to(base_workload), config);
+  expect_accounting_parity(next, fresh);
+  EXPECT_EQ(next.stats().delta_applies + next.stats().full_recomputes, 1u);
+}
+
+TEST(Placement, ReplaceShrinkMatchesFreshPlacement) {
+  const Placer placer{ChipConfig{}};
+  const CompressionConfig config = CompressionConfig::all();
+  const Placement base = placer.place_layout(small_workload(), config);
+
+  WorkloadDelta delta;
+  delta.vxlan_routes_v4 = -100'000;
+  delta.meters = -40'000;  // table drops to zero entries entirely
+  const Placement next = placer.replace(base, delta);
+  const Placement fresh =
+      placer.place_layout(delta.applied_to(small_workload()), config);
+  expect_accounting_parity(next, fresh);
+  EXPECT_EQ(next.table_index("meters"), std::nullopt);
+}
+
+TEST(Placement, ReplaceAddsServiceTable) {
+  const Placer placer{ChipConfig{}};
+  const CompressionConfig config = CompressionConfig::all();
+  const Placement base = placer.place_layout(small_workload(), config);
+  EXPECT_EQ(base.table_index("acl"), std::nullopt);
+
+  WorkloadDelta delta;
+  delta.acl_rules = 15'000;
+  const Placement next = placer.replace(base, delta);
+  EXPECT_NE(next.table_index("acl"), std::nullopt);
+  const Placement fresh =
+      placer.place_layout(delta.applied_to(small_workload()), config);
+  expect_accounting_parity(next, fresh);
+}
+
+TEST(Placement, ReplaceLeavesUntouchedChainsAlone) {
+  const Placer placer{ChipConfig{}};
+  const CompressionConfig config = CompressionConfig::all();
+  const Placement base = placer.place_layout(small_workload(), config);
+  const auto counters = base.table_index("counters");
+  ASSERT_TRUE(counters.has_value());
+  const auto before = base.segments(*counters, 0, MemoryKind::kSram);
+
+  WorkloadDelta delta;
+  delta.meters = 5'000;  // only the meters chain should move
+  const Placement next = placer.replace(base, delta);
+  ASSERT_EQ(next.stats().delta_applies, 1u);
+  const auto counters_after = next.table_index("counters");
+  ASSERT_TRUE(counters_after.has_value());
+  const auto after = next.segments(*counters_after, 0, MemoryKind::kSram);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].pipe, after[i].pipe);
+    EXPECT_EQ(before[i].units, after[i].units);
+  }
+  EXPECT_EQ(next.stats().touched_tables, 1u);
+}
+
+TEST(Placement, FragmentationLimitForcesFullRecompute) {
+  const Placer placer{ChipConfig{}};
+  CompressionConfig config = CompressionConfig::all();
+  config.replace_fragmentation_limit = 0;  // always past the limit
+  const Placement base = placer.place_layout(small_workload(), config);
+
+  WorkloadDelta delta;
+  delta.vxlan_routes_v4 = 1'000;
+  const Placement next = placer.replace(base, delta);
+  EXPECT_EQ(next.stats().full_recomputes, 1u);
+  EXPECT_EQ(next.stats().delta_applies, 0u);
+  EXPECT_EQ(next.stats().fragmentation_events, 0u);  // compaction resets
+  const Placement fresh =
+      placer.place_layout(delta.applied_to(small_workload()), config);
+  expect_accounting_parity(next, fresh);
+}
+
+TEST(Placement, ReplaceRecoversFeasibilityAcrossOverflowAndBack) {
+  const Placer placer{ChipConfig{}};
+  const CompressionConfig config = CompressionConfig::all();
+  GatewayWorkload w = small_workload();
+  Placement live = placer.place_layout(w, config);
+  ASSERT_TRUE(live.feasible());
+
+  WorkloadDelta burst;
+  burst.counters = 30'000'000;  // way past any pipe's SRAM
+  live = placer.replace(live, burst);
+  w = burst.applied_to(w);
+  EXPECT_FALSE(live.feasible());
+  expect_accounting_parity(live, placer.place_layout(w, config));
+
+  WorkloadDelta relief;
+  relief.counters = -30'000'000;
+  live = placer.replace(live, relief);
+  w = relief.applied_to(w);
+  EXPECT_TRUE(live.feasible());
+  expect_accounting_parity(live, placer.place_layout(w, config));
+}
+
+TEST(PlacementEngine, AppliesDeltasAndIgnoresEmptyOnes) {
+  PlacementEngine::Config config;
+  config.initial = small_workload();
+  PlacementEngine engine(config);
+  const std::uint64_t before = engine.stats().delta_applies +
+                               engine.stats().full_recomputes;
+  engine.apply(WorkloadDelta{});  // no-op
+  EXPECT_EQ(engine.stats().delta_applies + engine.stats().full_recomputes,
+            before);
+
+  WorkloadDelta delta;
+  delta.vm_maps_v4 = 1'000;
+  engine.apply(delta);
+  EXPECT_EQ(engine.stats().delta_applies + engine.stats().full_recomputes,
+            before + 1);
+  EXPECT_EQ(engine.placement().workload().vm_maps_v4,
+            small_workload().vm_maps_v4 + 1'000);
+}
+
+TEST(Placement, LocateUnitWalksTheChainInOrder) {
+  const ChipConfig chip;
+  const Placer placer(chip);
+  CompressionConfig config;
+  config.fold = true;
+  const std::size_t cap = chip.sram_words_per_pipeline();
+  std::vector<TableDemand> demands{
+      {"big", cap + 10, 0, false, PathSlot::kFrontIngress}};
+  const Placement layout =
+      placer.place_layout(demands, config, empty_gateway_workload());
+  EXPECT_EQ(layout.locate_unit(0, 0, MemoryKind::kSram, 0), 0u);
+  EXPECT_EQ(layout.locate_unit(0, 0, MemoryKind::kSram, cap - 1), 0u);
+  EXPECT_EQ(layout.locate_unit(0, 0, MemoryKind::kSram, cap), 1u);
+  EXPECT_EQ(layout.locate_unit(0, 0, MemoryKind::kSram, cap + 9), 1u);
+  EXPECT_EQ(layout.locate_unit(0, 0, MemoryKind::kSram, cap + 10),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace sf::asic

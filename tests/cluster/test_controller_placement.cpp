@@ -1,0 +1,147 @@
+// Controller -> PlacementEngine wiring: hardware-tier table ops accumulate
+// into a WorkloadDelta and drive one incremental re-placement per
+// TableOpBatch; software-tier (overflow) ops stay out of the placement
+// workload; the engine is absent (and the controller byte-identical)
+// unless placement_enabled is set.
+
+#include "cluster/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::cluster {
+namespace {
+
+using net::IpAddr;
+using tables::RouteScope;
+using tables::VxlanRouteAction;
+using workload::VpcRecord;
+
+Controller::Config small_config() {
+  Controller::Config config;
+  config.cluster_template.primary_devices = 1;
+  config.cluster_template.backup_devices = 1;
+  config.max_clusters = 3;
+  config.routes_water_level = 50;
+  config.mappings_water_level = 100;
+  return config;
+}
+
+VpcRecord make_vpc(net::Vni vni, std::size_t subnets, std::size_t vms) {
+  VpcRecord vpc;
+  vpc.vni = vni;
+  vpc.family = net::IpFamily::kV4;
+  for (std::size_t s = 0; s < subnets; ++s) {
+    vpc.routes.push_back(workload::RouteRecord{
+        net::Ipv4Prefix(
+            net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff),
+                          static_cast<std::uint8_t>(s), 0),
+            24),
+        VxlanRouteAction{RouteScope::kLocal, 0, {}}});
+  }
+  for (std::size_t v = 0; v < vms; ++v) {
+    vpc.vms.push_back(workload::VmRecord{
+        IpAddr(net::Ipv4Addr(10, static_cast<std::uint8_t>(vni & 0xff), 0,
+                             static_cast<std::uint8_t>(2 + v))),
+        net::Ipv4Addr(172, 16, 0, 1)});
+  }
+  return vpc;
+}
+
+std::uint64_t replaces(const Controller& controller) {
+  const auto& stats = controller.placement_engine()->stats();
+  return stats.delta_applies + stats.full_recomputes;
+}
+
+TEST(ControllerPlacement, EngineAbsentUnlessEnabled) {
+  Controller controller(small_config());
+  EXPECT_EQ(controller.placement_engine(), nullptr);
+}
+
+TEST(ControllerPlacement, HardwareInstallsGrowTheWorkload) {
+  Controller::Config config = small_config();
+  config.placement_enabled = true;
+  Controller controller(config);
+  ASSERT_NE(controller.placement_engine(), nullptr);
+  const auto& workload =
+      controller.placement_engine()->placement().workload();
+  EXPECT_EQ(workload.vxlan_routes_v4, 0u);
+
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 3, 4)));
+  EXPECT_EQ(workload.vxlan_routes_v4, 3u);
+  EXPECT_EQ(workload.vm_maps_v4, 4u);
+  EXPECT_EQ(workload.vxlan_routes_v6, 0u);
+  EXPECT_GE(replaces(controller), 1u);
+}
+
+TEST(ControllerPlacement, OneReplacePerBatchAndRemovesDecrement) {
+  Controller::Config config = small_config();
+  config.placement_enabled = true;
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 2, 1)));
+  const auto& workload =
+      controller.placement_engine()->placement().workload();
+  ASSERT_EQ(workload.vxlan_routes_v4, 2u);
+  const std::uint64_t before = replaces(controller);
+
+  dataplane::TableOpBatch batch;
+  batch.add_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 200, 0), 24),
+                  VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  batch.add_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 201, 0), 24),
+                  VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  batch.add_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 202, 0), 24),
+                  VxlanRouteAction{RouteScope::kLocal, 0, {}});
+  ASSERT_TRUE(controller.apply(batch).all_succeeded());
+  EXPECT_EQ(workload.vxlan_routes_v4, 5u);
+  // Three ops, one batch: exactly one re-placement.
+  EXPECT_EQ(replaces(controller), before + 1);
+
+  dataplane::TableOpBatch removes;
+  removes.del_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 200, 0), 24));
+  removes.del_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 201, 0), 24));
+  ASSERT_TRUE(controller.apply(removes).all_succeeded());
+  EXPECT_EQ(workload.vxlan_routes_v4, 3u);
+  EXPECT_EQ(replaces(controller), before + 2);
+}
+
+TEST(ControllerPlacement, ReinstallingSameRouteDoesNotDoubleCount) {
+  Controller::Config config = small_config();
+  config.placement_enabled = true;
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 1, 0)));
+  const auto& workload =
+      controller.placement_engine()->placement().workload();
+  ASSERT_EQ(workload.vxlan_routes_v4, 1u);
+
+  // Same prefix again (a replace, not a new entry): no workload growth,
+  // and the empty placement delta triggers no re-placement.
+  const std::uint64_t before = replaces(controller);
+  dataplane::TableOpBatch batch;
+  batch.add_route(100, net::Ipv4Prefix(net::Ipv4Addr(10, 100, 0, 0), 24),
+                  VxlanRouteAction{RouteScope::kCrossRegion, 7, {}});
+  ASSERT_TRUE(controller.apply(batch).all_succeeded());
+  EXPECT_EQ(workload.vxlan_routes_v4, 1u);
+  EXPECT_EQ(replaces(controller), before);
+}
+
+TEST(ControllerPlacement, SoftwareTierOpsStayOutOfTheWorkload) {
+  Controller::Config config = small_config();
+  config.placement_enabled = true;
+  config.admit_overflow = true;
+  config.max_clusters = 1;
+  config.routes_water_level = 4;
+  Controller controller(config);
+  ASSERT_TRUE(controller.add_vpc(make_vpc(100, 4, 1)));  // fills the region
+  const auto& workload =
+      controller.placement_engine()->placement().workload();
+  ASSERT_EQ(workload.vxlan_routes_v4, 4u);
+
+  // The next VPC lands in the software tier; its tables must not count
+  // toward the hardware placement workload.
+  ASSERT_TRUE(controller.add_vpc(make_vpc(101, 5, 2)));
+  ASSERT_TRUE(controller.is_overflow(101));
+  EXPECT_EQ(workload.vxlan_routes_v4, 4u);
+  EXPECT_EQ(workload.vm_maps_v4, 1u);
+}
+
+}  // namespace
+}  // namespace sf::cluster

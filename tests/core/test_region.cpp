@@ -147,6 +147,41 @@ TEST(SailfishRegion, RejectsZeroX86Nodes) {
   EXPECT_THROW(SailfishRegion{config}, std::invalid_argument);
 }
 
+TEST(SailfishRegion, PlacementGaugesAreOptIn) {
+  // Default region: no placement engine, no placement gauges.
+  SailfishRegion::Config config;
+  {
+    SailfishRegion region(config);
+    region.publish_pressure_gauges(1.0);
+    EXPECT_FALSE(
+        region.registry().has_gauge("region.placement.pipe0.sram_words"));
+  }
+
+  config.controller.placement_enabled = true;
+  SailfishRegion region(config);
+  workload::VpcRecord vpc;
+  vpc.vni = 77;
+  vpc.family = net::IpFamily::kV4;
+  vpc.routes.push_back(workload::RouteRecord{
+      net::Ipv4Prefix(net::Ipv4Addr(10, 77, 0, 0), 24),
+      tables::VxlanRouteAction{tables::RouteScope::kLocal, 0, {}}});
+  ASSERT_TRUE(region.controller().add_vpc(vpc));
+  region.publish_pressure_gauges(1.0);
+  const auto& registry = region.registry();
+  EXPECT_TRUE(registry.has_gauge("region.placement.pipe0.sram_words"));
+  EXPECT_TRUE(registry.has_gauge("region.placement.pipe0.tcam_slices"));
+  double sram_total = 0;
+  for (unsigned p = 0; p < 4; ++p) {
+    sram_total += registry.gauge_value("region.placement.pipe" +
+                                       std::to_string(p) + ".sram_words");
+  }
+  EXPECT_GT(sram_total, 0.0);
+  EXPECT_EQ(registry.gauge_value("region.placement.feasible"), 1.0);
+  EXPECT_GE(registry.gauge_value("region.placement.delta_applies") +
+                registry.gauge_value("region.placement.full_recomputes"),
+            1.0);
+}
+
 TEST(Sailfish, VersionString) {
   EXPECT_NE(std::string(version()).find("sailfish"), std::string::npos);
 }

@@ -1,0 +1,100 @@
+// Compression-step parsing: letter -> config mapping, the dependency
+// rules (b and f both need folding), and the cumulativity of the Fig. 17
+// step sequence.
+
+#include "xgwh/compression_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sf::xgwh {
+namespace {
+
+TEST(CompressionPlan, LettersMapToConfigFlags) {
+  const asic::CompressionConfig all = config_for_steps("abcdef");
+  EXPECT_TRUE(all.fold);
+  EXPECT_TRUE(all.split);
+  EXPECT_TRUE(all.pool);
+  EXPECT_TRUE(all.compress);
+  EXPECT_TRUE(all.alpm);
+  EXPECT_TRUE(all.cross_path_spill);
+
+  const asic::CompressionConfig none = config_for_steps("");
+  EXPECT_FALSE(none.fold);
+  EXPECT_FALSE(none.split);
+  EXPECT_FALSE(none.pool);
+  EXPECT_FALSE(none.compress);
+  EXPECT_FALSE(none.alpm);
+  EXPECT_FALSE(none.cross_path_spill);
+
+  // Order does not matter; 'f' alone toggles only cross-path spill.
+  const asic::CompressionConfig fa = config_for_steps("fa");
+  EXPECT_TRUE(fa.fold);
+  EXPECT_TRUE(fa.cross_path_spill);
+  EXPECT_FALSE(fa.split);
+}
+
+TEST(CompressionPlan, UnknownLettersThrow) {
+  EXPECT_THROW(config_for_steps("g"), std::invalid_argument);
+  EXPECT_THROW(config_for_steps("abz"), std::invalid_argument);
+  EXPECT_THROW(config_for_steps("A"), std::invalid_argument);
+  EXPECT_THROW(config_for_steps(" a"), std::invalid_argument);
+}
+
+TEST(CompressionPlan, SplitRequiresFolding) {
+  EXPECT_THROW(config_for_steps("b"), std::invalid_argument);
+  EXPECT_THROW(config_for_steps("bcde"), std::invalid_argument);
+  EXPECT_NO_THROW(config_for_steps("ab"));
+}
+
+TEST(CompressionPlan, CrossPathSpillRequiresFolding) {
+  EXPECT_THROW(config_for_steps("f"), std::invalid_argument);
+  EXPECT_THROW(config_for_steps("fb"), std::invalid_argument);
+  EXPECT_NO_THROW(config_for_steps("af"));
+}
+
+TEST(CompressionPlan, Fig17StepsAreCumulative) {
+  const auto steps = fig17_steps();
+  ASSERT_EQ(steps.size(), 5u);
+  EXPECT_EQ(steps.front().first, "Initial");
+
+  // Each step keeps everything the previous one enabled.
+  const auto enabled = [](const asic::CompressionConfig& c) {
+    int n = 0;
+    n += c.fold;
+    n += c.split;
+    n += c.pool;
+    n += c.compress;
+    n += c.alpm;
+    n += c.cross_path_spill;
+    return n;
+  };
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    const auto& prev = steps[i - 1].second;
+    const auto& cur = steps[i].second;
+    EXPECT_GE(enabled(cur), enabled(prev)) << steps[i].first;
+    EXPECT_TRUE(!prev.fold || cur.fold) << steps[i].first;
+    EXPECT_TRUE(!prev.split || cur.split) << steps[i].first;
+    EXPECT_TRUE(!prev.pool || cur.pool) << steps[i].first;
+    EXPECT_TRUE(!prev.compress || cur.compress) << steps[i].first;
+    EXPECT_TRUE(!prev.alpm || cur.alpm) << steps[i].first;
+  }
+  const auto& last = steps.back().second;
+  EXPECT_TRUE(last.fold && last.split && last.pool && last.compress &&
+              last.alpm);
+  // Fig. 17 predates (f); the figure's sequence never enables it.
+  for (const auto& [name, config] : steps) {
+    EXPECT_FALSE(config.cross_path_spill) << name;
+  }
+}
+
+TEST(CompressionPlan, StepDescriptionsCoverEveryLetter) {
+  for (char step : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    EXPECT_NE(step_description(step), "?") << step;
+  }
+  EXPECT_EQ(step_description('z'), "?");
+}
+
+}  // namespace
+}  // namespace sf::xgwh
