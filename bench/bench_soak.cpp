@@ -1,0 +1,153 @@
+// Week-long multi-region soak + regression canary (DESIGN.md §17).
+//
+// Runs the sf::soak scenario engine — two SailfishRegions sharing one
+// tenant universe, a time-compressed simulated week of diurnal/festival
+// traffic, composed chaos (device loss, DPU darkness, controller
+// brownouts through the circuit breaker, tenant storms, churn waves),
+// and a continuous SNAT session stream — for each seed at BOTH 1 and 8
+// interval threads, then byte-compares the rendered reports.
+//
+// FATAL (nonzero exit) on:
+//   * any invariant-auditor violation (the engine aborts mid-run);
+//   * any non-storm tenant outside its weekly drop budget;
+//   * a 1-vs-8-thread report byte mismatch.
+//
+// SF_SOAK_HOURS overrides the simulated span (default: the full 168 h
+// week; CI smoke uses 6). Numbers land in BENCH_soak.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/table_printer.hpp"
+#include "soak/soak.hpp"
+
+using namespace sf;
+
+namespace {
+
+struct SeedRun {
+  std::uint64_t seed = 0;
+  soak::SoakEngine::Report report;  // the 1-thread run
+  bool byte_identical = false;
+  double wall_s_1t = 0;
+  double wall_s_8t = 0;
+};
+
+soak::SoakEngine::Report run_once(std::uint64_t seed, double sim_hours,
+                                  std::size_t threads, double* wall_s) {
+  soak::SoakEngine::Config config;
+  config.seed = seed;
+  config.sim_hours = sim_hours;
+  config.interval_threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  soak::SoakEngine engine(config);
+  soak::SoakEngine::Report report = engine.run();
+  *wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  double sim_hours = 168.0;
+  if (const char* env = std::getenv("SF_SOAK_HOURS")) {
+    sim_hours = std::atof(env);
+    if (sim_hours <= 0) sim_hours = 168.0;
+  }
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  bench::print_header(
+      "SOAK", "week-long multi-region soak: composed chaos, per-tenant "
+              "SLOs, 1-vs-8-thread byte-identity canary");
+  std::printf("simulated span: %.1f h per run (SF_SOAK_HOURS overrides)\n",
+              sim_hours);
+
+  std::vector<SeedRun> runs;
+  bool all_identical = true;
+  bool all_pass = true;
+  for (std::uint64_t seed : seeds) {
+    SeedRun run;
+    run.seed = seed;
+    run.report = run_once(seed, sim_hours, 1, &run.wall_s_1t);
+    const soak::SoakEngine::Report threaded =
+        run_once(seed, sim_hours, 8, &run.wall_s_8t);
+    run.byte_identical = run.report.to_json() == threaded.to_json();
+    all_identical = all_identical && run.byte_identical;
+    all_pass = all_pass && run.report.pass;
+    std::printf("seed %llu: %zu intervals x %zu regions, %s, "
+                "1-thread %.1fs / 8-thread %.1fs, byte-identical: %s\n",
+                static_cast<unsigned long long>(seed), run.report.intervals,
+                run.report.regions, run.report.pass ? "PASS" : "FAIL",
+                run.wall_s_1t, run.wall_s_8t,
+                run.byte_identical ? "yes" : "NO");
+    runs.push_back(std::move(run));
+  }
+
+  sim::TablePrinter table({"Seed", "Region", "Availability", "Wk p99 us",
+                           "Wk p999 us", "Punt max", "SNAT sessions",
+                           "Exhaustions", "Breaker trips", "Budget viol"});
+  for (const SeedRun& run : runs) {
+    for (const auto& region : run.report.region_summaries) {
+      table.add_row(
+          {std::to_string(run.seed), std::to_string(region.region_index),
+           sim::format_double(region.availability, 6),
+           sim::format_double(region.week_p99_latency_us, 1),
+           sim::format_double(region.week_p999_latency_us, 1),
+           sim::format_double(region.punt_occupancy_max, 3),
+           std::to_string(region.snat_sessions),
+           std::to_string(region.snat_exhaustions),
+           std::to_string(region.breaker.trips),
+           std::to_string(region.budget_violations.size())});
+    }
+  }
+  table.print();
+  for (const SeedRun& run : runs) {
+    for (const auto& region : run.report.region_summaries) {
+      std::printf("seed %llu region %zu chaos events:",
+                  static_cast<unsigned long long>(run.seed),
+                  region.region_index);
+      for (const auto& [kind, count] : region.chaos_events) {
+        std::printf(" %s=%zu", kind.c_str(), count);
+      }
+      std::printf("\n");
+    }
+  }
+  bench::print_note(
+      "every interval is audited (SNAT conservation, flow-cache "
+      "coherence, placement parity; strict quiescence sweeps between "
+      "faults); the engine aborts on any violation. Reports must "
+      "byte-match at 1 vs 8 interval threads.");
+
+  std::ofstream json("BENCH_soak.json");
+  json << "{\n"
+       << "  \"bench\": \"soak\",\n"
+       << "  \"sim_hours\": " << sim_hours << ",\n"
+       << "  \"byte_identical_1v8\": "
+       << (all_identical ? "true" : "false") << ",\n"
+       << "  \"pass\": " << (all_pass && all_identical ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    json << runs[i].report.to_json();
+    json << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_soak.json\n");
+
+  if (!all_identical) {
+    std::printf("FATAL: 1-vs-8-thread soak reports diverged\n");
+    return 1;
+  }
+  if (!all_pass) {
+    std::printf("FATAL: soak run failed (violations or budget breaches)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -186,6 +186,21 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
   double channel_down_until = -1;
   std::size_t channel_fault = 0;
   bool channel_down = false;
+  // Controller brownouts: the channel stays nominally up but refuses every
+  // attempt, so a configured breaker trips / probes / closes. Transitions
+  // are observed by diffing the breaker's stats tick over tick.
+  double brownout_until = -1;
+  bool browned_out = false;
+  bool has_brownout_events = false;
+  for (const ChaosEvent& event : events) {
+    has_brownout_events =
+        has_brownout_events || event.kind == FaultKind::kControllerBrownout;
+  }
+  const guard::CircuitBreaker* breaker = controller.breaker();
+  report.breaker_tracked = has_brownout_events && breaker != nullptr;
+  guard::CircuitBreaker::Stats breaker_base{};
+  if (breaker != nullptr) breaker_base = breaker->stats();
+  guard::CircuitBreaker::Stats breaker_prev = breaker_base;
 
   // Tenant storms armed this run (the flood blends into interval samples
   // while [start, end) covers the tick).
@@ -441,6 +456,36 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
                              static_cast<unsigned long long>(placed_before)));
           break;
         }
+        case FaultKind::kControllerBrownout: {
+          fault.end = event.time + event.duration;
+          if (!browned_out) {
+            controller.set_update_channel_degraded(true);
+            browned_out = true;
+            log_.append(now, "brownout", "update channel browned out");
+          }
+          brownout_until = std::max(brownout_until, fault.end);
+          // Provisioning keeps arriving during the brownout: a small wave
+          // of onboardings whose pushes get refused, feeding the breaker
+          // (or piling onto the retry queue when none is configured).
+          const unsigned wave = std::max(4u, event.count);
+          std::size_t admitted = 0;
+          for (unsigned v = 0; v < wave; ++v) {
+            const unsigned ordinal = storm_vni_next_++;
+            if (controller.add_vpc(storm_vpc(
+                    config_.storm_vni_base + ordinal, ordinal))) {
+              ++admitted;
+            }
+          }
+          report.faults[index].detected_at = now;
+          // The control plane rides the retry queue until the brownout
+          // lifts — the deferral itself is the reroute.
+          report.faults[index].rerouted_at = now;
+          log_.append(now, "brownout",
+                      format("%zu vpcs admitted into the brownout, %zu "
+                             "table ops deferred",
+                             admitted, controller.deferred_op_count()));
+          break;
+        }
       }
     }
 
@@ -514,11 +559,32 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
       channel_down = false;
       log_.append(now, "channel", "update channel restored");
     }
+    if (browned_out && now + 1e-9 >= brownout_until) {
+      controller.set_update_channel_degraded(false);
+      browned_out = false;
+      log_.append(now, "brownout", "update channel brownout cleared");
+    }
     const std::size_t replayed = controller.advance_clock(now);
     if (replayed > 0) {
       log_.append(now, "retry",
                   format("replayed %zu deferred table ops, %zu pending",
                          replayed, controller.deferred_op_count()));
+    }
+    if (report.breaker_tracked) {
+      const guard::CircuitBreaker::Stats& bs = breaker->stats();
+      for (auto n = breaker_prev.trips; n < bs.trips; ++n) {
+        report.breaker_transitions.emplace_back(now, "open");
+        log_.append(now, "breaker", "tripped open");
+      }
+      for (auto n = breaker_prev.reopens; n < bs.reopens; ++n) {
+        report.breaker_transitions.emplace_back(now, "reopen");
+        log_.append(now, "breaker", "half-open probe refused; re-opened");
+      }
+      for (auto n = breaker_prev.closes; n < bs.closes; ++n) {
+        report.breaker_transitions.emplace_back(now, "close");
+        log_.append(now, "breaker", "half-open probe succeeded; closed");
+      }
+      breaker_prev = bs;
     }
 
     // ---- 6. fault lifecycle updates (level-triggered) ---------------------
@@ -586,6 +652,21 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
             record.recovered_at = now;
             fault.done = true;
             log_.append(now, "recover", "control plane drained");
+          }
+          break;
+        }
+        case FaultKind::kControllerBrownout: {
+          // Recovered once the brownout window has lifted, the breaker (if
+          // any) has closed again, and the parked wave has drained.
+          const bool closed =
+              breaker == nullptr ||
+              breaker->state(now) == guard::CircuitBreaker::State::kClosed;
+          if (!browned_out && now + 1e-9 >= fault.end && closed &&
+              controller.deferred_op_count() == 0) {
+            record.recovered_at = now;
+            fault.done = true;
+            log_.append(now, "recover",
+                        "brownout cleared; breaker closed and queue drained");
           }
           break;
         }
@@ -818,6 +899,21 @@ ChaosReport ChaosInjector::run(const ChaosSchedule& schedule) {
   if (!controller.update_channel_up()) {
     report.leaks.push_back("update channel left down");
   }
+  if (controller.update_channel_degraded()) {
+    report.leaks.push_back("update channel left degraded");
+  }
+  if (report.breaker_tracked &&
+      breaker->state(deadline) != guard::CircuitBreaker::State::kClosed) {
+    report.leaks.push_back("update-channel breaker left open");
+  }
+  if (report.breaker_tracked) {
+    const guard::CircuitBreaker::Stats& bs = breaker->stats();
+    report.breaker_trips = bs.trips - breaker_base.trips;
+    report.breaker_reopens = bs.reopens - breaker_base.reopens;
+    report.breaker_closes = bs.closes - breaker_base.closes;
+    report.breaker_short_circuited =
+        bs.short_circuited - breaker_base.short_circuited;
+  }
   for (const std::string& leak : report.leaks) {
     log_.append(deadline, "leak", leak);
   }
@@ -902,6 +998,23 @@ std::string ChaosReport::to_json() const {
                     sample.tier, sample.storm_offered_pps,
                     sample.storm_shed_pps, sample.victim_drop_rate);
       out += i + 1 < storm_samples.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
+  // Present only when a brownout schedule ran against a breaker-equipped
+  // controller, so every pre-brownout report renders byte-identically.
+  if (breaker_tracked) {
+    out += format("  \"breaker\": {\"trips\": %llu, \"reopens\": %llu, "
+                  "\"closes\": %llu, \"short_circuited\": %llu},\n",
+                  static_cast<unsigned long long>(breaker_trips),
+                  static_cast<unsigned long long>(breaker_reopens),
+                  static_cast<unsigned long long>(breaker_closes),
+                  static_cast<unsigned long long>(breaker_short_circuited));
+    out += "  \"breaker_transitions\": [\n";
+    for (std::size_t i = 0; i < breaker_transitions.size(); ++i) {
+      out += format("    [%.3f, \"%s\"]", breaker_transitions[i].first,
+                    breaker_transitions[i].second.c_str());
+      out += i + 1 < breaker_transitions.size() ? ",\n" : "\n";
     }
     out += "  ],\n";
   }

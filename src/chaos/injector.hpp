@@ -103,6 +103,19 @@ struct ChaosReport {
   };
   std::vector<DpuSample> dpu_samples;
 
+  /// Circuit-breaker activity while the schedule carries controller
+  /// brownouts. Tracked (and rendered in the JSON) only when the schedule
+  /// has kControllerBrownout events and the controller has a breaker, so
+  /// every pre-brownout report renders byte-identically.
+  bool breaker_tracked = false;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_reopens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_short_circuited = 0;
+  /// (time, transition) pairs in tick order: "open" (breaker tripped),
+  /// "reopen" (half-open probe refused), "close" (probe succeeded).
+  std::vector<std::pair<double, std::string>> breaker_transitions;
+
   /// Post-run invariant violations (stale DR state, unconverged queue,
   /// devices still out). Empty means the region fully recovered.
   std::vector<std::string> leaks;

@@ -29,6 +29,8 @@ std::string to_string(FaultKind kind) {
       return "dpu-failure";
     case FaultKind::kChurnStorm:
       return "churn-storm";
+    case FaultKind::kControllerBrownout:
+      return "controller-brownout";
   }
   return "?";
 }
@@ -62,6 +64,7 @@ double ChaosSchedule::horizon() const {
       case FaultKind::kChannelOutage:
       case FaultKind::kTenantStorm:
       case FaultKind::kDpuFailure:
+      case FaultKind::kControllerBrownout:
         end += event.duration;
         break;
       case FaultKind::kDeviceFlap:
@@ -109,10 +112,10 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed,
     event.device = rng.uniform(config.devices_per_cluster);
     event.port = static_cast<unsigned>(rng.uniform(config.ports_per_device));
 
-    // Data-plane faults always; control-plane/upgrade/tenant/DPU/churn
-    // faults when enabled. New faces are appended after all existing ones
-    // (order: tenant, dpu, churn) so configs without them draw
-    // byte-identical schedules from the same seed.
+    // Data-plane faults always; control-plane/upgrade/tenant/DPU/churn/
+    // brownout faults when enabled. New faces are appended after all
+    // existing ones (order: tenant, dpu, churn, brownout) so configs
+    // without them draw byte-identical schedules from the same seed.
     constexpr std::uint64_t kNoFace = ~std::uint64_t{0};
     const std::uint64_t base_faces = 4 +
                                      (config.control_plane_faults ? 2 : 0) +
@@ -123,7 +126,15 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed,
     const std::uint64_t dpu_face = config.dpu_faults ? next_face++ : kNoFace;
     const std::uint64_t churn_face =
         config.churn_storms ? next_face++ : kNoFace;
+    const std::uint64_t brownout_face =
+        config.controller_brownouts ? next_face++ : kNoFace;
     const std::uint64_t face = rng.uniform(next_face);
+    if (face == brownout_face) {
+      event.kind = FaultKind::kControllerBrownout;
+      event.duration = 3.0 + static_cast<double>(rng.uniform(6));
+      schedule.add(event);
+      continue;
+    }
     if (face == churn_face) {
       event.kind = FaultKind::kChurnStorm;
       event.count = 8 + static_cast<unsigned>(rng.uniform(24));

@@ -33,6 +33,11 @@ enum class FaultKind : std::uint8_t {
                       // wave pushed through the update channel in one
                       // tick — mid-interval table churn exercising the
                       // RCU publish path
+  kControllerBrownout,// controller update channel degraded (not down)
+                      // for `duration` s: every op attempt is refused,
+                      // so the circuit breaker must trip, short-circuit
+                      // new ops into the retry queue, probe half-open,
+                      // and close once the brownout lifts
 };
 
 std::string to_string(FaultKind kind);
@@ -82,6 +87,12 @@ class ChaosSchedule {
     /// off by default, so every pre-existing (seed, config) pair keeps
     /// drawing byte-identical schedules.
     bool churn_storms = false;
+    /// Include controller brownouts (update-channel refusal windows that
+    /// drive the circuit breaker; needs a controller configured with a
+    /// breaker to be meaningful). Appended after the churn face and off
+    /// by default, so every pre-existing (seed, config) pair keeps
+    /// drawing byte-identical schedules.
+    bool controller_brownouts = false;
   };
 
   ChaosSchedule() = default;

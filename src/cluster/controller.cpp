@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "guard/guard.hpp"
+#include "sim/sim_clock.hpp"
 
 namespace sf::cluster {
 
@@ -131,8 +132,17 @@ void Controller::set_update_channel_up(bool up) {
                    clock_now_);
 }
 
+void Controller::set_update_channel_degraded(bool degraded) {
+  if (degraded == update_channel_degraded_) return;
+  update_channel_degraded_ = degraded;
+  journal_->record("update-channel",
+                   degraded ? "update channel browned out; attempts refused"
+                            : "update channel brownout cleared",
+                   clock_now_);
+}
+
 bool Controller::take_op_token() {
-  if (!update_channel_up_) {
+  if (!update_channel_up_ || update_channel_degraded_) {
     ctr_ops_rate_limited_->add();
     breaker_failure();
     return false;
@@ -142,8 +152,8 @@ bool Controller::take_op_token() {
     return true;
   }
   op_tokens_ = std::min(
-      op_tokens_ +
-          (clock_now_ - op_tokens_time_) * config_.table_op_rate_limit,
+      op_tokens_ + sim::elapsed_s(clock_now_, op_tokens_time_) *
+                       config_.table_op_rate_limit,
       static_cast<double>(config_.table_op_burst));
   op_tokens_time_ = clock_now_;
   if (op_tokens_ < 1.0) {

@@ -149,6 +149,15 @@ class Controller : public dataplane::TableProgrammer {
   void set_update_channel_up(bool up);
   bool update_channel_up() const { return update_channel_up_; }
 
+  /// Models a controller brownout: the channel is nominally up (retries
+  /// still attempt delivery) but every attempt is refused. Unlike a hard
+  /// outage this keeps feeding failures to the circuit breaker, so a
+  /// configured breaker trips, short-circuits new pushes straight onto
+  /// the retry queue, probes half-open against the still-degraded
+  /// channel, and only closes once the brownout is cleared.
+  void set_update_channel_degraded(bool degraded);
+  bool update_channel_degraded() const { return update_channel_degraded_; }
+
   /// Moves a VPC's entries to another cluster and re-points the VNI
   /// director — §4.3's "precisely manage the traffic load on a particular
   /// cluster simply by adding or deleting the corresponding entries".
@@ -280,6 +289,7 @@ class Controller : public dataplane::TableProgrammer {
   double op_tokens_ = 0;
   double op_tokens_time_ = 0;
   bool update_channel_up_ = true;
+  bool update_channel_degraded_ = false;
   /// Redelivery of rate-limited pushes; targets this controller itself.
   std::unique_ptr<UpdateQueue> retry_queue_;
   /// Built only when configured (trip_after > 0) and SF_GUARD allows it.

@@ -806,8 +806,11 @@ SailfishRegion::IntervalReport SailfishRegion::simulate_interval(
     double cumulative = 0;
     for (const PathClass& c : path_classes) {
       cumulative += c.pps;
-      if (cumulative >= 0.99 * served) {
+      if (report.p99_latency_us == 0 && cumulative >= 0.99 * served) {
         report.p99_latency_us = c.latency_us;
+      }
+      if (cumulative >= 0.999 * served) {
+        report.p999_latency_us = c.latency_us;
         break;
       }
     }

@@ -170,9 +170,10 @@ class SailfishRegion : public dataplane::Gateway {
     /// Fluid overflow-lane occupancy toward x86, as a fraction of the
     /// drain capacity (1.0 == saturated; excess drops as kPuntQueueFull).
     double punt_queue_occupancy = 0;
-    /// pps-weighted p99 forwarding latency across the served path classes
-    /// (ASIC, DPU, x86, x86-with-queue-delay).
+    /// pps-weighted p99/p999 forwarding latency across the served path
+    /// classes (ASIC, DPU, x86, x86-with-queue-delay).
     double p99_latency_us = 0;
+    double p999_latency_us = 0;
     std::size_t dpu_flow_entries = 0;
     /// Placed entries / total DPU table capacity, in [0, 1].
     double dpu_table_occupancy = 0;

@@ -1,0 +1,110 @@
+// sf::sim — week-scale simulated-time safety (DESIGN.md §17).
+//
+// The soak engine steps regions through a simulated week: 6.048e5 seconds,
+// 6.048e11 microseconds. Double-second timestamps are exact far beyond
+// that range, but three failure classes show up the moment a scenario runs
+// for days instead of seconds:
+//
+//   * µs-scale integer conversions: a careless (uint32_t)(t * 1e6) wraps
+//     after ~71.6 minutes. Every conversion to integer microseconds must
+//     go through to_micros(), which saturates instead of wrapping.
+//   * backward clocks: replayed scenarios and merged event streams can
+//     hand a component a timestamp earlier than the last one it saw.
+//     Token buckets, fluid queues and idle-expiry stamps must clamp the
+//     negative interval to zero, never refill/drain/expire backwards.
+//     elapsed_s() is that clamp; SimClock enforces it at the source.
+//   * stalled clocks: a tick loop that stops advancing must not spin
+//     hysteresis counters or cooldown timers — "no time passed" has to be
+//     a fixed point. SimClock::advance_* return the actual (monotone)
+//     time so callers observe the stall instead of compounding it.
+//
+// Everything here is header-only and branch-cheap; the hot paths that
+// already clamp locally (guard token buckets, punt-queue drains) keep
+// their inline arithmetic — this file is the shared contract plus the
+// helper the soak engine and new call sites use.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace sf::sim {
+
+/// Seconds in one simulated week — the soak horizon everything here is
+/// audited against.
+inline constexpr double kWeekSeconds = 7.0 * 86400.0;
+
+/// Saturating seconds -> integer microseconds. Negative inputs clamp to 0
+/// (a backward timestamp is "no time"), values past the uint64 range clamp
+/// to the maximum instead of wrapping. NaN clamps to 0.
+inline std::uint64_t to_micros(double seconds) {
+  if (!(seconds > 0)) return 0;  // also catches NaN
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  const double micros = seconds * 1e6;
+  if (micros >= kMax) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(micros);
+}
+
+/// Non-negative elapsed time: max(0, now - since). The one-line idiom for
+/// refill/drain/expiry arithmetic that must survive a backward clock.
+inline double elapsed_s(double now, double since) {
+  const double dt = now - since;
+  return dt > 0 ? dt : 0.0;
+}
+
+inline std::uint64_t saturating_add_us(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::uint64_t>::max() : sum;
+}
+
+inline std::uint64_t saturating_sub_us(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+/// A monotone simulated clock. advance_to() with an earlier (or equal)
+/// timestamp is a no-op — the clock never rewinds and never spins — and
+/// both advance forms return the post-advance time so callers can base
+/// every downstream computation on the *clamped* clock, not the raw input.
+/// Regressions are counted for tests and telemetry.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(double start) : now_(start) {}
+
+  double now() const { return now_; }
+  std::uint64_t micros() const { return to_micros(now_); }
+
+  /// Moves the clock forward to `t`; earlier timestamps are clamped (the
+  /// clock holds) and counted as regressions.
+  double advance_to(double t) {
+    if (t < now_) {
+      ++regressions_;
+      return now_;
+    }
+    now_ = t;
+    return now_;
+  }
+
+  /// Moves the clock forward by `dt`; negative steps are clamped to zero
+  /// and counted as regressions.
+  double advance_by(double dt) {
+    if (dt < 0) {
+      ++regressions_;
+      return now_;
+    }
+    now_ += dt;
+    return now_;
+  }
+
+  /// Backward advance_to()/advance_by() calls observed so far. A replay
+  /// that is supposed to be time-ordered can assert this stays zero.
+  std::uint64_t regressions() const { return regressions_; }
+
+ private:
+  double now_ = 0;
+  std::uint64_t regressions_ = 0;
+};
+
+}  // namespace sf::sim

@@ -1,0 +1,81 @@
+#include "soak/slo.hpp"
+
+#include <algorithm>
+
+namespace sf::soak {
+
+void SloLedger::record_interval(
+    double interval_s, const core::SailfishRegion::IntervalReport& interval,
+    const std::vector<net::Vni>& storm_vnis) {
+  ++intervals_;
+  offered_pkts_ += interval.offered_pps * interval_s;
+  dropped_pkts_ += interval.dropped_pps * interval_s;
+  peak_drop_rate_ = std::max(peak_drop_rate_, interval.drop_rate);
+  punt_occ_max_ = std::max(punt_occ_max_, interval.punt_queue_occupancy);
+  punt_occ_sum_ += interval.punt_queue_occupancy;
+
+  const double served_pkts =
+      std::max(0.0, interval.offered_pps - interval.dropped_pps) * interval_s;
+  if (interval.p99_latency_us > 0) {
+    p99_samples_.emplace_back(interval.p99_latency_us, served_pkts);
+  }
+  if (interval.p999_latency_us > 0) {
+    p999_samples_.emplace_back(interval.p999_latency_us, served_pkts);
+  }
+
+  // Everything the region dropped beyond the guard's tenant-tagged sheds,
+  // as a fraction of the interval's offered rate — attributed uniformly.
+  const double unattributed_pps =
+      std::max(0.0, interval.dropped_pps - interval.guard_shed_pps);
+  const double unattributed_fraction =
+      interval.offered_pps > 0 ? unattributed_pps / interval.offered_pps : 0;
+
+  for (const auto& row : interval.guard_tenants) {
+    TenantSlo& tenant = tenants_[row.vni];
+    tenant.vni = row.vni;
+    ++tenant.intervals;
+    tenant.offered_pkts += row.offered_pps * interval_s;
+    tenant.shed_pkts += row.shed_pps * interval_s;
+    tenant.dropped_pkts +=
+        (row.shed_pps + unattributed_fraction * row.offered_pps) * interval_s;
+    tenant.tier_seconds[static_cast<std::size_t>(row.tier)] += interval_s;
+    if (std::find(storm_vnis.begin(), storm_vnis.end(), row.vni) !=
+        storm_vnis.end()) {
+      ++tenant.storm_intervals;
+    }
+  }
+}
+
+double SloLedger::weighted_percentile(
+    const std::vector<std::pair<double, double>>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<std::pair<double, double>> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0;
+  for (const auto& [latency, weight] : sorted) total += weight;
+  if (total <= 0) return sorted.back().first;
+  double cumulative = 0;
+  for (const auto& [latency, weight] : sorted) {
+    cumulative += weight;
+    if (cumulative >= p * total) return latency;
+  }
+  return sorted.back().first;
+}
+
+double SloLedger::week_p99_latency_us() const {
+  return weighted_percentile(p99_samples_, 0.99);
+}
+
+double SloLedger::week_p999_latency_us() const {
+  return weighted_percentile(p999_samples_, 0.999);
+}
+
+std::vector<net::Vni> SloLedger::budget_violations() const {
+  std::vector<net::Vni> out;
+  for (const auto& [vni, tenant] : tenants_) {
+    if (!tenant.in_budget(config_.drop_budget)) out.push_back(vni);
+  }
+  return out;
+}
+
+}  // namespace sf::soak

@@ -1,0 +1,163 @@
+// sf::soak — the week-long multi-region soak engine (DESIGN.md §17).
+//
+// A deterministic, seeded scenario: 2–3 SailfishRegions sharing one
+// tenant universe (same topology seed; each tenant is "homed" in one
+// region and offers a smaller cross-region share everywhere else) stepped
+// through a time-compressed simulated week in interval-sized strides.
+// Every stride composes:
+//
+//   * traffic — the region's diurnal + festival envelope
+//     (workload::TrafficPattern) times a per-tenant diurnal phase drawn
+//     from mix64(vni), times any active storm multiplier;
+//   * chaos — the region's ChaosTimeline (device/port faults, channel
+//     outages, controller brownouts through the circuit breaker, tenant
+//     storms, churn storms over the RCU/placement path, DPU node loss);
+//   * SNAT — a deterministic session stream against a deliberately
+//     narrow per-IP port-block pool, so blocks exhaust and recycle under
+//     pressure while cumulative sessions reach the millions;
+//   * accounting — the SloLedger folds the IntervalReport into
+//     per-tenant drop-budget ledgers and week-level latency percentiles;
+//   * auditing — the InvariantAuditor sweeps conservation and coherence
+//     invariants between intervals (strict quiescence checks whenever the
+//     timeline reports no fault in flight).
+//
+// Determinism: the whole run is a pure function of Config. The interval
+// simulator is byte-identical at any thread count by construction, and
+// everything else here is single-threaded — so two runs with the same
+// seed at 1 and 8 interval threads must render byte-identical reports
+// (bench_soak enforces exactly that).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "guard/circuit_breaker.hpp"
+#include "soak/auditor.hpp"
+#include "soak/slo.hpp"
+#include "soak/timeline.hpp"
+
+namespace sf::soak {
+
+class SoakEngine {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t regions = 2;
+    /// Simulated span (168 h = the full week; CI smoke runs ~6 h).
+    double sim_hours = 168.0;
+    double interval_s = 600.0;
+    /// Interval-engine worker threads (results are identical at any
+    /// value — the byte-identity canary runs 1 vs 8).
+    std::size_t interval_threads = 1;
+    /// Mean per-region offered rate. Sized so the x86 fleet can absorb
+    /// the overflow tail when a DPU node goes dark (see DESIGN.md §17).
+    double base_gbps = 250.0;
+    /// Weekly dropped/offered budget per non-storm tenant.
+    double drop_budget = 2e-3;
+    /// Share of a tenant's traffic offered outside its home region.
+    double cross_region_fraction = 0.2;
+    double chaos_events_per_day = 8.0;
+    /// SNAT sessions initiated per x86 node per interval at mean load
+    /// (scaled by the traffic envelope each interval). Sized so the live
+    /// population crosses the deliberately narrow pool capacity at the
+    /// festival peak — exhaustion and FIFO block recycling must both
+    /// actually happen during the week.
+    std::size_t snat_sessions_per_interval = 2500;
+    /// Unrecorded leading intervals that drain the install backlog and
+    /// warm the tier placer before the ledger starts counting.
+    std::size_t warmup_intervals = 2;
+    /// Fault-free trailing intervals before the final leak audit, so
+    /// recovery hysteresis and guard de-escalation can unwind.
+    std::size_t settle_intervals = 12;
+    /// abort() on the first auditor violation (the regression-canary
+    /// mode); false collects violations into the report instead.
+    bool fatal_on_violation = true;
+    std::size_t probe_flows = 8;
+  };
+
+  /// One region's week, folded.
+  struct RegionSummary {
+    std::size_t region_index = 0;
+    double offered_pkts = 0;
+    double dropped_pkts = 0;
+    double availability = 1.0;
+    double week_p99_latency_us = 0;
+    double week_p999_latency_us = 0;
+    double punt_occupancy_max = 0;
+    double punt_occupancy_mean = 0;
+    double peak_drop_rate = 0;
+    /// Scheduled chaos events by kind (the whole drawn schedule).
+    std::map<std::string, std::size_t> chaos_events;
+    bool breaker_present = false;
+    guard::CircuitBreaker::Stats breaker;
+    std::uint64_t snat_sessions = 0;
+    std::uint64_t snat_exhaustions = 0;
+    std::uint64_t snat_expired = 0;
+    std::uint64_t snat_active_end = 0;
+    /// Aggregate guard time-in-state over all metered tenants.
+    std::array<double, 3> guard_tier_seconds{};
+    std::uint64_t audits_run = 0;
+    std::uint64_t strict_audits_run = 0;
+    /// Ascending-VNI per-tenant ledgers.
+    std::vector<TenantSlo> tenants;
+    /// Non-storm tenants outside the drop budget.
+    std::vector<net::Vni> budget_violations;
+    /// Auditor violations + end-of-run timeline leaks.
+    std::vector<std::string> violations;
+  };
+
+  struct Report {
+    std::uint64_t seed = 0;
+    std::size_t regions = 0;
+    double interval_s = 0;
+    std::size_t intervals = 0;  // recorded (post-warmup) intervals
+    std::size_t warmup_intervals = 0;
+    std::size_t settle_intervals = 0;
+    double sim_hours = 0;
+    double drop_budget = 0;
+    std::vector<RegionSummary> region_summaries;
+    std::size_t total_violations = 0;
+    std::size_t total_budget_violations = 0;
+    bool pass = false;
+
+    /// Byte-stable rendering (fixed field order, fixed precision) — the
+    /// 1-vs-8-thread canary byte-compares this string.
+    std::string to_json() const;
+  };
+
+  explicit SoakEngine(Config config);
+  ~SoakEngine();
+
+  SoakEngine(const SoakEngine&) = delete;
+  SoakEngine& operator=(const SoakEngine&) = delete;
+
+  /// Runs the whole scenario. Call once.
+  Report run();
+
+ private:
+  struct RegionState;
+
+  void build_region(std::size_t index);
+  /// Component-ordered VPC admission with a live controller clock, so the
+  /// squeezed water levels are enforced against up-to-date route counts
+  /// (see the implementation comment).
+  void install_with_live_clock(RegionState& state);
+  /// One region, one interval: chaos step, weighted interval simulation,
+  /// SNAT stream, ledger fold (when `record`), invariant audit.
+  void run_interval(RegionState& region, std::size_t interval_index,
+                    bool record, std::vector<std::string>& violations);
+  void drive_snat(RegionState& region, double t0, double rate_factor);
+  void handle_violations(const std::vector<std::string>& violations,
+                         std::size_t region_index, double now);
+
+  Config config_;
+  std::size_t week_intervals_ = 0;
+  std::vector<std::unique_ptr<RegionState>> regions_;
+  bool ran_ = false;
+};
+
+}  // namespace sf::soak

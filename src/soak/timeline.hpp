@@ -1,0 +1,171 @@
+// sf::soak — the week-long composed chaos timeline (DESIGN.md §17).
+//
+// The ChaosInjector replays second-scale schedules with a 0.5 s probe
+// tick; a simulated week at that cadence would be ~1.2M ticks. The soak
+// instead advances in interval-sized steps (default 600 s) and needs
+// faults whose lifecycles are visible at that granularity, so the
+// timeline draws its own seeded schedule — reusing ChaosEvent/FaultKind
+// and the schedule container — with durations measured in whole
+// intervals, and drives the same health/recovery machinery the injector
+// does: heartbeats in fixed cluster-major order, port error reports in
+// sorted key order, level-triggered restore of channel outages, controller
+// brownouts and DPU nodes, and cold-standby replacement observed through
+// a RecoveryListener tap.
+//
+// Fault kinds composed here: device crashes, port error bursts, link
+// loss, channel outages, controller brownouts (breaker open/half-open/
+// close), tenant storms (weight multipliers on *existing* metered
+// tenants), churn storms (onboarding + migration waves through the RCU
+// publish path), and DPU node loss. Upgrade failures and second-scale
+// flaps stay with the injector — their lifecycles are invisible between
+// 600 s boundaries.
+//
+// Determinism: a pure function of (region construction inputs, config).
+// Every container iterated is ordered, every random draw comes from one
+// seeded Rng consumed in schedule order.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "cluster/health.hpp"
+#include "core/region.hpp"
+
+namespace sf::soak {
+
+/// A tenant whose offered traffic is inflated this interval.
+struct StormSpec {
+  net::Vni vni = 0;
+  /// Weight multiplier applied to the tenant's flows.
+  double multiplier = 1.0;
+};
+
+class ChaosTimeline {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    double interval_s = 600.0;
+    double horizon_s = 7.0 * 86400.0;
+    /// Mean scheduled faults per simulated day.
+    double events_per_day = 8.0;
+    /// Fault faces drawn (each adds variety; all deterministic).
+    bool device_faults = true;
+    bool port_faults = true;
+    bool channel_outages = true;
+    bool controller_brownouts = true;
+    bool tenant_storms = true;
+    bool churn_storms = true;
+    /// DPU faults are drawn only when the region has a DPU tier.
+    bool dpu_faults = true;
+    /// Storm shape: the tenant's flow weights are multiplied by a draw
+    /// from [multiplier_min, multiplier_max].
+    double storm_multiplier_min = 20.0;
+    double storm_multiplier_max = 50.0;
+    /// Tenants eligible for storms (the region's real topology VNIs).
+    std::vector<net::Vni> tenant_vnis;
+    /// Base VNI for churn-onboarded synthetic tenants.
+    net::Vni churn_vni_base = 0xB0A000;
+    /// Live VM mappings churn storms re-target (VM migration waves
+    /// through the rate-limited update channel — whole-VPC migration is
+    /// refused once every cluster sits at its water level, so mapping
+    /// re-targets are the churn that always lands on hardware tables).
+    std::vector<tables::VmNcKey> migratable_vms;
+    /// Health thresholds at interval granularity: a crash spanning
+    /// `fail_after_missed` boundaries is detected.
+    cluster::HealthMonitor::Config health{
+        /*fail_after_missed=*/2, /*recover_after_ok=*/1,
+        /*port_error_rate_threshold=*/1e-6,
+        /*isolate_port_after=*/2, /*recover_port_after_ok=*/2};
+  };
+
+  struct StepResult {
+    /// Ascending-VNI storms active this interval.
+    std::vector<StormSpec> active_storms;
+    /// Any device/port/DPU fault currently injected (heartbeats missed or
+    /// error reports outstanding) — strict audits must wait.
+    bool device_faults_active = false;
+    /// Channel down/degraded, or deferred ops still parked.
+    bool control_faults_active = false;
+    std::size_t events_fired = 0;
+    std::size_t deferred_ops = 0;
+  };
+
+  ChaosTimeline(core::SailfishRegion& region, Config config);
+  ~ChaosTimeline();
+
+  ChaosTimeline(const ChaosTimeline&) = delete;
+  ChaosTimeline& operator=(const ChaosTimeline&) = delete;
+
+  /// Advances the timeline to the interval boundary at `now` (call with
+  /// strictly increasing boundaries): fires due events, delivers probes,
+  /// restores expired faults, drains the controller clock.
+  StepResult step(double now);
+
+  /// Strict end-of-run leak audit (call after the horizon plus enough
+  /// settle intervals for hysteresis to unwind). Returns violations.
+  std::vector<std::string> final_audit(double now);
+
+  const chaos::ChaosSchedule& schedule() const { return schedule_; }
+  std::size_t events_fired() const { return next_event_; }
+  /// Per-kind counts over the whole drawn schedule.
+  std::map<std::string, std::size_t> event_counts() const;
+
+ private:
+  struct DownWindow {
+    double start = 0;
+    double end = 0;
+  };
+  struct PortTrack {
+    std::size_t cluster = 0;
+    std::size_t device = 0;
+    unsigned port = 0;
+    unsigned bad_remaining = 0;
+    double error_rate = 0;
+  };
+  struct Storm {
+    net::Vni vni = 0;
+    double multiplier = 1.0;
+    double start = 0;
+    double end = 0;
+  };
+  struct DpuDark {
+    std::size_t node = 0;
+    double end = 0;
+    bool restored = false;
+  };
+  struct Tap;
+
+  void draw_schedule();
+  void fire_event(const chaos::ChaosEvent& event, double now);
+  /// A wave of VM-mapping re-targets over migratable_vms — hardware-tier
+  /// updates that consume the (possibly refused) update channel.
+  void retarget_wave(unsigned count);
+  bool slot_down(std::uint64_t key, double now) const;
+
+  core::SailfishRegion& region_;
+  Config config_;
+  chaos::ChaosSchedule schedule_;
+  cluster::HealthMonitor monitor_;
+  std::unique_ptr<Tap> tap_;
+  std::size_t next_event_ = 0;
+  std::map<std::uint64_t, std::vector<DownWindow>> windows_;
+  std::map<std::uint64_t, PortTrack> tracks_;
+  std::vector<Storm> storms_;
+  std::vector<DpuDark> dpu_dark_;
+  double channel_down_until_ = -1;
+  bool channel_down_ = false;
+  double brownout_until_ = -1;
+  bool browned_out_ = false;
+  unsigned churn_ordinal_next_ = 0;
+  /// VM-migration waves: next mapping to re-target and the wave ordinal
+  /// (each wave lands the VM on a fresh synthetic NC).
+  unsigned vm_cursor_ = 0;
+  unsigned vm_wave_next_ = 0;
+};
+
+}  // namespace sf::soak

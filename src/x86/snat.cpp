@@ -1,5 +1,6 @@
 #include "x86/snat.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sf::x86 {
@@ -56,7 +57,9 @@ std::optional<SnatBinding> SnatEngine::translate(const net::FiveTuple& session,
   if (failure != nullptr) *failure = AllocFailure::kNone;
   if (auto it = by_tuple_.find(session); it != by_tuple_.end()) {
     Session& s = sessions_[it->second];
-    s.last_used = now;
+    // A replayed/backward timestamp must not rewind the idle stamp, or a
+    // later expire() pass would reclaim a session that was just touched.
+    s.last_used = std::max(s.last_used, now);
     return s.binding;
   }
   auto binding = allocate(session);
@@ -91,7 +94,7 @@ std::optional<net::FiveTuple> SnatEngine::reverse(const SnatBinding& binding,
   if (s.tuple.dst != peer_ip || s.tuple.dst_port != peer_port) {
     return std::nullopt;
   }
-  s.last_used = now;
+  s.last_used = std::max(s.last_used, now);
   return s.tuple;
 }
 

@@ -1,0 +1,90 @@
+// sf::sim::SimClock and the saturating time helpers (DESIGN.md §17): the
+// week-scale soak must survive µs conversions past the uint32 range,
+// backward timestamps from merged event streams, and stalled tick loops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/sim_clock.hpp"
+
+namespace sf::sim {
+namespace {
+
+TEST(ToMicros, ConvertsAndSaturates) {
+  EXPECT_EQ(to_micros(0.0), 0u);
+  EXPECT_EQ(to_micros(1.0), 1'000'000u);
+  EXPECT_EQ(to_micros(1.5e-6), 1u);
+  // A full simulated week must be nowhere near saturation.
+  EXPECT_EQ(to_micros(kWeekSeconds), 604'800'000'000u);
+  // Negative and NaN timestamps are "no time", never a wrap.
+  EXPECT_EQ(to_micros(-3.0), 0u);
+  EXPECT_EQ(to_micros(std::nan("")), 0u);
+  // Far past the uint64 range: clamps to max instead of wrapping.
+  EXPECT_EQ(to_micros(1e200),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ElapsedS, ClampsBackwardClocks) {
+  EXPECT_DOUBLE_EQ(elapsed_s(10.0, 4.0), 6.0);
+  EXPECT_DOUBLE_EQ(elapsed_s(4.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(elapsed_s(7.0, 7.0), 0.0);
+}
+
+TEST(SaturatingArithmetic, AddAndSub) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_add_us(2, 3), 5u);
+  EXPECT_EQ(saturating_add_us(max, 1), max);
+  EXPECT_EQ(saturating_add_us(max - 4, 10), max);
+  EXPECT_EQ(saturating_sub_us(10, 4), 6u);
+  EXPECT_EQ(saturating_sub_us(4, 10), 0u);
+  EXPECT_EQ(saturating_sub_us(0, max), 0u);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.advance_to(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(clock.advance_by(2.5), 7.5);
+  EXPECT_EQ(clock.micros(), 7'500'000u);
+  EXPECT_EQ(clock.regressions(), 0u);
+}
+
+TEST(SimClock, BackwardAdvanceHoldsAndCounts) {
+  SimClock clock(100.0);
+  // A replayed event stream hands the clock an old timestamp: the clock
+  // holds, the caller sees the clamped time, and the regression counts.
+  EXPECT_DOUBLE_EQ(clock.advance_to(40.0), 100.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.0);
+  EXPECT_DOUBLE_EQ(clock.advance_by(-10.0), 100.0);
+  EXPECT_EQ(clock.regressions(), 2u);
+  // Forward motion resumes normally afterwards.
+  EXPECT_DOUBLE_EQ(clock.advance_to(101.0), 101.0);
+  EXPECT_EQ(clock.regressions(), 2u);
+}
+
+TEST(SimClock, StalledClockIsAFixedPoint) {
+  SimClock clock(50.0);
+  // "No time passed" must not drift: equal timestamps and zero steps are
+  // not regressions and do not move the clock.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(clock.advance_to(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(clock.advance_by(0.0), 50.0);
+  }
+  EXPECT_DOUBLE_EQ(clock.now(), 50.0);
+  EXPECT_EQ(clock.regressions(), 0u);
+}
+
+TEST(SimClock, WeekScaleMicrosStayExact) {
+  SimClock clock;
+  // 1008 ten-minute intervals: the soak's stride pattern, microsecond
+  // conversions staying exact (double holds integers to 2^53).
+  for (int i = 1; i <= 1008; ++i) clock.advance_to(600.0 * i);
+  EXPECT_DOUBLE_EQ(clock.now(), kWeekSeconds);
+  EXPECT_EQ(clock.micros(), 604'800'000'000u);
+  EXPECT_EQ(clock.regressions(), 0u);
+}
+
+}  // namespace
+}  // namespace sf::sim

@@ -1,0 +1,69 @@
+// InvariantAuditor — the soak's between-intervals backstop (DESIGN.md
+// §17): a healthy region audits clean in both light and strict mode, a
+// nonsense interval report is caught by the bounds sweep, and violations
+// accumulate on the auditor's lifetime ledger.
+
+#include "soak/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sailfish.hpp"
+
+namespace sf::soak {
+namespace {
+
+TEST(InvariantAuditor, HealthyRegionAuditsCleanInBothModes) {
+  core::SailfishSystem system = core::make_system(core::quickstart_options());
+  InvariantAuditor auditor(*system.region, system.flows,
+                           InvariantAuditor::Config{/*probe_flows=*/8});
+
+  // Light sweep right after install, strict sweep once the control plane
+  // is idle (make_system installs synchronously — nothing is deferred).
+  EXPECT_TRUE(auditor.audit(0.0, /*strict=*/false).empty());
+  EXPECT_TRUE(auditor.audit(600.0, /*strict=*/true).empty());
+  EXPECT_EQ(auditor.audits_run(), 2u);
+  EXPECT_EQ(auditor.strict_audits_run(), 1u);
+  EXPECT_TRUE(auditor.all_violations().empty());
+}
+
+TEST(InvariantAuditor, StaysCleanAcrossSimulatedIntervals) {
+  core::SailfishSystem system = core::make_system(core::quickstart_options());
+  InvariantAuditor auditor(*system.region, system.flows,
+                           InvariantAuditor::Config{/*probe_flows=*/8});
+
+  // Drive real intervals between audits — the cache-coherence probes run
+  // against tables that actually served traffic.
+  for (int i = 0; i < 3; ++i) {
+    const auto interval =
+        system.region->simulate_interval(system.flows, 1e11, i);
+    const auto violations =
+        auditor.audit(600.0 * (i + 1), /*strict=*/true, &interval);
+    EXPECT_TRUE(violations.empty())
+        << "interval " << i << ": " << violations.front();
+  }
+  EXPECT_EQ(auditor.strict_audits_run(), 3u);
+}
+
+TEST(InvariantAuditor, FlagsOutOfBoundsIntervalReports) {
+  core::SailfishSystem system = core::make_system(core::quickstart_options());
+  InvariantAuditor auditor(*system.region, system.flows,
+                           InvariantAuditor::Config{/*probe_flows=*/4});
+
+  core::SailfishRegion::IntervalReport bad;
+  bad.offered_pps = -1;              // negative rate
+  bad.drop_rate = 1.5;               // ratio outside [0, 1]
+  bad.p99_latency_us = 50;
+  bad.p999_latency_us = 10;          // p999 < p99
+  const auto violations = auditor.audit(600.0, /*strict=*/false, &bad);
+  EXPECT_GE(violations.size(), 3u);
+  // The lifetime ledger keeps everything ever found.
+  EXPECT_EQ(auditor.all_violations().size(), violations.size());
+
+  // A clean follow-up sweep adds nothing more.
+  const std::size_t before = auditor.all_violations().size();
+  EXPECT_TRUE(auditor.audit(1200.0, /*strict=*/false).empty());
+  EXPECT_EQ(auditor.all_violations().size(), before);
+}
+
+}  // namespace
+}  // namespace sf::soak

@@ -1,0 +1,137 @@
+// SloLedger — the per-tenant availability accounting the soak report
+// renders (DESIGN.md §17): guard sheds land on the stormer's own ledger,
+// unattributed region drops spread uniformly over offered rates, storm
+// tenants are exempt from the budget alarm, and the week percentiles are
+// served-packet-weighted over the interval samples.
+
+#include "soak/slo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::soak {
+namespace {
+
+using core::SailfishRegion;
+using guard::TenantGuard;
+using guard::Tier;
+
+constexpr double kInterval = 600.0;
+
+TenantGuard::TenantInterval tenant_row(net::Vni vni, double offered_pps,
+                                       double shed_pps,
+                                       Tier tier = Tier::kFull) {
+  TenantGuard::TenantInterval row;
+  row.vni = vni;
+  row.offered_pps = offered_pps;
+  row.shed_pps = shed_pps;
+  row.tier = tier;
+  return row;
+}
+
+TEST(SloLedger, AttributesShedsDirectlyAndRemainderUniformly) {
+  SloLedger ledger(SloLedger::Config{/*drop_budget=*/2e-3});
+  SailfishRegion::IntervalReport interval;
+  interval.offered_pps = 5000;  // includes unmetered tenants
+  interval.dropped_pps = 350;   // 100 guard sheds + 250 unattributed
+  interval.guard_shed_pps = 100;
+  interval.guard_tenants = {tenant_row(10, 1000, 100, Tier::kShedNewFlows),
+                            tenant_row(20, 3000, 0)};
+  ledger.record_interval(kInterval, interval, /*storm_vnis=*/{});
+
+  // Unattributed fraction = 250 / 5000 = 5%: tenant 10 absorbs its own
+  // sheds plus 5% of its offered rate; tenant 20 only the uniform share.
+  ASSERT_EQ(ledger.tenants().size(), 2u);
+  const TenantSlo& a = ledger.tenants().at(10);
+  EXPECT_DOUBLE_EQ(a.offered_pkts, 1000 * kInterval);
+  EXPECT_DOUBLE_EQ(a.shed_pkts, 100 * kInterval);
+  EXPECT_DOUBLE_EQ(a.dropped_pkts, (100 + 0.05 * 1000) * kInterval);
+  EXPECT_DOUBLE_EQ(a.drop_fraction(), 0.15);
+  const TenantSlo& b = ledger.tenants().at(20);
+  EXPECT_DOUBLE_EQ(b.dropped_pkts, 0.05 * 3000 * kInterval);
+  EXPECT_DOUBLE_EQ(b.drop_fraction(), 0.05);
+  EXPECT_DOUBLE_EQ(b.availability(), 0.95);
+
+  // Region-level aggregates fold in packets, not rates.
+  EXPECT_DOUBLE_EQ(ledger.offered_pkts(), 5000 * kInterval);
+  EXPECT_DOUBLE_EQ(ledger.dropped_pkts(), 350 * kInterval);
+  EXPECT_EQ(ledger.intervals(), 1u);
+  // Tier time-in-state follows the end-of-interval tier.
+  EXPECT_DOUBLE_EQ(a.tier_seconds[1], kInterval);
+  EXPECT_DOUBLE_EQ(b.tier_seconds[0], kInterval);
+}
+
+TEST(SloLedger, StormTenantsAreExemptFromTheBudget) {
+  SloLedger ledger(SloLedger::Config{/*drop_budget=*/1e-2});
+  SailfishRegion::IntervalReport interval;
+  interval.offered_pps = 2000;
+  interval.dropped_pps = 600;
+  interval.guard_shed_pps = 500;
+  // The stormer sheds half its traffic; the victim absorbs only the
+  // uniform remainder (100 / 2000 = 5%), still over the 1% budget.
+  interval.guard_tenants = {tenant_row(7, 1000, 500, Tier::kShedTenant),
+                            tenant_row(8, 1000, 0)};
+  ledger.record_interval(kInterval, interval, /*storm_vnis=*/{7});
+
+  const TenantSlo& stormer = ledger.tenants().at(7);
+  EXPECT_TRUE(stormer.stormed());
+  EXPECT_GT(stormer.drop_fraction(), 0.5);
+  EXPECT_TRUE(stormer.in_budget(1e-2));  // exempt: the defense working
+  const TenantSlo& victim = ledger.tenants().at(8);
+  EXPECT_FALSE(victim.stormed());
+  EXPECT_FALSE(victim.in_budget(1e-2));
+  // Only the non-storm violator alarms.
+  const std::vector<net::Vni> violations = ledger.budget_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0], 8u);
+}
+
+TEST(SloLedger, WeekPercentilesAreServedPacketWeighted) {
+  SloLedger ledger(SloLedger::Config{});
+  // 98 packets' worth of intervals at 10 us and 2 at 100 us: the 99th
+  // weighted percentile must land on the slow sample. A zero-latency
+  // interval (nothing on the latency-bearing paths) contributes nothing.
+  SailfishRegion::IntervalReport fast;
+  fast.offered_pps = 98;
+  fast.p99_latency_us = 10;
+  fast.p999_latency_us = 20;
+  SailfishRegion::IntervalReport slow;
+  slow.offered_pps = 2;
+  slow.p99_latency_us = 100;
+  slow.p999_latency_us = 200;
+  SailfishRegion::IntervalReport idle;  // p99 == 0: skipped
+  ledger.record_interval(1.0, fast, {});
+  ledger.record_interval(1.0, slow, {});
+  ledger.record_interval(1.0, idle, {});
+  EXPECT_DOUBLE_EQ(ledger.week_p99_latency_us(), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.week_p999_latency_us(), 200.0);
+
+  // Flip the weights: with only 1% of packets on the slow sample, p99
+  // stays on the fast one.
+  SloLedger mostly_fast(SloLedger::Config{});
+  fast.offered_pps = 99;
+  slow.offered_pps = 1;
+  mostly_fast.record_interval(1.0, fast, {});
+  mostly_fast.record_interval(1.0, slow, {});
+  EXPECT_DOUBLE_EQ(mostly_fast.week_p99_latency_us(), 10.0);
+}
+
+TEST(SloLedger, PuntAndDropAggregatesTrackExtremes) {
+  SloLedger ledger(SloLedger::Config{});
+  for (int i = 0; i < 4; ++i) {
+    SailfishRegion::IntervalReport interval;
+    interval.offered_pps = 100;
+    interval.drop_rate = 0.001 * (i + 1);
+    interval.punt_queue_occupancy = 0.2 * (i + 1);
+    ledger.record_interval(kInterval, interval, {});
+  }
+  EXPECT_EQ(ledger.intervals(), 4u);
+  EXPECT_DOUBLE_EQ(ledger.peak_drop_rate(), 0.004);
+  EXPECT_DOUBLE_EQ(ledger.punt_occupancy_max(), 0.8);
+  EXPECT_DOUBLE_EQ(ledger.punt_occupancy_mean(), 0.5);
+  // No latency-bearing intervals: the week percentiles stay zero.
+  EXPECT_DOUBLE_EQ(ledger.week_p99_latency_us(), 0.0);
+  EXPECT_TRUE(ledger.budget_violations().empty());
+}
+
+}  // namespace
+}  // namespace sf::soak
